@@ -1,0 +1,107 @@
+"""Ablation (Section 4.3): tuple-level distribution compression.
+
+A T operator can ship each tuple's distribution as (a) the raw particle
+set, (b) the KL-optimal single Gaussian, or (c) an AIC/BIC-selected
+Gaussian mixture.  This ablation measures, for unimodal and bimodal
+particle clouds (the latter modelling an object that just moved):
+
+* compression time per tuple,
+* the size of the shipped representation (number of parameters), and
+* the fidelity of the compressed distribution (KL divergence of the
+  particle cloud from the compressed form).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionPolicy
+from repro.distributions import ParticleDistribution, kl_divergence_samples
+
+N_PARTICLES = 200
+N_CLOUDS = 40
+
+POLICIES = {
+    "particles": CompressionPolicy(mode="particles"),
+    "gaussian": CompressionPolicy(mode="gaussian"),
+    "mixture_bic": CompressionPolicy(mode="mixture", max_components=3, criterion="bic"),
+}
+
+
+def make_clouds(kind: str, rng: np.random.Generator):
+    clouds = []
+    for _ in range(N_CLOUDS):
+        if kind == "unimodal":
+            values = rng.normal(rng.uniform(0, 100), rng.uniform(0.3, 2.0), size=N_PARTICLES)
+        else:
+            centre_a = rng.uniform(0, 50)
+            centre_b = centre_a + rng.uniform(10, 40)
+            split = rng.integers(N_PARTICLES // 4, 3 * N_PARTICLES // 4)
+            values = np.concatenate(
+                [
+                    rng.normal(centre_a, 0.8, size=split),
+                    rng.normal(centre_b, 0.8, size=N_PARTICLES - split),
+                ]
+            )
+        clouds.append(ParticleDistribution(values))
+    return clouds
+
+
+def representation_size(dist) -> int:
+    """Number of scalar parameters shipped inside the tuple."""
+    if isinstance(dist, ParticleDistribution):
+        return 2 * dist.n_particles
+    if hasattr(dist, "n_components"):
+        return 3 * dist.n_components
+    return 2  # plain Gaussian
+
+
+@pytest.fixture(scope="module")
+def table(result_table_factory):
+    return result_table_factory(
+        "ablation_tuple_compression",
+        f"{'cloud':<10} {'policy':<14} {'params/tuple':>13} {'KL(p_hat||q)':>14} {'ms/tuple':>10}",
+    )
+
+
+@pytest.mark.parametrize("policy_name", list(POLICIES), ids=list(POLICIES))
+@pytest.mark.parametrize("cloud_kind", ("unimodal", "bimodal"))
+def test_tuple_compression(benchmark, cloud_kind, policy_name, table):
+    rng = np.random.default_rng(13)
+    clouds = make_clouds(cloud_kind, rng)
+    policy = POLICIES[policy_name]
+
+    def compress_all():
+        return [policy.compress(cloud, rng=rng) for cloud in clouds]
+
+    compressed = benchmark(compress_all)
+
+    kls = [
+        kl_divergence_samples(cloud.values, cloud.weights, dist)
+        for cloud, dist in zip(clouds, compressed)
+    ]
+    mean_kl = float(np.mean(kls))
+    mean_params = float(np.mean([representation_size(d) for d in compressed]))
+    ms_per_tuple = benchmark.stats.stats.mean / N_CLOUDS * 1000.0
+    benchmark.extra_info.update(
+        {"mean_kl": mean_kl, "params_per_tuple": mean_params, "ms_per_tuple": ms_per_tuple}
+    )
+    table.add_row(
+        f"{cloud_kind:<10} {policy_name:<14} {mean_params:>13.1f} {mean_kl:>14.4f} {ms_per_tuple:>10.3f}"
+    )
+
+    # Shape assertions: particles are the fidelity ceiling but cost the most
+    # space; for bimodal clouds the mixture must beat the single Gaussian.
+    if policy_name == "particles":
+        assert mean_params > 100
+    if cloud_kind == "bimodal" and policy_name == "mixture_bic":
+        gaussian_kl = np.mean(
+            [
+                kl_divergence_samples(
+                    cloud.values, cloud.weights, POLICIES["gaussian"].compress(cloud)
+                )
+                for cloud in clouds
+            ]
+        )
+        assert mean_kl < gaussian_kl

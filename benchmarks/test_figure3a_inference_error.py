@@ -1,0 +1,60 @@
+"""Figure 3(a): RFID inference error vs. number of objects and particles.
+
+Paper setup: a highly noisy mobile-RFID trace; x-axis is the number of
+tracked objects (100 to 10 000, log scale), one curve per particle
+budget (50 / 100 / 200 particles); y-axis is the inference error in the
+XY plane, in feet.  The paper's errors fall between ~0.1 and ~0.7 ft
+and (i) grow with the number of objects and (ii) shrink with more
+particles.
+
+Our substitute trace (synthetic warehouse, tag-contention noise) yields
+larger absolute errors, but reproduces both trends.  The object-count
+sweep is truncated relative to the paper so the benchmark stays
+laptop-sized; set ``REPRO_FULL_BENCH=1`` to extend it.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.workloads import build_rfid_workload
+
+PARTICLE_COUNTS = (50, 100, 200)
+OBJECT_COUNTS = (100, 300, 1000)
+if os.environ.get("REPRO_FULL_BENCH"):
+    OBJECT_COUNTS = (100, 300, 1000, 3000, 10000)
+
+WARMUP_READINGS = 200
+MEASURED_READINGS = 25
+
+
+@pytest.fixture(scope="module")
+def table(result_table_factory):
+    return result_table_factory(
+        "figure3a_inference_error",
+        f"{'objects':>8} {'particles':>10} {'error (ft)':>12} {'ms/event':>10}",
+    )
+
+
+@pytest.mark.parametrize("n_particles", PARTICLE_COUNTS)
+@pytest.mark.parametrize("n_objects", OBJECT_COUNTS)
+def test_figure3a_inference_error(benchmark, n_objects, n_particles, table):
+    workload = build_rfid_workload(n_objects=n_objects, n_particles=n_particles)
+    # Warm up: let the reader sweep the area once so estimates are informed.
+    workload.run(WARMUP_READINGS)
+
+    def process_batch():
+        workload.run(MEASURED_READINGS)
+
+    benchmark.pedantic(process_batch, rounds=1, iterations=1)
+
+    error = workload.mean_error()
+    ms_per_event = benchmark.stats.stats.mean / MEASURED_READINGS * 1000.0
+    benchmark.extra_info.update(
+        {"inference_error_ft": error, "ms_per_event": ms_per_event}
+    )
+    table.add_row(f"{n_objects:>8d} {n_particles:>10d} {error:>12.2f} {ms_per_event:>10.2f}")
+
+    assert error < 60.0, "inference must do better than the uninformed prior"

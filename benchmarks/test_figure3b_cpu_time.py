@@ -1,0 +1,54 @@
+"""Figure 3(b): CPU time per RFID event vs. number of objects and particles.
+
+Paper setup: same highly noisy trace as Figure 3(a); y-axis is the
+processing time per reading event in milliseconds (0.5 - 3.5 ms in the
+authors' prototype), growing with the number of objects and with the
+particle budget.
+
+The pure-Python reproduction is slower in absolute terms, but the two
+trends -- more objects cost more per event, more particles cost more per
+event -- are the reproduced shape.  Set ``REPRO_FULL_BENCH=1`` to extend
+the object sweep.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.workloads import build_rfid_workload
+
+PARTICLE_COUNTS = (50, 200)
+OBJECT_COUNTS = (100, 300, 1000)
+if os.environ.get("REPRO_FULL_BENCH"):
+    OBJECT_COUNTS = (100, 300, 1000, 3000, 10000)
+
+WARMUP_READINGS = 60
+MEASURED_READINGS = 40
+
+
+@pytest.fixture(scope="module")
+def table(result_table_factory):
+    return result_table_factory(
+        "figure3b_cpu_time",
+        f"{'objects':>8} {'particles':>10} {'ms/event':>10}",
+    )
+
+
+@pytest.mark.parametrize("n_particles", PARTICLE_COUNTS)
+@pytest.mark.parametrize("n_objects", OBJECT_COUNTS)
+def test_figure3b_time_per_event(benchmark, n_objects, n_particles, table):
+    workload = build_rfid_workload(n_objects=n_objects, n_particles=n_particles)
+    workload.run(WARMUP_READINGS)
+
+    def process_batch():
+        workload.run(MEASURED_READINGS)
+
+    benchmark.pedantic(process_batch, rounds=1, iterations=1)
+
+    ms_per_event = benchmark.stats.stats.mean / MEASURED_READINGS * 1000.0
+    benchmark.extra_info["ms_per_event"] = ms_per_event
+    table.add_row(f"{n_objects:>8d} {n_particles:>10d} {ms_per_event:>10.2f}")
+
+    assert ms_per_event > 0.0

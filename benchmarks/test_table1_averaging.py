@@ -1,0 +1,103 @@
+"""Table 1: tornado detection quality vs. pulse-averaging size.
+
+Paper setup: 38 seconds of raw tornadic radar data (4 sector scans),
+averaging sizes 40..1000; columns = moment data size (MB), detection
+running time, number of reported tornados (averaged over the 4 scans),
+and false negatives relative to the size-40 (fine-grained) reference.
+
+Paper values (May 9th 2007 CASA trace):
+
+    size   MB     time(s)  reported  false-neg
+      40   9.22     27       3.75       0
+      60   6.15     23       1.5        2.25
+      80   4.62     21       0.5        3.25
+     100   3.7      21       0.25       3.75
+     200   1.87     20       0          3.75
+     500   0.76     20       0          3.75
+    1000   0.39     20       0          3.75
+
+Our substitute is a synthetic tornadic scene at laptop scale (see
+``repro.workloads.build_table1_workload``), so absolute megabytes and
+seconds differ; the monotone shrinkage of data volume / runtime and the
+collapse of detections with heavier averaging are the reproduced shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.radar import compute_moments, run_detection
+from repro.workloads import TABLE1_AVERAGING_SIZES, build_table1_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_table1_workload()
+
+
+@pytest.fixture(scope="module")
+def reference_counts(workload):
+    """Detections at the finest averaging size (the paper's size-40 reference)."""
+    counts = []
+    for scan in workload.scans:
+        moments = compute_moments(scan, workload.site, TABLE1_AVERAGING_SIZES[0])
+        counts.append(
+            run_detection(
+                moments, workload.site, delta_v_threshold=workload.detection_threshold
+            ).count
+        )
+    return counts
+
+
+@pytest.fixture(scope="module")
+def table(result_table_factory):
+    return result_table_factory(
+        "table1_averaging",
+        f"{'avg size':>8} {'moment MB':>12} {'detect time (s)':>16} "
+        f"{'reported tornados':>18} {'false negatives':>16}",
+    )
+
+
+@pytest.mark.parametrize("averaging_size", TABLE1_AVERAGING_SIZES)
+def test_table1_averaging_size(benchmark, averaging_size, workload, reference_counts, table):
+    moment_fields = [
+        compute_moments(scan, workload.site, averaging_size) for scan in workload.scans
+    ]
+
+    def run_detection_over_all_scans():
+        return [
+            run_detection(
+                moments, workload.site, delta_v_threshold=workload.detection_threshold
+            )
+            for moments in moment_fields
+        ]
+
+    results = benchmark(run_detection_over_all_scans)
+
+    counts = [r.count for r in results]
+    reported = float(np.mean(counts))
+    false_negatives = float(
+        np.mean([max(ref - got, 0) for ref, got in zip(reference_counts, counts)])
+    )
+    size_mb = float(np.mean([m.size_megabytes for m in moment_fields]))
+    detection_time = benchmark.stats.stats.mean
+
+    benchmark.extra_info.update(
+        {
+            "moment_megabytes": size_mb,
+            "reported_tornados": reported,
+            "false_negatives": false_negatives,
+        }
+    )
+    table.add_row(
+        f"{averaging_size:>8d} {size_mb:>12.3f} {detection_time:>16.4f} "
+        f"{reported:>18.2f} {false_negatives:>16.2f}"
+    )
+
+    # Shape assertions mirroring the paper's conclusions.
+    if averaging_size == TABLE1_AVERAGING_SIZES[0]:
+        assert reported >= 3.0, "fine-grained averaging must resolve (nearly) all vortices"
+    if averaging_size >= 500:
+        assert reported == 0.0, "heavy averaging must miss every tornado"
+        assert false_negatives >= 3.0

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file
+exists so that ``python setup.py develop`` keeps working in offline
+environments that lack the ``wheel`` package required for PEP 660
+editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""repro: uncertainty-aware high-volume stream processing.
+
+A from-scratch Python reproduction of "Capturing Data Uncertainty in
+High-Volume Stream Processing" (Diao et al., CIDR 2009).  The package
+is organised as:
+
+* :mod:`repro.distributions` -- continuous random-variable substrate
+  (parametric families, particles, characteristic functions, KL
+  compression, metrics).
+* :mod:`repro.streams` -- box-arrow stream engine (tuples, windows,
+  operators, lineage).
+* :mod:`repro.core` -- the paper's contribution: T operators and
+  uncertainty-aware relational operators.
+* :mod:`repro.inference` -- particle filtering with the paper's
+  optimisations, adaptive particle control, Kalman baseline.
+* :mod:`repro.rfid` / :mod:`repro.radar` -- the two motivating
+  applications, including their synthetic data substrates.
+* :mod:`repro.workloads` -- workload generators for the experiments.
+"""
+
+from . import core, distributions, inference, radar, rfid, streams, workloads
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "core",
+    "distributions",
+    "inference",
+    "radar",
+    "rfid",
+    "streams",
+    "workloads",
+    "__version__",
+]

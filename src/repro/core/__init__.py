@@ -1,0 +1,95 @@
+"""Core contribution: uncertainty-aware stream operators.
+
+This package implements the paper's two main components on top of the
+:mod:`repro.streams` substrate:
+
+* the data capture and transformation (**T**) operator framework,
+  including the particle-to-parametric compression policies of
+  Section 4.3, and
+* the uncertainty-aware relational operators of Section 5 -- selection,
+  aggregation (with pluggable result-distribution strategies), join,
+  group-by/having, lineage-aware composition, the delta method for
+  complex functions, and final-result summarisation.
+"""
+
+from .aggregation import (
+    AGGREGATE_FUNCTIONS,
+    CFApproximationSum,
+    CFInversionSum,
+    CLTSum,
+    ConvolutionSum,
+    GroupByAggregate,
+    HavingClause,
+    HistogramSamplingSum,
+    MonteCarloSum,
+    SumStrategy,
+    TimeSeriesCLTSum,
+    UncertainAggregate,
+    affine_distribution,
+    max_distribution,
+    min_distribution,
+    scale_distribution,
+    shift_distribution,
+    strategy_by_name,
+)
+from .composition import delta_method, monte_carlo_propagation, numerical_gradient
+from .confidence import ResultSummary, SummarizeResults, summarize
+from .existence import (
+    WeightedContribution,
+    existence_aware_sum,
+    existence_aware_sum_exact,
+)
+from .join import (
+    ProbabilisticJoin,
+    location_equality_probability,
+    match_probability_band,
+)
+from .lineage_operator import ArchivingOperator, LineageAwareAggregate
+from .lineage_ops import group_contribution_samples, lineage_aware_sum
+from .query import CompiledQuery, QueryBuilder
+from .selection import Comparison, ProbabilisticSelect, UncertainPredicate
+from .transform import CompressionPolicy, TransformOperator
+
+__all__ = [
+    "SumStrategy",
+    "CFInversionSum",
+    "CFApproximationSum",
+    "HistogramSamplingSum",
+    "MonteCarloSum",
+    "CLTSum",
+    "ConvolutionSum",
+    "TimeSeriesCLTSum",
+    "strategy_by_name",
+    "UncertainAggregate",
+    "GroupByAggregate",
+    "HavingClause",
+    "AGGREGATE_FUNCTIONS",
+    "max_distribution",
+    "min_distribution",
+    "shift_distribution",
+    "scale_distribution",
+    "affine_distribution",
+    "ProbabilisticSelect",
+    "UncertainPredicate",
+    "Comparison",
+    "ProbabilisticJoin",
+    "match_probability_band",
+    "location_equality_probability",
+    "TransformOperator",
+    "CompressionPolicy",
+    "delta_method",
+    "monte_carlo_propagation",
+    "numerical_gradient",
+    "lineage_aware_sum",
+    "group_contribution_samples",
+    "ArchivingOperator",
+    "LineageAwareAggregate",
+    "WeightedContribution",
+    "existence_aware_sum",
+    "existence_aware_sum_exact",
+    "QueryBuilder",
+    "CompiledQuery",
+    "ResultSummary",
+    "summarize",
+    "SummarizeResults",
+]

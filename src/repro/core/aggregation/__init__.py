@@ -1,0 +1,42 @@
+"""Uncertain aggregation: result-distribution strategies and operators."""
+
+from .operator import (
+    AGGREGATE_FUNCTIONS,
+    GroupByAggregate,
+    HavingClause,
+    UncertainAggregate,
+)
+from .order_statistics import max_distribution, min_distribution
+from .strategies import (
+    CFApproximationSum,
+    CFInversionSum,
+    CLTSum,
+    ConvolutionSum,
+    HistogramSamplingSum,
+    MonteCarloSum,
+    SumStrategy,
+    TimeSeriesCLTSum,
+    strategy_by_name,
+)
+from .transforms import affine_distribution, scale_distribution, shift_distribution
+
+__all__ = [
+    "SumStrategy",
+    "CFInversionSum",
+    "CFApproximationSum",
+    "HistogramSamplingSum",
+    "MonteCarloSum",
+    "CLTSum",
+    "ConvolutionSum",
+    "TimeSeriesCLTSum",
+    "strategy_by_name",
+    "UncertainAggregate",
+    "GroupByAggregate",
+    "HavingClause",
+    "AGGREGATE_FUNCTIONS",
+    "max_distribution",
+    "min_distribution",
+    "shift_distribution",
+    "scale_distribution",
+    "affine_distribution",
+]

@@ -1,0 +1,308 @@
+"""Windowed aggregation operators over uncertain tuple streams.
+
+These operators plug the result-distribution strategies of
+:mod:`repro.core.aggregation.strategies` into the box-arrow engine:
+tuples are buffered into windows; when a window closes the operator
+characterises the distribution of the aggregate (SUM, AVG, COUNT, MAX,
+MIN) of a chosen uncertain attribute and emits one result tuple per
+window (per group for GROUP BY) carrying that distribution.
+
+A HAVING clause is supported in its probabilistic form: "emit the group
+if the aggregate exceeds the threshold with at least the requested
+probability", which is how query Q1's ``Having sum(weight) > 200
+pounds`` behaves once weights and group membership become uncertain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from numbers import Real
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.distributions import Distribution, Gaussian
+from repro.streams.lineage import are_independent
+from repro.streams.operators.base import Operator, OperatorError
+from repro.streams.tuples import StreamTuple
+from repro.streams.windows import WindowBuffer, WindowSpec
+
+from .order_statistics import max_distribution, min_distribution
+from .strategies import SumStrategy
+from .transforms import affine_distribution
+
+__all__ = ["HavingClause", "UncertainAggregate", "GroupByAggregate", "AGGREGATE_FUNCTIONS"]
+
+#: Aggregate functions supported by the uncertain aggregation operators.
+AGGREGATE_FUNCTIONS = ("sum", "avg", "count", "max", "min")
+
+#: Standard deviation assigned to deterministic numeric summands so they
+#: can participate in CF-based computations without special cases.
+_DEGENERATE_SIGMA = 1e-9
+
+
+@dataclass(frozen=True)
+class HavingClause:
+    """A probabilistic HAVING filter on the aggregate result.
+
+    Emit the result only if ``P[aggregate > threshold] >= min_probability``.
+    With the default ``min_probability=0.5`` this reduces to the common
+    "expected value exceeds the threshold" reading for symmetric result
+    distributions.
+    """
+
+    threshold: float
+    min_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_probability <= 1.0:
+            raise ValueError("min_probability must lie in [0, 1]")
+
+    def accepts(self, result: Distribution) -> bool:
+        return result.prob_greater_than(self.threshold) >= self.min_probability
+
+    def probability(self, result: Distribution) -> float:
+        return result.prob_greater_than(self.threshold)
+
+
+def _extract_summand(item: StreamTuple, attribute: str) -> Distribution:
+    """Return the attribute as a Distribution, promoting numeric constants."""
+    if item.has_uncertain(attribute):
+        return item.distribution(attribute)
+    if item.has_value(attribute):
+        value = item.value(attribute)
+        if isinstance(value, Real):
+            return Gaussian(float(value), _DEGENERATE_SIGMA)
+        raise OperatorError(
+            f"attribute {attribute!r} is neither a distribution nor numeric: {type(value).__name__}"
+        )
+    raise OperatorError(f"tuple is missing aggregation attribute {attribute!r}")
+
+
+def _aggregate_window(
+    items: Sequence[StreamTuple],
+    attribute: str,
+    function: str,
+    strategy: SumStrategy,
+    check_independence: bool,
+) -> Tuple[Distribution | int, List[StreamTuple]]:
+    """Compute the aggregate distribution for one closed window."""
+    items = list(items)
+    if not items:
+        raise OperatorError("cannot aggregate an empty window")
+    if check_independence and function in ("sum", "avg") and not are_independent(items):
+        raise OperatorError(
+            "window contains tuples with overlapping lineage; use a lineage-aware "
+            "aggregation (see repro.core.lineage_ops) or disable check_independence"
+        )
+    if function == "count":
+        return len(items), items
+    summands = [_extract_summand(item, attribute) for item in items]
+    if function == "sum":
+        return strategy.result_distribution(summands), items
+    if function == "avg":
+        total = strategy.result_distribution(summands)
+        return affine_distribution(total, scale=1.0 / len(summands)), items
+    if function == "max":
+        return max_distribution(summands), items
+    if function == "min":
+        return min_distribution(summands), items
+    raise OperatorError(f"unsupported aggregate function {function!r}")
+
+
+def _result_tuple(
+    window_start: float,
+    window_end: float,
+    result: Distribution | int,
+    items: Sequence[StreamTuple],
+    output_attribute: str,
+    group_key: Optional[Hashable] = None,
+    having: Optional[HavingClause] = None,
+) -> Optional[StreamTuple]:
+    """Build the output tuple for a closed window (or None if filtered out)."""
+    lineage = frozenset().union(*(item.lineage for item in items))
+    values: Dict[str, Any] = {
+        "window_start": window_start,
+        "window_end": window_end,
+        "window_count": len(items),
+    }
+    uncertain: Dict[str, Distribution] = {}
+    if group_key is not None:
+        values["group"] = group_key
+    if isinstance(result, Distribution):
+        if having is not None:
+            if not having.accepts(result):
+                return None
+            values["having_probability"] = having.probability(result)
+        uncertain[output_attribute] = result
+        values[f"{output_attribute}_mean"] = float(np.asarray(result.mean()).ravel()[0])
+    else:
+        if having is not None and not result > having.threshold:
+            return None
+        values[output_attribute] = result
+    return StreamTuple(
+        timestamp=window_end,
+        values=values,
+        uncertain=uncertain,
+        lineage=lineage,
+    )
+
+
+class UncertainAggregate(Operator):
+    """Windowed aggregation of one uncertain attribute.
+
+    Parameters
+    ----------
+    window:
+        Window specification (tumbling count/time, etc.).
+    attribute:
+        Name of the attribute to aggregate.  Uncertain attributes are
+        used as-is; deterministic numeric attributes are promoted to
+        near-degenerate Gaussians.
+    strategy:
+        The :class:`SumStrategy` used for SUM/AVG result distributions.
+    function:
+        One of ``sum``, ``avg``, ``count``, ``max``, ``min``.
+    output_attribute:
+        Name of the emitted result attribute; defaults to
+        ``f"{function}_{attribute}"``.
+    having:
+        Optional probabilistic HAVING clause.
+    check_independence:
+        If True (default), reject windows whose tuples share lineage,
+        since the independent-summand strategies would silently produce
+        a wrong variance for correlated inputs.
+    """
+
+    def __init__(
+        self,
+        window: WindowSpec,
+        attribute: str,
+        strategy: SumStrategy,
+        function: str = "sum",
+        output_attribute: Optional[str] = None,
+        having: Optional[HavingClause] = None,
+        check_independence: bool = True,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        if function not in AGGREGATE_FUNCTIONS:
+            raise OperatorError(
+                f"unsupported aggregate function {function!r}; choose from {AGGREGATE_FUNCTIONS}"
+            )
+        self.window = window
+        self.attribute = attribute
+        self.strategy = strategy
+        self.function = function
+        self.output_attribute = output_attribute or f"{function}_{attribute}"
+        self.having = having
+        self.check_independence = check_independence
+        self._buffer: WindowBuffer = window.new_buffer()
+
+    def _emit(self, closes) -> Iterable[StreamTuple]:
+        for close in closes:
+            if not close.items:
+                continue
+            result, items = _aggregate_window(
+                close.items,
+                self.attribute,
+                self.function,
+                self.strategy,
+                self.check_independence,
+            )
+            out = _result_tuple(
+                close.start,
+                close.end,
+                result,
+                items,
+                self.output_attribute,
+                having=self.having,
+            )
+            if out is not None:
+                yield out
+
+    def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
+        yield from self._emit(self._buffer.add(item))
+
+    def flush(self) -> Iterable[StreamTuple]:
+        yield from self._emit(self._buffer.flush())
+
+
+class GroupByAggregate(Operator):
+    """Windowed GROUP BY + aggregate + HAVING over uncertain tuples.
+
+    Mirrors the outer block of query Q1: tuples in each window are
+    partitioned by a deterministic grouping key (e.g. the shelf area),
+    the chosen attribute is aggregated per group, and groups passing the
+    probabilistic HAVING clause are emitted, one result tuple per group.
+
+    Parameters
+    ----------
+    window:
+        Window specification; windows close independently of grouping.
+    key_function:
+        Function of the input tuple returning a hashable group key.
+    attribute, strategy, function, having, check_independence:
+        As for :class:`UncertainAggregate`.
+    """
+
+    def __init__(
+        self,
+        window: WindowSpec,
+        key_function: Callable[[StreamTuple], Hashable],
+        attribute: str,
+        strategy: SumStrategy,
+        function: str = "sum",
+        output_attribute: Optional[str] = None,
+        having: Optional[HavingClause] = None,
+        check_independence: bool = True,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        if function not in AGGREGATE_FUNCTIONS:
+            raise OperatorError(
+                f"unsupported aggregate function {function!r}; choose from {AGGREGATE_FUNCTIONS}"
+            )
+        self.window = window
+        self.key_function = key_function
+        self.attribute = attribute
+        self.strategy = strategy
+        self.function = function
+        self.output_attribute = output_attribute or f"{function}_{attribute}"
+        self.having = having
+        self.check_independence = check_independence
+        self._buffer: WindowBuffer = window.new_buffer()
+
+    def _emit(self, closes) -> Iterable[StreamTuple]:
+        for close in closes:
+            if not close.items:
+                continue
+            groups: Dict[Hashable, List[StreamTuple]] = {}
+            for item in close.items:
+                groups.setdefault(self.key_function(item), []).append(item)
+            for key in sorted(groups, key=repr):
+                members = groups[key]
+                result, items = _aggregate_window(
+                    members,
+                    self.attribute,
+                    self.function,
+                    self.strategy,
+                    self.check_independence,
+                )
+                out = _result_tuple(
+                    close.start,
+                    close.end,
+                    result,
+                    items,
+                    self.output_attribute,
+                    group_key=key,
+                    having=self.having,
+                )
+                if out is not None:
+                    yield out
+
+    def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
+        yield from self._emit(self._buffer.add(item))
+
+    def flush(self) -> Iterable[StreamTuple]:
+        yield from self._emit(self._buffer.flush())

@@ -1,0 +1,122 @@
+"""Existence-probability-aware aggregation.
+
+Probabilistic selection and probabilistic group membership (Q1's
+"which square-foot area is this object in?") produce tuples that
+contribute to an aggregate only *with some probability*.  The total is
+then a sum of independently switched contributions
+
+``S = sum_i B_i * X_i``,   ``B_i ~ Bernoulli(p_i)`` independent of ``X_i``,
+
+whose mean and variance have closed forms:
+
+``E[S]   = sum_i p_i mu_i``
+``Var[S] = sum_i ( p_i sigma_i^2 + p_i (1 - p_i) mu_i^2 )``
+
+For windows of more than a handful of contributors the CLT makes a
+Gaussian with those moments an excellent approximation; an exact
+mixture form (enumerating inclusion patterns) is provided for small
+windows and as a correctness oracle.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.distributions import (
+    Distribution,
+    DistributionError,
+    Gaussian,
+    GaussianMixture,
+)
+
+__all__ = ["WeightedContribution", "existence_aware_sum", "existence_aware_sum_exact"]
+
+
+@dataclass(frozen=True)
+class WeightedContribution:
+    """One potential contributor to an aggregate.
+
+    ``value`` is the contributor's (possibly uncertain) value and
+    ``probability`` the chance it participates at all -- e.g. the
+    probability that the object lies in the group's area, or that a
+    probabilistic selection predicate held.
+    """
+
+    value: Distribution | float
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"existence probability must lie in [0, 1], got {self.probability}")
+
+    def moments(self) -> Tuple[float, float]:
+        """Return the (mean, variance) of the underlying value."""
+        if isinstance(self.value, Distribution):
+            return (
+                float(np.asarray(self.value.mean()).ravel()[0]),
+                float(np.asarray(self.value.variance()).ravel()[0]),
+            )
+        return float(self.value), 0.0
+
+
+def existence_aware_sum(
+    contributions: Sequence[WeightedContribution], min_sigma: float = 1e-9
+) -> Gaussian:
+    """Gaussian (CLT) approximation of a sum of switched contributions."""
+    contributions = list(contributions)
+    if not contributions:
+        raise DistributionError("cannot aggregate an empty contribution set")
+    mean = 0.0
+    variance = 0.0
+    for contribution in contributions:
+        mu, var = contribution.moments()
+        p = contribution.probability
+        mean += p * mu
+        variance += p * var + p * (1.0 - p) * mu * mu
+    return Gaussian(mean, max(math.sqrt(max(variance, 0.0)), min_sigma))
+
+
+def existence_aware_sum_exact(
+    contributions: Sequence[WeightedContribution],
+    max_contributors: int = 12,
+    min_sigma: float = 1e-9,
+) -> GaussianMixture:
+    """Exact mixture over inclusion patterns (small windows only).
+
+    Each of the ``2^n`` inclusion patterns contributes one Gaussian
+    component (assuming Gaussian or deterministic values) weighted by
+    the pattern probability.  Exponential in the number of contributors,
+    hence capped at ``max_contributors``; use the CLT form beyond that.
+    """
+    contributions = list(contributions)
+    if not contributions:
+        raise DistributionError("cannot aggregate an empty contribution set")
+    if len(contributions) > max_contributors:
+        raise DistributionError(
+            f"exact enumeration over {len(contributions)} contributors exceeds the "
+            f"cap of {max_contributors}; use existence_aware_sum instead"
+        )
+    weights: List[float] = []
+    means: List[float] = []
+    sigmas: List[float] = []
+    per_item = [(c.probability,) + c.moments() for c in contributions]
+    for pattern in itertools.product((0, 1), repeat=len(contributions)):
+        weight = 1.0
+        mean = 0.0
+        variance = 0.0
+        for included, (p, mu, var) in zip(pattern, per_item):
+            weight *= p if included else (1.0 - p)
+            if included:
+                mean += mu
+                variance += var
+        if weight <= 0.0:
+            continue
+        weights.append(weight)
+        means.append(mean)
+        sigmas.append(max(math.sqrt(variance), min_sigma))
+    return GaussianMixture(weights, means, sigmas)

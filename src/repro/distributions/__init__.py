@@ -1,0 +1,88 @@
+"""Continuous random-variable substrate for the uncertainty-aware stream system.
+
+Every uncertain attribute carried by a stream tuple is an instance of
+:class:`~repro.distributions.base.Distribution`.  The package provides
+the parametric families used throughout the paper (Gaussian, Gaussian
+mixture, uniform, exponential, gamma), sample-based representations
+(particles, histograms), and the statistical machinery the relational
+operators rely on: KL-divergence compression, characteristic-function
+algebra with inversion and approximation, pairwise convolution, and
+distribution distance metrics.
+"""
+
+from .base import (
+    Distribution,
+    DistributionError,
+    ScalarDistribution,
+    UnsupportedOperationError,
+    as_rng,
+    normalize_weights,
+    weighted_mean_and_variance,
+)
+from .characteristic import (
+    SumCharacteristicFunction,
+    cf_distance,
+    fit_gaussian_to_cf,
+    fit_mixture_to_cf,
+    invert_cf_to_histogram,
+)
+from .convolution import convolve_pair, convolve_sequence
+from .empirical import HistogramDistribution, ParticleDistribution
+from .exponential import Exponential
+from .gamma import GammaDistribution
+from .gaussian import Gaussian, MultivariateGaussian
+from .kl import (
+    compress_particles,
+    fit_gaussian,
+    fit_mixture,
+    fit_multivariate_gaussian,
+    kl_divergence_grid,
+    kl_divergence_samples,
+)
+from .metrics import (
+    common_grid,
+    ks_distance,
+    total_variation_distance,
+    variance_distance,
+    wasserstein_distance,
+)
+from .mixture import GaussianMixture, fit_gmm_em, select_components
+from .uniform import Uniform
+
+__all__ = [
+    "Distribution",
+    "DistributionError",
+    "ScalarDistribution",
+    "UnsupportedOperationError",
+    "as_rng",
+    "normalize_weights",
+    "weighted_mean_and_variance",
+    "Gaussian",
+    "MultivariateGaussian",
+    "GaussianMixture",
+    "fit_gmm_em",
+    "select_components",
+    "Uniform",
+    "Exponential",
+    "GammaDistribution",
+    "ParticleDistribution",
+    "HistogramDistribution",
+    "SumCharacteristicFunction",
+    "invert_cf_to_histogram",
+    "fit_gaussian_to_cf",
+    "fit_mixture_to_cf",
+    "cf_distance",
+    "convolve_pair",
+    "convolve_sequence",
+    "compress_particles",
+    "fit_gaussian",
+    "fit_mixture",
+    "fit_multivariate_gaussian",
+    "kl_divergence_grid",
+    "kl_divergence_samples",
+    "variance_distance",
+    "ks_distance",
+    "total_variation_distance",
+    "wasserstein_distance",
+    "common_grid",
+]

@@ -1,0 +1,238 @@
+"""Characteristic-function algebra for sums of independent variables.
+
+This module implements the core statistical machinery of Section 5.1:
+
+* The characteristic function (CF) of a sum of independent random
+  variables is the *product* of the summands' CFs.  For common
+  continuous distributions the summand CFs have closed forms, so the
+  product is cheap to evaluate.
+* **CF inversion** expresses the exact result distribution with a
+  single integral (Gil-Pelaez / Fourier inversion), in contrast to the
+  ``n - 1`` nested integrals of the pairwise-convolution approach.
+* **CF approximation** fits a Gaussian or a mixture of Gaussians to the
+  closed-form CF of the sum, avoiding the inversion integral entirely
+  and achieving the best speed/accuracy balance in the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .base import Distribution, DistributionError
+from .empirical import HistogramDistribution
+from .gaussian import Gaussian
+from .mixture import GaussianMixture
+
+__all__ = [
+    "SumCharacteristicFunction",
+    "invert_cf_to_histogram",
+    "fit_gaussian_to_cf",
+    "fit_mixture_to_cf",
+    "cf_distance",
+]
+
+
+class SumCharacteristicFunction:
+    """The characteristic function of a sum of independent summands.
+
+    Parameters
+    ----------
+    summands:
+        The independent :class:`Distribution` objects being summed.
+        Each must expose :meth:`characteristic_function`; common
+        parametric families provide closed forms and empirical
+        distributions fall back to numerical integration.
+    """
+
+    def __init__(self, summands: Sequence[Distribution]):
+        summands = list(summands)
+        if not summands:
+            raise DistributionError("a sum needs at least one summand")
+        self.summands = summands
+        self._mean = float(sum(float(np.asarray(d.mean()).ravel()[0]) for d in summands))
+        self._variance = float(sum(float(np.asarray(d.variance()).ravel()[0]) for d in summands))
+        if self._variance <= 0:
+            raise DistributionError("sum of summand variances must be positive")
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of the sum (sum of summand means)."""
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Exact variance of the sum (sum of summand variances)."""
+        return self._variance
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self._variance)
+
+    def __call__(self, t: np.ndarray | float) -> np.ndarray | complex:
+        """Evaluate the product CF at ``t``."""
+        scalar = np.ndim(t) == 0
+        ts = np.atleast_1d(np.asarray(t, dtype=float))
+        out = np.ones(ts.shape, dtype=complex)
+        for dist in self.summands:
+            out *= np.asarray(dist.characteristic_function(ts), dtype=complex)
+        return complex(out[0]) if scalar else out
+
+    def standardized(self) -> Callable[[np.ndarray], np.ndarray]:
+        """Return the CF of the standardised sum ``(S - mean) / std``."""
+        mean, std = self._mean, self.std
+
+        def cf(t: np.ndarray) -> np.ndarray:
+            ts = np.asarray(t, dtype=float) / std
+            return np.asarray(self(ts), dtype=complex) * np.exp(-1j * np.asarray(t) * mean / std)
+
+        return cf
+
+
+def invert_cf_to_histogram(
+    cf: SumCharacteristicFunction,
+    n_bins: int = 256,
+    n_frequencies: int = 2048,
+    support_sigmas: float = 10.0,
+) -> HistogramDistribution:
+    """Numerically invert a characteristic function into a histogram.
+
+    Uses the Fourier inversion formula
+
+    ``f(x) = (1 / 2 pi) * Integral exp(-i t x) phi(t) dt``
+
+    evaluated by trapezoidal quadrature on a truncated frequency grid.
+    The frequency cut-off is chosen from the sum's standard deviation so
+    that the neglected tail of ``phi`` is negligible for smooth
+    distributions (the CF of a distribution with standard deviation
+    ``sigma`` decays on the scale ``1 / sigma``).
+
+    This is the "CF (inversion)" algorithm of Table 2: exact up to the
+    numerical quadrature, but noticeably slower than CF approximation
+    because of the single (dense) inversion integral per window.
+    """
+    if n_bins < 8:
+        raise ValueError("n_bins must be at least 8")
+    if n_frequencies < 64:
+        raise ValueError("n_frequencies must be at least 64")
+    mean, std = cf.mean, cf.std
+    half_width = support_sigmas * std
+    xs = np.linspace(mean - half_width, mean + half_width, n_bins + 1)
+    centers = 0.5 * (xs[:-1] + xs[1:])
+
+    t_max = 40.0 / std
+    ts = np.linspace(-t_max, t_max, n_frequencies)
+    phi = np.asarray(cf(ts), dtype=complex)
+    # Outer product: rows are frequencies, columns are evaluation points.
+    kernel = np.exp(-1j * np.outer(ts, centers))
+    integrand = kernel * phi[:, None]
+    densities = np.real(np.trapezoid(integrand, ts, axis=0)) / (2.0 * math.pi)
+    densities = np.maximum(densities, 0.0)
+    if not np.any(densities > 0):
+        raise DistributionError("CF inversion produced an all-zero density; widen the grid")
+    return HistogramDistribution(xs, densities)
+
+
+def _cumulants_from_cf(
+    cf: Callable[[np.ndarray], np.ndarray], scale: float
+) -> tuple[float, float]:
+    """Estimate the first two cumulants from a CF by finite differences.
+
+    The cumulant generating function is ``log phi(t)``; its first and
+    second derivatives at zero give ``i * mean`` and ``-variance``.
+    ``scale`` sets the finite-difference step relative to the spread of
+    the distribution.
+    """
+    h = 1e-4 / max(scale, 1e-12)
+    ts = np.array([-2 * h, -h, 0.0, h, 2 * h])
+    phi = np.asarray(cf(ts), dtype=complex)
+    log_phi = np.log(phi)
+    first = (log_phi[3] - log_phi[1]) / (2 * h)
+    second = (log_phi[3] - 2 * log_phi[2] + log_phi[1]) / (h * h)
+    mean = float(np.imag(first))
+    variance = float(-np.real(second))
+    return mean, variance
+
+
+def fit_gaussian_to_cf(cf: SumCharacteristicFunction) -> Gaussian:
+    """Fit a Gaussian to the characteristic function of a sum.
+
+    Matching the Gaussian CF ``exp(i mu t - sigma^2 t^2 / 2)`` to the
+    product CF at small ``t`` amounts to matching the first two
+    cumulants, which for a sum of independent variables are simply the
+    sums of the summand means and variances.  We use the exact cumulant
+    sums when available and fall back to numerical cumulants otherwise.
+    """
+    mean, variance = cf.mean, cf.variance
+    if not np.isfinite(mean) or not np.isfinite(variance) or variance <= 0:
+        mean, variance = _cumulants_from_cf(cf, scale=1.0)
+    if variance <= 0:
+        raise DistributionError("cannot fit a Gaussian to a CF with non-positive variance")
+    return Gaussian(mean, math.sqrt(variance))
+
+
+def fit_mixture_to_cf(
+    cf: SumCharacteristicFunction,
+    n_components: int = 2,
+    n_frequencies: int = 64,
+    max_iter: int = 200,
+) -> GaussianMixture:
+    """Fit a Gaussian mixture to a characteristic function by least squares.
+
+    The mixture parameters are found by minimising the squared error
+    between the mixture CF and the target CF on a frequency grid whose
+    extent is matched to the spread of the sum.  A single-component fit
+    reduces to :func:`fit_gaussian_to_cf`.
+    """
+    if n_components < 1:
+        raise ValueError("n_components must be at least 1")
+    base = fit_gaussian_to_cf(cf)
+    if n_components == 1:
+        return GaussianMixture.single(base)
+
+    from scipy.optimize import least_squares
+
+    std = cf.std
+    ts = np.linspace(-4.0 / std, 4.0 / std, n_frequencies)
+    target = np.asarray(cf(ts), dtype=complex)
+
+    # Parameterise: logits for weights, means, log-sigmas.
+    init_means = base.mu + base.sigma * np.linspace(-0.5, 0.5, n_components)
+    init_log_sigmas = np.full(n_components, math.log(base.sigma))
+    init_logits = np.zeros(n_components)
+    x0 = np.concatenate([init_logits, init_means, init_log_sigmas])
+
+    def unpack(x: np.ndarray) -> GaussianMixture:
+        logits = x[:n_components]
+        means = x[n_components : 2 * n_components]
+        sigmas = np.exp(np.clip(x[2 * n_components :], -30.0, 30.0))
+        weights = np.exp(logits - logits.max())
+        weights = weights / weights.sum()
+        return GaussianMixture(weights, means, np.maximum(sigmas, 1e-9))
+
+    def residuals(x: np.ndarray) -> np.ndarray:
+        mixture = unpack(x)
+        phi = np.asarray(mixture.characteristic_function(ts), dtype=complex)
+        diff = phi - target
+        return np.concatenate([diff.real, diff.imag])
+
+    result = least_squares(residuals, x0, max_nfev=max_iter, xtol=1e-10, ftol=1e-10)
+    return unpack(result.x)
+
+
+def cf_distance(
+    a: Distribution, b: Distribution, scale: float, n_frequencies: int = 128
+) -> float:
+    """Return an L2 distance between two CFs on a matched frequency grid.
+
+    Useful as a cheap diagnostic of how well an approximation captures a
+    target distribution without inverting either CF.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    ts = np.linspace(-4.0 / scale, 4.0 / scale, n_frequencies)
+    phi_a = np.asarray(a.characteristic_function(ts), dtype=complex)
+    phi_b = np.asarray(b.characteristic_function(ts), dtype=complex)
+    return float(np.sqrt(np.mean(np.abs(phi_a - phi_b) ** 2)))

@@ -1,0 +1,196 @@
+"""KL-divergence based compression of sample distributions.
+
+Section 4.3: to avoid shipping tens or hundreds of particles in every
+tuple, the T operator converts a sample-based tuple-level distribution
+``p_hat = {(x_i, w_i)}`` into an approximate parametric distribution
+``q`` by minimising ``KL(p_hat || q)``.
+
+* For a Gaussian target the optimum is available in closed form:
+  ``mu = sum_i w_i x_i`` and ``sigma^2 = sum_i w_i (x_i - mu)^2``
+  (two passes over the sample list).
+* For a Gaussian-mixture target, minimising the KL divergence is
+  equivalent to maximising the weighted log-likelihood, which we do
+  with weighted EM; the number of components is selected by AIC/BIC.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from .base import DistributionError, ScalarDistribution, normalize_weights
+from .empirical import ParticleDistribution
+from .gaussian import Gaussian, MultivariateGaussian
+from .mixture import GaussianMixture, fit_gmm_em, select_components
+
+__all__ = [
+    "kl_divergence_samples",
+    "kl_divergence_grid",
+    "fit_gaussian",
+    "fit_multivariate_gaussian",
+    "fit_mixture",
+    "compress_particles",
+]
+
+
+def kl_divergence_samples(
+    values: Sequence[float],
+    weights: Sequence[float] | None,
+    target: ScalarDistribution,
+) -> float:
+    """Return ``KL(p_hat || target)`` for a weighted sample ``p_hat``.
+
+    This follows the formula in Section 4.3 of the paper:
+    ``KL(p_hat||q) = sum_i w_i log(w_i / q(x_i))``.  The value is only
+    defined up to the (constant) entropy of the discrete weights, so it
+    should be used to *compare* candidate targets for the same sample,
+    not as an absolute quantity.
+    """
+    values = np.asarray(values, dtype=float)
+    if weights is None:
+        weights_arr = np.full(values.size, 1.0 / max(values.size, 1))
+    else:
+        weights_arr = normalize_weights(weights)
+    if values.size == 0:
+        raise DistributionError("cannot compute KL divergence of an empty sample")
+    q = np.maximum(np.asarray(target.pdf(values), dtype=float), 1e-300)
+    return float(np.sum(weights_arr * (np.log(np.maximum(weights_arr, 1e-300)) - np.log(q))))
+
+
+def kl_divergence_grid(
+    p: ScalarDistribution, q: ScalarDistribution, n_points: int = 2048
+) -> float:
+    """Return ``KL(p || q)`` by numerical integration on a shared grid."""
+    lo_p, hi_p = p.support()
+    lo_q, hi_q = q.support()
+    lo, hi = min(lo_p, lo_q), max(hi_p, hi_q)
+    grid = np.linspace(lo, hi, n_points)
+    dens_p = np.maximum(np.asarray(p.pdf(grid), dtype=float), 0.0)
+    dens_q = np.maximum(np.asarray(q.pdf(grid), dtype=float), 1e-300)
+    mask = dens_p > 0
+    integrand = np.zeros_like(dens_p)
+    integrand[mask] = dens_p[mask] * (np.log(dens_p[mask]) - np.log(dens_q[mask]))
+    return float(np.trapezoid(integrand, grid))
+
+
+def fit_gaussian(
+    values: Sequence[float], weights: Sequence[float] | None = None, min_sigma: float = 1e-9
+) -> Gaussian:
+    """Return the KL-optimal Gaussian for a weighted sample.
+
+    Two passes over the sample list, exactly as the paper describes:
+    the optimal parameters are the weighted mean and weighted variance.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise DistributionError("cannot fit a Gaussian to an empty sample")
+    if weights is None:
+        weights_arr = np.full(values.size, 1.0 / values.size)
+    else:
+        weights_arr = normalize_weights(weights)
+        if weights_arr.shape != values.shape:
+            raise DistributionError("weights must match values in shape")
+    mu = float(np.dot(weights_arr, values))
+    var = float(np.dot(weights_arr, (values - mu) ** 2))
+    return Gaussian(mu, max(math.sqrt(var), min_sigma))
+
+
+def fit_multivariate_gaussian(
+    points: Sequence[Sequence[float]],
+    weights: Sequence[float] | None = None,
+    min_var: float = 1e-12,
+) -> MultivariateGaussian:
+    """Return the KL-optimal multivariate Gaussian for weighted points.
+
+    Used to compress multi-dimensional particle clouds, e.g. the
+    ``(x, y)`` or ``(x, y, z)`` location particles of an RFID-tagged
+    object.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[0] == 0:
+        raise DistributionError("points must form a non-empty (n, d) array")
+    n, d = pts.shape
+    if weights is None:
+        w = np.full(n, 1.0 / n)
+    else:
+        w = normalize_weights(weights)
+        if w.shape != (n,):
+            raise DistributionError("weights must have one entry per point")
+    mean = w @ pts
+    centered = pts - mean
+    cov = (centered * w[:, None]).T @ centered
+    cov += min_var * np.eye(d)
+    return MultivariateGaussian(mean, cov)
+
+
+def fit_mixture(
+    values: Sequence[float],
+    weights: Sequence[float] | None = None,
+    n_components: int | None = None,
+    max_components: int = 4,
+    criterion: str = "bic",
+    rng=None,
+) -> GaussianMixture:
+    """Fit a Gaussian mixture to a weighted sample.
+
+    If ``n_components`` is given, fit exactly that many components with
+    weighted EM; otherwise select the component count with AIC/BIC as
+    Section 4.3 prescribes.
+    """
+    if n_components is not None:
+        return fit_gmm_em(values, n_components, weights=weights, rng=rng)
+    return select_components(
+        values, weights=weights, max_components=max_components, criterion=criterion, rng=rng
+    )
+
+
+def compress_particles(
+    particles: ParticleDistribution,
+    max_components: int = 3,
+    criterion: str = "bic",
+    single_component_threshold: float = 0.0,
+    rng=None,
+) -> ScalarDistribution:
+    """Compress a particle distribution into a Gaussian or Gaussian mixture.
+
+    This is the tuple-compression step a T operator applies before
+    emitting a tuple.  When ``max_components == 1`` (or the selection
+    criterion prefers one component) the result is a plain
+    :class:`Gaussian`, which downstream CF-based operators can exploit
+    for closed-form computation.
+
+    Parameters
+    ----------
+    particles:
+        The weighted sample produced by inference.
+    max_components:
+        Upper bound on mixture components to consider.
+    criterion:
+        ``"aic"`` or ``"bic"``.
+    single_component_threshold:
+        If the relative improvement of the selected mixture over the
+        single Gaussian (measured by sample KL divergence) is below this
+        threshold, prefer the cheaper single Gaussian.
+    rng:
+        Random generator or seed for EM initialisation.
+    """
+    gaussian = fit_gaussian(particles.values, particles.weights)
+    if max_components <= 1:
+        return gaussian
+    mixture = fit_mixture(
+        particles.values,
+        particles.weights,
+        max_components=max_components,
+        criterion=criterion,
+        rng=rng,
+    )
+    if mixture.n_components == 1:
+        return gaussian
+    if single_component_threshold > 0.0:
+        kl_gauss = kl_divergence_samples(particles.values, particles.weights, gaussian)
+        kl_mix = kl_divergence_samples(particles.values, particles.weights, mixture)
+        if kl_gauss - kl_mix < single_component_threshold * max(abs(kl_gauss), 1e-12):
+            return gaussian
+    return mixture

@@ -1,0 +1,80 @@
+"""Resampling schemes and effective-sample-size diagnostics for particle filters."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions import DistributionError, normalize_weights
+
+__all__ = [
+    "effective_sample_size",
+    "systematic_resample",
+    "stratified_resample",
+    "multinomial_resample",
+    "residual_resample",
+]
+
+
+def effective_sample_size(weights: np.ndarray) -> float:
+    """Return ``1 / sum(w_i^2)`` for normalised weights.
+
+    The ESS measures how many particles are effectively contributing;
+    filters resample when it falls below a fraction of the particle
+    count.
+    """
+    w = normalize_weights(weights)
+    return float(1.0 / np.sum(w ** 2))
+
+
+def _check_count(n: int) -> None:
+    if n < 1:
+        raise ValueError("resample count must be at least 1")
+
+
+def systematic_resample(weights: np.ndarray, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Systematic resampling: one random offset, evenly spaced positions.
+
+    Lowest variance of the classical schemes and O(n); the default used
+    by the RFID particle filter.
+    """
+    _check_count(n)
+    w = normalize_weights(weights)
+    positions = (rng.random() + np.arange(n)) / n
+    cumulative = np.cumsum(w)
+    cumulative[-1] = 1.0
+    return np.searchsorted(cumulative, positions)
+
+
+def stratified_resample(weights: np.ndarray, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Stratified resampling: one uniform draw per stratum."""
+    _check_count(n)
+    w = normalize_weights(weights)
+    positions = (rng.random(n) + np.arange(n)) / n
+    cumulative = np.cumsum(w)
+    cumulative[-1] = 1.0
+    return np.searchsorted(cumulative, positions)
+
+
+def multinomial_resample(weights: np.ndarray, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Plain multinomial resampling (highest variance, simplest)."""
+    _check_count(n)
+    w = normalize_weights(weights)
+    return rng.choice(w.size, size=n, p=w)
+
+
+def residual_resample(weights: np.ndarray, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Residual resampling: deterministic copies plus multinomial residuals."""
+    _check_count(n)
+    w = normalize_weights(weights)
+    counts = np.floor(n * w).astype(int)
+    indices = np.repeat(np.arange(w.size), counts)
+    remaining = n - indices.size
+    if remaining > 0:
+        residuals = n * w - counts
+        total = residuals.sum()
+        if total <= 0:
+            extra = rng.choice(w.size, size=remaining)
+        else:
+            extra = rng.choice(w.size, size=remaining, p=residuals / total)
+        indices = np.concatenate([indices, extra])
+    return indices

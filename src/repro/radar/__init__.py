@@ -1,0 +1,72 @@
+"""Hazardous weather monitoring application (Section 2.2 / 4.4).
+
+Synthetic CASA-style radar substrate: scan geometry, weather scenes
+with tornado vortices, raw pulse generation, pulse-pair moment
+computation with configurable averaging, MA time-series modelling with
+CLT aggregation, multi-radar merging, tornado detection, and the radar
+data capture and transformation (T) operator.
+"""
+
+from .clt import (
+    long_run_variance,
+    mean_distribution_from_series,
+    sum_distribution_from_series,
+)
+from .detection import DetectionResult, VortexDetection, detect_vortices, run_detection
+from .geometry import (
+    PolarCell,
+    RadarSite,
+    beam_positions,
+    cartesian_to_polar,
+    polar_to_cartesian,
+)
+from .merge import CartesianGrid, MergedCell, MergedField, merge_moment_fields
+from .moment import MOMENT_BYTES_PER_VOXEL, MomentField, compute_moments
+from .pulse_generator import RAW_BYTES_PER_GATE, PulseBlock, PulseGenerator, SectorScan
+from .scene import StormCell, Vortex, WeatherScene
+from .timeseries import (
+    MAModel,
+    fit_ma_innovations,
+    identify_ma_order,
+    ljung_box,
+    sample_autocorrelation,
+    sample_autocovariance,
+)
+from .transform_operator import RadarTransformOperator, pulse_pair_velocity_series
+
+__all__ = [
+    "RadarSite",
+    "PolarCell",
+    "polar_to_cartesian",
+    "cartesian_to_polar",
+    "beam_positions",
+    "WeatherScene",
+    "Vortex",
+    "StormCell",
+    "PulseGenerator",
+    "PulseBlock",
+    "SectorScan",
+    "RAW_BYTES_PER_GATE",
+    "MomentField",
+    "compute_moments",
+    "MOMENT_BYTES_PER_VOXEL",
+    "DetectionResult",
+    "VortexDetection",
+    "detect_vortices",
+    "run_detection",
+    "MAModel",
+    "sample_autocovariance",
+    "sample_autocorrelation",
+    "identify_ma_order",
+    "fit_ma_innovations",
+    "ljung_box",
+    "long_run_variance",
+    "mean_distribution_from_series",
+    "sum_distribution_from_series",
+    "CartesianGrid",
+    "MergedCell",
+    "MergedField",
+    "merge_moment_fields",
+    "RadarTransformOperator",
+    "pulse_pair_velocity_series",
+]

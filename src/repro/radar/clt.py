@@ -1,0 +1,63 @@
+"""Central Limit Theorem aggregation for correlated radar series.
+
+Section 4.4 / 5.1: once a velocity sub-series is identified as MA-like,
+the distribution of its average (or sum) follows from the CLT for time
+series -- asymptotically Gaussian with a variance determined by the
+autocovariances -- without fitting the MA coefficients precisely.  The
+mean and variance can be estimated from the sample mean and the sample
+autocovariance function in at most two scans of the data.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.distributions import Gaussian
+
+from .timeseries import identify_ma_order, sample_autocovariance
+
+__all__ = ["mean_distribution_from_series", "sum_distribution_from_series", "long_run_variance"]
+
+
+def long_run_variance(series: Sequence[float], ma_order: Optional[int] = None) -> float:
+    """Return the long-run variance ``gamma_0 + 2 * sum_{k<=q} gamma_k``.
+
+    The MA order is identified from the data when not supplied.  The
+    long-run variance is what replaces the i.i.d. variance in the CLT
+    for dependent data.
+    """
+    x = np.asarray(series, dtype=float)
+    if x.size < 3:
+        raise ValueError("series must contain at least three observations")
+    if ma_order is None:
+        ma_order = identify_ma_order(x)
+    ma_order = min(ma_order, x.size - 2)
+    gammas = sample_autocovariance(x, ma_order)
+    variance = float(gammas[0] + 2.0 * np.sum(gammas[1:]))
+    return max(variance, 1e-12)
+
+
+def mean_distribution_from_series(
+    series: Sequence[float], ma_order: Optional[int] = None
+) -> Gaussian:
+    """Return the asymptotic distribution of the sample mean of an MA series.
+
+    ``mean ~ N(x_bar, long_run_variance / n)``.  This is exactly the
+    tuple-level distribution the radar T operator attaches to each
+    averaged moment value.
+    """
+    x = np.asarray(series, dtype=float)
+    variance = long_run_variance(x, ma_order) / x.size
+    return Gaussian(float(x.mean()), math.sqrt(variance))
+
+
+def sum_distribution_from_series(
+    series: Sequence[float], ma_order: Optional[int] = None
+) -> Gaussian:
+    """Return the asymptotic distribution of the sum of an MA series."""
+    x = np.asarray(series, dtype=float)
+    variance = long_run_variance(x, ma_order) * x.size
+    return Gaussian(float(x.sum()), math.sqrt(variance))

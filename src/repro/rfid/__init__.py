@@ -1,0 +1,37 @@
+"""RFID object tracking and monitoring application (Section 2.1 / 4.1).
+
+Ground-truth warehouse world, mobile-reader trace simulation, the
+logistic sensing model, per-object motion models, the RFID data capture
+and transformation (T) operator built on factorised particle filtering,
+and the paper's example queries Q1 and Q2.
+"""
+
+from .motion_model import RandomWalkWithJumps, build_object_model, uniform_prior
+from .queries import (
+    FireCodeMonitor,
+    area_membership_probabilities,
+    build_flammable_alert_join,
+)
+from .sensor_model import DetectionModel, DetectionObservation, RFIDObservationModel
+from .simulator import MobileReaderSimulator, RFIDReading, lawnmower_path
+from .transform_operator import RFIDTransformOperator
+from .world import Shelf, TaggedObject, WarehouseWorld
+
+__all__ = [
+    "WarehouseWorld",
+    "Shelf",
+    "TaggedObject",
+    "DetectionModel",
+    "DetectionObservation",
+    "RFIDObservationModel",
+    "RandomWalkWithJumps",
+    "uniform_prior",
+    "build_object_model",
+    "MobileReaderSimulator",
+    "RFIDReading",
+    "lawnmower_path",
+    "RFIDTransformOperator",
+    "FireCodeMonitor",
+    "area_membership_probabilities",
+    "build_flammable_alert_join",
+]

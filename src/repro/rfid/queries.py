@@ -1,0 +1,232 @@
+"""The paper's example monitoring queries Q1 and Q2 over RFID streams.
+
+Q1 (fire-code monitoring): per 5-second window, group objects by the
+square-foot shelf area they are in and report areas whose total object
+weight exceeds 200 pounds.  Because object locations are uncertain,
+*group membership* is uncertain: each object belongs to each area with
+some probability.  :class:`FireCodeMonitor` propagates that uncertainty
+into a per-area total-weight distribution (a sum of independent
+weight-scaled Bernoullis, approximated with a Gaussian via the CLT) and
+applies the HAVING clause probabilistically.
+
+Q2 (flammable-object alerts): join the object-location stream with a
+temperature stream on probabilistic location equality, keeping
+flammable objects and temperatures above 60 degrees C.
+:func:`build_flammable_alert_join` wires the corresponding plan from
+the generic core operators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core import (
+    Comparison,
+    ProbabilisticJoin,
+    ProbabilisticSelect,
+    UncertainPredicate,
+    match_probability_band,
+)
+from repro.distributions import Distribution, Gaussian
+from repro.streams import Filter, StreamTuple, TumblingTimeWindow, WindowBuffer
+from repro.streams.operators.base import Operator, OperatorError
+
+__all__ = [
+    "area_membership_probabilities",
+    "FireCodeMonitor",
+    "build_flammable_alert_join",
+]
+
+
+def area_membership_probabilities(
+    x_dist: Distribution,
+    y_dist: Distribution,
+    cell_size: float,
+    min_probability: float = 1e-3,
+) -> Dict[Tuple[int, int], float]:
+    """Return the probability that a location falls in each grid cell.
+
+    Cells are axis-aligned squares of side ``cell_size`` (the "square
+    foot of shelf area" in Q1 for ``cell_size=1``).  Assuming the x and
+    y marginals are independent (which holds for the per-axis
+    compressed distributions emitted by the T operator), the cell
+    probability factorises into a product of interval probabilities.
+    Cells with probability below ``min_probability`` are dropped.
+    """
+    if cell_size <= 0:
+        raise ValueError("cell_size must be positive")
+    probabilities: Dict[Tuple[int, int], float] = {}
+    x_lo, x_hi = x_dist.support()
+    y_lo, y_hi = y_dist.support()
+    ix_lo, ix_hi = int(math.floor(x_lo / cell_size)), int(math.floor(x_hi / cell_size))
+    iy_lo, iy_hi = int(math.floor(y_lo / cell_size)), int(math.floor(y_hi / cell_size))
+    x_probs = {
+        ix: x_dist.prob_in_interval(ix * cell_size, (ix + 1) * cell_size)
+        for ix in range(ix_lo, ix_hi + 1)
+    }
+    y_probs = {
+        iy: y_dist.prob_in_interval(iy * cell_size, (iy + 1) * cell_size)
+        for iy in range(iy_lo, iy_hi + 1)
+    }
+    for ix, px in x_probs.items():
+        if px < min_probability:
+            continue
+        for iy, py in y_probs.items():
+            prob = px * py
+            if prob >= min_probability:
+                probabilities[(ix, iy)] = prob
+    return probabilities
+
+
+class FireCodeMonitor(Operator):
+    """Q1: per-window, per-area total-weight monitoring under uncertainty.
+
+    Parameters
+    ----------
+    window_length:
+        The outer query window (5 seconds in the paper).
+    weight_of:
+        Lookup ``tag_id -> weight`` in pounds (the ``weight(R.tag_id)``
+        function of Q1).
+    cell_size:
+        Side of the square area cells in feet.
+    weight_limit:
+        The fire-code threshold (200 pounds in the paper).
+    min_violation_probability:
+        Report an area only if the probability that its total weight
+        exceeds the limit is at least this value.
+    dedupe_per_window:
+        Objects can be reported several times inside one window (once
+        per scan); when True only the latest tuple per object in the
+        window contributes.
+    """
+
+    def __init__(
+        self,
+        weight_of: Callable[[str], float],
+        window_length: float = 5.0,
+        cell_size: float = 1.0,
+        weight_limit: float = 200.0,
+        min_violation_probability: float = 0.5,
+        dedupe_per_window: bool = True,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        if weight_limit <= 0:
+            raise OperatorError("weight_limit must be positive")
+        if not 0.0 <= min_violation_probability <= 1.0:
+            raise OperatorError("min_violation_probability must lie in [0, 1]")
+        self.weight_of = weight_of
+        self.cell_size = cell_size
+        self.weight_limit = weight_limit
+        self.min_violation_probability = min_violation_probability
+        self.dedupe_per_window = dedupe_per_window
+        self._window = TumblingTimeWindow(window_length)
+        self._buffer: WindowBuffer = self._window.new_buffer()
+
+    def _window_results(self, close) -> Iterable[StreamTuple]:
+        items = list(close.items)
+        if not items:
+            return
+        if self.dedupe_per_window:
+            latest: Dict[str, StreamTuple] = {}
+            for item in items:
+                latest[item.value("tag_id")] = item
+            items = list(latest.values())
+
+        # Aggregate each area's total weight as a sum of independent
+        # weight-scaled Bernoulli memberships; approximate with a
+        # Gaussian via the CLT (mean = sum w_i p_i, var = sum w_i^2 p_i (1 - p_i)).
+        mean_by_area: Dict[Tuple[int, int], float] = {}
+        var_by_area: Dict[Tuple[int, int], float] = {}
+        lineage_by_area: Dict[Tuple[int, int], set] = {}
+        for item in items:
+            weight = float(self.weight_of(item.value("tag_id")))
+            memberships = area_membership_probabilities(
+                item.distribution("x"), item.distribution("y"), self.cell_size
+            )
+            for area, prob in memberships.items():
+                mean_by_area[area] = mean_by_area.get(area, 0.0) + weight * prob
+                var_by_area[area] = var_by_area.get(area, 0.0) + weight ** 2 * prob * (1.0 - prob)
+                lineage_by_area.setdefault(area, set()).update(item.lineage)
+
+        for area in sorted(mean_by_area):
+            mean = mean_by_area[area]
+            sigma = math.sqrt(max(var_by_area[area], 1e-12))
+            total = Gaussian(mean, sigma)
+            violation_probability = total.prob_greater_than(self.weight_limit)
+            if violation_probability < self.min_violation_probability:
+                continue
+            yield StreamTuple(
+                timestamp=close.end,
+                values={
+                    "area": area,
+                    "window_start": close.start,
+                    "window_end": close.end,
+                    "violation_probability": violation_probability,
+                    "total_weight_mean": mean,
+                },
+                uncertain={"total_weight": total},
+                lineage=frozenset(lineage_by_area[area]),
+            )
+
+    def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
+        for close in self._buffer.add(item):
+            yield from self._window_results(close)
+
+    def flush(self) -> Iterable[StreamTuple]:
+        for close in self._buffer.flush():
+            yield from self._window_results(close)
+
+
+def build_flammable_alert_join(
+    object_type_of: Callable[[str], str],
+    temperature_threshold: float = 60.0,
+    location_tolerance: float = 2.0,
+    window_length: float = 3.0,
+    min_match_probability: float = 0.25,
+    min_temperature_probability: float = 0.5,
+) -> Tuple[Operator, Operator, ProbabilisticJoin]:
+    """Build the Q2 plan and return ``(rfid_entry, temperature_entry, join)``.
+
+    The RFID side filters to flammable objects (a deterministic
+    predicate on ``object_type(tag_id)``); the temperature side applies
+    the probabilistic ``temp > 60`` selection; the two sides meet in a
+    sliding-window probabilistic join on location equality within
+    ``location_tolerance`` feet.  Connect downstream consumers to the
+    returned join operator.
+    """
+    flammable_filter = Filter(
+        lambda item: object_type_of(item.value("tag_id")) == "flammable",
+        name="Q2.flammable_filter",
+    )
+    temperature_select = ProbabilisticSelect(
+        UncertainPredicate("temp", Comparison.GREATER, temperature_threshold),
+        min_probability=min_temperature_probability,
+        name="Q2.temp_select",
+    )
+
+    def match_probability(left: StreamTuple, right: StreamTuple) -> float:
+        px = match_probability_band(
+            left.distribution("x"), right.distribution("x"), location_tolerance
+        )
+        py = match_probability_band(
+            left.distribution("y"), right.distribution("y"), location_tolerance
+        )
+        return px * py
+
+    join = ProbabilisticJoin(
+        window_length=window_length,
+        match_probability=match_probability,
+        min_probability=min_match_probability,
+        prefix_left="obj_",
+        prefix_right="temp_",
+        name="Q2.location_join",
+    )
+    flammable_filter.connect(join.left_port())
+    temperature_select.connect(join.right_port())
+    return flammable_filter, temperature_select, join

@@ -1,0 +1,82 @@
+"""Stream-processing substrate: tuples, windows, operators, engine, lineage.
+
+This package implements the conventional data-stream machinery the
+paper builds on (the box-arrow paradigm of Section 3): tuples that flow
+along arrows between operator boxes, CQL-style window specifications,
+a push-based execution engine, and lineage tracking/archival.  The
+uncertainty-aware operators that constitute the paper's contribution
+live in :mod:`repro.core` and plug into this substrate.
+"""
+
+from .engine import EngineError, StreamEngine, run_plan
+from .lineage import TupleArchive, are_independent, correlation_groups
+from .operators import (
+    AttributeDeriver,
+    CallbackSink,
+    CollectSink,
+    Filter,
+    FunctionOperator,
+    Map,
+    Operator,
+    OperatorError,
+    PassThroughOperator,
+    Union,
+)
+from .schema import Attribute, AttributeKind, Schema, SchemaError
+from .serialization import (
+    decode_distribution,
+    decode_tuple,
+    distribution_size_bytes,
+    encode_distribution,
+    encode_tuple,
+    tuple_size_bytes,
+)
+from .tuples import StreamTuple, TupleId, next_tuple_id
+from .windows import (
+    NowWindow,
+    SlidingTimeWindow,
+    TumblingCountWindow,
+    TumblingTimeWindow,
+    WindowBuffer,
+    WindowSpec,
+    iter_windows,
+)
+
+__all__ = [
+    "StreamTuple",
+    "TupleId",
+    "next_tuple_id",
+    "Schema",
+    "Attribute",
+    "AttributeKind",
+    "SchemaError",
+    "WindowSpec",
+    "WindowBuffer",
+    "TumblingCountWindow",
+    "TumblingTimeWindow",
+    "SlidingTimeWindow",
+    "NowWindow",
+    "iter_windows",
+    "Operator",
+    "OperatorError",
+    "FunctionOperator",
+    "PassThroughOperator",
+    "Filter",
+    "Map",
+    "AttributeDeriver",
+    "Union",
+    "CollectSink",
+    "CallbackSink",
+    "StreamEngine",
+    "EngineError",
+    "run_plan",
+    "TupleArchive",
+    "are_independent",
+    "correlation_groups",
+    "encode_distribution",
+    "decode_distribution",
+    "distribution_size_bytes",
+    "encode_tuple",
+    "decode_tuple",
+    "tuple_size_bytes",
+]

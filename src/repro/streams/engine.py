@@ -1,0 +1,192 @@
+"""Push-based execution engine for box-arrow query plans.
+
+The :class:`StreamEngine` owns a set of operators (boxes) and the
+connections between them (arrows), accepts tuples from named sources,
+and pushes each tuple through the plan depth-first.  The engine is
+single-threaded and deterministic: the paper's performance numbers come
+from algorithmic choices inside the operators, not from parallel
+execution, so a simple engine keeps experiments reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .operators.base import Operator, OperatorError
+from .tuples import StreamTuple
+
+__all__ = ["StreamEngine", "EngineError"]
+
+
+class EngineError(Exception):
+    """Raised for plan-construction or execution errors."""
+
+
+class StreamEngine:
+    """Executes a DAG of operators over pushed tuples.
+
+    Typical use::
+
+        engine = StreamEngine()
+        engine.add_source("rfid", t_operator)
+        t_operator.connect(select)
+        select.connect(aggregate)
+        aggregate.connect(sink)
+        engine.register(select, aggregate, sink)
+
+        for item in stream:
+            engine.push("rfid", item)
+        engine.finish()
+    """
+
+    def __init__(self) -> None:
+        self._sources: Dict[str, Operator] = {}
+        self._operators: List[Operator] = []
+
+    # ------------------------------------------------------------------
+    # Plan construction
+    # ------------------------------------------------------------------
+    def add_source(self, name: str, operator: Operator) -> Operator:
+        """Register ``operator`` as the entry point for source ``name``."""
+        if name in self._sources:
+            raise EngineError(f"source {name!r} is already registered")
+        self._sources[name] = operator
+        self.register(operator)
+        return operator
+
+    def register(self, *operators: Operator) -> None:
+        """Register operators so the engine can flush and inspect them."""
+        for op in operators:
+            if op not in self._operators:
+                self._operators.append(op)
+
+    def _discover(self) -> List[Operator]:
+        """Return all operators reachable from sources plus registered ones."""
+        seen: List[Operator] = []
+        queue = deque(self._operators)
+        while queue:
+            op = queue.popleft()
+            if op in seen:
+                continue
+            seen.append(op)
+            queue.extend(op.downstream)
+        return seen
+
+    @property
+    def operators(self) -> Sequence[Operator]:
+        return tuple(self._discover())
+
+    def validate(self) -> None:
+        """Check that the plan is a DAG (no operator reachable from itself)."""
+        for start in self._discover():
+            stack = list(start.downstream)
+            visited = set()
+            while stack:
+                op = stack.pop()
+                if op is start:
+                    raise EngineError(f"cycle detected through operator {start.name!r}")
+                if id(op) in visited:
+                    continue
+                visited.add(id(op))
+                stack.extend(op.downstream)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def push(self, source: str, item: StreamTuple) -> None:
+        """Push one tuple into the plan via the named source."""
+        try:
+            entry = self._sources[source]
+        except KeyError as exc:
+            raise EngineError(f"unknown source {source!r}") from exc
+        self._propagate(entry, item)
+
+    def push_many(self, source: str, items: Iterable[StreamTuple]) -> None:
+        """Push a sequence of tuples into the plan via the named source."""
+        for item in items:
+            self.push(source, item)
+
+    def _propagate(self, operator: Operator, item: StreamTuple) -> None:
+        try:
+            outputs = operator.accept(item)
+        except OperatorError:
+            raise
+        for out in outputs:
+            for downstream in operator.downstream:
+                self._propagate(downstream, out)
+
+    def finish(self) -> None:
+        """Flush every operator in topological order (end of stream)."""
+        for op in self._topological_order():
+            outputs = op.finish()
+            for out in outputs:
+                for downstream in op.downstream:
+                    self._propagate(downstream, out)
+
+    def _topological_order(self) -> List[Operator]:
+        ops = self._discover()
+        indegree: Dict[int, int] = {id(op): 0 for op in ops}
+        by_id: Dict[int, Operator] = {id(op): op for op in ops}
+        for op in ops:
+            for nxt in op.downstream:
+                indegree[id(nxt)] = indegree.get(id(nxt), 0) + 1
+                by_id.setdefault(id(nxt), nxt)
+        queue = deque(op for op in ops if indegree[id(op)] == 0)
+        order: List[Operator] = []
+        while queue:
+            op = queue.popleft()
+            order.append(op)
+            for nxt in op.downstream:
+                indegree[id(nxt)] -= 1
+                if indegree[id(nxt)] == 0:
+                    queue.append(nxt)
+        if len(order) != len(by_id):
+            raise EngineError("cannot flush a plan containing cycles")
+        return order
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def statistics(self) -> List[Tuple[str, int, int]]:
+        """Return ``(operator name, tuples in, tuples out)`` for every box."""
+        return [(op.name, op.tuples_in, op.tuples_out) for op in self._discover()]
+
+    def reset(self) -> None:
+        """Reset per-operator counters (does not clear operator state)."""
+        for op in self._discover():
+            op.reset_counters()
+
+
+def run_plan(
+    source_operator: Operator,
+    items: Iterable[StreamTuple],
+    sink: Optional[Operator] = None,
+) -> List[StreamTuple]:
+    """Convenience helper: run ``items`` through a linear plan and collect results.
+
+    If ``sink`` is None, a :class:`~repro.streams.operators.basic.CollectSink`
+    is appended to the last operator reachable from ``source_operator``.
+    """
+    from .operators.basic import CollectSink
+
+    engine = StreamEngine()
+    engine.add_source("input", source_operator)
+    if sink is None:
+        # Find the terminal operator by walking single-output chains.
+        tail = source_operator
+        seen = {id(tail)}
+        while tail.downstream:
+            if len(tail.downstream) != 1:
+                raise EngineError("run_plan requires a linear plan or an explicit sink")
+            tail = tail.downstream[0]
+            if id(tail) in seen:
+                raise EngineError("cycle detected in plan")
+            seen.add(id(tail))
+        sink = CollectSink()
+        tail.connect(sink)
+    engine.push_many("input", items)
+    engine.finish()
+    if not isinstance(sink, Operator) or not hasattr(sink, "results"):
+        raise EngineError("sink must expose a 'results' list")
+    return list(sink.results)  # type: ignore[attr-defined]

@@ -1,0 +1,17 @@
+"""Operator boxes for the box-arrow stream architecture."""
+
+from .base import FunctionOperator, Operator, OperatorError, PassThroughOperator
+from .basic import AttributeDeriver, CallbackSink, CollectSink, Filter, Map, Union
+
+__all__ = [
+    "Operator",
+    "OperatorError",
+    "FunctionOperator",
+    "PassThroughOperator",
+    "Filter",
+    "Map",
+    "AttributeDeriver",
+    "Union",
+    "CollectSink",
+    "CallbackSink",
+]

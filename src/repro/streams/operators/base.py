@@ -1,0 +1,120 @@
+"""Operator base classes for the box-arrow stream architecture.
+
+Following the box-arrow paradigm (Aurora-style) described in Section 3,
+a query plan is a directed acyclic graph in which every *box* is an
+:class:`Operator` and every *arrow* is a connection along which tuples
+flow.  Operators are push-based: the engine calls :meth:`Operator.process`
+with each input tuple and forwards everything the operator emits to its
+downstream boxes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from ..schema import Schema
+from ..tuples import StreamTuple
+
+__all__ = ["Operator", "FunctionOperator", "PassThroughOperator", "OperatorError"]
+
+
+class OperatorError(Exception):
+    """Raised when an operator is misconfigured or misused."""
+
+
+class Operator(abc.ABC):
+    """A query-plan box that transforms an input stream into an output stream.
+
+    Subclasses implement :meth:`process` (per tuple) and optionally
+    :meth:`flush` (end of stream).  An operator may declare an
+    ``input_schema`` against which incoming tuples are validated.
+    """
+
+    def __init__(self, name: Optional[str] = None, input_schema: Optional[Schema] = None):
+        self.name = name or type(self).__name__
+        self.input_schema = input_schema
+        self._downstream: List["Operator"] = []
+        self.tuples_in = 0
+        self.tuples_out = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def connect(self, downstream: "Operator") -> "Operator":
+        """Connect this operator's output to ``downstream`` and return it.
+
+        Returning the downstream operator allows fluent chaining:
+        ``source.connect(select).connect(aggregate)``.
+        """
+        if downstream is self:
+            raise OperatorError("an operator cannot be connected to itself")
+        self._downstream.append(downstream)
+        return downstream
+
+    @property
+    def downstream(self) -> Sequence["Operator"]:
+        return tuple(self._downstream)
+
+    # ------------------------------------------------------------------
+    # Processing
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
+        """Consume one input tuple and yield zero or more output tuples."""
+
+    def flush(self) -> Iterable[StreamTuple]:
+        """Emit any buffered state at end of stream (default: nothing)."""
+        return ()
+
+    # ------------------------------------------------------------------
+    # Engine hooks
+    # ------------------------------------------------------------------
+    def accept(self, item: StreamTuple) -> List[StreamTuple]:
+        """Validate, process and count one tuple; used by the engine."""
+        if self.input_schema is not None:
+            self.input_schema.validate(item)
+        self.tuples_in += 1
+        outputs = list(self.process(item))
+        self.tuples_out += len(outputs)
+        return outputs
+
+    def finish(self) -> List[StreamTuple]:
+        """Flush and count remaining tuples; used by the engine."""
+        outputs = list(self.flush())
+        self.tuples_out += len(outputs)
+        return outputs
+
+    def reset_counters(self) -> None:
+        """Reset the tuples-in / tuples-out statistics."""
+        self.tuples_in = 0
+        self.tuples_out = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class FunctionOperator(Operator):
+    """An operator defined by a plain function ``tuple -> iterable of tuples``."""
+
+    def __init__(
+        self,
+        fn: Callable[[StreamTuple], Iterable[StreamTuple]],
+        name: Optional[str] = None,
+        input_schema: Optional[Schema] = None,
+    ):
+        super().__init__(name=name or getattr(fn, "__name__", "FunctionOperator"), input_schema=input_schema)
+        self._fn = fn
+
+    def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
+        return self._fn(item)
+
+
+class PassThroughOperator(Operator):
+    """An operator that forwards every tuple unchanged.
+
+    Useful as a named junction point in a plan and in tests.
+    """
+
+    def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
+        yield item

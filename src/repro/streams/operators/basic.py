@@ -1,0 +1,143 @@
+"""Basic deterministic operators: filter, map / project, union, sink.
+
+These are the conventional (certainty-unaware) relational boxes; the
+uncertainty-aware selection, aggregation and join operators live in
+:mod:`repro.core` and build on the same :class:`Operator` interface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.distributions import Distribution
+
+from ..schema import Schema
+from ..tuples import StreamTuple
+from .base import Operator, OperatorError
+
+__all__ = ["Filter", "Map", "AttributeDeriver", "Union", "CollectSink", "CallbackSink"]
+
+
+class Filter(Operator):
+    """Keep tuples for which ``predicate(tuple)`` is truthy.
+
+    This is an ordinary deterministic selection, e.g. the
+    ``object_type(tag_id) = 'flammable'`` predicate of Q2 which applies
+    to a deterministic attribute.
+    """
+
+    def __init__(
+        self,
+        predicate: Callable[[StreamTuple], bool],
+        name: Optional[str] = None,
+        input_schema: Optional[Schema] = None,
+    ):
+        super().__init__(name=name, input_schema=input_schema)
+        self._predicate = predicate
+
+    def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
+        if self._predicate(item):
+            yield item
+
+
+class Map(Operator):
+    """Transform each tuple with an arbitrary function returning a tuple."""
+
+    def __init__(
+        self,
+        fn: Callable[[StreamTuple], StreamTuple],
+        name: Optional[str] = None,
+        input_schema: Optional[Schema] = None,
+    ):
+        super().__init__(name=name, input_schema=input_schema)
+        self._fn = fn
+
+    def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
+        result = self._fn(item)
+        if not isinstance(result, StreamTuple):
+            raise OperatorError("Map function must return a StreamTuple")
+        yield result
+
+
+class AttributeDeriver(Operator):
+    """Add derived attributes computed from existing ones.
+
+    This models the inner Select of Q1, which "simply adds two
+    attributes to each tuple": the square-foot ``area`` computed from
+    the uncertain location and the ``weight`` looked up from the tag id.
+
+    Parameters
+    ----------
+    value_functions:
+        Mapping from new deterministic attribute name to a function of
+        the input tuple.
+    uncertain_functions:
+        Mapping from new uncertain attribute name to a function of the
+        input tuple returning a :class:`Distribution`.
+    """
+
+    def __init__(
+        self,
+        value_functions: Optional[Mapping[str, Callable[[StreamTuple], Any]]] = None,
+        uncertain_functions: Optional[Mapping[str, Callable[[StreamTuple], Distribution]]] = None,
+        name: Optional[str] = None,
+        input_schema: Optional[Schema] = None,
+    ):
+        super().__init__(name=name, input_schema=input_schema)
+        self._value_functions: Dict[str, Callable[[StreamTuple], Any]] = dict(value_functions or {})
+        self._uncertain_functions: Dict[str, Callable[[StreamTuple], Distribution]] = dict(
+            uncertain_functions or {}
+        )
+        if not self._value_functions and not self._uncertain_functions:
+            raise OperatorError("AttributeDeriver needs at least one derivation function")
+
+    def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
+        new_values = {name: fn(item) for name, fn in self._value_functions.items()}
+        new_uncertain = {}
+        for name, fn in self._uncertain_functions.items():
+            dist = fn(item)
+            if not isinstance(dist, Distribution):
+                raise OperatorError(
+                    f"uncertain derivation {name!r} must return a Distribution, got {type(dist).__name__}"
+                )
+            new_uncertain[name] = dist
+        yield item.derive(values=new_values, uncertain=new_uncertain)
+
+
+class Union(Operator):
+    """Merge several upstream streams into one (identity per tuple).
+
+    Because the engine pushes tuples from any upstream operator into
+    this box, Union simply forwards whatever it receives; it exists to
+    give the merge point a name and statistics.
+    """
+
+    def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
+        yield item
+
+
+class CollectSink(Operator):
+    """Terminal operator collecting every received tuple into a list."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name=name)
+        self.results: List[StreamTuple] = []
+
+    def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
+        self.results.append(item)
+        return ()
+
+    def clear(self) -> None:
+        self.results.clear()
+
+
+class CallbackSink(Operator):
+    """Terminal operator invoking a callback for every received tuple."""
+
+    def __init__(self, callback: Callable[[StreamTuple], None], name: Optional[str] = None):
+        super().__init__(name=name)
+        self._callback = callback
+
+    def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
+        self._callback(item)
+        return ()

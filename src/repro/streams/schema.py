@@ -1,0 +1,134 @@
+"""Stream schemas: declared attribute sets for tuple validation.
+
+Schemas are lightweight, optional metadata.  Operators that compile
+from a query (e.g. Q1 and Q2 in the paper) use schemas to validate that
+the tuples flowing into them carry the attributes the query references,
+surfacing misconfiguration early instead of failing deep inside an
+aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Sequence
+
+from .tuples import StreamTuple
+
+__all__ = ["AttributeKind", "Attribute", "Schema", "SchemaError"]
+
+
+class SchemaError(Exception):
+    """Raised when a tuple does not conform to a declared schema."""
+
+
+class AttributeKind(str, Enum):
+    """Whether an attribute is deterministic or carries a distribution."""
+
+    VALUE = "value"
+    UNCERTAIN = "uncertain"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named attribute in a stream schema."""
+
+    name: str
+    kind: AttributeKind = AttributeKind.VALUE
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError("attribute name must be a non-empty string")
+
+
+class Schema:
+    """An ordered collection of attributes describing a tuple stream."""
+
+    def __init__(self, attributes: Sequence[Attribute] | Iterable[Attribute]):
+        attrs: List[Attribute] = list(attributes)
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate attribute names in schema: {duplicates}")
+        self._attributes: List[Attribute] = attrs
+        self._by_name: Dict[str, Attribute] = {a.name: a for a in attrs}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(cls, values: Sequence[str] = (), uncertain: Sequence[str] = ()) -> "Schema":
+        """Build a schema from two lists of attribute names."""
+        attrs = [Attribute(name, AttributeKind.VALUE) for name in values]
+        attrs += [Attribute(name, AttributeKind.UNCERTAIN) for name in uncertain]
+        return cls(attrs)
+
+    def extend(self, values: Sequence[str] = (), uncertain: Sequence[str] = ()) -> "Schema":
+        """Return a new schema with additional attributes."""
+        extra = [Attribute(name, AttributeKind.VALUE) for name in values]
+        extra += [Attribute(name, AttributeKind.UNCERTAIN) for name in uncertain]
+        return Schema(self._attributes + extra)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def attributes(self) -> List[Attribute]:
+        return list(self._attributes)
+
+    def names(self) -> List[str]:
+        return [a.name for a in self._attributes]
+
+    def value_names(self) -> List[str]:
+        return [a.name for a in self._attributes if a.kind is AttributeKind.VALUE]
+
+    def uncertain_names(self) -> List[str]:
+        return [a.name for a in self._attributes if a.kind is AttributeKind.UNCERTAIN]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __getitem__(self, name: str) -> Attribute:
+        try:
+            return self._by_name[name]
+        except KeyError as exc:
+            raise SchemaError(f"schema has no attribute named {name!r}") from exc
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, item: StreamTuple, strict: bool = False) -> None:
+        """Check that ``item`` carries every declared attribute.
+
+        With ``strict=True``, also reject tuples carrying attributes not
+        declared in the schema.
+        """
+        for attr in self._attributes:
+            if attr.kind is AttributeKind.VALUE:
+                if not item.has_value(attr.name):
+                    raise SchemaError(f"tuple is missing deterministic attribute {attr.name!r}")
+            else:
+                if not item.has_uncertain(attr.name):
+                    raise SchemaError(f"tuple is missing uncertain attribute {attr.name!r}")
+        if strict:
+            declared = set(self._by_name)
+            present = set(item.values) | set(item.uncertain)
+            extra = present - declared
+            if extra:
+                raise SchemaError(f"tuple carries undeclared attributes: {sorted(extra)}")
+
+    def conforms(self, item: StreamTuple, strict: bool = False) -> bool:
+        """Return True when :meth:`validate` would not raise."""
+        try:
+            self.validate(item, strict=strict)
+        except SchemaError:
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        parts = [f"{a.name}:{a.kind.value}" for a in self._attributes]
+        return f"Schema({', '.join(parts)})"

@@ -1,0 +1,183 @@
+"""Stream tuples carrying deterministic values and uncertain attributes.
+
+A :class:`StreamTuple` is the unit of data flowing between operators in
+the box-arrow architecture (Figure 2 of the paper).  It separates
+
+* ``values`` -- ordinary deterministic attributes such as ``tag_id`` or
+  a window timestamp, and
+* ``uncertain`` -- attributes modelled as continuous random variables,
+  each an instance of :class:`repro.distributions.Distribution`.
+
+Every tuple also records its *lineage*: the identifiers of the base
+(T-operator) tuples it was derived from.  Lineage lets a downstream
+operator detect correlation between intermediate tuples that share base
+tuples (Section 5.2) and, when needed, recompute exact joint results
+from archived independent inputs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional
+
+from repro.distributions import Distribution
+
+__all__ = ["StreamTuple", "TupleId", "next_tuple_id"]
+
+TupleId = int
+
+_tuple_counter = itertools.count(1)
+
+
+def next_tuple_id() -> TupleId:
+    """Return a fresh process-wide unique tuple identifier."""
+    return next(_tuple_counter)
+
+
+@dataclass(frozen=True)
+class StreamTuple:
+    """An immutable stream tuple.
+
+    Parameters
+    ----------
+    timestamp:
+        Event time of the tuple in seconds (application time, not wall
+        clock).
+    values:
+        Deterministic attributes.
+    uncertain:
+        Uncertain attributes; each value must be a
+        :class:`~repro.distributions.Distribution`.
+    lineage:
+        Identifiers of the base tuples this tuple was derived from.  A
+        tuple emitted directly by a T operator has its own id as its
+        entire lineage.
+    tuple_id:
+        Unique identifier; assigned automatically when omitted.
+    """
+
+    timestamp: float
+    values: Mapping[str, Any] = field(default_factory=dict)
+    uncertain: Mapping[str, Distribution] = field(default_factory=dict)
+    lineage: FrozenSet[TupleId] = field(default_factory=frozenset)
+    tuple_id: TupleId = field(default_factory=next_tuple_id)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", dict(self.values))
+        object.__setattr__(self, "uncertain", dict(self.uncertain))
+        for name, dist in self.uncertain.items():
+            if not isinstance(dist, Distribution):
+                raise TypeError(
+                    f"uncertain attribute {name!r} must be a Distribution, got {type(dist).__name__}"
+                )
+        if not self.lineage:
+            object.__setattr__(self, "lineage", frozenset({self.tuple_id}))
+        else:
+            object.__setattr__(self, "lineage", frozenset(self.lineage))
+
+    # ------------------------------------------------------------------
+    # Attribute access
+    # ------------------------------------------------------------------
+    def value(self, name: str) -> Any:
+        """Return a deterministic attribute, raising ``KeyError`` if absent."""
+        return self.values[name]
+
+    def distribution(self, name: str) -> Distribution:
+        """Return an uncertain attribute's distribution."""
+        return self.uncertain[name]
+
+    def has_value(self, name: str) -> bool:
+        return name in self.values
+
+    def has_uncertain(self, name: str) -> bool:
+        return name in self.uncertain
+
+    def attribute_names(self) -> Iterable[str]:
+        """Return all attribute names (deterministic then uncertain)."""
+        yield from self.values.keys()
+        yield from self.uncertain.keys()
+
+    def expected_value(self, name: str) -> float:
+        """Return the mean of an uncertain attribute (point summary)."""
+        return float(self.uncertain[name].mean())
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def derive(
+        self,
+        timestamp: Optional[float] = None,
+        values: Optional[Mapping[str, Any]] = None,
+        uncertain: Optional[Mapping[str, Distribution]] = None,
+        extra_lineage: Iterable[TupleId] = (),
+        replace_values: bool = False,
+        replace_uncertain: bool = False,
+    ) -> "StreamTuple":
+        """Return a new tuple derived from this one.
+
+        By default the new tuple keeps this tuple's attributes and adds
+        or overrides the supplied ones; ``replace_values`` /
+        ``replace_uncertain`` start from empty attribute maps instead.
+        Lineage is the union of this tuple's lineage and
+        ``extra_lineage``.
+        """
+        new_values: Dict[str, Any] = {} if replace_values else dict(self.values)
+        if values:
+            new_values.update(values)
+        new_uncertain: Dict[str, Distribution] = {} if replace_uncertain else dict(self.uncertain)
+        if uncertain:
+            new_uncertain.update(uncertain)
+        lineage = frozenset(self.lineage) | frozenset(extra_lineage)
+        return StreamTuple(
+            timestamp=self.timestamp if timestamp is None else timestamp,
+            values=new_values,
+            uncertain=new_uncertain,
+            lineage=lineage,
+        )
+
+    @staticmethod
+    def merge(
+        left: "StreamTuple",
+        right: "StreamTuple",
+        timestamp: Optional[float] = None,
+        prefix_left: str = "",
+        prefix_right: str = "",
+    ) -> "StreamTuple":
+        """Combine two tuples into one (as a join operator does).
+
+        Attribute name clashes are resolved with the supplied prefixes;
+        if both prefixes are empty, the right tuple's attributes win for
+        clashing names.  Lineage is the union of the two lineages.
+        """
+
+        def rename(mapping: Mapping[str, Any], prefix: str) -> Dict[str, Any]:
+            if not prefix:
+                return dict(mapping)
+            return {f"{prefix}{name}": value for name, value in mapping.items()}
+
+        values = rename(left.values, prefix_left)
+        values.update(rename(right.values, prefix_right))
+        uncertain = rename(left.uncertain, prefix_left)
+        uncertain.update(rename(right.uncertain, prefix_right))
+        return StreamTuple(
+            timestamp=max(left.timestamp, right.timestamp) if timestamp is None else timestamp,
+            values=values,
+            uncertain=uncertain,
+            lineage=left.lineage | right.lineage,
+        )
+
+    def shares_lineage_with(self, other: "StreamTuple") -> bool:
+        """Return True when the two tuples derive from a common base tuple.
+
+        Tuples with overlapping lineage may be correlated and must not
+        be treated as independent by downstream aggregation.
+        """
+        return bool(self.lineage & other.lineage)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        uncertain_desc = {k: type(v).__name__ for k, v in self.uncertain.items()}
+        return (
+            f"StreamTuple(t={self.timestamp:.3f}, values={self.values}, "
+            f"uncertain={uncertain_desc}, id={self.tuple_id})"
+        )

@@ -1,0 +1,241 @@
+"""Window specifications and window assignment for stream operators.
+
+The paper's queries use CQL-style windows: ``[Now]``, ``[Range 5
+seconds]`` and tumbling count windows such as the 100-tuple window of
+Table 2.  Windowed operators (aggregation, join, group-by) delegate
+window bookkeeping to the classes defined here so every operator shares
+one tested implementation of window semantics.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .tuples import StreamTuple
+
+__all__ = [
+    "WindowSpec",
+    "TumblingCountWindow",
+    "TumblingTimeWindow",
+    "SlidingTimeWindow",
+    "NowWindow",
+    "WindowBuffer",
+]
+
+
+@dataclass(frozen=True)
+class WindowClose:
+    """A closed window: its boundaries and the tuples it contains."""
+
+    start: float
+    end: float
+    items: Tuple[StreamTuple, ...]
+
+
+class WindowSpec(abc.ABC):
+    """Strategy describing how tuples are grouped into windows."""
+
+    @abc.abstractmethod
+    def new_buffer(self) -> "WindowBuffer":
+        """Return a fresh stateful buffer implementing this window."""
+
+
+class WindowBuffer(abc.ABC):
+    """Stateful buffer that accumulates tuples and emits closed windows."""
+
+    @abc.abstractmethod
+    def add(self, item: StreamTuple) -> List[WindowClose]:
+        """Add a tuple and return any windows that closed as a result."""
+
+    @abc.abstractmethod
+    def flush(self) -> List[WindowClose]:
+        """Close and return any remaining partial windows (end of stream)."""
+
+
+# ----------------------------------------------------------------------
+# Tumbling count window (Table 2: "tumbling window of size 100 tuples")
+# ----------------------------------------------------------------------
+class TumblingCountWindow(WindowSpec):
+    """Non-overlapping windows of a fixed number of tuples."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError(f"window size must be at least 1, got {size}")
+        self.size = int(size)
+
+    def new_buffer(self) -> "WindowBuffer":
+        return _CountBuffer(self.size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"TumblingCountWindow(size={self.size})"
+
+
+class _CountBuffer(WindowBuffer):
+    def __init__(self, size: int):
+        self._size = size
+        self._items: List[StreamTuple] = []
+
+    def add(self, item: StreamTuple) -> List[WindowClose]:
+        self._items.append(item)
+        if len(self._items) < self._size:
+            return []
+        window = WindowClose(
+            start=self._items[0].timestamp,
+            end=self._items[-1].timestamp,
+            items=tuple(self._items),
+        )
+        self._items = []
+        return [window]
+
+    def flush(self) -> List[WindowClose]:
+        if not self._items:
+            return []
+        window = WindowClose(
+            start=self._items[0].timestamp,
+            end=self._items[-1].timestamp,
+            items=tuple(self._items),
+        )
+        self._items = []
+        return [window]
+
+
+# ----------------------------------------------------------------------
+# Tumbling time window (Q1: "[Range 5 seconds]" grouped per window)
+# ----------------------------------------------------------------------
+class TumblingTimeWindow(WindowSpec):
+    """Non-overlapping windows of fixed duration, aligned to the origin."""
+
+    def __init__(self, length: float, origin: float = 0.0):
+        if length <= 0:
+            raise ValueError(f"window length must be positive, got {length}")
+        self.length = float(length)
+        self.origin = float(origin)
+
+    def new_buffer(self) -> "WindowBuffer":
+        return _TimeBuffer(self.length, self.origin)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"TumblingTimeWindow(length={self.length})"
+
+
+class _TimeBuffer(WindowBuffer):
+    def __init__(self, length: float, origin: float):
+        self._length = length
+        self._origin = origin
+        self._items: List[StreamTuple] = []
+        self._window_index: Optional[int] = None
+
+    def _index_of(self, timestamp: float) -> int:
+        return int((timestamp - self._origin) // self._length)
+
+    def _close_current(self) -> WindowClose:
+        assert self._window_index is not None
+        start = self._origin + self._window_index * self._length
+        window = WindowClose(start=start, end=start + self._length, items=tuple(self._items))
+        self._items = []
+        return window
+
+    def add(self, item: StreamTuple) -> List[WindowClose]:
+        idx = self._index_of(item.timestamp)
+        closed: List[WindowClose] = []
+        if self._window_index is None:
+            self._window_index = idx
+        elif idx != self._window_index:
+            if idx < self._window_index:
+                raise ValueError(
+                    "out-of-order tuple arrived before the current tumbling window"
+                )
+            closed.append(self._close_current())
+            self._window_index = idx
+        self._items.append(item)
+        return closed
+
+    def flush(self) -> List[WindowClose]:
+        if not self._items:
+            return []
+        return [self._close_current()]
+
+
+# ----------------------------------------------------------------------
+# Sliding time window (Q2: "[Range 3 seconds]" join windows)
+# ----------------------------------------------------------------------
+class SlidingTimeWindow(WindowSpec):
+    """A window keeping every tuple within ``length`` of the newest tuple.
+
+    This models the CQL ``[Range t seconds]`` construct used on join
+    inputs: at any point the window contains the tuples whose timestamps
+    are within ``length`` of the current stream time.
+    """
+
+    def __init__(self, length: float):
+        if length <= 0:
+            raise ValueError(f"window length must be positive, got {length}")
+        self.length = float(length)
+
+    def new_buffer(self) -> "WindowBuffer":
+        return _SlidingBuffer(self.length)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"SlidingTimeWindow(length={self.length})"
+
+
+class _SlidingBuffer(WindowBuffer):
+    """Sliding buffer; emits the window content after every insertion."""
+
+    def __init__(self, length: float):
+        self._length = length
+        self._items: List[StreamTuple] = []
+
+    def current(self, now: float) -> List[StreamTuple]:
+        """Return the tuples currently inside the window at time ``now``."""
+        cutoff = now - self._length
+        self._items = [t for t in self._items if t.timestamp > cutoff]
+        return list(self._items)
+
+    def add(self, item: StreamTuple) -> List[WindowClose]:
+        self._items.append(item)
+        content = self.current(item.timestamp)
+        return [
+            WindowClose(
+                start=item.timestamp - self._length,
+                end=item.timestamp,
+                items=tuple(content),
+            )
+        ]
+
+    def flush(self) -> List[WindowClose]:
+        return []
+
+
+# ----------------------------------------------------------------------
+# Now window (Q1 inner query: "[Now]")
+# ----------------------------------------------------------------------
+class NowWindow(WindowSpec):
+    """A window containing only the most recent tuple."""
+
+    def new_buffer(self) -> "WindowBuffer":
+        return _NowBuffer()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return "NowWindow()"
+
+
+class _NowBuffer(WindowBuffer):
+    def add(self, item: StreamTuple) -> List[WindowClose]:
+        return [WindowClose(start=item.timestamp, end=item.timestamp, items=(item,))]
+
+    def flush(self) -> List[WindowClose]:
+        return []
+
+
+def iter_windows(spec: WindowSpec, items: Sequence[StreamTuple]) -> Iterator[WindowClose]:
+    """Run a sequence of tuples through a window spec and yield closed windows.
+
+    Convenience helper for batch-style tests and benchmarks.
+    """
+    buffer = spec.new_buffer()
+    for item in items:
+        yield from buffer.add(item)
+    yield from buffer.flush()

@@ -1,0 +1,25 @@
+"""Workload generators shared by benchmarks, examples and tests."""
+
+from .radar_workload import TABLE1_AVERAGING_SIZES, RadarWorkload, build_table1_workload
+from .rfid_workload import RFIDWorkload, build_rfid_workload, noisy_detection_model
+from .synthetic import (
+    gaussian_tuple_stream,
+    gmm_tuple_stream,
+    ma_series_tuple_stream,
+    random_gaussian_mixture,
+    temperature_stream,
+)
+
+__all__ = [
+    "gmm_tuple_stream",
+    "gaussian_tuple_stream",
+    "temperature_stream",
+    "ma_series_tuple_stream",
+    "random_gaussian_mixture",
+    "RFIDWorkload",
+    "build_rfid_workload",
+    "noisy_detection_model",
+    "RadarWorkload",
+    "build_table1_workload",
+    "TABLE1_AVERAGING_SIZES",
+]

@@ -1,0 +1,22 @@
+"""Shared pytest fixtures for the reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def rng_factory():
+    """A factory of deterministic generators with distinct seeds."""
+
+    def make(seed: int = 0) -> np.random.Generator:
+        return np.random.default_rng(1000 + seed)
+
+    return make

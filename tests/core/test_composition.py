@@ -1,0 +1,58 @@
+"""Tests for delta-method and Monte-Carlo propagation through complex functions."""
+
+import numpy as np
+import pytest
+
+from repro.core import delta_method, monte_carlo_propagation, numerical_gradient
+from repro.distributions import DistributionError, Gaussian
+
+
+class TestNumericalGradient:
+    def test_linear_function(self):
+        grad = numerical_gradient(lambda x: 2.0 * x[0] - 3.0 * x[1], np.array([1.0, 2.0]))
+        assert np.allclose(grad, [2.0, -3.0], atol=1e-6)
+
+    def test_quadratic_function(self):
+        grad = numerical_gradient(lambda x: x[0] ** 2 + x[1] ** 3, np.array([2.0, 1.0]))
+        assert np.allclose(grad, [4.0, 3.0], atol=1e-4)
+
+
+class TestDeltaMethod:
+    def test_linear_function_is_exact(self):
+        inputs = [Gaussian(1.0, 0.5), Gaussian(2.0, 1.0)]
+        result = delta_method(lambda x: 3.0 * x[0] + 2.0 * x[1], inputs)
+        assert result.mu == pytest.approx(7.0)
+        assert result.sigma**2 == pytest.approx(9.0 * 0.25 + 4.0 * 1.0)
+
+    def test_nonlinear_function_close_to_monte_carlo_for_small_spread(self, rng):
+        inputs = [Gaussian(4.0, 0.05), Gaussian(2.0, 0.05)]
+        fn = lambda x: x[0] * x[1] + np.sin(x[0])
+        delta = delta_method(fn, inputs)
+        mc = monte_carlo_propagation(fn, inputs, n_samples=40_000, rng=rng)
+        assert delta.mu == pytest.approx(mc.mean(), rel=0.01)
+        assert delta.sigma**2 == pytest.approx(mc.variance(), rel=0.1)
+
+    def test_single_input_identity(self):
+        result = delta_method(lambda x: x[0], [Gaussian(5.0, 2.0)])
+        assert result.mu == pytest.approx(5.0)
+        assert result.sigma == pytest.approx(2.0, rel=1e-6)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(DistributionError):
+            delta_method(lambda x: 0.0, [])
+
+
+class TestMonteCarloPropagation:
+    def test_sum_function_matches_analytic(self, rng):
+        inputs = [Gaussian(1.0, 1.0), Gaussian(2.0, 2.0)]
+        result = monte_carlo_propagation(lambda x: x[0] + x[1], inputs, n_samples=50_000, rng=rng)
+        assert result.mean() == pytest.approx(3.0, abs=0.05)
+        assert result.variance() == pytest.approx(5.0, rel=0.05)
+
+    def test_requires_enough_samples(self):
+        with pytest.raises(ValueError):
+            monte_carlo_propagation(lambda x: x[0], [Gaussian(0, 1)], n_samples=4)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(DistributionError):
+            monte_carlo_propagation(lambda x: 0.0, [])

@@ -1,0 +1,78 @@
+"""Tests for existence-probability-aware aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    WeightedContribution,
+    existence_aware_sum,
+    existence_aware_sum_exact,
+)
+from repro.distributions import DistributionError, Gaussian
+
+
+class TestCLTForm:
+    def test_certain_contributions_reduce_to_plain_sum(self):
+        contributions = [
+            WeightedContribution(Gaussian(10.0, 1.0), 1.0),
+            WeightedContribution(Gaussian(5.0, 2.0), 1.0),
+        ]
+        total = existence_aware_sum(contributions)
+        assert total.mu == pytest.approx(15.0)
+        assert total.variance() == pytest.approx(5.0)
+
+    def test_deterministic_values_accepted(self):
+        contributions = [WeightedContribution(20.0, 0.5), WeightedContribution(10.0, 1.0)]
+        total = existence_aware_sum(contributions)
+        assert total.mu == pytest.approx(20.0)
+        assert total.variance() == pytest.approx(0.5 * 0.5 * 400.0)
+
+    def test_moments_match_monte_carlo(self, rng):
+        contributions = [
+            WeightedContribution(Gaussian(float(m), 1.0 + 0.1 * i), float(p))
+            for i, (m, p) in enumerate(zip(rng.uniform(0, 20, 10), rng.uniform(0.1, 0.9, 10)))
+        ]
+        total = existence_aware_sum(contributions)
+        draws = np.zeros(100_000)
+        for c in contributions:
+            included = rng.random(100_000) < c.probability
+            draws += included * rng.normal(c.value.mu, c.value.sigma, 100_000)
+        assert total.mu == pytest.approx(draws.mean(), rel=0.02)
+        assert total.variance() == pytest.approx(draws.var(), rel=0.05)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DistributionError):
+            existence_aware_sum([])
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedContribution(1.0, 1.5)
+
+
+class TestExactForm:
+    def test_exact_matches_clt_moments(self):
+        contributions = [
+            WeightedContribution(Gaussian(10.0, 1.0), 0.7),
+            WeightedContribution(Gaussian(-4.0, 0.5), 0.3),
+            WeightedContribution(5.0, 0.9),
+        ]
+        exact = existence_aware_sum_exact(contributions)
+        clt = existence_aware_sum(contributions)
+        assert exact.mean() == pytest.approx(clt.mu, rel=1e-9)
+        assert exact.variance() == pytest.approx(clt.variance(), rel=1e-9)
+
+    def test_exact_is_multimodal_for_large_rare_contribution(self):
+        contributions = [
+            WeightedContribution(Gaussian(0.0, 0.5), 1.0),
+            WeightedContribution(Gaussian(100.0, 0.5), 0.5),
+        ]
+        exact = existence_aware_sum_exact(contributions)
+        # Two clearly separated humps: near 0 and near 100.
+        assert exact.pdf(0.0) > 0.1
+        assert exact.pdf(100.0) > 0.1
+        assert exact.pdf(50.0) < 1e-6
+
+    def test_contributor_cap_enforced(self):
+        contributions = [WeightedContribution(1.0, 0.5) for _ in range(20)]
+        with pytest.raises(DistributionError):
+            existence_aware_sum_exact(contributions, max_contributors=12)

@@ -1,0 +1,61 @@
+"""Property-based tests on the aggregation strategies and HAVING semantics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CFApproximationSum, CLTSum, HavingClause, max_distribution
+from repro.distributions import Gaussian
+
+gaussian_params = st.tuples(
+    st.floats(min_value=-500.0, max_value=500.0),
+    st.floats(min_value=0.1, max_value=50.0),
+)
+
+
+@given(params=st.lists(gaussian_params, min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_sum_strategies_preserve_exact_moments_for_gaussians(params):
+    summands = [Gaussian(mu, sigma) for mu, sigma in params]
+    expected_mean = sum(mu for mu, _ in params)
+    expected_var = sum(sigma**2 for _, sigma in params)
+    for strategy in (CLTSum(), CFApproximationSum()):
+        result = strategy.result_distribution(summands)
+        assert np.isclose(result.mean(), expected_mean, rtol=1e-9, atol=1e-6)
+        assert np.isclose(result.variance(), expected_var, rtol=1e-9, atol=1e-6)
+
+
+@given(
+    params=st.lists(gaussian_params, min_size=1, max_size=8),
+    threshold=st.floats(min_value=-500.0, max_value=500.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_having_probability_consistent_with_clause_decision(params, threshold):
+    summands = [Gaussian(mu, sigma) for mu, sigma in params]
+    result = CLTSum().result_distribution(summands)
+    clause = HavingClause(threshold=threshold, min_probability=0.5)
+    probability = clause.probability(result)
+    assert 0.0 <= probability <= 1.0
+    assert clause.accepts(result) == (probability >= 0.5)
+
+
+@given(params=st.lists(gaussian_params, min_size=1, max_size=6))
+@settings(max_examples=30, deadline=None)
+def test_max_distribution_dominates_every_input_mean(params):
+    summands = [Gaussian(mu, sigma) for mu, sigma in params]
+    result = max_distribution(summands, n_points=512)
+    # E[max(X_1..X_n)] >= max_i E[X_i] for any joint distribution.
+    assert result.mean() >= max(mu for mu, _ in params) - 0.5
+
+
+@given(
+    params=st.lists(gaussian_params, min_size=2, max_size=12),
+    confidence=st.floats(min_value=0.5, max_value=0.99),
+)
+@settings(max_examples=40, deadline=None)
+def test_confidence_regions_nest_with_confidence_level(params, confidence):
+    summands = [Gaussian(mu, sigma) for mu, sigma in params]
+    result = CFApproximationSum().result_distribution(summands)
+    narrow = result.confidence_region(confidence * 0.5)
+    wide = result.confidence_region(confidence)
+    assert wide[0] <= narrow[0] <= narrow[1] <= wide[1]

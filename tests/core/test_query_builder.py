@@ -1,0 +1,126 @@
+"""Tests for the declarative query builder (Q1/Q2 shapes)."""
+
+import pytest
+
+from repro.core import (
+    CLTSum,
+    Comparison,
+    HavingClause,
+    QueryBuilder,
+    match_probability_band,
+)
+from repro.core.selection import ProbabilisticSelect, UncertainPredicate
+from repro.distributions import Gaussian
+from repro.streams import StreamTuple, TumblingCountWindow, TumblingTimeWindow
+from repro.streams.operators.base import OperatorError
+
+
+def value_tuple(i, mean, group="A", ts=None):
+    return StreamTuple(
+        timestamp=float(i if ts is None else ts),
+        values={"tag_id": f"O{i}", "group": group},
+        uncertain={"weight": Gaussian(mean, 1.0)},
+    )
+
+
+class TestLinearQueries:
+    def test_filter_aggregate_summarize_chain(self):
+        query = (
+            QueryBuilder("in")
+            .where(lambda t: t.value("group") == "A")
+            .aggregate(TumblingCountWindow(3), "weight", strategy=CLTSum())
+            .summarize("sum_weight", confidence=0.9)
+            .compile()
+        )
+        items = [value_tuple(i, 10.0, group="A" if i % 2 == 0 else "B") for i in range(6)]
+        query.push_many("in", items)
+        results = query.finish()
+        assert len(results) == 1
+        assert results[0].value("sum_weight_mean") == pytest.approx(30.0)
+        assert results[0].value("sum_weight_lo") < 30.0 < results[0].value("sum_weight_hi")
+
+    def test_derive_and_probabilistic_filter(self):
+        query = (
+            QueryBuilder("in")
+            .derive(values={"double_id": lambda t: t.value("tag_id") * 2})
+            .where_probably("weight", Comparison.GREATER, 15.0, min_probability=0.5)
+            .compile()
+        )
+        query.push("in", value_tuple(0, 20.0))
+        query.push("in", value_tuple(1, 5.0))
+        results = query.finish()
+        assert len(results) == 1
+        assert results[0].value("double_id") == "O0O0"
+
+    def test_group_aggregate_with_having(self):
+        query = (
+            QueryBuilder("in")
+            .group_aggregate(
+                window=TumblingTimeWindow(5.0),
+                key=lambda t: t.value("group"),
+                attribute="weight",
+                strategy=CLTSum(),
+                having=HavingClause(threshold=25.0),
+            )
+            .compile()
+        )
+        query.push_many(
+            "in",
+            [
+                value_tuple(0, 20.0, group="hot", ts=0.5),
+                value_tuple(1, 20.0, group="hot", ts=1.0),
+                value_tuple(2, 1.0, group="cold", ts=1.5),
+            ],
+        )
+        results = query.finish()
+        assert len(results) == 1
+        assert results[0].value("group") == "hot"
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(OperatorError):
+            QueryBuilder().compile()
+
+    def test_cannot_extend_after_compile(self):
+        builder = QueryBuilder().where(lambda t: True)
+        builder.compile()
+        with pytest.raises(OperatorError):
+            builder.where(lambda t: True)
+        with pytest.raises(OperatorError):
+            builder.compile()
+
+
+class TestJoinQueries:
+    def test_two_stream_join_query(self):
+        def match(left, right):
+            return match_probability_band(
+                left.distribution("weight"), right.distribution("weight"), tolerance=2.0
+            )
+
+        temp_filter = ProbabilisticSelect(
+            UncertainPredicate("weight", Comparison.GREATER, 0.0), min_probability=0.0
+        )
+        query = (
+            QueryBuilder("left")
+            .where(lambda t: True)
+            .join(
+                other_source="right",
+                other_stages=[temp_filter],
+                match_probability=match,
+                window_length=100.0,
+                min_probability=0.5,
+            )
+            .compile()
+        )
+        assert set(query.sources) == {"left", "right"}
+        query.push("right", value_tuple(0, 10.0))
+        query.push("left", value_tuple(1, 10.2, ts=1.0))
+        query.push("left", value_tuple(2, 50.0, ts=2.0))
+        results = query.finish()
+        assert len(results) == 1
+        assert results[0].value("match_probability") > 0.5
+
+    def test_only_one_join_allowed(self):
+        builder = QueryBuilder("a").where(lambda t: True)
+        builder.join("b", [], lambda l, r: 1.0, window_length=1.0)
+        with pytest.raises(OperatorError):
+            builder.join("c", [], lambda l, r: 1.0, window_length=1.0)

@@ -1,0 +1,136 @@
+"""Tests for the SUM result-distribution strategies (Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CFApproximationSum,
+    CFInversionSum,
+    CLTSum,
+    ConvolutionSum,
+    HistogramSamplingSum,
+    MonteCarloSum,
+    TimeSeriesCLTSum,
+    strategy_by_name,
+)
+from repro.distributions import (
+    DistributionError,
+    Gaussian,
+    GaussianMixture,
+    Uniform,
+    variance_distance,
+)
+from repro.workloads import gmm_tuple_stream
+
+
+def gaussian_summands():
+    return [Gaussian(1.0, 1.0), Gaussian(2.0, 2.0), Gaussian(-1.0, 0.5)]
+
+
+def exact_gaussian_sum(summands):
+    return Gaussian(sum(g.mu for g in summands), np.sqrt(sum(g.sigma**2 for g in summands)))
+
+
+class TestStrategyCorrectness:
+    @pytest.mark.parametrize(
+        "strategy",
+        [
+            CFInversionSum(),
+            CFApproximationSum(),
+            CLTSum(),
+            ConvolutionSum(),
+            MonteCarloSum(n_samples=20_000, rng=3),
+            HistogramSamplingSum(bins_per_input=64, n_samples=20_000, rng=3),
+        ],
+        ids=lambda s: s.name,
+    )
+    def test_gaussian_sum_moments_recovered(self, strategy):
+        summands = gaussian_summands()
+        exact = exact_gaussian_sum(summands)
+        result = strategy.result_distribution(summands)
+        assert float(np.asarray(result.mean())) == pytest.approx(exact.mu, abs=0.15)
+        assert float(np.asarray(result.variance())) == pytest.approx(exact.variance(), rel=0.15)
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [CFInversionSum(), CFApproximationSum(), CLTSum()],
+        ids=lambda s: s.name,
+    )
+    def test_gaussian_sum_full_distribution_close(self, strategy):
+        summands = gaussian_summands()
+        exact = exact_gaussian_sum(summands)
+        result = strategy.result_distribution(summands)
+        assert variance_distance(result, exact) < 0.01
+
+    def test_empty_window_rejected(self):
+        for strategy in (CFInversionSum(), CFApproximationSum(), CLTSum()):
+            with pytest.raises(DistributionError):
+                strategy.result_distribution([])
+
+    def test_mixture_window_cf_approx_tracks_inversion(self):
+        stream = gmm_tuple_stream(100, rng=5)
+        summands = [t.distribution("value") for t in stream]
+        exact = CFInversionSum().result_distribution(summands)
+        approx = CFApproximationSum().result_distribution(summands)
+        assert variance_distance(exact, approx) < 0.02
+
+    def test_histogram_sampling_less_accurate_than_cf_approx(self):
+        stream = gmm_tuple_stream(100, rng=6)
+        summands = [t.distribution("value") for t in stream]
+        exact = CFInversionSum().result_distribution(summands)
+        approx_err = variance_distance(exact, CFApproximationSum().result_distribution(summands))
+        hist_err = variance_distance(
+            exact, HistogramSamplingSum(rng=7).result_distribution(summands)
+        )
+        assert approx_err < hist_err
+
+    def test_cf_approx_with_mixture_components(self):
+        bimodal = GaussianMixture([0.5, 0.5], [0.0, 40.0], [1.0, 1.0])
+        summands = [bimodal, Gaussian(0.0, 1.0)]
+        exact = CFInversionSum(n_bins=512).result_distribution(summands)
+        two = CFApproximationSum(n_components=2).result_distribution(summands)
+        one = CFApproximationSum(n_components=1).result_distribution(summands)
+        assert variance_distance(exact, two) <= variance_distance(exact, one)
+
+    def test_convolution_handles_uniform_inputs(self):
+        summands = [Uniform(0, 1), Uniform(0, 1), Uniform(0, 1)]
+        result = ConvolutionSum().result_distribution(summands)
+        assert float(np.asarray(result.mean())) == pytest.approx(1.5, abs=0.02)
+        assert float(np.asarray(result.variance())) == pytest.approx(0.25, rel=0.05)
+
+
+class TestTimeSeriesCLT:
+    def test_positive_correlation_inflates_variance(self):
+        summands = [Gaussian(0.0, 1.0) for _ in range(50)]
+        independent = TimeSeriesCLTSum([1.0]).result_distribution(summands)
+        correlated = TimeSeriesCLTSum([1.0, 0.5, 0.25]).result_distribution(summands)
+        assert correlated.variance() > independent.variance()
+
+    def test_zero_lag_only_matches_clt(self):
+        summands = [Gaussian(2.0, 1.5) for _ in range(20)]
+        ts = TimeSeriesCLTSum([1.5**2]).result_distribution(summands)
+        iid = CLTSum().result_distribution(summands)
+        assert ts.mean() == pytest.approx(iid.mean())
+        assert ts.variance() == pytest.approx(iid.variance())
+
+    def test_requires_positive_gamma0(self):
+        with pytest.raises(ValueError):
+            TimeSeriesCLTSum([0.0])
+        with pytest.raises(ValueError):
+            TimeSeriesCLTSum([])
+
+
+class TestStrategyRegistry:
+    def test_lookup_by_name(self):
+        assert isinstance(strategy_by_name("cf_inversion"), CFInversionSum)
+        assert isinstance(strategy_by_name("cf_approx"), CFApproximationSum)
+        assert isinstance(strategy_by_name("histogram"), HistogramSamplingSum)
+        assert isinstance(strategy_by_name("clt"), CLTSum)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            strategy_by_name("magic")
+
+    def test_kwargs_forwarded(self):
+        strategy = strategy_by_name("cf_approx", n_components=3)
+        assert strategy.n_components == 3

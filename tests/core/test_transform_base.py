@@ -1,0 +1,63 @@
+"""Tests for the T-operator base class and compression policies."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionPolicy, TransformOperator
+from repro.distributions import Gaussian, GaussianMixture, ParticleDistribution
+from repro.streams import StreamTuple
+
+
+class DoublingTransform(TransformOperator):
+    """Toy T operator: raw value -> tuple with a Gaussian around 2x the value."""
+
+    def transform(self, observation, timestamp):
+        yield StreamTuple(
+            timestamp=timestamp,
+            values={"raw": observation},
+            uncertain={"value": Gaussian(2.0 * observation, 1.0)},
+        )
+
+
+class TestCompressionPolicy:
+    def test_gaussian_mode(self, rng):
+        particles = ParticleDistribution(rng.normal(5.0, 1.0, size=300))
+        policy = CompressionPolicy(mode="gaussian")
+        out = policy.compress(particles)
+        assert isinstance(out, Gaussian)
+        assert out.mu == pytest.approx(particles.mean())
+
+    def test_particles_mode_passthrough(self, rng):
+        particles = ParticleDistribution(rng.normal(size=50))
+        assert CompressionPolicy(mode="particles").compress(particles) is particles
+
+    def test_mixture_mode_on_bimodal_cloud(self, rng):
+        values = np.concatenate([rng.normal(0, 0.3, 200), rng.normal(10, 0.3, 200)])
+        particles = ParticleDistribution(values)
+        out = CompressionPolicy(mode="mixture", max_components=3).compress(particles, rng=rng)
+        assert isinstance(out, (Gaussian, GaussianMixture))
+        assert out.mean() == pytest.approx(particles.mean(), abs=0.3)
+
+    def test_invalid_modes_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionPolicy(mode="wavelet")
+        with pytest.raises(ValueError):
+            CompressionPolicy(max_components=0)
+        with pytest.raises(ValueError):
+            CompressionPolicy(criterion="xic")
+
+
+class TestTransformOperator:
+    def test_ingest_produces_tuples_with_distributions(self):
+        op = DoublingTransform()
+        outputs = list(op.ingest(3.0, timestamp=1.5))
+        assert len(outputs) == 1
+        assert outputs[0].timestamp == 1.5
+        assert outputs[0].distribution("value").mu == pytest.approx(6.0)
+        assert op.tuples_out == 1
+
+    def test_process_unwraps_raw_attribute(self):
+        op = DoublingTransform()
+        wrapped = StreamTuple(timestamp=2.0, values={"raw": 5.0})
+        outputs = op.accept(wrapped)
+        assert outputs[0].distribution("value").mu == pytest.approx(10.0)

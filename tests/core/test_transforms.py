@@ -1,0 +1,62 @@
+"""Tests for affine transformations of result distributions."""
+
+import pytest
+
+from repro.core import affine_distribution, scale_distribution, shift_distribution
+from repro.distributions import (
+    Gaussian,
+    GaussianMixture,
+    HistogramDistribution,
+    ParticleDistribution,
+    Uniform,
+)
+
+
+DISTRIBUTIONS = [
+    Gaussian(2.0, 1.0),
+    GaussianMixture([0.5, 0.5], [0.0, 4.0], [1.0, 2.0]),
+    Uniform(0.0, 4.0),
+    HistogramDistribution([0.0, 1.0, 2.0], [1.0, 3.0]),
+    ParticleDistribution([0.0, 1.0, 2.0, 5.0]),
+]
+
+
+@pytest.mark.parametrize("dist", DISTRIBUTIONS, ids=lambda d: type(d).__name__)
+class TestShiftScale:
+    def test_shift_moves_mean_only(self, dist):
+        shifted = shift_distribution(dist, 7.0)
+        assert shifted.mean() == pytest.approx(dist.mean() + 7.0, rel=1e-6)
+        assert shifted.variance() == pytest.approx(dist.variance(), rel=1e-6)
+
+    def test_scale_scales_mean_and_variance(self, dist):
+        scaled = scale_distribution(dist, 3.0)
+        assert scaled.mean() == pytest.approx(3.0 * dist.mean(), rel=1e-6)
+        assert scaled.variance() == pytest.approx(9.0 * dist.variance(), rel=1e-6)
+
+    def test_negative_scale(self, dist):
+        scaled = scale_distribution(dist, -2.0)
+        assert scaled.mean() == pytest.approx(-2.0 * dist.mean(), rel=1e-6, abs=1e-9)
+        assert scaled.variance() == pytest.approx(4.0 * dist.variance(), rel=1e-6)
+
+    def test_affine_combines_scale_then_shift(self, dist):
+        out = affine_distribution(dist, scale=2.0, offset=-1.0)
+        assert out.mean() == pytest.approx(2.0 * dist.mean() - 1.0, rel=1e-6, abs=1e-9)
+
+    def test_identity_operations_return_same_object(self, dist):
+        assert shift_distribution(dist, 0.0) is dist
+        assert scale_distribution(dist, 1.0) is dist
+
+
+def test_scale_by_zero_rejected():
+    with pytest.raises(ValueError):
+        scale_distribution(Gaussian(0, 1), 0.0)
+
+
+def test_unsupported_type_rejected():
+    class Fake:
+        pass
+
+    with pytest.raises(TypeError):
+        shift_distribution(Fake(), 1.0)  # type: ignore[arg-type]
+    with pytest.raises(TypeError):
+        scale_distribution(Fake(), 2.0)  # type: ignore[arg-type]

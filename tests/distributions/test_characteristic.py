@@ -1,0 +1,130 @@
+"""Tests for characteristic-function algebra, inversion and approximation."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    DistributionError,
+    Exponential,
+    GammaDistribution,
+    Gaussian,
+    GaussianMixture,
+    SumCharacteristicFunction,
+    Uniform,
+    cf_distance,
+    fit_gaussian_to_cf,
+    fit_mixture_to_cf,
+    invert_cf_to_histogram,
+    ks_distance,
+    variance_distance,
+)
+
+
+class TestSumCharacteristicFunction:
+    def test_value_at_zero_is_one(self):
+        cf = SumCharacteristicFunction([Gaussian(0, 1), Uniform(0, 2), Exponential(1.0)])
+        assert cf(0.0) == pytest.approx(1.0)
+
+    def test_product_of_gaussians_is_gaussian_cf(self):
+        summands = [Gaussian(1.0, 1.0), Gaussian(2.0, 2.0)]
+        cf = SumCharacteristicFunction(summands)
+        combined = Gaussian(3.0, np.sqrt(5.0))
+        ts = np.linspace(-2, 2, 11)
+        assert np.allclose(cf(ts), combined.characteristic_function(ts))
+
+    def test_mean_and_variance_are_sums(self):
+        cf = SumCharacteristicFunction([Gaussian(1, 1), Exponential(0.5), Uniform(0, 6)])
+        assert cf.mean == pytest.approx(1.0 + 2.0 + 3.0)
+        assert cf.variance == pytest.approx(1.0 + 4.0 + 3.0)
+
+    def test_empty_summands_rejected(self):
+        with pytest.raises(DistributionError):
+            SumCharacteristicFunction([])
+
+    def test_magnitude_bounded_by_one(self):
+        cf = SumCharacteristicFunction([GammaDistribution(2, 1), Gaussian(0, 1)])
+        ts = np.linspace(-5, 5, 101)
+        assert np.all(np.abs(cf(ts)) <= 1.0 + 1e-12)
+
+
+class TestInversion:
+    def test_inverting_gaussian_sum_recovers_gaussian(self):
+        summands = [Gaussian(float(i), 1.0) for i in range(10)]
+        cf = SumCharacteristicFunction(summands)
+        hist = invert_cf_to_histogram(cf)
+        exact = Gaussian(sum(range(10)), np.sqrt(10.0))
+        assert variance_distance(hist, exact) < 1e-3
+        assert ks_distance(hist, exact) < 5e-3
+
+    def test_inverting_uniform_sum_matches_monte_carlo(self, rng):
+        summands = [Uniform(0.0, 1.0) for _ in range(5)]
+        cf = SumCharacteristicFunction(summands)
+        hist = invert_cf_to_histogram(cf)
+        samples = sum(rng.uniform(0, 1, size=100_000) for _ in range(5))
+        assert hist.mean() == pytest.approx(2.5, abs=0.01)
+        assert hist.variance() == pytest.approx(samples.var(), rel=0.05)
+
+    def test_inversion_of_mixture_sum_preserves_moments(self):
+        mix = GaussianMixture([0.5, 0.5], [0.0, 20.0], [1.0, 2.0])
+        summands = [mix, Gaussian(5.0, 1.0)]
+        cf = SumCharacteristicFunction(summands)
+        hist = invert_cf_to_histogram(cf, n_bins=512)
+        assert hist.mean() == pytest.approx(mix.mean() + 5.0, rel=1e-2)
+        assert hist.variance() == pytest.approx(mix.variance() + 1.0, rel=0.05)
+
+    def test_invalid_grid_sizes(self):
+        cf = SumCharacteristicFunction([Gaussian(0, 1)])
+        with pytest.raises(ValueError):
+            invert_cf_to_histogram(cf, n_bins=2)
+        with pytest.raises(ValueError):
+            invert_cf_to_histogram(cf, n_frequencies=8)
+
+
+class TestCFApproximation:
+    def test_gaussian_fit_matches_exact_for_gaussian_summands(self):
+        summands = [Gaussian(2.0, 1.0), Gaussian(3.0, 2.0)]
+        cf = SumCharacteristicFunction(summands)
+        fit = fit_gaussian_to_cf(cf)
+        assert fit.mu == pytest.approx(5.0)
+        assert fit.sigma**2 == pytest.approx(5.0)
+
+    def test_gaussian_fit_close_to_inversion_for_large_windows(self, rng):
+        summands = [
+            GaussianMixture(
+                rng.dirichlet(np.ones(2)),
+                rng.uniform(0, 100, 2),
+                rng.uniform(1, 10, 2),
+            )
+            for _ in range(100)
+        ]
+        cf = SumCharacteristicFunction(summands)
+        exact = invert_cf_to_histogram(cf)
+        approx = fit_gaussian_to_cf(cf)
+        assert variance_distance(exact, approx) < 0.05
+
+    def test_mixture_fit_beats_or_matches_gaussian_for_bimodal_sum(self):
+        # A two-summand sum dominated by one bimodal mixture stays bimodal.
+        bimodal = GaussianMixture([0.5, 0.5], [0.0, 50.0], [1.0, 1.0])
+        summands = [bimodal, Gaussian(0.0, 1.0)]
+        cf = SumCharacteristicFunction(summands)
+        exact = invert_cf_to_histogram(cf, n_bins=512)
+        gauss = fit_gaussian_to_cf(cf)
+        mixture = fit_mixture_to_cf(cf, n_components=2)
+        assert variance_distance(exact, mixture) <= variance_distance(exact, gauss)
+        assert variance_distance(exact, mixture) < 0.1
+
+    def test_single_component_mixture_fit_reduces_to_gaussian(self):
+        cf = SumCharacteristicFunction([Gaussian(1, 1), Gaussian(2, 2)])
+        mix = fit_mixture_to_cf(cf, n_components=1)
+        assert mix.n_components == 1
+        assert mix.mean() == pytest.approx(3.0)
+
+    def test_cf_distance_zero_for_identical(self):
+        g = Gaussian(0.0, 2.0)
+        assert cf_distance(g, Gaussian(0.0, 2.0), scale=2.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_cf_distance_orders_by_similarity(self):
+        target = Gaussian(0.0, 1.0)
+        near = Gaussian(0.1, 1.0)
+        far = Gaussian(3.0, 1.0)
+        assert cf_distance(target, near, scale=1.0) < cf_distance(target, far, scale=1.0)

@@ -1,0 +1,62 @@
+"""Tests for the pairwise numerical convolution baseline (Cheng et al. style)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    DistributionError,
+    Gaussian,
+    Uniform,
+    convolve_pair,
+    convolve_sequence,
+    ks_distance,
+    variance_distance,
+)
+
+
+class TestConvolvePair:
+    def test_gaussian_pair_matches_closed_form(self):
+        a, b = Gaussian(1.0, 1.0), Gaussian(2.0, 2.0)
+        numeric = convolve_pair(a, b)
+        exact = a.convolve(b)
+        assert variance_distance(numeric, exact) < 1e-3
+        assert numeric.mean() == pytest.approx(3.0, abs=0.02)
+        assert numeric.variance() == pytest.approx(5.0, rel=0.02)
+
+    def test_uniform_pair_gives_triangle(self):
+        a, b = Uniform(0.0, 1.0), Uniform(0.0, 1.0)
+        numeric = convolve_pair(a, b, n_points=1024)
+        # The triangular density peaks at 1 with value 1.
+        assert numeric.pdf(1.0) == pytest.approx(1.0, abs=0.05)
+        assert numeric.pdf(0.1) == pytest.approx(0.1, abs=0.05)
+        assert numeric.mean() == pytest.approx(1.0, abs=0.01)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            convolve_pair(Gaussian(0, 1), Gaussian(0, 1), n_points=4)
+
+
+class TestConvolveSequence:
+    def test_matches_cf_based_exact_for_gaussians(self):
+        summands = [Gaussian(float(i), 1.0 + 0.1 * i) for i in range(6)]
+        numeric = convolve_sequence(summands, n_points=256)
+        exact = Gaussian(
+            sum(g.mu for g in summands), np.sqrt(sum(g.sigma**2 for g in summands))
+        )
+        assert ks_distance(numeric, exact) < 0.01
+        assert numeric.mean() == pytest.approx(exact.mu, rel=0.01)
+
+    def test_single_distribution_returned_as_histogram(self):
+        out = convolve_sequence([Gaussian(0.0, 1.0)])
+        assert out.mean() == pytest.approx(0.0, abs=0.01)
+        assert out.variance() == pytest.approx(1.0, rel=0.05)
+
+    def test_rebins_when_growing_past_max_bins(self):
+        summands = [Uniform(0.0, 1.0) for _ in range(5)]
+        out = convolve_sequence(summands, n_points=512, max_bins=600)
+        assert out.n_bins <= 1300  # one growth step past the cap is allowed
+        assert out.mean() == pytest.approx(2.5, abs=0.02)
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(DistributionError):
+            convolve_sequence([])

@@ -1,0 +1,144 @@
+"""Tests for scalar and multivariate Gaussian distributions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import DistributionError, Gaussian, MultivariateGaussian
+
+
+class TestGaussian:
+    def test_pdf_integrates_to_one(self):
+        g = Gaussian(2.0, 3.0)
+        xs = np.linspace(-40, 44, 20001)
+        assert np.trapezoid(g.pdf(xs), xs) == pytest.approx(1.0, abs=1e-6)
+
+    def test_pdf_peak_at_mean(self):
+        g = Gaussian(-1.5, 0.7)
+        assert g.pdf(-1.5) == pytest.approx(1.0 / (0.7 * math.sqrt(2 * math.pi)))
+
+    def test_cdf_known_values(self):
+        g = Gaussian(0.0, 1.0)
+        assert g.cdf(0.0) == pytest.approx(0.5)
+        assert g.cdf(1.96) == pytest.approx(0.975, abs=1e-3)
+
+    def test_quantile_inverts_cdf(self):
+        g = Gaussian(5.0, 2.0)
+        for q in (0.05, 0.25, 0.5, 0.9):
+            assert g.cdf(g.quantile(q)) == pytest.approx(q, abs=1e-9)
+
+    def test_moments(self):
+        g = Gaussian(4.0, 0.5)
+        assert g.mean() == 4.0
+        assert g.variance() == pytest.approx(0.25)
+        assert g.std() == pytest.approx(0.5)
+
+    def test_sampling_matches_moments(self, rng):
+        g = Gaussian(10.0, 2.0)
+        samples = g.sample(50_000, rng=rng)
+        assert samples.mean() == pytest.approx(10.0, abs=0.05)
+        assert samples.std() == pytest.approx(2.0, abs=0.05)
+
+    def test_characteristic_function_at_zero_is_one(self):
+        g = Gaussian(3.0, 1.5)
+        assert g.characteristic_function(0.0) == pytest.approx(1.0)
+
+    def test_characteristic_function_matches_numeric(self):
+        g = Gaussian(1.0, 0.8)
+        ts = np.array([0.3, 1.1, 2.4])
+        closed = g.characteristic_function(ts)
+        xs = np.linspace(*g.support(), 20001)
+        dens = g.pdf(xs)
+        for i, t in enumerate(ts):
+            numeric = np.trapezoid(dens * np.exp(1j * t * xs), xs)
+            assert closed[i] == pytest.approx(numeric, abs=1e-6)
+
+    def test_convolve_adds_means_and_variances(self):
+        a, b = Gaussian(1.0, 2.0), Gaussian(-3.0, 1.5)
+        c = a.convolve(b)
+        assert c.mu == pytest.approx(-2.0)
+        assert c.sigma**2 == pytest.approx(4.0 + 2.25)
+
+    def test_shift_and_scale(self):
+        g = Gaussian(2.0, 1.0)
+        assert g.shift(3.0).mu == pytest.approx(5.0)
+        scaled = g.scale(-2.0)
+        assert scaled.mu == pytest.approx(-4.0)
+        assert scaled.sigma == pytest.approx(2.0)
+
+    def test_scale_by_zero_rejected(self):
+        with pytest.raises(DistributionError):
+            Gaussian(0.0, 1.0).scale(0.0)
+
+    def test_kl_divergence_zero_for_identical(self):
+        g = Gaussian(1.0, 2.0)
+        assert g.kl_divergence(Gaussian(1.0, 2.0)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_kl_divergence_positive_for_different(self):
+        assert Gaussian(0.0, 1.0).kl_divergence(Gaussian(2.0, 1.0)) > 0
+
+    def test_invalid_sigma_rejected(self):
+        with pytest.raises(DistributionError):
+            Gaussian(0.0, 0.0)
+        with pytest.raises(DistributionError):
+            Gaussian(0.0, -1.0)
+        with pytest.raises(DistributionError):
+            Gaussian(float("nan"), 1.0)
+
+    def test_confidence_region_symmetric(self):
+        g = Gaussian(0.0, 1.0)
+        lo, hi = g.confidence_region(0.95)
+        assert lo == pytest.approx(-1.96, abs=1e-2)
+        assert hi == pytest.approx(1.96, abs=1e-2)
+
+    def test_prob_helpers(self):
+        g = Gaussian(0.0, 1.0)
+        assert g.prob_greater_than(0.0) == pytest.approx(0.5)
+        assert g.prob_less_than(0.0) == pytest.approx(0.5)
+        assert g.prob_in_interval(-1.0, 1.0) == pytest.approx(0.6827, abs=1e-3)
+
+
+class TestMultivariateGaussian:
+    def test_pdf_matches_product_of_independent_marginals(self):
+        mvg = MultivariateGaussian([0.0, 1.0], [[4.0, 0.0], [0.0, 9.0]])
+        gx, gy = Gaussian(0.0, 2.0), Gaussian(1.0, 3.0)
+        point = np.array([1.0, -2.0])
+        assert mvg.pdf(point) == pytest.approx(gx.pdf(1.0) * gy.pdf(-2.0))
+
+    def test_marginals(self):
+        mvg = MultivariateGaussian([1.0, 2.0], [[1.0, 0.3], [0.3, 4.0]])
+        mx = mvg.marginal(0)
+        assert mx.mu == pytest.approx(1.0)
+        assert mx.sigma == pytest.approx(1.0)
+        my = mvg.marginal(1)
+        assert my.sigma == pytest.approx(2.0)
+
+    def test_sampling_covariance(self, rng):
+        cov = [[2.0, 0.8], [0.8, 1.0]]
+        mvg = MultivariateGaussian([0.0, 0.0], cov)
+        samples = mvg.sample(40_000, rng=rng)
+        estimated = np.cov(samples.T)
+        assert np.allclose(estimated, cov, atol=0.08)
+
+    def test_mahalanobis_zero_at_mean(self):
+        mvg = MultivariateGaussian([3.0, -1.0], [[1.0, 0.0], [0.0, 1.0]])
+        assert mvg.mahalanobis([3.0, -1.0]) == pytest.approx(0.0)
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(DistributionError):
+            MultivariateGaussian([0.0, 0.0], [[1.0]])
+
+    def test_rejects_non_symmetric_covariance(self):
+        with pytest.raises(DistributionError):
+            MultivariateGaussian([0.0, 0.0], [[1.0, 0.5], [0.1, 1.0]])
+
+    def test_rejects_non_positive_definite(self):
+        with pytest.raises(DistributionError):
+            MultivariateGaussian([0.0, 0.0], [[1.0, 2.0], [2.0, 1.0]])
+
+    def test_confidence_region_per_dimension(self):
+        mvg = MultivariateGaussian([0.0, 0.0], [[1.0, 0.0], [0.0, 4.0]])
+        regions = mvg.confidence_region(0.95)
+        assert regions[0][1] == pytest.approx(1.96, abs=1e-2)
+        assert regions[1][1] == pytest.approx(3.92, abs=2e-2)

@@ -1,0 +1,117 @@
+"""Tests for KL-divergence compression of particle clouds (Section 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    DistributionError,
+    Gaussian,
+    GaussianMixture,
+    ParticleDistribution,
+    compress_particles,
+    fit_gaussian,
+    fit_mixture,
+    fit_multivariate_gaussian,
+    kl_divergence_grid,
+    kl_divergence_samples,
+)
+
+
+class TestFitGaussian:
+    def test_matches_paper_formula(self):
+        # mu = sum w_i x_i ; sigma^2 = sum w_i (x_i - mu)^2
+        values = np.array([1.0, 3.0, 5.0])
+        weights = np.array([0.2, 0.3, 0.5])
+        g = fit_gaussian(values, weights)
+        mu = float(np.dot(weights, values))
+        var = float(np.dot(weights, (values - mu) ** 2))
+        assert g.mu == pytest.approx(mu)
+        assert g.sigma**2 == pytest.approx(var)
+
+    def test_unweighted_defaults_to_uniform(self, rng):
+        values = rng.normal(2.0, 3.0, size=5000)
+        g = fit_gaussian(values)
+        assert g.mu == pytest.approx(values.mean())
+        assert g.sigma**2 == pytest.approx(values.var(), rel=1e-9)
+
+    def test_fit_is_kl_optimal_among_gaussians(self, rng):
+        values = rng.normal(0.0, 1.0, size=400)
+        weights = rng.random(400)
+        weights /= weights.sum()
+        best = fit_gaussian(values, weights)
+        best_kl = kl_divergence_samples(values, weights, best)
+        for candidate in (Gaussian(best.mu + 0.5, best.sigma), Gaussian(best.mu, best.sigma * 2)):
+            assert kl_divergence_samples(values, weights, candidate) > best_kl
+
+    def test_rejects_empty(self):
+        with pytest.raises(DistributionError):
+            fit_gaussian([])
+
+
+class TestFitMultivariateGaussian:
+    def test_recovers_mean_and_covariance(self, rng):
+        cov = np.array([[2.0, 0.5], [0.5, 1.0]])
+        points = rng.multivariate_normal([1.0, -1.0], cov, size=20_000)
+        mvg = fit_multivariate_gaussian(points)
+        assert np.allclose(mvg.mean(), [1.0, -1.0], atol=0.05)
+        assert np.allclose(mvg.covariance(), cov, atol=0.08)
+
+    def test_weighted_points(self):
+        points = [[0.0, 0.0], [10.0, 10.0]]
+        mvg = fit_multivariate_gaussian(points, weights=[3.0, 1.0])
+        assert np.allclose(mvg.mean(), [2.5, 2.5])
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(DistributionError):
+            fit_multivariate_gaussian(np.zeros((0, 2)))
+        with pytest.raises(DistributionError):
+            fit_multivariate_gaussian([[0.0, 0.0]], weights=[1.0, 2.0])
+
+
+class TestKLDivergences:
+    def test_grid_kl_zero_for_identical(self):
+        g = Gaussian(0.0, 1.0)
+        assert kl_divergence_grid(g, Gaussian(0.0, 1.0)) == pytest.approx(0.0, abs=1e-6)
+
+    def test_grid_kl_matches_closed_form(self):
+        p, q = Gaussian(0.0, 1.0), Gaussian(1.0, 2.0)
+        assert kl_divergence_grid(p, q) == pytest.approx(p.kl_divergence(q), abs=1e-3)
+
+    def test_sample_kl_prefers_closer_target(self, rng):
+        values = rng.normal(5.0, 1.0, size=1000)
+        close = Gaussian(5.0, 1.0)
+        far = Gaussian(0.0, 1.0)
+        assert kl_divergence_samples(values, None, close) < kl_divergence_samples(values, None, far)
+
+
+class TestCompression:
+    def test_unimodal_cloud_compresses_to_gaussian(self, rng):
+        particles = ParticleDistribution(rng.normal(3.0, 0.5, size=400))
+        compressed = compress_particles(particles, max_components=3, rng=rng)
+        assert isinstance(compressed, Gaussian)
+        assert compressed.mu == pytest.approx(3.0, abs=0.1)
+
+    def test_bimodal_cloud_compresses_to_mixture(self, rng):
+        # An object that recently moved: particles spread over two locations.
+        values = np.concatenate([rng.normal(0.0, 0.4, 300), rng.normal(12.0, 0.4, 150)])
+        particles = ParticleDistribution(values)
+        compressed = compress_particles(particles, max_components=3, rng=rng)
+        assert isinstance(compressed, GaussianMixture)
+        assert compressed.n_components >= 2
+
+    def test_max_components_one_forces_gaussian(self, rng):
+        values = np.concatenate([rng.normal(0.0, 0.4, 200), rng.normal(12.0, 0.4, 200)])
+        particles = ParticleDistribution(values)
+        compressed = compress_particles(particles, max_components=1)
+        assert isinstance(compressed, Gaussian)
+
+    def test_compression_preserves_mean(self, rng):
+        values = np.concatenate([rng.normal(-5.0, 0.5, 300), rng.normal(5.0, 0.5, 300)])
+        particles = ParticleDistribution(values)
+        compressed = compress_particles(particles, max_components=3, rng=rng)
+        assert compressed.mean() == pytest.approx(particles.mean(), abs=0.3)
+
+    def test_fit_mixture_with_fixed_components(self, rng):
+        values = rng.normal(0.0, 1.0, size=500)
+        mix = fit_mixture(values, n_components=2, rng=rng)
+        assert mix.n_components == 2

@@ -1,0 +1,58 @@
+"""Tests for distribution distance metrics (variance distance, KS, TV, W1)."""
+
+import pytest
+
+from repro.distributions import (
+    Gaussian,
+    Uniform,
+    ks_distance,
+    total_variation_distance,
+    variance_distance,
+    wasserstein_distance,
+)
+
+
+class TestVarianceDistance:
+    def test_zero_for_identical_distributions(self):
+        g = Gaussian(1.0, 2.0)
+        assert variance_distance(g, Gaussian(1.0, 2.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_one_for_disjoint_supports(self):
+        a = Uniform(0.0, 1.0)
+        b = Uniform(10.0, 11.0)
+        assert variance_distance(a, b) == pytest.approx(1.0, abs=1e-6)
+
+    def test_bounded_and_monotone_in_separation(self):
+        base = Gaussian(0.0, 1.0)
+        near = variance_distance(base, Gaussian(0.5, 1.0))
+        far = variance_distance(base, Gaussian(3.0, 1.0))
+        assert 0.0 < near < far <= 1.0
+
+    def test_symmetry(self):
+        a, b = Gaussian(0.0, 1.0), Gaussian(2.0, 3.0)
+        assert variance_distance(a, b) == pytest.approx(variance_distance(b, a))
+
+
+class TestOtherMetrics:
+    def test_ks_distance_known_value(self):
+        # Two unit-width uniforms offset by half a width overlap by half.
+        a, b = Uniform(0.0, 1.0), Uniform(0.5, 1.5)
+        assert ks_distance(a, b) == pytest.approx(0.5, abs=1e-3)
+
+    def test_total_variation_bounds(self):
+        a, b = Gaussian(0.0, 1.0), Gaussian(0.2, 1.0)
+        tv = total_variation_distance(a, b)
+        assert 0.0 < tv < 1.0
+
+    def test_total_variation_one_for_disjoint(self):
+        assert total_variation_distance(Uniform(0, 1), Uniform(5, 6)) == pytest.approx(1.0, abs=1e-6)
+
+    def test_wasserstein_equals_mean_shift_for_translates(self):
+        a = Gaussian(0.0, 1.0)
+        b = Gaussian(2.0, 1.0)
+        assert wasserstein_distance(a, b) == pytest.approx(2.0, abs=0.01)
+
+    def test_all_metrics_symmetric(self):
+        a, b = Gaussian(0.0, 1.0), Uniform(-1.0, 4.0)
+        for metric in (ks_distance, total_variation_distance, wasserstein_distance):
+            assert metric(a, b) == pytest.approx(metric(b, a), rel=1e-9)

@@ -1,0 +1,126 @@
+"""Tests for the uniform, exponential, and gamma distributions."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import DistributionError, Exponential, GammaDistribution, Uniform
+
+
+class TestUniform:
+    def test_pdf_constant_inside_support(self):
+        u = Uniform(2.0, 6.0)
+        assert u.pdf(3.0) == pytest.approx(0.25)
+        assert u.pdf(1.9) == 0.0
+        assert u.pdf(6.1) == 0.0
+
+    def test_cdf_linear(self):
+        u = Uniform(0.0, 10.0)
+        assert u.cdf(2.5) == pytest.approx(0.25)
+        assert u.cdf(-1.0) == 0.0
+        assert u.cdf(11.0) == 1.0
+
+    def test_moments(self):
+        u = Uniform(-1.0, 3.0)
+        assert u.mean() == pytest.approx(1.0)
+        assert u.variance() == pytest.approx(16.0 / 12.0)
+
+    def test_quantile(self):
+        u = Uniform(0.0, 8.0)
+        assert u.quantile(0.5) == pytest.approx(4.0)
+        assert u.quantile(0.125) == pytest.approx(1.0)
+
+    def test_characteristic_function_at_zero(self):
+        assert Uniform(0.0, 1.0).characteristic_function(0.0) == pytest.approx(1.0)
+
+    def test_characteristic_function_matches_numeric(self):
+        u = Uniform(-2.0, 5.0)
+        t = 0.7
+        xs = np.linspace(-2.0, 5.0, 40001)
+        numeric = np.trapezoid(u.pdf(xs) * np.exp(1j * t * xs), xs)
+        assert u.characteristic_function(t) == pytest.approx(numeric, abs=1e-6)
+
+    def test_sampling_within_bounds(self, rng):
+        u = Uniform(10.0, 12.0)
+        samples = u.sample(1000, rng=rng)
+        assert samples.min() >= 10.0
+        assert samples.max() <= 12.0
+
+    def test_shift_scale(self):
+        u = Uniform(0.0, 2.0)
+        assert u.shift(1.0).support() == (1.0, 3.0)
+        assert u.scale(-1.0).support() == (-2.0, 0.0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(DistributionError):
+            Uniform(3.0, 3.0)
+        with pytest.raises(DistributionError):
+            Uniform(5.0, 1.0)
+
+
+class TestExponential:
+    def test_moments(self):
+        e = Exponential(0.5)
+        assert e.mean() == pytest.approx(2.0)
+        assert e.variance() == pytest.approx(4.0)
+
+    def test_cdf_and_quantile_roundtrip(self):
+        e = Exponential(1.5)
+        for q in (0.1, 0.5, 0.95):
+            assert e.cdf(e.quantile(q)) == pytest.approx(q)
+
+    def test_pdf_zero_for_negative(self):
+        assert Exponential(1.0).pdf(-0.5) == 0.0
+
+    def test_characteristic_function_matches_numeric(self):
+        e = Exponential(2.0)
+        t = 1.3
+        xs = np.linspace(0, 20, 200001)
+        numeric = np.trapezoid(e.pdf(xs) * np.exp(1j * t * xs), xs)
+        assert e.characteristic_function(t) == pytest.approx(numeric, abs=1e-4)
+
+    def test_sampling_mean(self, rng):
+        e = Exponential(0.25)
+        assert e.sample(50_000, rng=rng).mean() == pytest.approx(4.0, rel=0.05)
+
+    def test_invalid_rate(self):
+        with pytest.raises(DistributionError):
+            Exponential(0.0)
+        with pytest.raises(DistributionError):
+            Exponential(-1.0)
+
+
+class TestGamma:
+    def test_moments(self):
+        g = GammaDistribution(3.0, 2.0)
+        assert g.mean() == pytest.approx(6.0)
+        assert g.variance() == pytest.approx(12.0)
+
+    def test_pdf_integrates_to_one(self):
+        g = GammaDistribution(2.5, 1.5)
+        xs = np.linspace(0, 60, 60001)
+        assert np.trapezoid(g.pdf(xs), xs) == pytest.approx(1.0, abs=1e-4)
+
+    def test_mode(self):
+        assert GammaDistribution(3.0, 2.0).mode() == pytest.approx(4.0)
+        assert GammaDistribution(0.5, 1.0).mode() == 0.0
+
+    def test_skewness_decreases_with_shape(self):
+        assert GammaDistribution(1.0, 1.0).skewness() > GammaDistribution(10.0, 1.0).skewness()
+
+    def test_characteristic_function_matches_numeric(self):
+        g = GammaDistribution(4.0, 0.5)
+        t = 0.9
+        xs = np.linspace(0, 30, 100001)
+        numeric = np.trapezoid(g.pdf(xs) * np.exp(1j * t * xs), xs)
+        assert g.characteristic_function(t) == pytest.approx(numeric, abs=1e-5)
+
+    def test_quantile_cdf_roundtrip(self):
+        g = GammaDistribution(2.0, 3.0)
+        for q in (0.05, 0.5, 0.99):
+            assert g.cdf(g.quantile(q)) == pytest.approx(q, abs=1e-9)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DistributionError):
+            GammaDistribution(0.0, 1.0)
+        with pytest.raises(DistributionError):
+            GammaDistribution(1.0, -2.0)

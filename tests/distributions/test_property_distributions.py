@@ -1,0 +1,110 @@
+"""Property-based tests (hypothesis) on the distribution substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    Gaussian,
+    GaussianMixture,
+    ParticleDistribution,
+    SumCharacteristicFunction,
+    Uniform,
+    fit_gaussian,
+    fit_gaussian_to_cf,
+    normalize_weights,
+)
+
+finite_means = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False)
+positive_sigmas = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False)
+
+
+@given(mu=finite_means, sigma=positive_sigmas, q=st.floats(min_value=0.01, max_value=0.99))
+@settings(max_examples=60, deadline=None)
+def test_gaussian_quantile_cdf_roundtrip(mu, sigma, q):
+    g = Gaussian(mu, sigma)
+    assert abs(g.cdf(g.quantile(q)) - q) < 1e-7
+
+
+@given(mu=finite_means, sigma=positive_sigmas, x=finite_means)
+@settings(max_examples=60, deadline=None)
+def test_gaussian_pdf_nonnegative_and_cdf_monotone(mu, sigma, x):
+    g = Gaussian(mu, sigma)
+    assert g.pdf(x) >= 0.0
+    assert g.cdf(x) <= g.cdf(x + abs(sigma))
+
+
+@given(
+    mus=st.lists(finite_means, min_size=1, max_size=5),
+    sigmas=st.lists(positive_sigmas, min_size=1, max_size=5),
+    raw_weights=st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=5),
+)
+@settings(max_examples=40, deadline=None)
+def test_mixture_moments_consistent_with_sampling_free_formulas(mus, sigmas, raw_weights):
+    k = min(len(mus), len(sigmas), len(raw_weights))
+    mix = GaussianMixture(raw_weights[:k], mus[:k], sigmas[:k])
+    # Variance must equal E[X^2] - mean^2 and be non-negative.
+    assert mix.variance() >= -1e-9
+    # CF at 0 is 1 and |CF| <= 1 everywhere.
+    assert abs(mix.characteristic_function(0.0) - 1.0) < 1e-12
+    ts = np.linspace(-3, 3, 7)
+    assert np.all(np.abs(mix.characteristic_function(ts)) <= 1.0 + 1e-9)
+
+
+@given(
+    values=st.lists(finite_means, min_size=1, max_size=30),
+    raw_weights=st.lists(st.floats(min_value=1e-3, max_value=5.0), min_size=1, max_size=30),
+)
+@settings(max_examples=40, deadline=None)
+def test_weight_normalisation_and_particle_moments(values, raw_weights):
+    n = min(len(values), len(raw_weights))
+    values, raw_weights = values[:n], raw_weights[:n]
+    weights = normalize_weights(raw_weights)
+    assert abs(weights.sum() - 1.0) < 1e-9
+    particles = ParticleDistribution(values, raw_weights)
+    assert particles.variance() >= -1e-9
+    lo, hi = min(values), max(values)
+    assert lo - 1e-9 <= particles.mean() <= hi + 1e-9
+
+
+@given(
+    params=st.lists(
+        st.tuples(finite_means, st.floats(min_value=0.1, max_value=50.0)),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_cf_gaussian_fit_matches_exact_moments_of_sum(params):
+    summands = [Gaussian(mu, sigma) for mu, sigma in params]
+    cf = SumCharacteristicFunction(summands)
+    fit = fit_gaussian_to_cf(cf)
+    assert np.isclose(fit.mu, sum(mu for mu, _ in params), rtol=1e-9, atol=1e-6)
+    assert np.isclose(fit.sigma**2, sum(s**2 for _, s in params), rtol=1e-9, atol=1e-6)
+
+
+@given(
+    low=st.floats(min_value=-100, max_value=99, allow_nan=False),
+    width=st.floats(min_value=0.1, max_value=100),
+    n=st.integers(min_value=10, max_value=200),
+)
+@settings(max_examples=40, deadline=None)
+def test_kl_optimal_gaussian_mean_within_sample_range(low, width, n):
+    rng = np.random.default_rng(42)
+    values = rng.uniform(low, low + width, size=n)
+    g = fit_gaussian(values)
+    assert values.min() - 1e-9 <= g.mu <= values.max() + 1e-9
+    assert g.sigma > 0
+
+
+@given(
+    low=st.floats(min_value=-50, max_value=50),
+    width=st.floats(min_value=0.5, max_value=20),
+    x=st.floats(min_value=-100, max_value=100),
+)
+@settings(max_examples=60, deadline=None)
+def test_uniform_cdf_bounds(low, width, x):
+    u = Uniform(low, low + width)
+    c = u.cdf(x)
+    assert 0.0 <= c <= 1.0
+    assert u.prob_in_interval(low, low + width) > 0.999

@@ -1,0 +1,85 @@
+"""Tests for the speed/accuracy feedback controller (Section 4.2)."""
+
+import pytest
+
+from repro.inference import ParticleCountController, ReferenceAccuracyMonitor
+
+
+class TestReferenceAccuracyMonitor:
+    def test_records_errors_against_known_positions(self):
+        monitor = ReferenceAccuracyMonitor({"S1": (0.0, 0.0), "S2": (10.0, 0.0)})
+        assert monitor.current_error() is None
+        error = monitor.record_estimate("S1", (3.0, 4.0))
+        assert error == pytest.approx(5.0)
+        monitor.record_estimate("S2", (10.0, 1.0))
+        assert monitor.current_error() == pytest.approx(3.0)
+
+    def test_windowed_average(self):
+        monitor = ReferenceAccuracyMonitor({"S1": (0.0, 0.0)}, window=2)
+        monitor.record_estimate("S1", (10.0, 0.0))
+        monitor.record_estimate("S1", (2.0, 0.0))
+        monitor.record_estimate("S1", (4.0, 0.0))
+        assert monitor.current_error() == pytest.approx(3.0)
+
+    def test_unknown_reference_rejected(self):
+        monitor = ReferenceAccuracyMonitor({"S1": (0.0, 0.0)})
+        with pytest.raises(KeyError):
+            monitor.record_estimate("S9", (0.0, 0.0))
+
+    def test_requires_references(self):
+        with pytest.raises(ValueError):
+            ReferenceAccuracyMonitor({})
+
+
+class TestParticleCountController:
+    def test_doubles_until_accuracy_met(self):
+        controller = ParticleCountController(target_error=1.0, initial_count=25)
+        assert controller.count == 25
+        controller.observe(5.0)
+        assert controller.count == 50
+        controller.observe(3.0)
+        assert controller.count == 100
+        assert controller.phase == "doubling"
+
+    def test_decreases_by_constant_after_meeting_target(self):
+        controller = ParticleCountController(target_error=1.0, initial_count=25, decrease_step=10)
+        controller.observe(2.0)   # -> 50
+        controller.observe(0.5)   # met at 50 -> switch to decreasing
+        assert controller.phase == "decreasing"
+        controller.observe(0.5)   # 50 met -> try 40
+        assert controller.count == 40
+        controller.observe(0.5)   # 40 met -> try 30
+        assert controller.count == 30
+
+    def test_settles_on_smallest_sufficient_count(self):
+        controller = ParticleCountController(target_error=1.0, initial_count=40, decrease_step=10)
+        controller.observe(0.5)   # met at 40 -> decreasing
+        controller.observe(0.5)   # 40 good -> 30
+        controller.observe(0.5)   # 30 good -> 20
+        controller.observe(2.0)   # 20 too few -> back to 30, settled
+        assert controller.count == 30
+        assert controller.phase == "settled"
+        # Further observations leave the settled count unchanged.
+        controller.observe(5.0)
+        assert controller.count == 30
+
+    def test_respects_max_count(self):
+        controller = ParticleCountController(target_error=0.001, initial_count=100, max_count=400)
+        controller.observe(10.0)
+        controller.observe(10.0)
+        controller.observe(10.0)
+        assert controller.count <= 400
+
+    def test_none_measurement_is_ignored(self):
+        controller = ParticleCountController(target_error=1.0)
+        before = controller.count
+        controller.observe(None)
+        assert controller.count == before
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            ParticleCountController(target_error=0.0)
+        with pytest.raises(ValueError):
+            ParticleCountController(target_error=1.0, initial_count=5, min_count=10)
+        with pytest.raises(ValueError):
+            ParticleCountController(target_error=1.0, decrease_step=0)

@@ -1,0 +1,94 @@
+"""Tests for the factor-graph description of the data generation process."""
+
+import numpy as np
+import pytest
+
+from repro.inference import Factor, FactorGraph, StateSpaceModel
+from repro.rfid import build_object_model
+
+
+class TestFactorGraph:
+    def build_rfid_like_graph(self):
+        graph = FactorGraph()
+        graph.add_variable("loc_O1", "hidden")
+        graph.add_variable("loc_O2", "hidden")
+        graph.add_variable("reading_O1", "evidence")
+        graph.add_variable("reading_O2", "evidence")
+        graph.add_factor(
+            Factor("sense_O1", ("loc_O1", "reading_O1"), lambda a: -float(a["loc_O1"][0] ** 2))
+        )
+        graph.add_factor(
+            Factor("sense_O2", ("loc_O2", "reading_O2"), lambda a: -float(a["loc_O2"][0] ** 2))
+        )
+        return graph
+
+    def test_variable_declaration_and_kinds(self):
+        graph = self.build_rfid_like_graph()
+        assert set(graph.hidden_variables()) == {"loc_O1", "loc_O2"}
+        assert set(graph.evidence_variables()) == {"reading_O1", "reading_O2"}
+
+    def test_duplicate_variable_rejected(self):
+        graph = FactorGraph()
+        graph.add_variable("x")
+        with pytest.raises(ValueError):
+            graph.add_variable("x")
+
+    def test_factor_over_undeclared_variable_rejected(self):
+        graph = FactorGraph()
+        graph.add_variable("x")
+        with pytest.raises(ValueError):
+            graph.add_factor(Factor("bad", ("x", "y"), lambda a: 0.0))
+
+    def test_log_joint_is_sum_of_factors(self):
+        graph = self.build_rfid_like_graph()
+        assignment = {
+            "loc_O1": np.array([2.0]),
+            "loc_O2": np.array([3.0]),
+            "reading_O1": np.array([1.0]),
+            "reading_O2": np.array([0.0]),
+        }
+        assert graph.log_joint(assignment) == pytest.approx(-(4.0 + 9.0))
+
+    def test_markov_blanket(self):
+        graph = self.build_rfid_like_graph()
+        assert graph.markov_blanket("loc_O1") == ["reading_O1"]
+
+    def test_independent_components_justify_factorisation(self):
+        # Objects whose factors never share variables can be tracked by
+        # independent particle filters (the factorisation optimisation).
+        graph = self.build_rfid_like_graph()
+        components = graph.independent_components()
+        assert sorted(map(tuple, components)) == [("loc_O1",), ("loc_O2",)]
+
+    def test_shared_factor_merges_components(self):
+        graph = self.build_rfid_like_graph()
+        graph.add_factor(
+            Factor("collision", ("loc_O1", "loc_O2"), lambda a: 0.0)
+        )
+        components = graph.independent_components()
+        assert len(components) == 1
+
+    def test_missing_assignment_raises(self):
+        graph = self.build_rfid_like_graph()
+        with pytest.raises(KeyError):
+            graph.log_joint({"loc_O1": np.array([0.0])})
+
+
+class TestStateSpaceModel:
+    def test_prior_shape_validated(self):
+        model = build_object_model((0.0, 0.0, 10.0, 10.0))
+        rng = np.random.default_rng(0)
+        prior = model.sample_prior(64, rng)
+        assert prior.shape == (64, 2)
+        assert prior[:, 0].min() >= 0.0
+        assert prior[:, 0].max() <= 10.0
+
+    def test_bad_prior_sampler_rejected(self):
+        model = StateSpaceModel(
+            transition=build_object_model((0, 0, 1, 1)).transition,
+            observation=build_object_model((0, 0, 1, 1)).observation,
+            prior_sampler=lambda n, rng: np.zeros((n, 3)),
+            state_dim=2,
+        )
+        with pytest.raises(ValueError):
+            model.sample_prior(5, np.random.default_rng(0))

@@ -1,0 +1,82 @@
+"""Tests for the Kalman-filter baseline."""
+
+import numpy as np
+import pytest
+
+from repro.inference import KalmanFilter
+
+
+def scalar_filter(q=0.01, r=1.0):
+    return KalmanFilter(
+        transition=[[1.0]],
+        observation=[[1.0]],
+        process_noise=[[q]],
+        observation_noise=[[r]],
+        initial_mean=[0.0],
+        initial_covariance=[[10.0]],
+    )
+
+
+class TestKalmanFilter:
+    def test_update_moves_mean_towards_measurement(self):
+        kf = scalar_filter()
+        kf.step([5.0])
+        assert 0.0 < kf.mean[0] <= 5.0
+
+    def test_variance_shrinks_with_measurements(self):
+        kf = scalar_filter()
+        initial_var = kf.covariance[0, 0]
+        for _ in range(10):
+            kf.step([1.0])
+        assert kf.covariance[0, 0] < initial_var
+
+    def test_tracks_constant_signal(self, rng):
+        kf = scalar_filter(q=1e-6, r=0.5)
+        truth = 3.0
+        for _ in range(200):
+            kf.step([truth + rng.normal(0, np.sqrt(0.5))])
+        assert kf.mean[0] == pytest.approx(truth, abs=0.2)
+
+    def test_missing_measurement_only_predicts(self):
+        kf = scalar_filter()
+        var_before = kf.covariance[0, 0]
+        kf.step(None)
+        assert kf.covariance[0, 0] >= var_before
+
+    def test_constant_velocity_model_tracks_ramp(self, rng):
+        dt = 1.0
+        kf = KalmanFilter(
+            transition=[[1.0, dt], [0.0, 1.0]],
+            observation=[[1.0, 0.0]],
+            process_noise=[[1e-4, 0.0], [0.0, 1e-4]],
+            observation_noise=[[0.25]],
+            initial_mean=[0.0, 0.0],
+            initial_covariance=np.eye(2) * 10.0,
+        )
+        for t in range(1, 60):
+            kf.step([2.0 * t + rng.normal(0, 0.5)])
+        assert kf.mean[1] == pytest.approx(2.0, abs=0.2)
+
+    def test_filter_sequence_returns_states(self):
+        kf = scalar_filter()
+        states = kf.filter_sequence([[1.0], [1.5], None, [2.0]])
+        assert len(states) == 4
+        assert states[-1].mean.shape == (1,)
+
+    def test_posterior_is_multivariate_gaussian(self):
+        kf = scalar_filter()
+        kf.step([1.0])
+        posterior = kf.posterior()
+        assert posterior.ndim == 1
+        assert posterior.mean()[0] == pytest.approx(kf.mean[0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            KalmanFilter(
+                transition=[[1.0, 0.0]],
+                observation=[[1.0]],
+                process_noise=[[1.0]],
+                observation_noise=[[1.0]],
+                initial_mean=[0.0],
+                initial_covariance=[[1.0]],
+            )

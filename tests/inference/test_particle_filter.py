@@ -1,0 +1,198 @@
+"""Tests for the particle filter and its stream-speed optimisations."""
+
+import numpy as np
+import pytest
+
+from repro.inference import (
+    CompressionConfig,
+    FactorizedParticleFilter,
+    JointParticleFilter,
+    ParticleFilter,
+)
+from repro.rfid import DetectionModel, DetectionObservation, build_object_model
+
+BOUNDS = (0.0, 0.0, 50.0, 30.0)
+
+
+def make_model(detection=None):
+    return build_object_model(BOUNDS, detection=detection, walk_sigma=0.1, jump_rate=0.0)
+
+
+def observe_from(x, y, true_position, detection, rng):
+    """Simulate whether a reader at (x, y) detects an object at true_position."""
+    distance = float(np.hypot(true_position[0] - x, true_position[1] - y))
+    detected = rng.random() < detection.probability(distance)
+    return DetectionObservation(reader_x=x, reader_y=y, detected=detected)
+
+
+class TestParticleFilter:
+    def test_prior_particles_cover_the_area(self, rng):
+        pf = ParticleFilter(make_model(), n_particles=200, rng=rng)
+        assert pf.particles.shape == (200, 2)
+        assert pf.particles[:, 0].min() >= BOUNDS[0]
+        assert pf.particles[:, 0].max() <= BOUNDS[2]
+
+    def test_repeated_detections_concentrate_particles_near_truth(self, rng):
+        detection = DetectionModel(midpoint=8.0, steepness=0.8, max_rate=0.95)
+        pf = ParticleFilter(make_model(detection), n_particles=400, rng=rng)
+        truth = np.array([20.0, 15.0])
+        # Readings from several vantage points around the object.
+        for reader_x, reader_y in [(15, 15), (25, 15), (20, 10), (20, 20), (18, 17), (22, 13)]:
+            pf.predict(0.5)
+            pf.update(observe_from(reader_x, reader_y, truth, detection, rng))
+        error = np.linalg.norm(pf.estimate() - truth)
+        assert error < 6.0
+        assert float(np.max(pf.spread())) < 12.0
+
+    def test_non_detections_push_particles_away(self, rng):
+        detection = DetectionModel(midpoint=10.0, steepness=0.9, max_rate=0.95)
+        pf = ParticleFilter(make_model(detection), n_particles=400, rng=rng)
+        # Repeated confident misses from a corner reader: the object is
+        # unlikely to be near that corner.
+        for _ in range(6):
+            pf.predict(0.5)
+            pf.update(DetectionObservation(reader_x=0.0, reader_y=0.0, detected=False))
+        assert np.linalg.norm(pf.estimate()) > 12.0
+
+    def test_update_returns_evidence_and_handles_zero_likelihood(self, rng):
+        pf = ParticleFilter(make_model(), n_particles=50, rng=rng)
+
+        class ZeroObservation:
+            pass
+
+        # Patch a model whose likelihood is all zeros via a conflicting observation.
+        evidence = pf.update(DetectionObservation(0.0, 0.0, detected=True))
+        assert evidence >= 0.0
+        # Weights stay a valid simplex even under harsh evidence.
+        assert pf.weights.sum() == pytest.approx(1.0)
+
+    def test_resample_to_specific_size(self, rng):
+        pf = ParticleFilter(make_model(), n_particles=128, rng=rng)
+        pf.set_particle_count(32)
+        assert pf.n_particles == 32
+        pf.set_particle_count(256)
+        assert pf.n_particles == 256
+
+    def test_marginal_and_posterior_gaussian(self, rng):
+        pf = ParticleFilter(make_model(), n_particles=100, rng=rng)
+        marginal = pf.marginal(0)
+        assert marginal.n_particles == 100
+        posterior = pf.posterior_gaussian()
+        assert posterior.ndim == 2
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ValueError):
+            ParticleFilter(make_model(), n_particles=1)
+        pf = ParticleFilter(make_model(), n_particles=10, rng=rng)
+        with pytest.raises(ValueError):
+            pf.predict(-1.0)
+
+
+class TestFactorizedParticleFilter:
+    def make_filter(self, rng, **kwargs):
+        fpf = FactorizedParticleFilter(n_particles=60, rng=rng, **kwargs)
+        model = make_model()
+        for i in range(5):
+            fpf.add_variable(f"O{i}", model)
+        return fpf
+
+    def test_tracks_independent_variables(self, rng):
+        fpf = self.make_filter(rng)
+        assert len(fpf) == 5
+        assert fpf.total_particles() == 5 * 60
+        assert fpf.estimate("O0").shape == (2,)
+
+    def test_duplicate_variable_rejected(self, rng):
+        fpf = self.make_filter(rng)
+        with pytest.raises(ValueError):
+            fpf.add_variable("O0", make_model())
+
+    def test_spatial_index_limits_candidates(self, rng):
+        fpf = FactorizedParticleFilter(
+            n_particles=40, use_spatial_index=True, index_cell_size=5.0, rng=rng
+        )
+        model = make_model()
+        for i in range(10):
+            fpf.add_variable(f"O{i}", model)
+        # Candidate list with a region is no larger than the full list.
+        region = (10.0, 10.0, 5.0)
+        assert len(fpf.candidates(region)) <= len(fpf.candidates(None))
+
+    def test_step_updates_only_candidates(self, rng):
+        fpf = self.make_filter(rng, use_spatial_index=False)
+        processed = fpf.step(
+            dt=0.5,
+            observation_for=lambda var_id: DetectionObservation(5.0, 5.0, detected=False),
+            region=None,
+        )
+        assert set(processed) == {f"O{i}" for i in range(5)}
+        assert fpf.updates_performed == 5
+
+    def test_compression_shrinks_stable_clouds(self, rng):
+        detection = DetectionModel(midpoint=8.0, steepness=1.0, max_rate=0.95)
+        config = CompressionConfig(
+            stability_threshold=3.0, compressed_count=10, expansion_threshold=8.0
+        )
+        fpf = FactorizedParticleFilter(
+            n_particles=120, compression=config, use_spatial_index=False, rng=rng
+        )
+        fpf.add_variable("O0", build_object_model(BOUNDS, detection=detection, walk_sigma=0.05, jump_rate=0.0))
+        truth = np.array([20.0, 15.0])
+        for reader in [(15, 15), (25, 15), (20, 10), (20, 20), (18, 16), (22, 14), (19, 15), (21, 15)]:
+            fpf.step(
+                dt=0.2,
+                observation_for=lambda _vid: observe_from(reader[0], reader[1], truth, detection, rng),
+                region=None,
+            )
+        assert fpf.filter_for("O0").n_particles <= 120
+        # If the cloud stabilised it must have been compressed to 10.
+        if float(np.max(fpf.filter_for("O0").spread())) < 3.0:
+            assert fpf.filter_for("O0").n_particles == 10
+
+    def test_compression_config_validation(self):
+        with pytest.raises(ValueError):
+            CompressionConfig(stability_threshold=0.0)
+        with pytest.raises(ValueError):
+            CompressionConfig(compressed_count=1)
+        with pytest.raises(ValueError):
+            CompressionConfig(stability_threshold=2.0, expansion_threshold=1.0)
+
+
+class TestJointParticleFilter:
+    def test_joint_filter_tracks_all_variables_per_event(self, rng):
+        jpf = JointParticleFilter(n_particles=100, rng=rng)
+        model = make_model()
+        for i in range(3):
+            jpf.add_variable(f"O{i}", model)
+        processed = jpf.step(
+            dt=0.5,
+            observation_for=lambda var_id: DetectionObservation(5.0, 5.0, detected=False),
+        )
+        assert processed == ["O0", "O1", "O2"]
+        assert jpf.estimate("O1").shape == (2,)
+
+    def test_factorized_beats_joint_accuracy_with_equal_budget(self, rng):
+        # With the same total particle budget, the factorised filter assigns
+        # all of it to each variable's own space and localises better.
+        detection = DetectionModel(midpoint=8.0, steepness=0.8, max_rate=0.9)
+        model = build_object_model(BOUNDS, detection=detection, walk_sigma=0.05, jump_rate=0.0)
+        truths = {f"O{i}": np.array([10.0 + 10.0 * i, 15.0]) for i in range(3)}
+
+        def run(filter_obj):
+            reader_points = [(8, 15), (18, 15), (28, 15), (12, 12), (22, 18), (30, 14)] * 3
+            for rx, ry in reader_points:
+                filter_obj.step(
+                    dt=0.2,
+                    observation_for=lambda vid: observe_from(rx, ry, truths[vid], detection, rng),
+                    region=None,
+                )
+            return np.mean(
+                [np.linalg.norm(filter_obj.estimate(vid) - truths[vid]) for vid in truths]
+            )
+
+        factorized = FactorizedParticleFilter(n_particles=90, use_spatial_index=False, rng=rng)
+        joint = JointParticleFilter(n_particles=90, rng=np.random.default_rng(999))
+        for vid in truths:
+            factorized.add_variable(vid, model)
+            joint.add_variable(vid, model)
+        assert run(factorized) <= run(joint) + 2.0

@@ -1,0 +1,101 @@
+"""Cross-validation: the particle filter against the exact Kalman filter.
+
+On a linear-Gaussian state-space model the Kalman filter computes the
+exact posterior, so a correctly implemented bootstrap particle filter
+must converge to the same posterior mean and a comparable variance.
+This guards the particle-filter machinery that the RFID T operator
+depends on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.inference import KalmanFilter, ParticleFilter
+from repro.inference.graphical_model import ObservationModel, StateSpaceModel, TransitionModel
+
+
+class _RandomWalk1D(TransitionModel):
+    def __init__(self, sigma: float):
+        self.sigma = sigma
+
+    def propagate(self, states, dt, rng):
+        return states + rng.normal(0.0, self.sigma * np.sqrt(dt), size=states.shape)
+
+
+class _NoisyPosition1D(ObservationModel):
+    def __init__(self, sigma: float):
+        self.sigma = sigma
+
+    def likelihood(self, states, observation):
+        z = (states[:, 0] - float(observation)) / self.sigma
+        return np.exp(-0.5 * z * z) / (self.sigma * np.sqrt(2 * np.pi))
+
+
+def build_models(process_sigma=0.5, obs_sigma=1.0, prior_mean=0.0, prior_sigma=5.0):
+    def prior(n, rng):
+        return rng.normal(prior_mean, prior_sigma, size=(n, 1))
+
+    pf_model = StateSpaceModel(
+        transition=_RandomWalk1D(process_sigma),
+        observation=_NoisyPosition1D(obs_sigma),
+        prior_sampler=prior,
+        state_dim=1,
+    )
+    kf = KalmanFilter(
+        transition=[[1.0]],
+        observation=[[1.0]],
+        process_noise=[[process_sigma**2]],
+        observation_noise=[[obs_sigma**2]],
+        initial_mean=[prior_mean],
+        initial_covariance=[[prior_sigma**2]],
+    )
+    return pf_model, kf
+
+
+class TestParticleFilterAgainstKalman:
+    def test_posterior_mean_matches_kalman(self, rng):
+        pf_model, kf = build_models()
+        pf = ParticleFilter(pf_model, n_particles=4000, rng=rng)
+        truth = 0.0
+        true_rng = np.random.default_rng(77)
+        for _ in range(25):
+            truth += true_rng.normal(0.0, 0.5)
+            measurement = truth + true_rng.normal(0.0, 1.0)
+            pf.predict(1.0)
+            pf.update(measurement)
+            kf.step([measurement])
+        assert float(pf.estimate()[0]) == pytest.approx(float(kf.mean[0]), abs=0.15)
+
+    def test_posterior_variance_comparable_to_kalman(self, rng):
+        pf_model, kf = build_models()
+        pf = ParticleFilter(pf_model, n_particles=4000, rng=rng)
+        true_rng = np.random.default_rng(88)
+        truth = 0.0
+        for _ in range(25):
+            truth += true_rng.normal(0.0, 0.5)
+            measurement = truth + true_rng.normal(0.0, 1.0)
+            pf.predict(1.0)
+            pf.update(measurement)
+            kf.step([measurement])
+        pf_var = float(pf.marginal(0).variance())
+        kf_var = float(kf.covariance[0, 0])
+        assert pf_var == pytest.approx(kf_var, rel=0.35)
+
+    def test_more_particles_track_kalman_better(self, rng_factory):
+        pf_model, _ = build_models()
+        true_rng = np.random.default_rng(99)
+        truth_path = np.cumsum(true_rng.normal(0.0, 0.5, size=30))
+        measurements = truth_path + true_rng.normal(0.0, 1.0, size=30)
+
+        def final_gap(n_particles, seed):
+            _, kf = build_models()
+            pf = ParticleFilter(pf_model, n_particles=n_particles, rng=rng_factory(seed))
+            for z in measurements:
+                pf.predict(1.0)
+                pf.update(float(z))
+                kf.step([float(z)])
+            return abs(float(pf.estimate()[0]) - float(kf.mean[0]))
+
+        coarse = np.mean([final_gap(50, s) for s in range(5)])
+        fine = np.mean([final_gap(2000, s + 10) for s in range(5)])
+        assert fine <= coarse + 0.05

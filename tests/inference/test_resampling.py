@@ -1,0 +1,58 @@
+"""Tests for resampling schemes and effective sample size."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import DistributionError
+from repro.inference import (
+    effective_sample_size,
+    multinomial_resample,
+    residual_resample,
+    stratified_resample,
+    systematic_resample,
+)
+
+SCHEMES = [systematic_resample, stratified_resample, multinomial_resample, residual_resample]
+
+
+class TestEffectiveSampleSize:
+    def test_uniform_weights_give_full_ess(self):
+        assert effective_sample_size(np.full(50, 0.02)) == pytest.approx(50.0)
+
+    def test_degenerate_weights_give_ess_one(self):
+        weights = np.zeros(10)
+        weights[3] = 1.0
+        assert effective_sample_size(weights) == pytest.approx(1.0)
+
+    def test_unnormalised_weights_accepted(self):
+        assert effective_sample_size(np.array([2.0, 2.0, 2.0, 2.0])) == pytest.approx(4.0)
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(DistributionError):
+            effective_sample_size(np.zeros(5))
+
+
+@pytest.mark.parametrize("scheme", SCHEMES, ids=lambda f: f.__name__)
+class TestResamplingSchemes:
+    def test_returns_requested_count_of_valid_indices(self, scheme, rng):
+        weights = rng.random(40)
+        idx = scheme(weights, 25, rng)
+        assert idx.shape == (25,)
+        assert idx.min() >= 0
+        assert idx.max() < 40
+
+    def test_heavy_weight_dominates(self, scheme, rng):
+        weights = np.full(20, 0.001)
+        weights[7] = 1.0
+        idx = scheme(weights, 1000, rng)
+        assert np.mean(idx == 7) > 0.9
+
+    def test_frequencies_proportional_to_weights(self, scheme, rng):
+        weights = np.array([0.1, 0.2, 0.3, 0.4])
+        idx = scheme(weights, 40_000, rng)
+        freq = np.bincount(idx, minlength=4) / 40_000
+        assert np.allclose(freq, weights, atol=0.02)
+
+    def test_invalid_count_rejected(self, scheme, rng):
+        with pytest.raises(ValueError):
+            scheme(np.array([0.5, 0.5]), 0, rng)

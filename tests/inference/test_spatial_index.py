@@ -1,0 +1,66 @@
+"""Tests for the grid-based spatial index."""
+
+import numpy as np
+import pytest
+
+from repro.inference import GridIndex
+
+
+class TestGridIndex:
+    def test_insert_and_query(self):
+        index = GridIndex(cell_size=10.0)
+        index.update("a", 5.0, 5.0)
+        index.update("b", 55.0, 5.0)
+        nearby = index.query_radius(6.0, 6.0, 5.0)
+        assert "a" in nearby
+        assert "b" not in nearby
+
+    def test_query_is_conservative_superset(self, rng):
+        index = GridIndex(cell_size=5.0)
+        positions = {}
+        for i in range(200):
+            x, y = rng.uniform(0, 100, size=2)
+            positions[i] = (x, y)
+            index.update(i, x, y)
+        cx, cy, radius = 40.0, 60.0, 12.0
+        candidates = set(index.query_radius(cx, cy, radius))
+        truly_inside = {
+            i for i, (x, y) in positions.items() if np.hypot(x - cx, y - cy) <= radius
+        }
+        assert truly_inside <= candidates
+
+    def test_moving_an_object_updates_its_cell(self):
+        index = GridIndex(cell_size=1.0)
+        index.update("obj", 0.5, 0.5)
+        index.update("obj", 99.5, 99.5)
+        assert "obj" not in index.query_radius(0.5, 0.5, 2.0)
+        assert "obj" in index.query_radius(99.0, 99.0, 2.0)
+        assert len(index) == 1
+
+    def test_remove(self):
+        index = GridIndex(cell_size=2.0)
+        index.update("x", 1.0, 1.0)
+        index.remove("x")
+        assert "x" not in index
+        assert index.query_radius(1.0, 1.0, 5.0) == []
+        index.remove("x")  # idempotent
+
+    def test_negative_coordinates_supported(self):
+        index = GridIndex(cell_size=3.0)
+        index.update("neg", -10.0, -20.0)
+        assert "neg" in index.query_radius(-10.0, -20.0, 1.0)
+
+    def test_cell_count(self):
+        index = GridIndex(cell_size=10.0)
+        index.update("a", 1.0, 1.0)
+        index.update("b", 2.0, 2.0)
+        index.update("c", 55.0, 55.0)
+        assert index.cell_count() == 2
+        assert set(index.all_objects()) == {"a", "b", "c"}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GridIndex(0.0)
+        index = GridIndex(1.0)
+        with pytest.raises(ValueError):
+            index.query_radius(0, 0, -1.0)

@@ -1,0 +1,69 @@
+"""End-to-end test of the radar path (Figure 1): pulses -> T operator ->
+uncertain aggregation -> merged detection input."""
+
+import numpy as np
+import pytest
+
+from repro.core import CLTSum, UncertainAggregate
+from repro.radar import (
+    CartesianGrid,
+    RadarTransformOperator,
+    compute_moments,
+    merge_moment_fields,
+    run_detection,
+)
+from repro.streams import CollectSink, StreamEngine, StreamTuple, TumblingCountWindow
+from repro.workloads import build_table1_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_table1_workload(
+        duration_seconds=9.5, n_scans=1, pulse_rate=250.0, n_gates=100, gate_spacing=140.0
+    )
+
+
+class TestRadarPipeline:
+    def test_t_operator_feeds_uncertain_aggregation(self, workload):
+        t_operator = RadarTransformOperator(
+            workload.site, averaging_size=50, min_reflectivity_dbz=25.0
+        )
+        aggregate = UncertainAggregate(
+            TumblingCountWindow(20), "velocity", CLTSum(), function="avg"
+        )
+        sink = CollectSink()
+        engine = StreamEngine()
+        engine.add_source("radar", t_operator)
+        t_operator.connect(aggregate)
+        aggregate.connect(sink)
+
+        scan = workload.scans[0]
+        engine.push("radar", StreamTuple(timestamp=0.0, values={"scan": scan}))
+        engine.finish()
+
+        assert sink.results, "storm voxels must produce aggregated tuples"
+        for result in sink.results:
+            dist = result.distribution("avg_velocity")
+            assert np.isfinite(dist.mean())
+            assert dist.variance() > 0.0
+            # Average radial velocity stays within the physically possible range.
+            assert abs(dist.mean()) < workload.site.nyquist_velocity
+
+    def test_detection_quality_degrades_with_averaging(self, workload):
+        fine = compute_moments(workload.scans[0], workload.site, 20)
+        coarse = compute_moments(workload.scans[0], workload.site, 500)
+        fine_result = run_detection(
+            fine, workload.site, delta_v_threshold=workload.detection_threshold
+        )
+        coarse_result = run_detection(
+            coarse, workload.site, delta_v_threshold=workload.detection_threshold
+        )
+        assert fine_result.count > coarse_result.count
+        assert fine.size_bytes > coarse.size_bytes
+
+    def test_merge_step_accepts_transformed_moment_data(self, workload):
+        moments = compute_moments(workload.scans[0], workload.site, 40)
+        grid = CartesianGrid(-1000.0, 0.0, 16000.0, 16000.0, resolution=500.0)
+        merged = merge_moment_fields([(moments, workload.site)], grid, min_reflectivity_dbz=20.0)
+        assert merged.n_cells > 0
+        assert all(cell.n_samples >= 1 for cell in merged.cells)

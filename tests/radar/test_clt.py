@@ -1,0 +1,69 @@
+"""Tests for CLT-based aggregation of correlated (MA) series."""
+
+import numpy as np
+import pytest
+
+from repro.radar import (
+    MAModel,
+    long_run_variance,
+    mean_distribution_from_series,
+    sum_distribution_from_series,
+)
+
+
+class TestLongRunVariance:
+    def test_white_noise_long_run_variance_equals_variance(self, rng):
+        x = rng.normal(0, 2, size=20_000)
+        assert long_run_variance(x, ma_order=0) == pytest.approx(4.0, rel=0.05)
+
+    def test_positive_correlation_inflates_long_run_variance(self, rng):
+        series = MAModel(0.0, (0.8,), 1.0).simulate(30_000, rng=rng)
+        lrv = long_run_variance(series, ma_order=1)
+        plain = series.var()
+        assert lrv > 1.3 * plain
+
+    def test_order_identified_automatically(self, rng):
+        series = MAModel(0.0, (0.8,), 1.0).simulate(30_000, rng=rng)
+        auto = long_run_variance(series)
+        manual = long_run_variance(series, ma_order=1)
+        assert auto == pytest.approx(manual, rel=0.15)
+
+    def test_too_short_series_rejected(self):
+        with pytest.raises(ValueError):
+            long_run_variance([1.0, 2.0])
+
+
+class TestMeanDistribution:
+    def test_mean_estimate_centres_on_sample_mean(self, rng):
+        series = MAModel(7.0, (0.5,), 1.0).simulate(5000, rng=rng)
+        dist = mean_distribution_from_series(series, ma_order=1)
+        assert dist.mu == pytest.approx(series.mean())
+
+    def test_variance_of_mean_is_calibrated(self, rng):
+        # Repeatedly average short MA windows; the spread of those averages
+        # must match the CLT variance prediction.
+        model = MAModel(0.0, (0.6,), 1.0)
+        window = 200
+        means, predicted_vars = [], []
+        for i in range(300):
+            series = model.simulate(window, rng=np.random.default_rng(1000 + i))
+            means.append(series.mean())
+            predicted_vars.append(mean_distribution_from_series(series, ma_order=1).variance())
+        empirical = np.var(means)
+        predicted = np.mean(predicted_vars)
+        assert predicted == pytest.approx(empirical, rel=0.3)
+
+    def test_iid_assumption_understates_uncertainty_for_correlated_series(self, rng):
+        series = MAModel(0.0, (0.9,), 1.0).simulate(3000, rng=rng)
+        clt_aware = mean_distribution_from_series(series, ma_order=1)
+        naive = mean_distribution_from_series(series, ma_order=0)
+        assert clt_aware.sigma > naive.sigma
+
+
+class TestSumDistribution:
+    def test_sum_is_n_times_mean(self, rng):
+        series = MAModel(3.0, (0.4,), 1.0).simulate(1000, rng=rng)
+        total = sum_distribution_from_series(series, ma_order=1)
+        mean = mean_distribution_from_series(series, ma_order=1)
+        assert total.mu == pytest.approx(1000 * mean.mu, rel=1e-9)
+        assert total.variance() == pytest.approx(1000**2 * mean.variance(), rel=1e-6)

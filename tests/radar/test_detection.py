@@ -1,0 +1,69 @@
+"""Tests for the tornado vortex-signature detector."""
+
+import numpy as np
+import pytest
+
+from repro.radar import compute_moments, detect_vortices, run_detection
+from repro.workloads import build_table1_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    # A small, fast workload: one scan, modest gate count.
+    return build_table1_workload(
+        duration_seconds=9.5, n_scans=1, pulse_rate=300.0, n_gates=120, gate_spacing=120.0
+    )
+
+
+class TestDetectVortices:
+    def test_fine_averaging_detects_embedded_vortices(self, workload):
+        moments = compute_moments(workload.scans[0], workload.site, averaging_size=20)
+        detections = detect_vortices(
+            moments, workload.site, delta_v_threshold=workload.detection_threshold
+        )
+        assert len(detections) >= len(workload.scene.vortices) - 1
+
+    def test_coarse_averaging_misses_vortices(self, workload):
+        moments = compute_moments(workload.scans[0], workload.site, averaging_size=900)
+        detections = detect_vortices(
+            moments, workload.site, delta_v_threshold=workload.detection_threshold
+        )
+        assert len(detections) == 0
+
+    def test_detections_near_true_vortex_positions(self, workload):
+        moments = compute_moments(workload.scans[0], workload.site, averaging_size=20)
+        detections = detect_vortices(
+            moments, workload.site, delta_v_threshold=workload.detection_threshold
+        )
+        true_positions = [(v.x, v.y) for v in workload.scene.vortices]
+        for det in detections:
+            x, y = det.position(workload.site)
+            nearest = min(np.hypot(x - tx, y - ty) for tx, ty in true_positions)
+            assert nearest < 2500.0
+
+    def test_no_detections_in_calm_scene(self):
+        calm = build_table1_workload(
+            duration_seconds=9.5,
+            n_scans=1,
+            pulse_rate=300.0,
+            n_gates=100,
+            n_vortices=1,
+            vortex_max_speed=1.0,
+        )
+        moments = compute_moments(calm.scans[0], calm.site, averaging_size=30)
+        assert detect_vortices(moments, calm.site, delta_v_threshold=40.0) == []
+
+    def test_higher_threshold_yields_fewer_detections(self, workload):
+        moments = compute_moments(workload.scans[0], workload.site, averaging_size=20)
+        low = detect_vortices(moments, workload.site, delta_v_threshold=20.0)
+        high = detect_vortices(moments, workload.site, delta_v_threshold=70.0)
+        assert len(high) <= len(low)
+
+    def test_run_detection_records_runtime(self, workload):
+        moments = compute_moments(workload.scans[0], workload.site, averaging_size=50)
+        result = run_detection(
+            moments, workload.site, delta_v_threshold=workload.detection_threshold
+        )
+        assert result.runtime_seconds > 0.0
+        assert result.averaging_size == 50
+        assert result.count == len(result.detections)

@@ -1,0 +1,88 @@
+"""Tests for radar scan geometry and coordinate conversions."""
+
+import numpy as np
+import pytest
+
+from repro.radar import RadarSite, beam_positions, cartesian_to_polar, polar_to_cartesian
+
+
+def make_site(**kwargs):
+    defaults = dict(site_id="R1", n_gates=100, gate_spacing=50.0, pulse_rate=1000.0, rotation_rate=20.0)
+    defaults.update(kwargs)
+    return RadarSite(**defaults)
+
+
+class TestRadarSite:
+    def test_max_range_and_gate_ranges(self):
+        site = make_site()
+        assert site.max_range == 5000.0
+        ranges = site.gate_ranges()
+        assert ranges.shape == (100,)
+        assert ranges[0] == pytest.approx(25.0)
+        assert ranges[-1] == pytest.approx(4975.0)
+
+    def test_pulses_per_degree(self):
+        site = make_site(pulse_rate=2000.0, rotation_rate=20.0)
+        assert site.pulses_per_degree() == pytest.approx(100.0)
+
+    def test_nyquist_velocity(self):
+        site = make_site(pulse_rate=2000.0, wavelength=0.032)
+        assert site.nyquist_velocity == pytest.approx(16.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            make_site(n_gates=0)
+        with pytest.raises(ValueError):
+            make_site(gate_spacing=-1.0)
+        with pytest.raises(ValueError):
+            make_site(wavelength=0.0)
+
+
+class TestCoordinateConversion:
+    def test_cardinal_directions(self):
+        site = make_site()
+        x, y = polar_to_cartesian(0.0, 1000.0, site)
+        assert x == pytest.approx(0.0, abs=1e-9)
+        assert y == pytest.approx(1000.0)
+        x, y = polar_to_cartesian(90.0, 1000.0, site)
+        assert x == pytest.approx(1000.0)
+        assert y == pytest.approx(0.0, abs=1e-6)
+
+    def test_offset_site(self):
+        site = make_site(x=100.0, y=-50.0)
+        x, y = polar_to_cartesian(180.0, 200.0, site)
+        assert x == pytest.approx(100.0, abs=1e-6)
+        assert y == pytest.approx(-250.0)
+
+    def test_roundtrip(self):
+        site = make_site(x=10.0, y=20.0)
+        for az, rng in [(0.0, 100.0), (45.0, 500.0), (123.4, 3000.0), (359.0, 50.0)]:
+            x, y = polar_to_cartesian(az, rng, site)
+            az2, rng2 = cartesian_to_polar(x, y, site)
+            assert float(az2) == pytest.approx(az, abs=1e-6)
+            assert float(rng2) == pytest.approx(rng, rel=1e-9)
+
+    def test_vectorised_conversion(self):
+        site = make_site()
+        azimuths = np.array([0.0, 90.0, 180.0])
+        ranges = np.array([100.0, 100.0, 100.0])
+        x, y = polar_to_cartesian(azimuths, ranges, site)
+        assert x.shape == (3,)
+        assert np.allclose(y, [100.0, 0.0, -100.0], atol=1e-6)
+
+
+class TestBeamPositions:
+    def test_step_matches_rotation_rate(self):
+        site = make_site(pulse_rate=1000.0, rotation_rate=10.0)
+        azimuths = beam_positions(site, start_azimuth=30.0, n_pulses=5)
+        assert azimuths[0] == pytest.approx(30.0)
+        assert azimuths[1] - azimuths[0] == pytest.approx(0.01)
+
+    def test_wraps_around_360(self):
+        site = make_site(pulse_rate=100.0, rotation_rate=50.0)
+        azimuths = beam_positions(site, start_azimuth=359.8, n_pulses=10)
+        assert np.all(azimuths < 360.0)
+
+    def test_invalid_pulse_count(self):
+        with pytest.raises(ValueError):
+            beam_positions(make_site(), 0.0, 0)

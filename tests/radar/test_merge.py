@@ -1,0 +1,97 @@
+"""Tests for multi-radar merging onto a Cartesian grid."""
+
+import numpy as np
+import pytest
+
+from repro.radar import (
+    CartesianGrid,
+    PulseGenerator,
+    RadarSite,
+    WeatherScene,
+    compute_moments,
+    merge_moment_fields,
+)
+from repro.radar.scene import StormCell
+
+
+def make_pair():
+    scene = WeatherScene(background_wind=(10.0, 0.0), base_dbz=15.0)
+    scene.cells.append(StormCell(x=0.0, y=6000.0, radius=6000.0, peak_dbz=45.0))
+    site_a = RadarSite(
+        "A", x=-4000.0, y=0.0, n_gates=100, gate_spacing=120.0,
+        pulse_rate=300.0, rotation_rate=15.0, wavelength=0.6,
+    )
+    site_b = RadarSite(
+        "B", x=4000.0, y=0.0, n_gates=100, gate_spacing=120.0,
+        pulse_rate=300.0, rotation_rate=15.0, wavelength=0.6,
+    )
+    moments = []
+    for seed, site in ((1, site_a), (2, site_b)):
+        generator = PulseGenerator(site, scene, sector=(315.0, 360.0) if site.x > 0 else (0.0, 45.0), rng=seed)
+        moments.append((compute_moments(generator.generate_scan(), site, 30), site))
+    return scene, moments
+
+
+class TestCartesianGrid:
+    def test_cell_mapping_and_centers(self):
+        grid = CartesianGrid(0.0, 0.0, 100.0, 50.0, resolution=10.0)
+        assert grid.n_x == 10 and grid.n_y == 5
+        ix, iy = grid.cell_of(np.array([15.0]), np.array([45.0]))
+        assert (ix[0], iy[0]) == (1, 4)
+        assert grid.center_of(1, 4) == (15.0, 45.0)
+
+    def test_contains(self):
+        grid = CartesianGrid(0.0, 0.0, 10.0, 10.0, resolution=1.0)
+        ix, iy = grid.cell_of(np.array([-1.0, 5.0]), np.array([5.0, 5.0]))
+        inside = grid.contains(ix, iy)
+        assert list(inside) == [False, True]
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            CartesianGrid(0, 0, 0, 10, 1.0)
+        with pytest.raises(ValueError):
+            CartesianGrid(0, 0, 10, 10, 0.0)
+
+
+class TestMergeMomentFields:
+    def test_merge_produces_cells_from_both_radars(self):
+        _, pairs = make_pair()
+        grid = CartesianGrid(-8000.0, 0.0, 8000.0, 12000.0, resolution=500.0)
+        merged = merge_moment_fields(pairs, grid)
+        assert merged.n_cells > 0
+        sites_seen = set()
+        for cell in merged.cells:
+            sites_seen.update(cell.contributing_sites)
+        assert sites_seen == {"A", "B"}
+        overlap = [c for c in merged.cells if len(c.contributing_sites) == 2]
+        assert overlap, "the two sectors must overlap somewhere on the grid"
+
+    def test_merged_velocity_close_to_truth_in_overlap(self):
+        scene, pairs = make_pair()
+        grid = CartesianGrid(-8000.0, 0.0, 8000.0, 12000.0, resolution=500.0)
+        merged = merge_moment_fields(pairs, grid, min_reflectivity_dbz=25.0)
+        # In overlap cells the merged radial velocities (w.r.t. different radars)
+        # are both projections of the same wind; just check values are bounded
+        # by the physical wind speed and variance is positive.
+        for cell in merged.cells:
+            assert abs(cell.velocity_mean) <= 15.0
+            assert cell.velocity_variance > 0.0
+
+    def test_density_imbalance_reported(self):
+        _, pairs = make_pair()
+        grid = CartesianGrid(-8000.0, 0.0, 8000.0, 12000.0, resolution=500.0)
+        merged = merge_moment_fields(pairs, grid)
+        assert merged.density_imbalance() >= 1.0
+        assert 0.0 < merged.coverage_fraction() <= 1.0
+
+    def test_velocity_distribution_exposed_as_gaussian(self):
+        _, pairs = make_pair()
+        grid = CartesianGrid(-8000.0, 0.0, 8000.0, 12000.0, resolution=1000.0)
+        merged = merge_moment_fields(pairs, grid)
+        dist = merged.cells[0].velocity_distribution()
+        assert dist.sigma > 0.0
+
+    def test_empty_input_rejected(self):
+        grid = CartesianGrid(0, 0, 10, 10, 1.0)
+        with pytest.raises(ValueError):
+            merge_moment_fields([], grid)

@@ -1,0 +1,92 @@
+"""Tests for pulse-pair moment computation and averaging."""
+
+import numpy as np
+import pytest
+
+from repro.radar import (
+    MOMENT_BYTES_PER_VOXEL,
+    PulseGenerator,
+    RadarSite,
+    WeatherScene,
+    compute_moments,
+)
+from repro.radar.scene import StormCell
+
+
+def make_setup(pulse_rate=400.0, n_gates=48, background_wind=(8.0, 0.0), noise_power=0.02):
+    site = RadarSite(
+        site_id="M1",
+        n_gates=n_gates,
+        gate_spacing=100.0,
+        pulse_rate=pulse_rate,
+        rotation_rate=10.0,
+        wavelength=0.6,
+    )
+    scene = WeatherScene(background_wind=background_wind, base_dbz=10.0)
+    # Storm cell at azimuth ~75 degrees, range ~3 km: inside the scanned sector.
+    scene.cells.append(StormCell(x=2900.0, y=780.0, radius=1500.0, peak_dbz=45.0))
+    generator = PulseGenerator(site, scene, sector=(60.0, 90.0), noise_power=noise_power, rng=21)
+    return site, scene, generator
+
+
+class TestComputeMoments:
+    def test_shapes_and_metadata(self):
+        site, _, generator = make_setup()
+        scan = generator.generate_scan()
+        moments = compute_moments(scan, site, averaging_size=40)
+        assert moments.n_gates == site.n_gates
+        assert moments.n_blocks == scan.n_pulses // 40
+        assert moments.averaging_size == 40
+        assert moments.size_bytes == moments.n_voxels * MOMENT_BYTES_PER_VOXEL
+
+    def test_data_volume_shrinks_with_averaging_size(self):
+        site, _, generator = make_setup()
+        scan = generator.generate_scan()
+        sizes = [compute_moments(scan, site, n).size_bytes for n in (20, 100, 400)]
+        assert sizes[0] > sizes[1] > sizes[2]
+
+    def test_velocity_recovers_radial_wind(self):
+        site, scene, generator = make_setup(background_wind=(0.0, -12.0))
+        scan = generator.generate_scan()
+        moments = compute_moments(scan, site, averaging_size=60)
+        # Pick well-lit voxels and compare against the true radial velocity.
+        mask = moments.reflectivity_dbz > 25.0
+        assert np.any(mask)
+        from repro.radar import polar_to_cartesian
+
+        az_grid = np.repeat(moments.azimuths_deg[:, None], moments.n_gates, axis=1)
+        rng_grid = np.repeat(moments.ranges_m[None, :], moments.n_blocks, axis=0)
+        x, y = polar_to_cartesian(az_grid, rng_grid, site)
+        truth = scene.radial_velocity(x, y, site.x, site.y)
+        error = np.abs(moments.velocity - truth)[mask]
+        assert np.median(error) < 1.5
+
+    def test_reflectivity_tracks_scene(self):
+        site, scene, generator = make_setup()
+        scan = generator.generate_scan()
+        moments = compute_moments(scan, site, averaging_size=50)
+        # The storm cell is centred ~3.3 km out at azimuth ~63 deg; reflectivity
+        # there must exceed the clear-air gates far beyond the cell.
+        near_cell = moments.reflectivity_dbz[:, 30:36].mean()
+        far_away = moments.reflectivity_dbz[:, -3:].mean()
+        assert near_cell > far_away + 10.0
+
+    def test_azimuth_resolution_grows_with_averaging(self):
+        site, _, generator = make_setup()
+        scan = generator.generate_scan()
+        fine = compute_moments(scan, site, averaging_size=20)
+        coarse = compute_moments(scan, site, averaging_size=200)
+        assert coarse.azimuth_resolution_deg() > fine.azimuth_resolution_deg()
+
+    def test_spectrum_width_nonnegative(self):
+        site, _, generator = make_setup()
+        moments = compute_moments(generator.generate_scan(), site, averaging_size=40)
+        assert np.all(moments.spectrum_width >= 0.0)
+
+    def test_invalid_averaging_sizes(self):
+        site, _, generator = make_setup()
+        scan = generator.generate_scan()
+        with pytest.raises(ValueError):
+            compute_moments(scan, site, averaging_size=1)
+        with pytest.raises(ValueError):
+            compute_moments(scan, site, averaging_size=10**7)

@@ -1,0 +1,78 @@
+"""Tests for synthetic raw pulse generation."""
+
+import numpy as np
+import pytest
+
+from repro.radar import PulseGenerator, RadarSite, WeatherScene, RAW_BYTES_PER_GATE
+from repro.radar.scene import StormCell, Vortex
+
+
+def make_site(pulse_rate=400.0, rotation_rate=10.0, n_gates=64):
+    return RadarSite(
+        site_id="T1",
+        n_gates=n_gates,
+        gate_spacing=100.0,
+        pulse_rate=pulse_rate,
+        rotation_rate=rotation_rate,
+        wavelength=0.6,
+    )
+
+
+def calm_scene():
+    scene = WeatherScene(background_wind=(6.0, 0.0), base_dbz=8.0)
+    scene.cells.append(StormCell(x=2000.0, y=2000.0, radius=3000.0, peak_dbz=45.0))
+    return scene
+
+
+class TestPulseGenerator:
+    def test_scan_geometry(self):
+        gen = PulseGenerator(make_site(), calm_scene(), sector=(0.0, 45.0), rng=0)
+        assert gen.pulses_per_scan == pytest.approx(45.0 / 10.0 * 400.0, rel=0.01)
+        assert gen.seconds_per_scan == pytest.approx(4.5, rel=0.01)
+        assert gen.scans_in(38.0) == 8
+
+    def test_scan_shapes_and_size(self):
+        site = make_site(n_gates=32)
+        gen = PulseGenerator(site, calm_scene(), sector=(0.0, 10.0), rng=1)
+        scan = gen.generate_scan()
+        block = scan.concatenated()
+        assert block.iq.shape == (gen.pulses_per_scan, 32)
+        assert block.azimuths_deg.shape == (gen.pulses_per_scan,)
+        assert scan.raw_size_bytes == gen.pulses_per_scan * 32 * RAW_BYTES_PER_GATE
+
+    def test_azimuths_span_the_sector(self):
+        gen = PulseGenerator(make_site(), calm_scene(), sector=(10.0, 40.0), rng=2)
+        scan = gen.generate_scan()
+        azimuths = scan.concatenated().azimuths_deg
+        assert azimuths.min() >= 10.0
+        assert azimuths.max() < 40.0
+
+    def test_signal_power_reflects_reflectivity(self):
+        site = make_site(n_gates=64)
+        scene = WeatherScene(background_wind=(0.0, 0.0), base_dbz=5.0)
+        # A strong cell due north at gate ~30.
+        scene.cells.append(StormCell(x=0.0, y=3000.0, radius=400.0, peak_dbz=50.0))
+        gen = PulseGenerator(site, scene, sector=(0.0, 2.0), noise_power=0.01, rng=3)
+        block = gen.generate_scan().concatenated()
+        power = np.mean(np.abs(block.iq) ** 2, axis=0)
+        gate_in_cell = int(3000.0 // 100.0)
+        gate_outside = 10
+        assert power[gate_in_cell] > 50.0 * power[gate_outside]
+
+    def test_generate_multiple_scans_advance_time(self):
+        gen = PulseGenerator(make_site(), calm_scene(), sector=(0.0, 10.0), rng=4)
+        scans = gen.generate(duration_seconds=3.0)
+        assert len(scans) == max(int(3.0 // gen.seconds_per_scan), 1)
+        if len(scans) > 1:
+            assert scans[1].blocks[0].start_time > scans[0].blocks[0].start_time
+
+    def test_aliasing_guard(self):
+        site = make_site(pulse_rate=100.0)  # Nyquist = 0.6*100/4 = 15 m/s
+        scene = WeatherScene()
+        scene.vortices.append(Vortex(0.0, 3000.0, 200.0, 40.0))
+        with pytest.raises(ValueError):
+            PulseGenerator(site, scene, rng=5)
+
+    def test_invalid_sector(self):
+        with pytest.raises(ValueError):
+            PulseGenerator(make_site(), calm_scene(), sector=(30.0, 10.0))

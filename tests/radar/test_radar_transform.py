@@ -1,0 +1,104 @@
+"""Tests for the radar data capture and transformation (T) operator."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Gaussian
+from repro.radar import (
+    PulseGenerator,
+    RadarSite,
+    RadarTransformOperator,
+    WeatherScene,
+    pulse_pair_velocity_series,
+)
+from repro.radar.scene import StormCell
+
+
+def make_setup(averaging_size=40, **op_kwargs):
+    site = RadarSite(
+        site_id="T1", n_gates=48, gate_spacing=120.0,
+        pulse_rate=300.0, rotation_rate=10.0, wavelength=0.6,
+    )
+    scene = WeatherScene(background_wind=(0.0, -10.0), base_dbz=5.0)
+    scene.cells.append(StormCell(x=0.0, y=3000.0, radius=1500.0, peak_dbz=45.0))
+    generator = PulseGenerator(site, scene, sector=(350.0, 358.0), noise_power=0.02, rng=31)
+    operator = RadarTransformOperator(site, averaging_size=averaging_size, **op_kwargs)
+    return site, scene, generator, operator
+
+
+class TestPulsePairVelocitySeries:
+    def test_constant_doppler_recovered(self):
+        wavelength, pulse_rate, velocity = 0.6, 300.0, 12.0
+        prt = 1.0 / pulse_rate
+        phases = 4 * np.pi * velocity * prt / wavelength * np.arange(64)
+        iq = np.exp(1j * phases)
+        series = pulse_pair_velocity_series(iq, pulse_rate, wavelength)
+        assert np.allclose(series, velocity, atol=1e-9)
+
+    def test_requires_at_least_two_samples(self):
+        with pytest.raises(ValueError):
+            pulse_pair_velocity_series(np.array([1.0 + 0j]), 300.0, 0.6)
+
+
+class TestRadarTransformOperator:
+    def test_emits_voxel_tuples_with_velocity_distributions(self):
+        site, scene, generator, operator = make_setup()
+        scan = generator.generate_scan()
+        outputs = list(operator.ingest(scan, timestamp=0.0))
+        assert outputs, "storm voxels should be emitted"
+        for item in outputs[:20]:
+            assert item.value("site_id") == "T1"
+            assert isinstance(item.distribution("velocity"), Gaussian)
+            assert item.value("reflectivity_dbz") >= operator.min_reflectivity_dbz
+            assert item.value("averaging_size") == operator.averaging_size
+
+    def test_velocity_estimates_near_truth(self):
+        site, scene, generator, operator = make_setup()
+        scan = generator.generate_scan()
+        outputs = list(operator.ingest(scan, timestamp=0.0))
+        from repro.radar import polar_to_cartesian
+
+        errors = []
+        for item in outputs:
+            x, y = polar_to_cartesian(item.value("azimuth_deg"), item.value("range_m"), site)
+            truth = float(scene.radial_velocity(np.array([x]), np.array([y]), site.x, site.y)[0])
+            errors.append(abs(item.distribution("velocity").mu - truth))
+        assert np.median(errors) < 2.0
+
+    def test_reflectivity_threshold_limits_volume(self):
+        _, _, generator, low_thresh = make_setup(min_reflectivity_dbz=0.0)
+        site2, _, generator2, high_thresh = make_setup(min_reflectivity_dbz=30.0)
+        scan = generator.generate_scan()
+        n_low = len(list(low_thresh.ingest(scan, 0.0)))
+        n_high = len(list(high_thresh.ingest(generator2.generate_scan(), 0.0)))
+        assert n_high < n_low
+
+    def test_larger_averaging_reduces_tuple_count_and_uncertainty(self):
+        _, _, generator_a, op_small = make_setup(averaging_size=20)
+        _, _, generator_b, op_large = make_setup(averaging_size=100)
+        scan_a = generator_a.generate_scan()
+        scan_b = generator_b.generate_scan()
+        out_small = list(op_small.ingest(scan_a, 0.0))
+        out_large = list(op_large.ingest(scan_b, 0.0))
+        assert len(out_large) < len(out_small)
+        mean_sigma_small = np.mean([t.distribution("velocity").sigma for t in out_small])
+        mean_sigma_large = np.mean([t.distribution("velocity").sigma for t in out_large])
+        # Averaging over more pulses narrows the distribution of the mean.
+        assert mean_sigma_large < mean_sigma_small
+
+    def test_order_identification_mode_runs(self):
+        _, _, generator, operator = make_setup(identify_order=True)
+        outputs = list(operator.ingest(generator.generate_scan(), 0.0))
+        assert outputs
+
+    def test_rejects_wrong_observation_type(self):
+        _, _, _, operator = make_setup()
+        with pytest.raises(TypeError):
+            list(operator.ingest("not a scan", 0.0))
+
+    def test_invalid_parameters(self):
+        site = RadarSite("X", pulse_rate=300.0, rotation_rate=10.0)
+        with pytest.raises(ValueError):
+            RadarTransformOperator(site, averaging_size=1)
+        with pytest.raises(ValueError):
+            RadarTransformOperator(site, ma_order=-1)

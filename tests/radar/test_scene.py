@@ -1,0 +1,80 @@
+"""Tests for synthetic weather scenes (vortices, storm cells, wind fields)."""
+
+import numpy as np
+import pytest
+
+from repro.radar import StormCell, Vortex, WeatherScene
+
+
+class TestVortex:
+    def test_velocity_zero_at_centre(self):
+        v = Vortex(x=0.0, y=0.0, core_radius=100.0, max_speed=40.0)
+        u, w = v.velocity(np.array([0.0]), np.array([0.0]))
+        assert abs(u[0]) < 1e-9 and abs(w[0]) < 1e-9
+
+    def test_peak_speed_at_core_radius(self):
+        v = Vortex(x=0.0, y=0.0, core_radius=100.0, max_speed=40.0)
+        u, w = v.velocity(np.array([100.0]), np.array([0.0]))
+        assert np.hypot(u[0], w[0]) == pytest.approx(40.0)
+
+    def test_speed_decays_outside_core(self):
+        v = Vortex(x=0.0, y=0.0, core_radius=100.0, max_speed=40.0)
+        u, w = v.velocity(np.array([400.0]), np.array([0.0]))
+        assert np.hypot(u[0], w[0]) == pytest.approx(10.0)
+
+    def test_rotation_is_tangential(self):
+        v = Vortex(x=0.0, y=0.0, core_radius=100.0, max_speed=40.0)
+        u, w = v.velocity(np.array([100.0]), np.array([0.0]))
+        # At a point due east of the centre, counterclockwise flow points north.
+        assert u[0] == pytest.approx(0.0, abs=1e-9)
+        assert w[0] > 0.0
+
+    def test_invalid_core(self):
+        with pytest.raises(ValueError):
+            Vortex(0, 0, core_radius=0.0, max_speed=10.0)
+
+
+class TestStormCell:
+    def test_reflectivity_peaks_at_centre(self):
+        cell = StormCell(x=0.0, y=0.0, radius=1000.0, peak_dbz=50.0)
+        assert cell.reflectivity(np.array([0.0]), np.array([0.0]))[0] == pytest.approx(50.0)
+        assert cell.reflectivity(np.array([3000.0]), np.array([0.0]))[0] < 1.0
+
+
+class TestWeatherScene:
+    def test_background_wind_everywhere(self):
+        scene = WeatherScene(background_wind=(3.0, -4.0))
+        u, v = scene.wind(np.array([100.0, -50.0]), np.array([0.0, 70.0]))
+        assert np.allclose(u, 3.0)
+        assert np.allclose(v, -4.0)
+
+    def test_radial_velocity_projection(self):
+        scene = WeatherScene(background_wind=(10.0, 0.0))
+        # Point due east of the radar: wind blowing east is purely radial (away).
+        vr = scene.radial_velocity(np.array([1000.0]), np.array([0.0]), 0.0, 0.0)
+        assert vr[0] == pytest.approx(10.0)
+        # Point due north: eastward wind is purely tangential.
+        vr = scene.radial_velocity(np.array([0.0]), np.array([1000.0]), 0.0, 0.0)
+        assert vr[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_vortex_creates_radial_velocity_couplet(self):
+        scene = WeatherScene(background_wind=(0.0, 0.0))
+        scene.vortices.append(Vortex(x=0.0, y=5000.0, core_radius=200.0, max_speed=40.0))
+        # Sample two points left/right of the vortex centre as seen from the radar.
+        vr_left = scene.radial_velocity(np.array([-200.0]), np.array([5000.0]), 0.0, 0.0)
+        vr_right = scene.radial_velocity(np.array([200.0]), np.array([5000.0]), 0.0, 0.0)
+        assert vr_left[0] * vr_right[0] < 0  # opposite signs: inbound/outbound couplet
+        assert abs(vr_left[0] - vr_right[0]) > 60.0
+
+    def test_reflectivity_floor_and_cells(self):
+        scene = WeatherScene(base_dbz=8.0, cells=[StormCell(0.0, 1000.0, 500.0, 45.0)])
+        dbz = scene.reflectivity(np.array([0.0, 8000.0]), np.array([1000.0, 8000.0]))
+        assert dbz[0] == pytest.approx(45.0)
+        assert dbz[1] == pytest.approx(8.0)
+
+    def test_tornadic_factory(self):
+        scene = WeatherScene.tornadic(n_vortices=3)
+        assert len(scene.vortices) == 3
+        assert len(scene.cells) == 3
+        with pytest.raises(ValueError):
+            WeatherScene.tornadic(n_vortices=0)

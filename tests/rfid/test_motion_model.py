@@ -1,0 +1,68 @@
+"""Tests for the object motion model used by the RFID particle filter."""
+
+import numpy as np
+import pytest
+
+from repro.rfid import RandomWalkWithJumps, build_object_model, uniform_prior
+
+BOUNDS = (0.0, 0.0, 100.0, 50.0)
+
+
+class TestRandomWalkWithJumps:
+    def test_particles_stay_within_bounds(self, rng):
+        model = RandomWalkWithJumps(walk_sigma=5.0, jump_rate=0.1, bounds=BOUNDS)
+        states = rng.uniform(0, 50, size=(500, 2))
+        moved = model.propagate(states, dt=10.0, rng=rng)
+        assert moved[:, 0].min() >= 0.0 and moved[:, 0].max() <= 100.0
+        assert moved[:, 1].min() >= 0.0 and moved[:, 1].max() <= 50.0
+
+    def test_zero_jump_rate_gives_pure_random_walk(self, rng):
+        model = RandomWalkWithJumps(walk_sigma=0.5, jump_rate=0.0, bounds=BOUNDS)
+        states = np.full((2000, 2), 50.0)
+        states[:, 1] = 25.0
+        moved = model.propagate(states, dt=1.0, rng=rng)
+        displacement = np.linalg.norm(moved - states, axis=1)
+        assert displacement.mean() < 2.0
+
+    def test_jumps_spread_particles_over_the_area(self, rng):
+        model = RandomWalkWithJumps(walk_sigma=0.01, jump_rate=10.0, bounds=BOUNDS)
+        states = np.full((2000, 2), 1.0)
+        moved = model.propagate(states, dt=1.0, rng=rng)
+        # Nearly every particle jumped; spread covers the whole area.
+        assert moved[:, 0].std() > 20.0
+
+    def test_walk_scales_with_dt(self, rng):
+        model = RandomWalkWithJumps(walk_sigma=1.0, jump_rate=0.0, bounds=BOUNDS)
+        states = np.full((5000, 2), 50.0)
+        short = model.propagate(states, dt=0.25, rng=np.random.default_rng(1))
+        long = model.propagate(states, dt=4.0, rng=np.random.default_rng(1))
+        assert np.std(long[:, 0]) > np.std(short[:, 0])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RandomWalkWithJumps(walk_sigma=0.0)
+        with pytest.raises(ValueError):
+            RandomWalkWithJumps(jump_rate=-1.0)
+        with pytest.raises(ValueError):
+            RandomWalkWithJumps(bounds=(0, 0, 0, 0))
+
+
+class TestPriorAndModelAssembly:
+    def test_uniform_prior_covers_bounds(self, rng):
+        sampler = uniform_prior(BOUNDS)
+        samples = sampler(5000, rng)
+        assert samples.shape == (5000, 2)
+        assert samples[:, 0].min() >= 0.0 and samples[:, 0].max() <= 100.0
+        assert samples[:, 0].std() > 20.0
+
+    def test_uniform_prior_rejects_empty_bounds(self):
+        with pytest.raises(ValueError):
+            uniform_prior((0.0, 0.0, 0.0, 10.0))
+
+    def test_build_object_model_wires_components(self, rng):
+        model = build_object_model(BOUNDS, walk_sigma=0.3, jump_rate=0.01)
+        assert model.state_dim == 2
+        prior = model.sample_prior(10, rng)
+        assert prior.shape == (10, 2)
+        moved = model.transition.propagate(prior, 1.0, rng)
+        assert moved.shape == (10, 2)

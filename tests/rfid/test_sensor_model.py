@@ -1,0 +1,71 @@
+"""Tests for the logistic RFID detection model and observation likelihood."""
+
+import numpy as np
+import pytest
+
+from repro.rfid import DetectionModel, DetectionObservation, RFIDObservationModel
+
+
+class TestDetectionModel:
+    def test_probability_decreases_with_distance(self):
+        model = DetectionModel()
+        probs = model.probability(np.array([0.0, 5.0, 10.0, 20.0, 40.0]))
+        assert np.all(np.diff(probs) < 0)
+
+    def test_max_rate_bounds_probability(self):
+        model = DetectionModel(max_rate=0.8)
+        assert model.probability(0.0) <= 0.8
+        assert model.probability(0.0) > 0.75
+
+    def test_midpoint_is_half_max(self):
+        model = DetectionModel(midpoint=15.0, max_rate=0.9)
+        assert model.probability(15.0) == pytest.approx(0.45)
+
+    def test_angle_penalty(self):
+        model = DetectionModel(angle_coefficient=1.0)
+        assert model.probability(5.0, angle=0.0) > model.probability(5.0, angle=2.0)
+
+    def test_effective_range_beyond_midpoint(self):
+        model = DetectionModel(midpoint=12.0, steepness=0.6)
+        r = model.effective_range(0.02)
+        assert r > 12.0
+        assert model.probability(r) == pytest.approx(0.02, rel=0.05)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DetectionModel(midpoint=0.0)
+        with pytest.raises(ValueError):
+            DetectionModel(max_rate=0.0)
+        with pytest.raises(ValueError):
+            DetectionModel(steepness=-1.0)
+        with pytest.raises(ValueError):
+            DetectionModel().effective_range(2.0)
+
+
+class TestRFIDObservationModel:
+    def test_detection_favours_nearby_states(self):
+        model = RFIDObservationModel(DetectionModel(midpoint=10.0))
+        states = np.array([[1.0, 0.0], [30.0, 0.0]])
+        obs = DetectionObservation(reader_x=0.0, reader_y=0.0, detected=True)
+        lik = model.likelihood(states, obs)
+        assert lik[0] > lik[1]
+
+    def test_non_detection_favours_distant_states(self):
+        model = RFIDObservationModel(DetectionModel(midpoint=10.0))
+        states = np.array([[1.0, 0.0], [30.0, 0.0]])
+        obs = DetectionObservation(reader_x=0.0, reader_y=0.0, detected=False)
+        lik = model.likelihood(states, obs)
+        assert lik[1] > lik[0]
+
+    def test_likelihoods_are_probabilities(self):
+        model = RFIDObservationModel()
+        states = np.random.default_rng(0).uniform(0, 50, size=(100, 2))
+        for detected in (True, False):
+            lik = model.likelihood(states, DetectionObservation(10.0, 10.0, detected))
+            assert np.all(lik >= 0.0)
+            assert np.all(lik <= 1.0)
+
+    def test_rejects_bad_state_shape(self):
+        model = RFIDObservationModel()
+        with pytest.raises(ValueError):
+            model.likelihood(np.array([1.0, 2.0]), DetectionObservation(0, 0, True))

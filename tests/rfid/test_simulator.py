@@ -1,0 +1,86 @@
+"""Tests for the mobile-reader trace simulator."""
+
+import numpy as np
+import pytest
+
+from repro.rfid import DetectionModel, MobileReaderSimulator, WarehouseWorld, lawnmower_path
+
+
+class TestLawnmowerPath:
+    def test_points_within_bounds_and_monotone_time(self):
+        path = lawnmower_path((0.0, 0.0, 50.0, 20.0), lane_spacing=10.0, speed=5.0, scan_interval=1.0)
+        points = [next(path) for _ in range(100)]
+        times = [p[0] for p in points]
+        assert all(t2 > t1 for t1, t2 in zip(times, times[1:]))
+        assert all(0.0 <= x <= 50.0 and 0.0 <= y <= 20.0 for _, x, y in points)
+
+    def test_visits_multiple_lanes(self):
+        path = lawnmower_path((0.0, 0.0, 20.0, 30.0), lane_spacing=10.0, speed=10.0, scan_interval=1.0)
+        ys = {round(y, 3) for _, _, y in (next(path) for _ in range(50))}
+        assert len(ys) >= 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            next(lawnmower_path((0, 0, 10, 10), lane_spacing=0.0, speed=1.0, scan_interval=1.0))
+
+
+class TestMobileReaderSimulator:
+    def make_simulator(self, **kwargs):
+        world = WarehouseWorld(width=60.0, height=30.0, n_objects=80, move_rate=0.0, rng=1)
+        defaults = dict(
+            detection=DetectionModel(midpoint=10.0, steepness=0.8, max_rate=0.95),
+            lane_spacing=10.0,
+            speed=5.0,
+            scan_interval=0.5,
+            evolve_world=False,
+            rng=2,
+        )
+        defaults.update(kwargs)
+        return world, MobileReaderSimulator(world, **defaults)
+
+    def test_readings_have_monotone_timestamps(self):
+        _, sim = self.make_simulator()
+        readings = sim.readings(20)
+        times = [r.timestamp for r in readings]
+        assert times == sorted(times)
+
+    def test_detected_tags_are_mostly_nearby(self):
+        world, sim = self.make_simulator()
+        effective = sim.detection.effective_range()
+        distances = []
+        for reading in sim.readings(40):
+            reader = reading.reader_position
+            for tag in reading.detected_object_ids:
+                distances.append(np.linalg.norm(world.true_position(tag) - reader))
+        assert distances, "the sweep should produce some detections"
+        # Detections beyond the nominal range are possible but rare.
+        within = np.mean(np.asarray(distances) <= effective)
+        assert within > 0.9
+
+    def test_noise_means_not_all_nearby_tags_detected(self):
+        world, sim = self.make_simulator(
+            detection=DetectionModel(midpoint=8.0, steepness=0.3, max_rate=0.5)
+        )
+        readings = sim.readings(60)
+        detected_counts = [r.n_detections for r in readings]
+        # With a 50% max read rate the reader certainly misses tags sometimes.
+        assert min(detected_counts) < max(detected_counts)
+
+    def test_contention_reduces_detections(self):
+        world1, no_contention = self.make_simulator(read_capacity=None)
+        world2, contended = self.make_simulator(read_capacity=3)
+        detections_free = sum(r.n_detections for r in no_contention.readings(50))
+        detections_contended = sum(r.n_detections for r in contended.readings(50))
+        assert detections_contended < detections_free
+
+    def test_shelf_tags_also_reported(self):
+        _, sim = self.make_simulator()
+        shelves_seen = set()
+        for reading in sim.readings(80):
+            shelves_seen.update(reading.detected_shelf_ids)
+        assert shelves_seen
+
+    def test_invalid_read_capacity(self):
+        world = WarehouseWorld(n_objects=5, rng=3)
+        with pytest.raises(ValueError):
+            MobileReaderSimulator(world, read_capacity=0)

@@ -1,0 +1,110 @@
+"""Tests for the RFID data capture and transformation (T) operator."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionPolicy
+from repro.distributions import Gaussian, GaussianMixture, ParticleDistribution
+from repro.inference import ParticleCountController
+from repro.rfid import (
+    DetectionModel,
+    MobileReaderSimulator,
+    RFIDTransformOperator,
+    WarehouseWorld,
+)
+
+
+def make_setup(n_objects=40, n_particles=60, **operator_kwargs):
+    detection = DetectionModel(midpoint=10.0, steepness=0.8, max_rate=0.95)
+    world = WarehouseWorld(width=60.0, height=30.0, n_objects=n_objects, move_rate=0.0, rng=11)
+    simulator = MobileReaderSimulator(
+        world,
+        detection=detection,
+        lane_spacing=7.5,
+        speed=6.0,
+        scan_interval=0.5,
+        evolve_world=False,
+        rng=12,
+    )
+    operator = RFIDTransformOperator(
+        world,
+        detection=detection,
+        n_particles=n_particles,
+        rng=13,
+        **operator_kwargs,
+    )
+    return world, simulator, operator
+
+
+class TestRFIDTransformOperator:
+    def test_emits_tuples_with_location_distributions(self):
+        _, simulator, operator = make_setup()
+        emitted = []
+        for reading in simulator.readings(30):
+            emitted.extend(operator.ingest(reading, reading.timestamp))
+        assert emitted, "the sweep should detect and emit at least one object"
+        for item in emitted:
+            assert item.has_value("tag_id")
+            assert isinstance(item.distribution("x"), (Gaussian, GaussianMixture))
+            assert isinstance(item.distribution("y"), (Gaussian, GaussianMixture))
+
+    def test_particles_compression_policy_ships_particles(self):
+        _, simulator, operator = make_setup(compression=CompressionPolicy(mode="particles"))
+        emitted = []
+        for reading in simulator.readings(20):
+            emitted.extend(operator.ingest(reading, reading.timestamp))
+        assert emitted
+        assert isinstance(emitted[0].distribution("x"), ParticleDistribution)
+
+    def test_error_decreases_as_sweep_progresses(self):
+        world, simulator, operator = make_setup(n_objects=30)
+        initial_error = operator.mean_location_error()
+        for reading in simulator.readings(220):
+            list(operator.ingest(reading, reading.timestamp))
+        final_error = operator.mean_location_error()
+        assert final_error < initial_error
+
+    def test_error_decreases_with_more_particles(self):
+        errors = {}
+        for particles in (25, 150):
+            _, simulator, operator = make_setup(n_objects=30, n_particles=particles)
+            for reading in simulator.readings(200):
+                list(operator.ingest(reading, reading.timestamp))
+            errors[particles] = operator.mean_location_error()
+        assert errors[150] <= errors[25] + 1.0
+
+    def test_spatial_index_reduces_updates(self):
+        counts = {}
+        for use_index in (True, False):
+            _, simulator, operator = make_setup(n_objects=60, use_spatial_index=use_index)
+            for reading in simulator.readings(40):
+                list(operator.ingest(reading, reading.timestamp))
+            counts[use_index] = operator.filter.updates_performed
+        assert counts[True] < counts[False]
+
+    def test_emit_modes(self):
+        _, simulator, operator = make_setup(emit_mode="none")
+        for reading in simulator.readings(10):
+            assert list(operator.ingest(reading, reading.timestamp)) == []
+        with pytest.raises(ValueError):
+            make_setup(emit_mode="sometimes")
+
+    def test_reference_tracking_feeds_accuracy_monitor(self):
+        _, simulator, operator = make_setup(track_reference_tags=True)
+        for reading in simulator.readings(80):
+            list(operator.ingest(reading, reading.timestamp))
+        assert operator.accuracy_monitor is not None
+        assert operator.accuracy_monitor.current_error() is not None
+
+    def test_adaptive_controller_changes_particle_counts(self):
+        controller = ParticleCountController(target_error=1.0, initial_count=20, max_count=160)
+        _, simulator, operator = make_setup(
+            track_reference_tags=True,
+            adaptive_controller=controller,
+            n_particles=20,
+        )
+        for reading in simulator.readings(60):
+            list(operator.ingest(reading, reading.timestamp))
+        counts = {operator.filter.filter_for(v).n_particles for v in operator.filter.variables()}
+        # The controller must have moved the count off its initial value at least once.
+        assert controller.count != 20 or controller.phase != "doubling" or counts != {20}

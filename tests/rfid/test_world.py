@@ -1,0 +1,71 @@
+"""Tests for the ground-truth warehouse world."""
+
+import numpy as np
+import pytest
+
+from repro.rfid import WarehouseWorld
+
+
+class TestWarehouseWorld:
+    def test_layout_dimensions(self):
+        world = WarehouseWorld(width=80.0, height=40.0, shelf_grid=(8, 4), n_objects=50, rng=1)
+        assert world.n_shelves == 32
+        assert world.n_objects == 50
+        assert world.bounds() == (0.0, 0.0, 80.0, 40.0)
+
+    def test_objects_start_near_their_home_shelf(self):
+        world = WarehouseWorld(n_objects=30, placement_jitter=0.5, rng=2)
+        for obj in world.objects.values():
+            shelf = world.shelves[obj.home_shelf]
+            assert np.hypot(obj.x - shelf.x, obj.y - shelf.y) < 5.0
+
+    def test_true_position_lookup_for_objects_and_shelves(self):
+        world = WarehouseWorld(n_objects=5, rng=3)
+        tag = world.object_ids()[0]
+        shelf = world.shelf_ids()[0]
+        assert world.true_position(tag).shape == (2,)
+        assert world.true_position(shelf).shape == (2,)
+        with pytest.raises(KeyError):
+            world.true_position("missing")
+
+    def test_flammable_fraction_respected(self):
+        world = WarehouseWorld(n_objects=500, flammable_fraction=0.3, rng=4)
+        fraction = np.mean([obj.flammable for obj in world.objects.values()])
+        assert fraction == pytest.approx(0.3, abs=0.06)
+        all_general = WarehouseWorld(n_objects=100, flammable_fraction=0.0, rng=5)
+        assert not any(obj.flammable for obj in all_general.objects.values())
+
+    def test_weights_within_range(self):
+        world = WarehouseWorld(n_objects=100, weight_range=(1.0, 2.0), rng=6)
+        weights = [obj.weight for obj in world.objects.values()]
+        assert min(weights) >= 1.0
+        assert max(weights) <= 2.0
+
+    def test_step_moves_objects_at_configured_rate(self):
+        world = WarehouseWorld(n_objects=200, move_rate=0.5, rng=7)
+        moved = world.step(10.0)
+        # With rate 0.5/s over 10 s essentially every object moves.
+        assert len(moved) > 150
+        static_world = WarehouseWorld(n_objects=50, move_rate=0.0, rng=8)
+        assert static_world.step(100.0) == []
+
+    def test_moved_objects_stay_inside_bounds_and_change_shelf(self):
+        world = WarehouseWorld(n_objects=50, move_rate=1.0, rng=9)
+        homes_before = {tag: obj.home_shelf for tag, obj in world.objects.items()}
+        moved = world.step(5.0)
+        for tag in moved:
+            obj = world.objects[tag]
+            assert 0.0 <= obj.x <= world.width
+            assert 0.0 <= obj.y <= world.height
+            assert obj.home_shelf != homes_before[tag]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            WarehouseWorld(width=0.0)
+        with pytest.raises(ValueError):
+            WarehouseWorld(n_objects=0)
+        with pytest.raises(ValueError):
+            WarehouseWorld(flammable_fraction=1.5)
+        world = WarehouseWorld(n_objects=5, rng=10)
+        with pytest.raises(ValueError):
+            world.step(-1.0)

@@ -1,0 +1,84 @@
+"""Tests for lineage tracking, the tuple archive, and correlation analysis."""
+
+import pytest
+
+from repro.distributions import Gaussian
+from repro.streams import (
+    StreamTuple,
+    TupleArchive,
+    are_independent,
+    correlation_groups,
+)
+
+
+def base_tuple(ts=0.0):
+    return StreamTuple(timestamp=ts, values={"kind": "base"}, uncertain={"v": Gaussian(0, 1)})
+
+
+class TestTupleArchive:
+    def test_archive_and_resolve(self):
+        archive = TupleArchive()
+        a, b = base_tuple(), base_tuple()
+        archive.archive_many([a, b])
+        assert len(archive) == 2
+        assert a.tuple_id in archive
+        resolved = archive.resolve({a.tuple_id, b.tuple_id})
+        assert {t.tuple_id for t in resolved} == {a.tuple_id, b.tuple_id}
+
+    def test_resolve_unknown_id_raises(self):
+        archive = TupleArchive()
+        with pytest.raises(KeyError):
+            archive.resolve({123456})
+
+    def test_eviction_by_watermark(self):
+        archive = TupleArchive()
+        old, new = base_tuple(ts=0.0), base_tuple(ts=10.0)
+        archive.archive_many([old, new])
+        dropped = archive.evict_older_than(5.0)
+        assert dropped == 1
+        assert new.tuple_id in archive
+        assert old.tuple_id not in archive
+
+    def test_clear(self):
+        archive = TupleArchive()
+        archive.archive(base_tuple())
+        archive.clear()
+        assert len(archive) == 0
+
+
+class TestCorrelationAnalysis:
+    def test_independent_tuples(self):
+        items = [base_tuple() for _ in range(4)]
+        assert are_independent(items)
+        groups = correlation_groups(items)
+        assert len(groups) == 4
+
+    def test_derived_tuples_share_lineage(self):
+        base = base_tuple()
+        d1 = base.derive(values={"n": 1})
+        d2 = base.derive(values={"n": 2})
+        assert not are_independent([d1, d2])
+        groups = correlation_groups([d1, d2])
+        assert len(groups) == 1
+        assert len(groups[0]) == 2
+
+    def test_mixed_groups(self):
+        base_a, base_b = base_tuple(), base_tuple()
+        derived_a1 = base_a.derive(values={"n": 1})
+        derived_a2 = base_a.derive(values={"n": 2})
+        lone = base_b.derive(values={"n": 3})
+        groups = correlation_groups([derived_a1, derived_a2, lone])
+        sizes = sorted(len(g) for g in groups)
+        assert sizes == [1, 2]
+
+    def test_transitive_correlation_via_shared_join(self):
+        a, b, c = base_tuple(), base_tuple(), base_tuple()
+        ab = StreamTuple.merge(a, b)
+        bc = StreamTuple.merge(b, c)
+        # ab and bc share base b, so all three end up in one group.
+        groups = correlation_groups([ab, bc])
+        assert len(groups) == 1
+
+    def test_empty_input(self):
+        assert are_independent([])
+        assert correlation_groups([]) == []

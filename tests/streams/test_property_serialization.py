@@ -1,0 +1,78 @@
+"""Property-based round-trip tests for the tuple/distribution serialization."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import Gaussian, GaussianMixture, ParticleDistribution
+from repro.streams import StreamTuple, decode_tuple, encode_tuple
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+positive = st.floats(min_value=1e-3, max_value=1e4, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def gaussians(draw):
+    return Gaussian(draw(finite), draw(positive))
+
+
+@st.composite
+def mixtures(draw):
+    k = draw(st.integers(min_value=1, max_value=4))
+    weights = [draw(st.floats(min_value=0.05, max_value=1.0)) for _ in range(k)]
+    means = [draw(finite) for _ in range(k)]
+    sigmas = [draw(positive) for _ in range(k)]
+    return GaussianMixture(weights, means, sigmas)
+
+
+@st.composite
+def particles(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    values = [draw(finite) for _ in range(n)]
+    return ParticleDistribution(values)
+
+
+@st.composite
+def stream_tuples(draw):
+    values = {}
+    for i in range(draw(st.integers(min_value=0, max_value=4))):
+        kind = draw(st.sampled_from(["int", "float", "str", "bool"]))
+        if kind == "int":
+            values[f"v{i}"] = draw(st.integers(min_value=-(2**40), max_value=2**40))
+        elif kind == "float":
+            values[f"v{i}"] = draw(finite)
+        elif kind == "str":
+            values[f"v{i}"] = draw(st.text(max_size=20))
+        else:
+            values[f"v{i}"] = draw(st.booleans())
+    uncertain = {}
+    for i in range(draw(st.integers(min_value=0, max_value=3))):
+        uncertain[f"u{i}"] = draw(st.one_of(gaussians(), mixtures(), particles()))
+    lineage = frozenset(draw(st.sets(st.integers(min_value=1, max_value=10**6), max_size=6)))
+    return StreamTuple(
+        timestamp=draw(finite),
+        values=values,
+        uncertain=uncertain,
+        lineage=lineage,
+    )
+
+
+@given(item=stream_tuples())
+@settings(max_examples=80, deadline=None)
+def test_tuple_roundtrip_preserves_content(item):
+    decoded = decode_tuple(encode_tuple(item))
+    assert decoded.timestamp == item.timestamp
+    assert decoded.tuple_id == item.tuple_id
+    assert decoded.lineage == item.lineage
+    assert set(decoded.values) == set(item.values)
+    for name, value in item.values.items():
+        if isinstance(value, float):
+            assert decoded.values[name] == value or np.isclose(decoded.values[name], value)
+        else:
+            assert decoded.values[name] == value
+    assert set(decoded.uncertain) == set(item.uncertain)
+    for name, dist in item.uncertain.items():
+        assert np.isclose(decoded.distribution(name).mean(), dist.mean(), rtol=1e-9, atol=1e-9)
+        assert np.isclose(
+            decoded.distribution(name).variance(), dist.variance(), rtol=1e-9, atol=1e-9
+        )

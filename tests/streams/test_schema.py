@@ -1,0 +1,61 @@
+"""Tests for stream schemas and tuple validation."""
+
+import pytest
+
+from repro.distributions import Gaussian
+from repro.streams import Attribute, AttributeKind, Schema, SchemaError, StreamTuple
+
+
+class TestSchema:
+    def test_of_builds_value_and_uncertain_attributes(self):
+        schema = Schema.of(values=["tag_id"], uncertain=["x", "y"])
+        assert schema.value_names() == ["tag_id"]
+        assert schema.uncertain_names() == ["x", "y"]
+        assert len(schema) == 3
+        assert "x" in schema
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(values=["a"], uncertain=["a"])
+
+    def test_getitem_unknown_attribute(self):
+        schema = Schema.of(values=["a"])
+        with pytest.raises(SchemaError):
+            schema["missing"]
+        assert schema["a"].kind is AttributeKind.VALUE
+
+    def test_extend_returns_new_schema(self):
+        base = Schema.of(values=["a"])
+        extended = base.extend(uncertain=["b"])
+        assert "b" in extended
+        assert "b" not in base
+
+    def test_empty_attribute_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_validate_accepts_conforming_tuple(self):
+        schema = Schema.of(values=["tag_id"], uncertain=["x"])
+        item = StreamTuple(timestamp=0.0, values={"tag_id": "O1"}, uncertain={"x": Gaussian(0, 1)})
+        schema.validate(item)
+        assert schema.conforms(item)
+
+    def test_validate_rejects_missing_value(self):
+        schema = Schema.of(values=["tag_id"])
+        item = StreamTuple(timestamp=0.0)
+        with pytest.raises(SchemaError):
+            schema.validate(item)
+        assert not schema.conforms(item)
+
+    def test_validate_rejects_missing_uncertain(self):
+        schema = Schema.of(uncertain=["x"])
+        item = StreamTuple(timestamp=0.0, values={"x": 3.0})
+        with pytest.raises(SchemaError):
+            schema.validate(item)
+
+    def test_strict_mode_rejects_extra_attributes(self):
+        schema = Schema.of(values=["a"])
+        item = StreamTuple(timestamp=0.0, values={"a": 1, "b": 2})
+        schema.validate(item)  # non-strict is fine
+        with pytest.raises(SchemaError):
+            schema.validate(item, strict=True)

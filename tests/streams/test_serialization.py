@@ -1,0 +1,87 @@
+"""Tests for tuple / distribution serialization and stream-volume accounting."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Gaussian,
+    GaussianMixture,
+    HistogramDistribution,
+    ParticleDistribution,
+    Uniform,
+)
+from repro.streams import (
+    StreamTuple,
+    decode_distribution,
+    decode_tuple,
+    distribution_size_bytes,
+    encode_distribution,
+    encode_tuple,
+    tuple_size_bytes,
+)
+
+DISTRIBUTIONS = [
+    Gaussian(2.5, 0.75),
+    Uniform(-1.0, 4.0),
+    GaussianMixture([0.3, 0.7], [0.0, 5.0], [1.0, 2.0]),
+    ParticleDistribution(np.linspace(0, 1, 50), np.full(50, 0.02)),
+    HistogramDistribution([0.0, 1.0, 2.0, 3.0], [0.2, 0.5, 0.3]),
+]
+
+
+@pytest.mark.parametrize("dist", DISTRIBUTIONS, ids=lambda d: type(d).__name__)
+class TestDistributionRoundTrip:
+    def test_roundtrip_preserves_moments(self, dist):
+        payload = encode_distribution(dist)
+        decoded, consumed = decode_distribution(payload)
+        assert consumed == len(payload)
+        assert type(decoded) is type(dist)
+        assert decoded.mean() == pytest.approx(dist.mean(), rel=1e-9)
+        assert decoded.variance() == pytest.approx(dist.variance(), rel=1e-9)
+
+    def test_declared_size_matches_actual(self, dist):
+        assert distribution_size_bytes(dist) == len(encode_distribution(dist))
+
+
+class TestTupleRoundTrip:
+    def make_tuple(self):
+        return StreamTuple(
+            timestamp=12.5,
+            values={"tag_id": "O0042", "count": 3, "ratio": 0.75, "flag": True, "area": (2, 5)},
+            uncertain={"x": Gaussian(10.0, 1.0), "w": GaussianMixture([0.5, 0.5], [0, 1], [1, 1])},
+            lineage=frozenset({11, 22, 33}),
+        )
+
+    def test_roundtrip_preserves_everything(self):
+        original = self.make_tuple()
+        decoded = decode_tuple(encode_tuple(original))
+        assert decoded.timestamp == original.timestamp
+        assert decoded.tuple_id == original.tuple_id
+        assert decoded.values == original.values
+        assert decoded.lineage == original.lineage
+        assert decoded.distribution("x").mu == pytest.approx(10.0)
+        assert decoded.distribution("w").n_components == 2
+
+    def test_tuple_size_accounts_for_payload(self):
+        original = self.make_tuple()
+        assert tuple_size_bytes(original) == len(encode_tuple(original))
+
+
+class TestStreamVolumeClaim:
+    def test_particle_tuples_are_orders_of_magnitude_larger(self):
+        """Section 4.3: shipping particles inflates the stream volume ~100x."""
+        particles = ParticleDistribution(np.random.default_rng(0).normal(size=200))
+        gaussian = Gaussian(particles.mean(), max(particles.variance(), 1e-9) ** 0.5)
+        particle_tuple = StreamTuple(timestamp=0.0, values={"tag_id": "O1"}, uncertain={"x": particles})
+        gaussian_tuple = StreamTuple(timestamp=0.0, values={"tag_id": "O1"}, uncertain={"x": gaussian})
+        ratio = tuple_size_bytes(particle_tuple) / tuple_size_bytes(gaussian_tuple)
+        assert ratio > 30.0
+
+    def test_unknown_type_rejected(self):
+        class Fake:
+            pass
+
+        with pytest.raises(TypeError):
+            encode_distribution(Fake())  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            distribution_size_bytes(Fake())  # type: ignore[arg-type]

@@ -1,0 +1,90 @@
+"""Tests for StreamTuple: attributes, derivation, merging, lineage."""
+
+import pytest
+
+from repro.distributions import Gaussian
+from repro.streams import StreamTuple
+
+
+def make_tuple(ts=0.0, **uncertain):
+    return StreamTuple(timestamp=ts, values={"tag_id": "O1"}, uncertain=uncertain)
+
+
+class TestStreamTuple:
+    def test_value_and_distribution_access(self):
+        t = make_tuple(x=Gaussian(1.0, 0.5))
+        assert t.value("tag_id") == "O1"
+        assert t.distribution("x").mu == 1.0
+        assert t.has_value("tag_id")
+        assert t.has_uncertain("x")
+        assert not t.has_uncertain("y")
+
+    def test_expected_value(self):
+        t = make_tuple(x=Gaussian(4.0, 1.0))
+        assert t.expected_value("x") == pytest.approx(4.0)
+
+    def test_unique_ids_and_default_lineage(self):
+        a = make_tuple()
+        b = make_tuple()
+        assert a.tuple_id != b.tuple_id
+        assert a.lineage == frozenset({a.tuple_id})
+
+    def test_uncertain_values_must_be_distributions(self):
+        with pytest.raises(TypeError):
+            StreamTuple(timestamp=0.0, uncertain={"x": 3.0})
+
+    def test_derive_adds_attributes_and_keeps_lineage(self):
+        base = make_tuple(x=Gaussian(0.0, 1.0))
+        derived = base.derive(values={"area": (1, 2)}, uncertain={"y": Gaussian(1.0, 1.0)})
+        assert derived.value("area") == (1, 2)
+        assert derived.value("tag_id") == "O1"
+        assert derived.has_uncertain("x") and derived.has_uncertain("y")
+        assert base.lineage <= derived.lineage
+
+    def test_derive_with_replace(self):
+        base = make_tuple(x=Gaussian(0.0, 1.0))
+        derived = base.derive(values={"only": 1}, replace_values=True, replace_uncertain=True)
+        assert not derived.has_value("tag_id")
+        assert not derived.has_uncertain("x")
+        assert derived.value("only") == 1
+
+    def test_derive_extra_lineage(self):
+        base = make_tuple()
+        derived = base.derive(extra_lineage=[999])
+        assert 999 in derived.lineage
+        assert base.tuple_id in derived.lineage
+
+    def test_merge_combines_attributes_and_lineage(self):
+        left = StreamTuple(timestamp=1.0, values={"tag_id": "O1"}, uncertain={"x": Gaussian(0, 1)})
+        right = StreamTuple(timestamp=2.0, values={"sensor": "T1"}, uncertain={"temp": Gaussian(70, 2)})
+        merged = StreamTuple.merge(left, right)
+        assert merged.timestamp == 2.0
+        assert merged.value("tag_id") == "O1"
+        assert merged.value("sensor") == "T1"
+        assert merged.has_uncertain("x") and merged.has_uncertain("temp")
+        assert merged.lineage == left.lineage | right.lineage
+
+    def test_merge_with_prefixes_resolves_clashes(self):
+        left = StreamTuple(timestamp=0.0, values={"id": 1}, uncertain={"x": Gaussian(0, 1)})
+        right = StreamTuple(timestamp=0.0, values={"id": 2}, uncertain={"x": Gaussian(5, 1)})
+        merged = StreamTuple.merge(left, right, prefix_left="l_", prefix_right="r_")
+        assert merged.value("l_id") == 1
+        assert merged.value("r_id") == 2
+        assert merged.distribution("l_x").mu == 0.0
+        assert merged.distribution("r_x").mu == 5.0
+
+    def test_shares_lineage_detection(self):
+        base = make_tuple()
+        other = make_tuple()
+        derived = base.derive(values={"z": 1})
+        assert derived.shares_lineage_with(base)
+        assert not derived.shares_lineage_with(other)
+
+    def test_attribute_names_iterates_both_kinds(self):
+        t = make_tuple(x=Gaussian(0, 1))
+        assert set(t.attribute_names()) == {"tag_id", "x"}
+
+    def test_immutability_of_dataclass_fields(self):
+        t = make_tuple()
+        with pytest.raises(AttributeError):
+            t.timestamp = 5.0

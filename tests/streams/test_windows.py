@@ -1,0 +1,91 @@
+"""Tests for window specifications (tumbling, sliding, now)."""
+
+import pytest
+
+from repro.streams import (
+    NowWindow,
+    SlidingTimeWindow,
+    StreamTuple,
+    TumblingCountWindow,
+    TumblingTimeWindow,
+    iter_windows,
+)
+
+
+def tuples_at(*timestamps):
+    return [StreamTuple(timestamp=float(t), values={"i": i}) for i, t in enumerate(timestamps)]
+
+
+class TestTumblingCountWindow:
+    def test_closes_every_n_tuples(self):
+        windows = list(iter_windows(TumblingCountWindow(3), tuples_at(*range(7))))
+        assert [len(w.items) for w in windows] == [3, 3, 1]
+
+    def test_no_partial_window_until_flush(self):
+        buffer = TumblingCountWindow(5).new_buffer()
+        for item in tuples_at(0, 1, 2):
+            assert buffer.add(item) == []
+        flushed = buffer.flush()
+        assert len(flushed) == 1
+        assert len(flushed[0].items) == 3
+
+    def test_window_boundaries_are_tuple_timestamps(self):
+        windows = list(iter_windows(TumblingCountWindow(2), tuples_at(10, 11, 12, 13)))
+        assert windows[0].start == 10 and windows[0].end == 11
+        assert windows[1].start == 12 and windows[1].end == 13
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            TumblingCountWindow(0)
+
+
+class TestTumblingTimeWindow:
+    def test_groups_by_time_bucket(self):
+        items = tuples_at(0.1, 0.2, 4.9, 5.1, 9.9, 10.2)
+        windows = list(iter_windows(TumblingTimeWindow(5.0), items))
+        assert [len(w.items) for w in windows] == [3, 2, 1]
+        assert windows[0].start == 0.0 and windows[0].end == 5.0
+        assert windows[1].start == 5.0 and windows[1].end == 10.0
+
+    def test_out_of_order_across_windows_rejected(self):
+        buffer = TumblingTimeWindow(1.0).new_buffer()
+        buffer.add(StreamTuple(timestamp=5.0))
+        with pytest.raises(ValueError):
+            buffer.add(StreamTuple(timestamp=0.5))
+
+    def test_empty_gap_windows_are_skipped(self):
+        items = tuples_at(0.5, 20.5)
+        windows = list(iter_windows(TumblingTimeWindow(5.0), items))
+        assert len(windows) == 2
+        assert windows[1].start == 20.0
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            TumblingTimeWindow(0.0)
+
+
+class TestSlidingTimeWindow:
+    def test_emits_window_content_per_tuple(self):
+        items = tuples_at(0.0, 1.0, 2.0, 5.0)
+        windows = list(iter_windows(SlidingTimeWindow(3.0), items))
+        assert [len(w.items) for w in windows] == [1, 2, 3, 1]
+
+    def test_expiry_by_timestamp(self):
+        buffer = SlidingTimeWindow(2.0).new_buffer()
+        buffer.add(StreamTuple(timestamp=0.0))
+        closes = buffer.add(StreamTuple(timestamp=1.9))
+        assert len(closes[0].items) == 2
+        closes = buffer.add(StreamTuple(timestamp=4.5))
+        assert len(closes[0].items) == 1
+
+    def test_flush_returns_nothing(self):
+        buffer = SlidingTimeWindow(1.0).new_buffer()
+        buffer.add(StreamTuple(timestamp=0.0))
+        assert buffer.flush() == []
+
+
+class TestNowWindow:
+    def test_each_tuple_is_its_own_window(self):
+        windows = list(iter_windows(NowWindow(), tuples_at(0, 1, 2)))
+        assert len(windows) == 3
+        assert all(len(w.items) == 1 for w in windows)

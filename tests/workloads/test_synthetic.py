@@ -1,0 +1,86 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Gaussian, GaussianMixture
+from repro.workloads import (
+    gaussian_tuple_stream,
+    gmm_tuple_stream,
+    ma_series_tuple_stream,
+    random_gaussian_mixture,
+    temperature_stream,
+)
+
+
+class TestGMMStream:
+    def test_stream_length_and_attribute(self):
+        stream = gmm_tuple_stream(50, rng=1)
+        assert len(stream) == 50
+        assert all(isinstance(t.distribution("value"), GaussianMixture) for t in stream)
+
+    def test_distributions_differ_between_tuples(self):
+        stream = gmm_tuple_stream(20, rng=2)
+        means = {round(t.distribution("value").mean(), 6) for t in stream}
+        assert len(means) > 10
+
+    def test_reproducible_with_seed(self):
+        a = gmm_tuple_stream(10, rng=42)
+        b = gmm_tuple_stream(10, rng=42)
+        for ta, tb in zip(a, b):
+            assert ta.distribution("value").mean() == pytest.approx(tb.distribution("value").mean())
+
+    def test_mean_range_respected(self):
+        stream = gmm_tuple_stream(100, mean_range=(10.0, 20.0), rng=3)
+        for t in stream:
+            assert 5.0 < t.distribution("value").mean() < 25.0
+
+    def test_timestamps_monotone(self):
+        stream = gmm_tuple_stream(30, interval=0.5, rng=4)
+        times = [t.timestamp for t in stream]
+        assert times == sorted(times)
+        assert times[1] - times[0] == pytest.approx(0.5)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            gmm_tuple_stream(0)
+
+    def test_random_mixture_component_bounds(self, rng):
+        for _ in range(20):
+            mix = random_gaussian_mixture(rng, max_components=4)
+            assert 1 <= mix.n_components <= 4
+
+
+class TestOtherStreams:
+    def test_gaussian_stream(self):
+        stream = gaussian_tuple_stream(25, rng=5)
+        assert len(stream) == 25
+        assert all(isinstance(t.distribution("value"), Gaussian) for t in stream)
+
+    def test_temperature_stream_hot_spot(self):
+        stream = temperature_stream(400, hot_spot=(30.0, 20.0, 10.0, 80.0), rng=6)
+        hot = [
+            t
+            for t in stream
+            if np.hypot(t.distribution("x").mu - 30.0, t.distribution("y").mu - 20.0) < 5.0
+        ]
+        cold = [
+            t
+            for t in stream
+            if np.hypot(t.distribution("x").mu - 30.0, t.distribution("y").mu - 20.0) > 20.0
+        ]
+        assert hot and cold
+        assert np.mean([t.distribution("temp").mu for t in hot]) > 55.0
+        assert np.mean([t.distribution("temp").mu for t in cold]) < 30.0
+
+    def test_temperature_stream_without_hot_spot(self):
+        stream = temperature_stream(50, hot_spot=None, rng=7)
+        assert all(t.distribution("temp").mu == pytest.approx(25.0) for t in stream)
+
+    def test_ma_series_stream_is_correlated(self):
+        from repro.radar import sample_autocorrelation
+
+        stream = ma_series_tuple_stream(5000, coefficients=(0.8,), rng=8)
+        series = np.array([t.distribution("value").mu for t in stream])
+        rho = sample_autocorrelation(series, 2)
+        assert rho[1] > 0.2
