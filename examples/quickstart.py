@@ -53,7 +53,10 @@ def main() -> None:
     summarise = SummarizeResults("sum_value", confidence=0.95, keep_distribution=True)
     sink = CollectSink()
 
-    engine = StreamEngine()
+    # batch_size selects the batch-at-a-time execution path: push_many
+    # chunks the stream into TupleBatch containers and the operators run
+    # their vectorised kernels (see docs/architecture.md).
+    engine = StreamEngine(batch_size=128)
     engine.add_source("in", select)
     select.connect(aggregate)
     aggregate.connect(summarise)
@@ -61,6 +64,13 @@ def main() -> None:
 
     engine.push_many("in", stream)
     engine.finish()
+
+    print("\nper-box statistics (batch path):")
+    for stats in engine.statistics(detailed=True):
+        print(
+            f"  {stats.name:<22} in={stats.tuples_in:<5} out={stats.tuples_out:<4} "
+            f"batches={stats.batches_in}"
+        )
 
     # 4. Inspect the results.
     print(f"\n{len(sink.results)} window results "

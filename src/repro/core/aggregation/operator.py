@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequ
 import numpy as np
 
 from repro.distributions import Distribution, Gaussian
+from repro.streams.batch import TupleBatch
 from repro.streams.lineage import are_independent
 from repro.streams.operators.base import Operator, OperatorError
 from repro.streams.tuples import StreamTuple
@@ -79,14 +80,57 @@ def _extract_summand(item: StreamTuple, attribute: str) -> Distribution:
     raise OperatorError(f"tuple is missing aggregation attribute {attribute!r}")
 
 
+def _window_moments(items: Sequence[StreamTuple], attribute: str) -> Tuple[float, float]:
+    """Accumulate the total mean/variance of a window as numpy column sums.
+
+    Delegates the per-row moment extraction to
+    :meth:`TupleBatch.moments` (Gaussian parameters by attribute
+    access, generic ``mean()``/``variance()`` otherwise); rows missing
+    the uncertain attribute fall back to :func:`_extract_summand`,
+    which promotes deterministic numerics and raises the same errors
+    as the tuple path.
+    """
+    columns = TupleBatch(items).moments(attribute)
+    if columns is None:
+        summands = [_extract_summand(item, attribute) for item in items]
+        columns = (
+            np.asarray(
+                [float(np.asarray(d.mean()).ravel()[0]) for d in summands], dtype=np.float64
+            ),
+            np.asarray(
+                [float(np.asarray(d.variance()).ravel()[0]) for d in summands],
+                dtype=np.float64,
+            ),
+        )
+    means, variances = columns
+    return float(np.sum(means)), float(np.sum(variances))
+
+
+def _bulk_process_batch(operator, batch: TupleBatch) -> TupleBatch:
+    """Shared batch kernel for the windowed aggregates.
+
+    Bulk-adds the batch to the operator's window buffer and emits the
+    closed windows with the vectorised (moment-based) aggregation path.
+    """
+    closes = operator._buffer.add_many(batch)
+    return TupleBatch(operator._emit(closes, vectorized=True))
+
+
 def _aggregate_window(
     items: Sequence[StreamTuple],
     attribute: str,
     function: str,
     strategy: SumStrategy,
     check_independence: bool,
+    vectorized: bool = False,
 ) -> Tuple[Distribution | int, List[StreamTuple]]:
-    """Compute the aggregate distribution for one closed window."""
+    """Compute the aggregate distribution for one closed window.
+
+    With ``vectorized=True`` (batch execution path) and a strategy whose
+    result depends only on the first two moments (CF approximation with
+    one component, CLT), SUM/AVG windows are computed from numpy moment
+    sums instead of materialising per-tuple summand objects.
+    """
     items = list(items)
     if not items:
         raise OperatorError("cannot aggregate an empty window")
@@ -97,6 +141,12 @@ def _aggregate_window(
         )
     if function == "count":
         return len(items), items
+    if vectorized and function in ("sum", "avg") and strategy.supports_moments:
+        mean, variance = _window_moments(items, attribute)
+        total = strategy.result_from_moments(mean, variance)
+        if function == "avg":
+            return affine_distribution(total, scale=1.0 / len(items)), items
+        return total, items
     summands = [_extract_summand(item, attribute) for item in items]
     if function == "sum":
         return strategy.result_distribution(summands), items
@@ -199,7 +249,7 @@ class UncertainAggregate(Operator):
         self.check_independence = check_independence
         self._buffer: WindowBuffer = window.new_buffer()
 
-    def _emit(self, closes) -> Iterable[StreamTuple]:
+    def _emit(self, closes, vectorized: bool = False) -> Iterable[StreamTuple]:
         for close in closes:
             if not close.items:
                 continue
@@ -209,6 +259,7 @@ class UncertainAggregate(Operator):
                 self.function,
                 self.strategy,
                 self.check_independence,
+                vectorized=vectorized,
             )
             out = _result_tuple(
                 close.start,
@@ -223,6 +274,12 @@ class UncertainAggregate(Operator):
 
     def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
         yield from self._emit(self._buffer.add(item))
+
+    def process_batch(self, batch: TupleBatch) -> TupleBatch:
+        """Bulk-add a batch to the window buffer, vectorising closed windows."""
+        if type(self).process is not UncertainAggregate.process:
+            return super().process_batch(batch)
+        return _bulk_process_batch(self, batch)
 
     def flush(self) -> Iterable[StreamTuple]:
         yield from self._emit(self._buffer.flush())
@@ -273,7 +330,7 @@ class GroupByAggregate(Operator):
         self.check_independence = check_independence
         self._buffer: WindowBuffer = window.new_buffer()
 
-    def _emit(self, closes) -> Iterable[StreamTuple]:
+    def _emit(self, closes, vectorized: bool = False) -> Iterable[StreamTuple]:
         for close in closes:
             if not close.items:
                 continue
@@ -288,6 +345,7 @@ class GroupByAggregate(Operator):
                     self.function,
                     self.strategy,
                     self.check_independence,
+                    vectorized=vectorized,
                 )
                 out = _result_tuple(
                     close.start,
@@ -303,6 +361,12 @@ class GroupByAggregate(Operator):
 
     def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
         yield from self._emit(self._buffer.add(item))
+
+    def process_batch(self, batch: TupleBatch) -> TupleBatch:
+        """Bulk-add a batch to the window buffer, vectorising closed windows."""
+        if type(self).process is not GroupByAggregate.process:
+            return super().process_batch(batch)
+        return _bulk_process_batch(self, batch)
 
     def flush(self) -> Iterable[StreamTuple]:
         yield from self._emit(self._buffer.flush())

@@ -67,6 +67,21 @@ class SumStrategy(abc.ABC):
     def result_distribution(self, summands: Sequence[Distribution]) -> Distribution:
         """Return the distribution of the sum of independent ``summands``."""
 
+    @property
+    def supports_moments(self) -> bool:
+        """True when the result depends only on the summand means/variances.
+
+        Strategies with this property expose
+        :meth:`result_from_moments`, which lets batch-mode aggregation
+        accumulate window moments as numpy column sums instead of
+        walking the summand objects per tuple.
+        """
+        return False
+
+    def result_from_moments(self, mean: float, variance: float) -> Distribution:
+        """Return the sum distribution from precomputed total moments."""
+        raise NotImplementedError(f"{type(self).__name__} cannot work from moments alone")
+
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"{type(self).__name__}()"
 
@@ -127,6 +142,20 @@ class CFApproximationSum(SumStrategy):
         return fit_mixture_to_cf(
             cf, n_components=self.n_components, n_frequencies=self.n_frequencies
         )
+
+    @property
+    def supports_moments(self) -> bool:
+        # The single-component fit matches the first two cumulants of
+        # the sum, which are exactly the summed means and variances;
+        # multi-component fits need the full product CF.
+        return self.n_components == 1
+
+    def result_from_moments(self, mean: float, variance: float) -> Distribution:
+        if self.n_components != 1:
+            raise NotImplementedError("multi-component CF fits need the full summand CFs")
+        if not np.isfinite(mean) or not np.isfinite(variance) or variance <= 0:
+            raise DistributionError("cannot fit a Gaussian to non-finite or non-positive moments")
+        return Gaussian(mean, math.sqrt(variance))
 
 
 class HistogramSamplingSum(SumStrategy):
@@ -215,6 +244,13 @@ class CLTSum(SumStrategy):
         summands = _check_summands(summands)
         mean = float(sum(float(np.asarray(d.mean()).ravel()[0]) for d in summands))
         variance = float(sum(float(np.asarray(d.variance()).ravel()[0]) for d in summands))
+        return self.result_from_moments(mean, variance)
+
+    @property
+    def supports_moments(self) -> bool:
+        return True
+
+    def result_from_moments(self, mean: float, variance: float) -> Distribution:
         if variance <= 0:
             raise DistributionError("CLT approximation requires positive total variance")
         return Gaussian(mean, math.sqrt(variance))

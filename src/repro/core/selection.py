@@ -15,7 +15,11 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable, Optional
 
+import numpy as np
+
 from repro.distributions import Distribution
+from repro.distributions.gaussian import gaussian_cdf
+from repro.streams.batch import TupleBatch
 from repro.streams.operators.base import Operator, OperatorError
 from repro.streams.tuples import StreamTuple
 
@@ -64,6 +68,27 @@ class UncertainPredicate:
             )
         return item.distribution(self.attribute)
 
+    def probabilities(self, batch: TupleBatch) -> np.ndarray:
+        """Return the predicate probability for every tuple in ``batch``.
+
+        When every row carries a scalar Gaussian for the attribute, the
+        tail probabilities are computed with a single vectorised
+        ``erf`` evaluation over the batch's ``(mu, sigma)`` columns --
+        the same arithmetic the scalar Gaussian CDF performs per tuple,
+        so both paths agree bit-for-bit.  Mixed or non-Gaussian batches
+        fall back to the per-tuple evaluation.
+        """
+        params = batch.gaussian_params(self.attribute)
+        if params is None:
+            return np.asarray([self.probability(item) for item in batch], dtype=float)
+        mu, sigma = params
+        if self.comparison is Comparison.GREATER:
+            return 1.0 - gaussian_cdf(self.threshold, mu, sigma)
+        if self.comparison is Comparison.LESS:
+            return gaussian_cdf(self.threshold, mu, sigma)
+        assert self.upper is not None
+        return gaussian_cdf(self.upper, mu, sigma) - gaussian_cdf(self.threshold, mu, sigma)
+
 
 class ProbabilisticSelect(Operator):
     """Keep tuples whose uncertain predicate holds with enough probability.
@@ -104,3 +129,33 @@ class ProbabilisticSelect(Operator):
             yield item
         else:
             yield item.derive(values={self.probability_attribute: prob})
+
+    def process_batch(self, batch: TupleBatch) -> TupleBatch:
+        """Vectorised selection: one tail-probability kernel per batch.
+
+        Annotated survivors are built through the trusted-constructor
+        fast path: the source tuples are already validated, so only the
+        ``values`` dict needs copying to carry the probability.
+        """
+        if type(self).process is not ProbabilisticSelect.process:
+            return super().process_batch(batch)
+        probs = self.predicate.probabilities(batch)
+        keep = probs >= self.min_probability
+        if not keep.any():
+            return TupleBatch()
+        attribute = self.probability_attribute
+        if attribute is None:
+            return batch.select(keep)
+        survivors = []
+        append = survivors.append
+        unchecked = StreamTuple._unchecked
+        # tolist() yields plain Python bools/floats, avoiding per-element
+        # numpy scalar boxing in the survivor loop.
+        for item, kept, prob in zip(batch, keep.tolist(), probs.tolist()):
+            if kept:
+                values = dict(item.values)
+                values[attribute] = prob
+                append(
+                    unchecked(item.timestamp, values, dict(item.uncertain), item.lineage)
+                )
+        return TupleBatch(survivors)

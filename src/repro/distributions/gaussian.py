@@ -16,10 +16,23 @@ import numpy as np
 
 from .base import Distribution, DistributionError, ScalarDistribution, as_rng
 
-__all__ = ["Gaussian", "MultivariateGaussian"]
+__all__ = ["Gaussian", "MultivariateGaussian", "gaussian_cdf"]
 
 _SQRT_2PI = math.sqrt(2.0 * math.pi)
 _SQRT_2 = math.sqrt(2.0)
+
+
+def gaussian_cdf(x, mu, sigma):
+    """Gaussian CDF, elementwise over any broadcastable arguments.
+
+    This is the single definition of the erf-based CDF formula; the
+    scalar :meth:`Gaussian.cdf` and the vectorised batch kernels
+    (probabilistic selection over Gaussian columns) both call it, so
+    the tuple and batch execution paths stay bit-identical.
+    """
+    from scipy.special import erf
+
+    return 0.5 * (1.0 + erf((x - mu) / (sigma * _SQRT_2)))
 
 
 class Gaussian(ScalarDistribution):
@@ -52,9 +65,7 @@ class Gaussian(ScalarDistribution):
 
     def cdf(self, x):
         x = np.asarray(x, dtype=float)
-        from scipy.special import erf
-
-        out = 0.5 * (1.0 + erf((x - self.mu) / (self.sigma * _SQRT_2)))
+        out = gaussian_cdf(x, self.mu, self.sigma)
         return float(out) if out.ndim == 0 else out
 
     def quantile(self, q: float) -> float:

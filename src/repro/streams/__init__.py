@@ -8,7 +8,8 @@ uncertainty-aware operators that constitute the paper's contribution
 live in :mod:`repro.core` and plug into this substrate.
 """
 
-from .engine import EngineError, StreamEngine, run_plan
+from .batch import TupleBatch
+from .engine import EngineError, OperatorStats, StreamEngine, run_plan
 from .lineage import TupleArchive, are_independent, correlation_groups
 from .operators import (
     AttributeDeriver,
@@ -24,9 +25,12 @@ from .operators import (
 )
 from .schema import Attribute, AttributeKind, Schema, SchemaError
 from .serialization import (
+    batch_size_bytes,
+    decode_batch,
     decode_distribution,
     decode_tuple,
     distribution_size_bytes,
+    encode_batch,
     encode_distribution,
     encode_tuple,
     tuple_size_bytes,
@@ -44,6 +48,7 @@ from .windows import (
 
 __all__ = [
     "StreamTuple",
+    "TupleBatch",
     "TupleId",
     "next_tuple_id",
     "Schema",
@@ -69,6 +74,7 @@ __all__ = [
     "CallbackSink",
     "StreamEngine",
     "EngineError",
+    "OperatorStats",
     "run_plan",
     "TupleArchive",
     "are_independent",
@@ -79,4 +85,7 @@ __all__ = [
     "encode_tuple",
     "decode_tuple",
     "tuple_size_bytes",
+    "encode_batch",
+    "decode_batch",
+    "batch_size_bytes",
 ]

@@ -2,47 +2,93 @@
 
 The :class:`StreamEngine` owns a set of operators (boxes) and the
 connections between them (arrows), accepts tuples from named sources,
-and pushes each tuple through the plan depth-first.  The engine is
-single-threaded and deterministic: the paper's performance numbers come
-from algorithmic choices inside the operators, not from parallel
-execution, so a simple engine keeps experiments reproducible.
+and pushes data through the plan with an *iterative* worklist scheduler
+(no recursion, so arbitrarily deep plans execute without hitting the
+interpreter's recursion limit).  The engine is single-threaded and
+deterministic: the paper's performance numbers come from algorithmic
+choices inside the operators, not from parallel execution, so a simple
+engine keeps experiments reproducible.
+
+Two execution paths share the same plans and operators:
+
+* **tuple-at-a-time** (:meth:`StreamEngine.push`): each tuple traverses
+  the plan depth-first, exactly mirroring the original recursive
+  semantics.  This is the correctness baseline.
+* **batch-at-a-time** (:meth:`StreamEngine.push_batch`, or
+  :meth:`StreamEngine.push_many` on an engine constructed with a
+  ``batch_size``): whole :class:`~repro.streams.batch.TupleBatch`
+  containers move between boxes, amortising per-call overhead and
+  letting operators run vectorised kernels
+  (:meth:`~repro.streams.operators.base.Operator.process_batch`).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from .operators.base import Operator, OperatorError
+from .batch import TupleBatch
+from .operators.base import Operator
 from .tuples import StreamTuple
 
-__all__ = ["StreamEngine", "EngineError"]
+__all__ = ["StreamEngine", "EngineError", "OperatorStats", "run_plan"]
 
 
 class EngineError(Exception):
     """Raised for plan-construction or execution errors."""
 
 
+@dataclass(frozen=True)
+class OperatorStats:
+    """Detailed per-box statistics surfaced by :meth:`StreamEngine.statistics`."""
+
+    name: str
+    tuples_in: int
+    tuples_out: int
+    batches_in: int
+    seconds: float
+
+    @property
+    def tuples_per_second(self) -> float:
+        """Input throughput of the box (0.0 when no time was recorded)."""
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.tuples_in / self.seconds
+
+
 class StreamEngine:
-    """Executes a DAG of operators over pushed tuples.
+    """Executes a DAG of operators over pushed tuples or batches.
 
     Typical use::
 
-        engine = StreamEngine()
+        engine = StreamEngine(batch_size=1024)
         engine.add_source("rfid", t_operator)
         t_operator.connect(select)
         select.connect(aggregate)
         aggregate.connect(sink)
         engine.register(select, aggregate, sink)
 
-        for item in stream:
-            engine.push("rfid", item)
+        engine.push_many("rfid", stream)   # chunked into batches
         engine.finish()
+
+    Parameters
+    ----------
+    batch_size:
+        When set, :meth:`push_many` chunks its input into
+        :class:`TupleBatch` containers of this size and runs the batch
+        path; when ``None`` (default) :meth:`push_many` runs the
+        tuple-at-a-time path.  :meth:`push` and :meth:`push_batch`
+        always use their respective paths regardless of this setting.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, batch_size: Optional[int] = None) -> None:
+        if batch_size is not None and batch_size < 1:
+            raise EngineError(f"batch_size must be at least 1, got {batch_size}")
         self._sources: Dict[str, Operator] = {}
         self._operators: List[Operator] = []
+        self._operator_ids: set = set()
+        self.batch_size = batch_size
 
     # ------------------------------------------------------------------
     # Plan construction
@@ -58,17 +104,20 @@ class StreamEngine:
     def register(self, *operators: Operator) -> None:
         """Register operators so the engine can flush and inspect them."""
         for op in operators:
-            if op not in self._operators:
+            if id(op) not in self._operator_ids:
+                self._operator_ids.add(id(op))
                 self._operators.append(op)
 
     def _discover(self) -> List[Operator]:
         """Return all operators reachable from sources plus registered ones."""
         seen: List[Operator] = []
+        seen_ids: set = set()
         queue = deque(self._operators)
         while queue:
             op = queue.popleft()
-            if op in seen:
+            if id(op) in seen_ids:
                 continue
+            seen_ids.add(id(op))
             seen.append(op)
             queue.extend(op.downstream)
         return seen
@@ -78,21 +127,38 @@ class StreamEngine:
         return tuple(self._discover())
 
     def validate(self) -> None:
-        """Check that the plan is a DAG (no operator reachable from itself)."""
+        """Check that the plan is a DAG (no operator reachable from itself).
+
+        One tri-color depth-first pass over the whole graph: operators
+        are *white* (unvisited), *gray* (on the current DFS path) or
+        *black* (fully explored).  An arrow into a gray operator is a
+        back edge, i.e. a cycle through that operator.
+        """
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[int, int] = {}
         for start in self._discover():
-            stack = list(start.downstream)
-            visited = set()
+            if color.get(id(start), WHITE) != WHITE:
+                continue
+            color[id(start)] = GRAY
+            stack = [(start, iter(start.downstream))]
             while stack:
-                op = stack.pop()
-                if op is start:
-                    raise EngineError(f"cycle detected through operator {start.name!r}")
-                if id(op) in visited:
-                    continue
-                visited.add(id(op))
-                stack.extend(op.downstream)
+                op, edges = stack[-1]
+                advanced = False
+                for nxt in edges:
+                    state = color.get(id(nxt), WHITE)
+                    if state == GRAY:
+                        raise EngineError(f"cycle detected through operator {nxt.name!r}")
+                    if state == WHITE:
+                        color[id(nxt)] = GRAY
+                        stack.append((nxt, iter(nxt.downstream)))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[id(op)] = BLACK
+                    stack.pop()
 
     # ------------------------------------------------------------------
-    # Execution
+    # Execution: tuple-at-a-time path
     # ------------------------------------------------------------------
     def push(self, source: str, item: StreamTuple) -> None:
         """Push one tuple into the plan via the named source."""
@@ -102,27 +168,112 @@ class StreamEngine:
             raise EngineError(f"unknown source {source!r}") from exc
         self._propagate(entry, item)
 
-    def push_many(self, source: str, items: Iterable[StreamTuple]) -> None:
-        """Push a sequence of tuples into the plan via the named source."""
+    def push_many(
+        self,
+        source: str,
+        items: Iterable[StreamTuple],
+        batch_size: Optional[int] = None,
+    ) -> None:
+        """Push a sequence of tuples into the plan via the named source.
+
+        With a ``batch_size`` (from the argument or the engine default)
+        the input is chunked into :class:`TupleBatch` containers and run
+        through the batch path; otherwise each tuple is pushed
+        individually.
+        """
+        size = self.batch_size if batch_size is None else batch_size
+        if size is None:
+            for item in items:
+                self.push(source, item)
+            return
+        if size < 1:
+            raise EngineError(f"batch_size must be at least 1, got {size}")
+        if isinstance(items, (list, tuple)):
+            # Sequences chunk by slicing -- no per-item append loop.
+            for start in range(0, len(items), size):
+                self.push_batch(source, TupleBatch(items[start : start + size]))
+            return
+        chunk: List[StreamTuple] = []
         for item in items:
-            self.push(source, item)
+            chunk.append(item)
+            if len(chunk) >= size:
+                self.push_batch(source, TupleBatch(chunk))
+                chunk = []
+        if chunk:
+            self.push_batch(source, TupleBatch(chunk))
 
     def _propagate(self, operator: Operator, item: StreamTuple) -> None:
-        try:
-            outputs = operator.accept(item)
-        except OperatorError:
-            raise
-        for out in outputs:
-            for downstream in operator.downstream:
-                self._propagate(downstream, out)
+        """Iterative depth-first propagation of one tuple.
 
+        A LIFO worklist visits (operator, tuple) pairs in exactly the
+        order the former recursive implementation did, so sinks observe
+        identical tuple orderings -- without consuming interpreter stack
+        proportional to plan depth.
+        """
+        stack: List[Tuple[Operator, StreamTuple]] = [(operator, item)]
+        while stack:
+            op, current = stack.pop()
+            outputs = op.accept(current)
+            if not outputs:
+                continue
+            downstream = op.downstream
+            if not downstream:
+                continue
+            pending = [(nxt, out) for out in outputs for nxt in downstream]
+            stack.extend(reversed(pending))
+
+    # ------------------------------------------------------------------
+    # Execution: batch-at-a-time path
+    # ------------------------------------------------------------------
+    def push_batch(
+        self, source: str, batch: Union[TupleBatch, Iterable[StreamTuple]]
+    ) -> None:
+        """Push a whole batch into the plan via the named source."""
+        try:
+            entry = self._sources[source]
+        except KeyError as exc:
+            raise EngineError(f"unknown source {source!r}") from exc
+        if not isinstance(batch, TupleBatch):
+            batch = TupleBatch(batch)
+        self._propagate_batch(entry, batch)
+
+    def _propagate_batch(self, operator: Operator, batch: TupleBatch) -> None:
+        """Iterative propagation of a batch (depth-first over boxes)."""
+        stack: List[Tuple[Operator, TupleBatch]] = [(operator, batch)]
+        while stack:
+            op, current = stack.pop()
+            if not len(current):
+                continue
+            outputs = op.accept_batch(current)
+            if not len(outputs):
+                continue
+            downstream = op.downstream
+            if not downstream:
+                continue
+            stack.extend(reversed([(nxt, outputs) for nxt in downstream]))
+
+    # ------------------------------------------------------------------
+    # End of stream
+    # ------------------------------------------------------------------
     def finish(self) -> None:
-        """Flush every operator in topological order (end of stream)."""
+        """Flush every operator in topological order (end of stream).
+
+        Flushed tuples propagate through whichever path the engine is
+        configured for; both paths produce the same multiset of results.
+        """
+        use_batches = self.batch_size is not None
         for op in self._topological_order():
             outputs = op.finish()
-            for out in outputs:
-                for downstream in op.downstream:
-                    self._propagate(downstream, out)
+            if not outputs:
+                continue
+            if use_batches:
+                flushed = TupleBatch(outputs)
+                for nxt in op.downstream:
+                    self._propagate_batch(nxt, flushed)
+            else:
+                for out in outputs:
+                    for nxt in op.downstream:
+                        self._propagate(nxt, out)
 
     def _topological_order(self) -> List[Operator]:
         ops = self._discover()
@@ -148,9 +299,28 @@ class StreamEngine:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def statistics(self) -> List[Tuple[str, int, int]]:
-        """Return ``(operator name, tuples in, tuples out)`` for every box."""
-        return [(op.name, op.tuples_in, op.tuples_out) for op in self._discover()]
+    def statistics(self, detailed: bool = False):
+        """Return per-box statistics.
+
+        By default returns ``(operator name, tuples in, tuples out)``
+        triples (the historical interface).  With ``detailed=True``
+        returns :class:`OperatorStats` records that additionally carry
+        the number of batches processed, the cumulative processing time
+        and the derived throughput.
+        """
+        ops = self._discover()
+        if detailed:
+            return [
+                OperatorStats(
+                    name=op.name,
+                    tuples_in=op.tuples_in,
+                    tuples_out=op.tuples_out,
+                    batches_in=op.batches_in,
+                    seconds=op.processing_seconds,
+                )
+                for op in ops
+            ]
+        return [(op.name, op.tuples_in, op.tuples_out) for op in ops]
 
     def reset(self) -> None:
         """Reset per-operator counters (does not clear operator state)."""
@@ -162,15 +332,17 @@ def run_plan(
     source_operator: Operator,
     items: Iterable[StreamTuple],
     sink: Optional[Operator] = None,
+    batch_size: Optional[int] = None,
 ) -> List[StreamTuple]:
     """Convenience helper: run ``items`` through a linear plan and collect results.
 
     If ``sink`` is None, a :class:`~repro.streams.operators.basic.CollectSink`
     is appended to the last operator reachable from ``source_operator``.
+    A ``batch_size`` selects the batch-at-a-time execution path.
     """
     from .operators.basic import CollectSink
 
-    engine = StreamEngine()
+    engine = StreamEngine(batch_size=batch_size)
     engine.add_source("input", source_operator)
     if sink is None:
         # Find the terminal operator by walking single-output chains.

@@ -11,8 +11,10 @@ downstream boxes.
 from __future__ import annotations
 
 import abc
+from time import perf_counter
 from typing import Callable, Iterable, List, Optional, Sequence
 
+from ..batch import TupleBatch
 from ..schema import Schema
 from ..tuples import StreamTuple
 
@@ -37,6 +39,8 @@ class Operator(abc.ABC):
         self._downstream: List["Operator"] = []
         self.tuples_in = 0
         self.tuples_out = 0
+        self.batches_in = 0
+        self.processing_seconds = 0.0
 
     # ------------------------------------------------------------------
     # Topology
@@ -63,6 +67,21 @@ class Operator(abc.ABC):
     def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
         """Consume one input tuple and yield zero or more output tuples."""
 
+    def process_batch(self, batch: TupleBatch) -> TupleBatch:
+        """Consume a batch and return the output batch.
+
+        The default implementation is a per-tuple fallback loop over
+        :meth:`process`, so every existing operator participates in
+        batch execution unchanged.  Operators with a vectorisable hot
+        path (filtering, probabilistic selection, moment-based
+        aggregation) override this with a columnar kernel.
+        """
+        outputs: List[StreamTuple] = []
+        process = self.process
+        for item in batch:
+            outputs.extend(process(item))
+        return TupleBatch(outputs)
+
     def flush(self) -> Iterable[StreamTuple]:
         """Emit any buffered state at end of stream (default: nothing)."""
         return ()
@@ -75,7 +94,24 @@ class Operator(abc.ABC):
         if self.input_schema is not None:
             self.input_schema.validate(item)
         self.tuples_in += 1
+        started = perf_counter()
         outputs = list(self.process(item))
+        self.processing_seconds += perf_counter() - started
+        self.tuples_out += len(outputs)
+        return outputs
+
+    def accept_batch(self, batch: TupleBatch) -> TupleBatch:
+        """Validate, process and count a whole batch; used by the engine."""
+        if self.input_schema is not None:
+            for item in batch:
+                self.input_schema.validate(item)
+        self.tuples_in += len(batch)
+        self.batches_in += 1
+        started = perf_counter()
+        outputs = self.process_batch(batch)
+        self.processing_seconds += perf_counter() - started
+        if not isinstance(outputs, TupleBatch):
+            outputs = TupleBatch(outputs)
         self.tuples_out += len(outputs)
         return outputs
 
@@ -86,9 +122,11 @@ class Operator(abc.ABC):
         return outputs
 
     def reset_counters(self) -> None:
-        """Reset the tuples-in / tuples-out statistics."""
+        """Reset the tuples-in / tuples-out / timing statistics."""
         self.tuples_in = 0
         self.tuples_out = 0
+        self.batches_in = 0
+        self.processing_seconds = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"{type(self).__name__}(name={self.name!r})"
@@ -118,3 +156,11 @@ class PassThroughOperator(Operator):
 
     def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
         yield item
+
+    def process_batch(self, batch: TupleBatch) -> TupleBatch:
+        # Forward the batch object untouched -- but only when ``process``
+        # is the identity above; a subclass overriding ``process`` alone
+        # must keep per-tuple semantics on the batch path too.
+        if type(self).process is PassThroughOperator.process:
+            return batch
+        return super().process_batch(batch)

@@ -9,8 +9,11 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
+import numpy as np
+
 from repro.distributions import Distribution
 
+from ..batch import TupleBatch
 from ..schema import Schema
 from ..tuples import StreamTuple
 from .base import Operator, OperatorError
@@ -24,6 +27,15 @@ class Filter(Operator):
     This is an ordinary deterministic selection, e.g. the
     ``object_type(tag_id) = 'flammable'`` predicate of Q2 which applies
     to a deterministic attribute.
+
+    Parameters
+    ----------
+    predicate:
+        Per-tuple predicate; used by both execution paths.
+    batch_predicate:
+        Optional columnar kernel ``TupleBatch -> boolean mask`` used by
+        the batch path instead of calling ``predicate`` per tuple.  It
+        must be semantically equivalent to the per-tuple predicate.
     """
 
     def __init__(
@@ -31,13 +43,24 @@ class Filter(Operator):
         predicate: Callable[[StreamTuple], bool],
         name: Optional[str] = None,
         input_schema: Optional[Schema] = None,
+        batch_predicate: Optional[Callable[[TupleBatch], Sequence[bool]]] = None,
     ):
         super().__init__(name=name, input_schema=input_schema)
         self._predicate = predicate
+        self._batch_predicate = batch_predicate
 
     def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
         if self._predicate(item):
             yield item
+
+    def process_batch(self, batch: TupleBatch) -> TupleBatch:
+        if type(self).process is not Filter.process:
+            return super().process_batch(batch)
+        if self._batch_predicate is not None:
+            mask = np.asarray(self._batch_predicate(batch), dtype=bool)
+            return batch.select(mask)
+        predicate = self._predicate
+        return TupleBatch([item for item in batch if predicate(item)])
 
 
 class Map(Operator):
@@ -115,6 +138,11 @@ class Union(Operator):
     def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
         yield item
 
+    def process_batch(self, batch: TupleBatch) -> TupleBatch:
+        if type(self).process is Union.process:
+            return batch
+        return super().process_batch(batch)
+
 
 class CollectSink(Operator):
     """Terminal operator collecting every received tuple into a list."""
@@ -126,6 +154,12 @@ class CollectSink(Operator):
     def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
         self.results.append(item)
         return ()
+
+    def process_batch(self, batch: TupleBatch) -> TupleBatch:
+        if type(self).process is not CollectSink.process:
+            return super().process_batch(batch)
+        self.results.extend(batch)
+        return TupleBatch()
 
     def clear(self) -> None:
         self.results.clear()
@@ -141,3 +175,11 @@ class CallbackSink(Operator):
     def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
         self._callback(item)
         return ()
+
+    def process_batch(self, batch: TupleBatch) -> TupleBatch:
+        if type(self).process is not CallbackSink.process:
+            return super().process_batch(batch)
+        callback = self._callback
+        for item in batch:
+            callback(item)
+        return TupleBatch()

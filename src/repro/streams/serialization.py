@@ -29,6 +29,7 @@ from repro.distributions import (
     Uniform,
 )
 
+from .batch import TupleBatch
 from .tuples import StreamTuple
 
 __all__ = [
@@ -38,6 +39,9 @@ __all__ = [
     "encode_tuple",
     "decode_tuple",
     "tuple_size_bytes",
+    "encode_batch",
+    "decode_batch",
+    "batch_size_bytes",
 ]
 
 _GAUSSIAN = 1
@@ -206,3 +210,61 @@ def decode_tuple(payload: bytes) -> StreamTuple:
 def tuple_size_bytes(item: StreamTuple) -> int:
     """Return the encoded size of a tuple in bytes."""
     return len(encode_tuple(item))
+
+
+# ----------------------------------------------------------------------
+# Batch framing
+# ----------------------------------------------------------------------
+#: Magic prefix identifying an encoded tuple batch (version 1).
+_BATCH_MAGIC = b"TB1\x00"
+
+
+def encode_batch(batch: TupleBatch) -> bytes:
+    """Encode a whole batch: magic, row count, then length-prefixed tuples.
+
+    The framing keeps rows independently decodable, so a receiver can
+    stream-decode without materialising the full batch first.
+    """
+    parts = [_BATCH_MAGIC, struct.pack("<I", len(batch))]
+    for item in batch:
+        encoded = encode_tuple(item)
+        parts.append(struct.pack("<I", len(encoded)))
+        parts.append(encoded)
+    return b"".join(parts)
+
+
+def decode_batch(payload: bytes) -> TupleBatch:
+    """Decode a batch produced by :func:`encode_batch`.
+
+    Raises ``ValueError`` on a missing magic prefix, a truncated
+    payload, or trailing bytes after the declared rows, so framing
+    corruption is caught here rather than surfacing as an unrelated
+    error from the tuple decoder.
+    """
+    if payload[: len(_BATCH_MAGIC)] != _BATCH_MAGIC:
+        raise ValueError("payload does not start with the tuple-batch magic prefix")
+    offset = len(_BATCH_MAGIC)
+    if len(payload) < offset + 4:
+        raise ValueError("truncated tuple-batch payload: missing row count")
+    (count,) = struct.unpack_from("<I", payload, offset)
+    offset += 4
+    rows = []
+    for index in range(count):
+        if len(payload) < offset + 4:
+            raise ValueError(f"truncated tuple-batch payload: missing length of row {index}")
+        (length,) = struct.unpack_from("<I", payload, offset)
+        offset += 4
+        if len(payload) < offset + length:
+            raise ValueError(f"truncated tuple-batch payload: row {index} is incomplete")
+        rows.append(decode_tuple(payload[offset : offset + length]))
+        offset += length
+    if offset != len(payload):
+        raise ValueError(
+            f"tuple-batch payload has {len(payload) - offset} trailing bytes after {count} rows"
+        )
+    return TupleBatch(rows)
+
+
+def batch_size_bytes(batch: TupleBatch) -> int:
+    """Return the encoded size of a batch without building the bytes."""
+    return len(_BATCH_MAGIC) + 4 + sum(4 + tuple_size_bytes(item) for item in batch)

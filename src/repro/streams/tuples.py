@@ -103,6 +103,38 @@ class StreamTuple:
         return float(self.uncertain[name].mean())
 
     # ------------------------------------------------------------------
+    # Construction fast path
+    # ------------------------------------------------------------------
+    @classmethod
+    def _unchecked(
+        cls,
+        timestamp: float,
+        values: Dict[str, Any],
+        uncertain: Mapping[str, Distribution],
+        lineage: FrozenSet[TupleId],
+    ) -> "StreamTuple":
+        """Build a tuple from pre-validated parts, skipping ``__post_init__``.
+
+        Batch kernels construct thousands of derived tuples whose
+        attribute maps are already known to be well-formed (they come
+        from existing, validated tuples); this path skips the defensive
+        copies and isinstance checks.  Callers must hand over ownership
+        of ``values`` (it is stored as-is) and must only pass a
+        ``lineage`` that is already a non-empty frozenset.
+        """
+        obj = object.__new__(cls)
+        # Writing the instance dict directly sidesteps the frozen-dataclass
+        # __setattr__ machinery; attribute reads are unaffected.
+        obj.__dict__.update(
+            timestamp=timestamp,
+            values=values,
+            uncertain=uncertain,
+            lineage=lineage,
+            tuple_id=next(_tuple_counter),
+        )
+        return obj
+
+    # ------------------------------------------------------------------
     # Derivation
     # ------------------------------------------------------------------
     def derive(

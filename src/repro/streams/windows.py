@@ -49,6 +49,20 @@ class WindowBuffer(abc.ABC):
     def add(self, item: StreamTuple) -> List[WindowClose]:
         """Add a tuple and return any windows that closed as a result."""
 
+    def add_many(self, items: Iterable[StreamTuple]) -> List[WindowClose]:
+        """Add a sequence of tuples and return all windows they closed.
+
+        Default: loop over :meth:`add`.  Buffers with cheap bulk
+        insertion (count windows) override this for the batch
+        execution path; the closed windows must be identical to those
+        the per-tuple loop would produce.
+        """
+        closed: List[WindowClose] = []
+        add = self.add
+        for item in items:
+            closed.extend(add(item))
+        return closed
+
     @abc.abstractmethod
     def flush(self) -> List[WindowClose]:
         """Close and return any remaining partial windows (end of stream)."""
@@ -88,6 +102,21 @@ class _CountBuffer(WindowBuffer):
         )
         self._items = []
         return [window]
+
+    def add_many(self, items: Iterable[StreamTuple]) -> List[WindowClose]:
+        self._items.extend(items)
+        if len(self._items) < self._size:
+            return []
+        closed: List[WindowClose] = []
+        size = self._size
+        pending = self._items
+        for start in range(0, len(pending) - size + 1, size):
+            chunk = tuple(pending[start : start + size])
+            closed.append(
+                WindowClose(start=chunk[0].timestamp, end=chunk[-1].timestamp, items=chunk)
+            )
+        self._items = pending[len(closed) * size :]
+        return closed
 
     def flush(self) -> List[WindowClose]:
         if not self._items:

@@ -3,11 +3,14 @@
 from .radar_workload import TABLE1_AVERAGING_SIZES, RadarWorkload, build_table1_workload
 from .rfid_workload import RFIDWorkload, build_rfid_workload, noisy_detection_model
 from .synthetic import (
+    gaussian_tuple_batches,
     gaussian_tuple_stream,
+    gmm_tuple_batches,
     gmm_tuple_stream,
     ma_series_tuple_stream,
     random_gaussian_mixture,
     temperature_stream,
+    to_batches,
 )
 
 __all__ = [
@@ -16,6 +19,9 @@ __all__ = [
     "temperature_stream",
     "ma_series_tuple_stream",
     "random_gaussian_mixture",
+    "to_batches",
+    "gmm_tuple_batches",
+    "gaussian_tuple_batches",
     "RFIDWorkload",
     "build_rfid_workload",
     "noisy_detection_model",

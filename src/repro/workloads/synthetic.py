@@ -14,7 +14,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.distributions import Gaussian, GaussianMixture, as_rng
-from repro.streams import StreamTuple
+from repro.streams import StreamTuple, TupleBatch
 
 __all__ = [
     "random_gaussian_mixture",
@@ -22,6 +22,9 @@ __all__ = [
     "gaussian_tuple_stream",
     "temperature_stream",
     "ma_series_tuple_stream",
+    "to_batches",
+    "gmm_tuple_batches",
+    "gaussian_tuple_batches",
 ]
 
 
@@ -97,6 +100,39 @@ def gaussian_tuple_stream(
             )
         )
     return stream
+
+
+def to_batches(stream: Sequence[StreamTuple], batch_size: int) -> List[TupleBatch]:
+    """Chunk a tuple stream into :class:`TupleBatch` containers.
+
+    The batches share the tuple objects with ``stream``; only the
+    grouping changes, so a workload generated once can feed both the
+    tuple-at-a-time and the batch execution paths.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    return [
+        TupleBatch(stream[start : start + batch_size])
+        for start in range(0, len(stream), batch_size)
+    ]
+
+
+def gmm_tuple_batches(
+    n_tuples: int,
+    batch_size: int = 1024,
+    **kwargs,
+) -> List[TupleBatch]:
+    """Batched variant of :func:`gmm_tuple_stream` for the batch engine path."""
+    return to_batches(gmm_tuple_stream(n_tuples, **kwargs), batch_size)
+
+
+def gaussian_tuple_batches(
+    n_tuples: int,
+    batch_size: int = 1024,
+    **kwargs,
+) -> List[TupleBatch]:
+    """Batched variant of :func:`gaussian_tuple_stream` for the batch engine path."""
+    return to_batches(gaussian_tuple_stream(n_tuples, **kwargs), batch_size)
 
 
 def temperature_stream(

@@ -44,8 +44,14 @@ def test_having_probability_consistent_with_clause_decision(params, threshold):
 def test_max_distribution_dominates_every_input_mean(params):
     summands = [Gaussian(mu, sigma) for mu, sigma in params]
     result = max_distribution(summands, n_points=512)
-    # E[max(X_1..X_n)] >= max_i E[X_i] for any joint distribution.
-    assert result.mean() >= max(mu for mu, _ in params) - 0.5
+    # E[max(X_1..X_n)] >= max_i E[X_i] for any joint distribution.  The
+    # numerical result is a histogram, so allow discretisation slack
+    # proportional to its bin width (a fixed 0.5 is too tight when the
+    # summand supports span hundreds of units).
+    lows, highs = zip(*(d.support() for d in summands))
+    bin_width = (max(highs) - min(lows)) / 512
+    tolerance = max(0.5, bin_width)
+    assert result.mean() >= max(mu for mu, _ in params) - tolerance
 
 
 @given(

@@ -1,0 +1,209 @@
+"""Tests for the columnar TupleBatch container and batch operator hooks."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Gaussian, Uniform
+from repro.streams import (
+    CollectSink,
+    Filter,
+    StreamTuple,
+    TupleBatch,
+    decode_batch,
+    encode_batch,
+)
+from repro.streams.operators.base import Operator, PassThroughOperator
+
+
+def make_gaussian_tuples(n, attribute="value"):
+    return [
+        StreamTuple(
+            timestamp=float(i),
+            values={"i": i},
+            uncertain={attribute: Gaussian(float(i) + 1.0, 0.5 + i * 0.1)},
+        )
+        for i in range(n)
+    ]
+
+
+class TestTupleBatchContainer:
+    def test_roundtrip_preserves_rows_and_order(self):
+        rows = make_gaussian_tuples(5)
+        batch = TupleBatch.from_tuples(rows)
+        assert len(batch) == 5
+        assert batch.to_tuples() == rows
+        assert [t.value("i") for t in batch] == [0, 1, 2, 3, 4]
+        assert batch[2] is rows[2]
+
+    def test_slicing_returns_batches(self):
+        batch = TupleBatch(make_gaussian_tuples(6))
+        head = batch[:2]
+        assert isinstance(head, TupleBatch)
+        assert len(head) == 2
+
+    def test_chunks_cover_all_rows(self):
+        batch = TupleBatch(make_gaussian_tuples(7))
+        chunks = list(batch.chunks(3))
+        assert [len(c) for c in chunks] == [3, 3, 1]
+        assert TupleBatch.concat(chunks).to_tuples() == batch.to_tuples()
+
+    def test_chunks_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            list(TupleBatch(make_gaussian_tuples(2)).chunks(0))
+
+    def test_select_applies_boolean_mask(self):
+        batch = TupleBatch(make_gaussian_tuples(4))
+        kept = batch.select([True, False, False, True])
+        assert [t.value("i") for t in kept] == [0, 3]
+
+    def test_select_rejects_wrong_length_mask(self):
+        with pytest.raises(ValueError):
+            TupleBatch(make_gaussian_tuples(3)).select([True])
+
+
+class TestColumnarViews:
+    def test_timestamps_column(self):
+        batch = TupleBatch(make_gaussian_tuples(4))
+        ts = batch.timestamps()
+        assert ts.dtype == np.float64
+        np.testing.assert_array_equal(ts, [0.0, 1.0, 2.0, 3.0])
+        assert batch.timestamps() is ts  # cached
+
+    def test_value_and_numeric_columns(self):
+        batch = TupleBatch(make_gaussian_tuples(3))
+        assert list(batch.value_column("i")) == [0, 1, 2]
+        numeric = batch.numeric_column("i")
+        assert numeric.dtype == np.float64
+        np.testing.assert_array_equal(numeric, [0.0, 1.0, 2.0])
+
+    def test_gaussian_params_fast_path(self):
+        batch = TupleBatch(make_gaussian_tuples(3))
+        params = batch.gaussian_params("value")
+        assert params is not None
+        mu, sigma = params
+        np.testing.assert_allclose(mu, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(sigma, [0.5, 0.6, 0.7])
+        assert batch.gaussian_params("value") is params  # cached
+
+    def test_gaussian_params_none_for_mixed_batches(self):
+        rows = make_gaussian_tuples(2)
+        rows.append(
+            StreamTuple(timestamp=2.0, values={"i": 2}, uncertain={"value": Uniform(0.0, 1.0)})
+        )
+        batch = TupleBatch(rows)
+        assert batch.gaussian_params("value") is None
+        assert batch.gaussian_params("value") is None  # cached negative result
+
+    def test_moments_match_distribution_moments(self):
+        rows = make_gaussian_tuples(2)
+        rows.append(
+            StreamTuple(timestamp=2.0, values={"i": 2}, uncertain={"value": Uniform(0.0, 6.0)})
+        )
+        batch = TupleBatch(rows)
+        moments = batch.moments("value")
+        assert moments is not None
+        means, variances = moments
+        np.testing.assert_allclose(means, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(variances, [0.25, 0.36, 3.0])
+
+    def test_moments_none_when_attribute_missing(self):
+        rows = make_gaussian_tuples(1) + [StreamTuple(timestamp=1.0, values={"i": 1})]
+        assert TupleBatch(rows).moments("value") is None
+
+    def test_uncertain_column_exposes_distributions(self):
+        batch = TupleBatch(make_gaussian_tuples(2))
+        col = batch.uncertain_column("value")
+        assert isinstance(col[0], Gaussian)
+        assert col[1].mu == 2.0
+
+
+class TestBatchSerialization:
+    def test_encode_decode_roundtrip(self):
+        batch = TupleBatch(make_gaussian_tuples(4))
+        decoded = decode_batch(encode_batch(batch))
+        assert len(decoded) == len(batch)
+        for original, restored in zip(batch, decoded):
+            assert restored.timestamp == original.timestamp
+            assert restored.values == original.values
+            assert restored.lineage == original.lineage
+            assert restored.distribution("value") == original.distribution("value")
+
+    def test_empty_batch_roundtrip(self):
+        assert len(decode_batch(encode_batch(TupleBatch()))) == 0
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            decode_batch(b"not a batch")
+
+    def test_decode_rejects_truncated_payload(self):
+        payload = encode_batch(TupleBatch(make_gaussian_tuples(3)))
+        with pytest.raises(ValueError, match="truncated"):
+            decode_batch(payload[:-5])
+
+    def test_decode_rejects_trailing_bytes(self):
+        payload = encode_batch(TupleBatch(make_gaussian_tuples(2)))
+        with pytest.raises(ValueError, match="trailing bytes"):
+            decode_batch(payload + b"\x00\x01")
+
+
+class TestOperatorBatchHooks:
+    def test_default_process_batch_matches_per_tuple_processing(self):
+        class Doubler(Operator):
+            def process(self, item):
+                yield item.derive(values={"i": item.value("i") * 2})
+
+        rows = make_gaussian_tuples(5)
+        per_tuple = [out.value("i") for t in rows for out in Doubler().process(t)]
+        batched = Doubler().process_batch(TupleBatch(rows))
+        assert [t.value("i") for t in batched] == per_tuple
+
+    def test_accept_batch_counts_and_times(self):
+        op = PassThroughOperator()
+        out = op.accept_batch(TupleBatch(make_gaussian_tuples(4)))
+        assert len(out) == 4
+        assert op.tuples_in == 4
+        assert op.tuples_out == 4
+        assert op.batches_in == 1
+        assert op.processing_seconds >= 0.0
+        op.reset_counters()
+        assert (op.tuples_in, op.batches_in, op.processing_seconds) == (0, 0, 0.0)
+
+    def test_filter_batch_matches_tuple_path(self):
+        rows = make_gaussian_tuples(6)
+        keep_even = Filter(lambda t: t.value("i") % 2 == 0)
+        batched = keep_even.process_batch(TupleBatch(rows))
+        assert [t.value("i") for t in batched] == [0, 2, 4]
+
+    def test_filter_vectorised_batch_predicate(self):
+        rows = make_gaussian_tuples(6)
+        keep_late = Filter(
+            lambda t: t.timestamp >= 3.0,
+            batch_predicate=lambda batch: batch.timestamps() >= 3.0,
+        )
+        batched = keep_late.process_batch(TupleBatch(rows))
+        assert [t.value("i") for t in batched] == [3, 4, 5]
+
+    def test_collect_sink_batch_collects_all(self):
+        sink = CollectSink()
+        out = sink.accept_batch(TupleBatch(make_gaussian_tuples(3)))
+        assert len(out) == 0
+        assert [t.value("i") for t in sink.results] == [0, 1, 2]
+
+    def test_subclass_overriding_process_keeps_batch_semantics(self):
+        # A subclass that only overrides process() must see its override
+        # honoured on the batch path too (the inherited fast path would
+        # otherwise silently forward the batch unchanged).
+        class DropAll(PassThroughOperator):
+            def process(self, item):
+                return ()
+
+        out = DropAll().process_batch(TupleBatch(make_gaussian_tuples(3)))
+        assert len(out) == 0
+
+        class KeepFirstOnly(Filter):
+            def process(self, item):
+                if item.value("i") == 0:
+                    yield item
+
+        out = KeepFirstOnly(lambda t: True).process_batch(TupleBatch(make_gaussian_tuples(3)))
+        assert [t.value("i") for t in out] == [0]

@@ -4,12 +4,16 @@ import numpy as np
 import pytest
 
 from repro.distributions import Gaussian, GaussianMixture
+from repro.streams import TupleBatch
 from repro.workloads import (
+    gaussian_tuple_batches,
     gaussian_tuple_stream,
+    gmm_tuple_batches,
     gmm_tuple_stream,
     ma_series_tuple_stream,
     random_gaussian_mixture,
     temperature_stream,
+    to_batches,
 )
 
 
@@ -76,6 +80,25 @@ class TestOtherStreams:
     def test_temperature_stream_without_hot_spot(self):
         stream = temperature_stream(50, hot_spot=None, rng=7)
         assert all(t.distribution("temp").mu == pytest.approx(25.0) for t in stream)
+
+    def test_to_batches_preserves_rows_and_order(self):
+        stream = gaussian_tuple_stream(25, rng=4)
+        batches = to_batches(stream, 10)
+        assert [len(b) for b in batches] == [10, 10, 5]
+        assert all(isinstance(b, TupleBatch) for b in batches)
+        flattened = [t for b in batches for t in b]
+        assert flattened == stream  # same objects, same order
+
+    def test_to_batches_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            to_batches(gaussian_tuple_stream(5, rng=4), 0)
+
+    def test_batched_generators_match_stream_generators(self):
+        batches = gaussian_tuple_batches(30, batch_size=8, rng=5)
+        assert sum(len(b) for b in batches) == 30
+        assert all(b.gaussian_params("value") is not None for b in batches)
+        gmm_batches = gmm_tuple_batches(12, batch_size=5, rng=5)
+        assert [len(b) for b in gmm_batches] == [5, 5, 2]
 
     def test_ma_series_stream_is_correlated(self):
         from repro.radar import sample_autocorrelation
