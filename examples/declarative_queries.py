@@ -1,14 +1,19 @@
 """Declarative queries: compiling Q1/Q2-style queries into box-arrow plans.
 
 Section 3 notes that the box-arrow diagram executed by the engine "can
-be compiled from a query".  This example uses the
-:class:`repro.core.QueryBuilder` to express both of the paper's queries
-declaratively and runs them over synthetic uncertain streams:
+be compiled from a query".  This example uses the DAG-capable
+:class:`repro.plan.Stream` builder to express both of the paper's
+queries declaratively, shows the planner's rewrites via ``explain()``,
+and runs the compiled plans over synthetic uncertain streams:
 
-* a Q1-style query: derive a weight, group by area, sum per 5-second
-  window, and keep groups that probably exceed a weight limit;
+* a Q1-style query: derive a weight, drop ghost reads, group by area,
+  sum per 5-second window, and keep groups that probably exceed a
+  weight limit.  The planner pushes the ghost-read filter *below* the
+  weight derivation (``push_filter_below_derive``).
 * a Q2-style query: join an object stream with a temperature stream on
-  probabilistic location equality, keeping hot sensors only.
+  probabilistic location equality, keeping hot sensors only.  The heat
+  predicate is written over the *joined* schema; the planner pushes it
+  down into the temperature input (``push_filter_below_join``).
 
 Run with:  python examples/declarative_queries.py
 """
@@ -17,30 +22,30 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import (
-    Comparison,
-    HavingClause,
-    ProbabilisticSelect,
-    QueryBuilder,
-    UncertainPredicate,
-    match_probability_band,
-)
-from repro.distributions import Gaussian
+from repro.core import match_probability_band
+from repro.plan import Stream
 from repro.streams import StreamTuple, TumblingTimeWindow
 from repro.workloads import temperature_stream
 
+from repro.distributions import Gaussian
 
-def object_stream(n, rng):
-    """A toy object-location stream with weights: three shelves along x."""
+
+def object_stream(n, rng, ghost_rate=0.15):
+    """A toy object-location stream: three shelves along x, plus ghost reads.
+
+    A real reader occasionally reports tags that are not in the catalog
+    (ghost reads); the declarative query filters them out.
+    """
     catalog = {}
     tuples = []
     for i in range(n):
         tag = f"O{i:03d}"
         shelf = int(rng.integers(0, 3))
-        catalog[tag] = {
-            "weight": float(rng.uniform(30.0, 80.0)),
-            "type": "flammable" if rng.random() < 0.4 else "general",
-        }
+        if rng.random() >= ghost_rate:
+            catalog[tag] = {
+                "weight": float(rng.uniform(30.0, 80.0)),
+                "type": "flammable" if rng.random() < 0.4 else "general",
+            }
         tuples.append(
             StreamTuple(
                 timestamp=float(i) * 0.2,
@@ -60,22 +65,34 @@ def main() -> None:
 
     # ------------------------------------------------------------------
     # Q1: per-area weight limit, expressed declaratively.
+    #
+    # The query is written in the "natural" order -- derive the weight,
+    # then discard ghost reads -- and the planner pushes the catalog-
+    # membership filter below the derive so unknown tags never reach
+    # the weight lookup.
     # ------------------------------------------------------------------
+    # Objects arrive every 0.2 s; the rate hint lets the cost model size
+    # the 5-second window (~25 summands) when choosing the SUM strategy.
+    rfid = Stream.source(
+        "rfid", values=("tag_id", "shelf"), uncertain=("x", "y"), rate_hint=5.0
+    )
     q1 = (
-        QueryBuilder("rfid")
-        .derive(values={"weight": lambda t: catalog[t.value("tag_id")]["weight"]})
-        .group_aggregate(
-            window=TumblingTimeWindow(5.0),
-            key=lambda t: int(t.distribution("x").mean() // 20.0),
-            attribute="weight",
-            having=HavingClause(threshold=200.0, min_probability=0.5),
-        )
+        rfid
+        .derive(values={"weight": lambda t: catalog.get(t.value("tag_id"), {}).get("weight", 0.0)})
+        .where(lambda t: t.value("tag_id") in catalog, uses=("tag_id",), description="in catalog")
+        .window(TumblingTimeWindow(5.0))
+        .group_by(lambda t: int(t.distribution("x").mean() // 20.0))
+        .aggregate("weight")
+        .having(200.0, min_probability=0.5)
         .summarize("sum_weight", confidence=0.95)
         .compile()
     )
+    print("=== Q1 plan ===")
+    print(q1.explain())
+
     q1.push_many("rfid", objects)
     alerts = q1.finish()
-    print(f"Q1 (declarative): {len(alerts)} overloaded-area windows")
+    print(f"\nQ1 (declarative): {len(alerts)} overloaded-area windows")
     print(f"{'area':>6} {'window':>14} {'total weight':>14} {'95% region':>24}")
     for alert in alerts[:8]:
         print(
@@ -87,33 +104,44 @@ def main() -> None:
 
     # ------------------------------------------------------------------
     # Q2: flammable objects near hot sensors, expressed declaratively.
+    #
+    # The heat predicate is written over the joined schema
+    # ("sensor_temp"); the planner pushes it down into the temperature
+    # input so cold sensors never enter the join window.
     # ------------------------------------------------------------------
     def location_match(left, right):
         px = match_probability_band(left.distribution("x"), right.distribution("x"), 3.0)
         py = match_probability_band(left.distribution("y"), right.distribution("y"), 3.0)
         return px * py
 
-    hot_filter = ProbabilisticSelect(
-        UncertainPredicate("temp", Comparison.GREATER, 60.0), min_probability=0.5
+    sensors = Stream.source(
+        "temperature", values=("sensor_id",), uncertain=("x", "y", "temp")
     )
     q2 = (
-        QueryBuilder("rfid")
-        .where(lambda t: catalog[t.value("tag_id")]["type"] == "flammable")
+        rfid
+        .where(
+            lambda t: catalog.get(t.value("tag_id"), {}).get("type") == "flammable",
+            uses=("tag_id",),
+            description="flammable",
+        )
         .join(
-            other_source="temperature",
-            other_stages=[hot_filter],
-            match_probability=location_match,
+            sensors,
+            on=location_match,
             window_length=1e6,
             min_probability=0.2,
             prefix_left="obj_",
             prefix_right="sensor_",
         )
+        .where_probably("sensor_temp", ">", 60.0, min_probability=0.5, annotate=None)
         .compile()
     )
-    sensors = temperature_stream(
+    print("\n=== Q2 plan ===")
+    print(q2.explain())
+
+    sensor_tuples = temperature_stream(
         120, area_bounds=(0.0, 0.0, 70.0, 20.0), hot_spot=(10.0, 10.0, 8.0, 90.0), rng=9
     )
-    q2.push_many("temperature", sensors)
+    q2.push_many("temperature", sensor_tuples)
     q2.push_many("rfid", objects)
     alerts = q2.finish()
     print(f"\nQ2 (declarative): {len(alerts)} flammable-object alerts")

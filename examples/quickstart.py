@@ -1,13 +1,13 @@
 """Quickstart: uncertain tuples, probabilistic selection, uncertain aggregation.
 
 This walks through the core ideas of the paper on a tiny synthetic
-stream, with no application substrate involved:
+stream, using the declarative query API (:mod:`repro.plan`):
 
 1. build a stream of tuples whose ``value`` attribute is a continuous
    random variable (a Gaussian mixture per tuple),
-2. filter the stream with a probabilistic predicate,
-3. aggregate a tumbling window with the characteristic-function
-   approximation (the paper's fastest accurate algorithm), and
+2. declare a query: probabilistic filter -> windowed SUM -> summary,
+3. let the planner rewrite it (the filter fuses into the aggregate's
+   batch kernel) and pick the execution mode, and
 4. report the result as a full distribution, a confidence region, and
    error bounds.
 
@@ -16,18 +16,10 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro.core import (
-    CFApproximationSum,
-    CFInversionSum,
-    Comparison,
-    ProbabilisticSelect,
-    SummarizeResults,
-    UncertainAggregate,
-    UncertainPredicate,
-    summarize,
-)
+from repro.core import CFApproximationSum, CFInversionSum, summarize
 from repro.distributions import variance_distance
-from repro.streams import CollectSink, StreamEngine, TumblingCountWindow
+from repro.plan import Stream
+from repro.streams import TumblingCountWindow
 from repro.workloads import gmm_tuple_stream
 
 
@@ -42,41 +34,40 @@ def main() -> None:
         f"components={example.n_components}"
     )
 
-    # 2./3. Wire a small plan: probabilistic selection -> windowed SUM -> summary.
-    select = ProbabilisticSelect(
-        UncertainPredicate("value", Comparison.GREATER, 20.0),
-        min_probability=0.5,
+    # 2. Declare the query.  The source declares its uncertain attribute
+    #    and distribution family, which feeds the planner's cost model;
+    #    the SUM strategy is pinned to the CF approximation here (the
+    #    paper's fastest accurate algorithm) -- drop the strategy
+    #    argument to let the cost model choose it from the window size.
+    query = (
+        Stream.source("in", uncertain=("value",), family="gmm")
+        .where_probably("value", ">", 20.0, min_probability=0.5)
+        .window(TumblingCountWindow(50))
+        .aggregate("value", function="sum", strategy=CFApproximationSum())
+        .summarize("sum_value", confidence=0.95, keep_distribution=True)
+        .compile()
     )
-    aggregate = UncertainAggregate(
-        TumblingCountWindow(50), "value", CFApproximationSum(), function="sum"
-    )
-    summarise = SummarizeResults("sum_value", confidence=0.95, keep_distribution=True)
-    sink = CollectSink()
 
-    # batch_size selects the batch-at-a-time execution path: push_many
-    # chunks the stream into TupleBatch containers and the operators run
-    # their vectorised kernels (see docs/architecture.md).
-    engine = StreamEngine(batch_size=128)
-    engine.add_source("in", select)
-    select.connect(aggregate)
-    aggregate.connect(summarise)
-    summarise.connect(sink)
+    # 3. What did the planner do?  The probabilistic filter is fused into
+    #    the aggregate's window kernel, and batch execution is chosen
+    #    because most boxes run vectorised kernels.
+    print("\n" + query.explain())
 
-    engine.push_many("in", stream)
-    engine.finish()
+    query.push_many("in", stream)
+    results = query.finish()
 
     print("\nper-box statistics (batch path):")
-    for stats in engine.statistics(detailed=True):
+    for stats in query.statistics(detailed=True):
         print(
-            f"  {stats.name:<22} in={stats.tuples_in:<5} out={stats.tuples_out:<4} "
+            f"  {stats.name:<32} in={stats.tuples_in:<5} out={stats.tuples_out:<4} "
             f"batches={stats.batches_in}"
         )
 
     # 4. Inspect the results.
-    print(f"\n{len(sink.results)} window results "
+    print(f"\n{len(results)} window results "
           f"(each summarising 50 tuples that passed the probabilistic filter)")
     print(f"{'window end':>10} {'mean':>10} {'std':>8} {'95% confidence region':>28}")
-    for result in sink.results:
+    for result in results:
         dist = result.distribution("sum_value")
         summary = summarize(dist, 0.95)
         print(

@@ -4,7 +4,9 @@ Follows the CASA data path of Section 2.2 with the synthetic radar
 substrate:
 
 raw pulses -> averaged moment data (+ per-voxel velocity pdfs from the
-radar T operator) -> merge onto a Cartesian grid -> tornado detection,
+radar T operator) -> a declarative monitoring query over the uncertain
+voxel stream (:mod:`repro.plan`) -> merge onto a Cartesian grid ->
+tornado detection,
 
 and then repeats the Table 1 experiment in miniature: sweep the pulse
 averaging size and watch data volume, runtime and detection quality
@@ -17,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.plan import Stream
 from repro.radar import (
     CartesianGrid,
     RadarTransformOperator,
@@ -24,6 +27,7 @@ from repro.radar import (
     merge_moment_fields,
     run_detection,
 )
+from repro.streams import TumblingCountWindow
 from repro.workloads import TABLE1_AVERAGING_SIZES, build_table1_workload
 
 
@@ -54,6 +58,38 @@ def main() -> None:
         f"az={sample.value('azimuth_deg'):.1f} deg, range={sample.value('range_m'):.0f} m, "
         f"velocity in [{lo:.1f}, {hi:.1f}] m/s with 90% confidence"
     )
+
+    # --- Declarative monitoring query over the uncertain voxel stream.
+    # Keep voxels that are *probably* fast outbound (velocity > 25 m/s
+    # given each voxel's pdf) and track the mean velocity per 32-voxel
+    # window.  The T operator emits Gaussian velocity pdfs, so the
+    # declared family lets the cost model pick the closed-form CF
+    # approximation, and the planner fuses the probabilistic filter
+    # into the aggregate's batch kernel.
+    monitor = (
+        Stream.source(
+            "voxels",
+            values=("azimuth_deg", "range_m"),
+            uncertain=("velocity",),
+            family="gaussian",
+        )
+        .where_probably("velocity", ">", 25.0, min_probability=0.5, annotate=None)
+        .window(TumblingCountWindow(32))
+        .aggregate("velocity", function="avg")
+        .summarize("avg_velocity", confidence=0.9)
+        .compile()
+    )
+    print("\n=== declarative voxel monitor ===")
+    print(monitor.explain())
+    monitor.push_many("voxels", voxel_tuples)
+    windows = monitor.finish()
+    print(f"\n{len(windows)} fast-outbound voxel windows")
+    for w in windows[:5]:
+        print(
+            f"  {w.value('window_count'):>3} voxels: mean velocity "
+            f"{w.value('avg_velocity_mean'):>6.1f} m/s "
+            f"(90% region [{w.value('avg_velocity_lo'):.1f}, {w.value('avg_velocity_hi'):.1f}])"
+        )
 
     # --- Merge step: polar voxels onto a Cartesian grid.
     moments = compute_moments(scans[0], site, averaging_size=40)

@@ -1,12 +1,14 @@
 """RFID object tracking and monitoring: queries Q1 and Q2 end to end.
 
 Reproduces the Figure 2 architecture for the paper's first application
-(Section 2.1): a mobile reader sweeps a warehouse, the RFID T operator
-turns noisy readings into object-location tuples with pdfs, and two
-monitoring queries consume that uncertain stream:
+(Section 2.1) on the declarative query API: a mobile reader sweeps a
+warehouse, the RFID T operator turns noisy readings into
+object-location tuples with pdfs, and two monitoring queries consume
+that uncertain stream *through one shared plan prefix* (the Figure 2
+fan-out, expressed by reusing one ``Stream`` handle):
 
 * Q1 -- fire-code monitoring: report shelf areas whose total object
-  weight probably exceeds the limit.
+  weight probably exceeds the limit (a custom monitor box, piped in).
 * Q2 -- flammable-object alerts: join object locations with a
   temperature stream and alert on flammable objects in hot areas.
 
@@ -15,15 +17,16 @@ Run with:  python examples/rfid_monitoring.py
 
 from __future__ import annotations
 
+from repro.core import Comparison, match_probability_band
+from repro.plan import Stream, compile_streams
 from repro.rfid import (
     DetectionModel,
     FireCodeMonitor,
     MobileReaderSimulator,
     RFIDTransformOperator,
     WarehouseWorld,
-    build_flammable_alert_join,
 )
-from repro.streams import CollectSink, StreamEngine, StreamTuple
+from repro.streams import StreamTuple
 from repro.workloads import temperature_stream
 
 
@@ -46,34 +49,49 @@ def main() -> None:
         world, detection=detection, n_particles=80, emit_mode="detected", rng=3
     )
 
-    # --- Q1: fire-code monitoring -------------------------------------
-    q1_monitor = FireCodeMonitor(
-        weight_of=lambda tag: world.objects[tag].weight,
-        window_length=5.0,
-        cell_size=5.0,
-        weight_limit=150.0,
-        min_violation_probability=0.5,
-    )
-    q1_sink = CollectSink()
+    # --- shared prefix: raw readings -> T operator (one box, two queries)
+    located = Stream.source("rfid_raw").pipe(t_operator, description="RFID T operator")
 
-    # --- Q2: flammable-object / temperature join ----------------------
-    rfid_entry, temp_entry, q2_join = build_flammable_alert_join(
-        object_type_of=lambda tag: world.objects[tag].object_type,
-        temperature_threshold=60.0,
-        location_tolerance=4.0,
-        window_length=30.0,
-        min_match_probability=0.1,
+    # --- Q1: fire-code monitoring (custom monitor box) -----------------
+    q1 = located.pipe(
+        FireCodeMonitor(
+            weight_of=lambda tag: world.objects[tag].weight,
+            window_length=5.0,
+            cell_size=5.0,
+            weight_limit=150.0,
+            min_violation_probability=0.5,
+        ),
+        description="fire-code monitor",
     )
-    q2_sink = CollectSink()
-    q2_join.connect(q2_sink)
 
-    # --- wire the plan (one T operator feeding both queries) ----------
-    engine = StreamEngine()
-    engine.add_source("rfid_raw", t_operator)
-    engine.add_source("temperature", temp_entry)
-    t_operator.connect(q1_monitor)
-    t_operator.connect(rfid_entry)
-    q1_monitor.connect(q1_sink)
+    # --- Q2: flammable-object / temperature join -----------------------
+    def location_match(left, right):
+        px = match_probability_band(left.distribution("x"), right.distribution("x"), 4.0)
+        py = match_probability_band(left.distribution("y"), right.distribution("y"), 4.0)
+        return px * py
+
+    sensors = Stream.source("temperature", values=("sensor_id",), uncertain=("x", "y", "temp"))
+    q2 = (
+        located
+        .where(
+            lambda t: world.objects[t.value("tag_id")].object_type == "flammable",
+            uses=("tag_id",),
+            description="flammable",
+        )
+        .join(
+            sensors.where_probably("temp", Comparison.GREATER, 60.0, min_probability=0.5),
+            on=location_match,
+            window_length=30.0,
+            min_probability=0.1,
+            prefix_left="obj_",
+            prefix_right="temp_",
+        )
+    )
+
+    # --- compile both queries into ONE plan with a shared prefix -------
+    query = compile_streams({"q1": q1, "q2": q2})
+    print(query.explain())
+    print()
 
     # A hot spot sits over the first shelf.
     first_shelf = next(iter(world.shelves.values()))
@@ -83,30 +101,32 @@ def main() -> None:
         hot_spot=(first_shelf.x, first_shelf.y, 6.0, 90.0),
         rng=4,
     ):
-        engine.push("temperature", item)
+        query.push("temperature", item)
 
     print("sweeping the warehouse with the mobile reader ...")
     for reading in simulator.readings(300):
-        engine.push(
+        query.push(
             "rfid_raw", StreamTuple(timestamp=reading.timestamp, values={"reading": reading})
         )
-    engine.finish()
+    query.finish()
 
     mean_error = t_operator.mean_location_error()
     print(f"mean object-location error after the sweep: {mean_error:.2f} ft")
 
-    print(f"\nQ1: {len(q1_sink.results)} fire-code violation alerts")
+    q1_alerts = query.output("q1")
+    print(f"\nQ1: {len(q1_alerts)} fire-code violation alerts")
     print(f"{'area cell':>12} {'P(violation)':>14} {'total weight (mean ± std)':>28}")
-    for alert in q1_sink.results[:10]:
+    for alert in q1_alerts[:10]:
         dist = alert.distribution("total_weight")
         print(
             f"{str(alert.value('area')):>12} {alert.value('violation_probability'):>14.2f} "
             f"{dist.mean():>16.1f} ± {dist.std():.1f} lb"
         )
 
-    print(f"\nQ2: {len(q2_sink.results)} flammable-object alerts")
+    q2_alerts = query.output("q2")
+    print(f"\nQ2: {len(q2_alerts)} flammable-object alerts")
     print(f"{'object':>10} {'sensor':>8} {'match prob':>11} {'temperature (mean)':>20}")
-    for alert in q2_sink.results[:10]:
+    for alert in q2_alerts[:10]:
         print(
             f"{alert.value('obj_tag_id'):>10} {alert.value('temp_sensor_id'):>8} "
             f"{alert.value('match_probability'):>11.2f} "

@@ -11,6 +11,9 @@ is organised as:
   operators, lineage).
 * :mod:`repro.core` -- the paper's contribution: T operators and
   uncertainty-aware relational operators.
+* :mod:`repro.plan` -- the declarative query layer: a DAG-capable
+  builder producing a logical plan IR that a cost-aware planner
+  rewrites and lowers onto the stream engine.
 * :mod:`repro.inference` -- particle filtering with the paper's
   optimisations, adaptive particle control, Kalman baseline.
 * :mod:`repro.rfid` / :mod:`repro.radar` -- the two motivating
@@ -18,7 +21,7 @@ is organised as:
 * :mod:`repro.workloads` -- workload generators for the experiments.
 """
 
-from . import core, distributions, inference, radar, rfid, streams, workloads
+from . import core, distributions, inference, plan, radar, rfid, streams, workloads
 
 __version__ = "0.1.0"
 
@@ -26,6 +29,7 @@ __all__ = [
     "core",
     "distributions",
     "inference",
+    "plan",
     "radar",
     "rfid",
     "streams",

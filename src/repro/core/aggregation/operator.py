@@ -275,9 +275,13 @@ class UncertainAggregate(Operator):
     def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
         yield from self._emit(self._buffer.add(item))
 
+    @property
+    def supports_batch(self) -> bool:  # type: ignore[override]
+        return self._keeps_process_of(UncertainAggregate)
+
     def process_batch(self, batch: TupleBatch) -> TupleBatch:
         """Bulk-add a batch to the window buffer, vectorising closed windows."""
-        if type(self).process is not UncertainAggregate.process:
+        if not self.supports_batch:
             return super().process_batch(batch)
         return _bulk_process_batch(self, batch)
 
@@ -362,9 +366,13 @@ class GroupByAggregate(Operator):
     def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
         yield from self._emit(self._buffer.add(item))
 
+    @property
+    def supports_batch(self) -> bool:  # type: ignore[override]
+        return self._keeps_process_of(GroupByAggregate)
+
     def process_batch(self, batch: TupleBatch) -> TupleBatch:
         """Bulk-add a batch to the window buffer, vectorising closed windows."""
-        if type(self).process is not GroupByAggregate.process:
+        if not self.supports_batch:
             return super().process_batch(batch)
         return _bulk_process_batch(self, batch)
 

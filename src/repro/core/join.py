@@ -131,6 +131,13 @@ class ProbabilisticJoin(Operator):
         Attribute-name prefixes applied when merging matched tuples.
     """
 
+    #: Honest advertisement: the join has no vectorised kernel.  Batches
+    #: reaching either port run through the per-tuple fallback loop
+    #: (symmetric window insertion and probe are inherently sequential),
+    #: so ``explain()`` reports this box as per-tuple and the cost model
+    #: does not count it toward batch-execution benefits.
+    supports_batch = False
+
     def __init__(
         self,
         window_length: float,
@@ -204,6 +211,9 @@ class ProbabilisticJoin(Operator):
 
 class _JoinPort(Operator):
     """Adapter forwarding tuples into one side of a ProbabilisticJoin."""
+
+    # Ports delegate to the join's per-tuple probe loop (see above).
+    supports_batch = False
 
     def __init__(self, join: ProbabilisticJoin, side: str, name: str):
         super().__init__(name=name)

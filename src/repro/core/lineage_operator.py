@@ -14,7 +14,7 @@ operator built on :func:`repro.core.lineage_ops.lineage_aware_sum`.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -38,6 +38,11 @@ class ArchivingOperator(Operator):
     by a :class:`LineageAwareAggregate` to resolve lineage.  Eviction by
     watermark keeps the archive bounded for long-running streams.
     """
+
+    #: Honest advertisement: archival appends tuples one at a time (the
+    #: archive keys on per-tuple ids), so batches fall back to the
+    #: per-tuple loop and ``explain()`` reports this box as per-tuple.
+    supports_batch = False
 
     def __init__(
         self,
@@ -67,6 +72,11 @@ class LineageAwareAggregate(Operator):
     machinery across groups, and evaluates correlated groups jointly
     from the archived base tuples.
     """
+
+    #: Honest advertisement: correlated-group resolution samples jointly
+    #: from the archive per window; there is no columnar kernel, so the
+    #: batch path is the per-tuple fallback loop.
+    supports_batch = False
 
     def __init__(
         self,

@@ -1,99 +1,78 @@
-"""A small declarative query builder compiling to box-arrow plans.
+"""Deprecated linear query builder — a thin shim over :mod:`repro.plan`.
 
-Section 3: "This box-arrow diagram can be either compiled from a query
-(e.g., Q1 and Q2 in Section 2.1) or obtained from a scientific
-workflow."  :class:`QueryBuilder` provides the "compiled from a query"
-path for the query shapes the paper uses: derive attributes, filter
-(deterministically or probabilistically), window + group-by + aggregate
-with a probabilistic HAVING, join two streams on a probabilistic
-predicate, and summarise the result.
+The original :class:`QueryBuilder` was "intentionally linear" and wired
+physical operators directly.  The declarative surface now lives in
+:class:`repro.plan.Stream` (a DAG-capable builder producing a logical
+plan that a cost-aware planner rewrites and lowers); this module keeps
+the old API working by translating each legacy call onto a ``Stream``
+and compiling through the planner on the tuple path (the legacy
+builder's execution model).
 
-The builder is intentionally linear (one chain per input stream plus an
-optional join), which covers Q1 and Q2; arbitrary DAGs can always be
-wired directly against the operator API.
+New code should use :class:`repro.plan.Stream` directly::
+
+    from repro.plan import Stream
+
+    query = (
+        Stream.source("rfid", uncertain=("weight",))
+        .window(TumblingTimeWindow(5.0))
+        .group_by(area_of)
+        .aggregate("weight")
+        .having(200.0)
+        .summarize("sum_weight")
+        .compile()
+    )
+
+:class:`CompiledQuery` is re-exported from the plan package, so code
+that only type-checks against it keeps working unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Tuple
+import warnings
+from typing import Any, Callable, Hashable, List, Mapping, Optional
 
 from repro.distributions import Distribution
-from repro.streams import (
-    AttributeDeriver,
-    CollectSink,
-    Filter,
-    StreamEngine,
-)
+from repro.plan import CompiledQuery, Stream
 from repro.streams.operators.base import Operator, OperatorError
 from repro.streams.windows import WindowSpec
 
-from .aggregation import GroupByAggregate, HavingClause, SumStrategy, UncertainAggregate
+from .aggregation import HavingClause, SumStrategy
 from .aggregation.strategies import CFApproximationSum
-from .confidence import SummarizeResults
-from .join import ProbabilisticJoin
-from .selection import Comparison, ProbabilisticSelect, UncertainPredicate
+from .selection import Comparison
 
 __all__ = ["QueryBuilder", "CompiledQuery"]
 
 
-class CompiledQuery:
-    """A compiled query: an engine wired from sources to a collecting sink."""
-
-    def __init__(self, engine: StreamEngine, sources: List[str], sink: CollectSink):
-        self.engine = engine
-        self.sources = sources
-        self.sink = sink
-
-    def push(self, source: str, item) -> None:
-        self.engine.push(source, item)
-
-    def push_many(self, source: str, items) -> None:
-        self.engine.push_many(source, items)
-
-    def finish(self) -> List:
-        """Flush the plan and return the collected results."""
-        self.engine.finish()
-        return list(self.sink.results)
-
-    @property
-    def results(self) -> List:
-        return list(self.sink.results)
-
-
 class QueryBuilder:
-    """Fluent builder for the paper's query shapes.
+    """Deprecated linear builder; delegates to :class:`repro.plan.Stream`.
 
-    Example (Q1-like)::
-
-        query = (
-            QueryBuilder("rfid")
-            .derive(values={"weight": lambda t: catalog[t.value("tag_id")]})
-            .group_aggregate(
-                window=TumblingTimeWindow(5.0),
-                key=lambda t: area_of(t),
-                attribute="weight",
-                having=HavingClause(200.0),
-            )
-            .summarize("sum_weight")
-            .compile()
-        )
-        query.push_many("rfid", tuples)
-        alerts = query.finish()
+    Kept for backwards compatibility with the Q1/Q2 query shapes; emits
+    a :class:`DeprecationWarning` on construction.  Each stage method
+    appends the corresponding declarative stage; ``compile()`` runs the
+    planner with rewrites enabled on the tuple execution path, matching
+    the legacy builder's per-tuple semantics exactly.
     """
 
     def __init__(self, source: str = "input"):
-        self._source = source
-        self._operators: List[Operator] = []
-        self._joined: Optional[Tuple[str, List[Operator], ProbabilisticJoin]] = None
+        warnings.warn(
+            "repro.core.QueryBuilder is deprecated; build queries with "
+            "repro.plan.Stream instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._stream = Stream.source(source)
+        self._stages = 0
         self._compiled = False
+        self._joined = False
 
     # ------------------------------------------------------------------
     # Stages
     # ------------------------------------------------------------------
-    def _append(self, operator: Operator) -> "QueryBuilder":
+    def _advance(self, stream: Stream) -> "QueryBuilder":
         if self._compiled:
             raise OperatorError("cannot extend a query after compile()")
-        self._operators.append(operator)
+        self._stream = stream
+        self._stages += 1
         return self
 
     def derive(
@@ -102,11 +81,13 @@ class QueryBuilder:
         uncertain: Optional[Mapping[str, Callable[..., Distribution]]] = None,
     ) -> "QueryBuilder":
         """Add derived attributes (the inner Select of Q1)."""
-        return self._append(AttributeDeriver(value_functions=values, uncertain_functions=uncertain))
+        if not (values or uncertain):
+            raise OperatorError("derive() needs at least one derivation function")
+        return self._advance(self._stream.derive(values=values, uncertain=uncertain))
 
     def where(self, predicate: Callable[..., bool]) -> "QueryBuilder":
         """Deterministic filter on tuple values."""
-        return self._append(Filter(predicate))
+        return self._advance(self._stream.where(predicate))
 
     def where_probably(
         self,
@@ -117,8 +98,11 @@ class QueryBuilder:
         min_probability: float = 0.5,
     ) -> "QueryBuilder":
         """Probabilistic filter on an uncertain attribute."""
-        predicate = UncertainPredicate(attribute, comparison, threshold, upper)
-        return self._append(ProbabilisticSelect(predicate, min_probability=min_probability))
+        return self._advance(
+            self._stream.where_probably(
+                attribute, comparison, threshold, upper=upper, min_probability=min_probability
+            )
+        )
 
     def aggregate(
         self,
@@ -129,9 +113,13 @@ class QueryBuilder:
         having: Optional[HavingClause] = None,
     ) -> "QueryBuilder":
         """Windowed aggregation of one uncertain attribute."""
-        return self._append(
-            UncertainAggregate(
-                window, attribute, strategy or CFApproximationSum(), function=function, having=having
+        return self._advance(
+            self._stream.aggregate(
+                attribute,
+                function=function,
+                strategy=strategy or CFApproximationSum(),
+                window=window,
+                having=having,
             )
         )
 
@@ -145,13 +133,13 @@ class QueryBuilder:
         having: Optional[HavingClause] = None,
     ) -> "QueryBuilder":
         """Windowed GROUP BY + aggregate + HAVING (the outer block of Q1)."""
-        return self._append(
-            GroupByAggregate(
-                window,
-                key_function=key,
-                attribute=attribute,
-                strategy=strategy or CFApproximationSum(),
+        return self._advance(
+            self._stream.aggregate(
+                attribute,
                 function=function,
+                strategy=strategy or CFApproximationSum(),
+                window=window,
+                key=key,
                 having=having,
             )
         )
@@ -168,81 +156,43 @@ class QueryBuilder:
     ) -> "QueryBuilder":
         """Join this stream with a second input stream (the shape of Q2).
 
-        ``other_stages`` are the operators applied to the second stream
-        before it reaches the join (e.g. a probabilistic temperature
-        filter).  Stages added after :meth:`join` apply to the join
-        output.
+        ``other_stages`` are pre-built operators applied to the second
+        stream before the join (piped verbatim into the plan); stages
+        added after :meth:`join` apply to the join output.
         """
-        if self._joined is not None:
+        if self._joined:
             raise OperatorError("only one join per query is supported by the builder")
-        join = ProbabilisticJoin(
-            window_length=window_length,
-            match_probability=match_probability,
-            min_probability=min_probability,
-            prefix_left=prefix_left,
-            prefix_right=prefix_right,
+        self._joined = True
+        other = Stream.source(other_source)
+        for operator in other_stages:
+            other = other.pipe(operator)
+        return self._advance(
+            self._stream.join(
+                other,
+                on=match_probability,
+                window_length=window_length,
+                min_probability=min_probability,
+                prefix_left=prefix_left,
+                prefix_right=prefix_right,
+            )
         )
-        self._joined = (other_source, list(other_stages), join)
-        self._operators.append(join)
-        return self
 
     def summarize(self, attribute: str, confidence: float = 0.95) -> "QueryBuilder":
         """Replace a result distribution with summary statistics."""
-        return self._append(SummarizeResults(attribute, confidence=confidence))
+        return self._advance(self._stream.summarize(attribute, confidence=confidence))
 
     # ------------------------------------------------------------------
     # Compilation
     # ------------------------------------------------------------------
     def compile(self) -> CompiledQuery:
-        """Wire the staged operators into an engine and return it."""
+        """Plan and wire the staged query; returns a runnable query."""
         if self._compiled:
             raise OperatorError("query already compiled")
-        if not self._operators:
+        if self._stages == 0:
             raise OperatorError("cannot compile an empty query")
         self._compiled = True
-
-        engine = StreamEngine()
-        sink = CollectSink()
-        sources = [self._source]
-
-        # Split the primary chain at the join (if any).
-        join_op: Optional[ProbabilisticJoin] = None
-        join_index: Optional[int] = None
-        if self._joined is not None:
-            _, _, join_op = self._joined
-            join_index = self._operators.index(join_op)
-
-        primary_chain = self._operators if join_index is None else self._operators[:join_index]
-        post_join_chain = [] if join_index is None else self._operators[join_index + 1 :]
-
-        if primary_chain:
-            engine.add_source(self._source, primary_chain[0])
-            for upstream, downstream in zip(primary_chain, primary_chain[1:]):
-                upstream.connect(downstream)
-        tail = primary_chain[-1] if primary_chain else None
-
-        if join_op is not None:
-            other_source, other_stages, _ = self._joined
-            sources.append(other_source)
-            if tail is not None:
-                tail.connect(join_op.left_port())
-            else:
-                engine.add_source(self._source, join_op.left_port())
-            if other_stages:
-                engine.add_source(other_source, other_stages[0])
-                for upstream, downstream in zip(other_stages, other_stages[1:]):
-                    upstream.connect(downstream)
-                other_stages[-1].connect(join_op.right_port())
-            else:
-                engine.add_source(other_source, join_op.right_port())
-            engine.register(join_op)
-            tail = join_op
-            for operator in post_join_chain:
-                tail.connect(operator)
-                tail = operator
-
-        assert tail is not None
-        tail.connect(sink)
-        engine.register(sink)
-        engine.validate()
-        return CompiledQuery(engine, sources, sink)
+        try:
+            return self._stream.compile(mode="tuple")
+        except Exception as exc:
+            # Legacy callers catch OperatorError for malformed queries.
+            raise OperatorError(str(exc)) from exc

@@ -130,6 +130,10 @@ class ProbabilisticSelect(Operator):
         else:
             yield item.derive(values={self.probability_attribute: prob})
 
+    @property
+    def supports_batch(self) -> bool:  # type: ignore[override]
+        return self._keeps_process_of(ProbabilisticSelect)
+
     def process_batch(self, batch: TupleBatch) -> TupleBatch:
         """Vectorised selection: one tail-probability kernel per batch.
 
@@ -137,7 +141,7 @@ class ProbabilisticSelect(Operator):
         fast path: the source tuples are already validated, so only the
         ``values`` dict needs copying to carry the probability.
         """
-        if type(self).process is not ProbabilisticSelect.process:
+        if not self.supports_batch:
             return super().process_batch(batch)
         probs = self.predicate.probabilities(batch)
         keep = probs >= self.min_probability

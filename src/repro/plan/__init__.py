@@ -1,0 +1,104 @@
+"""Declarative query layer: builder -> logical plan IR -> cost-aware planner.
+
+This package is the "compiled from a query" path of the paper's
+Section 3, structured like a small DBMS front end:
+
+* :class:`Stream` (:mod:`repro.plan.builder`) — fluent, DAG-capable
+  query builder.  Handles are immutable; reuse one handle in two
+  chains for fan-out, ``join``/``union`` for fan-in.
+* :mod:`repro.plan.nodes` — the immutable logical plan IR with schema
+  checking and ``explain()``.
+* :mod:`repro.plan.rewrites` — semantics-preserving rewrite rules
+  (filter pushdown, filter fusion, select→aggregate fusion).
+* :mod:`repro.plan.cost` — the cost model choosing SUM strategies
+  (CF approximation / CLT / CF inversion) and batch vs tuple execution.
+* :class:`Planner` / :class:`CompiledQuery`
+  (:mod:`repro.plan.planner`) — lowering onto the
+  :class:`~repro.streams.engine.StreamEngine`, end-to-end
+  ``explain()`` and per-box ``statistics()``.
+
+Quick taste::
+
+    from repro.plan import Stream
+    from repro.streams import TumblingCountWindow
+
+    query = (
+        Stream.source("sensors", uncertain=("value",), family="gmm")
+        .where_probably("value", ">", 20.0)
+        .window(TumblingCountWindow(100))
+        .aggregate("value")            # strategy chosen by the cost model
+        .summarize("sum_value")
+        .compile()
+    )
+    print(query.explain())
+    query.push_many("sensors", tuples)
+    results = query.finish()
+"""
+
+from .builder import Stream
+from .cost import CostModel, ExecutionChoice, StrategyChoice
+from .nodes import (
+    AggregateNode,
+    DeriveNode,
+    FilterNode,
+    FusedSelectAggregateNode,
+    JoinNode,
+    LogicalNode,
+    LogicalPlan,
+    PipeNode,
+    PlanError,
+    ProbFilterNode,
+    SourceNode,
+    StreamSchema,
+    SummarizeNode,
+    UnionNode,
+    explain_logical,
+)
+from .physical import FusedSelectAggregate
+from .planner import CompiledQuery, Planner, compile_streams
+from .rewrites import (
+    DEFAULT_RULES,
+    RewriteRule,
+    RewriteTrace,
+    apply_rewrites,
+    fuse_adjacent_filters,
+    fuse_select_into_aggregate,
+    push_filter_below_derive,
+    push_filter_below_join,
+    reorder_cheap_filter_first,
+)
+
+__all__ = [
+    "Stream",
+    "LogicalPlan",
+    "LogicalNode",
+    "SourceNode",
+    "DeriveNode",
+    "FilterNode",
+    "ProbFilterNode",
+    "AggregateNode",
+    "JoinNode",
+    "UnionNode",
+    "SummarizeNode",
+    "PipeNode",
+    "FusedSelectAggregateNode",
+    "StreamSchema",
+    "PlanError",
+    "explain_logical",
+    "Planner",
+    "CompiledQuery",
+    "compile_streams",
+    "CostModel",
+    "StrategyChoice",
+    "ExecutionChoice",
+    "RewriteRule",
+    "RewriteTrace",
+    "apply_rewrites",
+    "DEFAULT_RULES",
+    "push_filter_below_derive",
+    "push_filter_below_join",
+    "fuse_adjacent_filters",
+    "reorder_cheap_filter_first",
+    "fuse_select_into_aggregate",
+    "FusedSelectAggregate",
+]

@@ -1,0 +1,189 @@
+"""Cost model: SUM-strategy selection and batch-vs-tuple execution choice.
+
+The paper's Table 2 measures the speed/accuracy trade-off of the SUM
+algorithms; this module encodes its conclusions as a small, fully
+deterministic cost model the planner consults when the query does not
+pin a strategy explicitly:
+
+* **CLT** is (nearly) free and accurate once the window holds enough
+  summands — the error of the Gaussian approximation shrinks like
+  ``O(1/sqrt(n))``, so past ``clt_window_threshold`` summands it wins
+  outright.
+* **CF approximation** (single component) matches the first two
+  cumulants in closed form — exact for Gaussian inputs at CLT-level
+  cost, and the best speed/accuracy balance for mid-sized non-Gaussian
+  windows (the paper's headline choice).
+* **CF inversion** is exact but pays a quadrature per window; it is
+  only worth it for *small* windows of non-Gaussian summands, where
+  the CLT has not kicked in and the inversion cost is bounded.
+
+The execution-mode choice is structural: batch execution only pays off
+when the plan's boxes actually run vectorised kernels, so the model
+counts physical operators that advertise ``supports_batch``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.aggregation import CFApproximationSum, CFInversionSum, CLTSum, SumStrategy
+from repro.streams.operators.base import Operator
+from repro.streams.windows import (
+    NowWindow,
+    SlidingTimeWindow,
+    TumblingCountWindow,
+    TumblingTimeWindow,
+    WindowSpec,
+)
+
+__all__ = ["CostModel", "StrategyChoice", "ExecutionChoice"]
+
+#: Distribution families for which the 2-cumulant CF fit is *exact*.
+_MOMENT_CLOSED_FAMILIES = frozenset({"gaussian", "normal"})
+
+
+@dataclass(frozen=True)
+class StrategyChoice:
+    """A cost-model strategy decision plus its one-line justification."""
+
+    strategy: SumStrategy
+    reason: str
+
+
+@dataclass(frozen=True)
+class ExecutionChoice:
+    """A cost-model execution decision (mode + batch size) and why."""
+
+    mode: str  # "batch" or "tuple"
+    batch_size: Optional[int]
+    reason: str
+
+
+class CostModel:
+    """Deterministic cost model for strategy and execution-mode choices.
+
+    Thresholds are tunable so experiments can shift the trade-off
+    points; the defaults follow the Table 2 discussion (see module
+    docstring).
+    """
+
+    def __init__(
+        self,
+        clt_window_threshold: int = 50,
+        inversion_window_limit: int = 8,
+        default_batch_size: int = 256,
+        min_vectorized_fraction: float = 0.5,
+    ):
+        if clt_window_threshold < 2:
+            raise ValueError("clt_window_threshold must be at least 2")
+        if inversion_window_limit < 1:
+            raise ValueError("inversion_window_limit must be at least 1")
+        if default_batch_size < 1:
+            raise ValueError("default_batch_size must be at least 1")
+        if not 0.0 <= min_vectorized_fraction <= 1.0:
+            raise ValueError("min_vectorized_fraction must lie in [0, 1]")
+        self.clt_window_threshold = clt_window_threshold
+        self.inversion_window_limit = inversion_window_limit
+        self.default_batch_size = default_batch_size
+        self.min_vectorized_fraction = min_vectorized_fraction
+
+    # ------------------------------------------------------------------
+    # Window sizing
+    # ------------------------------------------------------------------
+    def expected_window_size(
+        self, window: WindowSpec, rate_hint: Optional[float]
+    ) -> Optional[int]:
+        """Estimate how many tuples one window will hold (None = unknown)."""
+        if isinstance(window, TumblingCountWindow):
+            return window.size
+        if isinstance(window, NowWindow):
+            return 1
+        if isinstance(window, (TumblingTimeWindow, SlidingTimeWindow)) and rate_hint:
+            return max(1, int(round(window.length * rate_hint)))
+        return None
+
+    # ------------------------------------------------------------------
+    # SUM strategy
+    # ------------------------------------------------------------------
+    def choose_sum_strategy(
+        self,
+        window: WindowSpec,
+        family: Optional[str],
+        rate_hint: Optional[float] = None,
+    ) -> StrategyChoice:
+        """Pick the SUM/AVG strategy for an aggregate without an explicit one."""
+        n = self.expected_window_size(window, rate_hint)
+        family_key = family.lower() if family else None
+
+        if family_key in _MOMENT_CLOSED_FAMILIES:
+            return StrategyChoice(
+                CFApproximationSum(),
+                f"family={family_key}: 2-cumulant CF fit is exact for Gaussian summands",
+            )
+        if n is not None and n >= self.clt_window_threshold:
+            return StrategyChoice(
+                CLTSum(),
+                f"window of ~{n} summands >= {self.clt_window_threshold}: "
+                "CLT error is negligible at near-zero cost",
+            )
+        if n is not None and n <= self.inversion_window_limit:
+            return StrategyChoice(
+                CFInversionSum(),
+                f"small window of ~{n} non-Gaussian summands: "
+                "exact CF inversion is affordable",
+            )
+        size_desc = "unknown size" if n is None else f"~{n} summands"
+        return StrategyChoice(
+            CFApproximationSum(),
+            f"window of {size_desc}: CF approximation is the best "
+            "speed/accuracy balance (Table 2)",
+        )
+
+    # ------------------------------------------------------------------
+    # Execution mode
+    # ------------------------------------------------------------------
+    def choose_execution(
+        self,
+        operators: Sequence[Operator],
+        window_sizes: Sequence[int] = (),
+    ) -> ExecutionChoice:
+        """Pick batch vs tuple execution for a lowered physical plan.
+
+        Batch execution is chosen when at least
+        ``min_vectorized_fraction`` of the boxes run vectorised batch
+        kernels; otherwise the per-tuple fallback loops would dominate
+        and the tuple path's simpler scheduling wins.  The batch size
+        is the default, stretched to cover the largest expected window
+        so windowed aggregates see whole windows per bulk insert.
+        """
+        if not operators:
+            return ExecutionChoice("tuple", None, "no query boxes to vectorise")
+        vectorized = [op for op in operators if getattr(op, "supports_batch", False)]
+        fraction = len(vectorized) / len(operators)
+        if fraction < self.min_vectorized_fraction:
+            return ExecutionChoice(
+                "tuple",
+                None,
+                f"only {len(vectorized)}/{len(operators)} boxes run vectorised "
+                "batch kernels; per-tuple fallback loops would dominate",
+            )
+        batch_size = self.default_batch_size
+        if window_sizes:
+            batch_size = max(batch_size, *window_sizes)
+        return ExecutionChoice(
+            "batch",
+            batch_size,
+            f"{len(vectorized)}/{len(operators)} boxes run vectorised batch "
+            f"kernels; batch_size={batch_size}",
+        )
+
+    def resolve_batch_size(
+        self, batch_size: Optional[int], window_sizes: Sequence[int] = ()
+    ) -> int:
+        """Batch size for an explicitly requested batch mode."""
+        if batch_size is not None:
+            return batch_size
+        if window_sizes:
+            return max(self.default_batch_size, *window_sizes)
+        return self.default_batch_size

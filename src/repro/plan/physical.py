@@ -1,0 +1,71 @@
+"""Physical operators that only the planner creates.
+
+The generic boxes live in :mod:`repro.streams.operators` and
+:mod:`repro.core`; this module holds the *fused* boxes produced by
+planner rewrites, which have no stand-alone declarative surface.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.aggregation.operator import GroupByAggregate, UncertainAggregate
+from repro.core.selection import UncertainPredicate
+from repro.streams.batch import TupleBatch
+from repro.streams.operators.base import Operator
+from repro.streams.tuples import StreamTuple
+
+__all__ = ["FusedSelectAggregate"]
+
+
+class FusedSelectAggregate(Operator):
+    """A probabilistic selection fused into the windowed aggregate below it.
+
+    Produced by the ``fuse_select_into_aggregate`` rewrite.  Compared
+    to the two-box plan it
+
+    * skips building annotated survivor tuples (the aggregate discards
+      per-input attributes at the window boundary anyway), and
+    * on the batch path evaluates the selection mask and the window
+      moment columns in one pass over the batch.
+
+    The wrapped aggregate is a regular :class:`UncertainAggregate` or
+    :class:`GroupByAggregate`; this box drives its window buffer and
+    emission machinery directly so windowing, HAVING and strategy
+    semantics stay identical to the unfused plan.
+    """
+
+    supports_batch = True
+
+    def __init__(
+        self,
+        predicate: UncertainPredicate,
+        min_probability: float,
+        aggregate: Operator,
+        name: Optional[str] = None,
+    ):
+        if not isinstance(aggregate, (UncertainAggregate, GroupByAggregate)):
+            raise TypeError(
+                "FusedSelectAggregate wraps an UncertainAggregate or GroupByAggregate, "
+                f"got {type(aggregate).__name__}"
+            )
+        super().__init__(name=name or f"FusedSelect+{type(aggregate).__name__}")
+        self.predicate = predicate
+        self.min_probability = min_probability
+        self.aggregate = aggregate
+
+    def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
+        if self.predicate.probability(item) < self.min_probability:
+            return
+        agg = self.aggregate
+        yield from agg._emit(agg._buffer.add(item))
+
+    def process_batch(self, batch: TupleBatch) -> TupleBatch:
+        probs = self.predicate.probabilities(batch)
+        survivors = batch.select(probs >= self.min_probability)
+        agg = self.aggregate
+        closes = agg._buffer.add_many(survivors)
+        return TupleBatch(agg._emit(closes, vectorized=True))
+
+    def flush(self) -> Iterable[StreamTuple]:
+        yield from self.aggregate.flush()

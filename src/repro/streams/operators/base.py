@@ -33,6 +33,16 @@ class Operator(abc.ABC):
     ``input_schema`` against which incoming tuples are validated.
     """
 
+    #: Honest batch-support advertisement: True only when
+    #: :meth:`process_batch` runs a vectorised / bulk kernel rather than
+    #: the per-tuple fallback loop.  ``CompiledQuery.explain()`` and the
+    #: planner's cost model read this to report (and predict) which
+    #: boxes actually benefit from batch execution.  Subclasses with a
+    #: real kernel override it (usually as a property that re-checks the
+    #: fallback condition, so a subclass overriding ``process`` is
+    #: automatically honest again).
+    supports_batch: bool = False
+
     def __init__(self, name: Optional[str] = None, input_schema: Optional[Schema] = None):
         self.name = name or type(self).__name__
         self.input_schema = input_schema
@@ -63,6 +73,17 @@ class Operator(abc.ABC):
     # ------------------------------------------------------------------
     # Processing
     # ------------------------------------------------------------------
+    def _keeps_process_of(self, cls: type) -> bool:
+        """True when this instance still runs ``cls``'s ``process``.
+
+        Classes with a vectorised ``process_batch`` pair it with a
+        specific ``process`` implementation; a subclass overriding
+        ``process`` alone invalidates the kernel.  Such classes express
+        both their ``supports_batch`` property and their kernel gate
+        through this single check so the two can never disagree.
+        """
+        return type(self).process is cls.process
+
     @abc.abstractmethod
     def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
         """Consume one input tuple and yield zero or more output tuples."""
@@ -157,10 +178,14 @@ class PassThroughOperator(Operator):
     def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
         yield item
 
+    @property
+    def supports_batch(self) -> bool:  # type: ignore[override]
+        return self._keeps_process_of(PassThroughOperator)
+
     def process_batch(self, batch: TupleBatch) -> TupleBatch:
         # Forward the batch object untouched -- but only when ``process``
         # is the identity above; a subclass overriding ``process`` alone
         # must keep per-tuple semantics on the batch path too.
-        if type(self).process is PassThroughOperator.process:
+        if self.supports_batch:
             return batch
         return super().process_batch(batch)

@@ -53,8 +53,12 @@ class Filter(Operator):
         if self._predicate(item):
             yield item
 
+    @property
+    def supports_batch(self) -> bool:  # type: ignore[override]
+        return self._keeps_process_of(Filter)
+
     def process_batch(self, batch: TupleBatch) -> TupleBatch:
-        if type(self).process is not Filter.process:
+        if not self.supports_batch:
             return super().process_batch(batch)
         if self._batch_predicate is not None:
             mask = np.asarray(self._batch_predicate(batch), dtype=bool)
@@ -138,8 +142,12 @@ class Union(Operator):
     def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
         yield item
 
+    @property
+    def supports_batch(self) -> bool:  # type: ignore[override]
+        return self._keeps_process_of(Union)
+
     def process_batch(self, batch: TupleBatch) -> TupleBatch:
-        if type(self).process is Union.process:
+        if self.supports_batch:
             return batch
         return super().process_batch(batch)
 
@@ -155,8 +163,12 @@ class CollectSink(Operator):
         self.results.append(item)
         return ()
 
+    @property
+    def supports_batch(self) -> bool:  # type: ignore[override]
+        return self._keeps_process_of(CollectSink)
+
     def process_batch(self, batch: TupleBatch) -> TupleBatch:
-        if type(self).process is not CollectSink.process:
+        if not self.supports_batch:
             return super().process_batch(batch)
         self.results.extend(batch)
         return TupleBatch()
@@ -176,8 +188,12 @@ class CallbackSink(Operator):
         self._callback(item)
         return ()
 
+    @property
+    def supports_batch(self) -> bool:  # type: ignore[override]
+        return self._keeps_process_of(CallbackSink)
+
     def process_batch(self, batch: TupleBatch) -> TupleBatch:
-        if type(self).process is not CallbackSink.process:
+        if not self.supports_batch:
             return super().process_batch(batch)
         callback = self._callback
         for item in batch:

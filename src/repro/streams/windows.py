@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .tuples import StreamTuple
 
@@ -53,15 +55,21 @@ class WindowBuffer(abc.ABC):
         """Add a sequence of tuples and return all windows they closed.
 
         Default: loop over :meth:`add`.  Buffers with cheap bulk
-        insertion (count windows) override this for the batch
-        execution path; the closed windows must be identical to those
-        the per-tuple loop would produce.
+        insertion (count and tumbling-time windows) override this for
+        the batch execution path; the closed windows must be identical
+        to those the per-tuple loop would produce.  ``items`` may be
+        any tuple iterable, including a
+        :class:`~repro.streams.batch.TupleBatch`.
         """
         closed: List[WindowClose] = []
         add = self.add
         for item in items:
             closed.extend(add(item))
         return closed
+
+    def extend(self, items: Iterable[StreamTuple]) -> List[WindowClose]:
+        """Alias for :meth:`add_many` (list-like bulk-insertion name)."""
+        return self.add_many(items)
 
     @abc.abstractmethod
     def flush(self) -> List[WindowClose]:
@@ -179,6 +187,51 @@ class _TimeBuffer(WindowBuffer):
             closed.append(self._close_current())
             self._window_index = idx
         self._items.append(item)
+        return closed
+
+    def add_many(self, items: Iterable[StreamTuple]) -> List[WindowClose]:
+        """Bulk insertion: one vectorised bucketing pass per batch.
+
+        Window indices for the whole batch come from a single numpy
+        floor-division over the timestamp column, and tuples are
+        appended run-by-run; the closed windows are identical to the
+        per-tuple :meth:`add` loop (which remains the fallback for
+        out-of-order input so the error is raised at the exact
+        offending tuple).
+        """
+        from .batch import TupleBatch
+
+        if isinstance(items, TupleBatch):
+            rows = items.to_tuples()
+            timestamps = items.timestamps()
+        else:
+            rows = list(items)
+            timestamps = np.fromiter(
+                (t.timestamp for t in rows), dtype=np.float64, count=len(rows)
+            )
+        if not rows:
+            return []
+        # Same arithmetic as _index_of: floor((t - origin) / length).
+        indices = np.floor_divide(timestamps - self._origin, self._length).astype(np.int64)
+        out_of_order = bool(np.any(np.diff(indices) < 0)) or (
+            self._window_index is not None and int(indices[0]) < self._window_index
+        )
+        if out_of_order:
+            closed: List[WindowClose] = []
+            for item in rows:
+                closed.extend(self.add(item))
+            return closed
+        closed = []
+        run_starts = [0] + (np.flatnonzero(np.diff(indices)) + 1).tolist()
+        run_starts.append(len(rows))
+        for begin, end in zip(run_starts, run_starts[1:]):
+            idx = int(indices[begin])
+            if self._window_index is None:
+                self._window_index = idx
+            elif idx != self._window_index:
+                closed.append(self._close_current())
+                self._window_index = idx
+            self._items.extend(rows[begin:end])
         return closed
 
     def flush(self) -> List[WindowClose]:

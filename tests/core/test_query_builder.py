@@ -124,3 +124,18 @@ class TestJoinQueries:
         builder.join("b", [], lambda l, r: 1.0, window_length=1.0)
         with pytest.raises(OperatorError):
             builder.join("c", [], lambda l, r: 1.0, window_length=1.0)
+
+
+class TestDeprecationShim:
+    def test_builder_warns_and_delegates_to_plan_layer(self):
+        with pytest.warns(DeprecationWarning, match="repro.plan.Stream"):
+            builder = QueryBuilder("in")
+        query = builder.aggregate(TumblingCountWindow(2), "weight", strategy=CLTSum()).compile()
+        # The legacy surface now compiles through the planner on the
+        # tuple path (matching the old per-tuple execution model).
+        from repro.plan import CompiledQuery
+
+        assert isinstance(query, CompiledQuery)
+        assert query.execution.mode == "tuple"
+        query.push_many("in", [value_tuple(i, 10.0) for i in range(2)])
+        assert len(query.finish()) == 1

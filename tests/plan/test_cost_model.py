@@ -1,0 +1,122 @@
+"""Tests for the planner cost model: strategy choice and execution mode."""
+
+import pytest
+
+from repro.core import (
+    CFApproximationSum,
+    CFInversionSum,
+    CLTSum,
+    ProbabilisticJoin,
+    ProbabilisticSelect,
+    UncertainAggregate,
+    UncertainPredicate,
+)
+from repro.core.selection import Comparison
+from repro.plan import CostModel, Stream
+from repro.streams import (
+    CollectSink,
+    NowWindow,
+    TumblingCountWindow,
+    TumblingTimeWindow,
+)
+
+
+class TestWindowSizing:
+    def test_count_window_size_is_exact(self):
+        model = CostModel()
+        assert model.expected_window_size(TumblingCountWindow(37), None) == 37
+
+    def test_now_window_is_one(self):
+        assert CostModel().expected_window_size(NowWindow(), None) == 1
+
+    def test_time_window_needs_rate_hint(self):
+        model = CostModel()
+        window = TumblingTimeWindow(5.0)
+        assert model.expected_window_size(window, None) is None
+        assert model.expected_window_size(window, 10.0) == 50
+
+
+class TestStrategyChoice:
+    def test_gaussian_family_picks_cf_approx(self):
+        choice = CostModel().choose_sum_strategy(TumblingCountWindow(100), "gaussian")
+        assert isinstance(choice.strategy, CFApproximationSum)
+        assert "exact" in choice.reason
+
+    def test_large_window_picks_clt(self):
+        choice = CostModel().choose_sum_strategy(TumblingCountWindow(100), "gmm")
+        assert isinstance(choice.strategy, CLTSum)
+
+    def test_small_non_gaussian_window_picks_inversion(self):
+        choice = CostModel().choose_sum_strategy(TumblingCountWindow(4), "gmm")
+        assert isinstance(choice.strategy, CFInversionSum)
+
+    def test_mid_window_picks_cf_approx(self):
+        choice = CostModel().choose_sum_strategy(TumblingCountWindow(20), "gmm")
+        assert isinstance(choice.strategy, CFApproximationSum)
+
+    def test_unknown_size_defaults_to_cf_approx(self):
+        choice = CostModel().choose_sum_strategy(TumblingTimeWindow(5.0), None)
+        assert isinstance(choice.strategy, CFApproximationSum)
+
+    def test_thresholds_are_tunable(self):
+        model = CostModel(clt_window_threshold=10)
+        choice = model.choose_sum_strategy(TumblingCountWindow(12), "gmm")
+        assert isinstance(choice.strategy, CLTSum)
+
+    def test_explicit_strategy_wins_over_cost_model(self):
+        query = (
+            Stream.source("in", uncertain=("v",), family="gaussian")
+            .window(TumblingCountWindow(100))
+            .aggregate("v", strategy=CLTSum())
+            .compile()
+        )
+        assert query.strategy_decisions == []
+
+
+def _vectorized_plan_ops():
+    select = ProbabilisticSelect(
+        UncertainPredicate("v", Comparison.GREATER, 0.0), min_probability=0.0
+    )
+    aggregate = UncertainAggregate(
+        TumblingCountWindow(10), "v", CFApproximationSum()
+    )
+    return [select, aggregate, CollectSink()]
+
+
+class TestExecutionChoice:
+    def test_vectorized_plan_runs_batched(self):
+        choice = CostModel().choose_execution(_vectorized_plan_ops())
+        assert choice.mode == "batch"
+        assert choice.batch_size == 256
+
+    def test_batch_size_stretches_to_window(self):
+        choice = CostModel().choose_execution(_vectorized_plan_ops(), window_sizes=[1000])
+        assert choice.batch_size == 1000
+
+    def test_per_tuple_plan_stays_on_tuple_path(self):
+        join = ProbabilisticJoin(window_length=5.0, match_probability=lambda a, b: 1.0)
+        ports = [join.left_port(), join.right_port()]
+        choice = CostModel().choose_execution([join, *ports])
+        assert choice.mode == "tuple"
+
+    def test_compile_mode_pins_override_cost_model(self):
+        stream = (
+            Stream.source("in", uncertain=("v",))
+            .window(TumblingCountWindow(4))
+            .aggregate("v", strategy=CLTSum())
+        )
+        assert stream.compile(mode="tuple").execution.mode == "tuple"
+        pinned = stream.compile(mode="batch", batch_size=17)
+        assert pinned.execution.mode == "batch"
+        assert pinned.execution.batch_size == 17
+        assert pinned.engine.batch_size == 17
+
+
+class TestValidation:
+    def test_bad_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(clt_window_threshold=1)
+        with pytest.raises(ValueError):
+            CostModel(default_batch_size=0)
+        with pytest.raises(ValueError):
+            CostModel(min_vectorized_fraction=1.5)

@@ -1,0 +1,102 @@
+"""Golden-output tests for logical and end-to-end ``explain()``.
+
+These pin the exact explain rendering for small deterministic plans so
+formatting regressions (and accidental semantic changes to the rewrite
+trace or cost-model reporting) show up as diffs.
+"""
+
+import textwrap
+
+from repro.core import CLTSum
+from repro.plan import Stream, compile_streams
+from repro.streams import TumblingCountWindow
+
+
+def small_plan():
+    return (
+        Stream.source("sensors", uncertain=("value",), family="gmm")
+        .where(lambda t: True, uses=("value",), description="nonnull")
+        .where_probably("value", ">", 10.0, annotate=None)
+        .window(TumblingCountWindow(4))
+        .aggregate("value")
+    )
+
+
+LOGICAL_GOLDEN = textwrap.dedent(
+    """\
+    Aggregate[sum(value) @ TumblingCountWindow(size=4), strategy=auto]
+      ProbFilter[value > 10.0, p>=0.5]
+        Filter[nonnull, uses={value}]
+          Source[sensors, family=gmm]"""
+)
+
+FULL_GOLDEN = textwrap.dedent(
+    """\
+    Logical plan
+    ============
+    Aggregate[sum(value) @ TumblingCountWindow(size=4), strategy=auto]
+      ProbFilter[value > 10.0, p>=0.5]
+        Filter[nonnull, uses={value}]
+          Source[sensors, family=gmm]
+
+    Rewrites
+    ========
+    - fuse_select_into_aggregate: probabilistic filter on 'value' fused into the sum(value) window kernel
+
+    Cost model
+    ==========
+    - strategy for Aggregate[sum(value) @ TumblingCountWindow(size=4), strategy=auto]: cf_inversion (small window of ~4 non-Gaussian summands: exact CF inversion is affordable)
+    - execution: batch(batch_size=256) (2/2 boxes run vectorised batch kernels; batch_size=256)
+
+    Physical plan
+    =============
+    - source:sensors <- Source[sensors, family=gmm]  [vectorized]
+    - Filter[nonnull] <- Filter[nonnull, uses={value}]  [vectorized]
+    - FusedSelect+UncertainAggregate <- FusedSelectAggregate[ProbFilter[value > 10.0, p>=0.5] ⨝ Aggregate[sum(value) @ TumblingCountWindow(size=4), strategy=auto]]  [vectorized]"""
+)
+
+
+def test_logical_explain_golden():
+    assert small_plan().explain() == LOGICAL_GOLDEN
+
+
+def test_full_explain_golden():
+    assert small_plan().compile().explain() == FULL_GOLDEN
+
+
+def test_explain_reports_vectorized_vs_per_tuple():
+    """The satellite contract: explain() distinguishes batch kernels
+    from per-tuple fallback boxes (the join has no batch kernel)."""
+    joined = (
+        Stream.source("l", uncertain=("x",))
+        .join(Stream.source("r", uncertain=("x",)), on=lambda a, b: 1.0, window_length=5.0)
+    )
+    # Force batch mode: the cost model would pick tuple for this plan.
+    text = joined.compile(mode="batch").explain()
+    assert "ProbabilisticJoin" in text
+    assert "[per-tuple fallback]" in text
+    assert "[vectorized]" in text  # the source pass-throughs
+
+    tuple_text = joined.compile(mode="tuple").explain()
+    assert "[tuple path]" in tuple_text
+
+
+def test_explain_marks_shared_subplans():
+    shared = Stream.source("in", uncertain=("v",)).where(lambda t: True, description="shared")
+    a = shared.window(TumblingCountWindow(2)).aggregate("v", strategy=CLTSum())
+    b = shared.summarize("v")
+    query = compile_streams({"agg": a, "summary": b}, mode="tuple")
+    text = query.explain()
+    assert "#1" in text
+    assert "(see #1)" in text
+    assert "output agg:" in text and "output summary:" in text
+
+
+def test_explain_without_rewrites_says_so():
+    text = (
+        Stream.source("in", uncertain=("v",))
+        .summarize("v")
+        .compile(mode="tuple", optimize=False)
+        .explain()
+    )
+    assert "(none applied)" in text
