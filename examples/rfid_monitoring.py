@@ -1,24 +1,32 @@
-"""RFID object tracking and monitoring: queries Q1 and Q2 end to end.
+"""RFID object tracking and monitoring: queries Q1 and Q2 as a service.
 
 Reproduces the Figure 2 architecture for the paper's first application
-(Section 2.1) on the declarative query API: a mobile reader sweeps a
-warehouse, the RFID T operator turns noisy readings into
-object-location tuples with pdfs, and two monitoring queries consume
-that uncertain stream *through one shared plan prefix* (the Figure 2
-fan-out, expressed by reusing one ``Stream`` handle):
+(Section 2.1) on the continuous-query service API: a mobile reader
+sweeps a warehouse, the RFID T operator turns noisy readings into
+object-location tuples with pdfs, and monitoring queries are
+*registered* against a long-running :class:`repro.service.QuerySession`
+— the way the paper's engine hosts CQL queries — instead of compiled
+one plan at a time:
 
 * Q1 -- fire-code monitoring: report shelf areas whose total object
-  weight probably exceeds the limit (a custom monitor box, piped in).
+  weight probably exceeds the limit (a custom monitor box, piped in
+  through the fluent ``Stream`` escape hatch).
 * Q2 -- flammable-object alerts: join object locations with a
   temperature stream and alert on flammable objects in hot areas.
+* Q3 -- a CQL text query registered at runtime: hot-sensor counts per
+  tumbling window, straight from the paper's dialect.
+
+Q1 and Q2 reuse one ``located`` stream handle, so the session shares
+the RFID T operator between them (one physical box, visible in
+``session.explain()``), and Q3 shares the temperature source with Q2.
 
 Run with:  python examples/rfid_monitoring.py
 """
 
 from __future__ import annotations
 
+from repro import QuerySession
 from repro.core import Comparison, match_probability_band
-from repro.plan import Stream, compile_streams
 from repro.rfid import (
     DetectionModel,
     FireCodeMonitor,
@@ -49,19 +57,29 @@ def main() -> None:
         world, detection=detection, n_particles=80, emit_mode="detected", rng=3
     )
 
+    # --- the long-running service --------------------------------------
+    session = QuerySession()
+    raw = session.create_stream("rfid_raw")
+    sensors = session.create_stream(
+        "temperature", values=("sensor_id",), uncertain=("x", "y", "temp")
+    )
+
     # --- shared prefix: raw readings -> T operator (one box, two queries)
-    located = Stream.source("rfid_raw").pipe(t_operator, description="RFID T operator")
+    located = raw.pipe(t_operator, description="RFID T operator")
 
     # --- Q1: fire-code monitoring (custom monitor box) -----------------
-    q1 = located.pipe(
-        FireCodeMonitor(
-            weight_of=lambda tag: world.objects[tag].weight,
-            window_length=5.0,
-            cell_size=5.0,
-            weight_limit=150.0,
-            min_violation_probability=0.5,
+    q1 = session.register(
+        "q1",
+        located.pipe(
+            FireCodeMonitor(
+                weight_of=lambda tag: world.objects[tag].weight,
+                window_length=5.0,
+                cell_size=5.0,
+                weight_limit=150.0,
+                min_violation_probability=0.5,
+            ),
+            description="fire-code monitor",
         ),
-        description="fire-code monitor",
     )
 
     # --- Q2: flammable-object / temperature join -----------------------
@@ -70,27 +88,35 @@ def main() -> None:
         py = match_probability_band(left.distribution("y"), right.distribution("y"), 4.0)
         return px * py
 
-    sensors = Stream.source("temperature", values=("sensor_id",), uncertain=("x", "y", "temp"))
-    q2 = (
-        located
-        .where(
+    q2 = session.register(
+        "q2",
+        located.where(
             lambda t: world.objects[t.value("tag_id")].object_type == "flammable",
             uses=("tag_id",),
             description="flammable",
-        )
-        .join(
+        ).join(
             sensors.where_probably("temp", Comparison.GREATER, 60.0, min_probability=0.5),
             on=location_match,
             window_length=30.0,
             min_probability=0.1,
             prefix_left="obj_",
             prefix_right="temp_",
-        )
+        ),
     )
 
-    # --- compile both queries into ONE plan with a shared prefix -------
-    query = compile_streams({"q1": q1, "q2": q2})
-    print(query.explain())
+    # --- Q3: registered as CQL text, sharing the temperature source ----
+    q3 = session.register(
+        "q3",
+        """
+        SELECT COUNT(*) AS hot_sensors
+        FROM temperature [RANGE 20 SECONDS SLIDE 20 SECONDS]
+        WHERE temp > 60 WITH PROBABILITY 0.5
+        """,
+    )
+
+    print(session.explain())
+    print()
+    print(session.explain("q2"))
     print()
 
     # A hot spot sits over the first shelf.
@@ -101,19 +127,19 @@ def main() -> None:
         hot_spot=(first_shelf.x, first_shelf.y, 6.0, 90.0),
         rng=4,
     ):
-        query.push("temperature", item)
+        session.push("temperature", item)
 
     print("sweeping the warehouse with the mobile reader ...")
     for reading in simulator.readings(300):
-        query.push(
+        session.push(
             "rfid_raw", StreamTuple(timestamp=reading.timestamp, values={"reading": reading})
         )
-    query.finish()
+    session.flush()
 
     mean_error = t_operator.mean_location_error()
     print(f"mean object-location error after the sweep: {mean_error:.2f} ft")
 
-    q1_alerts = query.output("q1")
+    q1_alerts = q1.results
     print(f"\nQ1: {len(q1_alerts)} fire-code violation alerts")
     print(f"{'area cell':>12} {'P(violation)':>14} {'total weight (mean ± std)':>28}")
     for alert in q1_alerts[:10]:
@@ -123,7 +149,7 @@ def main() -> None:
             f"{dist.mean():>16.1f} ± {dist.std():.1f} lb"
         )
 
-    q2_alerts = query.output("q2")
+    q2_alerts = q2.results
     print(f"\nQ2: {len(q2_alerts)} flammable-object alerts")
     print(f"{'object':>10} {'sensor':>8} {'match prob':>11} {'temperature (mean)':>20}")
     for alert in q2_alerts[:10]:
@@ -132,6 +158,14 @@ def main() -> None:
             f"{alert.value('match_probability'):>11.2f} "
             f"{alert.distribution('temp_temp').mean():>18.1f} C"
         )
+
+    q3_counts = q3.results
+    print(f"\nQ3 (CQL): hot-sensor counts per 20 s window: "
+          f"{[t.value('hot_sensors') for t in q3_counts]}")
+
+    # The service keeps running: drop Q2, the T operator stays for Q1.
+    session.drop("q2")
+    print(f"\nafter drop(q2): {session.explain()}")
 
 
 if __name__ == "__main__":

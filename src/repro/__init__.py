@@ -14,6 +14,11 @@ is organised as:
 * :mod:`repro.plan` -- the declarative query layer: a DAG-capable
   builder producing a logical plan IR that a cost-aware planner
   rewrites and lowers onto the stream engine.
+* :mod:`repro.cql` -- the textual front end: a CQL-style dialect
+  (the paper's Q1/Q2 parse directly) lowered into the same IR.
+* :mod:`repro.service` -- the continuous-query service:
+  :class:`QuerySession` hosts many registered queries in one engine
+  with cross-query subplan sharing.
 * :mod:`repro.inference` -- particle filtering with the paper's
   optimisations, adaptive particle control, Kalman baseline.
 * :mod:`repro.rfid` / :mod:`repro.radar` -- the two motivating
@@ -21,18 +26,24 @@ is organised as:
 * :mod:`repro.workloads` -- workload generators for the experiments.
 """
 
-from . import core, distributions, inference, plan, radar, rfid, streams, workloads
+from . import core, cql, distributions, inference, plan, radar, rfid, service, streams, workloads
+from .cql import compile_cql
+from .service import QuerySession
 
 __version__ = "0.1.0"
 
 __all__ = [
     "core",
+    "cql",
     "distributions",
     "inference",
     "plan",
     "radar",
     "rfid",
+    "service",
     "streams",
     "workloads",
+    "QuerySession",
+    "compile_cql",
     "__version__",
 ]

@@ -42,24 +42,44 @@ from .selection import Comparison
 
 __all__ = ["QueryBuilder", "CompiledQuery"]
 
+#: Process-wide latch: the deprecation warning fires once, not once per
+#: constructed builder — a legacy program building thousands of queries
+#: should see one nudge, not a flooded log.
+_deprecation_warned = False
+
+
+def _warn_deprecated_once() -> None:
+    global _deprecation_warned
+    if _deprecation_warned:
+        return
+    _deprecation_warned = True
+    warnings.warn(
+        "repro.core.QueryBuilder is deprecated; build queries with "
+        "repro.plan.Stream instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _reset_deprecation_warning() -> None:
+    """Re-arm the once-per-process warning (test hook)."""
+    global _deprecation_warned
+    _deprecation_warned = False
+
 
 class QueryBuilder:
     """Deprecated linear builder; delegates to :class:`repro.plan.Stream`.
 
     Kept for backwards compatibility with the Q1/Q2 query shapes; emits
-    a :class:`DeprecationWarning` on construction.  Each stage method
-    appends the corresponding declarative stage; ``compile()`` runs the
-    planner with rewrites enabled on the tuple execution path, matching
-    the legacy builder's per-tuple semantics exactly.
+    a :class:`DeprecationWarning` once per process, on the first
+    construction.  Each stage method appends the corresponding
+    declarative stage; ``compile()`` runs the planner with rewrites
+    enabled on the tuple execution path, matching the legacy builder's
+    per-tuple semantics exactly.
     """
 
     def __init__(self, source: str = "input"):
-        warnings.warn(
-            "repro.core.QueryBuilder is deprecated; build queries with "
-            "repro.plan.Stream instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        _warn_deprecated_once()
         self._stream = Stream.source(source)
         self._stages = 0
         self._compiled = False

@@ -1,0 +1,54 @@
+"""CQL-style textual query front end.
+
+The paper's interface is declarative CQL-like continuous queries (Q1
+and Q2 of Section 2) submitted to a long-running engine.  This package
+parses that dialect and lowers it into the logical plan IR of
+:mod:`repro.plan`, so text queries run through the same planner,
+rewrites, cost model and physical operators as pipelines built with
+the fluent :class:`~repro.plan.Stream` builder::
+
+    from repro.cql import compile_cql
+    from repro.plan import Stream
+
+    query = compile_cql(
+        '''
+        SELECT area(x) AS area, SUM(weight)
+        FROM rfid [RANGE 5 SECONDS SLIDE 5 SECONDS]
+        GROUP BY area
+        HAVING SUM(weight) > 200 WITH CONFIDENCE 0.5
+        ''',
+        sources={"rfid": Stream.source("rfid", uncertain=("x", "weight"))},
+        functions={"area": lambda x: int(x.mean() // 20.0)},
+    )
+    query.push_many("rfid", tuples)
+    alerts = query.finish()
+
+Most users reach this through :class:`repro.service.QuerySession`,
+which hosts many registered text queries over shared streams.
+
+Modules: :mod:`~repro.cql.lexer` (tokens with source positions),
+:mod:`~repro.cql.parser` (recursive descent; grammar in its
+docstring), :mod:`~repro.cql.syntax` (the AST),
+:mod:`~repro.cql.lowering` (AST → logical plan), and
+:mod:`~repro.cql.errors`.
+"""
+
+from .errors import CQLError, CQLSemanticError, CQLSyntaxError
+from .lexer import Token, tokenize
+from .lowering import BUILTIN_FUNCTIONS, compile_cql, lower_query
+from .parser import parse
+from .syntax import Query, SelectQuery
+
+__all__ = [
+    "parse",
+    "tokenize",
+    "Token",
+    "Query",
+    "SelectQuery",
+    "lower_query",
+    "compile_cql",
+    "BUILTIN_FUNCTIONS",
+    "CQLError",
+    "CQLSyntaxError",
+    "CQLSemanticError",
+]

@@ -1,0 +1,57 @@
+"""Error types for the CQL front end.
+
+Every error carries a source position (1-based line and column) and the
+offending token text, so a service hosting many registered queries can
+point a user at the exact character that broke — the message format is
+stable and covered by golden tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["CQLError", "CQLSyntaxError", "CQLSemanticError"]
+
+
+class CQLError(Exception):
+    """Base class for all CQL front-end errors."""
+
+
+class _PositionedError(CQLError):
+    def __init__(
+        self,
+        message: str,
+        line: int,
+        column: int,
+        token: Optional[str] = None,
+    ):
+        self.message = message
+        self.line = line
+        self.column = column
+        self.token = token
+        super().__init__(str(self))
+
+    _label = "CQL error"
+
+    def __str__(self) -> str:
+        where = f"line {self.line}, column {self.column}"
+        if self.token is not None:
+            return f"{self._label} at {where}: {self.message} (near {self.token!r})"
+        return f"{self._label} at {where}: {self.message}"
+
+
+class CQLSyntaxError(_PositionedError):
+    """Raised by the lexer/parser for malformed query text."""
+
+    _label = "CQL syntax error"
+
+
+class CQLSemanticError(_PositionedError):
+    """Raised during lowering for well-formed text that cannot compile.
+
+    Examples: an aggregate in HAVING that does not match the SELECT
+    list, a ``WITH PROBABILITY`` qualifier on a deterministic
+    comparison, or a reference to an unregistered match function.
+    """
+
+    _label = "CQL semantic error"

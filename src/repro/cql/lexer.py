@@ -1,0 +1,176 @@
+"""Tokenizer for the CQL-style continuous-query dialect.
+
+A small hand-written scanner: it tracks 1-based line/column positions
+for every token (so parse errors can point at the offending character)
+and classifies identifiers against the keyword set case-insensitively —
+``select``, ``SELECT`` and ``Select`` are the same keyword, while
+identifier tokens preserve their original spelling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .errors import CQLSyntaxError
+
+__all__ = ["Token", "KEYWORDS", "tokenize"]
+
+#: Reserved words of the dialect (matched case-insensitively).
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "AS",
+        "AND",
+        "OR",
+        "NOT",
+        "UNION",
+        "JOIN",
+        "ON",
+        "WITHIN",
+        "WITH",
+        "MIN",
+        "MAX",
+        "PROBABILITY",
+        "CONFIDENCE",
+        "RANGE",
+        "ROWS",
+        "NOW",
+        "SECONDS",
+        "SLIDE",
+        "BETWEEN",
+        "UNCERTAIN",
+        "MATCH",
+        "SUM",
+        "AVG",
+        "COUNT",
+    }
+)
+
+#: Multi-character operators, longest first so the scanner is greedy.
+_OPERATORS = ("~=", ">=", "<=", "!=", ">", "<", "=", "+", "-", "*", "/")
+
+_PUNCTUATION = {",", "(", ")", "[", "]", "."}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its 1-based source position."""
+
+    kind: str  # "keyword" | "ident" | "number" | "string" | "op" | "punct" | "eof"
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind == "keyword" and self.value in names
+
+    @property
+    def description(self) -> str:
+        if self.kind == "eof":
+            return "end of query"
+        return repr(self.value)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Scan ``text`` into tokens (always ending with an ``eof`` token)."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    line, column = 1, 1
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            # SQL-style line comment.
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        start_line, start_column = line, column
+        if ch == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                if text[j] == "\n":
+                    break
+                j += 1
+            if j >= n or text[j] != "'":
+                raise CQLSyntaxError(
+                    "unterminated string literal", start_line, start_column, "'"
+                )
+            value = text[i + 1 : j]
+            yield Token("string", value, start_line, start_column)
+            column += j + 1 - i
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A dot not followed by a digit is punctuation
+                    # (qualified names like ``obj.x`` after a number
+                    # cannot occur, but be strict anyway).
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            if j < n and text[j] in "eE":
+                k = j + 1
+                if k < n and text[k] in "+-":
+                    k += 1
+                if k < n and text[k].isdigit():
+                    j = k
+                    while j < n and text[j].isdigit():
+                        j += 1
+            value = text[i:j]
+            yield Token("number", value, start_line, start_column)
+            column += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield Token("keyword", upper, start_line, start_column)
+            else:
+                yield Token("ident", word, start_line, start_column)
+            column += j - i
+            i = j
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                yield Token("op", op, start_line, start_column)
+                i += len(op)
+                column += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCTUATION:
+            yield Token("punct", ch, start_line, start_column)
+            i += 1
+            column += 1
+            continue
+        raise CQLSyntaxError(
+            f"unexpected character {ch!r}", start_line, start_column, ch
+        )
+    yield Token("eof", "", line, column)

@@ -1,0 +1,449 @@
+"""Recursive-descent parser for the CQL-style dialect.
+
+The grammar (EBNF; keywords are case-insensitive, ``--`` starts a line
+comment)::
+
+    query        = select , { "UNION" , select } ;
+    select       = "SELECT" , select_list ,
+                   "FROM" , stream_ref , [ join_clause ] ,
+                   [ "WHERE" , conjunct , { "AND" , conjunct } ] ,
+                   [ "GROUP" , "BY" , expression , { "," , expression } ] ,
+                   [ "HAVING" , having ] ;
+    select_list  = "*" | select_item , { "," , select_item } ;
+    select_item  = aggregate , [ "AS" , identifier ]
+                 | expression , "AS" , [ "UNCERTAIN" ] , identifier
+                 | qualified ;
+    aggregate    = ( "SUM" | "AVG" | "COUNT" | "MIN" | "MAX" ) ,
+                   "(" , ( qualified | "*" ) , ")" ;
+    stream_ref   = identifier , [ "AS" , identifier ] , [ window ] ;
+    window       = "[" , "NOW" , "]"
+                 | "[" , "ROWS" , number , "]"
+                 | "[" , "RANGE" , number , [ "SECONDS" ] ,
+                         [ "SLIDE" , number , [ "SECONDS" ] ] , "]" ;
+    join_clause  = "JOIN" , stream_ref , "ON" , match_term ,
+                   { "AND" , match_term } ,
+                   [ "MIN" , "PROBABILITY" , number ] ;
+    match_term   = "MATCH" , identifier
+                 | qualified , "~=" , qualified , "WITHIN" , number ;
+    conjunct     = comparison , [ "WITH" , "PROBABILITY" , number ] ;
+    comparison   = sum , [ ( ">" | "<" | ">=" | "<=" | "=" | "!=" ) , sum
+                         | "BETWEEN" , sum , "AND" , sum ] ;
+    having       = aggregate , ">" , number ,
+                   [ "WITH" , ( "PROBABILITY" | "CONFIDENCE" ) , number ] ;
+    expression   = disjunction ;      (* OR/AND only inside parentheses
+                                         at WHERE top level *)
+    sum          = product , { ( "+" | "-" ) , product } ;
+    product      = unary , { ( "*" | "/" ) , unary } ;
+    unary        = [ "-" | "NOT" ] , primary ;
+    primary      = number | string | qualified | call
+                 | "(" , disjunction , ")" ;
+    call         = identifier , "(" , [ disjunction , { "," , disjunction } ] , ")" ;
+    qualified    = identifier , [ "." , identifier ] ;
+
+Every :class:`~repro.cql.errors.CQLSyntaxError` carries the 1-based
+line/column of the offending token and its text.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from .errors import CQLSyntaxError
+from .lexer import Token, tokenize
+from .syntax import (
+    AggregateCall,
+    AggregateItem,
+    BandMatchTerm,
+    BinOp,
+    Call,
+    ColumnItem,
+    Conjunct,
+    DeriveItem,
+    Expr,
+    FuncMatchTerm,
+    HavingClauseSyntax,
+    Ident,
+    JoinClause,
+    Literal,
+    Query,
+    SelectQuery,
+    StarItem,
+    StreamRef,
+    Unary,
+    WindowClause,
+)
+
+__all__ = ["parse"]
+
+_AGG_KEYWORDS = ("SUM", "AVG", "COUNT", "MIN", "MAX")
+_COMPARISONS = (">", "<", ">=", "<=", "=", "!=")
+
+
+def parse(text: str) -> Query:
+    """Parse CQL text into a :class:`~repro.cql.syntax.Query` AST."""
+    return _Parser(tokenize(text)).parse_query()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> CQLSyntaxError:
+        token = token or self.current
+        return CQLSyntaxError(message, token.line, token.column, token.value or None)
+
+    def _expect_keyword(self, *names: str) -> Token:
+        if self.current.is_keyword(*names):
+            return self._advance()
+        expected = " or ".join(names)
+        raise self._error(f"expected {expected}, found {self.current.description}")
+
+    def _expect(self, kind: str, value: Optional[str] = None, what: str = "") -> Token:
+        token = self.current
+        if token.kind == kind and (value is None or token.value == value):
+            return self._advance()
+        wanted = what or (value if value is not None else kind)
+        raise self._error(f"expected {wanted!r}, found {token.description}")
+
+    def _match_punct(self, value: str) -> bool:
+        if self.current.kind == "punct" and self.current.value == value:
+            self._advance()
+            return True
+        return False
+
+    def _match_keyword(self, *names: str) -> bool:
+        if self.current.is_keyword(*names):
+            self._advance()
+            return True
+        return False
+
+    def _number(self, what: str = "a number") -> float:
+        negative = False
+        if self.current.kind == "op" and self.current.value == "-":
+            self._advance()
+            negative = True
+        token = self.current
+        if token.kind != "number":
+            raise self._error(f"expected {what}, found {token.description}")
+        self._advance()
+        value = float(token.value)
+        return -value if negative else value
+
+    def _identifier(self, what: str = "an identifier") -> Token:
+        token = self.current
+        if token.kind != "ident":
+            raise self._error(f"expected {what}, found {token.description}")
+        return self._advance()
+
+    def _qualified(self) -> Ident:
+        first = self._identifier("an attribute name")
+        if self._match_punct("."):
+            second = self._identifier("an attribute name after '.'")
+            return Ident(first.line, first.column, second.value, qualifier=first.value)
+        return Ident(first.line, first.column, first.value)
+
+    # ------------------------------------------------------------------
+    # Query structure
+    # ------------------------------------------------------------------
+    def parse_query(self) -> Query:
+        selects = [self._select()]
+        while self._match_keyword("UNION"):
+            selects.append(self._select())
+        if self.current.kind != "eof":
+            raise self._error(
+                f"expected UNION or end of query, found {self.current.description}"
+            )
+        return Query(selects=tuple(selects))
+
+    def _select(self) -> SelectQuery:
+        start = self._expect_keyword("SELECT")
+        items = self._select_list()
+        self._expect_keyword("FROM")
+        source = self._stream_ref()
+        join = self._join_clause() if self.current.is_keyword("JOIN") else None
+        where: Tuple[Conjunct, ...] = ()
+        if self._match_keyword("WHERE"):
+            where = self._conjuncts()
+        group_by = None
+        if self._match_keyword("GROUP"):
+            self._expect_keyword("BY")
+            exprs = [self._disjunction()]
+            while self._match_punct(","):
+                exprs.append(self._disjunction())
+            group_by = exprs[0] if len(exprs) == 1 else tuple(exprs)
+        having = None
+        if self.current.is_keyword("HAVING"):
+            having = self._having()
+        return SelectQuery(
+            line=start.line,
+            column=start.column,
+            items=items,
+            source=source,
+            join=join,
+            where=where,
+            group_by=group_by,  # type: ignore[arg-type]
+            having=having,
+        )
+
+    def _select_list(self) -> Tuple:
+        if self.current.kind == "op" and self.current.value == "*":
+            token = self._advance()
+            return (StarItem(token.line, token.column),)
+        items = [self._select_item()]
+        while self._match_punct(","):
+            items.append(self._select_item())
+        return tuple(items)
+
+    def _select_item(self):
+        token = self.current
+        if token.is_keyword(*_AGG_KEYWORDS) and self._peek_is_punct(1, "("):
+            call = self._aggregate_call()
+            alias = None
+            if self._match_keyword("AS"):
+                alias = self._identifier("an output name after AS").value
+            return AggregateItem(token.line, token.column, call=call, alias=alias)
+        expr = self._comparison()
+        if self._match_keyword("AS"):
+            uncertain = bool(self._match_keyword("UNCERTAIN"))
+            name = self._identifier("an attribute name after AS").value
+            return DeriveItem(
+                token.line, token.column, expr=expr, name=name, uncertain=uncertain
+            )
+        if isinstance(expr, Ident):
+            return ColumnItem(
+                token.line, token.column, name=expr.name, qualifier=expr.qualifier
+            )
+        raise self._error(
+            "derived select expressions need 'AS <name>'", token
+        )
+
+    def _peek_is_punct(self, offset: int, value: str) -> bool:
+        index = self._pos + offset
+        if index >= len(self._tokens):
+            return False
+        token = self._tokens[index]
+        return token.kind == "punct" and token.value == value
+
+    def _aggregate_call(self) -> AggregateCall:
+        token = self._expect_keyword(*_AGG_KEYWORDS)
+        self._expect("punct", "(")
+        if self.current.kind == "op" and self.current.value == "*":
+            self._advance()
+            argument = "*"
+        else:
+            argument = self._qualified().canonical()
+        self._expect("punct", ")")
+        return AggregateCall(token.line, token.column, token.value.lower(), argument)
+
+    def _stream_ref(self) -> StreamRef:
+        name = self._identifier("a stream name")
+        alias = None
+        if self._match_keyword("AS"):
+            alias = self._identifier("a stream alias after AS").value
+        window = None
+        if self.current.kind == "punct" and self.current.value == "[":
+            window = self._window()
+        return StreamRef(name.line, name.column, name.value, alias=alias, window=window)
+
+    def _window(self) -> WindowClause:
+        start = self._expect("punct", "[")
+        if self._match_keyword("NOW"):
+            self._expect("punct", "]")
+            return WindowClause(start.line, start.column, "now")
+        if self._match_keyword("ROWS"):
+            count = self._number("a row count")
+            self._expect("punct", "]")
+            return WindowClause(start.line, start.column, "rows", length=count)
+        if self._match_keyword("RANGE"):
+            length = self._number("a window length")
+            self._match_keyword("SECONDS")
+            slide = None
+            if self._match_keyword("SLIDE"):
+                slide = self._number("a slide length")
+                self._match_keyword("SECONDS")
+            self._expect("punct", "]")
+            return WindowClause(
+                start.line, start.column, "range", length=length, slide=slide
+            )
+        raise self._error(
+            f"expected NOW, ROWS or RANGE in window, found {self.current.description}"
+        )
+
+    def _join_clause(self) -> JoinClause:
+        start = self._expect_keyword("JOIN")
+        right = self._stream_ref()
+        self._expect_keyword("ON")
+        terms = [self._match_term()]
+        while self._match_keyword("AND"):
+            terms.append(self._match_term())
+        min_probability = None
+        if self._match_keyword("MIN"):
+            self._expect_keyword("PROBABILITY")
+            min_probability = self._number("a probability")
+        return JoinClause(
+            start.line,
+            start.column,
+            right=right,
+            terms=tuple(terms),
+            min_probability=min_probability,
+        )
+
+    def _match_term(self) -> Union[BandMatchTerm, FuncMatchTerm]:
+        if self.current.is_keyword("MATCH"):
+            token = self._advance()
+            name = self._identifier("a registered match function name")
+            return FuncMatchTerm(token.line, token.column, name.value)
+        left = self._qualified()
+        self._expect("op", "~=", what="~=")
+        right = self._qualified()
+        self._expect_keyword("WITHIN")
+        width = self._number("a band width")
+        return BandMatchTerm(left.line, left.column, left=left, right=right, width=width)
+
+    def _conjuncts(self) -> Tuple[Conjunct, ...]:
+        conjuncts = [self._conjunct()]
+        while self._match_keyword("AND"):
+            conjuncts.append(self._conjunct())
+        return tuple(conjuncts)
+
+    def _conjunct(self) -> Conjunct:
+        expr = self._comparison()
+        probability = None
+        if self.current.is_keyword("WITH"):
+            self._advance()
+            self._expect_keyword("PROBABILITY")
+            probability = self._number("a probability")
+        return Conjunct(expr=expr, probability=probability)
+
+    def _having(self) -> HavingClauseSyntax:
+        start = self._expect_keyword("HAVING")
+        call = self._aggregate_call()
+        op = self.current
+        if op.kind != "op" or op.value not in _COMPARISONS:
+            raise self._error(f"expected a comparison in HAVING, found {op.description}")
+        if op.value != ">":
+            raise self._error(
+                "HAVING supports only '>' (probabilistic threshold)", op
+            )
+        self._advance()
+        threshold = self._number("a threshold")
+        min_probability = None
+        if self._match_keyword("WITH"):
+            self._expect_keyword("PROBABILITY", "CONFIDENCE")
+            min_probability = self._number("a probability")
+        return HavingClauseSyntax(
+            start.line,
+            start.column,
+            call=call,
+            threshold=threshold,
+            min_probability=min_probability,
+        )
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _disjunction(self) -> Expr:
+        expr = self._conjunction()
+        while self.current.is_keyword("OR"):
+            token = self._advance()
+            right = self._conjunction()
+            expr = BinOp(token.line, token.column, "OR", expr, right)
+        return expr
+
+    def _conjunction(self) -> Expr:
+        expr = self._comparison()
+        while self.current.is_keyword("AND"):
+            token = self._advance()
+            right = self._comparison()
+            expr = BinOp(token.line, token.column, "AND", expr, right)
+        return expr
+
+    def _comparison(self) -> Expr:
+        expr = self._sum()
+        token = self.current
+        if token.kind == "op" and token.value in _COMPARISONS:
+            self._advance()
+            right = self._sum()
+            return BinOp(token.line, token.column, token.value, expr, right)
+        if token.is_keyword("BETWEEN"):
+            self._advance()
+            low = self._sum()
+            self._expect_keyword("AND")
+            high = self._sum()
+            return BinOp(
+                token.line,
+                token.column,
+                "BETWEEN",
+                expr,
+                BinOp(token.line, token.column, "AND", low, high),
+            )
+        return expr
+
+    def _sum(self) -> Expr:
+        expr = self._product()
+        while self.current.kind == "op" and self.current.value in ("+", "-"):
+            token = self._advance()
+            right = self._product()
+            expr = BinOp(token.line, token.column, token.value, expr, right)
+        return expr
+
+    def _product(self) -> Expr:
+        expr = self._unary()
+        while self.current.kind == "op" and self.current.value in ("*", "/"):
+            token = self._advance()
+            right = self._unary()
+            expr = BinOp(token.line, token.column, token.value, expr, right)
+        return expr
+
+    def _unary(self) -> Expr:
+        token = self.current
+        if token.kind == "op" and token.value == "-":
+            self._advance()
+            return Unary(token.line, token.column, "-", self._unary())
+        if token.is_keyword("NOT"):
+            self._advance()
+            return Unary(token.line, token.column, "NOT", self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        token = self.current
+        if token.kind == "number":
+            self._advance()
+            text = token.value
+            value = float(text) if ("." in text or "e" in text or "E" in text) else int(text)
+            return Literal(token.line, token.column, value)
+        if token.kind == "string":
+            self._advance()
+            return Literal(token.line, token.column, token.value)
+        if token.kind == "punct" and token.value == "(":
+            self._advance()
+            expr = self._disjunction()
+            self._expect("punct", ")")
+            return expr
+        if token.kind == "ident":
+            if self._peek_is_punct(1, "("):
+                name = self._advance()
+                self._expect("punct", "(")
+                args: List[Expr] = []
+                if not (self.current.kind == "punct" and self.current.value == ")"):
+                    args.append(self._disjunction())
+                    while self._match_punct(","):
+                        args.append(self._disjunction())
+                self._expect("punct", ")")
+                return Call(name.line, name.column, name.value, tuple(args))
+            return self._qualified()
+        raise self._error(f"expected an expression, found {token.description}")

@@ -1,0 +1,250 @@
+"""AST node types for the CQL dialect.
+
+Plain frozen dataclasses produced by :mod:`repro.cql.parser` and
+consumed by :mod:`repro.cql.lowering`.  Every node keeps the 1-based
+source position of its first token so lowering errors can point at the
+query text, and expression nodes know how to render themselves back to
+a *canonical* text form — the lowering uses that rendering as the
+structural fingerprint of compiled closures, which is what lets two
+queries registered from the same text share physical operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+__all__ = [
+    "Expr",
+    "Literal",
+    "Ident",
+    "Unary",
+    "BinOp",
+    "Call",
+    "AggregateCall",
+    "WindowClause",
+    "StreamRef",
+    "BandMatchTerm",
+    "FuncMatchTerm",
+    "JoinClause",
+    "Conjunct",
+    "SelectItem",
+    "StarItem",
+    "AggregateItem",
+    "DeriveItem",
+    "ColumnItem",
+    "HavingClauseSyntax",
+    "SelectQuery",
+    "Query",
+]
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Expr:
+    line: int
+    column: int
+
+    def canonical(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Union[float, int, str]
+
+    def canonical(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Ident(Expr):
+    """An attribute reference, optionally qualified (``alias.attr``)."""
+
+    name: str
+    qualifier: Optional[str] = None
+
+    def canonical(self) -> str:
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str  # "-" | "NOT"
+    operand: Expr
+
+    def canonical(self) -> str:
+        if self.op == "NOT":
+            return f"(NOT {self.operand.canonical()})"
+        return f"({self.op}{self.operand.canonical()})"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str  # arithmetic, comparison, AND, OR
+    left: Expr
+    right: Expr
+
+    def canonical(self) -> str:
+        return f"({self.left.canonical()} {self.op} {self.right.canonical()})"
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    name: str
+    args: Tuple[Expr, ...]
+
+    def canonical(self) -> str:
+        return f"{self.name}({', '.join(a.canonical() for a in self.args)})"
+
+
+# ----------------------------------------------------------------------
+# Clauses
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AggregateCall:
+    """``SUM(weight)`` / ``COUNT(*)`` — function is lower-cased."""
+
+    line: int
+    column: int
+    function: str
+    argument: str  # attribute name, or "*" for COUNT(*)
+
+    def canonical(self) -> str:
+        return f"{self.function}({self.argument})"
+
+
+@dataclass(frozen=True)
+class WindowClause:
+    """A ``[...]`` window on a stream reference.
+
+    ``kind`` is ``"range"`` (time, sliding unless ``slide`` equals the
+    range, which makes it tumbling), ``"rows"`` (count, tumbling) or
+    ``"now"``.
+    """
+
+    line: int
+    column: int
+    kind: str
+    length: float = 0.0
+    slide: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class StreamRef:
+    line: int
+    column: int
+    name: str
+    alias: Optional[str] = None
+    window: Optional[WindowClause] = None
+
+
+@dataclass(frozen=True)
+class BandMatchTerm:
+    """``left.x ~= right.x WITHIN 4.0`` — band equality of uncertain attrs."""
+
+    line: int
+    column: int
+    left: Ident
+    right: Ident
+    width: float
+
+
+@dataclass(frozen=True)
+class FuncMatchTerm:
+    """``MATCH fn`` — a registered UDF ``fn(left_tuple, right_tuple) -> prob``."""
+
+    line: int
+    column: int
+    name: str
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    line: int
+    column: int
+    right: StreamRef
+    terms: Tuple[Union[BandMatchTerm, FuncMatchTerm], ...]
+    min_probability: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class Conjunct:
+    """One WHERE conjunct, optionally ``WITH PROBABILITY p``."""
+
+    expr: Expr
+    probability: Optional[float] = None
+
+
+# ----------------------------------------------------------------------
+# Select items
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SelectItem:
+    line: int
+    column: int
+
+
+@dataclass(frozen=True)
+class StarItem(SelectItem):
+    pass
+
+
+@dataclass(frozen=True)
+class AggregateItem(SelectItem):
+    call: AggregateCall = None  # type: ignore[assignment]
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class DeriveItem(SelectItem):
+    expr: Expr = None  # type: ignore[assignment]
+    name: str = ""
+    uncertain: bool = False
+
+
+@dataclass(frozen=True)
+class ColumnItem(SelectItem):
+    name: str = ""
+    qualifier: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class HavingClauseSyntax:
+    line: int
+    column: int
+    call: AggregateCall
+    threshold: float
+    min_probability: Optional[float] = None
+
+
+# ----------------------------------------------------------------------
+# Queries
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SelectQuery:
+    line: int
+    column: int
+    items: Tuple[SelectItem, ...]
+    source: StreamRef = None  # type: ignore[assignment]
+    join: Optional[JoinClause] = None
+    where: Tuple[Conjunct, ...] = ()
+    group_by: Optional[Expr] = None
+    having: Optional[HavingClauseSyntax] = None
+
+
+@dataclass(frozen=True)
+class Query:
+    """A full query: one SELECT, or several combined with UNION."""
+
+    selects: Tuple[SelectQuery, ...] = field(default_factory=tuple)
+
+    @property
+    def is_union(self) -> bool:
+        return len(self.selects) > 1

@@ -37,8 +37,10 @@ Quick taste::
 
 from .builder import Stream
 from .cost import CostModel, ExecutionChoice, StrategyChoice
+from .fingerprint import callable_fingerprint, node_fingerprint, plan_fingerprints
 from .nodes import (
     AggregateNode,
+    ColumnStat,
     DeriveNode,
     FilterNode,
     FusedSelectAggregateNode,
@@ -54,18 +56,20 @@ from .nodes import (
     UnionNode,
     explain_logical,
 )
-from .physical import FusedSelectAggregate
-from .planner import CompiledQuery, Planner, compile_streams
+from .physical import FusedBatchSegment, FusedSelectAggregate
+from .planner import CompiledQuery, NodeLowering, Planner, compile_streams
 from .rewrites import (
     DEFAULT_RULES,
     RewriteRule,
     RewriteTrace,
     apply_rewrites,
+    default_rules,
     fuse_adjacent_filters,
     fuse_select_into_aggregate,
     push_filter_below_derive,
     push_filter_below_join,
     reorder_cheap_filter_first,
+    reorder_selective_prob_filter_first,
 )
 
 __all__ = [
@@ -95,10 +99,18 @@ __all__ = [
     "RewriteTrace",
     "apply_rewrites",
     "DEFAULT_RULES",
+    "default_rules",
     "push_filter_below_derive",
     "push_filter_below_join",
     "fuse_adjacent_filters",
     "reorder_cheap_filter_first",
+    "reorder_selective_prob_filter_first",
     "fuse_select_into_aggregate",
     "FusedSelectAggregate",
+    "FusedBatchSegment",
+    "NodeLowering",
+    "ColumnStat",
+    "callable_fingerprint",
+    "node_fingerprint",
+    "plan_fingerprints",
 ]

@@ -35,6 +35,7 @@ from repro.streams.windows import WindowSpec
 
 from .nodes import (
     AggregateNode,
+    ColumnStat,
     DeriveNode,
     FilterNode,
     JoinNode,
@@ -49,6 +50,48 @@ from .nodes import (
 )
 
 __all__ = ["Stream"]
+
+
+def _column_stats(uncertain) -> Optional[tuple]:
+    """Extract :class:`ColumnStat` declarations from an ``uncertain`` mapping.
+
+    ``Stream.source`` accepts ``uncertain`` either as a plain iterable
+    of attribute names or as a mapping ``name -> declaration`` where a
+    declaration is ``None`` (name only), a :class:`ColumnStat`, a
+    ``(family, a, b)`` tuple, or a distribution-like object exposing
+    ``mean()``/``std()`` (e.g. a :class:`~repro.distributions.Gaussian`
+    describing the population of per-tuple means).
+    """
+    if not isinstance(uncertain, Mapping):
+        return None
+    stats = []
+    for name, decl in uncertain.items():
+        if decl is None:
+            continue
+        if isinstance(decl, ColumnStat):
+            if decl.attribute != name:
+                raise PlanError(
+                    f"column stat declared under {name!r} names attribute "
+                    f"{decl.attribute!r}"
+                )
+            stats.append(decl)
+        elif isinstance(decl, tuple) and len(decl) == 3:
+            family, a, b = decl
+            stats.append(ColumnStat(name, str(family), float(a), float(b)))
+        elif isinstance(decl, Distribution):
+            low, high = getattr(decl, "low", None), getattr(decl, "high", None)
+            if low is not None and high is not None:
+                stats.append(ColumnStat(name, "uniform", float(low), float(high)))
+            else:
+                stats.append(
+                    ColumnStat(name, "gaussian", float(decl.mean()), float(decl.std()))
+                )
+        else:
+            raise PlanError(
+                f"cannot interpret column declaration for {name!r}: {decl!r} "
+                "(use None, a ColumnStat, a (family, a, b) tuple or a distribution)"
+            )
+    return tuple(stats) or None
 
 
 def _as_comparison(comparison: Union[Comparison, str]) -> Comparison:
@@ -120,7 +163,11 @@ class Stream:
         tuples will carry, enabling schema checking across the plan;
         ``family`` declares the distribution family of the uncertain
         attributes for the cost model, and ``rate_hint`` (tuples/s)
-        lets it size time windows.
+        lets it size time windows.  ``uncertain`` may also be a mapping
+        ``name -> population declaration`` (a distribution, a
+        ``(family, a, b)`` tuple or a
+        :class:`~repro.plan.nodes.ColumnStat`), which additionally
+        gives the cost model per-column selectivity estimates.
         """
         return cls(
             SourceNode(
@@ -129,6 +176,7 @@ class Stream:
                 uncertain=None if uncertain is None else frozenset(uncertain),
                 family=family,
                 rate_hint=rate_hint,
+                stats=_column_stats(uncertain),
             )
         )
 
@@ -153,18 +201,22 @@ class Stream:
         predicate: Callable[..., bool],
         uses: Optional[Iterable[str]] = None,
         description: Optional[str] = None,
+        cost_hint: Optional[float] = None,
     ) -> "Stream":
         """Deterministic filter.
 
         Declaring ``uses`` (the attributes the predicate reads) lets
-        the planner push the filter below derives and reorder it ahead
-        of more expensive probabilistic filters.
+        the planner push the filter below derives and reorder it
+        against probabilistic filters; ``cost_hint`` declares the
+        predicate's per-tuple cost relative to a trivial comparison
+        (1.0) for the ordering rank.
         """
         node = FilterNode(
             input=self.node,
             predicate=predicate,
             uses=None if uses is None else frozenset(uses),
             description=description,
+            cost_hint=cost_hint,
         )
         return self._wrap(node, keep_staged=True)
 

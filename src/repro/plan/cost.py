@@ -24,10 +24,12 @@ counts physical operators that advertise ``supports_batch``.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core.aggregation import CFApproximationSum, CFInversionSum, CLTSum, SumStrategy
+from repro.core.selection import Comparison
 from repro.streams.operators.base import Operator
 from repro.streams.windows import (
     NowWindow,
@@ -35,6 +37,15 @@ from repro.streams.windows import (
     TumblingCountWindow,
     TumblingTimeWindow,
     WindowSpec,
+)
+
+from .nodes import (
+    ColumnStat,
+    DeriveNode,
+    FilterNode,
+    LogicalNode,
+    ProbFilterNode,
+    SourceNode,
 )
 
 __all__ = ["CostModel", "StrategyChoice", "ExecutionChoice"]
@@ -74,6 +85,9 @@ class CostModel:
         inversion_window_limit: int = 8,
         default_batch_size: int = 256,
         min_vectorized_fraction: float = 0.5,
+        det_filter_cost: float = 1.0,
+        prob_filter_cost: float = 4.0,
+        default_filter_selectivity: float = 0.5,
     ):
         if clt_window_threshold < 2:
             raise ValueError("clt_window_threshold must be at least 2")
@@ -83,10 +97,17 @@ class CostModel:
             raise ValueError("default_batch_size must be at least 1")
         if not 0.0 <= min_vectorized_fraction <= 1.0:
             raise ValueError("min_vectorized_fraction must lie in [0, 1]")
+        if det_filter_cost <= 0.0 or prob_filter_cost <= 0.0:
+            raise ValueError("filter costs must be positive")
+        if not 0.0 <= default_filter_selectivity <= 1.0:
+            raise ValueError("default_filter_selectivity must lie in [0, 1]")
         self.clt_window_threshold = clt_window_threshold
         self.inversion_window_limit = inversion_window_limit
         self.default_batch_size = default_batch_size
         self.min_vectorized_fraction = min_vectorized_fraction
+        self.det_filter_cost = det_filter_cost
+        self.prob_filter_cost = prob_filter_cost
+        self.default_filter_selectivity = default_filter_selectivity
 
     # ------------------------------------------------------------------
     # Window sizing
@@ -139,6 +160,103 @@ class CostModel:
             f"window of {size_desc}: CF approximation is the best "
             "speed/accuracy balance (Table 2)",
         )
+
+    # ------------------------------------------------------------------
+    # Filter selectivity
+    # ------------------------------------------------------------------
+    def column_stat_for(
+        self, node: LogicalNode, attribute: str
+    ) -> Optional[ColumnStat]:
+        """Find the source-declared statistics for ``attribute`` above ``node``.
+
+        Walks upstream through row-wise nodes (filters, derives that do
+        not introduce the attribute) to the :class:`SourceNode`.  Any
+        shape-changing node (join, union, aggregate, pipe) ends the
+        walk: the attribute's population there is not the declared one.
+        """
+        current: LogicalNode = node
+        while True:
+            if isinstance(current, SourceNode):
+                return current.stat_for(attribute)
+            if isinstance(current, DeriveNode):
+                if attribute in current.introduced:
+                    return None
+            elif not isinstance(current, (FilterNode, ProbFilterNode)):
+                return None
+            inputs = current.inputs
+            if len(inputs) != 1:
+                return None
+            current = inputs[0]
+
+    @staticmethod
+    def comparison_pass_rate(
+        stat: ColumnStat,
+        comparison: Comparison,
+        threshold: float,
+        upper: Optional[float] = None,
+    ) -> float:
+        """Pass-rate of a constant comparison under the declared CDF."""
+        if stat.family == "uniform":
+
+            def cdf(x: float) -> float:
+                return min(1.0, max(0.0, (x - stat.a) / (stat.b - stat.a)))
+
+        else:  # gaussian / normal
+
+            def cdf(x: float) -> float:
+                return 0.5 * (1.0 + math.erf((x - stat.a) / (stat.b * math.sqrt(2.0))))
+
+        if comparison is Comparison.GREATER:
+            rate = 1.0 - cdf(threshold)
+        elif comparison is Comparison.LESS:
+            rate = cdf(threshold)
+        else:  # BETWEEN
+            rate = cdf(upper if upper is not None else threshold) - cdf(threshold)
+        return min(1.0, max(0.0, rate))
+
+    def prob_filter_selectivity(self, node: ProbFilterNode) -> Optional[float]:
+        """Estimate a probabilistic filter's pass-rate, or None.
+
+        First-order estimate: the declared column statistics describe
+        how the attribute varies *across* tuples, per-tuple uncertainty
+        is taken as small against that spread, and upstream filters on
+        the same attribute are ignored — so the pass-rate is simply the
+        declared CDF evaluated at the comparison constants.
+        """
+        stat = self.column_stat_for(node.input, node.attribute)
+        if stat is None:
+            return None
+        return self.comparison_pass_rate(
+            stat, node.comparison, node.threshold, node.upper
+        )
+
+    def filter_cost(self, node: LogicalNode) -> float:
+        """Relative per-tuple evaluation cost of a row filter."""
+        if isinstance(node, FilterNode):
+            return node.cost_hint if node.cost_hint is not None else self.det_filter_cost
+        if isinstance(node, ProbFilterNode):
+            return self.prob_filter_cost
+        raise ValueError(f"not a row filter node: {type(node).__name__}")
+
+    def filter_selectivity(self, node: LogicalNode) -> float:
+        """Estimated pass-rate of a row filter (default when unknown)."""
+        if isinstance(node, ProbFilterNode):
+            estimate = self.prob_filter_selectivity(node)
+            if estimate is not None:
+                return estimate
+        return self.default_filter_selectivity
+
+    def prefer_first(self, first: LogicalNode, second: LogicalNode) -> bool:
+        """Should ``first`` run before ``second`` (both row filters)?
+
+        Classic predicate ordering: evaluating ``first`` then
+        ``second`` costs ``c1 + s1*c2`` per input tuple versus
+        ``c2 + s2*c1`` for the other order; the cheaper product of
+        selectivity × cost wins.  Ties keep the current order.
+        """
+        c1, s1 = self.filter_cost(first), self.filter_selectivity(first)
+        c2, s2 = self.filter_cost(second), self.filter_selectivity(second)
+        return c1 + s1 * c2 < c2 + s2 * c1
 
     # ------------------------------------------------------------------
     # Execution mode

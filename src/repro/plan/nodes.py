@@ -36,6 +36,7 @@ from repro.streams.windows import WindowSpec
 __all__ = [
     "PlanError",
     "StreamSchema",
+    "ColumnStat",
     "LogicalNode",
     "SourceNode",
     "DeriveNode",
@@ -109,6 +110,40 @@ class StreamSchema:
             )
 
 
+@dataclass(frozen=True)
+class ColumnStat:
+    """Declared population statistics for one source column.
+
+    ``family`` is ``"gaussian"`` (``a`` = mean, ``b`` = standard
+    deviation) or ``"uniform"`` (``a`` = low, ``b`` = high).  The cost
+    model uses these to estimate the pass-rate of constant-comparison
+    filters from the family's CDF (see
+    :meth:`~repro.plan.cost.CostModel.prob_filter_selectivity`).
+    """
+
+    attribute: str
+    family: str
+    a: float
+    b: float
+
+    def __post_init__(self) -> None:
+        family = self.family.lower()
+        object.__setattr__(self, "family", family)
+        if family not in ("gaussian", "normal", "uniform"):
+            raise PlanError(
+                f"column stat for {self.attribute!r}: unsupported family {family!r} "
+                "(use 'gaussian' or 'uniform')"
+            )
+        if family == "uniform" and self.b <= self.a:
+            raise PlanError(
+                f"column stat for {self.attribute!r}: uniform needs high > low"
+            )
+        if family in ("gaussian", "normal") and self.b <= 0.0:
+            raise PlanError(
+                f"column stat for {self.attribute!r}: gaussian needs a positive std"
+            )
+
+
 # ----------------------------------------------------------------------
 # Node types
 # ----------------------------------------------------------------------
@@ -167,6 +202,10 @@ class SourceNode(LogicalNode):
     rate_hint:
         Expected tuples per second; lets the cost model convert a time
         window into an expected window size.
+    stats:
+        Optional per-column population statistics
+        (:class:`ColumnStat`); the cost model estimates filter
+        selectivities from them.
     """
 
     name: str = "input"
@@ -174,6 +213,14 @@ class SourceNode(LogicalNode):
     uncertain: Optional[FrozenSet[str]] = None
     family: Optional[str] = None
     rate_hint: Optional[float] = None
+    stats: Optional[Tuple[ColumnStat, ...]] = None
+
+    def stat_for(self, attribute: str) -> Optional[ColumnStat]:
+        """Return the declared statistics for ``attribute``, if any."""
+        for stat in self.stats or ():
+            if stat.attribute == attribute:
+                return stat
+        return None
 
     def with_inputs(self, *inputs: LogicalNode) -> "SourceNode":
         if inputs:
@@ -238,13 +285,16 @@ class FilterNode(LogicalNode):
 
     ``uses`` optionally declares which attributes the predicate reads;
     the planner can only push a filter below a derive or reorder it
-    when the touched attributes are known.
+    when the touched attributes are known.  ``cost_hint`` declares the
+    predicate's per-tuple cost relative to a trivial comparison (1.0);
+    the cost model's filter-ordering rank uses it.
     """
 
     input: LogicalNode
     predicate: Callable[..., bool]
     uses: Optional[FrozenSet[str]] = None
     description: Optional[str] = None
+    cost_hint: Optional[float] = None
 
     @property
     def inputs(self) -> Tuple[LogicalNode, ...]:

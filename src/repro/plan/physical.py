@@ -7,15 +7,15 @@ planner rewrites, which have no stand-alone declarative surface.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, List, Optional, Sequence
 
 from repro.core.aggregation.operator import GroupByAggregate, UncertainAggregate
 from repro.core.selection import UncertainPredicate
 from repro.streams.batch import TupleBatch
-from repro.streams.operators.base import Operator
+from repro.streams.operators.base import Operator, OperatorError
 from repro.streams.tuples import StreamTuple
 
-__all__ = ["FusedSelectAggregate"]
+__all__ = ["FusedSelectAggregate", "FusedBatchSegment"]
 
 
 class FusedSelectAggregate(Operator):
@@ -69,3 +69,66 @@ class FusedSelectAggregate(Operator):
 
     def flush(self) -> Iterable[StreamTuple]:
         yield from self.aggregate.flush()
+
+
+class FusedBatchSegment(Operator):
+    """A linear chain of batch-capable boxes fused into one dispatch.
+
+    Produced by the planner's union fan-in lowering: every arrow in a
+    batch plan costs one scheduler round (stack push, counter and
+    timing bookkeeping, schema hook) per batch, and the chains feeding
+    a Union multiply those arrows.  This box runs its members'
+    ``process_batch`` kernels back-to-back inside a single
+    ``accept_batch``, so an entire branch pays one dispatch per batch.
+
+    Semantics are exactly those of the unfused chain: members run in
+    order on both paths, and ``flush`` cascades each member's
+    end-of-stream output through the members after it — the same
+    tuples, in the same order, the engine's topological flush would
+    deliver.  The members must all advertise ``supports_batch``; the
+    planner never fuses a per-tuple fallback box, so the segment's own
+    ``supports_batch = True`` stays honest.
+    """
+
+    supports_batch = True
+
+    def __init__(self, operators: Sequence[Operator], name: Optional[str] = None):
+        if len(operators) < 2:
+            raise OperatorError("a fused segment needs at least two member operators")
+        for op in operators:
+            if not op.supports_batch:
+                raise OperatorError(
+                    f"cannot fuse {op.name!r}: it runs the per-tuple fallback loop"
+                )
+        super().__init__(name=name or "Segment[" + " → ".join(op.name for op in operators) + "]")
+        self.operators: List[Operator] = list(operators)
+
+    def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
+        items = [item]
+        for op in self.operators:
+            nxt: List[StreamTuple] = []
+            for it in items:
+                nxt.extend(op.process(it))
+            if not nxt:
+                return
+            items = nxt
+        yield from items
+
+    def process_batch(self, batch: TupleBatch) -> TupleBatch:
+        for op in self.operators:
+            if not len(batch):
+                break
+            batch = op.process_batch(batch)
+            if not isinstance(batch, TupleBatch):
+                batch = TupleBatch(batch)
+        return batch
+
+    def flush(self) -> Iterable[StreamTuple]:
+        for i, op in enumerate(self.operators):
+            items = list(op.flush())
+            for later in self.operators[i + 1:]:
+                nxt: List[StreamTuple] = []
+                for it in items:
+                    nxt.extend(later.process(it))
+                items = nxt
+            yield from items

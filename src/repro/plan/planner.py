@@ -9,10 +9,14 @@ three phases:
    :class:`~repro.streams.operators.base.Operator`, consulting the
    :class:`~repro.plan.cost.CostModel` for aggregates without an
    explicit SUM strategy.  Shared logical nodes lower to one shared
-   physical box with fan-out arrows.
+   physical box with fan-out arrows.  The node-by-node lowering lives
+   in :class:`NodeLowering` so the continuous-query service
+   (:mod:`repro.service`) can reuse it box-by-box when attaching
+   queries to a running engine.
 3. **Wire** — build a :class:`~repro.streams.engine.StreamEngine`, pick
-   batch vs tuple execution (cost model again, unless pinned), and
-   attach one :class:`CollectSink` per plan output.
+   batch vs tuple execution (cost model again, unless pinned), fuse
+   union fan-in branches into :class:`FusedBatchSegment` boxes on the
+   batch path, and attach one :class:`CollectSink` per plan output.
 
 The result is a :class:`CompiledQuery`: push tuples in, ``finish()``,
 read results — plus ``explain()`` (logical plan, rewrites, strategy and
@@ -57,10 +61,10 @@ from .nodes import (
     UnionNode,
     topological_nodes,
 )
-from .physical import FusedSelectAggregate
-from .rewrites import DEFAULT_RULES, RewriteRule, RewriteTrace, apply_rewrites
+from .physical import FusedBatchSegment, FusedSelectAggregate
+from .rewrites import DEFAULT_RULES, RewriteRule, RewriteTrace, apply_rewrites, default_rules
 
-__all__ = ["Planner", "CompiledQuery", "compile_streams"]
+__all__ = ["Planner", "CompiledQuery", "NodeLowering", "compile_streams"]
 
 
 @dataclass(frozen=True)
@@ -69,6 +73,148 @@ class _StrategyDecision:
 
     node_label: str
     choice: StrategyChoice
+
+
+class NodeLowering:
+    """Node-by-node lowering of logical nodes onto physical operators.
+
+    One instance covers one set of ``nodes`` (a topologically ordered
+    plan): it propagates (family, rate_hint) source hints downstream so
+    the cost model can size windows anywhere in the plan, resolves SUM
+    strategies for aggregates that did not pin one, and records the
+    strategy decisions and expected window sizes the execution-mode
+    choice needs.  ``Planner.compile`` drives it over a whole plan;
+    :class:`repro.service.QuerySession` drives it per registered query,
+    skipping nodes whose physical box already exists.
+    """
+
+    def __init__(self, cost_model: CostModel, nodes: Sequence[LogicalNode]):
+        self.cost_model = cost_model
+        self.strategy_decisions: List[_StrategyDecision] = []
+        self.window_sizes: List[int] = []
+        self._piped_operator_ids: set = set()
+        # Propagate (family, rate_hint) hints from sources downstream.
+        self._hints: Dict[int, Tuple[Optional[str], Optional[float]]] = {}
+        for node in nodes:
+            if isinstance(node, SourceNode):
+                self._hints[id(node)] = (node.family, node.rate_hint)
+            elif node.inputs:
+                families = {self._hints.get(id(c), (None, None))[0] for c in node.inputs}
+                rates = [self._hints.get(id(c), (None, None))[1] for c in node.inputs]
+                family = families.pop() if len(families) == 1 else None
+                rate = rates[0] if len(rates) == 1 else None
+                self._hints[id(node)] = (family, rate)
+            else:
+                self._hints[id(node)] = (None, None)
+
+    # ------------------------------------------------------------------
+    # Aggregate helpers
+    # ------------------------------------------------------------------
+    def _resolve_strategy(self, node: AggregateNode, hint_id: int, label: str):
+        if node.strategy is not None or node.function not in ("sum", "avg"):
+            return node.strategy
+        family, rate = self._hints.get(hint_id, (None, None))
+        choice = self.cost_model.choose_sum_strategy(node.window, family, rate)
+        self.strategy_decisions.append(_StrategyDecision(label, choice))
+        return choice.strategy
+
+    def _note_window(self, node: AggregateNode, hint_id: int) -> None:
+        size = self.cost_model.expected_window_size(
+            node.window, self._hints.get(hint_id, (None, None))[1]
+        )
+        if size is None and isinstance(node.window, TumblingCountWindow):
+            size = node.window.size
+        if size is not None:
+            self.window_sizes.append(size)
+
+    def _build_aggregate(self, node: AggregateNode, hint_id: int) -> Operator:
+        strategy = self._resolve_strategy(node, hint_id, node.label())
+        self._note_window(node, hint_id)
+        common = dict(
+            window=node.window,
+            attribute=node.attribute,
+            strategy=strategy,
+            function=node.function,
+            output_attribute=node.output_attribute,
+            having=node.having,
+            check_independence=node.check_independence,
+        )
+        if node.key is not None:
+            return GroupByAggregate(key_function=node.key, **common)
+        return UncertainAggregate(**common)
+
+    # ------------------------------------------------------------------
+    # Node lowering
+    # ------------------------------------------------------------------
+    def source_operator(self, node: SourceNode) -> Operator:
+        """The physical entry box for a source: a named pass-through."""
+        return PassThroughOperator(name=f"source:{node.name}")
+
+    def lower(self, node: LogicalNode) -> Operator:
+        """Create the physical operator for one non-source node (unwired)."""
+        op: Operator
+        if isinstance(node, SourceNode):
+            raise PlanError("sources are wired, not lowered")  # pragma: no cover
+        elif isinstance(node, DeriveNode):
+            op = AttributeDeriver(
+                value_functions=dict(node.value_functions),
+                uncertain_functions=dict(node.uncertain_functions),
+            )
+        elif isinstance(node, FilterNode):
+            op = Filter(node.predicate, name=f"Filter[{node.description or 'λ'}]")
+        elif isinstance(node, ProbFilterNode):
+            op = ProbabilisticSelect(
+                node.predicate(),
+                min_probability=node.min_probability,
+                probability_attribute=node.annotate,
+            )
+        elif isinstance(node, FusedSelectAggregateNode):
+            aggregate = self._build_aggregate(
+                replace(node.aggregate, input=node.select), id(node)
+            )
+            op = FusedSelectAggregate(
+                node.select.predicate(),
+                node.select.min_probability,
+                aggregate,
+            )
+        elif isinstance(node, AggregateNode):
+            op = self._build_aggregate(node, id(node))
+        elif isinstance(node, JoinNode):
+            op = ProbabilisticJoin(
+                window_length=node.window_length,
+                match_probability=node.on,
+                min_probability=node.min_probability,
+                prefix_left=node.prefix_left,
+                prefix_right=node.prefix_right,
+                probability_attribute=node.probability_attribute,
+            )
+        elif isinstance(node, UnionNode):
+            op = UnionOperator()
+        elif isinstance(node, SummarizeNode):
+            op = SummarizeResults(
+                node.attribute,
+                confidence=node.confidence,
+                keep_distribution=node.keep_distribution,
+            )
+        elif isinstance(node, PipeNode):
+            op = node.operator
+            # Piped operators are stateful instances: wiring one into
+            # two plans (a second compile(), or two pipe() calls with
+            # the same instance) would cross-connect the engines.
+            if id(op) in self._piped_operator_ids:
+                raise PlanError(
+                    f"operator {op.name!r} is piped into this plan twice; "
+                    "each pipe() needs its own operator instance"
+                )
+            if op.downstream:
+                raise PlanError(
+                    f"piped operator {op.name!r} is already wired into a plan; "
+                    "a Stream containing pipe() can only be compiled once"
+                )
+            self._piped_operator_ids.add(id(op))
+        else:  # pragma: no cover - new node type not yet lowered
+            raise PlanError(f"no lowering for node type {type(node).__name__}")
+        return op
 
 
 class CompiledQuery:
@@ -192,8 +338,12 @@ class Planner:
         rules: Sequence[RewriteRule] = DEFAULT_RULES,
         cost_model: Optional[CostModel] = None,
     ):
-        self.rules = tuple(rules)
         self.cost_model = cost_model or CostModel()
+        if rules is DEFAULT_RULES and cost_model is not None:
+            # Bind the ordering rules to the caller's cost model so its
+            # selectivity estimates drive the filter-ordering ranks.
+            rules = default_rules(self.cost_model)
+        self.rules = tuple(rules)
 
     # ------------------------------------------------------------------
     # Phase 1: rewrite
@@ -223,137 +373,22 @@ class Planner:
             optimized, traces = plan, []
 
         nodes = topological_nodes(optimized.outputs)
-        strategy_decisions: List[_StrategyDecision] = []
-        window_sizes: List[int] = []
+        lowering = NodeLowering(self.cost_model, nodes)
         lowered: Dict[int, Operator] = {}
         operator_tags: List[Tuple[Operator, LogicalNode]] = []
         engine_sources: Dict[str, Operator] = {}
-        piped_operator_ids: set = set()
-
-        # Propagate (family, rate_hint) hints from sources downstream so
-        # the cost model can size windows anywhere in the plan.
-        hints: Dict[int, Tuple[Optional[str], Optional[float]]] = {}
-        for node in nodes:
-            if isinstance(node, SourceNode):
-                hints[id(node)] = (node.family, node.rate_hint)
-            elif node.inputs:
-                families = {hints.get(id(c), (None, None))[0] for c in node.inputs}
-                rates = [hints.get(id(c), (None, None))[1] for c in node.inputs]
-                family = families.pop() if len(families) == 1 else None
-                rate = rates[0] if len(rates) == 1 else None
-                hints[id(node)] = (family, rate)
-            else:
-                hints[id(node)] = (None, None)
-
-        def resolve_strategy(node: AggregateNode, hint_id: int, label: str):
-            if node.strategy is not None or node.function not in ("sum", "avg"):
-                return node.strategy
-            family, rate = hints.get(hint_id, (None, None))
-            choice = self.cost_model.choose_sum_strategy(node.window, family, rate)
-            strategy_decisions.append(_StrategyDecision(label, choice))
-            return choice.strategy
-
-        def note_window(node: AggregateNode, hint_id: int) -> None:
-            size = self.cost_model.expected_window_size(
-                node.window, hints.get(hint_id, (None, None))[1]
-            )
-            if size is None and isinstance(node.window, TumblingCountWindow):
-                size = node.window.size
-            if size is not None:
-                window_sizes.append(size)
-
-        def build_aggregate(node: AggregateNode, hint_id: int) -> Operator:
-            strategy = resolve_strategy(node, hint_id, node.label())
-            note_window(node, hint_id)
-            common = dict(
-                window=node.window,
-                attribute=node.attribute,
-                strategy=strategy,
-                function=node.function,
-                output_attribute=node.output_attribute,
-                having=node.having,
-                check_independence=node.check_independence,
-            )
-            if node.key is not None:
-                return GroupByAggregate(key_function=node.key, **common)
-            return UncertainAggregate(**common)
-
-        def lower(node: LogicalNode) -> Operator:
-            op: Operator
-            if isinstance(node, SourceNode):
-                raise PlanError("sources are wired, not lowered")  # pragma: no cover
-            elif isinstance(node, DeriveNode):
-                op = AttributeDeriver(
-                    value_functions=dict(node.value_functions),
-                    uncertain_functions=dict(node.uncertain_functions),
-                )
-            elif isinstance(node, FilterNode):
-                op = Filter(node.predicate, name=f"Filter[{node.description or 'λ'}]")
-            elif isinstance(node, ProbFilterNode):
-                op = ProbabilisticSelect(
-                    node.predicate(),
-                    min_probability=node.min_probability,
-                    probability_attribute=node.annotate,
-                )
-            elif isinstance(node, FusedSelectAggregateNode):
-                aggregate = build_aggregate(
-                    replace(node.aggregate, input=node.select), id(node)
-                )
-                op = FusedSelectAggregate(
-                    node.select.predicate(),
-                    node.select.min_probability,
-                    aggregate,
-                )
-            elif isinstance(node, AggregateNode):
-                op = build_aggregate(node, id(node))
-            elif isinstance(node, JoinNode):
-                op = ProbabilisticJoin(
-                    window_length=node.window_length,
-                    match_probability=node.on,
-                    min_probability=node.min_probability,
-                    prefix_left=node.prefix_left,
-                    prefix_right=node.prefix_right,
-                    probability_attribute=node.probability_attribute,
-                )
-            elif isinstance(node, UnionNode):
-                op = UnionOperator()
-            elif isinstance(node, SummarizeNode):
-                op = SummarizeResults(
-                    node.attribute,
-                    confidence=node.confidence,
-                    keep_distribution=node.keep_distribution,
-                )
-            elif isinstance(node, PipeNode):
-                op = node.operator
-                # Piped operators are stateful instances: wiring one into
-                # two plans (a second compile(), or two pipe() calls with
-                # the same instance) would cross-connect the engines.
-                if id(op) in piped_operator_ids:
-                    raise PlanError(
-                        f"operator {op.name!r} is piped into this plan twice; "
-                        "each pipe() needs its own operator instance"
-                    )
-                if op.downstream:
-                    raise PlanError(
-                        f"piped operator {op.name!r} is already wired into a plan; "
-                        "a Stream containing pipe() can only be compiled once"
-                    )
-                piped_operator_ids.add(id(op))
-            else:  # pragma: no cover - new node type not yet lowered
-                raise PlanError(f"no lowering for node type {type(node).__name__}")
-            operator_tags.append((op, node))
-            return op
 
         def physical(node: LogicalNode) -> Operator:
             cached = lowered.get(id(node))
             if cached is not None:
                 return cached
             if isinstance(node, SourceNode):
-                op = PassThroughOperator(name=f"source:{node.name}")
+                op = lowering.source_operator(node)
                 engine_sources[node.name] = op
                 operator_tags.append((op, node))
             else:
-                op = lower(node)
+                op = lowering.lower(node)
+                operator_tags.append((op, node))
                 if isinstance(node, JoinNode):
                     left_op = physical(node.left)
                     right_op = physical(node.right)
@@ -382,8 +417,12 @@ class Planner:
         source_ops = {id(op) for op in engine_sources.values()}
         real_boxes = [op for op, _ in operator_tags if id(op) not in source_ops]
         engine_mode, chosen_batch = self._choose_mode(
-            mode, batch_size, real_boxes, window_sizes
+            mode, batch_size, real_boxes, lowering.window_sizes
         )
+        if engine_mode.mode == "batch":
+            operator_tags = _fuse_union_branches(
+                operator_tags, engine_sources, sinks
+            )
         engine = StreamEngine(batch_size=chosen_batch if engine_mode.mode == "batch" else None)
         for name, entry in engine_sources.items():
             engine.add_source(name, entry)
@@ -401,7 +440,7 @@ class Planner:
             optimized_plan=optimized,
             rewrites=traces,
             execution=engine_mode,
-            strategy_decisions=strategy_decisions,
+            strategy_decisions=lowering.strategy_decisions,
             operator_tags=operator_tags,
         )
 
@@ -425,6 +464,82 @@ class Planner:
         if batch_size is not None and choice.mode == "batch":
             choice = ExecutionChoice("batch", batch_size, choice.reason)
         return choice, choice.batch_size
+
+
+def _fuse_union_branches(
+    operator_tags: List[Tuple[Operator, LogicalNode]],
+    engine_sources: Dict[str, Operator],
+    sinks: Dict[str, CollectSink],
+) -> List[Tuple[Operator, LogicalNode]]:
+    """Fuse each batch-capable linear chain feeding a Union into one box.
+
+    On the batch path, every arrow costs one scheduler dispatch and one
+    ``accept_batch`` round (validation, counters, timing) per batch —
+    and union fan-in multiplies arrows: each input branch is its own
+    chain of small boxes.  This pass rewires every maximal linear chain
+    of vectorised single-consumer boxes that ends in a Union input into
+    a single :class:`FusedBatchSegment`, which runs the member kernels
+    back-to-back inside one dispatch.
+
+    Only applied when every member advertises ``supports_batch`` (so
+    the fusion never hides a per-tuple fallback loop) and the chain is
+    truly linear (one upstream, one downstream per member); source
+    entry boxes and sinks are never fused so engine addressing and
+    result collection are untouched.
+    """
+    node_of: Dict[int, LogicalNode] = {id(op): node for op, node in operator_tags}
+    source_ids = {id(op) for op in engine_sources.values()}
+    sink_ids = {id(s) for s in sinks.values()}
+    upstream: Dict[int, List[Operator]] = {}
+    for op, _ in operator_tags:
+        for nxt in op.downstream:
+            upstream.setdefault(id(nxt), []).append(op)
+
+    def eligible(op: Operator) -> bool:
+        return (
+            id(op) not in source_ids
+            and id(op) not in sink_ids
+            and not isinstance(op, UnionOperator)
+            and op.supports_batch
+            and len(op.downstream) == 1
+            and len(upstream.get(id(op), ())) == 1
+        )
+
+    fused: List[Tuple[List[Operator], Operator]] = []  # (chain, union)
+    for op, _ in operator_tags:
+        if not isinstance(op, UnionOperator):
+            continue
+        for pred in list(upstream.get(id(op), ())):
+            chain: List[Operator] = []
+            cur = pred
+            while eligible(cur):
+                chain.insert(0, cur)
+                cur = upstream[id(cur)][0]
+            if len(chain) >= 2:
+                fused.append((chain, op))
+
+    if not fused:
+        return operator_tags
+
+    removed: set = set()
+    new_tags = list(operator_tags)
+    for chain, union_op in fused:
+        parent = upstream[id(chain[0])][0]
+        segment = FusedBatchSegment(chain)
+        # Sever the members from the graph and splice the segment in.
+        parent.disconnect(chain[0])
+        for member in chain:
+            for nxt in list(member.downstream):
+                member.disconnect(nxt)
+        parent.connect(segment)
+        segment.connect(union_op)
+        removed.update(id(member) for member in chain)
+        tail_node = node_of[id(chain[-1])]
+        index = next(
+            i for i, (op, _) in enumerate(new_tags) if id(op) == id(chain[-1])
+        )
+        new_tags.insert(index + 1, (segment, tail_node))
+    return [(op, node) for op, node in new_tags if id(op) not in removed]
 
 
 def compile_streams(

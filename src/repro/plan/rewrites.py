@@ -24,11 +24,19 @@ The rules:
     one box and one Python call per tuple instead of two.
 
 ``reorder_cheap_filter_first``
-    ``Filter(ProbFilter(x))`` → ``ProbFilter(Filter(x))``: the cheap
-    deterministic predicate runs before the tail-probability
-    evaluation.  Both are order-preserving row filters, so outputs are
-    identical; the erf/CDF work is skipped for rows the cheap predicate
-    rejects.
+    ``Filter(ProbFilter(x))`` → ``ProbFilter(Filter(x))`` when the cost
+    model's selectivity × cost rank favours it.  Both are
+    order-preserving row filters, so outputs are identical; with the
+    default costs (a deterministic predicate is cheap against an
+    erf/CDF evaluation) the deterministic filter runs first unless its
+    declared ``cost_hint`` is high and the probabilistic filter is
+    estimated to be very selective.
+
+``reorder_selective_prob_filter_first``
+    ``ProbFilter(ProbFilter(x))`` → the more *selective* filter first,
+    when both pass-rates can be estimated from declared column
+    statistics (both filters cost one CDF evaluation, so selectivity
+    alone decides).
 
 ``fuse_select_into_aggregate``
     ``Aggregate(ProbFilter(x))`` → one fused box computing the
@@ -46,6 +54,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .cost import CostModel
 from .nodes import (
     AggregateNode,
     DeriveNode,
@@ -63,10 +72,12 @@ __all__ = [
     "RewriteRule",
     "apply_rewrites",
     "DEFAULT_RULES",
+    "default_rules",
     "push_filter_below_derive",
     "push_filter_below_join",
     "fuse_adjacent_filters",
     "reorder_cheap_filter_first",
+    "reorder_selective_prob_filter_first",
     "fuse_select_into_aggregate",
 ]
 
@@ -172,24 +183,70 @@ def _fuse_adjacent_filters(
     return merged, f"adjacent filters '{inner_desc}' and '{outer_desc}' fused into one box"
 
 
-def _reorder_cheap_filter_first(
-    node: LogicalNode, consumers: Dict[int, int]
-) -> Optional[Tuple[LogicalNode, str]]:
-    if not isinstance(node, FilterNode) or node.uses is None:
-        return None
-    child = node.input
-    if not isinstance(child, ProbFilterNode) or consumers.get(id(child), 0) > 1:
-        return None
-    if child.annotate is not None and child.annotate in node.uses:
-        # The deterministic predicate reads the probability annotation;
-        # it cannot run before the annotation exists.
-        return None
-    pushed = replace(node, input=child.input)
-    return (
-        replace(child, input=pushed),
-        f"cheap deterministic filter on {{{', '.join(sorted(node.uses))}}} now runs "
-        f"before the probabilistic filter on {child.attribute!r}",
-    )
+def _make_reorder_cheap_filter_first(cost_model: CostModel):
+    def rule(
+        node: LogicalNode, consumers: Dict[int, int]
+    ) -> Optional[Tuple[LogicalNode, str]]:
+        if not isinstance(node, FilterNode) or node.uses is None:
+            return None
+        child = node.input
+        if not isinstance(child, ProbFilterNode) or consumers.get(id(child), 0) > 1:
+            return None
+        if child.annotate is not None and child.annotate in node.uses:
+            # The deterministic predicate reads the probability
+            # annotation; it cannot run before the annotation exists.
+            return None
+        if not cost_model.prefer_first(node, child):
+            # Selectivity × cost says the probabilistic filter already
+            # sits in the cheaper position (e.g. an expensive
+            # deterministic predicate behind a highly selective filter).
+            return None
+        pushed = replace(node, input=child.input)
+        selectivity = cost_model.prob_filter_selectivity(child)
+        basis = (
+            "structural default"
+            if selectivity is None
+            else f"estimated pass-rate {selectivity:.3f}"
+        )
+        return (
+            replace(child, input=pushed),
+            f"deterministic filter on {{{', '.join(sorted(node.uses))}}} now runs "
+            f"before the probabilistic filter on {child.attribute!r} ({basis})",
+        )
+
+    return rule
+
+
+def _make_reorder_selective_prob_filter_first(cost_model: CostModel):
+    def rule(
+        node: LogicalNode, consumers: Dict[int, int]
+    ) -> Optional[Tuple[LogicalNode, str]]:
+        if not isinstance(node, ProbFilterNode):
+            return None
+        child = node.input
+        if not isinstance(child, ProbFilterNode) or consumers.get(id(child), 0) > 1:
+            return None
+        # Swapping must not change what either predicate reads or what
+        # annotation survives: skip when either filter's attribute is
+        # the other's annotation, or both annotate the same attribute
+        # (the later write wins, so order is observable).
+        if node.attribute in (child.annotate,) or child.attribute in (node.annotate,):
+            return None
+        if node.annotate is not None and node.annotate == child.annotate:
+            return None
+        inner = cost_model.prob_filter_selectivity(child)
+        outer_node = replace(node, input=child.input)  # selectivity vs the source
+        outer = cost_model.prob_filter_selectivity(outer_node)
+        if inner is None or outer is None or outer >= inner:
+            return None
+        swapped = replace(child, input=outer_node)
+        return (
+            swapped,
+            f"probabilistic filter on {node.attribute!r} (pass-rate {outer:.3f}) "
+            f"now runs before the one on {child.attribute!r} (pass-rate {inner:.3f})",
+        )
+
+    return rule
 
 
 def _fuse_select_into_aggregate(
@@ -222,22 +279,37 @@ def _fuse_select_into_aggregate(
 push_filter_below_derive = RewriteRule("push_filter_below_derive", _push_filter_below_derive)
 push_filter_below_join = RewriteRule("push_filter_below_join", _push_filter_below_join)
 fuse_adjacent_filters = RewriteRule("fuse_adjacent_filters", _fuse_adjacent_filters)
-reorder_cheap_filter_first = RewriteRule(
-    "reorder_cheap_filter_first", _reorder_cheap_filter_first
-)
 fuse_select_into_aggregate = RewriteRule(
     "fuse_select_into_aggregate", _fuse_select_into_aggregate
 )
 
-#: Rule order matters only for the trace, not for correctness: pushdowns
-#: and reorders run before fusions so fused boxes see final positions.
-DEFAULT_RULES: Tuple[RewriteRule, ...] = (
-    push_filter_below_derive,
-    push_filter_below_join,
-    reorder_cheap_filter_first,
-    fuse_adjacent_filters,
-    fuse_select_into_aggregate,
-)
+
+def default_rules(cost_model: Optional[CostModel] = None) -> Tuple[RewriteRule, ...]:
+    """The default rule set, with ordering rules bound to ``cost_model``.
+
+    Rule order matters only for the trace, not for correctness:
+    pushdowns and reorders run before fusions so fused boxes see final
+    positions.
+    """
+    model = cost_model or CostModel()
+    return (
+        push_filter_below_derive,
+        push_filter_below_join,
+        RewriteRule(
+            "reorder_cheap_filter_first", _make_reorder_cheap_filter_first(model)
+        ),
+        RewriteRule(
+            "reorder_selective_prob_filter_first",
+            _make_reorder_selective_prob_filter_first(model),
+        ),
+        fuse_adjacent_filters,
+        fuse_select_into_aggregate,
+    )
+
+
+DEFAULT_RULES: Tuple[RewriteRule, ...] = default_rules()
+reorder_cheap_filter_first = DEFAULT_RULES[2]
+reorder_selective_prob_filter_first = DEFAULT_RULES[3]
 
 #: Upper bound on rule applications per node, against pathological
 #: rule sets that keep rewriting each other's output.

@@ -1,0 +1,12 @@
+"""Continuous-query service layer.
+
+:class:`QuerySession` hosts many named continuous queries — CQL text
+(:mod:`repro.cql`) or fluent :class:`~repro.plan.Stream` pipelines — in
+one shared :class:`~repro.streams.engine.StreamEngine`, with
+cross-query subplan sharing, dynamic register/drop/pause/resume, and
+per-query sinks and statistics.  See :mod:`repro.service.session`.
+"""
+
+from .session import BoxReport, QuerySession, RegisteredQuery, ServiceError
+
+__all__ = ["QuerySession", "RegisteredQuery", "BoxReport", "ServiceError"]

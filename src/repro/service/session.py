@@ -1,0 +1,611 @@
+"""`QuerySession`: a continuous-query service over one shared engine.
+
+The paper's setting is a long-running stream processor that *hosts*
+declarative continuous queries: users register CQL text (or fluent
+:class:`~repro.plan.Stream` pipelines) against named input streams,
+results accumulate per query, and queries come and go while the engine
+keeps running.  A :class:`QuerySession` provides exactly that surface:
+
+>>> session = QuerySession()
+>>> session.create_stream("rfid", uncertain=("weight",), family="gaussian")
+>>> session.register("q1", "SELECT SUM(weight) FROM rfid [ROWS 100]")
+>>> session.push_many("rfid", tuples)
+>>> session.results("q1")
+
+**Cross-query subplan sharing.**  Registration compiles the query's
+optimized logical plan node-by-node, but before lowering a node it
+looks its *structural fingerprint* (:mod:`repro.plan.fingerprint`) up
+in the session-wide box table: if another registered query already
+lowered an identical subtree — same source, same filters, same window,
+in the same order — the existing physical operator chain is reused and
+the new query's sink simply taps it.  The shared prefix then executes
+**once** per input tuple no matter how many queries consume it
+(visible in :meth:`explain` and :meth:`statistics`).  Boxes are
+ref-counted by owning query; :meth:`drop` detaches only the boxes the
+dropped query owned exclusively, so the remaining queries keep their
+operator state (window contents, join buffers) untouched.
+
+**Dynamic attach/detach.**  Queries may be registered and dropped
+while data is flowing; a newly attached query starts observing tuples
+pushed after its registration (shared stateful boxes contribute their
+existing state, exactly as a shared handle would in one plan).
+
+**Pause/resume** gate a query's *sink*: while paused, results arriving
+at the sink are discarded (and counted), but shared upstream boxes
+keep running for the other queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.cql.lowering import lower_query
+from repro.plan.builder import Stream
+from repro.plan.fingerprint import plan_fingerprints
+from repro.plan.nodes import (
+    JoinNode,
+    LogicalNode,
+    LogicalPlan,
+    SourceNode,
+    topological_nodes,
+)
+from repro.plan.planner import NodeLowering, Planner
+from repro.plan.rewrites import RewriteTrace
+from repro.streams.batch import TupleBatch
+from repro.streams.engine import OperatorStats, StreamEngine
+from repro.streams.operators.base import Operator
+from repro.streams.operators.basic import CollectSink
+from repro.streams.tuples import StreamTuple
+
+__all__ = ["QuerySession", "RegisteredQuery", "ServiceError", "BoxReport"]
+
+
+class ServiceError(Exception):
+    """Raised for query-service misuse (duplicate names, bad drops, ...)."""
+
+
+class _QuerySink(CollectSink):
+    """Per-query result sink with a pause gate and an optional callback."""
+
+    def __init__(self, name: str, callback: Optional[Callable[[StreamTuple], None]] = None):
+        super().__init__(name=name)
+        self.paused = False
+        self.dropped = 0
+        self._callback = callback
+
+    def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
+        if self.paused:
+            self.dropped += 1
+            return ()
+        self.results.append(item)
+        if self._callback is not None:
+            self._callback(item)
+        return ()
+
+    @property
+    def supports_batch(self) -> bool:  # type: ignore[override]
+        return self._keeps_process_of(_QuerySink)
+
+    def process_batch(self, batch: TupleBatch) -> TupleBatch:
+        if not self.supports_batch:
+            return super().process_batch(batch)
+        if self.paused:
+            self.dropped += len(batch)
+            return TupleBatch()
+        self.results.extend(batch)
+        if self._callback is not None:
+            for item in batch:
+                self._callback(item)
+        return TupleBatch()
+
+
+@dataclass
+class _SharedBox:
+    """One physical box plus the queries that own (use) it."""
+
+    op: Operator
+    node: LogicalNode  # representative logical node (first registrant's)
+    owners: List[str]
+    #: Arrows wired *into* this box: (parent operator, connect target).
+    #: The target differs from ``op`` only for joins, whose inputs go
+    #: through port adapters.
+    inbound: List[Tuple[Operator, Operator]]
+
+    def add_owner(self, name: str) -> None:
+        if name not in self.owners:
+            self.owners.append(name)
+
+
+@dataclass
+class _Registered:
+    name: str
+    text: Optional[str]
+    plan: LogicalPlan
+    optimized: LogicalPlan
+    rewrites: List[RewriteTrace]
+    fingerprints: List[Hashable]  # topo order over the optimized plan
+    sink: _QuerySink
+    root_fingerprint: Hashable
+    strategy_decisions: list
+
+
+@dataclass(frozen=True)
+class BoxReport:
+    """One physical box in a statistics report, with its owners."""
+
+    stats: OperatorStats
+    owners: Tuple[str, ...]
+
+    @property
+    def shared(self) -> bool:
+        return len(self.owners) > 1
+
+
+class RegisteredQuery:
+    """Handle returned by :meth:`QuerySession.register`."""
+
+    def __init__(self, session: "QuerySession", name: str):
+        self._session = session
+        self.name = name
+
+    @property
+    def results(self) -> List[StreamTuple]:
+        return self._session.results(self.name)
+
+    def take(self) -> List[StreamTuple]:
+        return self._session.take(self.name)
+
+    def explain(self) -> str:
+        return self._session.explain(self.name)
+
+    def statistics(self) -> List[BoxReport]:
+        return self._session.statistics(self.name)
+
+    def pause(self) -> None:
+        self._session.pause(self.name)
+
+    def resume(self) -> None:
+        self._session.resume(self.name)
+
+    def drop(self) -> None:
+        self._session.drop(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"RegisteredQuery({self.name!r})"
+
+
+class QuerySession:
+    """Hosts many named continuous queries in one shared engine.
+
+    Parameters
+    ----------
+    planner:
+        The :class:`~repro.plan.Planner` used to optimize and lower
+        registered queries (rewrites, cost model).
+    batch_size:
+        When set, :meth:`push_many` runs the engine's batch path with
+        this chunk size; ``None`` (default) runs tuple-at-a-time.
+    optimize:
+        Apply the planner's rewrite rules to registered queries.
+    functions:
+        UDFs available to every registered CQL query (individual
+        ``register`` calls can add more).
+    """
+
+    def __init__(
+        self,
+        planner: Optional[Planner] = None,
+        batch_size: Optional[int] = None,
+        optimize: bool = True,
+        functions: Optional[Mapping[str, Callable]] = None,
+    ):
+        self.engine = StreamEngine(batch_size=batch_size)
+        self._planner = planner or Planner()
+        self._optimize = optimize
+        self._functions: Dict[str, Callable] = dict(functions or {})
+        self._streams: Dict[str, SourceNode] = {}  # locked source declarations
+        self._declared: set = set()  # names declared via create_stream
+        self._entries: Dict[str, Operator] = {}  # engine entry ops
+        self._boxes: Dict[Hashable, _SharedBox] = {}
+        self._queries: Dict[str, _Registered] = {}
+
+    # ------------------------------------------------------------------
+    # Stream & function registry
+    # ------------------------------------------------------------------
+    def create_stream(
+        self,
+        name: str,
+        values: Optional[Iterable[str]] = None,
+        uncertain=None,
+        family: Optional[str] = None,
+        rate_hint: Optional[float] = None,
+    ) -> Stream:
+        """Declare a named input stream; returns a fluent handle on it.
+
+        Declared streams give CQL queries schema checking and
+        uncertain-attribute classification, give the cost model its
+        family/rate/selectivity hints, and persist across query drops.
+        The returned :class:`~repro.plan.Stream` handle can be extended
+        fluently and registered — the programmatic escape hatch.
+        """
+        if name in self._streams:
+            raise ServiceError(f"stream {name!r} is already declared")
+        handle = Stream.source(
+            name, values=values, uncertain=uncertain, family=family, rate_hint=rate_hint
+        )
+        self._streams[name] = handle.node  # type: ignore[assignment]
+        self._declared.add(name)
+        return handle
+
+    def create_function(self, name: str, fn: Callable) -> None:
+        """Register a UDF usable from every CQL query in this session."""
+        if not callable(fn):
+            raise ServiceError(f"function {name!r} must be callable")
+        self._functions[name] = fn
+
+    @property
+    def streams(self) -> List[str]:
+        """Names of all known input streams (declared or adopted)."""
+        return sorted(self._streams)
+
+    @property
+    def queries(self) -> List[str]:
+        """Names of the currently registered queries."""
+        return sorted(self._queries)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        query: Union[str, Stream, LogicalPlan],
+        functions: Optional[Mapping[str, Callable]] = None,
+        on_result: Optional[Callable[[StreamTuple], None]] = None,
+    ) -> RegisteredQuery:
+        """Register a continuous query under ``name`` and start it.
+
+        ``query`` is CQL text, a fluent :class:`~repro.plan.Stream`, or
+        a single-output :class:`~repro.plan.LogicalPlan`.  Subplans
+        structurally identical to already-registered queries attach to
+        the existing physical boxes instead of new ones.
+        ``on_result`` is called for every tuple the query emits (in
+        addition to collection in :meth:`results`).
+        """
+        if name in self._queries:
+            raise ServiceError(f"a query named {name!r} is already registered")
+        text: Optional[str] = None
+        if isinstance(query, str):
+            text = query
+            merged = dict(self._functions)
+            merged.update(functions or {})
+            plan = lower_query(query, sources=self._streams, functions=merged)
+        elif isinstance(query, Stream):
+            plan = query.plan()
+        elif isinstance(query, LogicalPlan):
+            plan = query
+            plan.validate()
+        else:
+            raise ServiceError(
+                f"register() takes CQL text, a Stream or a LogicalPlan, "
+                f"got {type(query).__name__}"
+            )
+        if len(plan.outputs) != 1:
+            raise ServiceError(
+                "register one query per output; use several register() calls "
+                "for multi-output plans"
+            )
+        if self._optimize:
+            optimized, traces = self._planner.optimize(plan)
+            optimized.validate()
+        else:
+            optimized, traces = plan, []
+
+        self._adopt_sources(optimized)
+        overrides = {src: ("session-source", src) for src in self._streams}
+        fingerprints = plan_fingerprints(optimized.outputs, source_overrides=overrides)
+
+        nodes = topological_nodes(optimized.outputs)
+        lowering = NodeLowering(self._planner.cost_model, nodes)
+        created: List[Hashable] = []
+        try:
+            for node in nodes:
+                self._attach_node(node, fingerprints, lowering, name, created)
+            sink = _QuerySink(name=f"sink:{name}", callback=on_result)
+            root = optimized.outputs[0]
+            self._boxes[fingerprints[id(root)]].op.connect(sink)
+            self.engine.register(sink)
+            self.engine.validate()
+        except Exception:
+            self._rollback(name, created)
+            raise
+
+        self._queries[name] = _Registered(
+            name=name,
+            text=text,
+            plan=plan,
+            optimized=optimized,
+            rewrites=list(traces),
+            fingerprints=[fingerprints[id(n)] for n in nodes],
+            sink=sink,
+            root_fingerprint=fingerprints[id(root)],
+            strategy_decisions=list(lowering.strategy_decisions),
+        )
+        return RegisteredQuery(self, name)
+
+    def _adopt_sources(self, plan: LogicalPlan) -> None:
+        """Lock in (or check against) the session's source declarations."""
+        for source in plan.sources:
+            locked = self._streams.get(source.name)
+            if locked is None:
+                self._streams[source.name] = source
+                continue
+            if locked is source:
+                continue
+            open_decl = (
+                source.values is None
+                and source.uncertain is None
+                and source.family is None
+                and source.rate_hint is None
+                and source.stats is None
+            )
+            if open_decl:
+                continue  # an undeclared reference adopts the locked schema
+            fp_new = next(iter(plan_fingerprints((source,)).values()))
+            fp_old = next(iter(plan_fingerprints((locked,)).values()))
+            if fp_new != fp_old:
+                raise ServiceError(
+                    f"stream {source.name!r} is already declared with a "
+                    "different schema; reuse the session's declaration "
+                    "(see QuerySession.create_stream)"
+                )
+
+    def _attach_node(
+        self,
+        node: LogicalNode,
+        fingerprints: Dict[int, Hashable],
+        lowering: NodeLowering,
+        owner: str,
+        created: List[Hashable],
+    ) -> None:
+        fingerprint = fingerprints[id(node)]
+        box = self._boxes.get(fingerprint)
+        if box is not None:
+            box.add_owner(owner)
+            return
+        if isinstance(node, SourceNode):
+            entry = self._entries.get(node.name)
+            if entry is None:
+                entry = lowering.source_operator(node)
+                self.engine.add_source(node.name, entry)
+                self._entries[node.name] = entry
+            self._boxes[fingerprint] = _SharedBox(entry, node, [owner], [])
+            created.append(fingerprint)
+            return
+        op = lowering.lower(node)
+        inbound: List[Tuple[Operator, Operator]] = []
+        if isinstance(node, JoinNode):
+            left_op = self._boxes[fingerprints[id(node.left)]].op
+            right_op = self._boxes[fingerprints[id(node.right)]].op
+            left_port, right_port = op.left_port(), op.right_port()
+            left_op.connect(left_port)
+            right_op.connect(right_port)
+            inbound = [(left_op, left_port), (right_op, right_port)]
+        else:
+            for child in node.inputs:
+                child_op = self._boxes[fingerprints[id(child)]].op
+                child_op.connect(op)
+                inbound.append((child_op, op))
+        self.engine.register(op)
+        self._boxes[fingerprint] = _SharedBox(op, node, [owner], inbound)
+        created.append(fingerprint)
+
+    def _rollback(self, owner: str, created: List[Hashable]) -> None:
+        """Undo a failed registration: detach everything it created."""
+        for fingerprint in reversed(created):
+            box = self._boxes.get(fingerprint)
+            if box is None:
+                continue
+            if box.owners == [owner] or not box.owners:
+                if isinstance(box.node, SourceNode) and box.node.name in self._declared:
+                    # Streams declared via create_stream keep their entry
+                    # box and schema declaration, exactly as in drop().
+                    box.owners = []
+                else:
+                    self._detach_box(fingerprint, box)
+            else:
+                box.owners = [o for o in box.owners if o != owner]
+        # Boxes that pre-existed may have gained this owner before the
+        # failure; scrub it.
+        for box in self._boxes.values():
+            box.owners = [o for o in box.owners if o != owner]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _query(self, name: str) -> _Registered:
+        try:
+            return self._queries[name]
+        except KeyError as exc:
+            known = ", ".join(sorted(self._queries)) or "none"
+            raise ServiceError(
+                f"no query named {name!r} is registered (registered: {known})"
+            ) from exc
+
+    def drop(self, name: str) -> None:
+        """Drop a query: detach its sink and exclusively-owned boxes.
+
+        Boxes shared with other queries lose this query as an owner but
+        keep running with their state; the dropped query's exclusive
+        suffix is disconnected from them and unregistered.  Declared
+        streams persist even when their last query is dropped.
+        """
+        query = self._query(name)
+        root_box = self._boxes[query.root_fingerprint]
+        root_box.op.disconnect(query.sink)
+        self.engine.unregister(query.sink)
+        for fingerprint in reversed(query.fingerprints):
+            box = self._boxes.get(fingerprint)
+            if box is None:
+                continue
+            box.owners = [o for o in box.owners if o != name]
+            if not box.owners:
+                if isinstance(box.node, SourceNode) and box.node.name in self._declared:
+                    continue  # declared streams persist unowned
+                self._detach_box(fingerprint, box)
+        del self._queries[name]
+
+    def _detach_box(self, fingerprint: Hashable, box: _SharedBox) -> None:
+        for parent, target in box.inbound:
+            parent.disconnect(target)
+        if isinstance(box.node, SourceNode):
+            self.engine.remove_source(box.node.name)
+            self._entries.pop(box.node.name, None)
+            self._streams.pop(box.node.name, None)
+        else:
+            self.engine.unregister(box.op)
+        self._boxes.pop(fingerprint, None)
+
+    def pause(self, name: str) -> None:
+        """Stop collecting this query's results (discarded while paused)."""
+        self._query(name).sink.paused = True
+
+    def resume(self, name: str) -> None:
+        """Resume collecting this query's results."""
+        self._query(name).sink.paused = False
+
+    def is_paused(self, name: str) -> bool:
+        return self._query(name).sink.paused
+
+    # ------------------------------------------------------------------
+    # Data flow
+    # ------------------------------------------------------------------
+    def _check_source(self, source: str) -> None:
+        if source not in self._entries:
+            known = ", ".join(sorted(self._entries)) or "none"
+            raise ServiceError(
+                f"unknown source {source!r} (known: {known}); register a query "
+                "reading it first"
+            )
+
+    def push(self, source: str, item: StreamTuple) -> None:
+        """Push one tuple into a named source (tuple-at-a-time path)."""
+        self._check_source(source)
+        self.engine.push(source, item)
+
+    def push_many(
+        self,
+        source: str,
+        items: Iterable[StreamTuple],
+        batch_size: Optional[int] = None,
+    ) -> None:
+        """Push many tuples (batch path when the session has a batch size)."""
+        self._check_source(source)
+        self.engine.push_many(source, items, batch_size=batch_size)
+
+    def flush(self) -> None:
+        """Close out all partial windows (emits their pending results).
+
+        The session keeps running: this is a checkpoint, not a
+        shutdown — pushing more tuples afterwards starts fresh windows.
+        """
+        self.engine.finish()
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def results(self, name: str) -> List[StreamTuple]:
+        """All results collected for a query so far."""
+        return list(self._query(name).sink.results)
+
+    def take(self, name: str) -> List[StreamTuple]:
+        """Drain and return a query's collected results."""
+        sink = self._query(name).sink
+        drained = list(sink.results)
+        sink.results.clear()
+        return drained
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def statistics(self, name: Optional[str] = None) -> List[BoxReport]:
+        """Per-box statistics with ownership.
+
+        With a query name: that query's boxes in dataflow order (shared
+        boxes report *all* their owners, so a shared chain is visible
+        as one box with several owners rather than duplicated
+        counters).  Without: every box in the session.
+        """
+        if name is None:
+            boxes = list(self._boxes.values())
+        else:
+            query = self._query(name)
+            boxes = [
+                self._boxes[fp] for fp in query.fingerprints if fp in self._boxes
+            ]
+        return [
+            BoxReport(
+                stats=OperatorStats(
+                    name=box.op.name,
+                    tuples_in=box.op.tuples_in,
+                    tuples_out=box.op.tuples_out,
+                    batches_in=box.op.batches_in,
+                    seconds=box.op.processing_seconds,
+                ),
+                owners=tuple(box.owners),
+            )
+            for box in boxes
+        ]
+
+    def explain(self, name: Optional[str] = None) -> str:
+        """Explain one query (with sharing annotations) or the session."""
+        if name is not None:
+            return self._explain_query(self._query(name))
+        lines = ["QuerySession", "============"]
+        lines.append(f"streams: {', '.join(self.streams) or '(none)'}")
+        lines.append(f"queries: {', '.join(self.queries) or '(none)'}")
+        shared = [box for box in self._boxes.values() if len(box.owners) > 1]
+        lines.append(f"physical boxes: {len(self._boxes)} ({len(shared)} shared)")
+        for box in shared:
+            lines.append(f"- {box.op.name} shared by {', '.join(sorted(box.owners))}")
+        return "\n".join(lines)
+
+    def _explain_query(self, query: _Registered) -> str:
+        lines = [f"query {query.name}"]
+        if query.sink.paused:
+            lines[0] += " (paused)"
+        lines.append("=" * len(lines[0]))
+        if query.text is not None:
+            lines.append(query.text.strip())
+            lines.append("")
+        lines.append("Logical plan")
+        lines.append("------------")
+        lines.append(query.optimized.explain())
+        lines.append("")
+        lines.append("Rewrites")
+        lines.append("--------")
+        if query.rewrites:
+            lines.extend(f"- {t.rule}: {t.description}" for t in query.rewrites)
+        else:
+            lines.append("(none applied)")
+        if query.strategy_decisions:
+            lines.append("")
+            lines.append("Cost model")
+            lines.append("----------")
+            for decision in query.strategy_decisions:
+                lines.append(
+                    f"- strategy for {decision.node_label}: "
+                    f"{decision.choice.strategy.name} ({decision.choice.reason})"
+                )
+        lines.append("")
+        lines.append("Physical boxes")
+        lines.append("--------------")
+        for fingerprint in query.fingerprints:
+            box = self._boxes.get(fingerprint)
+            if box is None:  # pragma: no cover - defensive
+                continue
+            others = sorted(o for o in box.owners if o != query.name)
+            tag = f"shared with {', '.join(others)}" if others else "exclusive"
+            lines.append(f"- {box.op.name} <- {box.node.label()}  [{tag}]")
+        return "\n".join(lines)

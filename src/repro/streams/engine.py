@@ -108,6 +108,27 @@ class StreamEngine:
                 self._operator_ids.add(id(op))
                 self._operators.append(op)
 
+    def unregister(self, *operators: Operator) -> None:
+        """Forget operators (dynamic detach of a dropped query's boxes).
+
+        Only removes the operators from the engine's bookkeeping; the
+        caller is responsible for first disconnecting any arrows that
+        still point at them from surviving operators (otherwise
+        :meth:`_discover` finds them again through the graph).
+        """
+        doomed = {id(op) for op in operators}
+        self._operator_ids -= doomed
+        self._operators = [op for op in self._operators if id(op) not in doomed]
+
+    def remove_source(self, name: str) -> Operator:
+        """Drop a named source and unregister its entry operator."""
+        try:
+            entry = self._sources.pop(name)
+        except KeyError as exc:
+            raise EngineError(f"unknown source {name!r}") from exc
+        self.unregister(entry)
+        return entry
+
     def _discover(self) -> List[Operator]:
         """Return all operators reachable from sources plus registered ones."""
         seen: List[Operator] = []

@@ -66,6 +66,22 @@ class Operator(abc.ABC):
         self._downstream.append(downstream)
         return downstream
 
+    def disconnect(self, downstream: "Operator") -> None:
+        """Remove the arrow to ``downstream`` (one arrow per call).
+
+        Used for dynamic plan mutation: a continuous-query session
+        detaches a dropped query's exclusive boxes from the operators
+        that survive it.  Raises :class:`OperatorError` when no such
+        arrow exists, so a detach that misses is never silent.
+        """
+        for i, op in enumerate(self._downstream):
+            if op is downstream:
+                del self._downstream[i]
+                return
+        raise OperatorError(
+            f"{self.name!r} has no arrow to {downstream.name!r} to disconnect"
+        )
+
     @property
     def downstream(self) -> Sequence["Operator"]:
         return tuple(self._downstream)

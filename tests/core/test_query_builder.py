@@ -128,6 +128,9 @@ class TestJoinQueries:
 
 class TestDeprecationShim:
     def test_builder_warns_and_delegates_to_plan_layer(self):
+        from repro.core.query import _reset_deprecation_warning
+
+        _reset_deprecation_warning()
         with pytest.warns(DeprecationWarning, match="repro.plan.Stream"):
             builder = QueryBuilder("in")
         query = builder.aggregate(TumblingCountWindow(2), "weight", strategy=CLTSum()).compile()
@@ -139,3 +142,60 @@ class TestDeprecationShim:
         assert query.execution.mode == "tuple"
         query.push_many("in", [value_tuple(i, 10.0) for i in range(2)])
         assert len(query.finish()) == 1
+
+    def test_warning_fires_exactly_once_per_process(self):
+        import warnings as warnings_module
+
+        from repro.core.query import _reset_deprecation_warning
+
+        _reset_deprecation_warning()
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            QueryBuilder("a")
+            QueryBuilder("b")
+            QueryBuilder("c")
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "repro.plan.Stream" in str(deprecations[0].message)
+
+    def test_shim_results_match_stream_path(self):
+        """The legacy builder and the Stream API agree to 1e-9."""
+        from repro.plan import Stream
+
+        items = [
+            value_tuple(i, 10.0 + i, group="A" if i % 2 == 0 else "B")
+            for i in range(9)
+        ]
+        legacy = (
+            QueryBuilder("in")
+            .where(lambda t: t.value("group") == "A")
+            .aggregate(TumblingCountWindow(3), "weight", strategy=CLTSum())
+            .summarize("sum_weight", confidence=0.9)
+            .compile()
+        )
+        legacy.push_many("in", items)
+        legacy_results = legacy.finish()
+
+        fluent = (
+            Stream.source("in")
+            .where(lambda t: t.value("group") == "A")
+            .window(TumblingCountWindow(3))
+            .aggregate("weight", strategy=CLTSum())
+            .summarize("sum_weight", confidence=0.9)
+            .compile(mode="tuple")
+        )
+        fluent.push_many("in", items)
+        fluent_results = fluent.finish()
+
+        # 5 group-A tuples: one full 3-tuple window plus the flushed rest.
+        assert len(legacy_results) == len(fluent_results) == 2
+        for legacy_tuple, fluent_tuple in zip(legacy_results, fluent_results):
+            assert set(legacy_tuple.values) == set(fluent_tuple.values)
+            for key, value in legacy_tuple.values.items():
+                other = fluent_tuple.values[key]
+                if isinstance(value, float):
+                    assert other == pytest.approx(value, abs=1e-9)
+                else:
+                    assert other == value

@@ -1,0 +1,29 @@
+"""Shared helpers for the CQL front-end tests."""
+
+import pytest
+
+
+def _assert_tuples_equivalent(left, right, tolerance=1e-9):
+    """Two result lists must agree: values to ``tolerance``, uncertain
+    attributes via their first two moments."""
+    assert len(left) == len(right), f"{len(left)} results vs {len(right)}"
+    for a, b in zip(left, right):
+        assert set(a.values) == set(b.values), (sorted(a.values), sorted(b.values))
+        for key, value in a.values.items():
+            other = b.values[key]
+            if isinstance(value, float):
+                assert other == pytest.approx(value, abs=tolerance), key
+            else:
+                assert other == value, key
+        assert set(a.uncertain) == set(b.uncertain)
+        for key in a.uncertain:
+            da, db = a.distribution(key), b.distribution(key)
+            assert float(db.mean()) == pytest.approx(float(da.mean()), abs=tolerance)
+            assert float(db.variance()) == pytest.approx(
+                float(da.variance()), abs=tolerance
+            )
+
+
+@pytest.fixture
+def assert_tuples_equivalent():
+    return _assert_tuples_equivalent

@@ -1,0 +1,123 @@
+"""Golden-message tests for malformed CQL.
+
+The satellite requirement: every malformed query raises a
+:class:`CQLSyntaxError` carrying the 1-based line/column and the
+offending token, with a *stable* message format.  These goldens pin
+the exact rendered message — update them deliberately, not
+accidentally.
+"""
+
+import pytest
+
+from repro.cql import CQLSemanticError, CQLSyntaxError, lower_query, parse
+from repro.plan import Stream
+
+GOLDEN_SYNTAX_ERRORS = [
+    (
+        "SELEC * FROM s",
+        "CQL syntax error at line 1, column 1: expected SELECT, "
+        "found 'SELEC' (near 'SELEC')",
+        (1, 1, "SELEC"),
+    ),
+    (
+        "SELECT * FROM s [EVERY 5]",
+        "CQL syntax error at line 1, column 18: expected NOW, ROWS or RANGE "
+        "in window, found 'EVERY' (near 'EVERY')",
+        (1, 18, "EVERY"),
+    ),
+    (
+        "SELECT * FROM s WHERE temp >> 60",
+        "CQL syntax error at line 1, column 29: expected an expression, "
+        "found '>' (near '>')",
+        (1, 29, ">"),
+    ),
+    (
+        "SELECT SUM(w) FROM s [ROWS 5] HAVING SUM(w) < 10",
+        "CQL syntax error at line 1, column 45: HAVING supports only '>' "
+        "(probabilistic threshold) (near '<')",
+        (1, 45, "<"),
+    ),
+    (
+        "SELECT * FROM s WHERE name = 'unterminated",
+        "CQL syntax error at line 1, column 30: unterminated string literal "
+        "(near \"'\")",
+        (1, 30, "'"),
+    ),
+    (
+        "SELECT a b FROM s",
+        "CQL syntax error at line 1, column 10: expected FROM, found 'b' (near 'b')",
+        (1, 10, "b"),
+    ),
+    (
+        "SELECT * FROM s; DROP TABLE s",
+        "CQL syntax error at line 1, column 16: unexpected character ';' (near ';')",
+        (1, 16, ";"),
+    ),
+]
+
+
+class TestGoldenSyntaxErrors:
+    @pytest.mark.parametrize(
+        "text,message,position",
+        GOLDEN_SYNTAX_ERRORS,
+        ids=[case[0][:40] for case in GOLDEN_SYNTAX_ERRORS],
+    )
+    def test_message_and_position(self, text, message, position):
+        with pytest.raises(CQLSyntaxError) as excinfo:
+            parse(text)
+        error = excinfo.value
+        assert str(error) == message
+        line, column, token = position
+        assert (error.line, error.column, error.token) == (line, column, token)
+
+    def test_multiline_query_points_at_the_right_line(self):
+        with pytest.raises(CQLSyntaxError) as excinfo:
+            parse("SELECT *\nFROM s\nWHERE ???")
+        error = excinfo.value
+        assert (error.line, error.column, error.token) == (3, 7, "?")
+
+    def test_end_of_query_has_no_token(self):
+        with pytest.raises(CQLSyntaxError) as excinfo:
+            parse("SELECT * FROM a JOIN b ON a.x ~= b.x")
+        error = excinfo.value
+        assert error.token is None
+        assert str(error).endswith("expected WITHIN, found end of query")
+
+
+class TestSemanticErrors:
+    """Well-formed text that cannot lower also points at a position."""
+
+    def test_unknown_function(self):
+        with pytest.raises(CQLSemanticError) as excinfo:
+            lower_query("SELECT * FROM s WHERE mystery(a)")
+        assert excinfo.value.token == "mystery"
+        assert "register it via the functions mapping" in str(excinfo.value)
+
+    def test_two_aggregates(self):
+        with pytest.raises(CQLSemanticError, match="only one aggregate"):
+            lower_query("SELECT SUM(a), SUM(b) FROM s [ROWS 5]")
+
+    def test_having_without_matching_aggregate(self):
+        with pytest.raises(CQLSemanticError, match="does not match"):
+            lower_query("SELECT SUM(a) FROM s [ROWS 5] HAVING SUM(b) > 1")
+
+    def test_window_without_aggregate(self):
+        with pytest.raises(CQLSemanticError, match="needs an aggregate"):
+            lower_query("SELECT * FROM s [ROWS 5]")
+
+    def test_probability_on_deterministic_conjunct(self):
+        with pytest.raises(CQLSemanticError, match="WITH PROBABILITY applies"):
+            lower_query("SELECT * FROM s WHERE f(a) WITH PROBABILITY 0.5")
+
+    def test_equality_on_uncertain_attribute(self):
+        source = Stream.source("s", uncertain=("temp",))
+        with pytest.raises(CQLSemanticError, match="equality on uncertain"):
+            lower_query("SELECT * FROM s WHERE temp = 60", sources={"s": source})
+
+    def test_join_without_range_window(self):
+        with pytest.raises(CQLSemanticError, match="RANGE"):
+            lower_query("SELECT * FROM a JOIN b ON a.x ~= b.x WITHIN 2")
+
+    def test_non_tumbling_slide(self):
+        with pytest.raises(CQLSemanticError, match="SLIDE must equal RANGE"):
+            lower_query("SELECT SUM(w) FROM s [RANGE 10 SECONDS SLIDE 5 SECONDS]")

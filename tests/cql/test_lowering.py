@@ -1,0 +1,191 @@
+"""Lowering behavior: clause classification, windows, fingerprints."""
+
+from repro.cql import compile_cql, lower_query
+from repro.distributions import Gaussian
+from repro.plan import (
+    AggregateNode,
+    DeriveNode,
+    FilterNode,
+    ProbFilterNode,
+    Stream,
+    plan_fingerprints,
+)
+from repro.streams import StreamTuple
+from repro.streams.windows import (
+    NowWindow,
+    SlidingTimeWindow,
+    TumblingCountWindow,
+    TumblingTimeWindow,
+)
+
+
+def _root(plan):
+    return plan.outputs[0]
+
+
+class TestConjunctClassification:
+    def test_declared_uncertain_attribute_becomes_prob_filter(self):
+        source = Stream.source("s", uncertain=("temp",))
+        plan = lower_query("SELECT * FROM s WHERE temp > 60", sources={"s": source})
+        node = _root(plan)
+        assert isinstance(node, ProbFilterNode)
+        assert node.attribute == "temp" and node.threshold == 60.0
+        assert node.min_probability == 0.5  # default
+        assert node.annotate == "selection_probability"
+
+    def test_with_probability_overrides_threshold(self):
+        source = Stream.source("s", uncertain=("temp",))
+        plan = lower_query(
+            "SELECT * FROM s WHERE temp BETWEEN 40 AND 60 WITH PROBABILITY 0.9",
+            sources={"s": source},
+        )
+        node = _root(plan)
+        assert isinstance(node, ProbFilterNode)
+        assert node.upper == 60.0 and node.min_probability == 0.9
+
+    def test_undeclared_attribute_stays_deterministic(self):
+        plan = lower_query("SELECT * FROM s WHERE temp > 60")
+        assert isinstance(_root(plan), FilterNode)
+
+    def test_with_probability_forces_prob_filter_on_open_schema(self):
+        plan = lower_query("SELECT * FROM s WHERE temp > 60 WITH PROBABILITY 0.7")
+        node = _root(plan)
+        assert isinstance(node, ProbFilterNode) and node.min_probability == 0.7
+
+    def test_deterministic_filter_declares_uses(self):
+        plan = lower_query("SELECT * FROM s WHERE f(a, b)", functions={"f": min})
+        node = _root(plan)
+        assert isinstance(node, FilterNode)
+        assert node.uses == frozenset({"a", "b"})
+
+    def test_reversed_comparison_is_normalised(self):
+        source = Stream.source("s", uncertain=("temp",))
+        plan = lower_query("SELECT * FROM s WHERE 60 < temp", sources={"s": source})
+        node = _root(plan)
+        assert isinstance(node, ProbFilterNode)
+        assert node.comparison.value == ">" and node.threshold == 60.0
+
+    def test_negative_thresholds_are_recognised(self):
+        source = Stream.source("s", uncertain=("temp",))
+        plan = lower_query("SELECT * FROM s WHERE temp > -5", sources={"s": source})
+        node = _root(plan)
+        assert isinstance(node, ProbFilterNode) and node.threshold == -5.0
+        plan = lower_query(
+            "SELECT * FROM s WHERE temp BETWEEN -10 AND -2 WITH PROBABILITY 0.8",
+            sources={"s": source},
+        )
+        node = _root(plan)
+        assert isinstance(node, ProbFilterNode)
+        assert node.threshold == -10.0 and node.upper == -2.0
+
+    def test_negative_threshold_runs_probabilistically(self):
+        from repro.cql import compile_cql
+
+        source = Stream.source("s", uncertain=("temp",))
+        query = compile_cql(
+            "SELECT * FROM s WHERE temp > -5", sources={"s": source}
+        )
+        query.push(
+            "s", StreamTuple(timestamp=0.0, uncertain={"temp": Gaussian(0.0, 1.0)})
+        )
+        query.push(
+            "s", StreamTuple(timestamp=1.0, uncertain={"temp": Gaussian(-20.0, 1.0)})
+        )
+        assert len(query.finish()) == 1
+
+
+class TestDerivesAndAggregates:
+    def test_uncertain_derive(self):
+        plan = lower_query(
+            "SELECT g(x) AS UNCERTAIN loc FROM s",
+            functions={"g": lambda x: Gaussian(float(x), 1.0)},
+        )
+        node = _root(plan)
+        assert isinstance(node, DeriveNode)
+        assert dict(node.uncertain_functions).keys() == {"loc"}
+
+    def test_count_star(self):
+        plan = lower_query("SELECT COUNT(*) FROM s [ROWS 3]")
+        node = _root(plan)
+        assert isinstance(node, AggregateNode)
+        assert node.function == "count" and node.result_attribute == "count"
+        query = compile_cql("SELECT COUNT(*) FROM s [ROWS 3]")
+        query.push_many(
+            "s", [StreamTuple(timestamp=float(i)) for i in range(6)]
+        )
+        results = query.finish()
+        assert [r.value("count") for r in results] == [3, 3]
+
+    def test_alias_names_the_result_attribute(self):
+        plan = lower_query("SELECT SUM(w) AS total FROM s [ROWS 3]")
+        assert _root(plan).result_attribute == "total"
+
+
+class TestWindows:
+    def test_window_mapping(self):
+        cases = [
+            ("[ROWS 7]", TumblingCountWindow),
+            ("[RANGE 5 SECONDS]", SlidingTimeWindow),
+            ("[RANGE 5 SECONDS SLIDE 5 SECONDS]", TumblingTimeWindow),
+            ("[NOW]", NowWindow),
+        ]
+        for text, expected in cases:
+            plan = lower_query(f"SELECT SUM(w) FROM s {text}")
+            assert isinstance(_root(plan).window, expected), text
+
+
+class TestFingerprints:
+    def test_same_text_gives_equal_fingerprints(self):
+        """The precondition for cross-query sharing: identical text →
+        structurally equal plans, even though closures are rebuilt."""
+        text = (
+            "SELECT w(tag) AS weight, SUM(weight) FROM s [ROWS 10] "
+            "WHERE keep(tag) GROUP BY zone(weight) "
+            "HAVING SUM(weight) > 5 WITH PROBABILITY 0.6"
+        )
+        functions = {
+            "w": lambda tag: 1.0,
+            "keep": lambda tag: True,
+            "zone": lambda w: 0,
+        }
+        plan_a = lower_query(text, functions=functions)
+        plan_b = lower_query(text, functions=functions)
+        fp_a = plan_fingerprints(plan_a.outputs)[id(plan_a.outputs[0])]
+        fp_b = plan_fingerprints(plan_b.outputs)[id(plan_b.outputs[0])]
+        assert fp_a == fp_b
+
+    def test_different_functions_give_different_fingerprints(self):
+        text = "SELECT * FROM s WHERE keep(tag)"
+        plan_a = lower_query(text, functions={"keep": lambda t: True})
+        plan_b = lower_query(text, functions={"keep": lambda t: False})
+        fp_a = plan_fingerprints(plan_a.outputs)[id(plan_a.outputs[0])]
+        fp_b = plan_fingerprints(plan_b.outputs)[id(plan_b.outputs[0])]
+        assert fp_a != fp_b
+
+    def test_composite_group_key_includes_udf_identities(self):
+        """Two sessions binding different UDFs under the same name must
+        NOT share a multi-expression GROUP BY aggregate."""
+        text = "SELECT SUM(w) FROM s [ROWS 2] GROUP BY f(a), g(b)"
+        shared_g = lambda b: b  # noqa: E731
+        plan_a = lower_query(
+            text, functions={"f": lambda a: a % 2, "g": shared_g}
+        )
+        plan_b = lower_query(text, functions={"f": lambda a: 0, "g": shared_g})
+        fp_a = plan_fingerprints(plan_a.outputs)[id(plan_a.outputs[0])]
+        fp_b = plan_fingerprints(plan_b.outputs)[id(plan_b.outputs[0])]
+        assert fp_a != fp_b
+        # Same bindings still share.
+        fns = {"f": lambda a: a % 2, "g": shared_g}
+        plan_c = lower_query(text, functions=fns)
+        plan_d = lower_query(text, functions=fns)
+        fp_c = plan_fingerprints(plan_c.outputs)[id(plan_c.outputs[0])]
+        fp_d = plan_fingerprints(plan_d.outputs)[id(plan_d.outputs[0])]
+        assert fp_c == fp_d
+
+    def test_different_thresholds_give_different_fingerprints(self):
+        source = Stream.source("s", uncertain=("t",))
+        plan_a = lower_query("SELECT * FROM s WHERE t > 1", sources={"s": source})
+        plan_b = lower_query("SELECT * FROM s WHERE t > 2", sources={"s": source})
+        fp_a = plan_fingerprints(plan_a.outputs)[id(plan_a.outputs[0])]
+        fp_b = plan_fingerprints(plan_b.outputs)[id(plan_b.outputs[0])]
+        assert fp_a != fp_b

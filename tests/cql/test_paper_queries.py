@@ -1,0 +1,259 @@
+"""Acceptance: the paper's Q1 and Q2 as CQL text match the fluent API.
+
+Each query is expressed twice — once as text through
+:func:`repro.cql.compile_cql`, once as the equivalent
+:class:`repro.plan.Stream` pipeline — run over the same input, and the
+results must agree to 1e-9.  Both paths compile through the same
+planner, so this pins the *lowering* (clause classification, window
+mapping, UDF wiring), not a parallel execution path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Comparison, match_probability_band
+from repro.cql import compile_cql
+from repro.distributions import Gaussian
+from repro.plan import Stream
+from repro.streams import StreamTuple, TumblingTimeWindow
+
+
+@pytest.fixture(scope="module")
+def warehouse():
+    """A catalog plus object/sensor streams shared by both queries."""
+    rng = np.random.default_rng(7)
+    catalog = {}
+    for i in range(40):
+        catalog[f"O{i:03d}"] = {
+            "weight": float(rng.uniform(30.0, 80.0)),
+            "type": "flammable" if rng.random() < 0.4 else "general",
+        }
+    objects = []
+    for i in range(80):
+        tag = f"O{i % 50:03d}"  # some tags are ghost reads (not in catalog)
+        shelf = int(rng.integers(0, 3))
+        objects.append(
+            StreamTuple(
+                timestamp=float(i) * 0.2,
+                values={"tag_id": tag},
+                uncertain={
+                    "x": Gaussian(10.0 + 20.0 * shelf + float(rng.normal(0, 0.5)), 0.8),
+                    "y": Gaussian(10.0 + float(rng.normal(0, 0.5)), 0.8),
+                },
+            )
+        )
+    sensors = []
+    for i in range(40):
+        sensors.append(
+            StreamTuple(
+                timestamp=float(i) * 0.4,
+                values={"sensor_id": i},
+                uncertain={
+                    "x": Gaussian(float(rng.uniform(0.0, 70.0)), 1.0),
+                    "y": Gaussian(float(rng.uniform(0.0, 20.0)), 1.0),
+                    "temp": Gaussian(float(rng.uniform(30.0, 95.0)), 4.0),
+                },
+            )
+        )
+    return catalog, objects, sensors
+
+
+class TestQ1Equivalence:
+    """Q1: per-area weight totals with a probabilistic HAVING."""
+
+    def test_cql_matches_fluent(self, warehouse, assert_tuples_equivalent):
+        catalog, objects, _ = warehouse
+
+        def weight_of(tag):
+            return catalog.get(tag, {}).get("weight", 0.0)
+
+        def in_catalog(tag):
+            return tag in catalog
+
+        def zone(x):
+            return int(x.mean() // 20.0)
+
+        source = Stream.source(
+            "rfid", values=("tag_id",), uncertain=("x", "y"), rate_hint=5.0
+        )
+
+        q1_text = compile_cql(
+            """
+            SELECT weight_of(tag_id) AS weight, zone(x) AS area, SUM(weight)
+            FROM rfid [RANGE 5 SECONDS SLIDE 5 SECONDS]
+            WHERE in_catalog(tag_id)
+            GROUP BY area
+            HAVING SUM(weight) > 200 WITH CONFIDENCE 0.5
+            """,
+            sources={"rfid": source},
+            functions={
+                "weight_of": weight_of,
+                "in_catalog": in_catalog,
+                "zone": zone,
+            },
+        )
+        q1_text.push_many("rfid", objects)
+        text_results = q1_text.finish()
+
+        q1_fluent = (
+            source.derive(
+                values={
+                    "weight": lambda t: weight_of(t.value("tag_id")),
+                    "area": lambda t: zone(t.distribution("x")),
+                }
+            )
+            .where(
+                lambda t: in_catalog(t.value("tag_id")),
+                uses=("tag_id",),
+                description="in catalog",
+            )
+            .window(TumblingTimeWindow(5.0))
+            .group_by(lambda t: t.value("area"))
+            .aggregate("weight")
+            .having(200.0, min_probability=0.5)
+            .compile()
+        )
+        q1_fluent.push_many("rfid", objects)
+        fluent_results = q1_fluent.finish()
+
+        assert text_results, "Q1 must produce overloaded-area windows"
+        assert_tuples_equivalent(text_results, fluent_results)
+
+    def test_alerts_carry_probabilistic_totals(self, warehouse):
+        catalog, objects, _ = warehouse
+        query = compile_cql(
+            """
+            SELECT w(tag_id) AS weight, SUM(weight) AS total
+            FROM rfid [RANGE 5 SECONDS SLIDE 5 SECONDS]
+            HAVING SUM(weight) > 400 WITH CONFIDENCE 0.5
+            """,
+            functions={"w": lambda tag: catalog.get(tag, {}).get("weight", 0.0)},
+        )
+        query.push_many("rfid", objects)
+        results = query.finish()
+        assert results
+        for alert in results:
+            assert alert.has_uncertain("total")
+            assert alert.value("having_probability") >= 0.5
+            assert alert.value("total_mean") > 400.0 or alert.value(
+                "having_probability"
+            ) == pytest.approx(0.5, abs=0.5)
+
+
+class TestQ2Equivalence:
+    """Q2: flammable objects near hot sensors via a probabilistic join."""
+
+    def test_cql_matches_fluent(self, warehouse, assert_tuples_equivalent):
+        catalog, objects, sensors = warehouse
+
+        def object_type(tag):
+            return catalog.get(tag, {}).get("type", "unknown")
+
+        obj_source = Stream.source("objects", values=("tag_id",), uncertain=("x", "y"))
+        sensor_source = Stream.source(
+            "temperature", values=("sensor_id",), uncertain=("x", "y", "temp")
+        )
+
+        q2_text = compile_cql(
+            """
+            SELECT *
+            FROM objects AS obj
+            JOIN temperature AS temp [RANGE 30 SECONDS]
+              ON obj.x ~= temp.x WITHIN 4 AND obj.y ~= temp.y WITHIN 4
+              MIN PROBABILITY 0.05
+            WHERE object_type(obj.tag_id) = 'flammable'
+              AND temp.temp > 60 WITH PROBABILITY 0.5
+            """,
+            sources={"objects": obj_source, "temperature": sensor_source},
+            functions={"object_type": object_type},
+        )
+        q2_text.push_many("temperature", sensors)
+        q2_text.push_many("objects", objects)
+        text_results = q2_text.finish()
+
+        def location_match(left, right):
+            px = match_probability_band(
+                left.distribution("x"), right.distribution("x"), 4.0
+            )
+            py = match_probability_band(
+                left.distribution("y"), right.distribution("y"), 4.0
+            )
+            return px * py
+
+        q2_fluent = (
+            obj_source.join(
+                sensor_source,
+                on=location_match,
+                window_length=30.0,
+                min_probability=0.05,
+                prefix_left="obj_",
+                prefix_right="temp_",
+            )
+            .where(
+                lambda t: object_type(t.value("obj_tag_id")) == "flammable",
+                uses=("obj_tag_id",),
+                description="flammable",
+            )
+            .where_probably(
+                "temp_temp", Comparison.GREATER, 60.0, min_probability=0.5, annotate=None
+            )
+            .compile()
+        )
+        q2_fluent.push_many("temperature", sensors)
+        q2_fluent.push_many("objects", objects)
+        fluent_results = q2_fluent.finish()
+
+        assert text_results, "Q2 must produce flammable-object alerts"
+        assert_tuples_equivalent(text_results, fluent_results)
+
+    def test_match_probability_is_annotated(self, warehouse):
+        catalog, objects, sensors = warehouse
+        query = compile_cql(
+            """
+            SELECT * FROM objects AS obj
+            JOIN temperature AS temp [RANGE 30 SECONDS]
+              ON obj.x ~= temp.x WITHIN 4 AND obj.y ~= temp.y WITHIN 4
+              MIN PROBABILITY 0.05
+            """
+        )
+        query.push_many("temperature", sensors)
+        query.push_many("objects", objects)
+        results = query.finish()
+        assert results
+        for match in results:
+            assert 0.05 <= match.value("match_probability") <= 1.0
+            assert match.has_uncertain("temp_temp")
+            assert match.has_value("obj_tag_id")
+
+
+class TestUnionEquivalence:
+    def test_union_matches_fluent(self, warehouse, assert_tuples_equivalent):
+        _, objects, sensors = warehouse
+        a = Stream.source("objects", values=("tag_id",), uncertain=("x", "y"))
+        b = Stream.source(
+            "temperature", values=("sensor_id",), uncertain=("x", "y", "temp")
+        )
+
+        text = compile_cql(
+            """
+            SELECT * FROM objects WHERE x > 20 WITH PROBABILITY 0.5
+            UNION
+            SELECT * FROM temperature WHERE x > 20 WITH PROBABILITY 0.5
+            """,
+            sources={"objects": a, "temperature": b},
+        )
+        text.push_many("objects", objects)
+        text.push_many("temperature", sensors)
+        text_results = text.finish()
+
+        fluent = (
+            a.where_probably("x", ">", 20.0, min_probability=0.5)
+            .union(b.where_probably("x", ">", 20.0, min_probability=0.5))
+            .compile()
+        )
+        fluent.push_many("objects", objects)
+        fluent.push_many("temperature", sensors)
+        fluent_results = fluent.finish()
+
+        assert text_results
+        assert_tuples_equivalent(text_results, fluent_results)

@@ -1,0 +1,156 @@
+"""Parser structure tests: the dialect's clauses land in the right AST."""
+
+import pytest
+
+from repro.cql import parse
+from repro.cql.syntax import (
+    AggregateItem,
+    BandMatchTerm,
+    BinOp,
+    Call,
+    ColumnItem,
+    DeriveItem,
+    FuncMatchTerm,
+    Ident,
+    Literal,
+    StarItem,
+)
+
+
+class TestSelectList:
+    def test_star(self):
+        query = parse("SELECT * FROM s")
+        (select,) = query.selects
+        assert isinstance(select.items[0], StarItem)
+        assert select.source.name == "s"
+
+    def test_columns_and_derives(self):
+        query = parse("SELECT a, b.c, x * 2 AS doubled, f(x) AS UNCERTAIN loc FROM s")
+        items = query.selects[0].items
+        assert isinstance(items[0], ColumnItem) and items[0].name == "a"
+        assert isinstance(items[1], ColumnItem) and items[1].qualifier == "b"
+        assert isinstance(items[2], DeriveItem) and items[2].name == "doubled"
+        assert not items[2].uncertain
+        assert isinstance(items[3], DeriveItem) and items[3].uncertain
+        assert isinstance(items[3].expr, Call)
+
+    def test_aggregates(self):
+        query = parse("SELECT SUM(w) AS total, COUNT(*) FROM s [ROWS 5]")
+        items = query.selects[0].items
+        assert isinstance(items[0], AggregateItem)
+        assert items[0].call.function == "sum" and items[0].alias == "total"
+        assert items[1].call.function == "count" and items[1].call.argument == "*"
+
+    def test_keywords_are_case_insensitive(self):
+        query = parse("select Sum(w) from s [rows 5] group by g having sum(w) > 1")
+        select = query.selects[0]
+        assert select.items[0].call.function == "sum"
+        assert select.having.threshold == 1.0
+
+
+class TestWindows:
+    def test_rows_window(self):
+        window = parse("SELECT SUM(w) FROM s [ROWS 100]").selects[0].source.window
+        assert window.kind == "rows" and window.length == 100
+
+    def test_range_window_with_slide(self):
+        window = parse(
+            "SELECT SUM(w) FROM s [RANGE 5 SECONDS SLIDE 5 SECONDS]"
+        ).selects[0].source.window
+        assert window.kind == "range"
+        assert window.length == 5.0 and window.slide == 5.0
+
+    def test_now_window(self):
+        window = parse("SELECT * FROM s [NOW]").selects[0].source.window
+        assert window.kind == "now"
+
+
+class TestWhere:
+    def test_conjuncts_split_on_and(self):
+        select = parse("SELECT * FROM s WHERE a > 1 AND b < 2 AND f(c)").selects[0]
+        assert len(select.where) == 3
+
+    def test_with_probability_suffix(self):
+        select = parse("SELECT * FROM s WHERE temp > 60 WITH PROBABILITY 0.8").selects[0]
+        (conjunct,) = select.where
+        assert conjunct.probability == 0.8
+        assert isinstance(conjunct.expr, BinOp) and conjunct.expr.op == ">"
+
+    def test_between_consumes_its_own_and(self):
+        select = parse("SELECT * FROM s WHERE x BETWEEN 1 AND 5 AND y > 2").selects[0]
+        assert len(select.where) == 2
+        assert select.where[0].expr.op == "BETWEEN"
+
+    def test_string_literal_comparison(self):
+        (conjunct,) = parse("SELECT * FROM s WHERE kind = 'flammable'").selects[0].where
+        assert isinstance(conjunct.expr.right, Literal)
+        assert conjunct.expr.right.value == "flammable"
+
+
+class TestJoin:
+    def test_join_clause(self):
+        select = parse(
+            "SELECT * FROM a AS l JOIN b AS r [RANGE 30 SECONDS] "
+            "ON l.x ~= r.x WITHIN 4 AND MATCH near MIN PROBABILITY 0.1"
+        ).selects[0]
+        join = select.join
+        assert join.right.name == "b" and join.right.alias == "r"
+        assert join.right.window.length == 30.0
+        band, func = join.terms
+        assert isinstance(band, BandMatchTerm) and band.width == 4.0
+        assert band.left.qualifier == "l" and band.right.qualifier == "r"
+        assert isinstance(func, FuncMatchTerm) and func.name == "near"
+        assert join.min_probability == 0.1
+
+
+class TestGroupHaving:
+    def test_group_by_expression_and_having(self):
+        select = parse(
+            "SELECT zone(x) AS area, SUM(w) FROM s [ROWS 10] GROUP BY area "
+            "HAVING SUM(w) > 200 WITH CONFIDENCE 0.9"
+        ).selects[0]
+        assert isinstance(select.group_by, Ident)
+        having = select.having
+        assert having.call.function == "sum"
+        assert having.threshold == 200.0
+        assert having.min_probability == 0.9
+
+    def test_group_by_list(self):
+        select = parse("SELECT SUM(w) FROM s [ROWS 10] GROUP BY a, b").selects[0]
+        assert isinstance(select.group_by, tuple) and len(select.group_by) == 2
+
+
+class TestUnion:
+    def test_union_chains_selects(self):
+        query = parse("SELECT * FROM a UNION SELECT * FROM b UNION SELECT * FROM c")
+        assert query.is_union
+        assert [s.source.name for s in query.selects] == ["a", "b", "c"]
+
+
+class TestComments:
+    def test_line_comments_are_skipped(self):
+        query = parse(
+            """
+            -- the paper's Q1, roughly
+            SELECT SUM(w)  -- one aggregate
+            FROM s [ROWS 4]
+            """
+        )
+        assert query.selects[0].items[0].call.function == "sum"
+
+
+class TestPositions:
+    @pytest.mark.parametrize(
+        "text,line,column",
+        [
+            ("SELECT *\nFROM s\nWHERE ???", 3, 7),
+            ("SELECT * FROM s [ROWS 5", 1, 24),
+        ],
+    )
+    def test_error_positions(self, text, line, column):
+        from repro.cql import CQLSyntaxError
+
+        with pytest.raises(CQLSyntaxError) as excinfo:
+            parse(text)
+        assert excinfo.value.line == line
+        assert excinfo.value.column == column

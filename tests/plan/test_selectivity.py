@@ -1,0 +1,154 @@
+"""Selectivity estimates: CDF pass-rates and selectivity × cost ordering."""
+
+import math
+
+import pytest
+
+from repro.core.selection import Comparison
+from repro.distributions import Gaussian, Uniform
+from repro.plan import ColumnStat, CostModel, PlanError, Stream
+from repro.streams import StreamTuple
+
+
+def applied_rules(stream):
+    from repro.plan import LogicalPlan, Planner
+
+    plan = LogicalPlan(outputs=(stream.node,))
+    _, traces = Planner().optimize(plan)
+    return [t.rule for t in traces]
+
+
+class TestColumnStatDeclaration:
+    def test_source_accepts_stat_tuples(self):
+        stream = Stream.source("s", uncertain={"t": ("gaussian", 50.0, 10.0)})
+        stat = stream.node.stat_for("t")
+        assert stat == ColumnStat("t", "gaussian", 50.0, 10.0)
+
+    def test_source_accepts_distributions(self):
+        stream = Stream.source(
+            "s", uncertain={"g": Gaussian(5.0, 2.0), "u": Uniform(0.0, 10.0)}
+        )
+        assert stream.node.stat_for("g") == ColumnStat("g", "gaussian", 5.0, 2.0)
+        assert stream.node.stat_for("u") == ColumnStat("u", "uniform", 0.0, 10.0)
+
+    def test_plain_iterable_still_works(self):
+        stream = Stream.source("s", uncertain=("a", "b"))
+        assert stream.node.stats is None
+        assert stream.node.uncertain == frozenset({"a", "b"})
+
+    def test_bad_family_is_rejected(self):
+        with pytest.raises(PlanError, match="unsupported family"):
+            Stream.source("s", uncertain={"a": ("poisson", 1.0, 2.0)})
+
+
+class TestPassRates:
+    def test_gaussian_cdf(self):
+        model = CostModel()
+        stat = ColumnStat("t", "gaussian", 50.0, 10.0)
+        expected = 1.0 - 0.5 * (1.0 + math.erf((70.0 - 50.0) / (10.0 * math.sqrt(2.0))))
+        assert model.comparison_pass_rate(stat, Comparison.GREATER, 70.0) == pytest.approx(
+            expected
+        )
+        assert model.comparison_pass_rate(stat, Comparison.LESS, 50.0) == pytest.approx(0.5)
+
+    def test_uniform_cdf(self):
+        model = CostModel()
+        stat = ColumnStat("u", "uniform", 0.0, 100.0)
+        assert model.comparison_pass_rate(stat, Comparison.GREATER, 90.0) == pytest.approx(0.1)
+        assert model.comparison_pass_rate(
+            stat, Comparison.BETWEEN, 20.0, 50.0
+        ) == pytest.approx(0.3)
+        # Out-of-range constants clamp.
+        assert model.comparison_pass_rate(stat, Comparison.GREATER, 200.0) == 0.0
+        assert model.comparison_pass_rate(stat, Comparison.LESS, 200.0) == 1.0
+
+    def test_selectivity_resolves_through_row_nodes(self):
+        model = CostModel()
+        stream = (
+            Stream.source("s", uncertain={"t": ("gaussian", 50.0, 10.0)})
+            .where(lambda x: True, uses=())
+            .where_probably("t", ">", 70.0, annotate=None)
+        )
+        estimate = model.prob_filter_selectivity(stream.node)
+        assert estimate == pytest.approx(0.02275, abs=1e-4)
+
+    def test_unknown_column_has_no_estimate(self):
+        model = CostModel()
+        stream = Stream.source("s", uncertain=("t",)).where_probably("t", ">", 1.0)
+        assert model.prob_filter_selectivity(stream.node) is None
+
+
+class TestSelectivityOrdering:
+    def test_more_selective_prob_filter_runs_first(self):
+        source = Stream.source(
+            "s",
+            uncertain={"t": ("gaussian", 50.0, 10.0), "h": ("uniform", 0.0, 100.0)},
+        )
+        # Written wide-first (h < 90 passes 90%); the planner must move
+        # the narrow temp filter (~2%) ahead of it.
+        stream = source.where_probably("h", "<", 90.0, annotate=None).where_probably(
+            "t", ">", 70.0, annotate=None
+        )
+        assert "reorder_selective_prob_filter_first" in applied_rules(stream)
+        optimized = stream.explain(optimize=True)
+        first_filter = optimized.splitlines()[0]
+        assert "h < 90.0" in first_filter  # outer box = runs last
+
+    def test_already_optimal_order_is_kept(self):
+        source = Stream.source(
+            "s",
+            uncertain={"t": ("gaussian", 50.0, 10.0), "h": ("uniform", 0.0, 100.0)},
+        )
+        stream = source.where_probably("t", ">", 70.0, annotate=None).where_probably(
+            "h", "<", 90.0, annotate=None
+        )
+        assert "reorder_selective_prob_filter_first" not in applied_rules(stream)
+
+    def test_same_annotation_blocks_the_swap(self):
+        source = Stream.source(
+            "s",
+            uncertain={"t": ("gaussian", 50.0, 10.0), "h": ("uniform", 0.0, 100.0)},
+        )
+        stream = source.where_probably("h", "<", 90.0).where_probably("t", ">", 70.0)
+        assert "reorder_selective_prob_filter_first" not in applied_rules(stream)
+
+    def test_expensive_deterministic_filter_stays_behind_selective_prob(self):
+        """selectivity × cost, not structure alone: a costly predicate
+        behind a highly selective probabilistic filter is NOT hoisted."""
+        source = Stream.source("s", uncertain={"t": ("gaussian", 50.0, 10.0)})
+        stream = source.where_probably("t", ">", 80.0, annotate=None).where(
+            lambda x: True, uses=("u",), cost_hint=50.0, description="expensive"
+        )
+        assert "reorder_cheap_filter_first" not in applied_rules(stream)
+
+    def test_cheap_deterministic_filter_is_still_hoisted(self):
+        source = Stream.source("s", uncertain={"t": ("gaussian", 50.0, 10.0)})
+        stream = source.where_probably("t", ">", 80.0, annotate=None).where(
+            lambda x: True, uses=("u",), description="cheap"
+        )
+        assert "reorder_cheap_filter_first" in applied_rules(stream)
+
+    def test_reorder_preserves_results(self):
+        from repro.distributions import Gaussian as G
+
+        source = Stream.source(
+            "s",
+            uncertain={"t": ("gaussian", 50.0, 10.0), "h": ("uniform", 0.0, 100.0)},
+        )
+        stream = source.where_probably("h", "<", 90.0, annotate=None).where_probably(
+            "t", ">", 70.0, annotate=None
+        )
+        items = [
+            StreamTuple(
+                timestamp=float(i),
+                uncertain={"t": G(40.0 + 2.0 * i, 5.0), "h": G(5.0 * i, 3.0)},
+            )
+            for i in range(20)
+        ]
+        optimized = stream.compile(optimize=True)
+        optimized.push_many("s", items)
+        naive = stream.compile(optimize=False)
+        naive.push_many("s", items)
+        optimized_ids = [t.tuple_id for t in optimized.finish()]
+        naive_ids = [t.tuple_id for t in naive.finish()]
+        assert optimized_ids == naive_ids

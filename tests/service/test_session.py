@@ -1,0 +1,195 @@
+"""QuerySession lifecycle: register, push, results, pause, drop, flush."""
+
+import pytest
+
+from repro.distributions import Gaussian
+from repro.service import QuerySession, ServiceError
+from repro.streams import StreamTuple
+
+
+def weight_tuple(i, mean, sigma=2.0):
+    return StreamTuple(
+        timestamp=float(i),
+        values={"tag_id": f"O{i}"},
+        uncertain={"weight": Gaussian(mean, sigma)},
+    )
+
+
+@pytest.fixture
+def session():
+    s = QuerySession()
+    s.create_stream(
+        "rfid", values=("tag_id",), uncertain=("weight",), family="gaussian"
+    )
+    return s
+
+
+class TestRegistration:
+    def test_cql_query_collects_results(self, session):
+        q = session.register("totals", "SELECT SUM(weight) FROM rfid [ROWS 3]")
+        for i in range(7):
+            session.push("rfid", weight_tuple(i, 10.0))
+        assert len(q.results) == 2
+        assert q.results[0].value("sum_weight_mean") == pytest.approx(30.0)
+
+    def test_fluent_stream_registration(self, session):
+        from repro.streams.windows import TumblingCountWindow
+
+        stream = (
+            session.create_stream("other", uncertain=("v",))
+            .window(TumblingCountWindow(2))
+            .aggregate("v")
+        )
+        q = session.register("fluent", stream)
+        session.push(
+            "other",
+            StreamTuple(timestamp=0.0, uncertain={"v": Gaussian(5.0, 1.0)}),
+        )
+        session.push(
+            "other",
+            StreamTuple(timestamp=1.0, uncertain={"v": Gaussian(7.0, 1.0)}),
+        )
+        assert len(q.results) == 1
+        assert q.results[0].value("sum_v_mean") == pytest.approx(12.0)
+
+    def test_duplicate_name_is_rejected(self, session):
+        session.register("q", "SELECT SUM(weight) FROM rfid [ROWS 3]")
+        with pytest.raises(ServiceError, match="already registered"):
+            session.register("q", "SELECT SUM(weight) FROM rfid [ROWS 5]")
+
+    def test_conflicting_stream_declaration_is_rejected(self, session):
+        from repro.plan import Stream
+
+        conflicting = Stream.source("rfid", uncertain=("totally_different",))
+        with pytest.raises(ServiceError, match="different schema"):
+            session.register("bad", conflicting.where_probably("totally_different", ">", 0.0))
+
+    def test_failed_registration_leaves_session_clean(self, session):
+        boxes_before = len(session.statistics())
+        with pytest.raises(Exception):
+            session.register("broken", "SELECT SUM(missing) FROM rfid [ROWS 3]")
+        assert "broken" not in session.queries
+        assert len(session.statistics()) == boxes_before
+
+    def test_failed_registration_keeps_declared_stream_schema(self, session):
+        """Rollback must not undeclare a create_stream()-declared source."""
+        from repro.plan import PlanError, Stream
+        from repro.streams.operators.base import PassThroughOperator
+
+        # A registration that fails AFTER the source box is attached:
+        # piping an operator that is already wired elsewhere raises
+        # during lowering of the PipeNode, with the source box created.
+        wired = PassThroughOperator(name="wired")
+        wired.connect(PassThroughOperator())
+        with pytest.raises(PlanError, match="already wired"):
+            session.register("bad", Stream.source("rfid").pipe(wired))
+        assert "rfid" in session.streams
+        # The declaration is intact: 'weight' still classifies as
+        # uncertain, so this compiles to a probabilistic filter.
+        q = session.register("ok", "SELECT * FROM rfid WHERE weight > 10")
+        session.push("rfid", weight_tuple(0, 50.0))
+        assert len(q.results) == 1
+        assert q.results[0].has_value("selection_probability")
+
+    def test_on_result_callback(self, session):
+        seen = []
+        session.register(
+            "cb", "SELECT SUM(weight) FROM rfid [ROWS 2]", on_result=seen.append
+        )
+        for i in range(4):
+            session.push("rfid", weight_tuple(i, 10.0))
+        assert len(seen) == 2
+
+
+class TestDataFlow:
+    def test_unknown_source_is_rejected(self, session):
+        session.register("q", "SELECT SUM(weight) FROM rfid [ROWS 3]")
+        with pytest.raises(ServiceError, match="unknown source"):
+            session.push("nope", weight_tuple(0, 1.0))
+
+    def test_push_many_batch_path(self):
+        session = QuerySession(batch_size=8)
+        session.create_stream("s", uncertain=("v",), family="gaussian")
+        q = session.register("q", "SELECT SUM(v) FROM s [ROWS 4]")
+        session.push_many(
+            "s",
+            [
+                StreamTuple(timestamp=float(i), uncertain={"v": Gaussian(2.0, 1.0)})
+                for i in range(16)
+            ],
+        )
+        assert len(q.results) == 4
+        for result in q.results:
+            assert result.value("sum_v_mean") == pytest.approx(8.0)
+
+    def test_flush_emits_partial_windows_and_session_continues(self, session):
+        q = session.register("q", "SELECT SUM(weight) FROM rfid [ROWS 5]")
+        for i in range(3):
+            session.push("rfid", weight_tuple(i, 10.0))
+        assert q.results == []
+        session.flush()
+        assert len(q.results) == 1
+        assert q.results[0].value("sum_weight_mean") == pytest.approx(30.0)
+        # The session keeps running after a flush.
+        for i in range(5):
+            session.push("rfid", weight_tuple(10 + i, 1.0))
+        assert len(q.results) == 2
+
+    def test_take_drains_results(self, session):
+        q = session.register("q", "SELECT SUM(weight) FROM rfid [ROWS 2]")
+        for i in range(4):
+            session.push("rfid", weight_tuple(i, 10.0))
+        drained = session.take("q")
+        assert len(drained) == 2
+        assert q.results == []
+
+
+class TestPauseResume:
+    def test_paused_results_are_discarded_and_counted(self, session):
+        q = session.register("q", "SELECT SUM(weight) FROM rfid [ROWS 2]")
+        for i in range(4):
+            session.push("rfid", weight_tuple(i, 10.0))
+        assert len(q.results) == 2
+        q.pause()
+        assert session.is_paused("q")
+        for i in range(4, 8):
+            session.push("rfid", weight_tuple(i, 10.0))
+        assert len(q.results) == 2  # nothing collected while paused
+        q.resume()
+        for i in range(8, 12):
+            session.push("rfid", weight_tuple(i, 10.0))
+        assert len(q.results) == 4
+
+    def test_explain_marks_paused_queries(self, session):
+        session.register("q", "SELECT SUM(weight) FROM rfid [ROWS 2]")
+        session.pause("q")
+        assert "(paused)" in session.explain("q")
+
+
+class TestDrop:
+    def test_drop_unknown_query(self, session):
+        with pytest.raises(ServiceError, match="no query named"):
+            session.drop("ghost")
+
+    def test_drop_removes_exclusive_boxes_but_keeps_declared_stream(self, session):
+        session.register("q", "SELECT SUM(weight) FROM rfid [ROWS 3]")
+        assert len(session.statistics()) == 2  # source + aggregate
+        session.drop("q")
+        assert session.queries == []
+        assert len(session.statistics()) == 1  # the declared source persists
+        # The stream is still pushable (data goes nowhere) and a new
+        # query can attach to it.
+        session.push("rfid", weight_tuple(0, 10.0))
+        q2 = session.register("again", "SELECT SUM(weight) FROM rfid [ROWS 2]")
+        session.push("rfid", weight_tuple(1, 10.0))
+        session.push("rfid", weight_tuple(2, 10.0))
+        assert len(q2.results) == 1
+
+    def test_undeclared_source_is_removed_with_last_query(self):
+        session = QuerySession()
+        q = session.register("q", "SELECT * FROM adhoc WHERE x > 0 WITH PROBABILITY 0.5")
+        assert "adhoc" in session.streams
+        q.drop()
+        assert "adhoc" not in session.streams
+        with pytest.raises(ServiceError, match="unknown source"):
+            session.push("adhoc", weight_tuple(0, 1.0))
