@@ -19,6 +19,9 @@ is organised as:
 * :mod:`repro.service` -- the continuous-query service:
   :class:`QuerySession` hosts many registered queries in one engine
   with cross-query subplan sharing.
+* :mod:`repro.runtime` -- the sharded parallel runtime:
+  :class:`ShardedEngine` partitions tuples across worker processes and
+  recombines shard outputs with uncertainty-aware merge operators.
 * :mod:`repro.inference` -- particle filtering with the paper's
   optimisations, adaptive particle control, Kalman baseline.
 * :mod:`repro.rfid` / :mod:`repro.radar` -- the two motivating
@@ -26,8 +29,21 @@ is organised as:
 * :mod:`repro.workloads` -- workload generators for the experiments.
 """
 
-from . import core, cql, distributions, inference, plan, radar, rfid, service, streams, workloads
+from . import (
+    core,
+    cql,
+    distributions,
+    inference,
+    plan,
+    radar,
+    rfid,
+    runtime,
+    service,
+    streams,
+    workloads,
+)
 from .cql import compile_cql
+from .runtime import ShardedEngine
 from .service import QuerySession
 
 __version__ = "0.1.0"
@@ -40,10 +56,12 @@ __all__ = [
     "plan",
     "radar",
     "rfid",
+    "runtime",
     "service",
     "streams",
     "workloads",
     "QuerySession",
+    "ShardedEngine",
     "compile_cql",
     "__version__",
 ]

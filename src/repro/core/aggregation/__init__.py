@@ -1,5 +1,13 @@
 """Uncertain aggregation: result-distribution strategies and operators."""
 
+from .merge import (
+    MERGEABLE_FUNCTIONS,
+    MergeError,
+    WindowPartial,
+    extract_partial,
+    merge_sum_distributions,
+    merge_window_partials,
+)
 from .operator import (
     AGGREGATE_FUNCTIONS,
     GroupByAggregate,
@@ -39,4 +47,10 @@ __all__ = [
     "shift_distribution",
     "scale_distribution",
     "affine_distribution",
+    "MergeError",
+    "WindowPartial",
+    "extract_partial",
+    "merge_sum_distributions",
+    "merge_window_partials",
+    "MERGEABLE_FUNCTIONS",
 ]

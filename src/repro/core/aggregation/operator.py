@@ -160,21 +160,27 @@ def _aggregate_window(
     raise OperatorError(f"unsupported aggregate function {function!r}")
 
 
-def _result_tuple(
+def _result_tuple_from_parts(
     window_start: float,
     window_end: float,
     result: Distribution | int,
-    items: Sequence[StreamTuple],
+    count: int,
+    lineage: frozenset,
     output_attribute: str,
     group_key: Optional[Hashable] = None,
     having: Optional[HavingClause] = None,
 ) -> Optional[StreamTuple]:
-    """Build the output tuple for a closed window (or None if filtered out)."""
-    lineage = frozenset().union(*(item.lineage for item in items))
+    """Build a window result tuple from already-reduced parts.
+
+    Shared by the in-window aggregation path (which reduces the window
+    items itself) and the sharded runtime's partial-state merge
+    (:mod:`repro.core.aggregation.merge`), so both produce structurally
+    identical result tuples.
+    """
     values: Dict[str, Any] = {
         "window_start": window_start,
         "window_end": window_end,
-        "window_count": len(items),
+        "window_count": count,
     }
     uncertain: Dict[str, Distribution] = {}
     if group_key is not None:
@@ -195,6 +201,29 @@ def _result_tuple(
         values=values,
         uncertain=uncertain,
         lineage=lineage,
+    )
+
+
+def _result_tuple(
+    window_start: float,
+    window_end: float,
+    result: Distribution | int,
+    items: Sequence[StreamTuple],
+    output_attribute: str,
+    group_key: Optional[Hashable] = None,
+    having: Optional[HavingClause] = None,
+) -> Optional[StreamTuple]:
+    """Build the output tuple for a closed window (or None if filtered out)."""
+    lineage = frozenset().union(*(item.lineage for item in items))
+    return _result_tuple_from_parts(
+        window_start,
+        window_end,
+        result,
+        len(items),
+        lineage,
+        output_attribute,
+        group_key=group_key,
+        having=having,
     )
 
 

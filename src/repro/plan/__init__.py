@@ -58,6 +58,12 @@ from .nodes import (
 )
 from .physical import FusedBatchSegment, FusedSelectAggregate
 from .planner import CompiledQuery, NodeLowering, Planner, compile_streams
+from .sharding import (
+    MergeSpec,
+    ShardingDecision,
+    explain_sharding,
+    split_for_sharding,
+)
 from .rewrites import (
     DEFAULT_RULES,
     RewriteRule,
@@ -113,4 +119,8 @@ __all__ = [
     "callable_fingerprint",
     "node_fingerprint",
     "plan_fingerprints",
+    "MergeSpec",
+    "ShardingDecision",
+    "split_for_sharding",
+    "explain_sharding",
 ]

@@ -423,6 +423,9 @@ class Planner:
             operator_tags = _fuse_union_branches(
                 operator_tags, engine_sources, sinks
             )
+            operator_tags = _fuse_pipe_chains(
+                operator_tags, engine_sources, sinks
+            )
         engine = StreamEngine(batch_size=chosen_batch if engine_mode.mode == "batch" else None)
         for name, entry in engine_sources.items():
             engine.add_source(name, entry)
@@ -538,6 +541,78 @@ def _fuse_union_branches(
         index = next(
             i for i, (op, _) in enumerate(new_tags) if id(op) == id(chain[-1])
         )
+        new_tags.insert(index + 1, (segment, tail_node))
+    return [(op, node) for op, node in new_tags if id(op) not in removed]
+
+
+def _fuse_pipe_chains(
+    operator_tags: List[Tuple[Operator, LogicalNode]],
+    engine_sources: Dict[str, Operator],
+    sinks: Dict[str, CollectSink],
+) -> List[Tuple[Operator, LogicalNode]]:
+    """Fuse linear runs of batch-capable piped operators into one box.
+
+    ``pipe()`` chains are the T-operator idiom: several custom boxes in
+    a row (transform, enrich, monitor), each costing a scheduler
+    dispatch per batch.  Every maximal run of >= 2 consecutive
+    PipeNode-lowered boxes that are linear (one upstream, one
+    downstream) and advertise ``supports_batch`` is spliced into a
+    :class:`FusedBatchSegment`, exactly like union fan-in branches.
+    Per-tuple fallback boxes are never fused, so the segment's batch
+    kernel claim stays honest.
+    """
+    node_of: Dict[int, LogicalNode] = {id(op): node for op, node in operator_tags}
+    source_ids = {id(op) for op in engine_sources.values()}
+    sink_ids = {id(s) for s in sinks.values()}
+    upstream: Dict[int, List[Operator]] = {}
+    for op, _ in operator_tags:
+        for nxt in op.downstream:
+            upstream.setdefault(id(nxt), []).append(op)
+
+    def eligible(op: Operator) -> bool:
+        return (
+            id(op) not in source_ids
+            and id(op) not in sink_ids
+            and not isinstance(op, FusedBatchSegment)
+            and isinstance(node_of.get(id(op)), PipeNode)
+            and op.supports_batch
+            and len(op.downstream) == 1
+            and len(upstream.get(id(op), ())) == 1
+        )
+
+    runs: List[List[Operator]] = []
+    for op, _ in operator_tags:
+        if not eligible(op):
+            continue
+        parent = upstream[id(op)][0]
+        if eligible(parent):
+            continue  # not the head of its run
+        run = [op]
+        cur = op.downstream[0]
+        while eligible(cur):
+            run.append(cur)
+            cur = cur.downstream[0]
+        if len(run) >= 2:
+            runs.append(run)
+
+    if not runs:
+        return operator_tags
+
+    removed: set = set()
+    new_tags = list(operator_tags)
+    for run in runs:
+        parent = upstream[id(run[0])][0]
+        successor = run[-1].downstream[0]
+        segment = FusedBatchSegment(run)
+        parent.disconnect(run[0])
+        for member in run:
+            for nxt in list(member.downstream):
+                member.disconnect(nxt)
+        parent.connect(segment)
+        segment.connect(successor)
+        removed.update(id(member) for member in run)
+        tail_node = node_of[id(run[-1])]
+        index = next(i for i, (op, _) in enumerate(new_tags) if id(op) == id(run[-1]))
         new_tags.insert(index + 1, (segment, tail_node))
     return [(op, node) for op, node in new_tags if id(op) not in removed]
 

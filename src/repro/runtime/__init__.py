@@ -1,0 +1,45 @@
+"""Sharded parallel runtime: partitioned multi-process query execution.
+
+The paper targets stream rates a single Python process cannot sustain;
+this package adds the horizontal half of that story.  A
+:class:`ShardedEngine` partitions source tuples across worker processes
+— each running a full :class:`~repro.streams.engine.StreamEngine` on
+the shard-local plan segment chosen by
+:func:`repro.plan.sharding.split_for_sharding` — and recombines the
+outputs through uncertainty-aware merge operators: exact moment/mixture
+merge for windowed SUM/AVG/COUNT partials, ordered k-way chunk merge
+for row-wise outputs.
+
+>>> from repro.runtime import ShardedEngine
+>>> engine = ShardedEngine(query_stream, workers=4)
+>>> engine.push_many("sensors", tuples)
+>>> results = engine.finish()
+>>> engine.close()
+
+The service layer exposes the same capability as
+``QuerySession(workers=N)``.
+"""
+
+from .engine import ShardedEngine, ShardedStatistics, ShardError
+from .merge import MergeProtocolError, OrderedChunkMerger, WindowPartialMerger
+from .partition import (
+    HashPartitioner,
+    Partitioner,
+    RoundRobinPartitioner,
+    resolve_partitioner,
+)
+from .worker import ShardRunner
+
+__all__ = [
+    "ShardedEngine",
+    "ShardedStatistics",
+    "ShardError",
+    "Partitioner",
+    "RoundRobinPartitioner",
+    "HashPartitioner",
+    "resolve_partitioner",
+    "OrderedChunkMerger",
+    "WindowPartialMerger",
+    "MergeProtocolError",
+    "ShardRunner",
+]

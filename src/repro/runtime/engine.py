@@ -1,0 +1,584 @@
+"""`ShardedEngine`: partitioned multi-process execution of one query.
+
+The parent process partitions source tuples into chunks, ships them to
+N worker processes over bounded queues (each worker runs a full
+:class:`~repro.streams.engine.StreamEngine` on the shard-local plan
+segment), and recombines the workers' outputs through the
+uncertainty-aware merge operators of :mod:`repro.runtime.merge`:
+
+* aggregate-split plans merge per-window partial moments/mixtures and
+  apply HAVING (plus any row-wise coordinator suffix) on the merged
+  result;
+* row-wise plans reassemble chunk outputs in global input order.
+
+Plans the sharding pass rejects (joins, count windows, ...) fall back
+to a single in-process engine behind the same interface, and
+``explain()`` says why — sharded and unsharded queries are driven
+identically.
+
+Backpressure is structural: the per-worker input queues and the shared
+result queue are bounded, the parent drains results whenever a send
+would block, and workers block on the result queue when the parent
+lags.  ``finish()`` drains the pipeline (flushes every shard's partial
+windows and merges everything pending); ``close()`` shuts the workers
+down; the engine is a context manager that closes on exit.
+
+Workers are forked, not spawned: logical plans carry closures
+(predicates, derive functions, group keys) that never pickle, but fork
+inherits them by address space.  Tuples cross processes only through
+:mod:`repro.streams.serialization`.
+"""
+
+from __future__ import annotations
+
+import gc
+import math
+import multiprocessing
+import queue as queue_module
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.plan.builder import Stream
+from repro.plan.nodes import LogicalPlan, PlanError
+from repro.plan.planner import Planner
+from repro.plan.sharding import (
+    PARTIAL_SOURCE,
+    ShardingDecision,
+    explain_sharding,
+    split_for_sharding,
+)
+from repro.streams.batch import TupleBatch
+from repro.streams.engine import OperatorStats
+from repro.streams.operators.base import Operator
+from repro.streams.operators.basic import CollectSink
+from repro.streams.serialization import decode_batch, encode_batch_wire
+from repro.streams.tuples import StreamTuple
+
+from .merge import OrderedChunkMerger, WindowPartialMerger
+from .partition import Partitioner, resolve_partitioner
+from .worker import ShardRunner, worker_main
+
+__all__ = ["ShardedEngine", "ShardError", "ShardedStatistics"]
+
+#: How long finish()/statistics() wait for worker replies before
+#: declaring a shard dead.
+_REPLY_TIMEOUT = 60.0
+
+
+class ShardError(RuntimeError):
+    """A worker process failed (its traceback is in the message)."""
+
+
+@dataclass(frozen=True)
+class ShardedStatistics:
+    """Per-shard and coordinator box statistics."""
+
+    shards: Dict[int, List[OperatorStats]]
+    coordinator: List[OperatorStats]
+
+
+class ShardedEngine:
+    """Run one compiled query across N shard processes (see module docs).
+
+    Parameters
+    ----------
+    query:
+        A :class:`~repro.plan.Stream` or single-output
+        :class:`~repro.plan.LogicalPlan`.
+    workers:
+        Shard count.  ``0`` forces the single-engine fallback.
+    partitioner:
+        ``"round_robin"`` (default), ``"hash:<attribute>"`` or a
+        :class:`~repro.runtime.partition.Partitioner`.  Hash
+        partitioning is only accepted for aggregate-split plans, whose
+        merge is order-insensitive.
+    backend:
+        ``"process"`` (forked workers, the real runtime) or
+        ``"inline"`` (shards run synchronously in-process through the
+        same protocol — deterministic, for tests and platforms without
+        ``fork``).
+    chunk_size:
+        Tuples per shipped chunk.
+    queue_capacity:
+        Bound of each worker's input queue, in chunks; the shared
+        result queue is bounded proportionally.  This is the
+        backpressure knob: total in-flight tuples are at most
+        ``workers * queue_capacity * chunk_size`` each way.
+    mode / batch_size:
+        Execution mode for the shard-local engines (as in
+        ``Planner.compile``); ``"auto"`` lets each worker's cost model
+        decide.
+    sink:
+        Optional result sink operator; every merged result is delivered
+        through ``sink.accept``.  Defaults to a
+        :class:`~repro.streams.operators.basic.CollectSink` exposed via
+        :attr:`results`.
+    """
+
+    def __init__(
+        self,
+        query: Union[Stream, LogicalPlan],
+        workers: int = 2,
+        partitioner: Union[str, Partitioner] = "round_robin",
+        backend: str = "process",
+        chunk_size: int = 1024,
+        queue_capacity: int = 8,
+        mode: str = "auto",
+        batch_size: Optional[int] = None,
+        planner: Optional[Planner] = None,
+        optimize: bool = True,
+        sink: Optional[Operator] = None,
+    ):
+        if workers < 0:
+            raise PlanError(f"workers must be non-negative, got {workers}")
+        if chunk_size < 1:
+            raise PlanError(f"chunk_size must be at least 1, got {chunk_size}")
+        if queue_capacity < 1:
+            raise PlanError(f"queue_capacity must be at least 1, got {queue_capacity}")
+        if backend not in ("process", "inline"):
+            raise PlanError(f"unknown backend {backend!r}; use 'process' or 'inline'")
+
+        if isinstance(query, Stream):
+            plan = query.plan()
+        elif isinstance(query, LogicalPlan):
+            plan = query
+            plan.validate()
+        else:
+            raise PlanError(
+                f"ShardedEngine takes a Stream or LogicalPlan, got {type(query).__name__}"
+            )
+
+        self._planner = planner or Planner()
+        self._optimize = optimize
+        self.workers = workers
+        self.backend = backend
+        self.chunk_size = chunk_size
+        self._queue_capacity = queue_capacity
+        self.mode = mode
+        self.batch_size = batch_size
+        self._sink = sink if sink is not None else CollectSink(name="sink:sharded")
+        self._closed = False
+
+        if optimize:
+            optimized, _ = self._planner.optimize(plan)
+            optimized.validate()
+        else:
+            optimized = plan
+        if workers == 0:
+            self.decision = ShardingDecision(
+                shardable=False, reason="workers=0 pins the single-engine fallback"
+            )
+        else:
+            self.decision = split_for_sharding(optimized, self._planner.cost_model)
+
+        self.partitioner = resolve_partitioner(partitioner)
+        if (
+            self.decision.shardable
+            and self.decision.partitioning == "chunked"
+            and not self.partitioner.preserves_order
+        ):
+            raise PlanError(
+                f"{self.partitioner!r} does not preserve the global input order, "
+                "which this row-wise plan's ordered merge requires; use the "
+                "round-robin partitioner (or an aggregate-split plan)"
+            )
+
+        if not self.decision.shardable:
+            # Single-engine fallback behind the sharded interface.
+            self._compiled = self._planner.compile(
+                plan, mode=mode, batch_size=batch_size, optimize=optimize
+            )
+            self._compiled_sink = self._compiled._sinks[self._compiled.logical_plan.names[0]]
+            self.sources = list(self._compiled.sources)
+        else:
+            self._init_sharded()
+
+    # ------------------------------------------------------------------
+    # Sharded state
+    # ------------------------------------------------------------------
+    def _init_sharded(self) -> None:
+        """Build mergers, suffix engine and the worker pool."""
+        decision = self.decision
+        self.sources = sorted(s.name for s in decision.local.sources)
+        if decision.ordered:
+            self._merger = OrderedChunkMerger()
+        else:
+            self._merger = WindowPartialMerger(decision.merge, self.workers)
+        self._suffix = None
+        self._suffix_sink = None
+        if decision.suffix is not None:
+            self._suffix = self._planner.compile(
+                decision.suffix, mode="tuple", optimize=False
+            )
+            self._suffix_sink = self._suffix._sinks[decision.suffix.names[0]]
+
+        self._next_chunk = 0
+        self._outstanding = 0
+        # Pending chunk buffers.  The ordered (row-wise) merge needs
+        # chunk ids to reproduce the exact arrival order across sources,
+        # so it keeps ONE buffer and ships it whenever the source
+        # switches; the window merge is order-insensitive, so each
+        # source buffers independently and interleaved pushes still
+        # ship full chunks.
+        self._pending: Dict[str, List[StreamTuple]] = {}
+        self._pending_source: Optional[str] = None
+        self._flush_token = 0
+        self._flushed_tokens: Dict[int, int] = {}
+        self._stats_rows: Dict[int, Optional[List]] = {}
+        self._ordered_flush: Dict[int, List[StreamTuple]] = {}
+
+        if self.backend == "inline":
+            self._runners = [
+                ShardRunner(i, decision.local, mode=self.mode, batch_size=self.batch_size)
+                for i in range(self.workers)
+            ]
+            return
+        context = multiprocessing.get_context("fork")
+        self._in_queues = [
+            context.Queue(maxsize=self._queue_capacity) for _ in range(self.workers)
+        ]
+        self._out_queue = context.Queue(maxsize=max(16, self._queue_capacity * self.workers))
+        self._processes = []
+        # Pre-fork GC hygiene (the classic pre-fork-server pattern): move
+        # every object the parent has allocated so far into the permanent
+        # generation.  The forked workers inherit that heap and would
+        # otherwise re-traverse all of it on every one of *their* gen-2
+        # collections while they churn through tuples — measured at 3x
+        # worker throughput when the parent heap is large.  The parent
+        # unfreezes afterwards; the workers keep the frozen heap.
+        gc.collect()
+        gc.freeze()
+        try:
+            for shard in range(self.workers):
+                process = context.Process(
+                    target=worker_main,
+                    args=(
+                        shard,
+                        decision.local,
+                        self.mode,
+                        self.batch_size,
+                        self._in_queues[shard],
+                        self._out_queue,
+                    ),
+                    daemon=True,
+                    name=f"repro-shard-{shard}",
+                )
+                process.start()
+                self._processes.append(process)
+        finally:
+            gc.unfreeze()
+
+    # ------------------------------------------------------------------
+    # Data flow
+    # ------------------------------------------------------------------
+    @property
+    def sharded(self) -> bool:
+        """True when the plan actually runs across shard workers."""
+        return self.decision.shardable
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ShardError(
+                "this ShardedEngine is closed; create a new one to push more data"
+            )
+
+    def push(self, source: str, item: StreamTuple) -> None:
+        """Buffer one tuple; full chunks ship to their shard."""
+        self._ensure_open()
+        if not self.sharded:
+            self._compiled.push(source, item)
+            self._drain_fallback()
+            return
+        self._check_source(source)
+        if self.decision.ordered and self._pending_source not in (None, source):
+            self._ship_pending()
+        self._pending_source = source
+        buffer = self._pending.setdefault(source, [])
+        buffer.append(item)
+        if len(buffer) >= self.chunk_size:
+            self._ship_buffer(source)
+
+    def push_many(self, source: str, items: Iterable[StreamTuple]) -> None:
+        """Push a sequence of tuples (chunked and partitioned across shards)."""
+        self._ensure_open()
+        if not self.sharded:
+            self._compiled.push_many(source, items)
+            self._drain_fallback()
+            return
+        for item in items:
+            self.push(source, item)
+
+    def _check_source(self, source: str) -> None:
+        if source not in self.sources:
+            raise PlanError(
+                f"unknown source {source!r}; this plan reads {self.sources}"
+            )
+
+    def _ship_pending(self) -> None:
+        """Ship every non-empty pending buffer."""
+        for source in list(self._pending):
+            self._ship_buffer(source)
+        self._pending_source = None
+
+    def _ship_buffer(self, source: str) -> None:
+        items = self._pending.pop(source, None)
+        if not items:
+            return
+        split = self.partitioner.split_chunk(self._next_chunk, items, self.workers)
+        for shard in sorted(split):
+            tuples = split[shard]
+            if not tuples:
+                continue
+            chunk_id = self._next_chunk
+            self._next_chunk += 1
+            payload = encode_batch_wire(TupleBatch(tuples))
+            self._outstanding += 1
+            if isinstance(self._merger, WindowPartialMerger):
+                self._merger.mark_fed(shard)
+            self._send(shard, ("chunk", source, chunk_id, payload))
+
+    # ------------------------------------------------------------------
+    # Worker I/O
+    # ------------------------------------------------------------------
+    def _send(self, shard: int, message) -> None:
+        if self.backend == "inline":
+            self._dispatch(self._run_inline(shard, message))
+            return
+        while True:
+            try:
+                self._in_queues[shard].put(message, timeout=0.05)
+                return
+            except queue_module.Full:
+                self._drain(block=False)
+                self._check_workers_alive()
+
+    def _run_inline(self, shard: int, message):
+        runner = self._runners[shard]
+        kind = message[0]
+        if kind == "chunk":
+            _, source, chunk_id, payload = message
+            outputs, watermark = runner.chunk(source, decode_batch(payload))
+            return ("results", shard, chunk_id, encode_batch_wire(TupleBatch(outputs)), watermark)
+        if kind == "flush":
+            return ("flushed", shard, message[1], encode_batch_wire(TupleBatch(runner.flush())))
+        if kind == "stats":
+            return ("stats", shard, runner.statistics_rows())
+        raise RuntimeError(f"unknown inline message {kind!r}")  # pragma: no cover
+
+    def _dispatch(self, message) -> None:
+        kind = message[0]
+        if kind == "results":
+            _, shard, chunk_id, payload, watermark = message
+            outputs = decode_batch(payload).to_tuples()
+            self._outstanding -= 1
+            if isinstance(self._merger, OrderedChunkMerger):
+                self._deliver(self._merger.ingest(chunk_id, outputs))
+            else:
+                self._deliver(self._merger.ingest(shard, outputs, watermark))
+        elif kind == "flushed":
+            _, shard, token, payload = message
+            outputs = decode_batch(payload).to_tuples()
+            self._flushed_tokens[shard] = token
+            if isinstance(self._merger, OrderedChunkMerger):
+                self._ordered_flush.setdefault(shard, []).extend(outputs)
+            else:
+                self._deliver(self._merger.ingest(shard, outputs, math.inf))
+        elif kind == "stats":
+            _, shard, rows = message
+            self._stats_rows[shard] = rows
+        elif kind == "error":
+            _, shard, trace = message
+            raise ShardError(f"shard {shard} failed:\n{trace}")
+        else:  # pragma: no cover - protocol misuse
+            raise RuntimeError(f"unknown worker reply {kind!r}")
+
+    def _deliver(self, merged: List[StreamTuple]) -> None:
+        """Route merged tuples through the coordinator suffix to the sink."""
+        if not merged:
+            return
+        if self._suffix is not None:
+            for item in merged:
+                self._suffix.push(PARTIAL_SOURCE, item)
+            merged = list(self._suffix_sink.results)
+            self._suffix_sink.results.clear()
+        for item in merged:
+            self._sink.accept(item)
+
+    def _drain(self, block: bool, until=None, timeout: float = _REPLY_TIMEOUT) -> None:
+        """Consume worker replies; with ``until``, block until it holds.
+
+        ``timeout`` is an *inactivity* bound: it restarts on every
+        received message, so a slow-but-progressing shard never trips
+        it — only a shard that stops replying altogether does.
+        """
+        if self.backend == "inline":
+            return
+        deadline = time.monotonic() + timeout
+        while True:
+            if until is not None and until():
+                return
+            try:
+                message = self._out_queue.get(timeout=0.05 if block else 0.0)
+            except queue_module.Empty:
+                if not block or until is None:
+                    return
+                self._check_workers_alive()
+                if time.monotonic() > deadline:
+                    raise ShardError(
+                        f"no shard replies for {timeout:.0f}s while waiting to drain"
+                    )
+                continue
+            deadline = time.monotonic() + timeout
+            self._dispatch(message)
+
+    def _check_workers_alive(self) -> None:
+        for process in getattr(self, "_processes", ()):
+            if not process.is_alive() and process.exitcode not in (0, None):
+                raise ShardError(
+                    f"{process.name} exited with code {process.exitcode} "
+                    "without reporting an error"
+                )
+
+    def _drain_fallback(self) -> None:
+        """Move fallback results from the compiled sink through the user sink."""
+        results = self._compiled_sink.results
+        if not results:
+            return
+        for item in list(results):
+            self._sink.accept(item)
+        results.clear()
+
+    # ------------------------------------------------------------------
+    # Drain / shutdown
+    # ------------------------------------------------------------------
+    def finish(self) -> List[StreamTuple]:
+        """Drain the pipeline: flush every shard, merge everything pending.
+
+        Mirrors ``StreamEngine.finish``: partial windows close and their
+        results are emitted; the engine stays usable for further pushes.
+        """
+        self._ensure_open()
+        if not self.sharded:
+            self._compiled.finish()
+            self._drain_fallback()
+            return self.results
+        self._ship_pending()
+        self._flush_token += 1
+        token = self._flush_token
+        for shard in range(self.workers):
+            self._send(shard, ("flush", token))
+        self._drain(
+            block=True,
+            until=lambda: self._outstanding == 0
+            and all(self._flushed_tokens.get(s) == token for s in range(self.workers)),
+        )
+        if isinstance(self._merger, OrderedChunkMerger):
+            self._deliver(self._merger.drain())
+            for shard in range(self.workers):
+                self._deliver(self._ordered_flush.pop(shard, []))
+        else:
+            self._deliver(self._merger.drain())
+        if self._suffix is not None:
+            self._suffix.engine.finish()
+            leftovers = list(self._suffix_sink.results)
+            self._suffix_sink.results.clear()
+            for item in leftovers:
+                self._sink.accept(item)
+        return self.results
+
+    def close(self) -> None:
+        """Stop the workers and release the queues (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self.sharded or self.backend == "inline":
+            return
+        for shard, q in enumerate(self._in_queues):
+            try:
+                q.put(("stop",), timeout=0.5)
+            except queue_module.Full:  # pragma: no cover - worker wedged
+                pass
+        for process in self._processes:
+            process.join(timeout=2.0)
+        for process in self._processes:
+            if process.is_alive():  # pragma: no cover - worker wedged
+                process.terminate()
+                process.join(timeout=1.0)
+        for q in [*self._in_queues, self._out_queue]:
+            q.cancel_join_thread()
+            q.close()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Results & introspection
+    # ------------------------------------------------------------------
+    @property
+    def results(self) -> List[StreamTuple]:
+        """All merged results delivered to the default sink so far."""
+        return list(getattr(self._sink, "results", ()))
+
+    def take(self) -> List[StreamTuple]:
+        """Drain and return the collected results."""
+        results = getattr(self._sink, "results", None)
+        if results is None:
+            return []
+        out = list(results)
+        results.clear()
+        return out
+
+    def statistics(self) -> ShardedStatistics:
+        """Per-shard operator statistics plus the coordinator's own boxes."""
+        coordinator: List[OperatorStats] = []
+        if not self.sharded:
+            return ShardedStatistics(
+                shards={}, coordinator=self._compiled.statistics(detailed=True)
+            )
+        self._ensure_open()
+        self._stats_rows = {shard: None for shard in range(self.workers)}
+        for shard in range(self.workers):
+            self._send(shard, ("stats",))
+        self._drain(
+            block=True,
+            until=lambda: all(
+                self._stats_rows.get(s) is not None for s in range(self.workers)
+            ),
+        )
+        shards = {
+            shard: [OperatorStats(*row) for row in rows]
+            for shard, rows in self._stats_rows.items()
+        }
+        if self._suffix is not None:
+            coordinator.extend(self._suffix.statistics(detailed=True))
+        coordinator.append(
+            OperatorStats(
+                name=self._sink.name,
+                tuples_in=self._sink.tuples_in,
+                tuples_out=self._sink.tuples_out,
+                batches_in=self._sink.batches_in,
+                seconds=self._sink.processing_seconds,
+            )
+        )
+        return ShardedStatistics(shards=shards, coordinator=coordinator)
+
+    def explain(self) -> str:
+        """The sharding decision, runtime configuration and fallback plan."""
+        lines = [explain_sharding(self.decision, workers=self.workers)]
+        lines.append("")
+        lines.append("Runtime")
+        lines.append("-------")
+        lines.append(f"backend: {self.backend}")
+        lines.append(f"partitioner: {self.partitioner!r}")
+        lines.append(
+            f"chunk_size: {self.chunk_size}, queue_capacity: {self._queue_capacity}"
+        )
+        lines.append(f"worker execution: mode={self.mode}, batch_size={self.batch_size}")
+        if not self.sharded:
+            lines.append("")
+            lines.append(self._compiled.explain())
+        return "\n".join(lines)

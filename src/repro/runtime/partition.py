@@ -1,0 +1,106 @@
+"""Partitioning strategies for the sharded runtime.
+
+The parent process slices its input stream into *chunks* (contiguous
+runs of tuples, shipped as one encoded batch each) and a partitioner
+decides which shard runs which tuples:
+
+* :class:`RoundRobinPartitioner` assigns whole chunks to shards in
+  rotation.  Chunk ids are globally ordered, so the coordinator can
+  reassemble row-wise outputs in exactly the single-engine order — this
+  is the only partitioner valid for plans whose merge is
+  order-sensitive (``ShardingDecision.partitioning == "chunked"``).
+* :class:`HashPartitioner` routes each tuple by a stable hash of one
+  attribute, giving key locality (all tuples of a group on one shard).
+  It does not preserve global order and is therefore only accepted for
+  aggregate-split plans, whose window merge is order-insensitive.
+
+Hashes are computed with :func:`zlib.crc32` over a canonical byte
+rendering of the key — deterministic across processes and runs, unlike
+Python's salted ``hash()``.
+"""
+
+from __future__ import annotations
+
+import abc
+import zlib
+from typing import Dict, List, Sequence, Union
+
+from repro.streams.tuples import StreamTuple
+
+__all__ = ["Partitioner", "RoundRobinPartitioner", "HashPartitioner", "resolve_partitioner"]
+
+
+class Partitioner(abc.ABC):
+    """Strategy mapping input tuples/chunks onto shard indices."""
+
+    #: True when chunk ids assigned by this partitioner form one global
+    #: sequence whose concatenation is the original input order.
+    preserves_order: bool = False
+
+    @abc.abstractmethod
+    def split_chunk(
+        self, chunk_index: int, items: Sequence[StreamTuple], n_shards: int
+    ) -> Dict[int, List[StreamTuple]]:
+        """Map one input chunk to ``{shard index: tuples}`` (order kept)."""
+
+
+class RoundRobinPartitioner(Partitioner):
+    """Whole chunks rotate across shards; global chunk order is preserved."""
+
+    preserves_order = True
+
+    def split_chunk(
+        self, chunk_index: int, items: Sequence[StreamTuple], n_shards: int
+    ) -> Dict[int, List[StreamTuple]]:
+        return {chunk_index % n_shards: list(items)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return "RoundRobinPartitioner()"
+
+
+class HashPartitioner(Partitioner):
+    """Route each tuple by a stable hash of one deterministic attribute."""
+
+    preserves_order = False
+
+    def __init__(self, attribute: str):
+        if not attribute:
+            raise ValueError("HashPartitioner needs an attribute name")
+        self.attribute = attribute
+
+    def shard_of(self, item: StreamTuple, n_shards: int) -> int:
+        try:
+            value = item.value(self.attribute)
+        except KeyError as exc:
+            raise KeyError(
+                f"cannot hash-partition: tuple has no value {self.attribute!r}"
+            ) from exc
+        digest = zlib.crc32(repr(value).encode("utf-8"))
+        return digest % n_shards
+
+    def split_chunk(
+        self, chunk_index: int, items: Sequence[StreamTuple], n_shards: int
+    ) -> Dict[int, List[StreamTuple]]:
+        split: Dict[int, List[StreamTuple]] = {}
+        for item in items:
+            split.setdefault(self.shard_of(item, n_shards), []).append(item)
+        return split
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"HashPartitioner(attribute={self.attribute!r})"
+
+
+def resolve_partitioner(spec: Union[str, Partitioner]) -> Partitioner:
+    """Accept a partitioner instance, ``"round_robin"`` or ``"hash:<attr>"``."""
+    if isinstance(spec, Partitioner):
+        return spec
+    if isinstance(spec, str):
+        name = spec.strip().lower()
+        if name in ("round_robin", "roundrobin", "rr"):
+            return RoundRobinPartitioner()
+        if name.startswith("hash:"):
+            return HashPartitioner(spec.split(":", 1)[1])
+    raise ValueError(
+        f"unknown partitioner {spec!r}; use 'round_robin', 'hash:<attribute>' "
+        "or a Partitioner instance"
+    )

@@ -1,0 +1,127 @@
+"""Worker side of the sharded runtime.
+
+A worker owns one full :class:`~repro.streams.engine.StreamEngine`
+compiled from the shard-local plan segment and speaks a small message
+protocol over a pair of queues:
+
+parent → worker
+    ``("chunk", source, chunk_id, payload)`` — one encoded tuple batch;
+    ``("flush", token)`` — close partial windows (end-of-stream drain);
+    ``("stats",)`` — snapshot per-box statistics;
+    ``("stop",)`` — exit the loop.
+
+worker → parent
+    ``("results", shard, chunk_id, payload, watermark)`` — the outputs
+    the chunk produced (possibly empty — the ordered merge needs every
+    chunk acknowledged) plus the shard's event-time watermark, shipped
+    atomically so the coordinator can trust a passed watermark;
+    ``("flushed", shard, token, payload)`` — drain results;
+    ``("stats", shard, rows)`` — statistics snapshot;
+    ``("error", shard, traceback)`` — the worker died.
+
+Tuples cross the process boundary through the compact binary codec of
+:mod:`repro.streams.serialization`, not pickle: the payload sizes are
+what the paper's stream-volume argument is about, and the codec keeps
+them measurable.
+
+:class:`ShardRunner` holds the engine-facing half without any queue
+I/O, so the inline backend (and tests) can drive shards synchronously.
+"""
+
+from __future__ import annotations
+
+import math
+import traceback
+from typing import List, Optional, Tuple
+
+from repro.plan.nodes import LogicalPlan
+from repro.plan.planner import Planner
+from repro.streams.batch import TupleBatch
+from repro.streams.serialization import decode_batch, encode_batch_wire
+
+__all__ = ["ShardRunner", "worker_main"]
+
+
+class ShardRunner:
+    """One shard: a compiled local plan plus chunk/flush/stats entry points."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        plan: LogicalPlan,
+        mode: str = "auto",
+        batch_size: Optional[int] = None,
+    ):
+        self.shard_id = shard_id
+        self.query = Planner().compile(
+            plan, mode=mode, batch_size=batch_size, optimize=False
+        )
+        self._sink = self.query._sinks[plan.names[0]]
+        self.watermark = -math.inf
+
+    def chunk(self, source: str, batch: TupleBatch) -> Tuple[List, float]:
+        """Run one chunk; return (outputs, watermark after the chunk)."""
+        if len(batch):
+            if self.query.engine.batch_size is not None:
+                self.query.push_batch(source, batch)
+            else:
+                push = self.query.push
+                for item in batch:
+                    push(source, item)
+            self.watermark = max(self.watermark, float(batch.timestamps()[-1]))
+        return self._take(), self.watermark
+
+    def flush(self) -> List:
+        """Close partial windows and return their outputs."""
+        self.query.engine.finish()
+        return self._take()
+
+    def _take(self) -> List:
+        out = list(self._sink.results)
+        self._sink.results.clear()
+        return out
+
+    def statistics_rows(self) -> List[Tuple[str, int, int, int, float]]:
+        return [
+            (s.name, s.tuples_in, s.tuples_out, s.batches_in, s.seconds)
+            for s in self.query.statistics(detailed=True)
+        ]
+
+
+def worker_main(
+    shard_id: int,
+    plan: LogicalPlan,
+    mode: str,
+    batch_size: Optional[int],
+    in_queue,
+    out_queue,
+) -> None:
+    """Process entry point: serve the shard protocol until ``stop``.
+
+    Runs under the ``fork`` start method, so the logical plan — with
+    all its closures — arrives by address-space inheritance, and each
+    worker compiles its own private operator instances from it.
+    """
+    try:
+        runner = ShardRunner(shard_id, plan, mode=mode, batch_size=batch_size)
+        while True:
+            message = in_queue.get()
+            kind = message[0]
+            if kind == "chunk":
+                _, source, chunk_id, payload = message
+                outputs, watermark = runner.chunk(source, decode_batch(payload))
+                payload_out = encode_batch_wire(TupleBatch(outputs))
+                out_queue.put(("results", shard_id, chunk_id, payload_out, watermark))
+            elif kind == "flush":
+                outputs = runner.flush()
+                out_queue.put(
+                    ("flushed", shard_id, message[1], encode_batch_wire(TupleBatch(outputs)))
+                )
+            elif kind == "stats":
+                out_queue.put(("stats", shard_id, runner.statistics_rows()))
+            elif kind == "stop":
+                return
+            else:  # pragma: no cover - protocol misuse
+                raise RuntimeError(f"unknown worker message {kind!r}")
+    except BaseException:
+        out_queue.put(("error", shard_id, traceback.format_exc()))

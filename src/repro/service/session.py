@@ -52,6 +52,8 @@ from repro.plan.nodes import (
 )
 from repro.plan.planner import NodeLowering, Planner
 from repro.plan.rewrites import RewriteTrace
+from repro.plan.sharding import split_for_sharding
+from repro.runtime.engine import ShardedEngine, ShardedStatistics
 from repro.streams.batch import TupleBatch
 from repro.streams.engine import OperatorStats, StreamEngine
 from repro.streams.operators.base import Operator
@@ -128,6 +130,9 @@ class _Registered:
     sink: _QuerySink
     root_fingerprint: Hashable
     strategy_decisions: list
+    #: Set when the query runs in its own sharded runtime instead of the
+    #: session's shared engine (``QuerySession(workers=N)``).
+    sharded: Optional[ShardedEngine] = None
 
 
 @dataclass(frozen=True)
@@ -191,6 +196,19 @@ class QuerySession:
     functions:
         UDFs available to every registered CQL query (individual
         ``register`` calls can add more).
+    workers:
+        When positive, queries whose plans the partition-aware planner
+        pass can split (:func:`repro.plan.sharding.split_for_sharding`)
+        transparently run in their own
+        :class:`~repro.runtime.ShardedEngine` with this many worker
+        processes; pushes into their sources are routed to the shards
+        and merged results land in the query's sink exactly as for
+        engine-hosted queries.  Unshardable queries keep running in the
+        shared engine.  Sharded queries do not participate in
+        cross-query subplan sharing (each owns its worker pool).
+    shard_backend / shard_chunk_size:
+        Backend (``"process"`` or ``"inline"``) and chunk size for the
+        sharded runtime.
     """
 
     def __init__(
@@ -199,16 +217,29 @@ class QuerySession:
         batch_size: Optional[int] = None,
         optimize: bool = True,
         functions: Optional[Mapping[str, Callable]] = None,
+        workers: int = 0,
+        shard_backend: str = "process",
+        shard_chunk_size: int = 1024,
     ):
+        if workers < 0:
+            raise ServiceError(f"workers must be non-negative, got {workers}")
         self.engine = StreamEngine(batch_size=batch_size)
         self._planner = planner or Planner()
+        self._batch_size = batch_size
         self._optimize = optimize
         self._functions: Dict[str, Callable] = dict(functions or {})
+        self._workers = workers
+        self._shard_backend = shard_backend
+        self._shard_chunk_size = shard_chunk_size
         self._streams: Dict[str, SourceNode] = {}  # locked source declarations
         self._declared: set = set()  # names declared via create_stream
         self._entries: Dict[str, Operator] = {}  # engine entry ops
         self._boxes: Dict[Hashable, _SharedBox] = {}
         self._queries: Dict[str, _Registered] = {}
+        #: source name -> sharded queries reading it (push-path index;
+        #: push runs per tuple, so no per-push scan over all queries).
+        self._sharded_by_source: Dict[str, List[_Registered]] = {}
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Stream & function registry
@@ -303,6 +334,14 @@ class QuerySession:
             optimized, traces = plan, []
 
         self._adopt_sources(optimized)
+
+        if self._workers:
+            decision = split_for_sharding(optimized, self._planner.cost_model)
+            if decision.shardable:
+                return self._register_sharded(
+                    name, text, plan, optimized, traces, on_result
+                )
+
         overrides = {src: ("session-source", src) for src in self._streams}
         fingerprints = plan_fingerprints(optimized.outputs, source_overrides=overrides)
 
@@ -332,6 +371,45 @@ class QuerySession:
             root_fingerprint=fingerprints[id(root)],
             strategy_decisions=list(lowering.strategy_decisions),
         )
+        return RegisteredQuery(self, name)
+
+    def _register_sharded(
+        self,
+        name: str,
+        text: Optional[str],
+        plan: LogicalPlan,
+        optimized: LogicalPlan,
+        traces,
+        on_result: Optional[Callable[[StreamTuple], None]],
+    ) -> RegisteredQuery:
+        """Run a shardable query in its own worker pool (see ``workers=``)."""
+        sink = _QuerySink(name=f"sink:{name}", callback=on_result)
+        sharded = ShardedEngine(
+            optimized,
+            workers=self._workers,
+            backend=self._shard_backend,
+            chunk_size=self._shard_chunk_size,
+            mode="auto",
+            batch_size=self._batch_size,
+            planner=self._planner,
+            optimize=False,  # the session already ran the rewrite rules
+            sink=sink,
+        )
+        registered = _Registered(
+            name=name,
+            text=text,
+            plan=plan,
+            optimized=optimized,
+            rewrites=list(traces),
+            fingerprints=[],
+            sink=sink,
+            root_fingerprint=None,
+            strategy_decisions=[],
+            sharded=sharded,
+        )
+        self._queries[name] = registered
+        for source in sharded.sources:
+            self._sharded_by_source.setdefault(source, []).append(registered)
         return RegisteredQuery(self, name)
 
     def _adopt_sources(self, plan: LogicalPlan) -> None:
@@ -442,6 +520,13 @@ class QuerySession:
         streams persist even when their last query is dropped.
         """
         query = self._query(name)
+        if query.sharded is not None:
+            query.sharded.close()
+            del self._queries[name]
+            for readers in self._sharded_by_source.values():
+                if query in readers:
+                    readers.remove(query)
+            return
         root_box = self._boxes[query.root_fingerprint]
         root_box.op.disconnect(query.sink)
         self.engine.unregister(query.sink)
@@ -481,18 +566,32 @@ class QuerySession:
     # ------------------------------------------------------------------
     # Data flow
     # ------------------------------------------------------------------
+    def _sharded_readers(self, source: str) -> List[_Registered]:
+        return self._sharded_by_source.get(source, [])
+
+    def _known_sources(self) -> set:
+        known = set(self._entries)
+        for source, readers in self._sharded_by_source.items():
+            if readers:
+                known.add(source)
+        return known
+
     def _check_source(self, source: str) -> None:
-        if source not in self._entries:
-            known = ", ".join(sorted(self._entries)) or "none"
-            raise ServiceError(
-                f"unknown source {source!r} (known: {known}); register a query "
-                "reading it first"
-            )
+        if source in self._entries or self._sharded_by_source.get(source):
+            return
+        known = ", ".join(sorted(self._known_sources())) or "none"
+        raise ServiceError(
+            f"unknown source {source!r} (known: {known}); register a query "
+            "reading it first"
+        )
 
     def push(self, source: str, item: StreamTuple) -> None:
         """Push one tuple into a named source (tuple-at-a-time path)."""
         self._check_source(source)
-        self.engine.push(source, item)
+        if source in self._entries:
+            self.engine.push(source, item)
+        for query in self._sharded_by_source.get(source, ()):
+            query.sharded.push(source, item)
 
     def push_many(
         self,
@@ -502,15 +601,47 @@ class QuerySession:
     ) -> None:
         """Push many tuples (batch path when the session has a batch size)."""
         self._check_source(source)
-        self.engine.push_many(source, items, batch_size=batch_size)
+        readers = self._sharded_readers(source)
+        if readers and not isinstance(items, (list, tuple)):
+            items = list(items)  # several consumers each need the full stream
+        if source in self._entries:
+            self.engine.push_many(source, items, batch_size=batch_size)
+        for query in readers:
+            query.sharded.push_many(source, items)
 
     def flush(self) -> None:
         """Close out all partial windows (emits their pending results).
 
         The session keeps running: this is a checkpoint, not a
         shutdown — pushing more tuples afterwards starts fresh windows.
+        Sharded queries drain their worker pipelines.
         """
         self.engine.finish()
+        for query in self._queries.values():
+            if query.sharded is not None:
+                query.sharded.finish()
+
+    def close(self) -> None:
+        """Shut the session down: stop every sharded query's workers.
+
+        Engine-hosted queries need no teardown; sharded ones hold
+        worker processes and queues.  Idempotent; the session is also a
+        context manager (``with QuerySession(workers=4) as session:``).
+        Call :meth:`flush` first if pending partial windows should
+        still be emitted.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for query in self._queries.values():
+            if query.sharded is not None:
+                query.sharded.close()
+
+    def __enter__(self) -> "QuerySession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Results
@@ -527,6 +658,111 @@ class QuerySession:
         return drained
 
     # ------------------------------------------------------------------
+    # Persistence-lite: snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """Serialize the session's declarative state to a JSON-able dict.
+
+        Captures the streams declared via :meth:`create_stream` (name,
+        attributes, family, rate hint, per-column statistics) and every
+        query registered *as CQL text* — the text is already retained —
+        plus its paused flag, in registration order.  Queries registered
+        as ``Stream``/``LogicalPlan`` objects carry arbitrary closures
+        and are listed under ``"unsupported"`` instead of serialized;
+        UDFs likewise must be re-supplied to :meth:`restore`.
+        """
+        streams = []
+        for stream_name in sorted(self._declared):
+            node = self._streams.get(stream_name)
+            if node is None:  # pragma: no cover - declared streams persist
+                continue
+            streams.append(
+                {
+                    "name": node.name,
+                    "values": sorted(node.values) if node.values is not None else None,
+                    "uncertain": sorted(node.uncertain)
+                    if node.uncertain is not None
+                    else None,
+                    "family": node.family,
+                    "rate_hint": node.rate_hint,
+                    "stats": [
+                        [stat.attribute, stat.family, stat.a, stat.b]
+                        for stat in node.stats or ()
+                    ],
+                }
+            )
+        queries = []
+        unsupported = []
+        for query_name, query in self._queries.items():
+            if query.text is None:
+                unsupported.append(query_name)
+                continue
+            queries.append(
+                {
+                    "name": query_name,
+                    "text": query.text,
+                    "paused": query.sink.paused,
+                }
+            )
+        return {
+            "version": 1,
+            "streams": streams,
+            "queries": queries,
+            "unsupported": sorted(unsupported),
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: Mapping,
+        planner: Optional[Planner] = None,
+        batch_size: Optional[int] = None,
+        optimize: bool = True,
+        functions: Optional[Mapping[str, Callable]] = None,
+        workers: int = 0,
+        shard_backend: str = "process",
+        shard_chunk_size: int = 1024,
+    ) -> "QuerySession":
+        """Rebuild a session from :meth:`snapshot` output.
+
+        Stream declarations are re-created and the CQL queries
+        re-registered (and re-paused) in their snapshot order.  UDFs are
+        code, not state — pass them in ``functions`` under the same
+        names the query texts use.  Operator state (window contents,
+        collected results) is *not* part of the snapshot: the restored
+        session starts fresh, which is the intended restart semantics.
+        """
+        version = snapshot.get("version")
+        if version != 1:
+            raise ServiceError(f"unsupported session snapshot version {version!r}")
+        session = cls(
+            planner=planner,
+            batch_size=batch_size,
+            optimize=optimize,
+            functions=functions,
+            workers=workers,
+            shard_backend=shard_backend,
+            shard_chunk_size=shard_chunk_size,
+        )
+        for decl in snapshot.get("streams", ()):
+            stats = {attr: (family, a, b) for attr, family, a, b in decl.get("stats", ())}
+            uncertain = decl.get("uncertain")
+            if uncertain is not None and stats:
+                uncertain = {name: stats.get(name) for name in uncertain}
+            session.create_stream(
+                decl["name"],
+                values=decl.get("values"),
+                uncertain=uncertain,
+                family=decl.get("family"),
+                rate_hint=decl.get("rate_hint"),
+            )
+        for query in snapshot.get("queries", ()):
+            session.register(query["name"], query["text"])
+            if query.get("paused"):
+                session.pause(query["name"])
+        return session
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def statistics(self, name: Optional[str] = None) -> List[BoxReport]:
@@ -537,14 +773,16 @@ class QuerySession:
         as one box with several owners rather than duplicated
         counters).  Without: every box in the session.
         """
-        if name is None:
-            boxes = list(self._boxes.values())
-        else:
+        if name is not None:
             query = self._query(name)
+            if query.sharded is not None:
+                return self._sharded_reports(query)
             boxes = [
                 self._boxes[fp] for fp in query.fingerprints if fp in self._boxes
             ]
-        return [
+        else:
+            boxes = list(self._boxes.values())
+        reports = [
             BoxReport(
                 stats=OperatorStats(
                     name=box.op.name,
@@ -557,6 +795,39 @@ class QuerySession:
             )
             for box in boxes
         ]
+        if name is None:
+            for query in self._queries.values():
+                if query.sharded is not None:
+                    reports.extend(self._sharded_reports(query))
+        return reports
+
+    def _sharded_reports(self, query: _Registered) -> List[BoxReport]:
+        """Per-shard boxes (names prefixed ``shard<i>/``) plus coordinator."""
+        stats = query.sharded.statistics()
+        reports: List[BoxReport] = []
+        for shard in sorted(stats.shards):
+            for row in stats.shards[shard]:
+                renamed = OperatorStats(
+                    name=f"shard{shard}/{row.name}",
+                    tuples_in=row.tuples_in,
+                    tuples_out=row.tuples_out,
+                    batches_in=row.batches_in,
+                    seconds=row.seconds,
+                )
+                reports.append(BoxReport(stats=renamed, owners=(query.name,)))
+        for row in stats.coordinator:
+            reports.append(BoxReport(stats=row, owners=(query.name,)))
+        return reports
+
+    def shard_statistics(self, name: str) -> ShardedStatistics:
+        """Raw per-shard statistics of a sharded query."""
+        query = self._query(name)
+        if query.sharded is None:
+            raise ServiceError(
+                f"query {name!r} runs in the shared engine, not sharded "
+                "(register it in a session with workers > 0)"
+            )
+        return query.sharded.statistics()
 
     def explain(self, name: Optional[str] = None) -> str:
         """Explain one query (with sharing annotations) or the session."""
@@ -564,7 +835,14 @@ class QuerySession:
             return self._explain_query(self._query(name))
         lines = ["QuerySession", "============"]
         lines.append(f"streams: {', '.join(self.streams) or '(none)'}")
-        lines.append(f"queries: {', '.join(self.queries) or '(none)'}")
+        described = []
+        for query_name in self.queries:
+            query = self._queries[query_name]
+            if query.sharded is not None:
+                described.append(f"{query_name} (sharded x{query.sharded.workers})")
+            else:
+                described.append(query_name)
+        lines.append(f"queries: {', '.join(described) or '(none)'}")
         shared = [box for box in self._boxes.values() if len(box.owners) > 1]
         lines.append(f"physical boxes: {len(self._boxes)} ({len(shared)} shared)")
         for box in shared:
@@ -598,6 +876,10 @@ class QuerySession:
                     f"- strategy for {decision.node_label}: "
                     f"{decision.choice.strategy.name} ({decision.choice.reason})"
                 )
+        if query.sharded is not None:
+            lines.append("")
+            lines.append(query.sharded.explain())
+            return "\n".join(lines)
         lines.append("")
         lines.append("Physical boxes")
         lines.append("--------------")

@@ -31,6 +31,8 @@ from .serialization import (
     decode_tuple,
     distribution_size_bytes,
     encode_batch,
+    encode_batch_columnar,
+    encode_batch_wire,
     encode_distribution,
     encode_tuple,
     tuple_size_bytes,
@@ -88,4 +90,6 @@ __all__ = [
     "encode_batch",
     "decode_batch",
     "batch_size_bytes",
+    "encode_batch_columnar",
+    "encode_batch_wire",
 ]

@@ -88,6 +88,19 @@ class StreamEngine:
         self._sources: Dict[str, Operator] = {}
         self._operators: List[Operator] = []
         self._operator_ids: set = set()
+        #: Operators unregistered while a propagation may still hold
+        #: scheduled (operator, tuple) pairs pointing at them.  The
+        #: propagation loops skip quarantined boxes so a query dropped
+        #: from inside a sink callback stops receiving tuples
+        #: *immediately*, not after the in-flight push drains.  Keyed by
+        #: id() but holding the operator object, so a quarantined id
+        #: cannot be recycled by the allocator while the entry lives;
+        #: entries are cleared at the next top-level push.
+        self._detached: Dict[int, Operator] = {}
+        #: Propagation re-entrancy depth: a push issued from inside a
+        #: sink callback must not clear the quarantine the outer
+        #: propagation still relies on.
+        self._propagation_depth = 0
         self.batch_size = batch_size
 
     # ------------------------------------------------------------------
@@ -104,6 +117,7 @@ class StreamEngine:
     def register(self, *operators: Operator) -> None:
         """Register operators so the engine can flush and inspect them."""
         for op in operators:
+            self._detached.pop(id(op), None)
             if id(op) not in self._operator_ids:
                 self._operator_ids.add(id(op))
                 self._operators.append(op)
@@ -115,10 +129,18 @@ class StreamEngine:
         caller is responsible for first disconnecting any arrows that
         still point at them from surviving operators (otherwise
         :meth:`_discover` finds them again through the graph).
+
+        Takes effect immediately even mid-propagation: when a query is
+        dropped from inside a result callback while ``push_many`` is
+        running, tuples already scheduled for the detached boxes are
+        discarded rather than delivered (the boxes are *quarantined*
+        until the next top-level push).
         """
         doomed = {id(op) for op in operators}
         self._operator_ids -= doomed
         self._operators = [op for op in self._operators if id(op) not in doomed]
+        for op in operators:
+            self._detached[id(op)] = op
 
     def remove_source(self, name: str) -> Operator:
         """Drop a named source and unregister its entry operator."""
@@ -187,6 +209,8 @@ class StreamEngine:
             entry = self._sources[source]
         except KeyError as exc:
             raise EngineError(f"unknown source {source!r}") from exc
+        if self._detached and self._propagation_depth == 0:
+            self._detached.clear()
         self._propagate(entry, item)
 
     def push_many(
@@ -232,16 +256,22 @@ class StreamEngine:
         proportional to plan depth.
         """
         stack: List[Tuple[Operator, StreamTuple]] = [(operator, item)]
-        while stack:
-            op, current = stack.pop()
-            outputs = op.accept(current)
-            if not outputs:
-                continue
-            downstream = op.downstream
-            if not downstream:
-                continue
-            pending = [(nxt, out) for out in outputs for nxt in downstream]
-            stack.extend(reversed(pending))
+        self._propagation_depth += 1
+        try:
+            while stack:
+                op, current = stack.pop()
+                if self._detached and id(op) in self._detached:
+                    continue  # unregistered mid-propagation; drop in-flight tuples
+                outputs = op.accept(current)
+                if not outputs:
+                    continue
+                downstream = op.downstream
+                if not downstream:
+                    continue
+                pending = [(nxt, out) for out in outputs for nxt in downstream]
+                stack.extend(reversed(pending))
+        finally:
+            self._propagation_depth -= 1
 
     # ------------------------------------------------------------------
     # Execution: batch-at-a-time path
@@ -256,22 +286,30 @@ class StreamEngine:
             raise EngineError(f"unknown source {source!r}") from exc
         if not isinstance(batch, TupleBatch):
             batch = TupleBatch(batch)
+        if self._detached and self._propagation_depth == 0:
+            self._detached.clear()
         self._propagate_batch(entry, batch)
 
     def _propagate_batch(self, operator: Operator, batch: TupleBatch) -> None:
         """Iterative propagation of a batch (depth-first over boxes)."""
         stack: List[Tuple[Operator, TupleBatch]] = [(operator, batch)]
-        while stack:
-            op, current = stack.pop()
-            if not len(current):
-                continue
-            outputs = op.accept_batch(current)
-            if not len(outputs):
-                continue
-            downstream = op.downstream
-            if not downstream:
-                continue
-            stack.extend(reversed([(nxt, outputs) for nxt in downstream]))
+        self._propagation_depth += 1
+        try:
+            while stack:
+                op, current = stack.pop()
+                if not len(current):
+                    continue
+                if self._detached and id(op) in self._detached:
+                    continue  # unregistered mid-propagation; drop in-flight batches
+                outputs = op.accept_batch(current)
+                if not len(outputs):
+                    continue
+                downstream = op.downstream
+                if not downstream:
+                    continue
+                stack.extend(reversed([(nxt, outputs) for nxt in downstream]))
+        finally:
+            self._propagation_depth -= 1
 
     # ------------------------------------------------------------------
     # End of stream
@@ -282,8 +320,12 @@ class StreamEngine:
         Flushed tuples propagate through whichever path the engine is
         configured for; both paths produce the same multiset of results.
         """
+        if self._detached and self._propagation_depth == 0:
+            self._detached.clear()
         use_batches = self.batch_size is not None
         for op in self._topological_order():
+            if self._detached and id(op) in self._detached:
+                continue  # dropped by a callback while this flush ran
             outputs = op.finish()
             if not outputs:
                 continue

@@ -112,6 +112,7 @@ class StreamTuple:
         values: Dict[str, Any],
         uncertain: Mapping[str, Distribution],
         lineage: FrozenSet[TupleId],
+        tuple_id: Optional[TupleId] = None,
     ) -> "StreamTuple":
         """Build a tuple from pre-validated parts, skipping ``__post_init__``.
 
@@ -120,7 +121,10 @@ class StreamTuple:
         from existing, validated tuples); this path skips the defensive
         copies and isinstance checks.  Callers must hand over ownership
         of ``values`` (it is stored as-is) and must only pass a
-        ``lineage`` that is already a non-empty frozenset.
+        ``lineage`` that is already a non-empty frozenset.  The tuple
+        decoder passes an explicit ``tuple_id`` to preserve identity
+        across a serialization round trip; everyone else lets the
+        counter assign a fresh one.
         """
         obj = object.__new__(cls)
         # Writing the instance dict directly sidesteps the frozen-dataclass
@@ -130,7 +134,7 @@ class StreamTuple:
             values=values,
             uncertain=uncertain,
             lineage=lineage,
-            tuple_id=next(_tuple_counter),
+            tuple_id=next(_tuple_counter) if tuple_id is None else tuple_id,
         )
         return obj
 

@@ -1,0 +1,263 @@
+"""Merge algebra and coordinator merge operators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import (
+    CFApproximationSum,
+    CLTSum,
+    HavingClause,
+    MergeError,
+    WindowPartial,
+    merge_sum_distributions,
+    merge_window_partials,
+)
+from repro.distributions import Gaussian, GaussianMixture
+from repro.plan.sharding import MergeSpec
+from repro.runtime import MergeProtocolError, OrderedChunkMerger, WindowPartialMerger
+from repro.streams import StreamTuple
+
+
+def gaussian_partial(start, end, mu, sigma, count=3, lineage=(), group=None):
+    return WindowPartial(
+        window_start=start,
+        window_end=end,
+        count=count,
+        result=Gaussian(mu, sigma),
+        lineage=frozenset(lineage) or frozenset({id(object())}),
+        group=group,
+    )
+
+
+class TestMergeSumDistributions:
+    def test_gaussian_partials_merge_to_total_moments(self):
+        parts = [Gaussian(10.0, 2.0), Gaussian(20.0, 3.0), Gaussian(5.0, 1.0)]
+        merged = merge_sum_distributions(parts, CFApproximationSum())
+        assert merged.mean() == pytest.approx(35.0, abs=1e-12)
+        assert merged.variance() == pytest.approx(4.0 + 9.0 + 1.0, abs=1e-12)
+
+    def test_single_partial_is_identity(self):
+        part = Gaussian(7.0, 2.0)
+        assert merge_sum_distributions([part], CLTSum()) is part
+
+    def test_mixture_partials_convolve_exactly(self):
+        a = GaussianMixture([0.4, 0.6], [0.0, 10.0], [1.0, 2.0])
+        b = Gaussian(5.0, 1.0)
+        merged = merge_sum_distributions([a, b])
+        # Sum of independent variables: means and variances add.
+        assert float(merged.mean()) == pytest.approx(float(a.mean()) + 5.0, abs=1e-12)
+        assert float(merged.variance()) == pytest.approx(
+            float(a.variance()) + 1.0, abs=1e-12
+        )
+        assert isinstance(merged, GaussianMixture)
+        assert merged.n_components == 2  # 2 components x 1 component
+
+    def test_empty_refused(self):
+        with pytest.raises(MergeError, match="empty"):
+            merge_sum_distributions([])
+
+
+class TestMergeWindowPartials:
+    def test_sum_merge_matches_single_window(self):
+        parts = [
+            gaussian_partial(0.0, 5.0, 30.0, 2.0, count=3, lineage={1, 2, 3}),
+            gaussian_partial(0.0, 5.0, 50.0, 3.0, count=5, lineage={4, 5, 6, 7, 8}),
+        ]
+        merged = merge_window_partials(
+            parts, function="sum", output_attribute="sum_w", strategy=CFApproximationSum()
+        )
+        assert merged.value("window_count") == 8
+        assert merged.value("window_start") == 0.0
+        assert merged.lineage == frozenset(range(1, 9))
+        dist = merged.distribution("sum_w")
+        assert dist.mean() == pytest.approx(80.0, abs=1e-12)
+        assert dist.variance() == pytest.approx(13.0, abs=1e-12)
+        assert merged.value("sum_w_mean") == pytest.approx(80.0, abs=1e-12)
+
+    def test_avg_scales_merged_sum_by_total_count(self):
+        parts = [
+            gaussian_partial(0.0, 5.0, 30.0, 2.0, count=2, lineage={1, 2}),
+            gaussian_partial(0.0, 5.0, 10.0, 1.0, count=2, lineage={3, 4}),
+        ]
+        merged = merge_window_partials(
+            parts, function="avg", output_attribute="avg_w", strategy=CLTSum()
+        )
+        dist = merged.distribution("avg_w")
+        assert dist.mean() == pytest.approx(10.0, abs=1e-12)
+        assert dist.variance() == pytest.approx(5.0 / 16.0, abs=1e-12)
+
+    def test_count_partials_add(self):
+        parts = [
+            WindowPartial(0.0, 5.0, 3, 3, frozenset({1}), None),
+            WindowPartial(0.0, 5.0, 4, 4, frozenset({2}), None),
+        ]
+        merged = merge_window_partials(parts, function="count", output_attribute="n")
+        assert merged.value("n") == 7
+
+    def test_having_filters_merged_result(self):
+        parts = [gaussian_partial(0.0, 5.0, 10.0, 1.0, lineage={1})]
+        merged = merge_window_partials(
+            parts,
+            function="sum",
+            output_attribute="s",
+            strategy=CLTSum(),
+            having=HavingClause(threshold=100.0, min_probability=0.5),
+        )
+        assert merged is None
+        kept = merge_window_partials(
+            parts,
+            function="sum",
+            output_attribute="s",
+            strategy=CLTSum(),
+            having=HavingClause(threshold=5.0, min_probability=0.5),
+        )
+        assert kept is not None
+        assert kept.value("having_probability") >= 0.5
+
+    def test_overlapping_lineage_rejected(self):
+        parts = [
+            gaussian_partial(0.0, 5.0, 10.0, 1.0, lineage={1, 2}),
+            gaussian_partial(0.0, 5.0, 10.0, 1.0, lineage={2, 3}),
+        ]
+        with pytest.raises(MergeError, match="share lineage"):
+            merge_window_partials(parts, function="sum", output_attribute="s")
+        # The check is advisory when the query disabled it.
+        merged = merge_window_partials(
+            parts, function="sum", output_attribute="s", check_independence=False
+        )
+        assert merged is not None
+
+    def test_mismatched_windows_rejected(self):
+        parts = [
+            gaussian_partial(0.0, 5.0, 10.0, 1.0, lineage={1}),
+            gaussian_partial(5.0, 10.0, 10.0, 1.0, lineage={2}),
+        ]
+        with pytest.raises(MergeError, match="different windows"):
+            merge_window_partials(parts, function="sum", output_attribute="s")
+
+    def test_unmergeable_function_rejected(self):
+        parts = [gaussian_partial(0.0, 5.0, 10.0, 1.0, lineage={1})]
+        with pytest.raises(MergeError, match="does not merge"):
+            merge_window_partials(parts, function="max", output_attribute="m")
+
+
+class TestOrderedChunkMerger:
+    def test_reassembles_global_order(self):
+        merger = OrderedChunkMerger()
+        t = [StreamTuple(timestamp=float(i), values={"i": i}) for i in range(6)]
+        assert merger.ingest(1, [t[2], t[3]]) == []
+        assert merger.ingest(2, [t[4]]) == []
+        out = merger.ingest(0, [t[0], t[1]])
+        assert [x.value("i") for x in out] == [0, 1, 2, 3, 4]
+        assert [x.value("i") for x in merger.ingest(3, [t[5]])] == [5]
+        assert merger.drain() == []
+
+    def test_duplicate_chunk_rejected(self):
+        merger = OrderedChunkMerger()
+        merger.ingest(0, [])
+        with pytest.raises(MergeProtocolError, match="twice"):
+            merger.ingest(0, [])
+
+    def test_drain_with_gap_rejected(self):
+        merger = OrderedChunkMerger()
+        merger.ingest(1, [])
+        with pytest.raises(MergeProtocolError, match="never delivered"):
+            merger.drain()
+
+
+def partial_tuple(start, end, mu, sigma, count, lineage, group=None):
+    values = {"window_start": start, "window_end": end, "window_count": count}
+    if group is not None:
+        values["group"] = group
+    return StreamTuple(
+        timestamp=end,
+        values=values,
+        uncertain={"partial_s": Gaussian(mu, sigma)},
+        lineage=frozenset(lineage),
+    )
+
+
+def spec(grouped=False, having=None):
+    return MergeSpec(
+        function="sum",
+        output_attribute="s",
+        partial_attribute="partial_s",
+        strategy=CFApproximationSum(),
+        having=having,
+        grouped=grouped,
+        check_independence=True,
+        window_desc="TumblingTimeWindow(length=5.0)",
+    )
+
+
+class TestWindowPartialMerger:
+    def test_waits_for_every_fed_shards_watermark(self):
+        merger = WindowPartialMerger(spec(), n_shards=2)
+        merger.mark_fed(0)
+        merger.mark_fed(1)
+        assert merger.ingest(0, [partial_tuple(0, 5, 10.0, 1.0, 2, {1, 2})], 7.0) == []
+        # Shard 1 was fed but has not replied: nothing can be emitted yet.
+        assert merger.pending_windows == 1
+        out = merger.ingest(1, [partial_tuple(0, 5, 20.0, 2.0, 3, {3, 4, 5})], 6.0)
+        assert len(out) == 1
+        assert out[0].distribution("s").mean() == pytest.approx(30.0, abs=1e-12)
+        assert out[0].value("window_count") == 5
+        assert merger.pending_windows == 0
+
+    def test_starved_shard_does_not_gate_emission(self):
+        # Shard 1 never receives data (skewed hash keys): only fed
+        # shards gate, so emission keeps streaming.
+        merger = WindowPartialMerger(spec(), n_shards=2)
+        merger.mark_fed(0)
+        out = merger.ingest(0, [partial_tuple(0, 5, 10.0, 1.0, 2, {1, 2})], 7.0)
+        assert len(out) == 1
+        assert merger.pending_windows == 0
+
+    def test_window_held_until_horizon_passes_its_end(self):
+        merger = WindowPartialMerger(spec(), n_shards=2)
+        merger.mark_fed(0)
+        merger.mark_fed(1)
+        merger.ingest(0, [partial_tuple(0, 5, 10.0, 1.0, 2, {1})], 9.0)
+        # Shard 1 reports a watermark *inside* the window: hold.
+        assert merger.ingest(1, [], 4.0) == []
+        out = merger.ingest(1, [partial_tuple(0, 5, 1.0, 1.0, 1, {9})], 5.0)
+        assert len(out) == 1
+
+    def test_groups_emit_sorted_within_window(self):
+        merger = WindowPartialMerger(spec(grouped=True), n_shards=1)
+        out = merger.ingest(
+            0,
+            [
+                partial_tuple(0, 5, 1.0, 1.0, 1, {1}, group=2),
+                partial_tuple(0, 5, 2.0, 1.0, 1, {2}, group=0),
+                partial_tuple(0, 5, 3.0, 1.0, 1, {3}, group=1),
+            ],
+            math.inf,
+        )
+        assert [t.value("group") for t in out] == [0, 1, 2]
+
+    def test_drain_emits_pending_and_resets(self):
+        merger = WindowPartialMerger(spec(), n_shards=2)
+        merger.mark_fed(0)
+        merger.mark_fed(1)
+        merger.ingest(0, [partial_tuple(0, 5, 10.0, 1.0, 2, {1, 2})], 7.0)
+        out = merger.drain()
+        assert len(out) == 1 and merger.pending_windows == 0
+        # After a drain the next epoch starts from fresh watermarks and
+        # fed sets: a shard fed again this epoch gates emission anew.
+        merger.mark_fed(1)
+        assert merger.ingest(0, [partial_tuple(10, 15, 1.0, 1.0, 1, {7})], 20.0) == []
+
+    def test_emission_order_is_window_time_order(self):
+        merger = WindowPartialMerger(spec(), n_shards=1)
+        out = merger.ingest(
+            0,
+            [
+                partial_tuple(5, 10, 2.0, 1.0, 1, {2}),
+                partial_tuple(0, 5, 1.0, 1.0, 1, {1}),
+            ],
+            np.inf,
+        )
+        assert [t.value("window_start") for t in out] == [0, 5]

@@ -1,0 +1,97 @@
+"""Partitioner properties: completeness, determinism, order preservation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import Gaussian
+from repro.runtime import (
+    HashPartitioner,
+    RoundRobinPartitioner,
+    resolve_partitioner,
+)
+from repro.streams import StreamTuple
+
+
+def make_tuples(keys):
+    return [
+        StreamTuple(
+            timestamp=float(i),
+            values={"key": key, "seq": i},
+            uncertain={"w": Gaussian(1.0, 1.0)},
+        )
+        for i, key in enumerate(keys)
+    ]
+
+
+class TestRoundRobin:
+    def test_whole_chunk_goes_to_one_shard_in_rotation(self):
+        partitioner = RoundRobinPartitioner()
+        items = make_tuples(["a"] * 5)
+        for chunk_index in range(7):
+            split = partitioner.split_chunk(chunk_index, items, 3)
+            assert list(split) == [chunk_index % 3]
+            assert split[chunk_index % 3] == items
+
+    def test_preserves_order_flag(self):
+        assert RoundRobinPartitioner().preserves_order
+        assert not HashPartitioner("key").preserves_order
+
+
+class TestHashPartitioner:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        keys=st.lists(
+            st.one_of(st.integers(-1000, 1000), st.text(max_size=8)),
+            min_size=1,
+            max_size=40,
+        ),
+        n_shards=st.integers(1, 6),
+    )
+    def test_complete_deterministic_and_key_local(self, keys, n_shards):
+        partitioner = HashPartitioner("key")
+        items = make_tuples(keys)
+        split = partitioner.split_chunk(0, items, n_shards)
+        # Complete: every tuple lands on exactly one shard.
+        seen = [t for shard in sorted(split) for t in split[shard]]
+        assert sorted(t.value("seq") for t in seen) == list(range(len(items)))
+        # Deterministic across calls.
+        again = partitioner.split_chunk(0, items, n_shards)
+        assert {s: [t.value("seq") for t in ts] for s, ts in split.items()} == {
+            s: [t.value("seq") for t in ts] for s, ts in again.items()
+        }
+        # Key locality: all tuples of one key on one shard.
+        shard_of_key = {}
+        for shard, tuples in split.items():
+            for t in tuples:
+                assert shard_of_key.setdefault(t.value("key"), shard) == shard
+
+    def test_relative_order_kept_within_shard(self):
+        partitioner = HashPartitioner("key")
+        items = make_tuples(["a", "b", "a", "b", "a"])
+        split = partitioner.split_chunk(0, items, 4)
+        for tuples in split.values():
+            seqs = [t.value("seq") for t in tuples]
+            assert seqs == sorted(seqs)
+
+    def test_missing_attribute_raises(self):
+        item = StreamTuple(timestamp=0.0, values={"other": 1})
+        with pytest.raises(KeyError, match="no value 'key'"):
+            HashPartitioner("key").shard_of(item, 2)
+
+
+class TestResolvePartitioner:
+    def test_names(self):
+        assert isinstance(resolve_partitioner("round_robin"), RoundRobinPartitioner)
+        assert isinstance(resolve_partitioner("rr"), RoundRobinPartitioner)
+        hashed = resolve_partitioner("hash:tag_id")
+        assert isinstance(hashed, HashPartitioner)
+        assert hashed.attribute == "tag_id"
+
+    def test_instance_passthrough(self):
+        partitioner = HashPartitioner("x")
+        assert resolve_partitioner(partitioner) is partitioner
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            resolve_partitioner("range")

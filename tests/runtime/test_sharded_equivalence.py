@@ -1,0 +1,216 @@
+"""Acceptance: sharded Q1/Q2 match single-engine results to 1e-9.
+
+The paper's monitoring queries run twice — once on a single
+``CompiledQuery`` engine, once through :class:`ShardedEngine` — over
+identical input, for every shard count in {1, 2, 4} and both execution
+paths (tuple-at-a-time and batch) inside the workers.  Results must
+agree to 1e-9 in every deterministic value and in the first two moments
+of every uncertain attribute, in the same order.
+
+Q1 exercises the aggregate-split path (derive -> filter -> grouped
+time-window SUM with HAVING -> moment merge in the coordinator); Q2's
+probabilistic join is not shardable, so it exercises the single-engine
+fallback behind the sharded interface.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import match_probability_band
+from repro.distributions import Gaussian
+from repro.plan import Stream
+from repro.runtime import ShardedEngine
+from repro.streams import TumblingTimeWindow, StreamTuple
+
+SHARD_COUNTS = (1, 2, 4)
+MODES = ("tuple", "batch")
+TOLERANCE = 1e-9
+
+
+@pytest.fixture(scope="module")
+def warehouse():
+    """Catalog plus object/sensor streams (the CQL acceptance shapes)."""
+    rng = np.random.default_rng(42)
+    catalog = {}
+    for i in range(40):
+        catalog[f"O{i:03d}"] = {
+            "weight": float(rng.uniform(30.0, 80.0)),
+            "type": "flammable" if rng.random() < 0.4 else "general",
+        }
+    objects = []
+    for i in range(400):
+        tag = f"O{i % 50:03d}"  # some tags are ghost reads (not in catalog)
+        shelf = int(rng.integers(0, 3))
+        objects.append(
+            StreamTuple(
+                timestamp=float(i) * 0.2,
+                values={"tag_id": tag},
+                uncertain={
+                    "x": Gaussian(10.0 + 20.0 * shelf + float(rng.normal(0, 0.5)), 0.8),
+                    "y": Gaussian(10.0 + float(rng.normal(0, 0.5)), 0.8),
+                },
+            )
+        )
+    sensors = []
+    for i in range(60):
+        sensors.append(
+            StreamTuple(
+                timestamp=float(i) * 0.4,
+                values={"sensor_id": i},
+                uncertain={
+                    "x": Gaussian(float(rng.uniform(0.0, 70.0)), 1.0),
+                    "y": Gaussian(float(rng.uniform(0.0, 20.0)), 1.0),
+                    "temp": Gaussian(float(rng.uniform(30.0, 95.0)), 4.0),
+                },
+            )
+        )
+    return catalog, objects, sensors
+
+
+def q1_stream(catalog):
+    def weight_of(tag):
+        return catalog.get(tag, {}).get("weight", 0.0)
+
+    def zone(dist):
+        return int(dist.mean() // 20.0)
+
+    return (
+        Stream.source("rfid", values=("tag_id",), uncertain=("x", "y"), rate_hint=5.0)
+        .derive(
+            values={
+                "weight": lambda t: weight_of(t.value("tag_id")),
+                "area": lambda t: zone(t.distribution("x")),
+            }
+        )
+        .where(
+            lambda t: t.value("tag_id") in catalog,
+            uses=("tag_id",),
+            description="in catalog",
+        )
+        .window(TumblingTimeWindow(5.0))
+        .group_by(lambda t: t.value("area"))
+        .aggregate("weight")
+        .having(200.0, min_probability=0.5)
+    )
+
+
+def q2_streams(catalog):
+    def location_match(left, right):
+        px = match_probability_band(left.distribution("x"), right.distribution("x"), 4.0)
+        py = match_probability_band(left.distribution("y"), right.distribution("y"), 4.0)
+        return px * py
+
+    objects = Stream.source("objects", values=("tag_id",), uncertain=("x", "y"))
+    sensors = Stream.source(
+        "temperature", values=("sensor_id",), uncertain=("x", "y", "temp")
+    )
+    return (
+        objects.join(
+            sensors,
+            on=location_match,
+            window_length=30.0,
+            min_probability=0.05,
+            prefix_left="obj_",
+            prefix_right="temp_",
+        )
+        .where(
+            lambda t: catalog.get(t.value("obj_tag_id"), {}).get("type") == "flammable",
+            uses=("obj_tag_id",),
+            description="flammable",
+        )
+        .where_probably("temp_temp", ">", 60.0, min_probability=0.5, annotate=None)
+    )
+
+
+def assert_equivalent(expected, got):
+    assert len(expected) == len(got), f"{len(expected)} results vs {len(got)}"
+    for a, b in zip(expected, got):
+        assert set(a.values) == set(b.values), (sorted(a.values), sorted(b.values))
+        for key, value in a.values.items():
+            other = b.values[key]
+            if isinstance(value, float):
+                assert other == pytest.approx(value, abs=TOLERANCE), key
+            else:
+                assert other == value, key
+        assert set(a.uncertain) == set(b.uncertain)
+        for key in a.uncertain:
+            da, db = a.distribution(key), b.distribution(key)
+            assert float(db.mean()) == pytest.approx(float(da.mean()), abs=TOLERANCE)
+            assert float(db.variance()) == pytest.approx(
+                float(da.variance()), abs=TOLERANCE
+            )
+        assert a.lineage == b.lineage
+
+
+@pytest.fixture(scope="module")
+def q1_reference(warehouse):
+    catalog, objects, _ = warehouse
+    query = q1_stream(catalog).compile(mode="tuple")
+    query.push_many("rfid", objects)
+    results = query.finish()
+    assert results, "Q1 must produce overloaded-area windows"
+    return results
+
+
+@pytest.fixture(scope="module")
+def q2_reference(warehouse):
+    catalog, objects, sensors = warehouse
+    query = q2_streams(catalog).compile(mode="tuple")
+    query.push_many("temperature", sensors)
+    query.push_many("objects", objects)
+    results = query.finish()
+    assert results, "Q2 must produce flammable-object alerts"
+    return results
+
+
+class TestQ1ShardedEquivalence:
+    @pytest.mark.parametrize("workers", SHARD_COUNTS)
+    @pytest.mark.parametrize("mode", MODES)
+    def test_matches_single_engine(self, warehouse, q1_reference, workers, mode):
+        catalog, objects, _ = warehouse
+        with ShardedEngine(
+            q1_stream(catalog),
+            workers=workers,
+            backend="process",
+            chunk_size=64,
+            mode=mode,
+        ) as engine:
+            assert engine.sharded
+            engine.push_many("rfid", objects)
+            got = engine.finish()
+        assert_equivalent(q1_reference, got)
+
+
+class TestQ2ShardedEquivalence:
+    """Q2 does not shard (probabilistic join); the fallback must be exact."""
+
+    @pytest.mark.parametrize("workers", SHARD_COUNTS)
+    @pytest.mark.parametrize("mode", MODES)
+    def test_matches_single_engine(self, warehouse, q2_reference, workers, mode):
+        catalog, objects, sensors = warehouse
+        with ShardedEngine(
+            q2_streams(catalog), workers=workers, backend="process", mode=mode
+        ) as engine:
+            assert not engine.sharded
+            assert "join" in engine.decision.reason.lower()
+            engine.push_many("temperature", sensors)
+            engine.push_many("objects", objects)
+            got = engine.finish()
+        assert_equivalent(q2_reference, got)
+
+
+class TestInlineBackendEquivalence:
+    """The inline backend runs the same protocol without processes."""
+
+    @pytest.mark.parametrize("workers", SHARD_COUNTS)
+    def test_q1_inline_matches(self, warehouse, q1_reference, workers):
+        catalog, objects, _ = warehouse
+        with ShardedEngine(
+            q1_stream(catalog),
+            workers=workers,
+            backend="inline",
+            chunk_size=64,
+        ) as engine:
+            engine.push_many("rfid", objects)
+            got = engine.finish()
+        assert_equivalent(q1_reference, got)

@@ -1,0 +1,124 @@
+"""Persistence-lite: QuerySession.snapshot() / restore() round trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import QuerySession
+from repro.distributions import Gaussian
+from repro.service import ServiceError
+from repro.streams import StreamTuple
+
+
+def sample_tuples(n=300):
+    rng = np.random.default_rng(23)
+    return [
+        StreamTuple(
+            timestamp=i * 0.2,
+            values={"tag_id": f"T{i % 4}"},
+            uncertain={"w": Gaussian(float(rng.uniform(10.0, 90.0)), 3.0)},
+        )
+        for i in range(n)
+    ]
+
+
+def build_session():
+    session = QuerySession()
+    session.create_stream(
+        "rfid",
+        values=("tag_id",),
+        uncertain={"w": ("gaussian", 50.0, 20.0)},
+        family="gaussian",
+        rate_hint=5.0,
+    )
+    session.create_stream("bare")
+    session.register(
+        "totals", "SELECT SUM(w) AS total FROM rfid [RANGE 10 SECONDS SLIDE 10 SECONDS]"
+    )
+    session.register("hot", "SELECT * FROM rfid WHERE w > 60 WITH PROBABILITY 0.5")
+    session.pause("hot")
+    return session
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_serializable(self):
+        snapshot = build_session().snapshot()
+        payload = json.dumps(snapshot)
+        assert json.loads(payload) == snapshot
+
+    def test_snapshot_captures_streams_queries_and_pause_state(self):
+        snapshot = build_session().snapshot()
+        assert snapshot["version"] == 1
+        streams = {decl["name"]: decl for decl in snapshot["streams"]}
+        assert set(streams) == {"rfid", "bare"}
+        assert streams["rfid"]["family"] == "gaussian"
+        assert streams["rfid"]["rate_hint"] == 5.0
+        assert streams["rfid"]["stats"] == [["w", "gaussian", 50.0, 20.0]]
+        queries = {q["name"]: q for q in snapshot["queries"]}
+        assert set(queries) == {"totals", "hot"}
+        assert queries["hot"]["paused"] is True
+        assert "SUM(w)" in queries["totals"]["text"]
+
+    def test_programmatic_queries_are_reported_not_serialized(self):
+        session = build_session()
+        stream = session.create_stream("s2", uncertain=("v",))
+        session.register("fluent", stream.where_probably("v", ">", 0.0))
+        snapshot = session.snapshot()
+        assert snapshot["unsupported"] == ["fluent"]
+        assert "fluent" not in {q["name"] for q in snapshot["queries"]}
+
+
+class TestRestore:
+    def test_round_trip_produces_identical_results(self):
+        tuples = sample_tuples()
+        original = build_session()
+        restored = QuerySession.restore(json.loads(json.dumps(original.snapshot())))
+
+        original.push_many("rfid", tuples)
+        original.flush()
+        restored.push_many("rfid", tuples)
+        restored.flush()
+
+        for name in ("totals",):
+            expected, got = original.results(name), restored.results(name)
+            assert len(expected) == len(got) and expected
+            for a, b in zip(expected, got):
+                da, db = a.distribution("total"), b.distribution("total")
+                assert float(db.mean()) == pytest.approx(float(da.mean()), abs=1e-9)
+                assert float(db.variance()) == pytest.approx(
+                    float(da.variance()), abs=1e-9
+                )
+        # Pause state survives the round trip.
+        assert restored.is_paused("hot")
+        assert not restored.results("hot")
+
+    def test_restore_into_sharded_session(self):
+        tuples = sample_tuples()
+        snapshot = build_session().snapshot()
+        with QuerySession.restore(
+            snapshot, workers=2, shard_backend="inline"
+        ) as restored:
+            assert restored._queries["totals"].sharded is not None
+            restored.push_many("rfid", tuples)
+            restored.flush()
+            assert restored.results("totals")
+
+    def test_restore_with_udfs(self):
+        session = QuerySession(functions={"double": lambda x: 2.0 * x})
+        session.create_stream("s", uncertain=("v",), family="gaussian")
+        session.register(
+            "doubled",
+            "SELECT double(v) AS UNCERTAIN dv FROM s WHERE v > 0 WITH PROBABILITY 0.1",
+        )
+        snapshot = session.snapshot()
+        with pytest.raises(Exception):  # the UDF is code, not state
+            QuerySession.restore(snapshot)
+        restored = QuerySession.restore(
+            snapshot, functions={"double": lambda x: 2.0 * x}
+        )
+        assert "doubled" in restored.queries
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ServiceError, match="version"):
+            QuerySession.restore({"version": 99})
