@@ -1,0 +1,103 @@
+"""Localhost ingest throughput through the network service layer.
+
+The paper's motivating workloads are *remote* receptors (RFID readers,
+radar sites) pushing high-volume uncertain streams at a central
+processor; this benchmark measures what the TCP path actually
+sustains: a :class:`~repro.net.StreamClient` pipelining encoded tuple
+batches into a :class:`~repro.net.StreamServer` whose session runs a
+registered select→aggregate query on the batch execution path.
+
+Reported per configuration (ingest batch size × ack window):
+
+* end-to-end tuples/s as seen by the client (encode + TCP + decode +
+  query execution + ack), and
+* the wire bytes per tuple of the columnar batch codec.
+
+Asserted: the best configuration sustains at least ``MIN_TUPLES_PER_S``
+(the ROADMAP's remote-ingest floor) on localhost, single core.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import QuerySession
+from repro.distributions import Gaussian
+from repro.net import StreamClient, serve_in_thread
+from repro.streams import StreamTuple
+from repro.streams.batch import TupleBatch
+from repro.streams.serialization import encode_batch_wire
+
+N_TUPLES = 30_000
+REPEATS = 2
+CONFIGS = ((256, 8), (1024, 16), (4096, 16))  # (ingest batch, ack window)
+MIN_TUPLES_PER_S = 50_000
+
+QUERY = "SELECT SUM(value) AS total FROM s [RANGE 2 SECONDS SLIDE 2 SECONDS]"
+
+
+def make_tuples(n, offset=0.0):
+    """Timestamps advance across runs: windows never see time move backwards."""
+    rng = np.random.default_rng(29)
+    return [
+        StreamTuple(
+            timestamp=offset + i * 0.01,
+            values={"tag_id": f"T{i % 16}"},
+            uncertain={"value": Gaussian(float(rng.uniform(10.0, 90.0)), 2.0)},
+        )
+        for i in range(n)
+    ]
+
+
+def run_config(address, offset, batch_size, window):
+    tuples = make_tuples(N_TUPLES, offset=offset)  # built outside the timer
+    with StreamClient(address, timeout=60.0) as client:
+        started = time.perf_counter()
+        acked = client.ingest("s", tuples, batch_size=batch_size, window=window)
+        elapsed = time.perf_counter() - started
+    assert acked == len(tuples)
+    return len(tuples) / elapsed
+
+
+def test_localhost_ingest_throughput(result_table_factory):
+    wire_bytes = len(encode_batch_wire(TupleBatch(make_tuples(1024))))
+    bytes_per_tuple = wire_bytes / 1024.0
+
+    session = QuerySession(batch_size=2048)
+    handle = serve_in_thread(session)
+    table = result_table_factory(
+        "net_throughput",
+        f"# localhost ingest, {N_TUPLES} tuples/run, select->aggregate "
+        f"registered, columnar wire ({bytes_per_tuple:.1f} B/tuple)\n"
+        f"{'batch':>8} {'window':>8} {'tuples/s':>12}",
+    )
+    best = 0.0
+    try:
+        with StreamClient(handle.address, timeout=60.0) as setup:
+            setup.declare_stream(
+                "s", values=("tag_id",), uncertain=("value",), family="gaussian",
+                rate_hint=100.0,
+            )
+            setup.register("totals", QUERY)
+        span = N_TUPLES * 0.01 + 10.0
+        run_index = 0
+        for batch_size, window in CONFIGS:
+            rate = 0.0
+            for _ in range(REPEATS):
+                rate = max(
+                    rate,
+                    run_config(handle.address, run_index * span, batch_size, window),
+                )
+                run_index += 1
+            best = max(best, rate)
+            table.add_row(f"{batch_size:>8} {window:>8} {rate:>12.0f}")
+    finally:
+        handle.stop()
+
+    table.add_row(f"# floor: {MIN_TUPLES_PER_S} tuples/s, best: {best:.0f}")
+    assert best >= MIN_TUPLES_PER_S, (
+        f"localhost ingest sustained only {best:.0f} tuples/s "
+        f"(floor {MIN_TUPLES_PER_S})"
+    )

@@ -22,6 +22,10 @@ is organised as:
 * :mod:`repro.runtime` -- the sharded parallel runtime:
   :class:`ShardedEngine` partitions tuples across worker processes and
   recombines shard outputs with uncertainty-aware merge operators.
+* :mod:`repro.net` -- the network service layer: an asyncio TCP server
+  exposing the query session (ingest, CQL registration, result
+  subscriptions), wire-protocol clients, and a socket shard transport
+  for multi-machine sharding.
 * :mod:`repro.inference` -- particle filtering with the paper's
   optimisations, adaptive particle control, Kalman baseline.
 * :mod:`repro.rfid` / :mod:`repro.radar` -- the two motivating
@@ -34,6 +38,7 @@ from . import (
     cql,
     distributions,
     inference,
+    net,
     plan,
     radar,
     rfid,
@@ -53,6 +58,7 @@ __all__ = [
     "cql",
     "distributions",
     "inference",
+    "net",
     "plan",
     "radar",
     "rfid",

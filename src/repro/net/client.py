@@ -1,0 +1,578 @@
+"""Wire-protocol clients for :class:`~repro.net.server.StreamServer`.
+
+Two clients cover the two calling styles:
+
+* :class:`StreamClient` — a synchronous blocking-socket client for
+  scripts, receptor ingest loops and tests.  Every verb is one method;
+  :meth:`StreamClient.ingest` is *pipelined*: it keeps up to a window
+  of encoded batches in flight before reading the matching acks, so a
+  single connection sustains high tuple rates despite round-trip
+  latency.
+* :class:`AsyncStreamClient` — the same surface under asyncio, for
+  callers that already live on an event loop.
+
+Subscriptions use a **dedicated connection** per query
+(:meth:`StreamClient.subscribe` / :meth:`AsyncStreamClient.subscribe`):
+after the subscribe handshake the server owns the connection and pushes
+``RESULT`` frames, which keeps both client implementations free of
+frame demultiplexing.  A subscription object iterates result batches
+(lists of :class:`~repro.streams.tuples.StreamTuple`) and raises
+:class:`~repro.net.errors.SlowConsumerError` if the server applied its
+disconnect policy.
+"""
+
+from __future__ import annotations
+
+import socket
+from collections import deque
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.streams.batch import TupleBatch
+from repro.streams.serialization import decode_batch, encode_batch_wire
+from repro.streams.tuples import StreamTuple
+
+from . import protocol
+from .errors import (
+    ConnectionClosed,
+    NetError,
+    ProtocolError,
+    RemoteError,
+    SlowConsumerError,
+)
+from .framing import (
+    DEFAULT_MAX_PAYLOAD,
+    BufferedFrameSocket,
+    encode_frame,
+    read_frame_async,
+    send_frame,
+)
+
+__all__ = ["StreamClient", "Subscription", "AsyncStreamClient", "AsyncSubscription"]
+
+#: Default tuples per INGEST frame.
+DEFAULT_INGEST_BATCH = 512
+#: Default unacked frames allowed in flight while ingesting.
+DEFAULT_ACK_WINDOW = 32
+
+
+def _check_reply(kind: int, header: Dict[str, Any], expected: int) -> Dict[str, Any]:
+    if kind == protocol.ERROR:
+        raise RemoteError(header.get("code", "Error"), header.get("message", ""))
+    if kind != expected:
+        raise ProtocolError(
+            f"expected a {protocol.kind_name(expected)} reply, "
+            f"got {protocol.kind_name(kind)}"
+        )
+    return header
+
+
+def _chunks(tuples: Iterable[StreamTuple], size: int) -> Iterator[List[StreamTuple]]:
+    chunk: List[StreamTuple] = []
+    for item in tuples:
+        chunk.append(item)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+class StreamClient:
+    """Synchronous client for a running :class:`~repro.net.server.StreamServer`.
+
+    Parameters
+    ----------
+    address:
+        ``"host:port"`` or a ``(host, port)`` pair.
+    timeout:
+        Socket timeout for every blocking operation, in seconds.
+    """
+
+    def __init__(
+        self,
+        address,
+        timeout: float = 30.0,
+        max_payload: int = DEFAULT_MAX_PAYLOAD,
+    ):
+        self._address = protocol.parse_address(address)
+        self._timeout = timeout
+        self._max_payload = max_payload
+        self._sock = socket.create_connection(self._address, timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # Buffered reads: a timed-out read keeps its partial frame and
+        # can be retried without desynchronizing the stream.
+        self._frames = BufferedFrameSocket(self._sock, max_payload)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        kind: int,
+        header: Optional[Dict[str, Any]] = None,
+        payload: bytes = b"",
+        expected: int = protocol.OK,
+    ) -> Tuple[Dict[str, Any], bytes]:
+        send_frame(self._sock, kind, header, payload)
+        reply_kind, reply_header, reply_payload = self._frames.recv_frame(self._timeout)
+        return _check_reply(reply_kind, reply_header, expected), reply_payload
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+    def hello(self) -> Dict[str, Any]:
+        """Server info: known streams and registered queries."""
+        header, _ = self._request(protocol.HELLO, {"client": "repro.net sync"})
+        return header
+
+    def declare_stream(
+        self,
+        name: str,
+        values: Optional[Iterable[str]] = None,
+        uncertain=None,
+        family: Optional[str] = None,
+        rate_hint: Optional[float] = None,
+    ) -> None:
+        """Declare a named input stream (see ``QuerySession.create_stream``)."""
+        self._request(
+            protocol.DECLARE,
+            {
+                "name": name,
+                "values": list(values) if values is not None else None,
+                "uncertain": _jsonable_uncertain(uncertain),
+                "family": family,
+                "rate_hint": rate_hint,
+            },
+        )
+
+    def register(self, name: str, cql: str) -> bool:
+        """Register a CQL query; returns True when it runs sharded."""
+        header, _ = self._request(protocol.REGISTER, {"name": name, "cql": cql})
+        return bool(header.get("sharded", False))
+
+    def drop(self, name: str) -> None:
+        self._request(protocol.DROP, {"name": name})
+
+    def pause(self, name: str) -> None:
+        self._request(protocol.PAUSE, {"name": name})
+
+    def resume(self, name: str) -> None:
+        self._request(protocol.RESUME, {"name": name})
+
+    def ingest(
+        self,
+        source: str,
+        tuples: Iterable[StreamTuple],
+        batch_size: int = DEFAULT_INGEST_BATCH,
+        window: int = DEFAULT_ACK_WINDOW,
+    ) -> int:
+        """Ship tuples into a named stream; returns the acked tuple count.
+
+        Tuples are chunked into batches of ``batch_size``, encoded with
+        the columnar wire codec, and pipelined: up to ``window`` batches
+        ride unacknowledged before the sender blocks on acks.  Acks
+        arrive strictly in send order, so a missing ack pins the exact
+        lost batch.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be at least 1, got {batch_size}")
+        if window < 1:
+            raise ValueError(f"window must be at least 1, got {window}")
+        in_flight: deque = deque()
+        acked = 0
+        seq = 0
+        try:
+            for chunk in _chunks(tuples, batch_size):
+                seq += 1
+                send_frame(
+                    self._sock,
+                    protocol.INGEST,
+                    {"source": source, "seq": seq, "count": len(chunk)},
+                    encode_batch_wire(TupleBatch(chunk)),
+                )
+                in_flight.append(seq)
+                while len(in_flight) >= window:
+                    acked += self._read_ack(in_flight)
+            while in_flight:
+                acked += self._read_ack(in_flight)
+        except RemoteError:
+            # Every in-flight frame still gets a reply (ERROR or ACK).
+            # Consume them so the connection stays request-aligned for
+            # callers that catch the error and keep using it; the read
+            # that raised already consumed one reply.
+            in_flight.popleft()
+            while in_flight:
+                try:
+                    self._frames.recv_frame(self._timeout)
+                except (NetError, OSError, TimeoutError):
+                    break  # connection is actually gone; nothing to resync
+                in_flight.popleft()
+            raise
+        return acked
+
+    def _read_ack(self, in_flight: deque) -> int:
+        kind, header, _ = self._frames.recv_frame(self._timeout)
+        header = _check_reply(kind, header, protocol.ACK)
+        expected_seq = in_flight.popleft()
+        if header.get("seq") != expected_seq:
+            raise ProtocolError(
+                f"ingest ack out of order: expected seq {expected_seq}, "
+                f"got {header.get('seq')}"
+            )
+        return int(header.get("count", 0))
+
+    def flush(self) -> None:
+        """Close out partial windows server-side (``QuerySession.flush``)."""
+        self._request(protocol.FLUSH)
+
+    def statistics(self, query: Optional[str] = None) -> Dict[str, Any]:
+        """Per-box statistics rows plus server frame/tuple counters."""
+        header, _ = self._request(protocol.STATS, {"query": query})
+        return header
+
+    def explain(self, query: Optional[str] = None) -> str:
+        header, _ = self._request(protocol.EXPLAIN, {"query": query})
+        return str(header.get("text", ""))
+
+    def subscribe(self, query: str, timeout: Optional[float] = None) -> "Subscription":
+        """Open a dedicated server-push connection for a query's results."""
+        return Subscription(
+            self._address,
+            query,
+            timeout=self._timeout if timeout is None else timeout,
+            max_payload=self._max_payload,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._request(protocol.BYE)
+        except (OSError, ProtocolError, ConnectionClosed, RemoteError, TimeoutError):
+            pass  # closing anyway
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "StreamClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class Subscription:
+    """A server-push result stream for one query (dedicated connection).
+
+    Iterating yields one list of :class:`StreamTuple` per ``RESULT``
+    frame; iteration ends when the connection closes.  :attr:`dropped`
+    tracks the cumulative results the server discarded for this
+    subscriber under the drop-oldest policy.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        query: str,
+        timeout: float = 30.0,
+        max_payload: int = DEFAULT_MAX_PAYLOAD,
+    ):
+        self.query = query
+        self.dropped = 0
+        self._max_payload = max_payload
+        self._default_timeout = timeout
+        self._sock = socket.create_connection(address, timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._frames = BufferedFrameSocket(self._sock, max_payload)
+        self._closed = False
+        send_frame(self._sock, protocol.SUBSCRIBE, {"query": query})
+        kind, header, _ = self._frames.recv_frame(timeout)
+        _check_reply(kind, header, protocol.OK)
+
+    def recv(self, timeout: Optional[float] = None) -> List[StreamTuple]:
+        """Block for the next result batch; raises on close or slow-consumer."""
+        if self._closed:
+            raise ConnectionClosed("this subscription is closed")
+        # The per-call timeout never sticks: the buffered reader sets it
+        # per read, and a timed-out read keeps its partial frame.
+        kind, header, payload = self._frames.recv_frame(
+            self._default_timeout if timeout is None else timeout
+        )
+        if kind == protocol.END:
+            self.close()
+            raise ConnectionClosed(f"query {self.query!r} was dropped on the server")
+        if kind == protocol.ERROR:
+            self.close()
+            if header.get("code") == "SlowConsumerError":
+                raise SlowConsumerError(header.get("message", ""))
+            raise RemoteError(header.get("code", "Error"), header.get("message", ""))
+        if kind != protocol.RESULT:
+            raise ProtocolError(
+                f"expected a RESULT frame, got {protocol.kind_name(kind)}"
+            )
+        self.dropped = int(header.get("dropped", 0))
+        return decode_batch(payload).to_tuples()
+
+    def take(self, count: int, timeout: float = 30.0) -> List[StreamTuple]:
+        """Collect result tuples until ``count`` arrived (or raise on timeout)."""
+        collected: List[StreamTuple] = []
+        while len(collected) < count:
+            collected.extend(self.recv(timeout=timeout))
+        return collected
+
+    def __iter__(self) -> Iterator[List[StreamTuple]]:
+        while True:
+            try:
+                yield self.recv()
+            except ConnectionClosed:
+                return
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._sock.close()
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _jsonable_uncertain(uncertain):
+    """Normalize the ``uncertain`` declaration for the JSON header."""
+    if uncertain is None:
+        return None
+    if isinstance(uncertain, dict):
+        return {
+            name: (list(stat) if stat is not None else None)
+            for name, stat in uncertain.items()
+        }
+    return list(uncertain)
+
+
+# ----------------------------------------------------------------------
+# asyncio client
+# ----------------------------------------------------------------------
+class AsyncStreamClient:
+    """Asyncio client mirroring :class:`StreamClient` verb-for-verb.
+
+    >>> client = await AsyncStreamClient.connect("127.0.0.1:9201")
+    >>> await client.register("q1", "SELECT ...")
+    >>> await client.ingest("rfid", tuples)
+    >>> await client.close()
+    """
+
+    def __init__(self, reader, writer, address, max_payload: int = DEFAULT_MAX_PAYLOAD):
+        self._reader = reader
+        self._writer = writer
+        self._address = address
+        self._max_payload = max_payload
+        self._closed = False
+
+    @classmethod
+    async def connect(
+        cls, address, max_payload: int = DEFAULT_MAX_PAYLOAD
+    ) -> "AsyncStreamClient":
+        import asyncio
+
+        host, port = protocol.parse_address(address)
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, (host, port), max_payload)
+
+    async def _request(
+        self,
+        kind: int,
+        header: Optional[Dict[str, Any]] = None,
+        payload: bytes = b"",
+        expected: int = protocol.OK,
+    ) -> Tuple[Dict[str, Any], bytes]:
+        self._writer.write(encode_frame(kind, header, payload))
+        await self._writer.drain()
+        reply_kind, reply_header, reply_payload = await read_frame_async(
+            self._reader, self._max_payload
+        )
+        return _check_reply(reply_kind, reply_header, expected), reply_payload
+
+    async def hello(self) -> Dict[str, Any]:
+        header, _ = await self._request(protocol.HELLO, {"client": "repro.net async"})
+        return header
+
+    async def declare_stream(
+        self,
+        name: str,
+        values: Optional[Iterable[str]] = None,
+        uncertain=None,
+        family: Optional[str] = None,
+        rate_hint: Optional[float] = None,
+    ) -> None:
+        await self._request(
+            protocol.DECLARE,
+            {
+                "name": name,
+                "values": list(values) if values is not None else None,
+                "uncertain": _jsonable_uncertain(uncertain),
+                "family": family,
+                "rate_hint": rate_hint,
+            },
+        )
+
+    async def register(self, name: str, cql: str) -> bool:
+        header, _ = await self._request(protocol.REGISTER, {"name": name, "cql": cql})
+        return bool(header.get("sharded", False))
+
+    async def drop(self, name: str) -> None:
+        await self._request(protocol.DROP, {"name": name})
+
+    async def pause(self, name: str) -> None:
+        await self._request(protocol.PAUSE, {"name": name})
+
+    async def resume(self, name: str) -> None:
+        await self._request(protocol.RESUME, {"name": name})
+
+    async def ingest(
+        self,
+        source: str,
+        tuples: Iterable[StreamTuple],
+        batch_size: int = DEFAULT_INGEST_BATCH,
+        window: int = DEFAULT_ACK_WINDOW,
+    ) -> int:
+        """Pipelined ingest (see :meth:`StreamClient.ingest`)."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be at least 1, got {batch_size}")
+        if window < 1:
+            raise ValueError(f"window must be at least 1, got {window}")
+        in_flight: deque = deque()
+        acked = 0
+        seq = 0
+        try:
+            for chunk in _chunks(tuples, batch_size):
+                seq += 1
+                self._writer.write(
+                    encode_frame(
+                        protocol.INGEST,
+                        {"source": source, "seq": seq, "count": len(chunk)},
+                        encode_batch_wire(TupleBatch(chunk)),
+                    )
+                )
+                await self._writer.drain()
+                in_flight.append(seq)
+                while len(in_flight) >= window:
+                    acked += await self._read_ack(in_flight)
+            while in_flight:
+                acked += await self._read_ack(in_flight)
+        except RemoteError:
+            # Consume the remaining in-flight replies (see StreamClient).
+            in_flight.popleft()
+            while in_flight:
+                try:
+                    await read_frame_async(self._reader, self._max_payload)
+                except (NetError, OSError):
+                    break
+                in_flight.popleft()
+            raise
+        return acked
+
+    async def _read_ack(self, in_flight: deque) -> int:
+        kind, header, _ = await read_frame_async(self._reader, self._max_payload)
+        header = _check_reply(kind, header, protocol.ACK)
+        expected_seq = in_flight.popleft()
+        if header.get("seq") != expected_seq:
+            raise ProtocolError(
+                f"ingest ack out of order: expected seq {expected_seq}, "
+                f"got {header.get('seq')}"
+            )
+        return int(header.get("count", 0))
+
+    async def flush(self) -> None:
+        await self._request(protocol.FLUSH)
+
+    async def statistics(self, query: Optional[str] = None) -> Dict[str, Any]:
+        header, _ = await self._request(protocol.STATS, {"query": query})
+        return header
+
+    async def explain(self, query: Optional[str] = None) -> str:
+        header, _ = await self._request(protocol.EXPLAIN, {"query": query})
+        return str(header.get("text", ""))
+
+    async def subscribe(self, query: str) -> "AsyncSubscription":
+        subscription = AsyncSubscription(self._address, query, self._max_payload)
+        await subscription._open()
+        return subscription
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            await self._request(protocol.BYE)
+        except (OSError, ProtocolError, ConnectionClosed, RemoteError):
+            pass
+        self._writer.close()
+
+    async def __aenter__(self) -> "AsyncStreamClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+
+class AsyncSubscription:
+    """Asyncio counterpart of :class:`Subscription` (``async for`` batches)."""
+
+    def __init__(self, address, query: str, max_payload: int = DEFAULT_MAX_PAYLOAD):
+        self.query = query
+        self.dropped = 0
+        self._address = address
+        self._max_payload = max_payload
+        self._reader = None
+        self._writer = None
+        self._closed = False
+
+    async def _open(self) -> None:
+        import asyncio
+
+        host, port = self._address
+        self._reader, self._writer = await asyncio.open_connection(host, port)
+        self._writer.write(encode_frame(protocol.SUBSCRIBE, {"query": self.query}))
+        await self._writer.drain()
+        kind, header, _ = await read_frame_async(self._reader, self._max_payload)
+        _check_reply(kind, header, protocol.OK)
+
+    async def recv(self) -> List[StreamTuple]:
+        if self._closed:
+            raise ConnectionClosed("this subscription is closed")
+        kind, header, payload = await read_frame_async(self._reader, self._max_payload)
+        if kind == protocol.END:
+            await self.close()
+            raise ConnectionClosed(f"query {self.query!r} was dropped on the server")
+        if kind == protocol.ERROR:
+            await self.close()
+            if header.get("code") == "SlowConsumerError":
+                raise SlowConsumerError(header.get("message", ""))
+            raise RemoteError(header.get("code", "Error"), header.get("message", ""))
+        if kind != protocol.RESULT:
+            raise ProtocolError(
+                f"expected a RESULT frame, got {protocol.kind_name(kind)}"
+            )
+        self.dropped = int(header.get("dropped", 0))
+        return decode_batch(payload).to_tuples()
+
+    def __aiter__(self) -> "AsyncSubscription":
+        return self
+
+    async def __anext__(self) -> List[StreamTuple]:
+        try:
+            return await self.recv()
+        except ConnectionClosed:
+            raise StopAsyncIteration from None
+
+    async def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            if self._writer is not None:
+                self._writer.close()

@@ -1,0 +1,64 @@
+"""Errors raised by the network service layer.
+
+The split mirrors where a failure originated:
+
+* :class:`ProtocolError` — the *bytes* were wrong: bad magic, an
+  unknown frame kind, an over-limit or truncated frame.  Raised by the
+  framing/protocol codecs on both ends; a server answering a malformed
+  request closes the connection after reporting it.
+* :class:`RemoteError` — the peer executed the request and *it* failed
+  (unknown query, CQL syntax error, service misuse).  The server ships
+  the exception class name and message in an error frame; the client
+  re-raises them as a :class:`RemoteError` so caller code can tell a
+  remote registration failure from a local socket problem.
+* :class:`ConnectionClosed` — the peer went away mid-conversation
+  (EOF on a frame boundary is a clean close; inside a frame it is a
+  :class:`ProtocolError`).
+* :class:`SlowConsumerError` — a subscription was terminated by the
+  server's slow-consumer policy; the client raises it from the
+  subscription iterator so a lagging reader sees *why* its stream
+  ended.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NetError",
+    "ProtocolError",
+    "RemoteError",
+    "ConnectionClosed",
+    "SlowConsumerError",
+]
+
+
+class NetError(Exception):
+    """Base class for every error of the network service layer."""
+
+
+class ProtocolError(NetError):
+    """The wire contents violated the framing or message protocol."""
+
+
+class ConnectionClosed(NetError):
+    """The peer closed the connection (cleanly, on a frame boundary)."""
+
+
+class RemoteError(NetError):
+    """A request reached the server and failed there.
+
+    Attributes
+    ----------
+    code:
+        The server-side exception class name (``"ServiceError"``,
+        ``"CQLSyntaxError"``, ...), usable for dispatch without string
+        matching on the message.
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.remote_message = message
+
+
+class SlowConsumerError(NetError):
+    """The server dropped this subscriber for falling too far behind."""

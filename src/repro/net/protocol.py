@@ -1,0 +1,225 @@
+"""Message kinds and codecs of the repro.net wire protocol.
+
+The protocol has two halves sharing one frame format
+(:mod:`repro.net.framing`):
+
+**Query service** (client ↔ :class:`~repro.net.server.StreamServer`) —
+request/response verbs plus server-pushed subscription results:
+
+====================  =============================================  =======================
+request               header fields                                  reply
+====================  =============================================  =======================
+``HELLO``             ``client``                                     ``OK`` (server info)
+``DECLARE``           ``name, values, uncertain, family, rate_hint`` ``OK``
+``REGISTER``          ``name, cql``                                  ``OK`` (``sharded``)
+``DROP`` / ``PAUSE``
+/ ``RESUME``          ``name``                                       ``OK``
+``INGEST``            ``source, seq, count`` + batch payload         ``ACK`` (``seq, count``)
+``FLUSH``             —                                              ``OK``
+``SUBSCRIBE``         ``query``                                      ``OK`` then ``RESULT``*
+``STATS``             ``query`` (optional)                           ``OK`` (``stats`` rows)
+``EXPLAIN``           ``query`` (optional)                           ``OK`` (``text``)
+``BYE``               —                                              ``OK``, then close
+====================  =============================================  =======================
+
+``RESULT`` frames carry ``query, seq, count, dropped`` plus an encoded
+tuple batch; ``ERROR`` frames carry ``code`` (the server-side exception
+class name) and ``message``.  Ingest is pipelined: a client may keep up
+to its ack window of ``INGEST`` frames in flight before reading the
+matching ``ACK`` frames (which arrive in send order).
+
+**Shard transport** (coordinator ↔ :class:`~repro.net.shard.ShardServer`)
+— the sharded runtime's worker protocol
+(:mod:`repro.runtime.worker`) mapped 1:1 onto frames, so a shard
+reached over TCP speaks exactly the message tuples a forked shard
+exchanges over its queue pair.  :func:`encode_worker_message` /
+:func:`decode_worker_message` are that mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from .errors import ProtocolError
+from .framing import encode_frame
+
+__all__ = [
+    "HELLO",
+    "DECLARE",
+    "REGISTER",
+    "DROP",
+    "PAUSE",
+    "RESUME",
+    "INGEST",
+    "FLUSH",
+    "SUBSCRIBE",
+    "STATS",
+    "EXPLAIN",
+    "BYE",
+    "OK",
+    "ERROR",
+    "ACK",
+    "RESULT",
+    "END",
+    "SHARD_ATTACH",
+    "parse_address",
+    "kind_name",
+    "error_frame",
+    "encode_worker_message",
+    "decode_worker_message",
+]
+
+# Client → server requests.
+HELLO = 0x01
+DECLARE = 0x02
+REGISTER = 0x03
+DROP = 0x04
+PAUSE = 0x05
+RESUME = 0x06
+INGEST = 0x07
+FLUSH = 0x08
+SUBSCRIBE = 0x09
+STATS = 0x0A
+EXPLAIN = 0x0B
+BYE = 0x0C
+
+# Server → client replies / pushes.
+OK = 0x40
+ERROR = 0x41
+ACK = 0x42
+RESULT = 0x43
+END = 0x44
+
+# Shard transport: the coordinator announces which shard slot the
+# remote runner fills; everything after that is worker-protocol tuples.
+SHARD_ATTACH = 0x60
+_SHARD_CHUNK = 0x61
+_SHARD_FLUSH = 0x62
+_SHARD_STATS = 0x63
+_SHARD_STOP = 0x64
+_SHARD_RESULTS = 0x71
+_SHARD_FLUSHED = 0x72
+_SHARD_STATS_REPLY = 0x73
+_SHARD_ERROR = 0x74
+
+_KIND_NAMES = {
+    value: name
+    for name, value in globals().items()
+    if name.isupper() and isinstance(value, int)
+}
+_KIND_NAMES.update(
+    {
+        _SHARD_CHUNK: "SHARD_CHUNK",
+        _SHARD_FLUSH: "SHARD_FLUSH",
+        _SHARD_STATS: "SHARD_STATS",
+        _SHARD_STOP: "SHARD_STOP",
+        _SHARD_RESULTS: "SHARD_RESULTS",
+        _SHARD_FLUSHED: "SHARD_FLUSHED",
+        _SHARD_STATS_REPLY: "SHARD_STATS_REPLY",
+        _SHARD_ERROR: "SHARD_ERROR",
+    }
+)
+
+
+def parse_address(address) -> Tuple[str, int]:
+    """Accept ``"host:port"`` (IPv6 in brackets) or a ``(host, port)`` pair."""
+    if isinstance(address, tuple) and len(address) == 2:
+        return str(address[0]), int(address[1])
+    if isinstance(address, str):
+        host, sep, port = address.rpartition(":")
+        if sep and port.isdigit():
+            return host.strip("[]"), int(port)
+    raise ProtocolError(
+        f"cannot parse address {address!r}; use 'host:port' or a (host, port) pair"
+    )
+
+
+def kind_name(kind: int) -> str:
+    """Human-readable name of a frame kind (for errors and logs)."""
+    return _KIND_NAMES.get(kind, f"UNKNOWN(0x{kind:02x})")
+
+
+def error_frame(exc: BaseException) -> bytes:
+    """Encode an exception as an ``ERROR`` frame (class name + message)."""
+    return encode_frame(ERROR, {"code": type(exc).__name__, "message": str(exc)})
+
+
+# ----------------------------------------------------------------------
+# Shard-transport message codec
+# ----------------------------------------------------------------------
+def encode_worker_message(message: Tuple) -> bytes:
+    """Encode one worker-protocol message tuple as a frame.
+
+    The tuple shapes are those documented in
+    :mod:`repro.runtime.worker`; batch payloads stay opaque bytes (they
+    are already wire-encoded), small fields ride in the header.
+    """
+    kind = message[0]
+    if kind == "chunk":
+        _, source, chunk_id, payload = message
+        return encode_frame(_SHARD_CHUNK, {"source": source, "chunk": chunk_id}, payload)
+    if kind == "flush":
+        return encode_frame(_SHARD_FLUSH, {"token": message[1]})
+    if kind == "stats":
+        if len(message) == 1:  # the request; the reply is ("stats", shard, rows)
+            return encode_frame(_SHARD_STATS)
+        _, shard, rows = message
+        return encode_frame(_SHARD_STATS_REPLY, {"shard": shard, "rows": rows})
+    if kind == "stop":
+        return encode_frame(_SHARD_STOP)
+    if kind == "results":
+        _, shard, chunk_id, payload, watermark = message
+        return encode_frame(
+            _SHARD_RESULTS,
+            {"shard": shard, "chunk": chunk_id, "watermark": _json_float(watermark)},
+            payload,
+        )
+    if kind == "flushed":
+        _, shard, token, payload = message
+        return encode_frame(_SHARD_FLUSHED, {"shard": shard, "token": token}, payload)
+    if kind == "error":
+        _, shard, trace = message
+        return encode_frame(_SHARD_ERROR, {"shard": shard, "traceback": trace})
+    raise ProtocolError(f"cannot encode worker message kind {kind!r}")
+
+
+def decode_worker_message(kind: int, header: Dict[str, Any], payload: bytes) -> Tuple:
+    """Decode a shard-transport frame back into a worker message tuple."""
+    if kind == _SHARD_CHUNK:
+        return ("chunk", header["source"], header["chunk"], payload)
+    if kind == _SHARD_FLUSH:
+        return ("flush", header["token"])
+    if kind == _SHARD_STATS:
+        return ("stats",)
+    if kind == _SHARD_STOP:
+        return ("stop",)
+    if kind == _SHARD_RESULTS:
+        return (
+            "results",
+            header["shard"],
+            header["chunk"],
+            payload,
+            _parse_float(header["watermark"]),
+        )
+    if kind == _SHARD_FLUSHED:
+        return ("flushed", header["shard"], header["token"], payload)
+    if kind == _SHARD_STATS_REPLY:
+        return ("stats", header["shard"], [tuple(row) for row in header["rows"]])
+    if kind == _SHARD_ERROR:
+        return ("error", header["shard"], header["traceback"])
+    raise ProtocolError(f"unexpected frame kind {kind_name(kind)} on a shard transport")
+
+
+def _json_float(value: float):
+    """JSON has no ±inf/NaN literals; watermarks start at -inf."""
+    if value != value:
+        return "nan"
+    if value == float("inf"):
+        return "inf"
+    if value == float("-inf"):
+        return "-inf"
+    return value
+
+
+def _parse_float(value) -> float:
+    return float(value)  # float() parses the "inf"/"-inf"/"nan" strings too

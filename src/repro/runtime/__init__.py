@@ -20,7 +20,7 @@ The service layer exposes the same capability as
 ``QuerySession(workers=N)``.
 """
 
-from .engine import ShardedEngine, ShardedStatistics, ShardError
+from .engine import ShardBackpressure, ShardedEngine, ShardedStatistics, ShardError
 from .merge import MergeProtocolError, OrderedChunkMerger, WindowPartialMerger
 from .partition import (
     HashPartitioner,
@@ -28,12 +28,16 @@ from .partition import (
     RoundRobinPartitioner,
     resolve_partitioner,
 )
-from .worker import ShardRunner
+from .transport import SocketShardChannel
+from .worker import ShardRunner, serve_shard_messages
 
 __all__ = [
     "ShardedEngine",
     "ShardedStatistics",
+    "ShardBackpressure",
     "ShardError",
+    "SocketShardChannel",
+    "serve_shard_messages",
     "Partitioner",
     "RoundRobinPartitioner",
     "HashPartitioner",

@@ -27,6 +27,12 @@ Workers are forked, not spawned: logical plans carry closures
 (predicates, derive functions, group keys) that never pickle, but fork
 inherits them by address space.  Tuples cross processes only through
 :mod:`repro.streams.serialization`.
+
+Shards need not be local: ``remote_shards=["host:port", ...]`` assigns
+the highest shard slots to :class:`repro.net.shard.ShardServer`
+processes reached over TCP (:mod:`repro.runtime.transport`), speaking
+the same worker protocol with frames instead of queue messages — the
+multi-machine topology behind one coordinator interface.
 """
 
 from __future__ import annotations
@@ -35,8 +41,9 @@ import gc
 import math
 import multiprocessing
 import queue as queue_module
+import select
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Union
 
 from repro.plan.builder import Stream
@@ -57,9 +64,10 @@ from repro.streams.tuples import StreamTuple
 
 from .merge import OrderedChunkMerger, WindowPartialMerger
 from .partition import Partitioner, resolve_partitioner
-from .worker import ShardRunner, worker_main
+from .transport import SocketShardChannel
+from .worker import ShardRunner, plan_signature, worker_main
 
-__all__ = ["ShardedEngine", "ShardError", "ShardedStatistics"]
+__all__ = ["ShardedEngine", "ShardError", "ShardedStatistics", "ShardBackpressure"]
 
 #: How long finish()/statistics() wait for worker replies before
 #: declaring a shard dead.
@@ -71,11 +79,35 @@ class ShardError(RuntimeError):
 
 
 @dataclass(frozen=True)
+class ShardBackpressure:
+    """Flow-control state of one shard, as seen by the coordinator.
+
+    ``stalls`` counts the times a send to this shard could not proceed
+    immediately (input queue full, or socket send buffer full) and the
+    coordinator had to drain replies instead — the cumulative
+    backpressure signal.  ``queue_depth`` is the chunks currently
+    waiting in a local worker's input queue; ``in_flight_chunks`` the
+    chunks shipped but not yet answered (meaningful for every
+    transport); ``send_backlog_bytes`` the bytes a socket transport has
+    buffered but not yet written.
+    """
+
+    shard: int
+    transport: str  # "queue", "socket" or "inline"
+    queue_depth: int
+    in_flight_chunks: int
+    stalls: int
+    chunks_sent: int
+    send_backlog_bytes: int = 0
+
+
+@dataclass(frozen=True)
 class ShardedStatistics:
     """Per-shard and coordinator box statistics."""
 
     shards: Dict[int, List[OperatorStats]]
     coordinator: List[OperatorStats]
+    backpressure: Dict[int, ShardBackpressure] = field(default_factory=dict)
 
 
 class ShardedEngine:
@@ -109,6 +141,15 @@ class ShardedEngine:
         Execution mode for the shard-local engines (as in
         ``Planner.compile``); ``"auto"`` lets each worker's cost model
         decide.
+    remote_shards:
+        TCP addresses (``"host:port"``) of running
+        :class:`repro.net.shard.ShardServer` processes.  The *highest*
+        shard slots connect there instead of forking: with
+        ``workers=4`` and two addresses, shards 0–1 fork locally and
+        shards 2–3 run remotely.  Requires the ``"process"`` backend;
+        when the plan falls back to a single engine the addresses are
+        unused.  The remote server must host the same query (see
+        :mod:`repro.net.shard` on plan distribution).
     sink:
         Optional result sink operator; every merged result is delivered
         through ``sink.accept``.  Defaults to a
@@ -129,6 +170,7 @@ class ShardedEngine:
         planner: Optional[Planner] = None,
         optimize: bool = True,
         sink: Optional[Operator] = None,
+        remote_shards: Iterable[str] = (),
     ):
         if workers < 0:
             raise PlanError(f"workers must be non-negative, got {workers}")
@@ -138,6 +180,18 @@ class ShardedEngine:
             raise PlanError(f"queue_capacity must be at least 1, got {queue_capacity}")
         if backend not in ("process", "inline"):
             raise PlanError(f"unknown backend {backend!r}; use 'process' or 'inline'")
+        self.remote_shards = tuple(remote_shards)
+        if self.remote_shards:
+            if backend != "process":
+                raise PlanError(
+                    "remote_shards requires the 'process' backend "
+                    f"(got {backend!r}); the inline backend is single-process"
+                )
+            if len(self.remote_shards) > workers:
+                raise PlanError(
+                    f"{len(self.remote_shards)} remote shard addresses but only "
+                    f"workers={workers} shard slots"
+                )
 
         if isinstance(query, Stream):
             plan = query.plan()
@@ -173,6 +227,14 @@ class ShardedEngine:
             self.decision = split_for_sharding(optimized, self._planner.cost_model)
 
         self.partitioner = resolve_partitioner(partitioner)
+        weights = getattr(self.partitioner, "weights", ())
+        if weights and len(weights) != workers:
+            # Fail before any worker forks; split_chunk would only
+            # notice at the first full chunk, mid-stream.
+            raise PlanError(
+                f"round-robin weights cover {len(weights)} shards "
+                f"but workers={workers}"
+            )
         if (
             self.decision.shardable
             and self.decision.partitioning == "chunked"
@@ -227,6 +289,13 @@ class ShardedEngine:
         self._flushed_tokens: Dict[int, int] = {}
         self._stats_rows: Dict[int, Optional[List]] = {}
         self._ordered_flush: Dict[int, List[StreamTuple]] = {}
+        # Backpressure accounting (see ShardBackpressure).
+        self._stalls = [0] * self.workers
+        self._chunks_sent = [0] * self.workers
+        self._chunks_done = [0] * self.workers
+        self._remote: Dict[int, SocketShardChannel] = {}
+        self._processes = []
+        self._out_queue = None
 
         if self.backend == "inline":
             self._runners = [
@@ -234,12 +303,32 @@ class ShardedEngine:
                 for i in range(self.workers)
             ]
             return
+        local_count = self.workers - len(self.remote_shards)
+        # Connect the remote shards first: a bad address then fails
+        # before any worker forks, leaving nothing to clean up.  The
+        # attach carries a structural signature of the shard-local plan
+        # so a server hosting a *different* query rejects loudly
+        # instead of merging mismatched partials silently.
+        signature = plan_signature(decision.local)
+        try:
+            for offset, address in enumerate(self.remote_shards):
+                shard = local_count + offset
+                self._remote[shard] = SocketShardChannel(
+                    shard, address, plan_signature=signature
+                )
+        except BaseException:
+            # A later address failing must not leak the shard servers
+            # already attached (each serves one coordinator at a time).
+            for channel in self._remote.values():
+                channel.close()
+            raise
+        if local_count == 0:
+            return
         context = multiprocessing.get_context("fork")
         self._in_queues = [
-            context.Queue(maxsize=self._queue_capacity) for _ in range(self.workers)
+            context.Queue(maxsize=self._queue_capacity) for _ in range(local_count)
         ]
-        self._out_queue = context.Queue(maxsize=max(16, self._queue_capacity * self.workers))
-        self._processes = []
+        self._out_queue = context.Queue(maxsize=max(16, self._queue_capacity * local_count))
         # Pre-fork GC hygiene (the classic pre-fork-server pattern): move
         # every object the parent has allocated so far into the permanent
         # generation.  The forked workers inherit that heap and would
@@ -250,7 +339,7 @@ class ShardedEngine:
         gc.collect()
         gc.freeze()
         try:
-            for shard in range(self.workers):
+            for shard in range(local_count):
                 process = context.Process(
                     target=worker_main,
                     args=(
@@ -334,6 +423,7 @@ class ShardedEngine:
             self._next_chunk += 1
             payload = encode_batch_wire(TupleBatch(tuples))
             self._outstanding += 1
+            self._chunks_sent[shard] += 1
             if isinstance(self._merger, WindowPartialMerger):
                 self._merger.mark_fed(shard)
             self._send(shard, ("chunk", source, chunk_id, payload))
@@ -345,11 +435,26 @@ class ShardedEngine:
         if self.backend == "inline":
             self._dispatch(self._run_inline(shard, message))
             return
+        channel = self._remote.get(shard)
+        if channel is not None:
+            channel.queue_message(message)
+            while not channel.pump_send():
+                if not channel.alive:
+                    raise ShardError(
+                        f"lost the connection to remote shard {shard} "
+                        f"({channel.address}) while sending"
+                    )
+                self._stalls[shard] += 1
+                self._drain(block=False)
+                self._check_workers_alive()
+                channel.wait_writable(0.05)
+            return
         while True:
             try:
                 self._in_queues[shard].put(message, timeout=0.05)
                 return
             except queue_module.Full:
+                self._stalls[shard] += 1
                 self._drain(block=False)
                 self._check_workers_alive()
 
@@ -372,6 +477,7 @@ class ShardedEngine:
             _, shard, chunk_id, payload, watermark = message
             outputs = decode_batch(payload).to_tuples()
             self._outstanding -= 1
+            self._chunks_done[shard] += 1
             if isinstance(self._merger, OrderedChunkMerger):
                 self._deliver(self._merger.ingest(chunk_id, outputs))
             else:
@@ -418,19 +524,65 @@ class ShardedEngine:
         while True:
             if until is not None and until():
                 return
-            try:
-                message = self._out_queue.get(timeout=0.05 if block else 0.0)
-            except queue_module.Empty:
-                if not block or until is None:
-                    return
-                self._check_workers_alive()
-                if time.monotonic() > deadline:
-                    raise ShardError(
-                        f"no shard replies for {timeout:.0f}s while waiting to drain"
-                    )
+            if self._pump_replies(wait=0.05 if block else 0.0):
+                deadline = time.monotonic() + timeout
                 continue
-            deadline = time.monotonic() + timeout
-            self._dispatch(message)
+            if not block or until is None:
+                return
+            self._check_workers_alive()
+            if time.monotonic() > deadline:
+                raise ShardError(
+                    f"no shard replies for {timeout:.0f}s while waiting to drain"
+                )
+
+    def _pump_replies(self, wait: float) -> bool:
+        """Dispatch every available reply (queue and socket transports).
+
+        A non-blocking sweep over the shared result queue and the
+        remote socket channels; when it comes up empty and ``wait`` is
+        set, block in one ``select`` over *all* reply transports (the
+        queue's underlying pipe and the sockets together, so neither
+        transport's replies wait behind a timeout on the other) and
+        sweep again.  Returns whether any message was dispatched.
+        """
+        progressed = self._sweep_replies()
+        if progressed or not wait:
+            return progressed
+        readers = [c.sock for c in self._remote.values() if c.alive]
+        if self._out_queue is not None:
+            queue_pipe = getattr(self._out_queue, "_reader", None)
+            if queue_pipe is not None:
+                readers.append(queue_pipe)
+            elif not readers:  # pragma: no cover - no selectable pipe
+                try:
+                    message = self._out_queue.get(timeout=wait)
+                except queue_module.Empty:
+                    return False
+                self._dispatch(message)
+                return True
+        if readers:
+            try:
+                select.select(readers, (), (), wait)
+            except OSError:
+                pass
+        return self._sweep_replies()
+
+    def _sweep_replies(self) -> bool:
+        """One non-blocking pass over every reply transport."""
+        progressed = False
+        if self._out_queue is not None:
+            while True:
+                try:
+                    message = self._out_queue.get_nowait()
+                except queue_module.Empty:
+                    break
+                progressed = True
+                self._dispatch(message)
+        for channel in self._remote.values():
+            for message in channel.poll():
+                progressed = True
+                self._dispatch(message)
+        return progressed
 
     def _check_workers_alive(self) -> None:
         for process in getattr(self, "_processes", ()):
@@ -438,6 +590,12 @@ class ShardedEngine:
                 raise ShardError(
                     f"{process.name} exited with code {process.exitcode} "
                     "without reporting an error"
+                )
+        for channel in getattr(self, "_remote", {}).values():
+            if not channel.alive:
+                raise ShardError(
+                    f"lost the connection to remote shard {channel.shard} "
+                    f"({channel.address})"
                 )
 
     def _drain_fallback(self) -> None:
@@ -494,7 +652,11 @@ class ShardedEngine:
         self._closed = True
         if not self.sharded or self.backend == "inline":
             return
-        for shard, q in enumerate(self._in_queues):
+        for channel in self._remote.values():
+            channel.close()
+        if not self._processes:
+            return
+        for q in self._in_queues:
             try:
                 q.put(("stop",), timeout=0.5)
             except queue_module.Full:  # pragma: no cover - worker wedged
@@ -564,7 +726,46 @@ class ShardedEngine:
                 seconds=self._sink.processing_seconds,
             )
         )
-        return ShardedStatistics(shards=shards, coordinator=coordinator)
+        return ShardedStatistics(
+            shards=shards,
+            coordinator=coordinator,
+            backpressure=self.shard_statistics(),
+        )
+
+    def shard_statistics(self) -> Dict[int, ShardBackpressure]:
+        """Per-shard backpressure state: queue depth, in-flight, stalls.
+
+        Cheap (no worker round trip), so it is safe to sample in a hot
+        monitoring loop; the single-engine fallback returns ``{}``.
+        """
+        if not self.sharded:
+            return {}
+        report: Dict[int, ShardBackpressure] = {}
+        for shard in range(self.workers):
+            channel = self._remote.get(shard)
+            queue_depth = 0
+            backlog = 0
+            if self.backend == "inline":
+                transport = "inline"
+            elif channel is not None:
+                transport = "socket"
+                backlog = channel.send_backlog_bytes
+            else:
+                transport = "queue"
+                try:
+                    queue_depth = self._in_queues[shard].qsize()
+                except NotImplementedError:  # pragma: no cover - macOS
+                    queue_depth = -1
+            report[shard] = ShardBackpressure(
+                shard=shard,
+                transport=transport,
+                queue_depth=queue_depth,
+                in_flight_chunks=self._chunks_sent[shard] - self._chunks_done[shard],
+                stalls=self._stalls[shard],
+                chunks_sent=self._chunks_sent[shard],
+                send_backlog_bytes=backlog,
+            )
+        return report
 
     def explain(self) -> str:
         """The sharding decision, runtime configuration and fallback plan."""
@@ -573,6 +774,12 @@ class ShardedEngine:
         lines.append("Runtime")
         lines.append("-------")
         lines.append(f"backend: {self.backend}")
+        if self.remote_shards:
+            local = self.workers - len(self.remote_shards)
+            lines.append(
+                f"remote shards: {local}..{self.workers - 1} over TCP "
+                f"({', '.join(self.remote_shards)})"
+            )
         lines.append(f"partitioner: {self.partitioner!r}")
         lines.append(
             f"chunk_size: {self.chunk_size}, queue_capacity: {self._queue_capacity}"

@@ -45,16 +45,45 @@ class Partitioner(abc.ABC):
 
 
 class RoundRobinPartitioner(Partitioner):
-    """Whole chunks rotate across shards; global chunk order is preserved."""
+    """Whole chunks rotate across shards; global chunk order is preserved.
+
+    ``weights`` (positive integers, one per shard) skew the rotation:
+    with weights ``(2, 1)`` shard 0 receives two chunks for every one
+    chunk shard 1 gets.  This is the knob for heterogeneous shard
+    pools — e.g. deweighting a remote socket shard that pays
+    serialization plus network latency per chunk, or an overloaded
+    host.  Chunk ids remain one global sequence, so the ordered
+    (row-wise) merge still reconstructs single-engine output order.
+    """
 
     preserves_order = True
+
+    def __init__(self, weights: Sequence[int] = ()):
+        schedule: List[int] = []
+        for shard, weight in enumerate(weights):
+            if int(weight) != weight or weight < 1:
+                raise ValueError(
+                    f"round-robin weights must be positive integers, got {weight!r}"
+                )
+            schedule.extend([shard] * int(weight))
+        self.weights = tuple(int(w) for w in weights)
+        self._schedule = schedule
 
     def split_chunk(
         self, chunk_index: int, items: Sequence[StreamTuple], n_shards: int
     ) -> Dict[int, List[StreamTuple]]:
-        return {chunk_index % n_shards: list(items)}
+        if not self._schedule:
+            return {chunk_index % n_shards: list(items)}
+        if len(self.weights) != n_shards:
+            raise ValueError(
+                f"round-robin weights cover {len(self.weights)} shards "
+                f"but the engine runs {n_shards}"
+            )
+        return {self._schedule[chunk_index % len(self._schedule)]: list(items)}
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
+        if self.weights:
+            return f"RoundRobinPartitioner(weights={self.weights!r})"
         return "RoundRobinPartitioner()"
 
 
@@ -91,16 +120,20 @@ class HashPartitioner(Partitioner):
 
 
 def resolve_partitioner(spec: Union[str, Partitioner]) -> Partitioner:
-    """Accept a partitioner instance, ``"round_robin"`` or ``"hash:<attr>"``."""
+    """Accept an instance, ``"round_robin[:w0,w1,...]"`` or ``"hash:<attr>"``."""
     if isinstance(spec, Partitioner):
         return spec
     if isinstance(spec, str):
         name = spec.strip().lower()
         if name in ("round_robin", "roundrobin", "rr"):
             return RoundRobinPartitioner()
+        for prefix in ("round_robin:", "roundrobin:", "rr:"):
+            if name.startswith(prefix):
+                weights = [int(part) for part in name[len(prefix) :].split(",") if part]
+                return RoundRobinPartitioner(weights)
         if name.startswith("hash:"):
             return HashPartitioner(spec.split(":", 1)[1])
     raise ValueError(
-        f"unknown partitioner {spec!r}; use 'round_robin', 'hash:<attribute>' "
-        "or a Partitioner instance"
+        f"unknown partitioner {spec!r}; use 'round_robin', "
+        "'round_robin:<w0>,<w1>,...', 'hash:<attribute>' or a Partitioner instance"
     )

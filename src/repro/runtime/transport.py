@@ -1,0 +1,159 @@
+"""Coordinator-side shard transports.
+
+The sharded runtime's coordinator speaks one message protocol to its
+shards (:mod:`repro.runtime.worker`); this module carries that protocol
+over a TCP socket so a shard can live in a remote process
+(:class:`repro.net.shard.ShardServer`) instead of a forked queue pair.
+
+:class:`SocketShardChannel` is deliberately *non-blocking on both
+directions*: sends go through an explicit backlog buffer pumped with
+non-blocking writes, and receives parse whatever bytes have arrived
+into complete frames.  The coordinator therefore keeps its existing
+backpressure discipline — when a send cannot progress it drains
+replies instead of deadlocking against a shard that is itself blocked
+sending results back.
+
+The :mod:`repro.net` imports are deferred to call time: the service
+layer sits between :mod:`repro.runtime` and :mod:`repro.net` in the
+import graph, and importing the net package at module load would close
+that cycle.
+"""
+
+from __future__ import annotations
+
+import select
+import socket
+from typing import List, Optional, Tuple
+
+__all__ = ["SocketShardChannel"]
+
+
+class SocketShardChannel:
+    """One remote shard reached over TCP (see module docs).
+
+    The constructor performs the attach handshake synchronously: it
+    announces the shard slot this runner fills and waits for the
+    server's acknowledgement (or its error report), so a bad address or
+    an incompatible shard server fails at engine construction, not
+    first push.
+    """
+
+    transport = "socket"
+
+    def __init__(
+        self,
+        shard: int,
+        address: str,
+        max_payload: Optional[int] = None,
+        connect_timeout: float = 10.0,
+        plan_signature: Optional[List[str]] = None,
+    ):
+        from repro.net import framing, protocol  # deferred: import cycle
+
+        self._framing = framing
+        self._protocol = protocol
+        self.shard = shard
+        self.address = address
+        self.max_payload = max_payload or framing.DEFAULT_MAX_PAYLOAD
+        self.alive = True
+        self._backlog = bytearray()
+        self._reader = framing.FrameReader(self.max_payload)
+
+        self.sock = socket.create_connection(
+            protocol.parse_address(address), timeout=connect_timeout
+        )
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        framing.send_frame(
+            self.sock,
+            protocol.SHARD_ATTACH,
+            {"shard": shard, "signature": plan_signature},
+        )
+        kind, header, payload = framing.recv_frame(self.sock, self.max_payload)
+        if kind != protocol.OK:
+            message = protocol.decode_worker_message(kind, header, payload)
+            detail = message[2] if message[0] == "error" else repr(message)
+            raise ConnectionError(
+                f"shard server {address} rejected the attach of shard {shard}:\n{detail}"
+            )
+        self.sock.setblocking(False)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def queue_message(self, message: Tuple) -> None:
+        """Append one worker-protocol message to the send backlog."""
+        self._backlog.extend(self._protocol.encode_worker_message(message))
+
+    def pump_send(self) -> bool:
+        """Write as much backlog as the socket accepts; True when drained."""
+        while self._backlog:
+            try:
+                sent = self.sock.send(self._backlog)
+            except (BlockingIOError, InterruptedError):
+                return False
+            except OSError:
+                self.alive = False
+                return False
+            if sent <= 0:
+                self.alive = False
+                return False
+            del self._backlog[:sent]
+        return True
+
+    @property
+    def send_backlog_bytes(self) -> int:
+        return len(self._backlog)
+
+    def wait_writable(self, timeout: float) -> None:
+        try:
+            select.select((), (self.sock,), (), timeout)
+        except OSError:
+            self.alive = False
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def poll(self) -> List[Tuple]:
+        """Drain received bytes; return every complete worker message."""
+        if not self.alive:
+            return []
+        while True:
+            try:
+                data = self.sock.recv(1 << 16)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self.alive = False
+                break
+            if not data:
+                self.alive = False
+                break
+            self._reader.feed(data)
+        messages: List[Tuple] = []
+        while True:
+            frame = self._reader.next_frame()
+            if frame is None:
+                break
+            messages.append(self._protocol.decode_worker_message(*frame))
+        return messages
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, linger: float = 1.0) -> None:
+        """Best-effort ``stop`` to the remote runner, then close the socket."""
+        if self.alive:
+            try:
+                self.queue_message(("stop",))
+                deadline_ticks = max(1, int(linger / 0.05))
+                for _ in range(deadline_ticks):
+                    if self.pump_send():
+                        break
+                    self.wait_writable(0.05)
+            except OSError:
+                pass
+        self.sock.close()
+        self.alive = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"SocketShardChannel(shard={self.shard}, address={self.address!r})"

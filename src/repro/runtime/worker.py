@@ -26,20 +26,38 @@ them measurable.
 
 :class:`ShardRunner` holds the engine-facing half without any queue
 I/O, so the inline backend (and tests) can drive shards synchronously.
+:func:`serve_shard_messages` is the protocol loop over abstract
+``recv``/``send`` callables — the forked queue worker
+(:func:`worker_main`) and the TCP shard server
+(:class:`repro.net.shard.ShardServer`) both run it, so a shard behaves
+identically whether its transport is a queue pair or a socket.
 """
 
 from __future__ import annotations
 
 import math
 import traceback
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
-from repro.plan.nodes import LogicalPlan
+from repro.plan.nodes import LogicalPlan, topological_nodes
 from repro.plan.planner import Planner
 from repro.streams.batch import TupleBatch
 from repro.streams.serialization import decode_batch, encode_batch_wire
 
-__all__ = ["ShardRunner", "worker_main"]
+__all__ = ["ShardRunner", "plan_signature", "serve_shard_messages", "worker_main"]
+
+
+def plan_signature(plan: LogicalPlan) -> List[str]:
+    """Deterministic structural signature of a (shard-local) plan.
+
+    The topological sequence of node labels — address-free strings
+    like ``ProbFilter[value > 20.0, p>=0.2]`` — is stable across
+    processes and machines that construct the same query from the same
+    code, so the socket shard transport uses it to verify at attach
+    time that a remote :class:`repro.net.shard.ShardServer` hosts the
+    same plan the coordinator split.
+    """
+    return [node.label() for node in topological_nodes(plan.outputs)]
 
 
 class ShardRunner:
@@ -88,6 +106,37 @@ class ShardRunner:
         ]
 
 
+def serve_shard_messages(
+    runner: ShardRunner,
+    recv: Callable[[], Tuple],
+    send: Callable[[Tuple], None],
+) -> None:
+    """Serve the shard protocol over abstract ``recv``/``send`` until ``stop``.
+
+    ``recv`` blocks for the next parent→worker message tuple; ``send``
+    ships one worker→parent reply.  The loop is transport-agnostic:
+    queue pairs and socket framing both plug in here.
+    """
+    shard_id = runner.shard_id
+    while True:
+        message = recv()
+        kind = message[0]
+        if kind == "chunk":
+            _, source, chunk_id, payload = message
+            outputs, watermark = runner.chunk(source, decode_batch(payload))
+            payload_out = encode_batch_wire(TupleBatch(outputs))
+            send(("results", shard_id, chunk_id, payload_out, watermark))
+        elif kind == "flush":
+            outputs = runner.flush()
+            send(("flushed", shard_id, message[1], encode_batch_wire(TupleBatch(outputs))))
+        elif kind == "stats":
+            send(("stats", shard_id, runner.statistics_rows()))
+        elif kind == "stop":
+            return
+        else:  # pragma: no cover - protocol misuse
+            raise RuntimeError(f"unknown worker message {kind!r}")
+
+
 def worker_main(
     shard_id: int,
     plan: LogicalPlan,
@@ -104,24 +153,6 @@ def worker_main(
     """
     try:
         runner = ShardRunner(shard_id, plan, mode=mode, batch_size=batch_size)
-        while True:
-            message = in_queue.get()
-            kind = message[0]
-            if kind == "chunk":
-                _, source, chunk_id, payload = message
-                outputs, watermark = runner.chunk(source, decode_batch(payload))
-                payload_out = encode_batch_wire(TupleBatch(outputs))
-                out_queue.put(("results", shard_id, chunk_id, payload_out, watermark))
-            elif kind == "flush":
-                outputs = runner.flush()
-                out_queue.put(
-                    ("flushed", shard_id, message[1], encode_batch_wire(TupleBatch(outputs)))
-                )
-            elif kind == "stats":
-                out_queue.put(("stats", shard_id, runner.statistics_rows()))
-            elif kind == "stop":
-                return
-            else:  # pragma: no cover - protocol misuse
-                raise RuntimeError(f"unknown worker message {kind!r}")
+        serve_shard_messages(runner, in_queue.get, out_queue.put)
     except BaseException:
         out_queue.put(("error", shard_id, traceback.format_exc()))

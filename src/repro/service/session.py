@@ -68,21 +68,34 @@ class ServiceError(Exception):
 
 
 class _QuerySink(CollectSink):
-    """Per-query result sink with a pause gate and an optional callback."""
+    """Per-query result sink with a pause gate, callback and listeners.
+
+    ``callback`` is fixed at registration (the ``on_result`` argument);
+    ``listeners`` come and go over the query's lifetime — the network
+    service attaches one per subscriber
+    (:meth:`QuerySession.add_listener`).
+    """
 
     def __init__(self, name: str, callback: Optional[Callable[[StreamTuple], None]] = None):
         super().__init__(name=name)
         self.paused = False
         self.dropped = 0
         self._callback = callback
+        self.listeners: List[Callable[[StreamTuple], None]] = []
+
+    def _emit(self, item: StreamTuple) -> None:
+        if self._callback is not None:
+            self._callback(item)
+        for listener in self.listeners:
+            listener(item)
 
     def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
         if self.paused:
             self.dropped += 1
             return ()
         self.results.append(item)
-        if self._callback is not None:
-            self._callback(item)
+        if self._callback is not None or self.listeners:
+            self._emit(item)
         return ()
 
     @property
@@ -96,9 +109,9 @@ class _QuerySink(CollectSink):
             self.dropped += len(batch)
             return TupleBatch()
         self.results.extend(batch)
-        if self._callback is not None:
+        if self._callback is not None or self.listeners:
             for item in batch:
-                self._callback(item)
+                self._emit(item)
         return TupleBatch()
 
 
@@ -158,6 +171,11 @@ class RegisteredQuery:
     def results(self) -> List[StreamTuple]:
         return self._session.results(self.name)
 
+    @property
+    def sharded(self) -> bool:
+        """True when this query runs in its own sharded worker pool."""
+        return self._session.is_sharded(self.name)
+
     def take(self) -> List[StreamTuple]:
         return self._session.take(self.name)
 
@@ -209,6 +227,14 @@ class QuerySession:
     shard_backend / shard_chunk_size:
         Backend (``"process"`` or ``"inline"``) and chunk size for the
         sharded runtime.
+    shard_remote_shards:
+        TCP addresses (``"host:port"``) of running
+        :class:`~repro.net.shard.ShardServer` processes; a sharded
+        query's highest shard slots connect there instead of forking
+        (see ``ShardedEngine(remote_shards=...)``).  A shard server
+        accepts one coordinator at a time, so sessions hosting several
+        shardable queries should leave this empty and wire remote
+        shards per :class:`~repro.runtime.ShardedEngine` instead.
     """
 
     def __init__(
@@ -220,6 +246,7 @@ class QuerySession:
         workers: int = 0,
         shard_backend: str = "process",
         shard_chunk_size: int = 1024,
+        shard_remote_shards: Iterable[str] = (),
     ):
         if workers < 0:
             raise ServiceError(f"workers must be non-negative, got {workers}")
@@ -231,6 +258,7 @@ class QuerySession:
         self._workers = workers
         self._shard_backend = shard_backend
         self._shard_chunk_size = shard_chunk_size
+        self._shard_remote_shards = tuple(shard_remote_shards)
         self._streams: Dict[str, SourceNode] = {}  # locked source declarations
         self._declared: set = set()  # names declared via create_stream
         self._entries: Dict[str, Operator] = {}  # engine entry ops
@@ -394,6 +422,7 @@ class QuerySession:
             planner=self._planner,
             optimize=False,  # the session already ran the rewrite rules
             sink=sink,
+            remote_shards=self._shard_remote_shards,
         )
         registered = _Registered(
             name=name,
@@ -563,6 +592,10 @@ class QuerySession:
     def is_paused(self, name: str) -> bool:
         return self._query(name).sink.paused
 
+    def is_sharded(self, name: str) -> bool:
+        """Whether a registered query runs in its own sharded runtime."""
+        return self._query(name).sharded is not None
+
     # ------------------------------------------------------------------
     # Data flow
     # ------------------------------------------------------------------
@@ -644,6 +677,29 @@ class QuerySession:
         self.close()
 
     # ------------------------------------------------------------------
+    # Result listeners
+    # ------------------------------------------------------------------
+    def add_listener(self, name: str, listener: Callable[[StreamTuple], None]) -> None:
+        """Call ``listener`` for every future result of query ``name``.
+
+        Unlike the ``on_result`` registration callback, listeners attach
+        and detach over a running query — the network service uses one
+        per subscriber.  Listeners see results from the attach point on
+        (no replay) and are not called while the query is paused.
+        """
+        self._query(name).sink.listeners.append(listener)
+
+    def remove_listener(self, name: str, listener: Callable[[StreamTuple], None]) -> None:
+        """Detach a listener added by :meth:`add_listener` (idempotent)."""
+        query = self._queries.get(name)
+        if query is None:
+            return  # the query was dropped; its sink (and listener) are gone
+        try:
+            query.sink.listeners.remove(listener)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
     def results(self, name: str) -> List[StreamTuple]:
@@ -709,6 +765,12 @@ class QuerySession:
             "streams": streams,
             "queries": queries,
             "unsupported": sorted(unsupported),
+            # Runtime configuration: restore() recreates the sharded
+            # runtime as configured here unless explicitly overridden.
+            "workers": self._workers,
+            "shard_backend": self._shard_backend,
+            "shard_chunk_size": self._shard_chunk_size,
+            "shard_remote_shards": list(self._shard_remote_shards),
         }
 
     @classmethod
@@ -719,9 +781,10 @@ class QuerySession:
         batch_size: Optional[int] = None,
         optimize: bool = True,
         functions: Optional[Mapping[str, Callable]] = None,
-        workers: int = 0,
-        shard_backend: str = "process",
-        shard_chunk_size: int = 1024,
+        workers: Optional[int] = None,
+        shard_backend: Optional[str] = None,
+        shard_chunk_size: Optional[int] = None,
+        shard_remote_shards: Optional[Iterable[str]] = None,
     ) -> "QuerySession":
         """Rebuild a session from :meth:`snapshot` output.
 
@@ -731,6 +794,16 @@ class QuerySession:
         names the query texts use.  Operator state (window contents,
         collected results) is *not* part of the snapshot: the restored
         session starts fresh, which is the intended restart semantics.
+
+        The sharded-runtime configuration (``workers``, backend, chunk
+        size, remote shard addresses) is part of the snapshot, so a
+        ``QuerySession(workers=4)`` restores sharded rather than
+        silently downgrading to one process; pass the corresponding
+        keyword to override (e.g. ``workers=0`` to force a
+        single-process restore).  Snapshot remote-shard addresses are
+        re-dialled at registration — if the shard servers are gone,
+        restoring fails loudly rather than quietly forking locally
+        (pass ``shard_remote_shards=()`` to accept the local fallback).
         """
         version = snapshot.get("version")
         if version != 1:
@@ -740,9 +813,22 @@ class QuerySession:
             batch_size=batch_size,
             optimize=optimize,
             functions=functions,
-            workers=workers,
-            shard_backend=shard_backend,
-            shard_chunk_size=shard_chunk_size,
+            workers=snapshot.get("workers", 0) if workers is None else workers,
+            shard_backend=(
+                snapshot.get("shard_backend", "process")
+                if shard_backend is None
+                else shard_backend
+            ),
+            shard_chunk_size=(
+                snapshot.get("shard_chunk_size", 1024)
+                if shard_chunk_size is None
+                else shard_chunk_size
+            ),
+            shard_remote_shards=(
+                snapshot.get("shard_remote_shards", ())
+                if shard_remote_shards is None
+                else shard_remote_shards
+            ),
         )
         for decl in snapshot.get("streams", ()):
             stats = {attr: (family, a, b) for attr, family, a, b in decl.get("stats", ())}

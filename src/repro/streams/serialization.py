@@ -44,6 +44,7 @@ __all__ = [
     "batch_size_bytes",
     "encode_batch_columnar",
     "encode_batch_wire",
+    "wire_format",
 ]
 
 _GAUSSIAN = 1
@@ -287,6 +288,11 @@ def decode_batch(payload: bytes) -> TupleBatch:
     (:func:`encode_batch_columnar`) are recognised by their own magic
     and decoded transparently.
     """
+    if not isinstance(payload, bytes):
+        # The network layer hands in memoryviews/bytearrays sliced out
+        # of receive buffers; normalise once so the inlined decode loops
+        # can keep using bytes-only operations (slice.decode, frombuffer).
+        payload = bytes(payload)
     if payload[: len(_COLUMNAR_MAGIC)] == _COLUMNAR_MAGIC:
         return _decode_batch_columnar(payload)
     if payload[: len(_BATCH_MAGIC)] != _BATCH_MAGIC:
@@ -430,6 +436,20 @@ def encode_batch_wire(batch: TupleBatch) -> bytes:
     if encoded is not None:
         return encoded
     return encode_batch(batch)
+
+
+def wire_format(payload) -> str:
+    """Classify an encoded batch: ``"columnar"`` or ``"rows"``.
+
+    Diagnostic helper for transports and tests — e.g. asserting that
+    ingest traffic actually took the compact columnar path.
+    """
+    prefix = bytes(payload[:4])
+    if prefix == _COLUMNAR_MAGIC:
+        return "columnar"
+    if prefix == _BATCH_MAGIC:
+        return "rows"
+    raise ValueError("payload does not start with a known tuple-batch magic prefix")
 
 
 def _decode_batch_columnar(payload: bytes) -> TupleBatch:

@@ -1,0 +1,50 @@
+"""Shared helpers for the network service tests."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Gaussian
+from repro.streams import StreamTuple
+
+
+def make_rfid_tuples(n=400, seed=17):
+    """Deterministic source tuples shaped like the RFID workload."""
+    rng = np.random.default_rng(seed)
+    return [
+        StreamTuple(
+            timestamp=i * 0.2,
+            values={"tag_id": f"T{i % 5}"},
+            uncertain={"w": Gaussian(float(rng.uniform(20.0, 60.0)), 2.0)},
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def rfid_tuples():
+    return make_rfid_tuples()
+
+
+def _assert_tuples_equivalent(left, right, tolerance=1e-9):
+    """Result lists must agree: values exactly/1e-9, uncertain by moments."""
+    assert len(left) == len(right), f"{len(left)} results vs {len(right)}"
+    for a, b in zip(left, right):
+        assert set(a.values) == set(b.values), (sorted(a.values), sorted(b.values))
+        for key, value in a.values.items():
+            other = b.values[key]
+            if isinstance(value, float):
+                assert other == pytest.approx(value, abs=tolerance), key
+            else:
+                assert other == value, key
+        assert set(a.uncertain) == set(b.uncertain)
+        for key in a.uncertain:
+            da, db = a.distribution(key), b.distribution(key)
+            assert float(db.mean()) == pytest.approx(float(da.mean()), abs=tolerance)
+            assert float(db.variance()) == pytest.approx(
+                float(da.variance()), abs=tolerance
+            )
+
+
+@pytest.fixture
+def assert_tuples_equivalent():
+    return _assert_tuples_equivalent

@@ -1,0 +1,189 @@
+"""Acceptance: the paper's Q1/Q2 served over TCP match the in-process session.
+
+Q1 (per-area weight totals with a probabilistic HAVING) and Q2
+(flammable objects near hot sensors via a probabilistic join) are
+registered as CQL text through :class:`~repro.net.StreamClient`, fed by
+a remote ingest client, and their results collected through
+subscriptions — and must agree with a local
+:class:`~repro.service.QuerySession` to 1e-9.  A second scenario runs
+the same comparison with the server session sharded (``workers=2``) and
+one shard living in a remote :class:`~repro.net.ShardServer` process
+reached over the socket transport.
+"""
+
+import numpy as np
+import pytest
+
+from repro import QuerySession
+from repro.distributions import Gaussian
+from repro.net import ShardServer, StreamClient, serve_in_thread
+from repro.plan import Stream
+from repro.streams import StreamTuple
+
+Q1 = """
+    SELECT weight_of(tag_id) AS weight, zone(x) AS area, SUM(weight)
+    FROM rfid [RANGE 5 SECONDS SLIDE 5 SECONDS]
+    WHERE in_catalog(tag_id)
+    GROUP BY area
+    HAVING SUM(weight) > 200 WITH CONFIDENCE 0.5
+"""
+
+Q2 = """
+    SELECT *
+    FROM objects AS obj
+    JOIN temperature AS temp [RANGE 30 SECONDS]
+      ON obj.x ~= temp.x WITHIN 4 AND obj.y ~= temp.y WITHIN 4
+      MIN PROBABILITY 0.05
+    WHERE object_type(obj.tag_id) = 'flammable'
+      AND temp.temp > 60 WITH PROBABILITY 0.5
+"""
+
+
+@pytest.fixture(scope="module")
+def warehouse():
+    """Catalog, UDFs and the three input streams both queries read."""
+    rng = np.random.default_rng(7)
+    catalog = {}
+    for i in range(40):
+        catalog[f"O{i:03d}"] = {
+            "weight": float(rng.uniform(30.0, 80.0)),
+            "type": "flammable" if rng.random() < 0.4 else "general",
+        }
+    rfid = []
+    for i in range(120):
+        tag = f"O{i % 50:03d}"  # some tags are ghost reads (not in catalog)
+        shelf = int(rng.integers(0, 3))
+        rfid.append(
+            StreamTuple(
+                timestamp=float(i) * 0.2,
+                values={"tag_id": tag},
+                uncertain={
+                    "x": Gaussian(10.0 + 20.0 * shelf + float(rng.normal(0, 0.5)), 0.8),
+                    "y": Gaussian(10.0 + float(rng.normal(0, 0.5)), 0.8),
+                },
+            )
+        )
+    sensors = []
+    for i in range(40):
+        sensors.append(
+            StreamTuple(
+                timestamp=float(i) * 0.4,
+                values={"sensor_id": i},
+                uncertain={
+                    "x": Gaussian(float(rng.uniform(0.0, 70.0)), 1.0),
+                    "y": Gaussian(float(rng.uniform(0.0, 20.0)), 1.0),
+                    "temp": Gaussian(float(rng.uniform(30.0, 95.0)), 4.0),
+                },
+            )
+        )
+    functions = {
+        "weight_of": lambda tag: catalog.get(tag, {}).get("weight", 0.0),
+        "in_catalog": lambda tag: tag in catalog,
+        "zone": lambda x: int(x.mean() // 20.0),
+        "object_type": lambda tag: catalog.get(tag, {}).get("type", "unknown"),
+    }
+    return functions, rfid, sensors
+
+
+def declare_streams(target):
+    """Identical declarations for the session, the client and ShardServer."""
+    target("rfid", values=("tag_id",), uncertain=("x", "y"), family="gaussian",
+           rate_hint=5.0)
+    target("objects", values=("tag_id",), uncertain=("x", "y"))
+    target("temperature", values=("sensor_id",), uncertain=("x", "y", "temp"))
+
+
+def run_in_process(warehouse, workers=0, shard_backend="process"):
+    """The reference: everything in one process through QuerySession."""
+    functions, rfid, sensors = warehouse
+    session = QuerySession(functions=functions, workers=workers,
+                           shard_backend=shard_backend)
+    declare_streams(session.create_stream)
+    session.register("q1", Q1)
+    session.register("q2", Q2)
+    session.push_many("temperature", sensors)
+    session.push_many("objects", rfid)
+    session.push_many("rfid", rfid)
+    session.flush()
+    results = session.results("q1"), session.results("q2")
+    session.close()
+    return results
+
+
+def run_over_wire(warehouse, address):
+    """Register, ingest and collect everything through the wire protocol."""
+    functions, rfid, sensors = warehouse
+    with StreamClient(address, timeout=30.0) as client:
+        declare_streams(client.declare_stream)
+        client.register("q1", Q1)
+        client.register("q2", Q2)
+        with client.subscribe("q1") as sub1, client.subscribe("q2") as sub2:
+            assert client.ingest("temperature", sensors, batch_size=16) == len(sensors)
+            assert client.ingest("objects", rfid, batch_size=32) == len(rfid)
+            assert client.ingest("rfid", rfid, batch_size=32, window=4) == len(rfid)
+            client.flush()
+            expected_q1, expected_q2 = run_in_process(warehouse)
+            got_q1 = sub1.take(len(expected_q1), timeout=30.0)
+            got_q2 = sub2.take(len(expected_q2), timeout=30.0)
+    return (expected_q1, expected_q2), (got_q1, got_q2)
+
+
+class TestWireEquivalence:
+    def test_q1_q2_over_the_wire_match_in_process(
+        self, warehouse, assert_tuples_equivalent
+    ):
+        handle = serve_in_thread(QuerySession(functions=warehouse[0]))
+        try:
+            expected, got = run_over_wire(warehouse, handle.address)
+        finally:
+            handle.stop()
+        assert expected[0], "Q1 must produce overloaded-area windows"
+        assert expected[1], "Q2 must produce join matches"
+        assert_tuples_equivalent(expected[0], got[0])
+        assert_tuples_equivalent(expected[1], got[1])
+
+    def test_with_a_remote_socket_shard_in_the_mix(
+        self, warehouse, assert_tuples_equivalent
+    ):
+        """Server session sharded x2, one shard remote over TCP.
+
+        Q1 (aggregate split) runs across one forked worker plus the
+        remote ShardServer; Q2 (join) falls back to the shared engine —
+        both still match the single-process reference to 1e-9.
+        """
+        functions = warehouse[0]
+        sources = {
+            "rfid": Stream.source(
+                "rfid", values=("tag_id",), uncertain=("x", "y"),
+                family="gaussian", rate_hint=5.0,
+            )
+        }
+        shard_server = ShardServer(
+            Q1, sources=sources, functions=functions
+        ).start_in_thread()
+        session = QuerySession(
+            functions=functions,
+            workers=2,
+            shard_backend="process",
+            shard_chunk_size=16,
+            shard_remote_shards=[shard_server.address],
+        )
+        handle = serve_in_thread(session)
+        try:
+            with StreamClient(handle.address, timeout=30.0) as client:
+                declare_streams(client.declare_stream)
+                assert client.register("q1", Q1) is True, "Q1 must run sharded"
+                assert client.register("q2", Q2) is False, "Q2 must fall back"
+                with client.subscribe("q1") as sub1, client.subscribe("q2") as sub2:
+                    client.ingest("temperature", warehouse[2], batch_size=16)
+                    client.ingest("objects", warehouse[1], batch_size=32)
+                    client.ingest("rfid", warehouse[1], batch_size=32)
+                    client.flush()
+                    expected_q1, expected_q2 = run_in_process(warehouse)
+                    got_q1 = sub1.take(len(expected_q1), timeout=30.0)
+                    got_q2 = sub2.take(len(expected_q2), timeout=30.0)
+        finally:
+            handle.stop()
+            shard_server.close()
+        assert_tuples_equivalent(expected_q1, got_q1)
+        assert_tuples_equivalent(expected_q2, got_q2)

@@ -1,0 +1,130 @@
+"""Backpressure observability: queue depth, in-flight chunks, stall counts."""
+
+import numpy as np
+import pytest
+
+from repro import QuerySession
+from repro.distributions import Gaussian
+from repro.plan import Stream
+from repro.plan.nodes import PlanError
+from repro.runtime import ShardBackpressure, ShardedEngine
+from repro.streams import StreamTuple, TumblingTimeWindow
+
+
+def build_query():
+    stream = Stream.source("s", uncertain=("value",), family="gaussian", rate_hint=100.0)
+    stream = stream.where_probably("value", ">", 20.0, min_probability=0.2, annotate=None)
+    return stream.window(TumblingTimeWindow(2.0)).aggregate("value")
+
+
+def make_tuples(n):
+    rng = np.random.default_rng(11)
+    return [
+        StreamTuple(
+            timestamp=i * 0.01,
+            uncertain={"value": Gaussian(float(rng.uniform(10.0, 90.0)), 2.0)},
+        )
+        for i in range(n)
+    ]
+
+
+class TestShardedEngineBackpressure:
+    def test_process_backend_reports_per_shard_state(self):
+        with ShardedEngine(
+            build_query(), workers=2, backend="process", chunk_size=256
+        ) as engine:
+            engine.push_many("s", make_tuples(4000))
+            engine.finish()
+            report = engine.shard_statistics()
+            assert set(report) == {0, 1}
+            for shard, state in report.items():
+                assert isinstance(state, ShardBackpressure)
+                assert state.shard == shard
+                assert state.transport == "queue"
+                assert state.chunks_sent > 0
+                # After finish() everything shipped has been answered.
+                assert state.in_flight_chunks == 0
+                assert state.queue_depth == 0
+                assert state.stalls >= 0
+
+    def test_stalls_accumulate_when_workers_lag(self):
+        """A tiny queue bound forces the coordinator into its drain loop."""
+        with ShardedEngine(
+            build_query(),
+            workers=1,
+            backend="process",
+            chunk_size=8,
+            queue_capacity=1,
+        ) as engine:
+            engine.push_many("s", make_tuples(4000))
+            engine.finish()
+            report = engine.shard_statistics()
+            assert report[0].chunks_sent == 500
+            assert report[0].stalls > 0
+
+    def test_inline_backend_reports_inline_transport(self):
+        with ShardedEngine(
+            build_query(), workers=2, backend="inline", chunk_size=64
+        ) as engine:
+            engine.push_many("s", make_tuples(500))
+            engine.finish()
+            report = engine.shard_statistics()
+            assert {state.transport for state in report.values()} == {"inline"}
+            assert all(state.in_flight_chunks == 0 for state in report.values())
+
+    def test_statistics_carry_backpressure(self):
+        with ShardedEngine(
+            build_query(), workers=2, backend="inline", chunk_size=64
+        ) as engine:
+            engine.push_many("s", make_tuples(500))
+            engine.finish()
+            stats = engine.statistics()
+            assert set(stats.backpressure) == {0, 1}
+            assert stats.backpressure[0].chunks_sent > 0
+
+    def test_fallback_engine_reports_empty(self):
+        engine = ShardedEngine(build_query(), workers=0)
+        assert engine.shard_statistics() == {}
+        assert engine.statistics().backpressure == {}
+
+    def test_weight_mismatch_fails_before_forking(self):
+        with pytest.raises(PlanError, match="weights cover 2 shards"):
+            ShardedEngine(
+                build_query(), workers=3, backend="inline",
+                partitioner="round_robin:2,1",
+            )
+
+    def test_weighted_partitioner_skews_chunk_counts(self):
+        with ShardedEngine(
+            build_query(), workers=2, backend="inline", chunk_size=64,
+            partitioner="round_robin:3,1",
+        ) as engine:
+            engine.push_many("s", make_tuples(64 * 8))
+            engine.finish()
+            report = engine.shard_statistics()
+            assert report[0].chunks_sent == 6
+            assert report[1].chunks_sent == 2
+
+
+class TestSessionBackpressure:
+    def test_shard_statistics_exposes_backpressure(self):
+        with QuerySession(workers=2, shard_backend="inline") as session:
+            session.create_stream("s", uncertain=("value",), family="gaussian")
+            session.register(
+                "totals",
+                "SELECT SUM(value) AS total FROM s [RANGE 2 SECONDS SLIDE 2 SECONDS]",
+            )
+            session.push_many("s", make_tuples(500))
+            session.flush()
+            stats = session.shard_statistics("totals")
+            assert set(stats.backpressure) == {0, 1}
+            assert all(
+                state.in_flight_chunks == 0 for state in stats.backpressure.values()
+            )
+
+    def test_engine_hosted_query_has_no_shard_statistics(self):
+        session = QuerySession()
+        session.create_stream("s", uncertain=("value",), family="gaussian")
+        session.register("hot", "SELECT * FROM s WHERE value > 40 WITH PROBABILITY 0.5")
+        with pytest.raises(Exception, match="sharded"):
+            session.shard_statistics("hot")

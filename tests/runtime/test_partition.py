@@ -95,3 +95,36 @@ class TestResolvePartitioner:
     def test_unknown_rejected(self):
         with pytest.raises(ValueError, match="unknown partitioner"):
             resolve_partitioner("range")
+
+    def test_weighted_round_robin_spec(self):
+        weighted = resolve_partitioner("round_robin:2,1")
+        assert isinstance(weighted, RoundRobinPartitioner)
+        assert weighted.weights == (2, 1)
+
+
+class TestWeightedRoundRobin:
+    def test_chunks_follow_the_weighted_schedule(self):
+        partitioner = RoundRobinPartitioner(weights=(2, 1))
+        assert partitioner.preserves_order
+        items = make_tuples(["a"])
+        assigned = [
+            next(iter(partitioner.split_chunk(i, items, 2))) for i in range(6)
+        ]
+        assert assigned == [0, 0, 1, 0, 0, 1]
+
+    def test_weight_count_must_match_shards(self):
+        partitioner = RoundRobinPartitioner(weights=(2, 1))
+        with pytest.raises(ValueError, match="2 shards"):
+            partitioner.split_chunk(0, make_tuples(["a"]), 3)
+
+    def test_weights_must_be_positive_integers(self):
+        for bad in ((0,), (-1, 2), (1.5, 1)):
+            with pytest.raises(ValueError, match="positive integers"):
+                RoundRobinPartitioner(weights=bad)
+
+    def test_unweighted_default_unchanged(self):
+        partitioner = RoundRobinPartitioner()
+        assert [
+            next(iter(partitioner.split_chunk(i, make_tuples(["a"]), 3)))
+            for i in range(6)
+        ] == [0, 1, 2, 0, 1, 2]

@@ -122,3 +122,70 @@ class TestRestore:
     def test_unknown_version_rejected(self):
         with pytest.raises(ServiceError, match="version"):
             QuerySession.restore({"version": 99})
+
+
+class TestRuntimeConfigPersistence:
+    """snapshot() records workers=N; restore() honors it (with override)."""
+
+    def build_sharded_session(self):
+        session = QuerySession(workers=2, shard_backend="inline", shard_chunk_size=128)
+        session.create_stream(
+            "rfid", values=("tag_id",), uncertain=("w",), family="gaussian",
+            rate_hint=5.0,
+        )
+        session.register(
+            "totals",
+            "SELECT SUM(w) AS total FROM rfid [RANGE 10 SECONDS SLIDE 10 SECONDS]",
+        )
+        return session
+
+    def test_snapshot_records_the_sharded_runtime_config(self):
+        snapshot = self.build_sharded_session().snapshot()
+        assert snapshot["workers"] == 2
+        assert snapshot["shard_backend"] == "inline"
+        assert snapshot["shard_chunk_size"] == 128
+        assert snapshot["shard_remote_shards"] == []
+
+    def test_snapshot_records_remote_shard_addresses(self):
+        session = QuerySession(
+            workers=2, shard_remote_shards=("host-a:9000", "host-b:9000")
+        )
+        snapshot = session.snapshot()
+        assert snapshot["shard_remote_shards"] == ["host-a:9000", "host-b:9000"]
+        # Override: accept the local-fork fallback explicitly.
+        restored = QuerySession.restore(
+            snapshot, shard_backend="inline", shard_remote_shards=()
+        )
+        assert restored._shard_remote_shards == ()
+
+    def test_restore_keeps_the_session_sharded(self):
+        """The regression: restore() used to downgrade to one process."""
+        snapshot = json.loads(json.dumps(self.build_sharded_session().snapshot()))
+        with QuerySession.restore(snapshot) as restored:
+            assert restored._workers == 2
+            assert restored._shard_backend == "inline"
+            assert restored._shard_chunk_size == 128
+            assert restored._queries["totals"].sharded is not None
+            assert restored._queries["totals"].sharded.workers == 2
+            # ... and it still computes.
+            restored.push_many("rfid", sample_tuples(100))
+            restored.flush()
+            assert restored.results("totals")
+
+    def test_restore_override_wins(self):
+        snapshot = self.build_sharded_session().snapshot()
+        with QuerySession.restore(snapshot, workers=0) as restored:
+            assert restored._workers == 0
+            assert restored._queries["totals"].sharded is None
+        with QuerySession.restore(
+            snapshot, workers=3, shard_backend="inline"
+        ) as restored:
+            assert restored._queries["totals"].sharded.workers == 3
+
+    def test_legacy_snapshot_restores_single_process(self):
+        snapshot = self.build_sharded_session().snapshot()
+        for key in ("workers", "shard_backend", "shard_chunk_size"):
+            snapshot.pop(key)
+        with QuerySession.restore(snapshot) as restored:
+            assert restored._workers == 0
+            assert restored._queries["totals"].sharded is None
