@@ -44,6 +44,8 @@ SHARD_COUNTS = (1, 2, 4)
 MIN_SPEEDUP = 2.0  # 4 shards vs the single-process tuple path
 MIN_SPEEDUP_SINGLE_CORE = 1.4  # no parallel term, kernel term only (margin)
 EQUIVALENCE_TOLERANCE = 1e-9
+SCALING_NOISE_TOLERANCE = 0.9  # >= 2 cores: a doubling must not cost throughput
+SCALING_NOISE_TOLERANCE_SINGLE_CORE = 0.7  # one core: only bound the contention loss
 
 
 def effective_cores() -> int:
@@ -73,7 +75,7 @@ def run_single(stream, mode):
     started = time.perf_counter()
     query.push_many("s", stream)
     results = query.finish()
-    return len(stream) / (time.perf_counter() - started), results
+    return len(stream) / (time.perf_counter() - started), results, {}
 
 
 def run_sharded(stream, workers):
@@ -87,15 +89,18 @@ def run_sharded(stream, workers):
         started = time.perf_counter()
         engine.push_many("s", stream)
         results = engine.finish()
-        return len(stream) / (time.perf_counter() - started), results
+        elapsed = time.perf_counter() - started
+        stages = engine.stage_timings()
+        return len(stream) / elapsed, results, stages
 
 
 def best_of(fn, *args):
-    best_rate, results = 0.0, None
+    best = None
     for _ in range(REPEATS):
-        rate, results = fn(*args)
-        best_rate = max(best_rate, rate)
-    return best_rate, results
+        run = fn(*args)
+        if best is None or run[0] > best[0]:
+            best = run
+    return best
 
 
 def assert_equivalent(expected, got):
@@ -110,11 +115,10 @@ def assert_equivalent(expected, got):
 
 @pytest.fixture(scope="module")
 def table(result_table_factory):
-    cores = effective_cores()
     return result_table_factory(
         "shard_scaling",
         f"# select->aggregate, {N_TUPLES} tuples, chunk={CHUNK_SIZE}, "
-        f"cores={cores}\n"
+        f"cores={os.cpu_count()}, affinity={effective_cores()}\n"
         f"{'configuration':>22} {'tuples/s':>12} {'vs tuple path':>14}",
     )
 
@@ -122,8 +126,8 @@ def table(result_table_factory):
 def test_shard_scaling_and_equivalence(table):
     stream = gaussian_tuple_stream(N_TUPLES, rng=9)
 
-    base_rate, reference = best_of(run_single, stream, "tuple")
-    batch_rate, batch_results = best_of(run_single, stream, "batch")
+    base_rate, reference, _ = best_of(run_single, stream, "tuple")
+    batch_rate, batch_results, _ = best_of(run_single, stream, "batch")
     assert_equivalent(reference, batch_results)
     table.add_row(f"{'single (tuple path)':>22} {base_rate:>12.0f} {1.0:>13.2f}x")
     table.add_row(
@@ -131,17 +135,41 @@ def test_shard_scaling_and_equivalence(table):
     )
 
     sharded_rates = {}
+    stage_rows = []
     for workers in SHARD_COUNTS:
-        rate, results = best_of(run_sharded, stream, workers)
+        rate, results, stages = best_of(run_sharded, stream, workers)
         assert_equivalent(reference, results)
         sharded_rates[workers] = rate
         table.add_row(
             f"{f'sharded x{workers} (process)':>22} {rate:>12.0f} "
             f"{rate / base_rate:>13.2f}x"
         )
+        stage_rows.append(
+            f"# stages x{workers}: " + " ".join(
+                f"{name}={stages.get(name, 0.0):.3f}s"
+                for name in ("encode", "transport", "decode", "merge")
+            )
+        )
+    for row in stage_rows:
+        table.add_row(row)
+
+    # Adding shards must not cost throughput.  On a single shared core the
+    # workers and coordinator contend for cycles, so only the overhead is
+    # bounded; with real parallelism available the bound is near-monotonic.
+    cores = effective_cores()
+    tolerance = (
+        SCALING_NOISE_TOLERANCE if cores >= 2 else SCALING_NOISE_TOLERANCE_SINGLE_CORE
+    )
+    assert sharded_rates[2] >= tolerance * sharded_rates[1], (
+        f"sharded x2 ({sharded_rates[2]:.0f} tuples/s) fell more than "
+        f"{1 - tolerance:.0%} below x1 ({sharded_rates[1]:.0f}) on {cores} core(s)"
+    )
+    assert sharded_rates[4] >= tolerance * sharded_rates[2], (
+        f"sharded x4 ({sharded_rates[4]:.0f} tuples/s) fell more than "
+        f"{1 - tolerance:.0%} below x2 ({sharded_rates[2]:.0f}) on {cores} core(s)"
+    )
 
     speedup = sharded_rates[4] / base_rate
-    cores = effective_cores()
     floor = MIN_SPEEDUP if cores >= 2 else MIN_SPEEDUP_SINGLE_CORE
     assert speedup >= floor, (
         f"4-shard engine reached only {speedup:.2f}x the single-process "

@@ -55,6 +55,20 @@ DEFAULT_INGEST_BATCH = 512
 DEFAULT_ACK_WINDOW = 32
 
 
+def _ack_stride(window: int) -> int:
+    """Frames between ack requests: sample the window, don't saturate it.
+
+    With one ACK per frame, large batches make the ack stream itself
+    the bottleneck — the server alternates between ingesting and
+    writing acks, and the client between sending and reading them.
+    Requesting an ack every ``window // 4`` frames keeps at least four
+    flow-control samples inside every window (so backpressure still
+    engages well before the window closes) while cutting the reply
+    traffic by the same factor.
+    """
+    return max(1, window // 4)
+
+
 def _check_reply(kind: int, header: Dict[str, Any], expected: int) -> Dict[str, Any]:
     if kind == protocol.ERROR:
         raise RemoteError(header.get("code", "Error"), header.get("message", ""))
@@ -170,57 +184,89 @@ class StreamClient:
         """Ship tuples into a named stream; returns the acked tuple count.
 
         Tuples are chunked into batches of ``batch_size``, encoded with
-        the columnar wire codec, and pipelined: up to ``window`` batches
-        ride unacknowledged before the sender blocks on acks.  Acks
-        arrive strictly in send order, so a missing ack pins the exact
-        lost batch.
+        the columnar wire codec, and pipelined: up to ``window`` frames
+        ride unacknowledged before the sender blocks.  ACKs are
+        *batched* — only every :func:`_ack_stride`-th frame (and always
+        the last one) requests an acknowledgement, and each ACK's
+        ``count`` covers every unacknowledged tuple before it — so
+        large batches no longer stall on a reply per frame.  ACKs
+        arrive strictly in send order, so a missing ack still pins the
+        lost span.
         """
         if batch_size < 1:
             raise ValueError(f"batch_size must be at least 1, got {batch_size}")
         if window < 1:
             raise ValueError(f"window must be at least 1, got {window}")
-        in_flight: deque = deque()
+        stride = _ack_stride(window)
+        in_flight: deque = deque()  # (seq, frames the expected ack covers)
         acked = 0
         seq = 0
+        outstanding = 0  # frames sent and not yet covered by an ack
+        uncovered = 0  # frames since the last ack-requesting frame
         try:
-            for chunk in _chunks(tuples, batch_size):
+            chunks = _chunks(tuples, batch_size)
+            chunk = next(chunks, None)
+            while chunk is not None:
+                upcoming = next(chunks, None)
                 seq += 1
+                want_ack = upcoming is None or seq % stride == 0
                 send_frame(
                     self._sock,
                     protocol.INGEST,
-                    {"source": source, "seq": seq, "count": len(chunk)},
+                    {
+                        "source": source,
+                        "seq": seq,
+                        "count": len(chunk),
+                        "ack": want_ack,
+                    },
                     encode_batch_wire(TupleBatch(chunk)),
                 )
-                in_flight.append(seq)
-                while len(in_flight) >= window:
-                    acked += self._read_ack(in_flight)
+                outstanding += 1
+                uncovered += 1
+                if want_ack:
+                    in_flight.append((seq, uncovered))
+                    uncovered = 0
+                while outstanding >= window and in_flight:
+                    count, covered = self._read_ack(in_flight)
+                    acked += count
+                    outstanding -= covered
+                chunk = upcoming
             while in_flight:
-                acked += self._read_ack(in_flight)
+                count, covered = self._read_ack(in_flight)
+                acked += count
+                outstanding -= covered
         except RemoteError:
-            # Every in-flight frame still gets a reply (ERROR or ACK).
-            # Consume them so the connection stays request-aligned for
-            # callers that catch the error and keep using it; the read
-            # that raised already consumed one reply.
-            in_flight.popleft()
-            while in_flight:
-                try:
-                    self._frames.recv_frame(self._timeout)
-                except (NetError, OSError, TimeoutError):
-                    break  # connection is actually gone; nothing to resync
-                in_flight.popleft()
+            # With batched acks, unacked frames get no reply at all —
+            # counting replies cannot realign the connection.  Instead
+            # raise a barrier: send HELLO and discard replies until its
+            # answer (the only reply without a ``seq``) arrives, leaving
+            # the connection request-aligned for callers that catch the
+            # error and keep using it.
+            self._resync()
             raise
         return acked
 
-    def _read_ack(self, in_flight: deque) -> int:
+    def _read_ack(self, in_flight: deque) -> Tuple[int, int]:
         kind, header, _ = self._frames.recv_frame(self._timeout)
         header = _check_reply(kind, header, protocol.ACK)
-        expected_seq = in_flight.popleft()
+        expected_seq, covered = in_flight.popleft()
         if header.get("seq") != expected_seq:
             raise ProtocolError(
                 f"ingest ack out of order: expected seq {expected_seq}, "
                 f"got {header.get('seq')}"
             )
-        return int(header.get("count", 0))
+        return int(header.get("count", 0)), covered
+
+    def _resync(self) -> None:
+        """Realign after a mid-pipeline error (see ``ingest``)."""
+        try:
+            send_frame(self._sock, protocol.HELLO, {"client": "repro.net sync"})
+            while True:
+                _, header, _ = self._frames.recv_frame(self._timeout)
+                if "seq" not in header:
+                    return  # the HELLO reply: everything before it drained
+        except (NetError, OSError, TimeoutError):
+            pass  # connection is actually gone; nothing to resync
 
     def flush(self) -> None:
         """Close out partial windows server-side (``QuerySession.flush``)."""
@@ -441,52 +487,80 @@ class AsyncStreamClient:
         batch_size: int = DEFAULT_INGEST_BATCH,
         window: int = DEFAULT_ACK_WINDOW,
     ) -> int:
-        """Pipelined ingest (see :meth:`StreamClient.ingest`)."""
+        """Pipelined ingest with batched acks (see :meth:`StreamClient.ingest`)."""
         if batch_size < 1:
             raise ValueError(f"batch_size must be at least 1, got {batch_size}")
         if window < 1:
             raise ValueError(f"window must be at least 1, got {window}")
-        in_flight: deque = deque()
+        stride = _ack_stride(window)
+        in_flight: deque = deque()  # (seq, frames the expected ack covers)
         acked = 0
         seq = 0
+        outstanding = 0
+        uncovered = 0
         try:
-            for chunk in _chunks(tuples, batch_size):
+            chunks = _chunks(tuples, batch_size)
+            chunk = next(chunks, None)
+            while chunk is not None:
+                upcoming = next(chunks, None)
                 seq += 1
+                want_ack = upcoming is None or seq % stride == 0
                 self._writer.write(
                     encode_frame(
                         protocol.INGEST,
-                        {"source": source, "seq": seq, "count": len(chunk)},
+                        {
+                            "source": source,
+                            "seq": seq,
+                            "count": len(chunk),
+                            "ack": want_ack,
+                        },
                         encode_batch_wire(TupleBatch(chunk)),
                     )
                 )
                 await self._writer.drain()
-                in_flight.append(seq)
-                while len(in_flight) >= window:
-                    acked += await self._read_ack(in_flight)
+                outstanding += 1
+                uncovered += 1
+                if want_ack:
+                    in_flight.append((seq, uncovered))
+                    uncovered = 0
+                while outstanding >= window and in_flight:
+                    count, covered = await self._read_ack(in_flight)
+                    acked += count
+                    outstanding -= covered
+                chunk = upcoming
             while in_flight:
-                acked += await self._read_ack(in_flight)
+                count, covered = await self._read_ack(in_flight)
+                acked += count
+                outstanding -= covered
         except RemoteError:
-            # Consume the remaining in-flight replies (see StreamClient).
-            in_flight.popleft()
-            while in_flight:
-                try:
-                    await read_frame_async(self._reader, self._max_payload)
-                except (NetError, OSError):
-                    break
-                in_flight.popleft()
+            # HELLO barrier resync (see StreamClient.ingest).
+            await self._resync()
             raise
         return acked
 
-    async def _read_ack(self, in_flight: deque) -> int:
+    async def _read_ack(self, in_flight: deque) -> Tuple[int, int]:
         kind, header, _ = await read_frame_async(self._reader, self._max_payload)
         header = _check_reply(kind, header, protocol.ACK)
-        expected_seq = in_flight.popleft()
+        expected_seq, covered = in_flight.popleft()
         if header.get("seq") != expected_seq:
             raise ProtocolError(
                 f"ingest ack out of order: expected seq {expected_seq}, "
                 f"got {header.get('seq')}"
             )
-        return int(header.get("count", 0))
+        return int(header.get("count", 0)), covered
+
+    async def _resync(self) -> None:
+        try:
+            self._writer.write(
+                encode_frame(protocol.HELLO, {"client": "repro.net async"})
+            )
+            await self._writer.drain()
+            while True:
+                _, header, _ = await read_frame_async(self._reader, self._max_payload)
+                if "seq" not in header:
+                    return
+        except (NetError, OSError):
+            pass
 
     async def flush(self) -> None:
         await self._request(protocol.FLUSH)

@@ -37,6 +37,7 @@ __all__ = [
     "MAX_HEADER",
     "DEFAULT_MAX_PAYLOAD",
     "encode_frame",
+    "parse_frame",
     "FrameReader",
     "BufferedFrameSocket",
     "read_frame_async",
@@ -67,6 +68,28 @@ def encode_frame(kind: int, header: Optional[Dict[str, Any]] = None, payload: by
         + raw_header
         + payload
     )
+
+
+def parse_frame(buffer, max_payload: int = DEFAULT_MAX_PAYLOAD) -> Frame:
+    """Parse one complete frame from an in-memory buffer, copy-free.
+
+    ``buffer`` is bytes or a memoryview holding *exactly* one frame
+    (the shared-memory shard transport stores whole frames as ring
+    records).  The payload is returned as a zero-copy slice of
+    ``buffer`` — for a memoryview input it aliases the caller's memory
+    and follows its lifetime rules.
+    """
+    view = buffer if isinstance(buffer, memoryview) else memoryview(buffer)
+    if len(view) < _PRELUDE.size:
+        raise ProtocolError(f"truncated frame: {len(view)} bytes")
+    kind, hlen, plen = _parse_prelude(bytes(view[: _PRELUDE.size]), max_payload)
+    total = _PRELUDE.size + hlen + plen
+    if len(view) != total:
+        raise ProtocolError(
+            f"frame record declares {total} bytes but holds {len(view)}"
+        )
+    header = _decode_header(bytes(view[_PRELUDE.size : _PRELUDE.size + hlen]))
+    return kind, header, view[_PRELUDE.size + hlen : total]
 
 
 def _parse_prelude(prelude: bytes, max_payload: int) -> Tuple[int, int, int]:

@@ -231,6 +231,9 @@ class StreamServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         subscriber: Optional[_Subscriber] = None
+        # Per-connection ingest state for batched ACKs: tuples ingested
+        # since the last ACK this connection received.
+        state = {"unacked": 0}
         try:
             while True:
                 try:
@@ -249,16 +252,26 @@ class StreamServer:
                         "connection (only BYE is accepted)"
                     )
                 try:
-                    reply = self._handle(kind, header, payload, writer)
+                    reply = self._handle(kind, header, payload, writer, state)
                 except ProtocolError:
                     raise
                 except Exception as exc:  # the request failed server-side
-                    writer.write(protocol.error_frame(exc))
+                    # Carry the request's seq (if any) so a pipelining
+                    # client can tell which frame failed, and forget the
+                    # batched-ack debt — the client resynchronizes.
+                    error_header = {"code": type(exc).__name__, "message": str(exc)}
+                    if "seq" in header:
+                        error_header["seq"] = header["seq"]
+                    state["unacked"] = 0
+                    writer.write(encode_frame(protocol.ERROR, error_header))
                     await writer.drain()
                     continue
                 if isinstance(reply, _Subscriber):
                     subscriber = reply
                     writer.write(encode_frame(protocol.OK, {"query": subscriber.query}))
+                elif reply is None:
+                    # An unacked ingest frame: nothing to write back.
+                    continue
                 else:
                     writer.write(reply)
                 await writer.drain()
@@ -277,8 +290,13 @@ class StreamServer:
                     subscriber.task.cancel()
             writer.close()
 
-    def _handle(self, kind, header, payload, writer):
-        """Dispatch one request; returns a reply frame or a `_Subscriber`."""
+    def _handle(self, kind, header, payload, writer, state):
+        """Dispatch one request.
+
+        Returns a reply frame, a `_Subscriber` (the connection becomes
+        a push stream) or ``None`` (an ingest frame that asked not to
+        be acknowledged individually).
+        """
         session = self.session
         if kind == protocol.HELLO:
             return encode_frame(
@@ -327,8 +345,18 @@ class StreamServer:
             rows = decode_batch(payload).to_tuples()
             session.push_many(header["source"], rows)
             self.tuples_ingested += len(rows)
+            state["unacked"] += len(rows)
+            # Batched ACKs: a client that pipelines aggressively marks
+            # most frames ``ack: false`` and only samples the stream at
+            # a stride; each ACK then covers every unacknowledged tuple
+            # before it.  Omitting the field means one ACK per frame —
+            # the original protocol — so old clients are unaffected.
+            if not header.get("ack", True):
+                return None
+            count = state["unacked"]
+            state["unacked"] = 0
             return encode_frame(
-                protocol.ACK, {"seq": header.get("seq", 0), "count": len(rows)}
+                protocol.ACK, {"seq": header.get("seq", 0), "count": count}
             )
         if kind == protocol.FLUSH:
             session.flush()

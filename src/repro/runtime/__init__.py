@@ -26,22 +26,29 @@ from .partition import (
     HashPartitioner,
     Partitioner,
     RoundRobinPartitioner,
+    compute_adaptive_weights,
     resolve_partitioner,
 )
+from .shm import RingFullError, ShardShmTransport, ShmRing
 from .transport import SocketShardChannel
-from .worker import ShardRunner, serve_shard_messages
+from .worker import ShardRunner, serve_shard_messages, serve_shard_rings
 
 __all__ = [
     "ShardedEngine",
     "ShardedStatistics",
     "ShardBackpressure",
     "ShardError",
+    "ShmRing",
+    "ShardShmTransport",
+    "RingFullError",
     "SocketShardChannel",
     "serve_shard_messages",
+    "serve_shard_rings",
     "Partitioner",
     "RoundRobinPartitioner",
     "HashPartitioner",
     "resolve_partitioner",
+    "compute_adaptive_weights",
     "OrderedChunkMerger",
     "WindowPartialMerger",
     "MergeProtocolError",

@@ -1,7 +1,7 @@
 """`ShardedEngine`: partitioned multi-process execution of one query.
 
 The parent process partitions source tuples into chunks, ships them to
-N worker processes over bounded queues (each worker runs a full
+N worker processes (each running a full
 :class:`~repro.streams.engine.StreamEngine` on the shard-local plan
 segment), and recombines the workers' outputs through the
 uncertainty-aware merge operators of :mod:`repro.runtime.merge`:
@@ -16,23 +16,35 @@ to a single in-process engine behind the same interface, and
 ``explain()`` says why — sharded and unsharded queries are driven
 identically.
 
-Backpressure is structural: the per-worker input queues and the shared
-result queue are bounded, the parent drains results whenever a send
-would block, and workers block on the result queue when the parent
-lags.  ``finish()`` drains the pipeline (flushes every shard's partial
-windows and merges everything pending); ``close()`` shuts the workers
-down; the engine is a context manager that closes on exit.
+Transport: local shards exchange frames with the coordinator over
+shared-memory ring buffers (:mod:`repro.runtime.shm`) — the columnar
+wire encoding of a chunk is written once into the mapped segment and
+the worker decodes columns straight out of it; no pickle, no pipe
+copy.  Remote shards (``remote_shards=["host:port", ...]``) speak the
+*same* frames over TCP (:mod:`repro.runtime.transport`), so the
+highest shard slots can live on other machines behind one coordinator
+interface.
+
+The coordinator's fan-in is concurrent: one reader thread per shard
+ring (and per remote socket) decodes replies and feeds the merge
+operators as results arrive, so merge cost overlaps the workers'
+compute instead of serializing behind the send loop.  Delivery to the
+user-visible sink stays on the caller's thread (``_flush_ready``),
+preserving the single-threaded listener contract of the service layer.
+
+Backpressure is structural: each inbound ring bounds both its bytes
+and its records (``queue_capacity``), the reply rings bound the other
+direction, and a send that cannot proceed counts a stall and sleeps
+while the reader threads keep draining.  The stall/queue-depth signal
+closes an adaptive loop: every ``_REBALANCE_INTERVAL`` chunks the
+coordinator recomputes round-robin weights from observed per-shard
+completion rates (:func:`repro.runtime.partition.compute_adaptive_weights`),
+so a slow or remote shard is automatically deweighted mid-stream.
 
 Workers are forked, not spawned: logical plans carry closures
 (predicates, derive functions, group keys) that never pickle, but fork
-inherits them by address space.  Tuples cross processes only through
-:mod:`repro.streams.serialization`.
-
-Shards need not be local: ``remote_shards=["host:port", ...]`` assigns
-the highest shard slots to :class:`repro.net.shard.ShardServer`
-processes reached over TCP (:mod:`repro.runtime.transport`), speaking
-the same worker protocol with frames instead of queue messages — the
-multi-machine topology behind one coordinator interface.
+inherits them — and the ring mappings — by address space.  Tuples
+cross processes only through :mod:`repro.streams.serialization`.
 """
 
 from __future__ import annotations
@@ -40,9 +52,11 @@ from __future__ import annotations
 import gc
 import math
 import multiprocessing
-import queue as queue_module
 import select
+import threading
 import time
+import weakref
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Union
 
@@ -63,7 +77,13 @@ from repro.streams.serialization import decode_batch, encode_batch_wire
 from repro.streams.tuples import StreamTuple
 
 from .merge import OrderedChunkMerger, WindowPartialMerger
-from .partition import Partitioner, resolve_partitioner
+from .partition import (
+    Partitioner,
+    RoundRobinPartitioner,
+    compute_adaptive_weights,
+    resolve_partitioner,
+)
+from .shm import ShardShmTransport
 from .transport import SocketShardChannel
 from .worker import ShardRunner, plan_signature, worker_main
 
@@ -72,6 +92,12 @@ __all__ = ["ShardedEngine", "ShardError", "ShardedStatistics", "ShardBackpressur
 #: How long finish()/statistics() wait for worker replies before
 #: declaring a shard dead.
 _REPLY_TIMEOUT = 60.0
+
+#: Chunks between adaptive weight recomputations.
+_REBALANCE_INTERVAL = 32
+
+#: Sleep per failed send pass while the shard rings are full.
+_STALL_BACKOFF = 0.0005
 
 
 class ShardError(RuntimeError):
@@ -83,17 +109,16 @@ class ShardBackpressure:
     """Flow-control state of one shard, as seen by the coordinator.
 
     ``stalls`` counts the times a send to this shard could not proceed
-    immediately (input queue full, or socket send buffer full) and the
-    coordinator had to drain replies instead — the cumulative
-    backpressure signal.  ``queue_depth`` is the chunks currently
-    waiting in a local worker's input queue; ``in_flight_chunks`` the
-    chunks shipped but not yet answered (meaningful for every
-    transport); ``send_backlog_bytes`` the bytes a socket transport has
-    buffered but not yet written.
+    immediately (inbound ring full, or socket send buffer full) — the
+    cumulative backpressure signal.  ``queue_depth`` is the chunk
+    frames currently sitting unread in a local shard's inbound ring;
+    ``in_flight_chunks`` the chunks shipped but not yet answered
+    (meaningful for every transport); ``send_backlog_bytes`` the bytes
+    a socket transport has buffered but not yet written.
     """
 
     shard: int
-    transport: str  # "queue", "socket" or "inline"
+    transport: str  # "shm", "socket" or "inline"
     queue_depth: int
     in_flight_chunks: int
     stalls: int
@@ -110,6 +135,19 @@ class ShardedStatistics:
     backpressure: Dict[int, ShardBackpressure] = field(default_factory=dict)
 
 
+def _release_transports(transports) -> None:
+    """Unmap and unlink every shard segment (close() and GC safety net)."""
+    for transport in transports:
+        try:
+            transport.close()
+        except BaseException:
+            pass
+        try:
+            transport.unlink()
+        except BaseException:
+            pass
+
+
 class ShardedEngine:
     """Run one compiled query across N shard processes (see module docs).
 
@@ -124,7 +162,10 @@ class ShardedEngine:
         ``"round_robin"`` (default), ``"hash:<attribute>"`` or a
         :class:`~repro.runtime.partition.Partitioner`.  Hash
         partitioning is only accepted for aggregate-split plans, whose
-        merge is order-insensitive.
+        merge is order-insensitive.  An *unweighted* round-robin
+        partitioner on the process backend is adaptively reweighted at
+        runtime from per-shard completion rates; explicit weights pin
+        the rotation.
     backend:
         ``"process"`` (forked workers, the real runtime) or
         ``"inline"`` (shards run synchronously in-process through the
@@ -133,10 +174,15 @@ class ShardedEngine:
     chunk_size:
         Tuples per shipped chunk.
     queue_capacity:
-        Bound of each worker's input queue, in chunks; the shared
-        result queue is bounded proportionally.  This is the
-        backpressure knob: total in-flight tuples are at most
-        ``workers * queue_capacity * chunk_size`` each way.
+        Bound on the chunk frames a shard's inbound ring may hold; the
+        ring's byte capacity bounds it further.  This is the
+        backpressure knob: in-flight chunks per shard stay within
+        about ``queue_capacity`` each way.
+    ring_bytes:
+        Data bytes of each shared-memory ring (one pair per local
+        shard).  Defaults to a size comfortably holding
+        ``queue_capacity`` chunks; raise it for very large chunks (a
+        single frame may use at most half a ring).
     mode / batch_size:
         Execution mode for the shard-local engines (as in
         ``Planner.compile``); ``"auto"`` lets each worker's cost model
@@ -165,6 +211,7 @@ class ShardedEngine:
         backend: str = "process",
         chunk_size: int = 1024,
         queue_capacity: int = 8,
+        ring_bytes: Optional[int] = None,
         mode: str = "auto",
         batch_size: Optional[int] = None,
         planner: Optional[Planner] = None,
@@ -180,6 +227,14 @@ class ShardedEngine:
             raise PlanError(f"queue_capacity must be at least 1, got {queue_capacity}")
         if backend not in ("process", "inline"):
             raise PlanError(f"unknown backend {backend!r}; use 'process' or 'inline'")
+        if ring_bytes is None:
+            # Room for a queue_capacity of chunks at a generous bytes/tuple
+            # estimate; tmpfs pages are allocated lazily, so an oversized
+            # ring costs address space, not memory.
+            ring_bytes = min(64 << 20, max(1 << 22, queue_capacity * chunk_size * 256))
+        if ring_bytes < (1 << 12):
+            raise PlanError(f"ring_bytes must be at least 4096, got {ring_bytes}")
+        self._ring_bytes = int(ring_bytes)
         self.remote_shards = tuple(remote_shards)
         if self.remote_shards:
             if backend != "process":
@@ -260,7 +315,7 @@ class ShardedEngine:
     # Sharded state
     # ------------------------------------------------------------------
     def _init_sharded(self) -> None:
-        """Build mergers, suffix engine and the worker pool."""
+        """Build mergers, suffix engine, shard transports and the worker pool."""
         decision = self.decision
         self.sources = sorted(s.name for s in decision.local.sources)
         if decision.ordered:
@@ -295,7 +350,30 @@ class ShardedEngine:
         self._chunks_done = [0] * self.workers
         self._remote: Dict[int, SocketShardChannel] = {}
         self._processes = []
-        self._out_queue = None
+        self._transports: Dict[int, ShardShmTransport] = {}
+        self._finalizer = None
+        # Reply plumbing: reader threads decode and merge under the
+        # condition's lock; merged output queues in _ready for delivery
+        # on the caller's thread (_flush_ready).
+        self._reply_cv = threading.Condition()
+        self._reply_error: Optional[BaseException] = None
+        self._ready: deque = deque()
+        self._reader_threads: List[threading.Thread] = []
+        self._stop_readers = threading.Event()
+        self._last_reply = time.monotonic()
+        # Coordinator-side stage accounting (stage_timings()).
+        self._stage = {"encode": 0.0, "transport": 0.0, "decode": 0.0, "merge": 0.0}
+        # Adaptive repartitioning: only meaningful with real worker
+        # processes and only allowed to act when the user did not pin
+        # explicit weights.
+        self._adaptive = (
+            self.backend == "process"
+            and self.workers >= 2
+            and isinstance(self.partitioner, RoundRobinPartitioner)
+            and not self.partitioner.weights
+        )
+        self._rebalance_sent_mark = 0
+        self._rebalance_done_mark = [0] * self.workers
 
         if self.backend == "inline":
             self._runners = [
@@ -303,12 +381,22 @@ class ShardedEngine:
                 for i in range(self.workers)
             ]
             return
+
+        # Deferred: repro.net imports repro.runtime.worker, so pulling
+        # the net package in at module load would close an import cycle.
+        from repro.net.framing import parse_frame
+        from repro.net.protocol import decode_worker_message, encode_worker_message
+
+        self._parse_frame = parse_frame
+        self._decode_worker_message = decode_worker_message
+        self._encode_worker_message = encode_worker_message
+
         local_count = self.workers - len(self.remote_shards)
         # Connect the remote shards first: a bad address then fails
-        # before any worker forks, leaving nothing to clean up.  The
-        # attach carries a structural signature of the shard-local plan
-        # so a server hosting a *different* query rejects loudly
-        # instead of merging mismatched partials silently.
+        # before any segment exists or worker forks, leaving nothing to
+        # clean up.  The attach carries a structural signature of the
+        # shard-local plan so a server hosting a *different* query
+        # rejects loudly instead of merging mismatched partials silently.
         signature = plan_signature(decision.local)
         try:
             for offset, address in enumerate(self.remote_shards):
@@ -322,41 +410,69 @@ class ShardedEngine:
             for channel in self._remote.values():
                 channel.close()
             raise
-        if local_count == 0:
-            return
-        context = multiprocessing.get_context("fork")
-        self._in_queues = [
-            context.Queue(maxsize=self._queue_capacity) for _ in range(local_count)
-        ]
-        self._out_queue = context.Queue(maxsize=max(16, self._queue_capacity * local_count))
-        # Pre-fork GC hygiene (the classic pre-fork-server pattern): move
-        # every object the parent has allocated so far into the permanent
-        # generation.  The forked workers inherit that heap and would
-        # otherwise re-traverse all of it on every one of *their* gen-2
-        # collections while they churn through tuples — measured at 3x
-        # worker throughput when the parent heap is large.  The parent
-        # unfreezes afterwards; the workers keep the frozen heap.
-        gc.collect()
-        gc.freeze()
-        try:
-            for shard in range(local_count):
-                process = context.Process(
-                    target=worker_main,
-                    args=(
-                        shard,
-                        decision.local,
-                        self.mode,
-                        self.batch_size,
-                        self._in_queues[shard],
-                        self._out_queue,
-                    ),
-                    daemon=True,
-                    name=f"repro-shard-{shard}",
-                )
-                process.start()
-                self._processes.append(process)
-        finally:
-            gc.unfreeze()
+        if local_count:
+            try:
+                for shard in range(local_count):
+                    self._transports[shard] = ShardShmTransport(
+                        shard, self._ring_bytes, self._queue_capacity
+                    )
+            except BaseException:
+                _release_transports(list(self._transports.values()))
+                for channel in self._remote.values():
+                    channel.close()
+                raise
+            # GC safety net: if the engine is dropped without close(),
+            # the segment names must still leave /dev/shm.
+            self._finalizer = weakref.finalize(
+                self, _release_transports, list(self._transports.values())
+            )
+            context = multiprocessing.get_context("fork")
+            # Pre-fork GC hygiene (the classic pre-fork-server pattern):
+            # move every object the parent has allocated so far into the
+            # permanent generation.  The forked workers inherit that heap
+            # and would otherwise re-traverse all of it on every one of
+            # *their* gen-2 collections while they churn through tuples —
+            # measured at 3x worker throughput when the parent heap is
+            # large.  The parent unfreezes afterwards; the workers keep
+            # the frozen heap.
+            gc.collect()
+            gc.freeze()
+            try:
+                for shard in range(local_count):
+                    process = context.Process(
+                        target=worker_main,
+                        args=(
+                            shard,
+                            decision.local,
+                            self.mode,
+                            self.batch_size,
+                            self._transports[shard],
+                        ),
+                        daemon=True,
+                        name=f"repro-shard-{shard}",
+                    )
+                    process.start()
+                    self._processes.append(process)
+            finally:
+                gc.unfreeze()
+        for shard, transport in self._transports.items():
+            thread = threading.Thread(
+                target=self._reader_loop_shm,
+                args=(transport,),
+                daemon=True,
+                name=f"repro-reader-{shard}",
+            )
+            thread.start()
+            self._reader_threads.append(thread)
+        for channel in self._remote.values():
+            thread = threading.Thread(
+                target=self._reader_loop_socket,
+                args=(channel,),
+                daemon=True,
+                name=f"repro-reader-{channel.shard}",
+            )
+            thread.start()
+            self._reader_threads.append(thread)
 
     # ------------------------------------------------------------------
     # Data flow
@@ -371,6 +487,8 @@ class ShardedEngine:
             raise ShardError(
                 "this ShardedEngine is closed; create a new one to push more data"
             )
+        if getattr(self, "_reply_error", None) is not None:
+            self._raise_if_failed()
 
     def push(self, source: str, item: StreamTuple) -> None:
         """Buffer one tuple; full chunks ship to their shard."""
@@ -414,27 +532,65 @@ class ShardedEngine:
         items = self._pending.pop(source, None)
         if not items:
             return
+        encode_start = time.perf_counter()
         split = self.partitioner.split_chunk(self._next_chunk, items, self.workers)
+        shipments = []
         for shard in sorted(split):
             tuples = split[shard]
             if not tuples:
                 continue
             chunk_id = self._next_chunk
             self._next_chunk += 1
-            payload = encode_batch_wire(TupleBatch(tuples))
-            self._outstanding += 1
+            shipments.append((shard, chunk_id, encode_batch_wire(TupleBatch(tuples))))
+        self._stage["encode"] += time.perf_counter() - encode_start
+        window_merger = isinstance(self._merger, WindowPartialMerger)
+        for shard, chunk_id, payload in shipments:
+            with self._reply_cv:
+                self._outstanding += 1
+                if window_merger:
+                    self._merger.mark_fed(shard)
             self._chunks_sent[shard] += 1
-            if isinstance(self._merger, WindowPartialMerger):
-                self._merger.mark_fed(shard)
             self._send(shard, ("chunk", source, chunk_id, payload))
+        if shipments:
+            self._flush_ready()
+            self._maybe_rebalance()
+
+    def _maybe_rebalance(self) -> None:
+        """Recompute round-robin weights from per-shard completion rates.
+
+        The adaptive loop of the sharded runtime: every
+        ``_REBALANCE_INTERVAL`` chunks, the chunks each shard completed
+        since the last checkpoint (its observed service rate) and its
+        current in-flight backlog feed
+        :func:`~repro.runtime.partition.compute_adaptive_weights`; a
+        shard that falls behind — a remote link, a loaded host — gets
+        proportionally fewer future chunks.  Chunk ids stay one global
+        sequence, so the ordered merge is unaffected.
+        """
+        if not self._adaptive:
+            return
+        sent = sum(self._chunks_sent)
+        if sent - self._rebalance_sent_mark < _REBALANCE_INTERVAL:
+            return
+        self._rebalance_sent_mark = sent
+        with self._reply_cv:
+            done = list(self._chunks_done)
+        deltas = [d - mark for d, mark in zip(done, self._rebalance_done_mark)]
+        self._rebalance_done_mark = done
+        in_flight = [self._chunks_sent[s] - done[s] for s in range(self.workers)]
+        weights = compute_adaptive_weights(deltas, in_flight)
+        if tuple(weights) != self.partitioner.weights:
+            self.partitioner.set_weights(weights)
 
     # ------------------------------------------------------------------
     # Worker I/O
     # ------------------------------------------------------------------
     def _send(self, shard: int, message) -> None:
         if self.backend == "inline":
-            self._dispatch(self._run_inline(shard, message))
+            self._apply_reply(*self._decode_reply(self._run_inline(shard, message)))
+            self._flush_ready()
             return
+        send_start = time.perf_counter()
         channel = self._remote.get(shard)
         if channel is not None:
             channel.queue_message(message)
@@ -445,18 +601,22 @@ class ShardedEngine:
                         f"({channel.address}) while sending"
                     )
                 self._stalls[shard] += 1
-                self._drain(block=False)
+                self._raise_if_failed()
                 self._check_workers_alive()
                 channel.wait_writable(0.05)
-            return
-        while True:
-            try:
-                self._in_queues[shard].put(message, timeout=0.05)
-                return
-            except queue_module.Full:
-                self._stalls[shard] += 1
-                self._drain(block=False)
-                self._check_workers_alive()
+        else:
+            frame = self._encode_worker_message(message)
+            self._transports[shard].send(
+                frame, on_stall=lambda: self._on_send_stall(shard)
+            )
+        self._stage["transport"] += time.perf_counter() - send_start
+
+    def _on_send_stall(self, shard: int) -> None:
+        """One failed send pass: count it, fail fast, let readers work."""
+        self._stalls[shard] += 1
+        self._raise_if_failed()
+        self._check_workers_alive()
+        time.sleep(_STALL_BACKOFF)
 
     def _run_inline(self, shard: int, message):
         runner = self._runners[shard]
@@ -471,33 +631,164 @@ class ShardedEngine:
             return ("stats", shard, runner.statistics_rows())
         raise RuntimeError(f"unknown inline message {kind!r}")  # pragma: no cover
 
-    def _dispatch(self, message) -> None:
+    # ------------------------------------------------------------------
+    # Reply fan-in (reader threads)
+    # ------------------------------------------------------------------
+    def _reader_loop_shm(self, transport: ShardShmTransport) -> None:
+        """Drain one shard's reply ring: parse in place, decode, merge."""
+        parse_frame = self._parse_frame
+        decode_message = self._decode_worker_message
+        try:
+            while not self._stop_readers.is_set():
+                view = transport.poll_reply(0.1)
+                if view is None:
+                    continue
+                kind, header, payload = parse_frame(view)
+                message = decode_message(kind, header, payload)
+                reply, decode_seconds = self._decode_reply(message)
+                if isinstance(payload, memoryview):
+                    payload.release()
+                transport.release_reply()
+                self._apply_reply(reply, decode_seconds)
+        except BaseException as exc:
+            self._note_reply_error(exc)
+
+    def _reader_loop_socket(self, channel: SocketShardChannel) -> None:
+        """Drain one remote shard's socket: decode frames, merge."""
+        try:
+            while not self._stop_readers.is_set():
+                try:
+                    select.select((channel.sock,), (), (), 0.1)
+                except (OSError, ValueError):
+                    pass
+                for message in channel.poll():
+                    self._apply_reply(*self._decode_reply(message))
+                if not channel.alive:
+                    if not self._stop_readers.is_set():
+                        raise ShardError(
+                            f"lost the connection to remote shard {channel.shard} "
+                            f"({channel.address})"
+                        )
+                    return
+        except BaseException as exc:
+            self._note_reply_error(exc)
+
+    def _decode_reply(self, message):
+        """Normalize a worker reply: decode batch payloads into rows.
+
+        Runs *outside* the merge lock — payload decoding is the
+        expensive part of fan-in and must overlap across reader
+        threads.  Returns ``(reply, decode_seconds)``.
+        """
         kind = message[0]
         if kind == "results":
+            decode_start = time.perf_counter()
             _, shard, chunk_id, payload, watermark = message
-            outputs = decode_batch(payload).to_tuples()
-            self._outstanding -= 1
-            self._chunks_done[shard] += 1
-            if isinstance(self._merger, OrderedChunkMerger):
-                self._deliver(self._merger.ingest(chunk_id, outputs))
-            else:
-                self._deliver(self._merger.ingest(shard, outputs, watermark))
-        elif kind == "flushed":
+            rows = decode_batch(payload).to_tuples()
+            return ("results", shard, chunk_id, rows, watermark), (
+                time.perf_counter() - decode_start
+            )
+        if kind == "flushed":
+            decode_start = time.perf_counter()
             _, shard, token, payload = message
-            outputs = decode_batch(payload).to_tuples()
-            self._flushed_tokens[shard] = token
-            if isinstance(self._merger, OrderedChunkMerger):
-                self._ordered_flush.setdefault(shard, []).extend(outputs)
-            else:
-                self._deliver(self._merger.ingest(shard, outputs, math.inf))
-        elif kind == "stats":
-            _, shard, rows = message
-            self._stats_rows[shard] = rows
-        elif kind == "error":
-            _, shard, trace = message
-            raise ShardError(f"shard {shard} failed:\n{trace}")
-        else:  # pragma: no cover - protocol misuse
-            raise RuntimeError(f"unknown worker reply {kind!r}")
+            rows = decode_batch(payload).to_tuples()
+            return ("flushed", shard, token, rows), time.perf_counter() - decode_start
+        return message, 0.0
+
+    def _apply_reply(self, reply, decode_seconds: float) -> None:
+        """Account one normalized reply and feed the merge (thread-safe)."""
+        kind = reply[0]
+        with self._reply_cv:
+            self._stage["decode"] += decode_seconds
+            self._last_reply = time.monotonic()
+            if kind == "results":
+                _, shard, chunk_id, rows, watermark = reply
+                self._outstanding -= 1
+                self._chunks_done[shard] += 1
+                merge_start = time.perf_counter()
+                if isinstance(self._merger, OrderedChunkMerger):
+                    merged = self._merger.ingest(chunk_id, rows)
+                else:
+                    merged = self._merger.ingest(shard, rows, watermark)
+                self._stage["merge"] += time.perf_counter() - merge_start
+                if merged:
+                    self._ready.append(merged)
+            elif kind == "flushed":
+                _, shard, token, rows = reply
+                self._flushed_tokens[shard] = token
+                if isinstance(self._merger, OrderedChunkMerger):
+                    self._ordered_flush.setdefault(shard, []).extend(rows)
+                else:
+                    merge_start = time.perf_counter()
+                    merged = self._merger.ingest(shard, rows, math.inf)
+                    self._stage["merge"] += time.perf_counter() - merge_start
+                    if merged:
+                        self._ready.append(merged)
+            elif kind == "stats":
+                self._stats_rows[reply[1]] = reply[2]
+            elif kind == "error":
+                raise ShardError(f"shard {reply[1]} failed:\n{reply[2]}")
+            else:  # pragma: no cover - protocol misuse
+                raise RuntimeError(f"unknown worker reply {kind!r}")
+            self._reply_cv.notify_all()
+
+    def _note_reply_error(self, exc: BaseException) -> None:
+        with self._reply_cv:
+            if self._reply_error is None:
+                self._reply_error = exc
+            self._reply_cv.notify_all()
+
+    def _raise_if_failed(self) -> None:
+        exc = self._reply_error
+        if exc is None:
+            return
+        if isinstance(exc, ShardError):
+            raise exc
+        raise ShardError(f"shard reply handling failed: {exc!r}") from exc
+
+    def _await_replies(self, predicate, timeout: float = _REPLY_TIMEOUT) -> None:
+        """Block until ``predicate()`` holds (called with the lock held).
+
+        ``timeout`` is an *inactivity* bound: it restarts on every
+        received reply, so a slow-but-progressing shard never trips it —
+        only a shard that stops replying altogether does.
+        """
+        if self.backend == "inline":
+            return
+        with self._reply_cv:
+            self._last_reply = max(self._last_reply, time.monotonic())
+            while True:
+                self._raise_if_failed()
+                if predicate():
+                    return
+                self._reply_cv.wait(0.05)
+                self._raise_if_failed()
+                if predicate():
+                    return
+                self._check_workers_alive()
+                if time.monotonic() - self._last_reply > timeout:
+                    raise ShardError(
+                        f"no shard replies for {timeout:.0f}s while waiting to drain"
+                    )
+
+    def _flush_ready(self) -> None:
+        """Deliver merged output queued by the reader threads.
+
+        Runs on the caller's thread only: the suffix engine and the
+        user sink (which may be a service-layer subscription fan-out)
+        keep their single-threaded contract.
+        """
+        ready = getattr(self, "_ready", None)
+        if not ready:
+            return
+        while True:
+            try:
+                merged = ready.popleft()
+            except IndexError:
+                return
+            merge_start = time.perf_counter()
+            self._deliver(merged)
+            self._stage["merge"] += time.perf_counter() - merge_start
 
     def _deliver(self, merged: List[StreamTuple]) -> None:
         """Route merged tuples through the coordinator suffix to the sink."""
@@ -510,79 +801,6 @@ class ShardedEngine:
             self._suffix_sink.results.clear()
         for item in merged:
             self._sink.accept(item)
-
-    def _drain(self, block: bool, until=None, timeout: float = _REPLY_TIMEOUT) -> None:
-        """Consume worker replies; with ``until``, block until it holds.
-
-        ``timeout`` is an *inactivity* bound: it restarts on every
-        received message, so a slow-but-progressing shard never trips
-        it — only a shard that stops replying altogether does.
-        """
-        if self.backend == "inline":
-            return
-        deadline = time.monotonic() + timeout
-        while True:
-            if until is not None and until():
-                return
-            if self._pump_replies(wait=0.05 if block else 0.0):
-                deadline = time.monotonic() + timeout
-                continue
-            if not block or until is None:
-                return
-            self._check_workers_alive()
-            if time.monotonic() > deadline:
-                raise ShardError(
-                    f"no shard replies for {timeout:.0f}s while waiting to drain"
-                )
-
-    def _pump_replies(self, wait: float) -> bool:
-        """Dispatch every available reply (queue and socket transports).
-
-        A non-blocking sweep over the shared result queue and the
-        remote socket channels; when it comes up empty and ``wait`` is
-        set, block in one ``select`` over *all* reply transports (the
-        queue's underlying pipe and the sockets together, so neither
-        transport's replies wait behind a timeout on the other) and
-        sweep again.  Returns whether any message was dispatched.
-        """
-        progressed = self._sweep_replies()
-        if progressed or not wait:
-            return progressed
-        readers = [c.sock for c in self._remote.values() if c.alive]
-        if self._out_queue is not None:
-            queue_pipe = getattr(self._out_queue, "_reader", None)
-            if queue_pipe is not None:
-                readers.append(queue_pipe)
-            elif not readers:  # pragma: no cover - no selectable pipe
-                try:
-                    message = self._out_queue.get(timeout=wait)
-                except queue_module.Empty:
-                    return False
-                self._dispatch(message)
-                return True
-        if readers:
-            try:
-                select.select(readers, (), (), wait)
-            except OSError:
-                pass
-        return self._sweep_replies()
-
-    def _sweep_replies(self) -> bool:
-        """One non-blocking pass over every reply transport."""
-        progressed = False
-        if self._out_queue is not None:
-            while True:
-                try:
-                    message = self._out_queue.get_nowait()
-                except queue_module.Empty:
-                    break
-                progressed = True
-                self._dispatch(message)
-        for channel in self._remote.values():
-            for message in channel.poll():
-                progressed = True
-                self._dispatch(message)
-        return progressed
 
     def _check_workers_alive(self) -> None:
         for process in getattr(self, "_processes", ()):
@@ -626,17 +844,22 @@ class ShardedEngine:
         token = self._flush_token
         for shard in range(self.workers):
             self._send(shard, ("flush", token))
-        self._drain(
-            block=True,
-            until=lambda: self._outstanding == 0
-            and all(self._flushed_tokens.get(s) == token for s in range(self.workers)),
+        self._await_replies(
+            lambda: self._outstanding == 0
+            and all(self._flushed_tokens.get(s) == token for s in range(self.workers))
         )
-        if isinstance(self._merger, OrderedChunkMerger):
-            self._deliver(self._merger.drain())
-            for shard in range(self.workers):
-                self._deliver(self._ordered_flush.pop(shard, []))
-        else:
-            self._deliver(self._merger.drain())
+        self._flush_ready()
+        with self._reply_cv:
+            merge_start = time.perf_counter()
+            merged = self._merger.drain()
+            if isinstance(self._merger, OrderedChunkMerger):
+                tails = [self._ordered_flush.pop(s, []) for s in range(self.workers)]
+            else:
+                tails = []
+            self._stage["merge"] += time.perf_counter() - merge_start
+        self._deliver(merged)
+        for rows in tails:
+            self._deliver(rows)
         if self._suffix is not None:
             self._suffix.engine.finish()
             leftovers = list(self._suffix_sink.results)
@@ -646,30 +869,45 @@ class ShardedEngine:
         return self.results
 
     def close(self) -> None:
-        """Stop the workers and release the queues (idempotent)."""
+        """Stop the workers, release and unlink the transports (idempotent)."""
         if self._closed:
             return
         self._closed = True
         if not self.sharded or self.backend == "inline":
             return
-        for channel in self._remote.values():
-            channel.close()
-        if not self._processes:
-            return
-        for q in self._in_queues:
-            try:
-                q.put(("stop",), timeout=0.5)
-            except queue_module.Full:  # pragma: no cover - worker wedged
-                pass
+        # 1. Stop the reader threads: from here the main thread owns
+        #    the consumer side of every reply ring.
+        self._stop_readers.set()
+        for thread in self._reader_threads:
+            thread.join(timeout=2.0)
+        # 2. Ask the local workers to stop (best effort — the inbound
+        #    ring may be full if a worker is wedged).
+        if self._transports:
+            stop_frame = self._encode_worker_message(("stop",))
+            for transport in self._transports.values():
+                transport.try_send(stop_frame, timeout=0.5)
+        # 3. Join, draining reply rings so a worker blocked mid-reply
+        #    can finish its write and see the stop frame.
+        deadline = time.monotonic() + 2.0
         for process in self._processes:
-            process.join(timeout=2.0)
+            while process.is_alive() and time.monotonic() < deadline:
+                for transport in self._transports.values():
+                    try:
+                        transport.drain_replies()
+                    except BaseException:  # pragma: no cover - corrupt ring
+                        pass
+                process.join(timeout=0.05)
         for process in self._processes:
             if process.is_alive():  # pragma: no cover - worker wedged
                 process.terminate()
                 process.join(timeout=1.0)
-        for q in [*self._in_queues, self._out_queue]:
-            q.cancel_join_thread()
-            q.close()
+        for channel in self._remote.values():
+            channel.close()
+        # 4. Unmap and unlink every segment: after this no /dev/shm
+        #    entry of this engine remains.
+        _release_transports(list(self._transports.values()))
+        if self._finalizer is not None:
+            self._finalizer.detach()
 
     def __enter__(self) -> "ShardedEngine":
         return self
@@ -683,10 +921,12 @@ class ShardedEngine:
     @property
     def results(self) -> List[StreamTuple]:
         """All merged results delivered to the default sink so far."""
+        self._flush_ready()
         return list(getattr(self._sink, "results", ()))
 
     def take(self) -> List[StreamTuple]:
         """Drain and return the collected results."""
+        self._flush_ready()
         results = getattr(self._sink, "results", None)
         if results is None:
             return []
@@ -702,14 +942,14 @@ class ShardedEngine:
                 shards={}, coordinator=self._compiled.statistics(detailed=True)
             )
         self._ensure_open()
-        self._stats_rows = {shard: None for shard in range(self.workers)}
+        with self._reply_cv:
+            self._stats_rows = {shard: None for shard in range(self.workers)}
         for shard in range(self.workers):
             self._send(shard, ("stats",))
-        self._drain(
-            block=True,
-            until=lambda: all(
+        self._await_replies(
+            lambda: all(
                 self._stats_rows.get(s) is not None for s in range(self.workers)
-            ),
+            )
         )
         shards = {
             shard: [OperatorStats(*row) for row in rows]
@@ -751,11 +991,8 @@ class ShardedEngine:
                 transport = "socket"
                 backlog = channel.send_backlog_bytes
             else:
-                transport = "queue"
-                try:
-                    queue_depth = self._in_queues[shard].qsize()
-                except NotImplementedError:  # pragma: no cover - macOS
-                    queue_depth = -1
+                transport = "shm"
+                queue_depth = self._transports[shard].queue_depth
             report[shard] = ShardBackpressure(
                 shard=shard,
                 transport=transport,
@@ -767,6 +1004,21 @@ class ShardedEngine:
             )
         return report
 
+    def stage_timings(self) -> Dict[str, float]:
+        """Cumulative coordinator-side seconds per pipeline stage.
+
+        ``encode`` — partition + columnar wire encoding of outbound
+        chunks; ``transport`` — time spent handing frames to shard
+        transports, including backpressure stalls; ``decode`` — reply
+        payloads back into tuples (reader threads, overlapped);
+        ``merge`` — merge-operator ingest plus suffix/sink delivery.
+        The single-engine fallback reports zeros.
+        """
+        if not self.sharded:
+            return {"encode": 0.0, "transport": 0.0, "decode": 0.0, "merge": 0.0}
+        with self._reply_cv:
+            return dict(self._stage)
+
     def explain(self) -> str:
         """The sharding decision, runtime configuration and fallback plan."""
         lines = [explain_sharding(self.decision, workers=self.workers)]
@@ -774,6 +1026,14 @@ class ShardedEngine:
         lines.append("Runtime")
         lines.append("-------")
         lines.append(f"backend: {self.backend}")
+        if self.backend == "process":
+            lines.append(
+                f"shard transport: shared-memory rings, ring_bytes={self._ring_bytes}"
+            )
+            lines.append(
+                "adaptive repartitioning: "
+                + ("on" if getattr(self, "_adaptive", False) else "off")
+            )
         if self.remote_shards:
             local = self.workers - len(self.remote_shards)
             lines.append(

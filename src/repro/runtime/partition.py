@@ -22,12 +22,19 @@ Python's salted ``hash()``.
 from __future__ import annotations
 
 import abc
+import math
 import zlib
 from typing import Dict, List, Sequence, Union
 
 from repro.streams.tuples import StreamTuple
 
-__all__ = ["Partitioner", "RoundRobinPartitioner", "HashPartitioner", "resolve_partitioner"]
+__all__ = [
+    "Partitioner",
+    "RoundRobinPartitioner",
+    "HashPartitioner",
+    "resolve_partitioner",
+    "compute_adaptive_weights",
+]
 
 
 class Partitioner(abc.ABC):
@@ -59,6 +66,15 @@ class RoundRobinPartitioner(Partitioner):
     preserves_order = True
 
     def __init__(self, weights: Sequence[int] = ()):
+        self.set_weights(weights)
+
+    def set_weights(self, weights: Sequence[int]) -> None:
+        """Replace the rotation weights (the adaptive-repartition hook).
+
+        Safe to call between chunks: only *future* chunk assignments
+        change, and chunk ids stay one global sequence, so the ordered
+        merge is unaffected.
+        """
         schedule: List[int] = []
         for shard, weight in enumerate(weights):
             if int(weight) != weight or weight < 1:
@@ -117,6 +133,42 @@ class HashPartitioner(Partitioner):
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"HashPartitioner(attribute={self.attribute!r})"
+
+
+def compute_adaptive_weights(
+    chunks_done: Sequence[int],
+    in_flight: Sequence[int],
+    max_weight: int = 4,
+) -> List[int]:
+    """Derive round-robin weights from observed per-shard progress.
+
+    ``chunks_done`` is how many chunks each shard completed since the
+    last rebalance and ``in_flight`` how many are currently queued at
+    it — together a throughput estimate that charges a slow shard for
+    its backlog.  The fastest shard anchors ``max_weight``; everyone
+    else scales proportionally, floored at 1 so no shard starves (the
+    ordered merge needs every shard to keep draining).  Pure function:
+    the engine applies the result via
+    :meth:`RoundRobinPartitioner.set_weights`.
+    """
+    if len(chunks_done) != len(in_flight):
+        raise ValueError("chunks_done and in_flight must have one entry per shard")
+    if max_weight < 1:
+        raise ValueError(f"max_weight must be >= 1, got {max_weight}")
+    # Effective progress: completed work minus a penalty for backlog
+    # still sitting at the shard (it was offered work it hasn't done).
+    scores = [
+        max(0.0, float(done) - 0.5 * float(queued))
+        for done, queued in zip(chunks_done, in_flight)
+    ]
+    best = max(scores, default=0.0)
+    if best <= 0.0:
+        return [1] * len(scores)
+    weights = [max(1, round(max_weight * score / best)) for score in scores]
+    # Canonical form: (4, 4) schedules identically to (1, 1) — divide out
+    # the gcd so equal-progress rounds compare equal to the uniform start.
+    divisor = math.gcd(*weights)
+    return [weight // divisor for weight in weights]
 
 
 def resolve_partitioner(spec: Union[str, Partitioner]) -> Partitioner:

@@ -1,0 +1,425 @@
+"""Shared-memory ring transport between the coordinator and its shards.
+
+The queue transport the sharded runtime started with pays one pickle
+round trip per chunk on top of the columnar wire encoding — the parent
+encodes a batch to bytes, the queue pickles those bytes, a pipe copies
+the pickle, and the worker unpickles before it can even look at the
+magic prefix.  This module replaces that path with single-producer /
+single-consumer byte rings over :class:`multiprocessing.shared_memory`:
+the parent writes each wire frame *once* into the ring, and the worker
+decodes columns straight out of the mapped segment with
+``np.frombuffer`` — no pickling, no pipe copy, no per-chunk allocation
+on the transport itself.
+
+Ring layout
+-----------
+One shared segment per direction per shard::
+
+    offset 0    head            u64  total bytes written (monotonic)
+    offset 64   tail            u64  total bytes read (monotonic)
+    offset 128  records_written u64
+    offset 192  records_read    u64
+    offset 256  data            capacity = segment size - 256 bytes
+
+Head and tail are free-running byte counters; ``index % capacity``
+locates the position.  The counters are cache-line separated and each
+is written by exactly one side (head/records_written by the producer,
+tail/records_read by the consumer), so the aligned 8-byte stores act as
+the SPSC synchronisation — on x86-64's total store order, a consumer
+that observes a new head is guaranteed to observe the record bytes
+written before it.
+
+A record is ``[u32 length][length bytes]`` and is always contiguous: a
+record that would straddle the physical end of the buffer is preceded
+by a pad (the ``0xFFFFFFFF`` length marker, or an implicit skip when
+fewer than 4 bytes remain) and written at offset 0 instead.  Because a
+pad can cost up to one record's worth of space, the largest accepted
+record is half the ring capacity.
+
+Ownership and lifetime
+----------------------
+Workers are forked, so both sides inherit the *same* mapping — nobody
+re-attaches by name, and only the creating (parent) process ever calls
+:meth:`ShmRing.unlink`.  ``recv``/``poll`` hand out memoryviews that
+alias ring memory; the consumer must finish with a record (decode it —
+the batch decoder copies columns out into its own arrays) before
+calling ``release``, which is what returns the bytes to the producer.
+
+Doorbells
+---------
+Blocking is hybrid: each direction has a pipe "doorbell"; the producer
+writes one byte (non-blocking, losses are harmless) after each record
+and the consumer selects on the pipe with a short timeout before
+re-sweeping the ring, so an idle side sleeps in the kernel instead of
+spinning, while a missed wakeup only costs one timeout tick.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import select
+import struct
+import time
+from multiprocessing import shared_memory
+from typing import Optional
+
+__all__ = ["ShmRing", "ShardShmTransport", "RingFullError"]
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+#: Length marker of an explicit end-of-buffer pad record.
+_PAD = 0xFFFFFFFF
+
+_HEAD = 0
+_TAIL = 64
+_WRITTEN = 128
+_READ = 192
+_DATA = 256
+
+#: Default sleep between retries when a blocking write finds no space.
+_WRITE_BACKOFF = 0.0005
+
+
+class RingFullError(RuntimeError):
+    """A single record exceeds what the ring can ever hold."""
+
+
+class ShmRing:
+    """One SPSC byte ring over a shared-memory segment (see module docs).
+
+    The creating process owns the segment name; forked consumers use
+    the inherited mapping directly.  Exactly one process may write
+    (``try_write``) and one may read (``next_view``/``release``) at a
+    time — the header protocol assumes single-producer/single-consumer.
+    """
+
+    def __init__(self, data_bytes: int, name: Optional[str] = None):
+        if data_bytes < (1 << 12):
+            raise ValueError(f"ring data size must be at least 4 KiB, got {data_bytes}")
+        if name is None:
+            name = f"repro-ring-{os.getpid()}-{secrets.token_hex(4)}"
+        self._shm = shared_memory.SharedMemory(
+            create=True, name=name, size=_DATA + data_bytes
+        )
+        self.name = self._shm.name
+        self._buf = self._shm.buf
+        self.capacity = len(self._buf) - _DATA
+        self._buf[:_DATA] = bytes(_DATA)
+        # Each side mirrors the counter it owns to skip a shared load.
+        self._local_head = 0
+        self._local_tail = 0
+        self._local_written = 0
+        self._local_read = 0
+        self._pending = 0
+        self._pending_view: Optional[memoryview] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Header counters
+    # ------------------------------------------------------------------
+    def _load(self, offset: int) -> int:
+        return _U64.unpack_from(self._buf, offset)[0]
+
+    def _store(self, offset: int, value: int) -> None:
+        _U64.pack_into(self._buf, offset, value)
+
+    @property
+    def max_record(self) -> int:
+        """Largest accepted record payload (half the ring, minus framing)."""
+        return self.capacity // 2 - 4
+
+    @property
+    def record_backlog(self) -> int:
+        """Records written but not yet released by the consumer."""
+        return self._load(_WRITTEN) - self._load(_READ)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._load(_HEAD) - self._load(_TAIL)
+
+    # ------------------------------------------------------------------
+    # Producer
+    # ------------------------------------------------------------------
+    def try_write(self, data) -> bool:
+        """Write one record; False when the ring lacks space right now."""
+        length = len(data)
+        need = 4 + length
+        cap = self.capacity
+        if length > self.max_record:
+            raise RingFullError(
+                f"a {length}-byte frame can never fit this {cap}-byte ring "
+                f"(max record {self.max_record}); raise ring_bytes or lower "
+                "chunk_size"
+            )
+        head = self._local_head
+        tail = self._load(_TAIL)
+        pos = head % cap
+        rem = cap - pos
+        total = need if rem >= need else rem + need
+        if cap - (head - tail) < total:
+            return False
+        buf = self._buf
+        if rem >= need:
+            _U32.pack_into(buf, _DATA + pos, length)
+            buf[_DATA + pos + 4 : _DATA + pos + 4 + length] = data
+        else:
+            if rem >= 4:
+                _U32.pack_into(buf, _DATA + pos, _PAD)
+            _U32.pack_into(buf, _DATA, length)
+            buf[_DATA + 4 : _DATA + 4 + length] = data
+        self._local_head = head + total
+        self._local_written += 1
+        # Publish the payload before the head: program order suffices on
+        # the total-store-order hardware this runtime targets.
+        self._store(_HEAD, self._local_head)
+        self._store(_WRITTEN, self._local_written)
+        return True
+
+    def write(self, data, on_stall=None, timeout: Optional[float] = None) -> None:
+        """Blocking :meth:`try_write`; ``on_stall()`` runs per failed pass."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self.try_write(data):
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"no space freed in ring {self.name} for {timeout:.1f}s"
+                )
+            if on_stall is not None:
+                on_stall()
+            else:
+                time.sleep(_WRITE_BACKOFF)
+
+    # ------------------------------------------------------------------
+    # Consumer
+    # ------------------------------------------------------------------
+    def next_view(self) -> Optional[memoryview]:
+        """Return a view of the next record's payload, or ``None``.
+
+        The view aliases ring memory and stays valid until
+        :meth:`release`, which must be called exactly once per record
+        before the next ``next_view``.
+        """
+        if self._pending:
+            raise RuntimeError("previous record was not released")
+        cap = self.capacity
+        buf = self._buf
+        tail = self._local_tail
+        head = self._load(_HEAD)
+        while tail != head:
+            pos = tail % cap
+            rem = cap - pos
+            if rem < 4:
+                tail += rem
+                self._local_tail = tail
+                self._store(_TAIL, tail)
+                continue
+            (length,) = _U32.unpack_from(buf, _DATA + pos)
+            if length == _PAD:
+                tail += rem
+                self._local_tail = tail
+                self._store(_TAIL, tail)
+                continue
+            self._pending = 4 + length
+            view = buf[_DATA + pos + 4 : _DATA + pos + 4 + length]
+            self._pending_view = view
+            return view
+        return None
+
+    def release(self) -> None:
+        """Return the bytes of the last :meth:`next_view` to the producer."""
+        if not self._pending:
+            raise RuntimeError("no record pending release")
+        if self._pending_view is not None:
+            self._pending_view.release()
+            self._pending_view = None
+        self._local_tail += self._pending
+        self._local_read += 1
+        self._pending = 0
+        self._store(_TAIL, self._local_tail)
+        self._store(_READ, self._local_read)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unmap this process's view of the segment (not the name)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pending_view is not None:
+            self._pending_view.release()
+            self._pending_view = None
+        try:
+            self._shm.close()
+        except BufferError:  # a stray view still exported; unlink still works
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment name (creating process only; idempotent)."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ShmRing(name={self.name!r}, capacity={self.capacity})"
+
+
+class _Doorbell:
+    """A pipe wakeup: producers ring (lossy, non-blocking), consumers wait."""
+
+    def __init__(self):
+        self._r, self._w = os.pipe()
+        os.set_blocking(self._r, False)
+        os.set_blocking(self._w, False)
+
+    def ring(self) -> None:
+        try:
+            os.write(self._w, b"\x00")
+        except (BlockingIOError, InterruptedError):
+            pass  # the pipe is saturated with wakeups already
+        except OSError:
+            pass  # closing; the consumer's timeout covers it
+
+    def wait(self, timeout: float) -> None:
+        try:
+            ready, _, _ = select.select((self._r,), (), (), timeout)
+        except (OSError, ValueError):
+            return
+        if ready:
+            try:
+                os.read(self._r, 4096)
+            except (BlockingIOError, InterruptedError, OSError):
+                pass
+
+    def close(self) -> None:
+        for fd in (self._r, self._w):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+
+
+class ShardShmTransport:
+    """The ring pair (chunks in, results out) of one forked shard.
+
+    Created by the coordinator before the fork; the worker inherits the
+    mappings.  Frames on the rings are exactly the
+    :func:`repro.net.protocol.encode_worker_message` frames the socket
+    shard transport speaks, so a shard's message stream is byte-
+    identical whether it crosses a ring or a TCP connection.
+
+    ``queue_capacity`` bounds the *records* in the inbound ring — the
+    same chunks-in-flight backpressure contract the queue transport
+    had — on top of the ring's own byte-space bound.
+    """
+
+    transport = "shm"
+
+    def __init__(self, shard: int, ring_bytes: int, queue_capacity: int):
+        self.shard = shard
+        self.queue_capacity = queue_capacity
+        token = secrets.token_hex(4)
+        prefix = f"repro-ring-{os.getpid()}-{token}-s{shard}"
+        self.in_ring = ShmRing(ring_bytes, name=f"{prefix}i")
+        try:
+            self.out_ring = ShmRing(ring_bytes, name=f"{prefix}o")
+        except BaseException:
+            self.in_ring.close()
+            self.in_ring.unlink()
+            raise
+        self._to_worker = _Doorbell()
+        self._to_parent = _Doorbell()
+
+    # ------------------------------------------------------------------
+    # Coordinator side
+    # ------------------------------------------------------------------
+    def send(self, frame: bytes, on_stall=None) -> None:
+        """Ship one frame to the worker, blocking under backpressure."""
+        ring = self.in_ring
+        if len(frame) > ring.max_record:
+            ring.try_write(frame)  # raises RingFullError with the sizes
+        while True:
+            if ring.record_backlog < self.queue_capacity and ring.try_write(frame):
+                self._to_worker.ring()
+                return
+            if on_stall is not None:
+                on_stall()
+            else:
+                time.sleep(_WRITE_BACKOFF)
+
+    def try_send(self, frame: bytes, timeout: float) -> bool:
+        """Best-effort send (shutdown path): ignores the record bound."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                if self.in_ring.try_write(frame):
+                    self._to_worker.ring()
+                    return True
+            except RingFullError:
+                return False
+            if time.monotonic() > deadline:
+                return False
+            time.sleep(_WRITE_BACKOFF)
+
+    def poll_reply(self, timeout: float) -> Optional[memoryview]:
+        """Next result frame from the worker, or ``None`` after ``timeout``."""
+        view = self.out_ring.next_view()
+        if view is None:
+            self._to_parent.wait(timeout)
+            view = self.out_ring.next_view()
+        return view
+
+    def release_reply(self) -> None:
+        self.out_ring.release()
+
+    @property
+    def queue_depth(self) -> int:
+        """Chunk frames currently waiting in the inbound ring."""
+        return self.in_ring.record_backlog
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def recv_request(self, timeout: float) -> Optional[memoryview]:
+        view = self.in_ring.next_view()
+        if view is None:
+            self._to_worker.wait(timeout)
+            view = self.in_ring.next_view()
+        return view
+
+    def release_request(self) -> None:
+        self.in_ring.release()
+
+    def reply(self, frame: bytes) -> None:
+        """Ship one frame to the coordinator (blocks while the ring is full)."""
+        self.out_ring.write(frame)
+        self._to_parent.ring()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def drain_replies(self) -> None:
+        """Discard queued replies (shutdown: unblocks a worker mid-write)."""
+        while True:
+            view = self.out_ring.next_view()
+            if view is None:
+                return
+            view.release()
+            self.out_ring.release()
+
+    def close(self) -> None:
+        """Unmap both rings and close the doorbells (this process only)."""
+        self._to_worker.close()
+        self._to_parent.close()
+        self.in_ring.close()
+        self.out_ring.close()
+
+    def unlink(self) -> None:
+        """Remove both segment names (parent only; idempotent)."""
+        self.in_ring.unlink()
+        self.out_ring.unlink()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ShardShmTransport(shard={self.shard}, ring={self.in_ring.name!r})"

@@ -27,10 +27,15 @@ them measurable.
 :class:`ShardRunner` holds the engine-facing half without any queue
 I/O, so the inline backend (and tests) can drive shards synchronously.
 :func:`serve_shard_messages` is the protocol loop over abstract
-``recv``/``send`` callables — the forked queue worker
-(:func:`worker_main`) and the TCP shard server
-(:class:`repro.net.shard.ShardServer`) both run it, so a shard behaves
-identically whether its transport is a queue pair or a socket.
+``recv``/``send`` callables — the TCP shard server
+(:class:`repro.net.shard.ShardServer`) runs it over socket framing.
+The forked worker (:func:`worker_main`) instead serves the
+shared-memory ring pair of a :class:`~repro.runtime.shm.ShardShmTransport`
+directly (:func:`serve_shard_rings`): it parses each request frame in
+place out of the mapped ring segment, copies the batch columns out,
+releases the ring bytes back to the coordinator, *then* runs the chunk.
+Both loops speak the same :mod:`repro.net.protocol` worker frames, so a
+shard's message stream is byte-identical over a ring or a TCP stream.
 """
 
 from __future__ import annotations
@@ -44,7 +49,16 @@ from repro.plan.planner import Planner
 from repro.streams.batch import TupleBatch
 from repro.streams.serialization import decode_batch, encode_batch_wire
 
-__all__ = ["ShardRunner", "plan_signature", "serve_shard_messages", "worker_main"]
+__all__ = [
+    "ShardRunner",
+    "plan_signature",
+    "serve_shard_messages",
+    "serve_shard_rings",
+    "worker_main",
+]
+
+#: How long a ring worker sleeps on its doorbell before re-sweeping.
+_IDLE_TICK = 0.2
 
 
 def plan_signature(plan: LogicalPlan) -> List[str]:
@@ -137,22 +151,89 @@ def serve_shard_messages(
             raise RuntimeError(f"unknown worker message {kind!r}")
 
 
+def serve_shard_rings(runner: ShardRunner, transport) -> None:
+    """Serve the shard protocol over a :class:`ShardShmTransport` ring pair.
+
+    Requests are parsed *in place* out of the inbound ring — the batch
+    decoder copies columns straight out of the mapped segment — and the
+    ring bytes are released back to the coordinator *before* the chunk
+    runs, so transport space frees as early as possible.
+    """
+    # Imported here, not at module top: repro.net imports this module
+    # for ShardRunner, and the coordinator must stay importable without
+    # the net package having loaded first.
+    from repro.net.framing import parse_frame
+    from repro.net.protocol import decode_worker_message, encode_worker_message
+
+    shard_id = runner.shard_id
+    while True:
+        view = transport.recv_request(_IDLE_TICK)
+        if view is None:
+            continue
+        kind, header, payload = parse_frame(view)
+        message = decode_worker_message(kind, header, payload)
+        if message[0] == "chunk":
+            _, source, chunk_id, raw = message
+            batch = decode_batch(raw)
+            if isinstance(raw, memoryview):
+                raw.release()
+            transport.release_request()
+            outputs, watermark = runner.chunk(source, batch)
+            transport.reply(
+                encode_worker_message(
+                    ("results", shard_id, chunk_id, encode_batch_wire(TupleBatch(outputs)), watermark)
+                )
+            )
+            continue
+        if isinstance(payload, memoryview):
+            payload.release()
+        transport.release_request()
+        if message[0] == "flush":
+            outputs = runner.flush()
+            transport.reply(
+                encode_worker_message(
+                    ("flushed", shard_id, message[1], encode_batch_wire(TupleBatch(outputs)))
+                )
+            )
+        elif message[0] == "stats":
+            transport.reply(
+                encode_worker_message(("stats", shard_id, runner.statistics_rows()))
+            )
+        elif message[0] == "stop":
+            return
+        else:  # pragma: no cover - protocol misuse
+            raise RuntimeError(f"unknown worker message {message[0]!r}")
+
+
 def worker_main(
     shard_id: int,
     plan: LogicalPlan,
     mode: str,
     batch_size: Optional[int],
-    in_queue,
-    out_queue,
+    transport,
 ) -> None:
     """Process entry point: serve the shard protocol until ``stop``.
 
     Runs under the ``fork`` start method, so the logical plan — with
-    all its closures — arrives by address-space inheritance, and each
-    worker compiles its own private operator instances from it.
+    all its closures — and the shared-memory ring mappings arrive by
+    address-space inheritance, and each worker compiles its own private
+    operator instances from the plan.  The worker never unlinks the
+    segments (the parent owns the names); it only unmaps on exit.
     """
     try:
         runner = ShardRunner(shard_id, plan, mode=mode, batch_size=batch_size)
-        serve_shard_messages(runner, in_queue.get, out_queue.put)
+        serve_shard_rings(runner, transport)
     except BaseException:
-        out_queue.put(("error", shard_id, traceback.format_exc()))
+        from repro.net.protocol import encode_worker_message
+
+        try:
+            transport.reply(
+                encode_worker_message(("error", shard_id, traceback.format_exc()))
+            )
+        except BaseException:
+            pass
+    finally:
+        try:
+            transport.close()
+        except BaseException:
+            pass

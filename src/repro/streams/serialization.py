@@ -288,13 +288,16 @@ def decode_batch(payload: bytes) -> TupleBatch:
     (:func:`encode_batch_columnar`) are recognised by their own magic
     and decoded transparently.
     """
-    if not isinstance(payload, bytes):
-        # The network layer hands in memoryviews/bytearrays sliced out
-        # of receive buffers; normalise once so the inlined decode loops
-        # can keep using bytes-only operations (slice.decode, frombuffer).
-        payload = bytes(payload)
-    if payload[: len(_COLUMNAR_MAGIC)] == _COLUMNAR_MAGIC:
+    if bytes(payload[: len(_COLUMNAR_MAGIC)]) == _COLUMNAR_MAGIC:
+        # The columnar decoder consumes memoryviews natively
+        # (``np.frombuffer`` reads straight out of a transport ring or
+        # receive buffer), so the dominant wire format never pays a
+        # whole-payload copy.
         return _decode_batch_columnar(payload)
+    if not isinstance(payload, bytes):
+        # The row-format fallback keeps its inlined bytes-only decode
+        # loops (slice.decode, frombuffer); normalise once.
+        payload = bytes(payload)
     if payload[: len(_BATCH_MAGIC)] != _BATCH_MAGIC:
         raise ValueError("payload does not start with the tuple-batch magic prefix")
     offset = len(_BATCH_MAGIC)
@@ -452,16 +455,34 @@ def wire_format(payload) -> str:
     raise ValueError("payload does not start with a known tuple-batch magic prefix")
 
 
-def _decode_batch_columnar(payload: bytes) -> TupleBatch:
+def _bytes_at(payload, start: int, stop: int) -> bytes:
+    """Slice-to-bytes that is a no-op copy for bytes input."""
+    raw = payload[start:stop]
+    return raw if isinstance(raw, bytes) else bytes(raw)
+
+
+def _decode_batch_columnar(payload) -> TupleBatch:
+    """Decode a columnar payload (bytes or memoryview) into a batch.
+
+    Ownership rule of the zero-copy transport: the returned batch owns
+    its memory.  Every column is copied *once* out of ``payload`` into
+    a fresh array (``np.frombuffer(...).copy()``), so the caller may
+    release the underlying ring record or receive buffer as soon as
+    this returns.  The timestamp and Gaussian parameter arrays are also
+    installed into the batch's columnar caches, so downstream batch
+    kernels start from the wire columns instead of re-extracting them
+    row by row.
+    """
     n, n_values, n_uncertain = _COLUMNAR_HEADER.unpack_from(payload, len(_COLUMNAR_MAGIC))
     offset = len(_COLUMNAR_MAGIC) + _COLUMNAR_HEADER.size
-    timestamps = np.frombuffer(payload, dtype="<f8", count=n, offset=offset).tolist()
+    ts_column = np.frombuffer(payload, dtype="<f8", count=n, offset=offset).copy()
+    timestamps = ts_column.tolist()
     offset += 8 * n
     tuple_ids = np.frombuffer(payload, dtype="<i8", count=n, offset=offset).tolist()
     offset += 8 * n
     value_columns = []
     for _ in range(n_values):
-        name, offset = _decode_name(payload, offset)
+        name, offset = _decode_name_view(payload, offset)
         tag = payload[offset]
         offset += 1
         if tag == _COL_BOOL:
@@ -478,19 +499,19 @@ def _decode_batch_columnar(payload: bytes) -> TupleBatch:
             offset += 4 * n
             column = []
             for length in lengths:
-                column.append(payload[offset : offset + length].decode("utf-8"))
+                column.append(_bytes_at(payload, offset, offset + length).decode("utf-8"))
                 offset += length
         else:
             raise ValueError(f"unknown columnar value tag {tag:#x}")
         value_columns.append((name, column))
     uncertain_columns = []
     for _ in range(n_uncertain):
-        name, offset = _decode_name(payload, offset)
-        mus = np.frombuffer(payload, dtype="<f8", count=n, offset=offset).tolist()
+        name, offset = _decode_name_view(payload, offset)
+        mu_column = np.frombuffer(payload, dtype="<f8", count=n, offset=offset).copy()
         offset += 8 * n
-        sigmas = np.frombuffer(payload, dtype="<f8", count=n, offset=offset).tolist()
+        sigma_column = np.frombuffer(payload, dtype="<f8", count=n, offset=offset).copy()
         offset += 8 * n
-        uncertain_columns.append((name, mus, sigmas))
+        uncertain_columns.append((name, mu_column, mu_column.tolist(), sigma_column, sigma_column.tolist()))
     if offset != len(payload):
         raise ValueError(
             f"columnar batch payload has {len(payload) - offset} trailing bytes"
@@ -500,7 +521,7 @@ def _decode_batch_columnar(payload: bytes) -> TupleBatch:
     gaussian_new = Gaussian.__new__
     for i in range(n):
         uncertain = {}
-        for name, mus, sigmas in uncertain_columns:
+        for name, _, mus, _, sigmas in uncertain_columns:
             # The encoder only accepts validated Gaussians, so the
             # finite/positive checks of Gaussian.__init__ are redundant
             # on this hot path.
@@ -518,4 +539,18 @@ def _decode_batch_columnar(payload: bytes) -> TupleBatch:
                 tuple_id=tuple_id,
             )
         )
-    return TupleBatch(rows)
+    batch = TupleBatch(rows)
+    # Prime the columnar caches from the wire columns: the vectorised
+    # kernels (probabilistic selection, moment sums) and the watermark
+    # reads in the shard workers skip their per-row extraction passes.
+    batch._timestamps = ts_column
+    for name, mu_column, _, sigma_column, _ in uncertain_columns:
+        batch._gaussian_cols[name] = (mu_column, sigma_column)
+    return batch
+
+
+def _decode_name_view(payload, offset: int):
+    """`_decode_name` over bytes *or* memoryview input."""
+    (length,) = _U16.unpack_from(payload, offset)
+    offset += 2
+    return _bytes_at(payload, offset, offset + length).decode("utf-8"), offset + length

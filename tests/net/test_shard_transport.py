@@ -86,7 +86,7 @@ class TestRemoteShardEquivalence:
                     shard: report.transport
                     for shard, report in engine.shard_statistics().items()
                 }
-                assert transports == {0: "queue", 1: "socket"}
+                assert transports == {0: "shm", 1: "socket"}
         finally:
             process.terminate()
             process.join(timeout=5)

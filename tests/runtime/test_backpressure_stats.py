@@ -40,7 +40,7 @@ class TestShardedEngineBackpressure:
             for shard, state in report.items():
                 assert isinstance(state, ShardBackpressure)
                 assert state.shard == shard
-                assert state.transport == "queue"
+                assert state.transport == "shm"
                 assert state.chunks_sent > 0
                 # After finish() everything shipped has been answered.
                 assert state.in_flight_chunks == 0

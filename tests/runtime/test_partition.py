@@ -8,6 +8,7 @@ from repro.distributions import Gaussian
 from repro.runtime import (
     HashPartitioner,
     RoundRobinPartitioner,
+    compute_adaptive_weights,
     resolve_partitioner,
 )
 from repro.streams import StreamTuple
@@ -128,3 +129,54 @@ class TestWeightedRoundRobin:
             next(iter(partitioner.split_chunk(i, make_tuples(["a"]), 3)))
             for i in range(6)
         ] == [0, 1, 2, 0, 1, 2]
+
+    def test_set_weights_retargets_the_schedule(self):
+        partitioner = RoundRobinPartitioner()
+        items = make_tuples(["a"])
+        partitioner.set_weights((3, 1))
+        assert partitioner.weights == (3, 1)
+        assigned = [
+            next(iter(partitioner.split_chunk(i, items, 2))) for i in range(8)
+        ]
+        assert assigned == [0, 0, 0, 1, 0, 0, 0, 1]
+        partitioner.set_weights(())
+        assert partitioner.weights == ()
+        assert [
+            next(iter(partitioner.split_chunk(i, items, 3))) for i in range(3)
+        ] == [0, 1, 2]
+
+    def test_set_weights_validates_like_the_constructor(self):
+        with pytest.raises(ValueError, match="positive integers"):
+            RoundRobinPartitioner().set_weights((1, 0))
+
+
+class TestAdaptiveWeights:
+    def test_uniform_progress_keeps_uniform_weights(self):
+        assert compute_adaptive_weights([10, 10, 10], [0, 0, 0]) == [1, 1, 1]
+
+    def test_fast_shard_anchors_the_max_weight(self):
+        weights = compute_adaptive_weights([40, 10], [0, 0], max_weight=4)
+        assert weights == [4, 1]
+
+    def test_queued_chunks_discount_a_shard(self):
+        # Equal completion, but one shard has a deep backlog: its score
+        # drops, so the unloaded shard earns a heavier weight.
+        weights = compute_adaptive_weights([20, 20], [0, 30], max_weight=4)
+        assert weights[0] > weights[1]
+        assert weights[1] == 1
+
+    def test_no_progress_yet_means_uniform(self):
+        assert compute_adaptive_weights([0, 0], [5, 5]) == [1, 1]
+
+    def test_weights_never_drop_below_one(self):
+        weights = compute_adaptive_weights([100, 1, 0], [0, 50, 90], max_weight=8)
+        assert all(w >= 1 for w in weights)
+        assert weights[0] == 8
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            compute_adaptive_weights([1, 2], [0])
+
+    def test_bad_max_weight_rejected(self):
+        with pytest.raises(ValueError):
+            compute_adaptive_weights([1], [0], max_weight=0)

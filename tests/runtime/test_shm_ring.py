@@ -1,0 +1,266 @@
+"""Shared-memory ring transport: layout, backpressure, wire fidelity, cleanup.
+
+The ring is the byte substrate of the sharded runtime's zero-copy
+transport, so these tests pin the properties the coordinator and the
+workers rely on: FIFO delivery across wraparound (both pad flavours),
+byte-space and record-count backpressure, a reader arbitrarily far
+behind the writer, wire-format edge cases decoded straight out of ring
+memory, and — because segments outlive processes — that no ``/dev/shm``
+residue survives an engine shutdown, clean or crashed.
+"""
+
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.distributions import Gaussian
+from repro.plan import Stream
+from repro.runtime import (
+    RingFullError,
+    ShardedEngine,
+    ShardError,
+    ShardShmTransport,
+    ShmRing,
+)
+from repro.streams import StreamTuple, TumblingTimeWindow
+from repro.streams.batch import TupleBatch
+from repro.streams.serialization import decode_batch, encode_batch_wire
+
+
+@pytest.fixture
+def ring():
+    ring = ShmRing(1 << 12)
+    yield ring
+    ring.close()
+    ring.unlink()
+
+
+def payload_of(i, size):
+    return bytes([i % 251]) * size
+
+
+class TestRingDataPath:
+    def test_fifo_roundtrip(self, ring):
+        frames = [payload_of(i, 16 + i) for i in range(5)]
+        for frame in frames:
+            assert ring.try_write(frame)
+        assert ring.record_backlog == 5
+        for frame in frames:
+            view = ring.next_view()
+            assert bytes(view) == frame
+            ring.release()
+        assert ring.next_view() is None
+        assert ring.record_backlog == 0
+        assert ring.used_bytes == 0
+
+    def test_wraparound_survives_many_laps(self, ring):
+        # Varying record sizes walk the write position across the
+        # physical end many times, exercising both the explicit
+        # 0xFFFFFFFF pad and the implicit <4-byte-remainder skip.
+        for i in range(200):
+            frame = payload_of(i, 900 + (i * 7) % 64)
+            assert ring.try_write(frame)
+            view = ring.next_view()
+            assert bytes(view) == frame
+            ring.release()
+        assert ring.used_bytes == 0
+
+    def test_reader_behind_writer_preserves_order(self, ring):
+        written = 0
+        while ring.try_write(payload_of(written, 100)):
+            written += 1
+        assert written > 2  # reader never ran; writer filled the ring
+        for i in range(written):
+            view = ring.next_view()
+            assert bytes(view) == payload_of(i, 100)
+            ring.release()
+        assert ring.next_view() is None
+
+    def test_full_ring_backpressure_clears_on_release(self, ring):
+        frame = bytes(1500)
+        assert ring.try_write(frame)
+        assert ring.try_write(frame)
+        assert not ring.try_write(frame)  # 3 * 1504 > 4096: no space
+        ring.next_view()
+        ring.release()
+        assert ring.try_write(frame)  # the released bytes came back
+
+    def test_blocking_write_times_out_when_nobody_drains(self, ring):
+        frame = bytes(ring.max_record)
+        assert ring.try_write(frame)
+        assert ring.try_write(frame)  # two max records fill the ring exactly
+        assert ring.used_bytes == ring.capacity
+        with pytest.raises(TimeoutError, match="no space freed"):
+            ring.write(frame, timeout=0.05)
+
+    def test_oversized_record_rejected_outright(self, ring):
+        with pytest.raises(RingFullError, match="can never fit"):
+            ring.try_write(bytes(ring.max_record + 1))
+
+    def test_view_must_be_released_before_the_next_read(self, ring):
+        ring.try_write(b"abc")
+        ring.next_view()
+        with pytest.raises(RuntimeError, match="not released"):
+            ring.next_view()
+        ring.release()
+        with pytest.raises(RuntimeError, match="no record pending"):
+            ring.release()
+
+
+def ring_roundtrip(batch, data_bytes=1 << 20):
+    """Encode ``batch`` to wire bytes, pass them through a ring, decode."""
+    ring = ShmRing(data_bytes)
+    try:
+        payload = encode_batch_wire(batch)
+        assert ring.try_write(payload)
+        view = ring.next_view()
+        rows = decode_batch(view).to_tuples()
+        ring.release()  # decode copied its columns out; safe to reclaim
+        return payload, rows
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+class TestWireFormatThroughRing:
+    def test_empty_batch(self):
+        _, rows = ring_roundtrip(TupleBatch([]))
+        assert rows == []
+
+    def test_non_finite_value_columns_round_trip(self):
+        specials = [float("nan"), float("inf"), float("-inf"), 0.0, -1e300]
+        batch = TupleBatch(
+            [
+                StreamTuple(
+                    timestamp=i * 0.5,
+                    values={"m": value, "tag": f"t{i}"},
+                    uncertain={"v": Gaussian(1.0 + i, 2.0)},
+                )
+                for i, value in enumerate(specials)
+            ]
+        )
+        _, rows = ring_roundtrip(batch)
+        assert len(rows) == len(specials)
+        for i, (row, value) in enumerate(zip(rows, specials)):
+            got = row.value("m")
+            if math.isnan(value):
+                assert math.isnan(got)
+            else:
+                assert got == value
+            assert row.value("tag") == f"t{i}"
+            assert float(row.distribution("v").mean()) == 1.0 + i
+
+    def test_payload_past_64kib_round_trips(self):
+        rng = np.random.default_rng(17)
+        batch = TupleBatch(
+            [
+                StreamTuple(
+                    timestamp=i * 0.01,
+                    uncertain={"v": Gaussian(float(rng.uniform(0, 100)), 2.0)},
+                )
+                for i in range(4000)
+            ]
+        )
+        payload, rows = ring_roundtrip(batch)
+        assert len(payload) > (64 << 10)
+        assert len(rows) == 4000
+        assert [r.timestamp for r in rows] == [i * 0.01 for i in range(4000)]
+
+
+class TestShardShmTransport:
+    def test_request_reply_roundtrip(self):
+        transport = ShardShmTransport(0, 1 << 16, queue_capacity=4)
+        try:
+            transport.send(b"chunk-frame")
+            assert transport.queue_depth == 1
+            view = transport.recv_request(0.01)
+            assert bytes(view) == b"chunk-frame"
+            transport.release_request()
+            assert transport.queue_depth == 0
+            transport.reply(b"result-frame")
+            view = transport.poll_reply(0.01)
+            assert bytes(view) == b"result-frame"
+            transport.release_reply()
+            assert transport.poll_reply(0.0) is None
+        finally:
+            transport.close()
+            transport.unlink()
+
+    def test_send_stalls_at_the_record_cap(self):
+        transport = ShardShmTransport(0, 1 << 16, queue_capacity=1)
+        try:
+            transport.send(b"first")
+            stalls = []
+
+            def bail():
+                stalls.append(1)
+                if len(stalls) >= 3:
+                    raise TimeoutError("worker never drained")
+
+            with pytest.raises(TimeoutError, match="never drained"):
+                transport.send(b"second", on_stall=bail)
+            assert len(stalls) == 3  # the cap, not ring space, blocked it
+        finally:
+            transport.close()
+            transport.unlink()
+
+
+def shm_residue():
+    try:
+        entries = os.listdir("/dev/shm")
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        pytest.skip("no /dev/shm on this platform")
+    return sorted(entry for entry in entries if entry.startswith("repro-ring-"))
+
+
+def make_tuples(n):
+    return [
+        StreamTuple(
+            timestamp=i * 0.1,
+            values={"k": i % 3},
+            uncertain={"w": Gaussian(10.0 + i % 7, 1.0)},
+        )
+        for i in range(n)
+    ]
+
+
+def agg_query():
+    return (
+        Stream.source("s", values=("k",), uncertain=("w",), family="gaussian")
+        .window(TumblingTimeWindow(1.0))
+        .aggregate("w")
+    )
+
+
+class TestSegmentLifetime:
+    def test_clean_shutdown_unlinks_every_segment(self):
+        engine = ShardedEngine(agg_query(), workers=2, backend="process", chunk_size=64)
+        try:
+            assert len(shm_residue()) == 4  # two rings per shard while live
+            engine.push_many("s", make_tuples(500))
+            assert engine.finish()
+        finally:
+            engine.close()
+        assert shm_residue() == []
+
+    def test_worker_crash_mid_run_leaves_no_residue(self):
+        def explode(t):
+            if t.value("k") == 2:
+                raise ValueError("boom in worker")
+            return 1.0
+
+        query = (
+            Stream.source("s", values=("k",), uncertain=("w",))
+            .derive(values={"x": explode})
+            .window(TumblingTimeWindow(1.0))
+            .aggregate("w")
+        )
+        with pytest.raises(ShardError, match="boom in worker"):
+            with ShardedEngine(
+                query, workers=2, backend="process", chunk_size=4
+            ) as engine:
+                engine.push_many("s", make_tuples(50))
+                engine.finish()
+        assert shm_residue() == []
