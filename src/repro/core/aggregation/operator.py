@@ -317,6 +317,16 @@ class UncertainAggregate(Operator):
     def flush(self) -> Iterable[StreamTuple]:
         yield from self._emit(self._buffer.flush())
 
+    def state_snapshot(self) -> dict:
+        # Moments are computed at window close, so the only mutable
+        # state is the buffered open window.
+        return {"buffer": self._buffer.state_snapshot()}
+
+    def state_restore(self, state: Optional[dict]) -> None:
+        if state is None:
+            raise OperatorError(f"{self.name!r} expected a buffered-window state")
+        self._buffer.state_restore(state["buffer"])
+
 
 class GroupByAggregate(Operator):
     """Windowed GROUP BY + aggregate + HAVING over uncertain tuples.
@@ -407,3 +417,11 @@ class GroupByAggregate(Operator):
 
     def flush(self) -> Iterable[StreamTuple]:
         yield from self._emit(self._buffer.flush())
+
+    def state_snapshot(self) -> dict:
+        return {"buffer": self._buffer.state_snapshot()}
+
+    def state_restore(self, state: Optional[dict]) -> None:
+        if state is None:
+            raise OperatorError(f"{self.name!r} expected a buffered-window state")
+        self._buffer.state_restore(state["buffer"])

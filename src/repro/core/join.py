@@ -208,6 +208,17 @@ class ProbabilisticJoin(Operator):
         """Return the current (left, right) window sizes (for diagnostics)."""
         return (len(self._left.items), len(self._right.items))
 
+    def state_snapshot(self) -> dict:
+        # Window lengths are configuration; only the live window
+        # contents (both build sides of the symmetric join) are state.
+        return {"left": list(self._left.items), "right": list(self._right.items)}
+
+    def state_restore(self, state: Optional[dict]) -> None:
+        if state is None:
+            raise OperatorError(f"{self.name!r} expected a join-window state")
+        self._left.items = list(state["left"])
+        self._right.items = list(state["right"])
+
 
 class _JoinPort(Operator):
     """Adapter forwarding tuples into one side of a ProbabilisticJoin."""

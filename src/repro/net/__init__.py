@@ -21,8 +21,11 @@ codec of :mod:`repro.streams.serialization` — the same bytes a forked
 worker receives, now routable across machines.
 """
 
+from repro.recovery.replay import ReplayGapError
+
 from .client import AsyncStreamClient, AsyncSubscription, StreamClient, Subscription
 from .errors import (
+    AuthError,
     ConnectionClosed,
     NetError,
     ProtocolError,
@@ -48,5 +51,7 @@ __all__ = [
     "RemoteError",
     "ConnectionClosed",
     "SlowConsumerError",
+    "AuthError",
+    "ReplayGapError",
     "PROTOCOL_VERSION",
 ]

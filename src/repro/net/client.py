@@ -27,12 +27,14 @@ import socket
 from collections import deque
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from repro.recovery.replay import ReplayGapError
 from repro.streams.batch import TupleBatch
 from repro.streams.serialization import decode_batch, encode_batch_wire
 from repro.streams.tuples import StreamTuple
 
 from . import protocol
 from .errors import (
+    AuthError,
     ConnectionClosed,
     NetError,
     ProtocolError,
@@ -69,9 +71,22 @@ def _ack_stride(window: int) -> int:
     return max(1, window // 4)
 
 
+def _raise_error(header: Dict[str, Any]) -> None:
+    """Map a server ERROR frame to the most specific client exception."""
+    code = header.get("code", "Error")
+    message = header.get("message", "")
+    if code == "SlowConsumerError":
+        raise SlowConsumerError(message)
+    if code == "AuthError":
+        raise AuthError(message)
+    if code == "ReplayGapError":
+        raise ReplayGapError.from_message(message)
+    raise RemoteError(code, message)
+
+
 def _check_reply(kind: int, header: Dict[str, Any], expected: int) -> Dict[str, Any]:
     if kind == protocol.ERROR:
-        raise RemoteError(header.get("code", "Error"), header.get("message", ""))
+        _raise_error(header)
     if kind != expected:
         raise ProtocolError(
             f"expected a {protocol.kind_name(expected)} reply, "
@@ -100,6 +115,10 @@ class StreamClient:
         ``"host:port"`` or a ``(host, port)`` pair.
     timeout:
         Socket timeout for every blocking operation, in seconds.
+    token:
+        Shared secret for servers started with ``auth_token=...``; the
+        client authenticates the connection with an eager ``HELLO``
+        before any other verb.
     """
 
     def __init__(
@@ -107,16 +126,26 @@ class StreamClient:
         address,
         timeout: float = 30.0,
         max_payload: int = DEFAULT_MAX_PAYLOAD,
+        token: Optional[str] = None,
     ):
         self._address = protocol.parse_address(address)
         self._timeout = timeout
         self._max_payload = max_payload
+        self._token = token
         self._sock = socket.create_connection(self._address, timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         # Buffered reads: a timed-out read keeps its partial frame and
         # can be retried without desynchronizing the stream.
         self._frames = BufferedFrameSocket(self._sock, max_payload)
         self._closed = False
+        if token is not None:
+            self.hello()  # authenticate before any other verb
+
+    def _hello_header(self, client: str) -> Dict[str, Any]:
+        header: Dict[str, Any] = {"client": client}
+        if self._token is not None:
+            header["token"] = self._token
+        return header
 
     # ------------------------------------------------------------------
     # Request plumbing
@@ -137,7 +166,7 @@ class StreamClient:
     # ------------------------------------------------------------------
     def hello(self) -> Dict[str, Any]:
         """Server info: known streams and registered queries."""
-        header, _ = self._request(protocol.HELLO, {"client": "repro.net sync"})
+        header, _ = self._request(protocol.HELLO, self._hello_header("repro.net sync"))
         return header
 
     def declare_stream(
@@ -260,7 +289,7 @@ class StreamClient:
     def _resync(self) -> None:
         """Realign after a mid-pipeline error (see ``ingest``)."""
         try:
-            send_frame(self._sock, protocol.HELLO, {"client": "repro.net sync"})
+            send_frame(self._sock, protocol.HELLO, self._hello_header("repro.net sync"))
             while True:
                 _, header, _ = self._frames.recv_frame(self._timeout)
                 if "seq" not in header:
@@ -281,13 +310,38 @@ class StreamClient:
         header, _ = self._request(protocol.EXPLAIN, {"query": query})
         return str(header.get("text", ""))
 
-    def subscribe(self, query: str, timeout: Optional[float] = None) -> "Subscription":
-        """Open a dedicated server-push connection for a query's results."""
+    def checkpoint(self, directory: str, mode: str = "auto") -> int:
+        """Write a durable server-side checkpoint; returns its id.
+
+        ``directory`` is a path on the *server's* filesystem; ``mode``
+        is ``"auto"``, ``"full"`` or ``"delta"`` (see
+        ``QuerySession.checkpoint``).
+        """
+        header, _ = self._request(protocol.CHECKPOINT, {"dir": directory, "mode": mode})
+        return int(header.get("checkpoint", 0))
+
+    def subscribe(
+        self,
+        query: str,
+        timeout: Optional[float] = None,
+        resume_from: Optional[int] = None,
+    ) -> "Subscription":
+        """Open a dedicated server-push connection for a query's results.
+
+        ``resume_from`` is the last result seq this consumer has seen
+        (``Subscription.last_seq`` of a previous subscription): the
+        server first replays every result after it, then continues
+        live.  Raises :class:`~repro.recovery.ReplayGapError` when the
+        server's bounded replay log has already trimmed past that
+        position.
+        """
         return Subscription(
             self._address,
             query,
             timeout=self._timeout if timeout is None else timeout,
             max_payload=self._max_payload,
+            token=self._token,
+            resume_from=resume_from,
         )
 
     # ------------------------------------------------------------------
@@ -317,7 +371,10 @@ class Subscription:
     Iterating yields one list of :class:`StreamTuple` per ``RESULT``
     frame; iteration ends when the connection closes.  :attr:`dropped`
     tracks the cumulative results the server discarded for this
-    subscriber under the drop-oldest policy.
+    subscriber under the drop-oldest policy.  :attr:`last_seq` is the
+    query-level seq of the newest result received — hand it to
+    ``subscribe(..., resume_from=last_seq)`` after a disconnect to
+    resume without gaps or duplicates.
     """
 
     def __init__(
@@ -326,18 +383,33 @@ class Subscription:
         query: str,
         timeout: float = 30.0,
         max_payload: int = DEFAULT_MAX_PAYLOAD,
+        token: Optional[str] = None,
+        resume_from: Optional[int] = None,
     ):
         self.query = query
         self.dropped = 0
+        self.last_seq = 0
         self._max_payload = max_payload
         self._default_timeout = timeout
         self._sock = socket.create_connection(address, timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._frames = BufferedFrameSocket(self._sock, max_payload)
         self._closed = False
-        send_frame(self._sock, protocol.SUBSCRIBE, {"query": query})
+        if token is not None:
+            send_frame(
+                self._sock,
+                protocol.HELLO,
+                {"client": "repro.net sync", "token": token},
+            )
+            kind, header, _ = self._frames.recv_frame(timeout)
+            _check_reply(kind, header, protocol.OK)
+        subscribe_header: Dict[str, Any] = {"query": query}
+        if resume_from is not None:
+            subscribe_header["resume"] = int(resume_from)
+        send_frame(self._sock, protocol.SUBSCRIBE, subscribe_header)
         kind, header, _ = self._frames.recv_frame(timeout)
         _check_reply(kind, header, protocol.OK)
+        self.last_seq = int(header.get("seq", 0))
 
     def recv(self, timeout: Optional[float] = None) -> List[StreamTuple]:
         """Block for the next result batch; raises on close or slow-consumer."""
@@ -349,18 +421,18 @@ class Subscription:
             self._default_timeout if timeout is None else timeout
         )
         if kind == protocol.END:
+            self.last_seq = int(header.get("seq", self.last_seq))
             self.close()
             raise ConnectionClosed(f"query {self.query!r} was dropped on the server")
         if kind == protocol.ERROR:
             self.close()
-            if header.get("code") == "SlowConsumerError":
-                raise SlowConsumerError(header.get("message", ""))
-            raise RemoteError(header.get("code", "Error"), header.get("message", ""))
+            _raise_error(header)
         if kind != protocol.RESULT:
             raise ProtocolError(
                 f"expected a RESULT frame, got {protocol.kind_name(kind)}"
             )
         self.dropped = int(header.get("dropped", 0))
+        self.last_seq = int(header.get("seq", self.last_seq))
         return decode_batch(payload).to_tuples()
 
     def take(self, count: int, timeout: float = 30.0) -> List[StreamTuple]:
@@ -413,22 +485,42 @@ class AsyncStreamClient:
     >>> await client.close()
     """
 
-    def __init__(self, reader, writer, address, max_payload: int = DEFAULT_MAX_PAYLOAD):
+    def __init__(
+        self,
+        reader,
+        writer,
+        address,
+        max_payload: int = DEFAULT_MAX_PAYLOAD,
+        token: Optional[str] = None,
+    ):
         self._reader = reader
         self._writer = writer
         self._address = address
         self._max_payload = max_payload
+        self._token = token
         self._closed = False
 
     @classmethod
     async def connect(
-        cls, address, max_payload: int = DEFAULT_MAX_PAYLOAD
+        cls,
+        address,
+        max_payload: int = DEFAULT_MAX_PAYLOAD,
+        token: Optional[str] = None,
     ) -> "AsyncStreamClient":
         import asyncio
 
         host, port = protocol.parse_address(address)
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer, (host, port), max_payload)
+        client = cls(reader, writer, (host, port), max_payload, token=token)
+        if token is not None:
+            await client.hello()  # authenticate before any other verb
+        return client
+
+    def _hello_header(self) -> Dict[str, Any]:
+        header: Dict[str, Any] = {"client": "repro.net async"}
+        if self._token is not None:
+            header["token"] = self._token
+        return header
 
     async def _request(
         self,
@@ -445,7 +537,7 @@ class AsyncStreamClient:
         return _check_reply(reply_kind, reply_header, expected), reply_payload
 
     async def hello(self) -> Dict[str, Any]:
-        header, _ = await self._request(protocol.HELLO, {"client": "repro.net async"})
+        header, _ = await self._request(protocol.HELLO, self._hello_header())
         return header
 
     async def declare_stream(
@@ -551,9 +643,7 @@ class AsyncStreamClient:
 
     async def _resync(self) -> None:
         try:
-            self._writer.write(
-                encode_frame(protocol.HELLO, {"client": "repro.net async"})
-            )
+            self._writer.write(encode_frame(protocol.HELLO, self._hello_header()))
             await self._writer.drain()
             while True:
                 _, header, _ = await read_frame_async(self._reader, self._max_payload)
@@ -573,8 +663,23 @@ class AsyncStreamClient:
         header, _ = await self._request(protocol.EXPLAIN, {"query": query})
         return str(header.get("text", ""))
 
-    async def subscribe(self, query: str) -> "AsyncSubscription":
-        subscription = AsyncSubscription(self._address, query, self._max_payload)
+    async def checkpoint(self, directory: str, mode: str = "auto") -> int:
+        """Write a durable server-side checkpoint; returns its id."""
+        header, _ = await self._request(
+            protocol.CHECKPOINT, {"dir": directory, "mode": mode}
+        )
+        return int(header.get("checkpoint", 0))
+
+    async def subscribe(
+        self, query: str, resume_from: Optional[int] = None
+    ) -> "AsyncSubscription":
+        subscription = AsyncSubscription(
+            self._address,
+            query,
+            self._max_payload,
+            token=self._token,
+            resume_from=resume_from,
+        )
         await subscription._open()
         return subscription
 
@@ -598,11 +703,21 @@ class AsyncStreamClient:
 class AsyncSubscription:
     """Asyncio counterpart of :class:`Subscription` (``async for`` batches)."""
 
-    def __init__(self, address, query: str, max_payload: int = DEFAULT_MAX_PAYLOAD):
+    def __init__(
+        self,
+        address,
+        query: str,
+        max_payload: int = DEFAULT_MAX_PAYLOAD,
+        token: Optional[str] = None,
+        resume_from: Optional[int] = None,
+    ):
         self.query = query
         self.dropped = 0
+        self.last_seq = 0
         self._address = address
         self._max_payload = max_payload
+        self._token = token
+        self._resume_from = resume_from
         self._reader = None
         self._writer = None
         self._closed = False
@@ -612,28 +727,42 @@ class AsyncSubscription:
 
         host, port = self._address
         self._reader, self._writer = await asyncio.open_connection(host, port)
-        self._writer.write(encode_frame(protocol.SUBSCRIBE, {"query": self.query}))
+        if self._token is not None:
+            self._writer.write(
+                encode_frame(
+                    protocol.HELLO,
+                    {"client": "repro.net async", "token": self._token},
+                )
+            )
+            await self._writer.drain()
+            kind, header, _ = await read_frame_async(self._reader, self._max_payload)
+            _check_reply(kind, header, protocol.OK)
+        subscribe_header: Dict[str, Any] = {"query": self.query}
+        if self._resume_from is not None:
+            subscribe_header["resume"] = int(self._resume_from)
+        self._writer.write(encode_frame(protocol.SUBSCRIBE, subscribe_header))
         await self._writer.drain()
         kind, header, _ = await read_frame_async(self._reader, self._max_payload)
         _check_reply(kind, header, protocol.OK)
+        self.last_seq = int(header.get("seq", 0))
 
     async def recv(self) -> List[StreamTuple]:
         if self._closed:
             raise ConnectionClosed("this subscription is closed")
         kind, header, payload = await read_frame_async(self._reader, self._max_payload)
         if kind == protocol.END:
+            self.last_seq = int(header.get("seq", self.last_seq))
             await self.close()
             raise ConnectionClosed(f"query {self.query!r} was dropped on the server")
         if kind == protocol.ERROR:
             await self.close()
-            if header.get("code") == "SlowConsumerError":
-                raise SlowConsumerError(header.get("message", ""))
-            raise RemoteError(header.get("code", "Error"), header.get("message", ""))
+            _raise_error(header)
         if kind != protocol.RESULT:
             raise ProtocolError(
                 f"expected a RESULT frame, got {protocol.kind_name(kind)}"
             )
         self.dropped = int(header.get("dropped", 0))
+        self.last_seq = int(header.get("seq", self.last_seq))
         return decode_batch(payload).to_tuples()
 
     def __aiter__(self) -> "AsyncSubscription":

@@ -18,6 +18,9 @@ The split mirrors where a failure originated:
   server's slow-consumer policy; the client raises it from the
   subscription iterator so a lagging reader sees *why* its stream
   ended.
+* :class:`AuthError` — the server requires a shared-secret token and
+  the connection's ``HELLO`` carried a missing or wrong one; the server
+  reports it and closes the connection.
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ __all__ = [
     "RemoteError",
     "ConnectionClosed",
     "SlowConsumerError",
+    "AuthError",
 ]
 
 
@@ -62,3 +66,7 @@ class RemoteError(NetError):
 
 class SlowConsumerError(NetError):
     """The server dropped this subscriber for falling too far behind."""
+
+
+class AuthError(NetError):
+    """The server rejected this connection's authentication token."""

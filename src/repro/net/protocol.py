@@ -16,11 +16,17 @@ request               header fields                                  reply
 / ``RESUME``          ``name``                                       ``OK``
 ``INGEST``            ``source, seq, count`` + batch payload         ``ACK`` (``seq, count``)
 ``FLUSH``             —                                              ``OK``
-``SUBSCRIBE``         ``query``                                      ``OK`` then ``RESULT``*
+``SUBSCRIBE``         ``query, resume`` (optional seq)               ``OK`` then ``RESULT``*
 ``STATS``             ``query`` (optional)                           ``OK`` (``stats`` rows)
 ``EXPLAIN``           ``query`` (optional)                           ``OK`` (``text``)
+``CHECKPOINT``        ``dir, mode`` (optional)                       ``OK`` (``checkpoint``)
 ``BYE``               —                                              ``OK``, then close
 ====================  =============================================  =======================
+
+When the server was constructed with ``auth_token=...``, ``HELLO`` must
+carry a matching ``token`` field and must precede every other verb on
+the connection (``BYE`` excepted); a mismatch is answered with an
+``ERROR`` frame of code ``AuthError`` and the connection is closed.
 
 ``RESULT`` frames carry ``query, seq, count, dropped`` plus an encoded
 tuple batch; ``ERROR`` frames carry ``code`` (the server-side exception
@@ -56,6 +62,7 @@ __all__ = [
     "STATS",
     "EXPLAIN",
     "BYE",
+    "CHECKPOINT",
     "OK",
     "ERROR",
     "ACK",
@@ -82,6 +89,7 @@ SUBSCRIBE = 0x09
 STATS = 0x0A
 EXPLAIN = 0x0B
 BYE = 0x0C
+CHECKPOINT = 0x0D
 
 # Server → client replies / pushes.
 OK = 0x40
@@ -97,10 +105,14 @@ _SHARD_CHUNK = 0x61
 _SHARD_FLUSH = 0x62
 _SHARD_STATS = 0x63
 _SHARD_STOP = 0x64
+_SHARD_SNAPSHOT = 0x65
+_SHARD_RESTORE = 0x66
 _SHARD_RESULTS = 0x71
 _SHARD_FLUSHED = 0x72
 _SHARD_STATS_REPLY = 0x73
 _SHARD_ERROR = 0x74
+_SHARD_SNAPSHOT_REPLY = 0x75
+_SHARD_RESTORED = 0x76
 
 _KIND_NAMES = {
     value: name
@@ -113,10 +125,14 @@ _KIND_NAMES.update(
         _SHARD_FLUSH: "SHARD_FLUSH",
         _SHARD_STATS: "SHARD_STATS",
         _SHARD_STOP: "SHARD_STOP",
+        _SHARD_SNAPSHOT: "SHARD_SNAPSHOT",
+        _SHARD_RESTORE: "SHARD_RESTORE",
         _SHARD_RESULTS: "SHARD_RESULTS",
         _SHARD_FLUSHED: "SHARD_FLUSHED",
         _SHARD_STATS_REPLY: "SHARD_STATS_REPLY",
         _SHARD_ERROR: "SHARD_ERROR",
+        _SHARD_SNAPSHOT_REPLY: "SHARD_SNAPSHOT_REPLY",
+        _SHARD_RESTORED: "SHARD_RESTORED",
     }
 )
 
@@ -167,6 +183,19 @@ def encode_worker_message(message: Tuple) -> bytes:
         return encode_frame(_SHARD_STATS_REPLY, {"shard": shard, "rows": rows})
     if kind == "stop":
         return encode_frame(_SHARD_STOP)
+    if kind == "snapshot":
+        if len(message) == 2:  # the request; the reply carries the payload
+            return encode_frame(_SHARD_SNAPSHOT, {"token": message[1]})
+        _, shard, token, payload = message
+        return encode_frame(
+            _SHARD_SNAPSHOT_REPLY, {"shard": shard, "token": token}, payload
+        )
+    if kind == "restore":
+        _, token, payload = message
+        return encode_frame(_SHARD_RESTORE, {"token": token}, payload)
+    if kind == "restored":
+        _, shard, token = message
+        return encode_frame(_SHARD_RESTORED, {"shard": shard, "token": token})
     if kind == "results":
         _, shard, chunk_id, payload, watermark = message
         return encode_frame(
@@ -193,6 +222,14 @@ def decode_worker_message(kind: int, header: Dict[str, Any], payload: bytes) -> 
         return ("stats",)
     if kind == _SHARD_STOP:
         return ("stop",)
+    if kind == _SHARD_SNAPSHOT:
+        return ("snapshot", header["token"])
+    if kind == _SHARD_RESTORE:
+        return ("restore", header["token"], payload)
+    if kind == _SHARD_SNAPSHOT_REPLY:
+        return ("snapshot", header["shard"], header["token"], payload)
+    if kind == _SHARD_RESTORED:
+        return ("restored", header["shard"], header["token"])
     if kind == _SHARD_RESULTS:
         return (
             "results",

@@ -37,9 +37,10 @@ Use :func:`serve_in_thread` to host a server next to synchronous code
 from __future__ import annotations
 
 import asyncio
+import hmac
 import threading
 from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.service import QuerySession
 from repro.streams.batch import TupleBatch
@@ -47,7 +48,7 @@ from repro.streams.serialization import decode_batch, encode_batch_wire
 from repro.streams.tuples import StreamTuple
 
 from . import protocol
-from .errors import ConnectionClosed, ProtocolError, SlowConsumerError
+from .errors import AuthError, ConnectionClosed, ProtocolError, SlowConsumerError
 from .framing import DEFAULT_MAX_PAYLOAD, encode_frame, read_frame_async
 
 __all__ = ["StreamServer", "ServerHandle", "serve_in_thread"]
@@ -69,19 +70,28 @@ class _Subscriber:
         self.writer = writer
         self.buffer_limit = buffer_limit
         self.policy = policy
-        self.pending: Deque[StreamTuple] = deque()
+        #: Buffered ``(seq, result)`` pairs; seqs are the query's global
+        #: result numbering (1-based emission order), so a reconnecting
+        #: consumer can hand its last seen seq to ``SUBSCRIBE RESUME``.
+        self.pending: Deque[Tuple[int, StreamTuple]] = deque()
         self.dropped = 0  # cumulative, reported on every RESULT frame
-        self.seq = 0
+        self.seq = 0  # query-level seq of the last result shipped
+        self.enqueued_seq = 0  # query-level seq of the last result buffered
         self.failed: Optional[str] = None
         self.ended = False  # the query was dropped: send END and close
         self.wakeup = asyncio.Event()
         self.task: Optional[asyncio.Task] = None
 
-    def on_result(self, item: StreamTuple) -> None:
+    def on_result(self, item: StreamTuple, seq: int = 0) -> None:
         """Session listener; runs synchronously during a push on the loop."""
         if self.failed is not None:
             return
-        self.pending.append(item)
+        if seq <= self.enqueued_seq:
+            # No replay log backs this query (or the caller passed no
+            # seq): synthesize a subscriber-local monotonic numbering.
+            seq = self.enqueued_seq + 1
+        self.enqueued_seq = seq
+        self.pending.append((seq, item))
         if len(self.pending) > self.buffer_limit:
             if self.policy == "drop-oldest":
                 while len(self.pending) > self.buffer_limit:
@@ -111,16 +121,17 @@ class _Subscriber:
                 while self.pending:
                     rows = list(self.pending)
                     self.pending.clear()
-                    self.seq += 1
+                    self.seq = rows[-1][0]
                     frame = encode_frame(
                         protocol.RESULT,
                         {
                             "query": self.query,
                             "seq": self.seq,
+                            "first_seq": rows[0][0],
                             "count": len(rows),
                             "dropped": self.dropped,
                         },
-                        encode_batch_wire(TupleBatch(rows)),
+                        encode_batch_wire(TupleBatch([item for _, item in rows])),
                     )
                     self.writer.write(frame)
                     await self.writer.drain()
@@ -128,8 +139,13 @@ class _Subscriber:
                         break
                 if self.ended:
                     # Results delivered before the drop have shipped;
-                    # close the push stream cleanly.
-                    self.writer.write(encode_frame(protocol.END, {"query": self.query}))
+                    # close the push stream cleanly, reporting the seq
+                    # of the final delivered result.
+                    self.writer.write(
+                        encode_frame(
+                            protocol.END, {"query": self.query, "seq": self.seq}
+                        )
+                    )
                     await self.writer.drain()
                     self.writer.close()
                     return
@@ -155,6 +171,12 @@ class StreamServer:
         ``"drop-oldest"`` or ``"disconnect"`` (see module docs).
     max_payload:
         Largest accepted frame payload in bytes.
+    auth_token:
+        Optional shared secret.  When set, every connection must open
+        with a ``HELLO`` carrying a matching ``token`` field before any
+        other verb; the comparison is constant-time, and a missing or
+        wrong token is answered with an ``AuthError`` error frame after
+        which the connection is closed.
     """
 
     def __init__(
@@ -165,6 +187,7 @@ class StreamServer:
         subscriber_buffer: int = 4096,
         slow_consumer: str = "drop-oldest",
         max_payload: int = DEFAULT_MAX_PAYLOAD,
+        auth_token: Optional[str] = None,
     ):
         if slow_consumer not in _SLOW_CONSUMER_POLICIES:
             raise ValueError(
@@ -179,6 +202,7 @@ class StreamServer:
         self._subscriber_buffer = subscriber_buffer
         self._slow_consumer = slow_consumer
         self._max_payload = max_payload
+        self._auth_token = auth_token
         self._server: Optional[asyncio.AbstractServer] = None
         self._subscribers: List[_Subscriber] = []
         self.address: Optional[str] = None
@@ -233,7 +257,7 @@ class StreamServer:
         subscriber: Optional[_Subscriber] = None
         # Per-connection ingest state for batched ACKs: tuples ingested
         # since the last ACK this connection received.
-        state = {"unacked": 0}
+        state = {"unacked": 0, "authed": self._auth_token is None}
         try:
             while True:
                 try:
@@ -245,6 +269,23 @@ class StreamServer:
                     writer.write(encode_frame(protocol.OK))
                     await writer.drain()
                     return
+                if not state["authed"]:
+                    supplied = header.get("token") if kind == protocol.HELLO else None
+                    if supplied is None or not hmac.compare_digest(
+                        str(supplied).encode("utf-8"),
+                        str(self._auth_token).encode("utf-8"),
+                    ):
+                        writer.write(
+                            protocol.error_frame(
+                                AuthError(
+                                    "this server requires a token; open with "
+                                    "HELLO carrying the shared secret"
+                                )
+                            )
+                        )
+                        await writer.drain()
+                        return
+                    state["authed"] = True
                 if subscriber is not None:
                     # A subscription connection is push-only after SUBSCRIBE.
                     raise ProtocolError(
@@ -268,7 +309,12 @@ class StreamServer:
                     continue
                 if isinstance(reply, _Subscriber):
                     subscriber = reply
-                    writer.write(encode_frame(protocol.OK, {"query": subscriber.query}))
+                    writer.write(
+                        encode_frame(
+                            protocol.OK,
+                            {"query": subscriber.query, "seq": subscriber.seq},
+                        )
+                    )
                 elif reply is None:
                     # An unacked ingest frame: nothing to write back.
                     continue
@@ -386,27 +432,65 @@ class StreamServer:
             return encode_frame(
                 protocol.OK, {"text": session.explain(header.get("query"))}
             )
+        if kind == protocol.CHECKPOINT:
+            info = session.checkpoint(header["dir"], mode=header.get("mode", "auto"))
+            return encode_frame(
+                protocol.OK,
+                {"checkpoint": info.checkpoint_id, "mode": info.mode, "path": info.path},
+            )
         if kind == protocol.SUBSCRIBE:
-            return self._subscribe(header["query"], writer)
+            return self._subscribe(header["query"], writer, header.get("resume"))
         raise ProtocolError(f"unknown request kind {protocol.kind_name(kind)}")
 
     # ------------------------------------------------------------------
     # Subscriptions
     # ------------------------------------------------------------------
-    def _subscribe(self, query: str, writer: asyncio.StreamWriter) -> _Subscriber:
+    def _subscribe(
+        self,
+        query: str,
+        writer: asyncio.StreamWriter,
+        resume: Optional[int] = None,
+    ) -> _Subscriber:
         if query not in self.session.queries:
             known = ", ".join(self.session.queries) or "none"
             raise KeyError(f"no query named {query!r} is registered (registered: {known})")
+        # Resolve the replay *before* attaching anything: a gap error
+        # must leave no half-registered subscriber behind.  No pushes
+        # can interleave between here and add_listener — both run on
+        # the session's event loop — so the preload is gap-free.
+        preload: List[Tuple[int, StreamTuple]] = []
+        if resume is not None:
+            preload = self.session.replay_from(query, int(resume))
         subscriber = _Subscriber(
             query, writer, self._subscriber_buffer, self._slow_consumer
         )
-        self.session.add_listener(query, subscriber.on_result)
+        if resume is not None:
+            subscriber.seq = int(resume)
+            subscriber.enqueued_seq = int(resume)
+            for seq, item in preload:
+                subscriber.pending.append((seq, item))
+                subscriber.enqueued_seq = seq
+            if subscriber.pending:
+                subscriber.wakeup.set()
+        else:
+            attach_seq = self.session.last_result_seq(query)
+            subscriber.seq = attach_seq
+            subscriber.enqueued_seq = attach_seq
+
+        def listener(item: StreamTuple) -> None:
+            # The sink appends to its replay log before calling
+            # listeners, so last_result_seq is this item's seq.
+            subscriber.on_result(item, self.session.last_result_seq(query))
+
+        subscriber.listener = listener
+        self.session.add_listener(query, listener)
         subscriber.task = asyncio.ensure_future(subscriber.pump())
         self._subscribers.append(subscriber)
         return subscriber
 
     def _detach(self, subscriber: _Subscriber) -> None:
-        self.session.remove_listener(subscriber.query, subscriber.on_result)
+        listener = getattr(subscriber, "listener", subscriber.on_result)
+        self.session.remove_listener(subscriber.query, listener)
         if subscriber in self._subscribers:
             self._subscribers.remove(subscriber)
 

@@ -70,6 +70,16 @@ class FusedSelectAggregate(Operator):
     def flush(self) -> Iterable[StreamTuple]:
         yield from self.aggregate.flush()
 
+    def state_snapshot(self) -> dict:
+        # The selection is stateless; the fused box's only state lives
+        # in the wrapped aggregate's window buffer.
+        return {"aggregate": self.aggregate.state_snapshot()}
+
+    def state_restore(self, state: Optional[dict]) -> None:
+        if state is None:
+            raise OperatorError(f"{self.name!r} expected a fused-aggregate state")
+        self.aggregate.state_restore(state["aggregate"])
+
 
 class FusedBatchSegment(Operator):
     """A linear chain of batch-capable boxes fused into one dispatch.
@@ -132,3 +142,27 @@ class FusedBatchSegment(Operator):
                     nxt.extend(later.process(it))
                 items = nxt
             yield from items
+
+    def state_snapshot(self) -> dict:
+        return {
+            "members": [
+                {"name": op.name, "state": op.state_snapshot()} for op in self.operators
+            ]
+        }
+
+    def state_restore(self, state: Optional[dict]) -> None:
+        if state is None:
+            raise OperatorError(f"{self.name!r} expected a segment state")
+        members = state["members"]
+        if len(members) != len(self.operators):
+            raise OperatorError(
+                f"{self.name!r}: segment has {len(self.operators)} members, "
+                f"checkpoint recorded {len(members)}"
+            )
+        for op, entry in zip(self.operators, members):
+            if entry["name"] != op.name:
+                raise OperatorError(
+                    f"{self.name!r}: member {op.name!r} does not match "
+                    f"checkpointed member {entry['name']!r}"
+                )
+            op.state_restore(entry["state"])

@@ -1,0 +1,43 @@
+"""Durable checkpoint & replay subsystem.
+
+Makes the stream service restartable:
+
+* a ``state_snapshot()``/``state_restore()`` protocol on stateful
+  operators, serialized through the columnar wire format
+  (:mod:`repro.recovery.state`);
+* versioned checkpoint files with full + incremental modes and atomic
+  rename-on-commit (:mod:`repro.recovery.checkpoint`);
+* a bounded per-query replay log feeding ``SUBSCRIBE ... RESUME <seq>``
+  (:mod:`repro.recovery.replay`);
+* crash hygiene for leaked shared-memory segments
+  (:mod:`repro.recovery.segments`).
+
+The session-level entry points are
+:meth:`repro.service.QuerySession.checkpoint` and
+:meth:`repro.service.QuerySession.recover`.
+"""
+
+from .checkpoint import CheckpointError, CheckpointInfo, CheckpointStore
+from .replay import ReplayGapError, ReplayLog
+from .segments import reap_stale_segments
+from .state import (
+    StateError,
+    decode_state,
+    encode_state,
+    restore_engine_ops,
+    snapshot_engine_ops,
+)
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointInfo",
+    "CheckpointStore",
+    "ReplayGapError",
+    "ReplayLog",
+    "StateError",
+    "decode_state",
+    "encode_state",
+    "snapshot_engine_ops",
+    "restore_engine_ops",
+    "reap_stale_segments",
+]

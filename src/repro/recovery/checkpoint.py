@@ -1,0 +1,229 @@
+"""Versioned checkpoint files with full and incremental (delta) modes.
+
+A checkpoint directory holds a sequence of ``ckpt-%08d.rckp`` files.
+Each file is
+
+``RCK1`` magic · u32 header length · JSON header · concatenated blobs
+
+The header records the checkpoint id, its mode, the parent id, and a
+blob table mapping logical keys (``meta``, ``query/<name>``, ...) to
+either an ``offset``/``length`` into this file's blob section or, in a
+delta checkpoint, a ``ref`` naming the checkpoint id whose file holds
+an identical blob (detected by SHA-256).  Refs always point at the
+*original writer* — a delta referencing a blob that its parent itself
+borrowed carries the grandparent's id — so resolving a checkpoint opens
+at most one extra file per blob, never a chain.
+
+Durability: files are written to a temporary name in the same
+directory, fsynced, then published with ``os.replace`` (atomic on
+POSIX), so a crash mid-checkpoint leaves the previous checkpoint as
+the latest valid one.  Trimming: a ``full`` checkpoint is
+self-contained; files may be deleted up to (but not past) the newest
+full checkpoint without breaking any newer delta's refs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["CheckpointError", "CheckpointInfo", "CheckpointStore"]
+
+_MAGIC = b"RCK1"
+_U32 = struct.Struct("<I")
+_FILE_RE = re.compile(r"^ckpt-(\d{8})\.rckp$")
+_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """Raised for malformed checkpoint files or unusable directories."""
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """Summary of one committed checkpoint."""
+
+    checkpoint_id: int
+    mode: str
+    parent: Optional[int]
+    path: str
+    bytes_written: int
+    blobs_written: int
+    blobs_referenced: int
+
+
+def _filename(checkpoint_id: int) -> str:
+    return f"ckpt-{checkpoint_id:08d}.rckp"
+
+
+class CheckpointStore:
+    """Reads and writes the checkpoint files of one directory."""
+
+    def __init__(self, directory: str):
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Directory scan
+    # ------------------------------------------------------------------
+    def checkpoint_ids(self) -> List[int]:
+        """Return committed checkpoint ids, oldest first."""
+        ids = []
+        for entry in os.listdir(self.directory):
+            match = _FILE_RE.match(entry)
+            if match:
+                ids.append(int(match.group(1)))
+        return sorted(ids)
+
+    def latest_id(self) -> Optional[int]:
+        ids = self.checkpoint_ids()
+        return ids[-1] if ids else None
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def save(self, blobs: Dict[str, bytes], mode: str = "auto") -> CheckpointInfo:
+        """Commit a checkpoint of the given blobs.
+
+        ``mode`` is ``"full"`` (write every blob), ``"delta"`` (write
+        only blobs whose content changed since the previous checkpoint,
+        reference the rest), or ``"auto"`` (delta when a parent exists,
+        full otherwise).
+        """
+        if mode not in ("auto", "full", "delta"):
+            raise CheckpointError(f"unknown checkpoint mode {mode!r}")
+        parent_id = self.latest_id()
+        if mode == "auto":
+            mode = "delta" if parent_id is not None else "full"
+        if mode == "delta" and parent_id is None:
+            mode = "full"
+        parent_table: Dict[str, dict] = {}
+        if mode == "delta":
+            parent_header = self._read_header(parent_id)
+            parent_table = parent_header["blobs"]
+
+        checkpoint_id = (parent_id or 0) + 1
+        table: Dict[str, dict] = {}
+        sections: List[bytes] = []
+        offset = 0
+        referenced = 0
+        for key in sorted(blobs):
+            blob = blobs[key]
+            digest = hashlib.sha256(blob).hexdigest()
+            previous = parent_table.get(key)
+            if previous is not None and previous["sha256"] == digest:
+                # One-hop ref: carry the original writer's id forward.
+                table[key] = {
+                    "sha256": digest,
+                    "ref": previous.get("ref", parent_id),
+                }
+                referenced += 1
+                continue
+            table[key] = {"sha256": digest, "offset": offset, "length": len(blob)}
+            sections.append(blob)
+            offset += len(blob)
+
+        header = {
+            "version": _VERSION,
+            "id": checkpoint_id,
+            "mode": mode,
+            "parent": parent_id,
+            "blobs": table,
+        }
+        encoded_header = json.dumps(header, separators=(",", ":")).encode("utf-8")
+        path = os.path.join(self.directory, _filename(checkpoint_id))
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "wb") as handle:
+            handle.write(_MAGIC)
+            handle.write(_U32.pack(len(encoded_header)))
+            handle.write(encoded_header)
+            for section in sections:
+                handle.write(section)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+        return CheckpointInfo(
+            checkpoint_id=checkpoint_id,
+            mode=mode,
+            parent=parent_id,
+            path=path,
+            bytes_written=len(_MAGIC) + 4 + len(encoded_header) + offset,
+            blobs_written=len(sections),
+            blobs_referenced=referenced,
+        )
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def _path(self, checkpoint_id: int) -> str:
+        return os.path.join(self.directory, _filename(checkpoint_id))
+
+    def _read_header(self, checkpoint_id: int) -> dict:
+        header, _ = self._read_file(checkpoint_id, header_only=True)
+        return header
+
+    def _read_file(
+        self, checkpoint_id: int, header_only: bool = False
+    ) -> Tuple[dict, bytes]:
+        path = self._path(checkpoint_id)
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            raise CheckpointError(
+                f"checkpoint {checkpoint_id} is missing from {self.directory!r} "
+                "(a delta in this directory references it; full checkpoints and "
+                "everything after them must be kept together)"
+            ) from None
+        if raw[: len(_MAGIC)] != _MAGIC:
+            raise CheckpointError(f"{path!r} is not a checkpoint file")
+        (header_len,) = _U32.unpack_from(raw, len(_MAGIC))
+        start = len(_MAGIC) + 4
+        header = json.loads(raw[start : start + header_len].decode("utf-8"))
+        if header.get("version") != _VERSION:
+            raise CheckpointError(
+                f"{path!r} has checkpoint version {header.get('version')}, "
+                f"expected {_VERSION}"
+            )
+        body = b"" if header_only else raw[start + header_len :]
+        return header, body
+
+    def load(self, checkpoint_id: int) -> Tuple[dict, Dict[str, bytes]]:
+        """Return ``(header, blobs)`` with every ref resolved."""
+        header, body = self._read_file(checkpoint_id)
+        blobs: Dict[str, bytes] = {}
+        foreign_cache: Dict[int, Tuple[dict, bytes]] = {}
+        for key, entry in header["blobs"].items():
+            if "ref" in entry:
+                writer_id = entry["ref"]
+                if writer_id not in foreign_cache:
+                    foreign_cache[writer_id] = self._read_file(writer_id)
+                writer_header, writer_body = foreign_cache[writer_id]
+                writer_entry = writer_header["blobs"].get(key)
+                if writer_entry is None or "ref" in writer_entry:
+                    raise CheckpointError(
+                        f"checkpoint {checkpoint_id} references blob {key!r} in "
+                        f"checkpoint {writer_id}, which does not carry it"
+                    )
+                blob = writer_body[
+                    writer_entry["offset"] : writer_entry["offset"] + writer_entry["length"]
+                ]
+            else:
+                blob = body[entry["offset"] : entry["offset"] + entry["length"]]
+            if hashlib.sha256(blob).hexdigest() != entry["sha256"]:
+                raise CheckpointError(
+                    f"checkpoint {checkpoint_id} blob {key!r} failed its integrity check"
+                )
+            blobs[key] = blob
+        return header, blobs
+
+    def load_latest(self) -> Tuple[dict, Dict[str, bytes]]:
+        latest = self.latest_id()
+        if latest is None:
+            raise CheckpointError(f"no checkpoints found in {self.directory!r}")
+        return self.load(latest)

@@ -1,0 +1,101 @@
+"""Bounded per-query replay log of emitted results.
+
+Every result a query's sink emits is appended here and assigned a
+monotonically increasing *seq* (starting at 1).  A subscriber that
+reconnects with ``SUBSCRIBE ... RESUME <seq>`` is fed exactly the
+entries with a larger seq; when the bounded log has already trimmed
+past that position the server raises :class:`ReplayGapError` instead of
+silently skipping results, so the client can fall back to a snapshot +
+full resubscribe.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+from repro.streams.tuples import StreamTuple
+
+__all__ = ["ReplayLog", "ReplayGapError"]
+
+
+class ReplayGapError(RuntimeError):
+    """A RESUME position older than the oldest retained log entry."""
+
+    def __init__(self, query: str, after_seq: int, first_retained: int):
+        super().__init__(
+            f"replay log for query {query!r} starts at seq {first_retained}; "
+            f"cannot resume after seq {after_seq}"
+        )
+        self.query = query
+        self.after_seq = after_seq
+        self.first_retained = first_retained
+
+    @classmethod
+    def from_message(cls, message: str) -> "ReplayGapError":
+        """Rebuild from a server error frame (positions unknown client-side)."""
+        error = cls.__new__(cls)
+        RuntimeError.__init__(error, message)
+        error.query = None
+        error.after_seq = None
+        error.first_retained = None
+        return error
+
+
+class ReplayLog:
+    """Bounded FIFO of ``(seq, result)`` pairs for one query."""
+
+    def __init__(self, capacity: int = 4096, query: str = "?"):
+        if capacity < 1:
+            raise ValueError(f"replay capacity must be at least 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.query = query
+        self._items: Deque[StreamTuple] = deque()
+        #: Number of entries trimmed off the front; the retained entries
+        #: cover seqs ``base+1 .. base+len(items)``.
+        self._base = 0
+
+    @property
+    def last_seq(self) -> int:
+        """Seq of the newest result emitted so far (0 before the first)."""
+        return self._base + len(self._items)
+
+    @property
+    def first_retained(self) -> int:
+        """Oldest seq still replayable (``last_seq + 1`` when empty)."""
+        return self._base + 1
+
+    def append(self, item: StreamTuple) -> int:
+        """Record one emitted result, trimming the oldest past capacity."""
+        self._items.append(item)
+        if len(self._items) > self.capacity:
+            self._items.popleft()
+            self._base += 1
+        return self.last_seq
+
+    def replay_from(self, after_seq: int) -> List[Tuple[int, StreamTuple]]:
+        """Return ``(seq, result)`` for every entry with seq > ``after_seq``.
+
+        Raises :class:`ReplayGapError` when entries in that range have
+        been trimmed.  ``after_seq == last_seq`` returns an empty list.
+        """
+        after_seq = int(after_seq)
+        if after_seq > self.last_seq:
+            raise ReplayGapError(self.query, after_seq, self.first_retained)
+        if after_seq < self._base:
+            raise ReplayGapError(self.query, after_seq, self.first_retained)
+        skip = after_seq - self._base
+        return [
+            (self._base + skip + offset + 1, item)
+            for offset, item in enumerate(list(self._items)[skip:])
+        ]
+
+    def state_snapshot(self) -> dict:
+        return {"base": self._base, "items": list(self._items)}
+
+    def state_restore(self, state: dict) -> None:
+        self._base = int(state["base"])
+        self._items = deque(state["items"])
+        while len(self._items) > self.capacity:
+            self._items.popleft()
+            self._base += 1

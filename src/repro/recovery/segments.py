@@ -1,0 +1,57 @@
+"""Crash-hygiene helper for shared-memory ring segments.
+
+Ring segments are named ``repro-ring-<pid>-<hex>`` where ``<pid>`` is
+the coordinator process that created them (see
+:mod:`repro.runtime.shm`).  A coordinator killed with ``SIGKILL`` never
+runs its unlink path, leaving the names behind in ``/dev/shm``;
+:func:`reap_stale_segments` removes every segment whose creating
+process no longer exists.  ``QuerySession.recover`` calls this so a
+crash-recovered service starts with a clean slate.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import List
+
+__all__ = ["reap_stale_segments"]
+
+# Two shapes (see repro.runtime.shm): bare rings are
+# ``repro-ring-<pid>-<hex>``; shard-transport rings append ``-s<shard>``
+# plus an ``i``/``o`` direction letter.
+_SEGMENT_RE = re.compile(r"^repro-ring-(\d+)-[0-9a-f]+(?:-s\d+[io])?$")
+_SHM_DIR = "/dev/shm"
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        # The pid exists but belongs to another user.
+        return True
+    return True
+
+
+def reap_stale_segments() -> List[str]:
+    """Unlink ring segments whose creating process is dead.
+
+    Returns the names removed.  Segments belonging to live processes
+    (including this one) are never touched; on platforms without a
+    ``/dev/shm`` tmpfs this is a no-op.
+    """
+    if not os.path.isdir(_SHM_DIR):
+        return []
+    removed: List[str] = []
+    for name in os.listdir(_SHM_DIR):
+        match = _SEGMENT_RE.match(name)
+        if match is None or _pid_alive(int(match.group(1))):
+            continue
+        try:
+            os.unlink(os.path.join(_SHM_DIR, name))
+        except FileNotFoundError:
+            continue
+        removed.append(name)
+    return removed

@@ -343,6 +343,10 @@ class ShardedEngine:
         self._flush_token = 0
         self._flushed_tokens: Dict[int, int] = {}
         self._stats_rows: Dict[int, Optional[List]] = {}
+        # Checkpoint RPC bookkeeping (state_snapshot / state_restore).
+        self._snapshot_token = 0
+        self._snapshot_rows: Dict[int, Optional[bytes]] = {}
+        self._restored_shards: Dict[int, int] = {}
         self._ordered_flush: Dict[int, List[StreamTuple]] = {}
         # Backpressure accounting (see ShardBackpressure).
         self._stalls = [0] * self.workers
@@ -629,6 +633,11 @@ class ShardedEngine:
             return ("flushed", shard, message[1], encode_batch_wire(TupleBatch(runner.flush())))
         if kind == "stats":
             return ("stats", shard, runner.statistics_rows())
+        if kind == "snapshot":
+            return ("snapshot", shard, message[1], runner.state_payload())
+        if kind == "restore":
+            runner.restore_payload(message[2])
+            return ("restored", shard, message[1])
         raise RuntimeError(f"unknown inline message {kind!r}")  # pragma: no cover
 
     # ------------------------------------------------------------------
@@ -693,6 +702,11 @@ class ShardedEngine:
             _, shard, token, payload = message
             rows = decode_batch(payload).to_tuples()
             return ("flushed", shard, token, rows), time.perf_counter() - decode_start
+        if kind == "snapshot":
+            # State payloads may be views into a reply ring about to be
+            # released; copy the bytes out here, off the merge lock.
+            _, shard, token, payload = message
+            return ("snapshot", shard, token, bytes(payload)), 0.0
         return message, 0.0
 
     def _apply_reply(self, reply, decode_seconds: float) -> None:
@@ -726,6 +740,10 @@ class ShardedEngine:
                         self._ready.append(merged)
             elif kind == "stats":
                 self._stats_rows[reply[1]] = reply[2]
+            elif kind == "snapshot":
+                self._snapshot_rows[reply[1]] = reply[3]
+            elif kind == "restored":
+                self._restored_shards[reply[1]] = reply[2]
             elif kind == "error":
                 raise ShardError(f"shard {reply[1]} failed:\n{reply[2]}")
             else:  # pragma: no cover - protocol misuse
@@ -867,6 +885,135 @@ class ShardedEngine:
             for item in leftovers:
                 self._sink.accept(item)
         return self.results
+
+    # ------------------------------------------------------------------
+    # Durability: quiesce + coordinated state snapshot/restore
+    # ------------------------------------------------------------------
+    def quiesce(self) -> None:
+        """Drain in-flight work without closing windows.
+
+        Ships every buffered partial chunk, waits for the workers to
+        answer all outstanding chunks, and delivers the merged results.
+        Unlike :meth:`finish` this sends no flush: open windows stay
+        open in the workers, so a snapshot taken afterwards captures a
+        state from which processing continues exactly where it stopped.
+        """
+        self._ensure_open()
+        if not self.sharded:
+            # Fallback pushes run synchronously; nothing is in flight.
+            self._drain_fallback()
+            return
+        self._ship_pending()
+        self._await_replies(lambda: self._outstanding == 0)
+        self._flush_ready()
+
+    def state_snapshot(self) -> dict:
+        """Quiesce and capture the engine's complete mutable state.
+
+        Sharded engines fan a snapshot request out to every shard over
+        the shm/socket transports (workers serialize their own operator
+        state via the wire format) and combine it with the coordinator's
+        merger, suffix-plan and partitioner state.  The single-engine
+        fallback snapshots its compiled engine directly.
+        """
+        from repro.recovery.state import decode_state, snapshot_engine_ops
+
+        self._ensure_open()
+        if not self.sharded:
+            self.quiesce()
+            return {
+                "mode": "fallback",
+                "ops": snapshot_engine_ops(self._compiled.engine),
+            }
+        self.quiesce()
+        shard_states: Dict[str, dict] = {}
+        self._snapshot_token += 1
+        token = self._snapshot_token
+        with self._reply_cv:
+            self._snapshot_rows = {shard: None for shard in range(self.workers)}
+        for shard in range(self.workers):
+            self._send(shard, ("snapshot", token))
+        self._await_replies(
+            lambda: all(
+                self._snapshot_rows.get(s) is not None for s in range(self.workers)
+            )
+        )
+        with self._reply_cv:
+            rows = dict(self._snapshot_rows)
+        for shard, payload in rows.items():
+            shard_states[str(shard)] = decode_state(payload)
+        weights = getattr(self.partitioner, "weights", None)
+        return {
+            "mode": "sharded",
+            "next_chunk": self._next_chunk,
+            "weights": list(weights) if weights else None,
+            "merger": self._merger.state_snapshot(),
+            "suffix": (
+                snapshot_engine_ops(self._suffix.engine)
+                if self._suffix is not None
+                else None
+            ),
+            "shards": shard_states,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        """Install a :meth:`state_snapshot` into a freshly built engine.
+
+        Must run before any pushes; requires the same query, worker
+        count and sharding decision as the engine that took the
+        snapshot.
+        """
+        from repro.recovery.state import encode_state, restore_engine_ops
+
+        self._ensure_open()
+        if not self.sharded:
+            if state.get("mode") != "fallback":
+                raise ShardError(
+                    "checkpoint was taken from a sharded engine but this engine "
+                    "runs the single-engine fallback; recover with the same "
+                    "worker count"
+                )
+            restore_engine_ops(self._compiled.engine, state["ops"])
+            return
+        if state.get("mode") != "sharded":
+            raise ShardError(
+                "checkpoint was taken from a single-engine fallback but this "
+                "engine is sharded; recover with the same worker count"
+            )
+        shard_states = state["shards"]
+        if len(shard_states) != self.workers:
+            raise ShardError(
+                f"checkpoint recorded {len(shard_states)} shard states, this "
+                f"engine has workers={self.workers}"
+            )
+        self._next_chunk = int(state["next_chunk"])
+        weights = state.get("weights")
+        if (
+            weights
+            and isinstance(self.partitioner, RoundRobinPartitioner)
+            and len(weights) == self.workers
+        ):
+            self.partitioner.set_weights([int(w) for w in weights])
+        self._merger.state_restore(state["merger"])
+        if state.get("suffix") is not None:
+            if self._suffix is None:
+                raise ShardError(
+                    "checkpoint carries a coordinator suffix state but this "
+                    "engine compiled no suffix plan"
+                )
+            restore_engine_ops(self._suffix.engine, state["suffix"])
+        self._snapshot_token += 1
+        token = self._snapshot_token
+        with self._reply_cv:
+            self._restored_shards = {}
+        for shard in range(self.workers):
+            payload = encode_state(shard_states[str(shard)])
+            self._send(shard, ("restore", token, payload))
+        self._await_replies(
+            lambda: all(
+                self._restored_shards.get(s) == token for s in range(self.workers)
+            )
+        )
 
     def close(self) -> None:
         """Stop the workers, release and unlink the transports (idempotent)."""

@@ -29,6 +29,7 @@ from repro.core.aggregation.merge import (
     extract_partial,
     merge_window_partials,
 )
+from repro.distributions import Distribution
 from repro.plan.sharding import MergeSpec
 from repro.streams.tuples import StreamTuple
 
@@ -75,6 +76,26 @@ class OrderedChunkMerger:
                 f"cannot drain ordered merge: chunks {missing} were never delivered"
             )
         return []
+
+    def state_snapshot(self) -> dict:
+        return {
+            "kind": "ordered",
+            "next": self._next,
+            "pending": [
+                {"chunk": chunk_id, "rows": list(rows)}
+                for chunk_id, rows in sorted(self._pending.items())
+            ],
+        }
+
+    def state_restore(self, state: dict) -> None:
+        if state.get("kind") != "ordered":
+            raise MergeProtocolError(
+                f"cannot restore merger state of kind {state.get('kind')!r}"
+            )
+        self._next = int(state["next"])
+        self._pending = {
+            int(entry["chunk"]): list(entry["rows"]) for entry in state["pending"]
+        }
 
 
 def _emission_order(key: Tuple[float, float, Optional[Hashable]]):
@@ -151,3 +172,62 @@ class WindowPartialMerger:
         self._watermarks = [-math.inf] * self.n_shards
         self._fed.clear()
         return out
+
+    # ------------------------------------------------------------------
+    # Durability: partials round-trip through the same result-tuple shape
+    # the shards ship them in, so extract_partial is its own inverse and
+    # the wire codec (which knows distributions and lineage) carries
+    # everything — per-key list order included, which preserves the
+    # float-summation order of a later merge.
+    # ------------------------------------------------------------------
+    def _partial_tuple(self, partial: WindowPartial) -> StreamTuple:
+        values = {
+            "window_start": partial.window_start,
+            "window_end": partial.window_end,
+            "window_count": partial.count,
+        }
+        uncertain = {}
+        if partial.group is not None:
+            values["group"] = partial.group
+        if isinstance(partial.result, Distribution):
+            uncertain[self.spec.partial_attribute] = partial.result
+        else:
+            values[self.spec.partial_attribute] = partial.result
+        return StreamTuple(
+            timestamp=partial.window_end,
+            values=values,
+            uncertain=uncertain,
+            lineage=partial.lineage,
+        )
+
+    def state_snapshot(self) -> dict:
+        return {
+            "kind": "window",
+            "watermarks": list(self._watermarks),
+            "fed": sorted(self._fed),
+            "pending": [
+                [self._partial_tuple(p) for p in parts]
+                for parts in self._pending.values()
+            ],
+        }
+
+    def state_restore(self, state: dict) -> None:
+        if state.get("kind") != "window":
+            raise MergeProtocolError(
+                f"cannot restore merger state of kind {state.get('kind')!r}"
+            )
+        watermarks = [float(w) for w in state["watermarks"]]
+        if len(watermarks) != self.n_shards:
+            raise MergeProtocolError(
+                f"checkpoint recorded {len(watermarks)} shard watermarks, "
+                f"this merger has {self.n_shards} shards"
+            )
+        self._watermarks = watermarks
+        self._fed = set(int(s) for s in state["fed"])
+        self._pending = {}
+        for rows in state["pending"]:
+            for item in rows:
+                partial = extract_partial(
+                    item, self.spec.partial_attribute, grouped=self.spec.grouped
+                )
+                self._pending.setdefault(partial.key, []).append(partial)

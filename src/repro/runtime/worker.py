@@ -8,6 +8,8 @@ parent → worker
     ``("chunk", source, chunk_id, payload)`` — one encoded tuple batch;
     ``("flush", token)`` — close partial windows (end-of-stream drain);
     ``("stats",)`` — snapshot per-box statistics;
+    ``("snapshot", token)`` — serialize the shard's operator state;
+    ``("restore", token, payload)`` — install a serialized state;
     ``("stop",)`` — exit the loop.
 
 worker → parent
@@ -17,6 +19,8 @@ worker → parent
     atomically so the coordinator can trust a passed watermark;
     ``("flushed", shard, token, payload)`` — drain results;
     ``("stats", shard, rows)`` — statistics snapshot;
+    ``("snapshot", shard, token, payload)`` — serialized operator state;
+    ``("restored", shard, token)`` — a restore was installed;
     ``("error", shard, traceback)`` — the worker died.
 
 Tuples cross the process boundary through the compact binary codec of
@@ -119,6 +123,28 @@ class ShardRunner:
             for s in self.query.statistics(detailed=True)
         ]
 
+    # ------------------------------------------------------------------
+    # Durability (checkpoint/recover RPC)
+    # ------------------------------------------------------------------
+    def state_payload(self) -> bytes:
+        """Serialize this shard's engine state for a coordinator snapshot."""
+        from repro.recovery.state import encode_state, snapshot_engine_ops
+
+        return encode_state(
+            {
+                "watermark": self.watermark,
+                "ops": snapshot_engine_ops(self.query.engine),
+            }
+        )
+
+    def restore_payload(self, payload: bytes) -> None:
+        """Install a state produced by :meth:`state_payload`."""
+        from repro.recovery.state import decode_state, restore_engine_ops
+
+        state = decode_state(payload)
+        self.watermark = float(state["watermark"])
+        restore_engine_ops(self.query.engine, state["ops"])
+
 
 def serve_shard_messages(
     runner: ShardRunner,
@@ -145,6 +171,11 @@ def serve_shard_messages(
             send(("flushed", shard_id, message[1], encode_batch_wire(TupleBatch(outputs))))
         elif kind == "stats":
             send(("stats", shard_id, runner.statistics_rows()))
+        elif kind == "snapshot":
+            send(("snapshot", shard_id, message[1], runner.state_payload()))
+        elif kind == "restore":
+            runner.restore_payload(message[2])
+            send(("restored", shard_id, message[1]))
         elif kind == "stop":
             return
         else:  # pragma: no cover - protocol misuse
@@ -185,6 +216,17 @@ def serve_shard_rings(runner: ShardRunner, transport) -> None:
                 )
             )
             continue
+        if message[0] == "restore":
+            # The state payload is a view into the ring; copy it out
+            # before releasing the record back to the coordinator.
+            _, token, raw = message
+            state_bytes = bytes(raw)
+            if isinstance(raw, memoryview):
+                raw.release()
+            transport.release_request()
+            runner.restore_payload(state_bytes)
+            transport.reply(encode_worker_message(("restored", shard_id, token)))
+            continue
         if isinstance(payload, memoryview):
             payload.release()
         transport.release_request()
@@ -198,6 +240,12 @@ def serve_shard_rings(runner: ShardRunner, transport) -> None:
         elif message[0] == "stats":
             transport.reply(
                 encode_worker_message(("stats", shard_id, runner.statistics_rows()))
+            )
+        elif message[0] == "snapshot":
+            transport.reply(
+                encode_worker_message(
+                    ("snapshot", shard_id, message[1], runner.state_payload())
+                )
             )
         elif message[0] == "stop":
             return

@@ -37,6 +37,7 @@ keep running for the other queries.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Tuple, Union
 
@@ -53,12 +54,14 @@ from repro.plan.nodes import (
 from repro.plan.planner import NodeLowering, Planner
 from repro.plan.rewrites import RewriteTrace
 from repro.plan.sharding import split_for_sharding
+from repro.recovery import CheckpointInfo, CheckpointStore, ReplayLog, reap_stale_segments
+from repro.recovery.state import decode_state, encode_state
 from repro.runtime.engine import ShardedEngine, ShardedStatistics
 from repro.streams.batch import TupleBatch
 from repro.streams.engine import OperatorStats, StreamEngine
 from repro.streams.operators.base import Operator
 from repro.streams.operators.basic import CollectSink
-from repro.streams.tuples import StreamTuple
+from repro.streams.tuples import StreamTuple, advance_tuple_counter, tuple_counter_mark
 
 __all__ = ["QuerySession", "RegisteredQuery", "ServiceError", "BoxReport"]
 
@@ -82,6 +85,11 @@ class _QuerySink(CollectSink):
         self.dropped = 0
         self._callback = callback
         self.listeners: List[Callable[[StreamTuple], None]] = []
+        #: Bounded result history backing ``SUBSCRIBE ... RESUME``.  The
+        #: append happens *before* listeners run, so a listener reading
+        #: ``replay.last_seq`` sees the sequence number of the item it
+        #: is being handed.
+        self.replay: Optional[ReplayLog] = None
 
     def _emit(self, item: StreamTuple) -> None:
         if self._callback is not None:
@@ -89,13 +97,18 @@ class _QuerySink(CollectSink):
         for listener in self.listeners:
             listener(item)
 
+    def _accept(self, item: StreamTuple) -> None:
+        if self.replay is not None:
+            self.replay.append(item)
+        if self._callback is not None or self.listeners:
+            self._emit(item)
+
     def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
         if self.paused:
             self.dropped += 1
             return ()
         self.results.append(item)
-        if self._callback is not None or self.listeners:
-            self._emit(item)
+        self._accept(item)
         return ()
 
     @property
@@ -109,9 +122,9 @@ class _QuerySink(CollectSink):
             self.dropped += len(batch)
             return TupleBatch()
         self.results.extend(batch)
-        if self._callback is not None or self.listeners:
+        if self.replay is not None or self._callback is not None or self.listeners:
             for item in batch:
-                self._emit(item)
+                self._accept(item)
         return TupleBatch()
 
 
@@ -247,9 +260,14 @@ class QuerySession:
         shard_backend: str = "process",
         shard_chunk_size: int = 1024,
         shard_remote_shards: Iterable[str] = (),
+        replay_capacity: int = 4096,
     ):
         if workers < 0:
             raise ServiceError(f"workers must be non-negative, got {workers}")
+        if replay_capacity < 0:
+            raise ServiceError(
+                f"replay_capacity must be non-negative, got {replay_capacity}"
+            )
         self.engine = StreamEngine(batch_size=batch_size)
         self._planner = planner or Planner()
         self._batch_size = batch_size
@@ -259,6 +277,7 @@ class QuerySession:
         self._shard_backend = shard_backend
         self._shard_chunk_size = shard_chunk_size
         self._shard_remote_shards = tuple(shard_remote_shards)
+        self._replay_capacity = replay_capacity
         self._streams: Dict[str, SourceNode] = {}  # locked source declarations
         self._declared: set = set()  # names declared via create_stream
         self._entries: Dict[str, Operator] = {}  # engine entry ops
@@ -379,7 +398,7 @@ class QuerySession:
         try:
             for node in nodes:
                 self._attach_node(node, fingerprints, lowering, name, created)
-            sink = _QuerySink(name=f"sink:{name}", callback=on_result)
+            sink = self._make_sink(name, on_result)
             root = optimized.outputs[0]
             self._boxes[fingerprints[id(root)]].op.connect(sink)
             self.engine.register(sink)
@@ -401,6 +420,14 @@ class QuerySession:
         )
         return RegisteredQuery(self, name)
 
+    def _make_sink(
+        self, name: str, on_result: Optional[Callable[[StreamTuple], None]]
+    ) -> _QuerySink:
+        sink = _QuerySink(name=f"sink:{name}", callback=on_result)
+        if self._replay_capacity:
+            sink.replay = ReplayLog(self._replay_capacity, query=name)
+        return sink
+
     def _register_sharded(
         self,
         name: str,
@@ -411,7 +438,7 @@ class QuerySession:
         on_result: Optional[Callable[[StreamTuple], None]],
     ) -> RegisteredQuery:
         """Run a shardable query in its own worker pool (see ``workers=``)."""
-        sink = _QuerySink(name=f"sink:{name}", callback=on_result)
+        sink = self._make_sink(name, on_result)
         sharded = ShardedEngine(
             optimized,
             workers=self._workers,
@@ -785,6 +812,7 @@ class QuerySession:
         shard_backend: Optional[str] = None,
         shard_chunk_size: Optional[int] = None,
         shard_remote_shards: Optional[Iterable[str]] = None,
+        replay_capacity: Optional[int] = None,
     ) -> "QuerySession":
         """Rebuild a session from :meth:`snapshot` output.
 
@@ -829,6 +857,7 @@ class QuerySession:
                 if shard_remote_shards is None
                 else shard_remote_shards
             ),
+            replay_capacity=4096 if replay_capacity is None else replay_capacity,
         )
         for decl in snapshot.get("streams", ()):
             stats = {attr: (family, a, b) for attr, family, a, b in decl.get("stats", ())}
@@ -846,6 +875,188 @@ class QuerySession:
             session.register(query["name"], query["text"])
             if query.get("paused"):
                 session.pause(query["name"])
+        return session
+
+    # ------------------------------------------------------------------
+    # Result replay (SUBSCRIBE ... RESUME)
+    # ------------------------------------------------------------------
+    def last_result_seq(self, name: str) -> int:
+        """Sequence number of the last result query ``name`` emitted.
+
+        Results are numbered from 1 in emission order, per query; 0
+        means the query has emitted nothing yet.
+        """
+        log = self._query(name).sink.replay
+        return log.last_seq if log is not None else 0
+
+    def replay_from(self, name: str, after_seq: int) -> List[Tuple[int, StreamTuple]]:
+        """Return the ``(seq, result)`` pairs emitted after ``after_seq``.
+
+        Raises :class:`~repro.recovery.ReplayGapError` when the bounded
+        replay log has already trimmed past ``after_seq`` — the caller
+        can no longer be given a gap-free resume and should re-read the
+        query's results from scratch.
+        """
+        query = self._query(name)
+        if query.sink.replay is None:
+            raise ServiceError(
+                f"query {name!r} keeps no replay log "
+                "(the session was created with replay_capacity=0)"
+            )
+        return query.sink.replay.replay_from(after_seq)
+
+    # ------------------------------------------------------------------
+    # Durability: checkpoint / recover
+    # ------------------------------------------------------------------
+    def _query_state(self, query: _Registered) -> Dict:
+        """One query's full mutable state as a state-codec-ready dict."""
+        state: Dict
+        if query.sharded is not None:
+            # Quiesce *first*: draining in-flight chunks delivers their
+            # merged results into the sink, which must be captured below.
+            state = {"kind": "sharded", "sharded": query.sharded.state_snapshot()}
+        else:
+            ops = []
+            for fingerprint in query.fingerprints:
+                box = self._boxes[fingerprint]
+                ops.append({"name": box.op.name, "state": box.op.state_snapshot()})
+            state = {"kind": "engine", "ops": ops}
+        state["sink"] = {
+            "results": list(query.sink.results),
+            "dropped": query.sink.dropped,
+        }
+        state["replay"] = (
+            query.sink.replay.state_snapshot()
+            if query.sink.replay is not None
+            else None
+        )
+        return state
+
+    def checkpoint(self, directory: str, mode: str = "auto") -> CheckpointInfo:
+        """Quiesce and write a durable checkpoint of the whole session.
+
+        Sharded queries drain their in-flight chunks (without closing
+        windows) and snapshot every shard over the worker transports;
+        engine-hosted queries snapshot their operator chains in place.
+        The checkpoint is committed atomically — a crash mid-write
+        leaves the previous checkpoint as the latest valid one.  With
+        ``mode="delta"`` (or ``"auto"`` after the first checkpoint)
+        only blobs whose content changed are rewritten; the rest are
+        references into earlier files.  :meth:`recover` restores the
+        latest checkpoint of the directory.
+        """
+        if self._closed:
+            raise ServiceError("cannot checkpoint a closed session")
+        declarative = self.snapshot()
+        if declarative["unsupported"]:
+            names = ", ".join(declarative["unsupported"])
+            raise ServiceError(
+                f"cannot checkpoint queries registered from Stream/LogicalPlan "
+                f"objects ({names}); register them as CQL text"
+            )
+        blobs: Dict[str, bytes] = {}
+        for name, query in self._queries.items():
+            blobs[f"query/{name}"] = encode_state(self._query_state(query))
+        meta = {
+            "session": declarative,
+            "tuple_counter": tuple_counter_mark(),
+            "batch_size": self._batch_size,
+            "optimize": self._optimize,
+            "replay_capacity": self._replay_capacity,
+        }
+        blobs["meta"] = json.dumps(meta, separators=(",", ":")).encode("utf-8")
+        return CheckpointStore(directory).save(blobs, mode=mode)
+
+    @classmethod
+    def recover(
+        cls,
+        directory: str,
+        planner: Optional[Planner] = None,
+        functions: Optional[Mapping[str, Callable]] = None,
+        workers: Optional[int] = None,
+        shard_backend: Optional[str] = None,
+        shard_chunk_size: Optional[int] = None,
+        shard_remote_shards: Optional[Iterable[str]] = None,
+    ) -> "QuerySession":
+        """Rebuild a session from the latest checkpoint in ``directory``.
+
+        Re-registers every query, restores all operator state (window
+        contents, aggregate accumulators, join buffers, in-flight merge
+        state), collected results and replay logs, and advances the
+        global tuple-id counter past every id the checkpoint recorded
+        so new tuples never collide with restored lineage.  Tuples
+        pushed into the recovered session continue exactly where the
+        checkpoint left off.  UDFs are code, not state — pass them in
+        ``functions`` under the names the query texts use.  Stale
+        shared-memory ring segments left by crashed worker processes
+        are reaped as a side effect.
+
+        The worker count is part of the checkpoint; overriding
+        ``workers`` is only valid when it does not change whether (and
+        how wide) a query shards.
+        """
+        header, blobs = CheckpointStore(directory).load_latest()
+        meta = json.loads(blobs["meta"].decode("utf-8"))
+        # Advance the tuple counter before re-registering: forked shard
+        # workers inherit it, and every tuple created from here on must
+        # outrank the ids the checkpoint carries.
+        advance_tuple_counter(int(meta["tuple_counter"]))
+        reap_stale_segments()
+        session = cls.restore(
+            meta["session"],
+            planner=planner,
+            batch_size=meta.get("batch_size"),
+            optimize=meta.get("optimize", True),
+            functions=functions,
+            workers=workers,
+            shard_backend=shard_backend,
+            shard_chunk_size=shard_chunk_size,
+            shard_remote_shards=shard_remote_shards,
+            replay_capacity=int(meta.get("replay_capacity", 4096)),
+        )
+        restored_boxes: set = set()
+        for name, query in session._queries.items():
+            payload = blobs.get(f"query/{name}")
+            if payload is None:  # pragma: no cover - defensive
+                continue
+            state = decode_state(payload)
+            query.sink.results = list(state["sink"]["results"])
+            query.sink.dropped = int(state["sink"]["dropped"])
+            if state.get("replay") is not None and query.sink.replay is not None:
+                query.sink.replay.state_restore(state["replay"])
+            if state["kind"] == "sharded":
+                if query.sharded is None:
+                    raise ServiceError(
+                        f"query {name!r} was checkpointed sharded but recovered "
+                        "into the shared engine; recover with the checkpoint's "
+                        "worker configuration"
+                    )
+                query.sharded.state_restore(state["sharded"])
+                continue
+            if query.sharded is not None:
+                raise ServiceError(
+                    f"query {name!r} was checkpointed engine-hosted but "
+                    "recovered sharded; recover with the checkpoint's worker "
+                    "configuration"
+                )
+            entries = state["ops"]
+            if len(entries) != len(query.fingerprints):
+                raise ServiceError(
+                    f"query {name!r} recompiled to {len(query.fingerprints)} "
+                    f"boxes but its checkpoint recorded {len(entries)}; the "
+                    "checkpoint belongs to a different build of this query"
+                )
+            for fingerprint, entry in zip(query.fingerprints, entries):
+                box = session._boxes[fingerprint]
+                if id(box) in restored_boxes:
+                    continue  # shared box already restored by an earlier query
+                restored_boxes.add(id(box))
+                if box.op.name != entry["name"]:
+                    raise ServiceError(
+                        f"query {name!r} box {box.op.name!r} does not match "
+                        f"checkpointed box {entry['name']!r}"
+                    )
+                box.op.state_restore(entry["state"])
         return session
 
     # ------------------------------------------------------------------

@@ -37,7 +37,13 @@ from .serialization import (
     encode_tuple,
     tuple_size_bytes,
 )
-from .tuples import StreamTuple, TupleId, next_tuple_id
+from .tuples import (
+    StreamTuple,
+    TupleId,
+    advance_tuple_counter,
+    next_tuple_id,
+    tuple_counter_mark,
+)
 from .windows import (
     NowWindow,
     SlidingTimeWindow,
@@ -53,6 +59,8 @@ __all__ = [
     "TupleBatch",
     "TupleId",
     "next_tuple_id",
+    "tuple_counter_mark",
+    "advance_tuple_counter",
     "Schema",
     "Attribute",
     "AttributeKind",

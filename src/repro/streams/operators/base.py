@@ -165,6 +165,32 @@ class Operator(abc.ABC):
         self.batches_in = 0
         self.processing_seconds = 0.0
 
+    # ------------------------------------------------------------------
+    # Durability hooks
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> Optional[dict]:
+        """Return this operator's mutable state, or ``None`` if stateless.
+
+        Stateful operators (window buffers, aggregates, join build
+        sides, sinks) override this to return a JSON-like dict whose
+        leaves are scalars, nested dicts/lists, and lists of
+        :class:`StreamTuple` (serialized by the checkpoint codec via the
+        wire format).  The returned dict must be a *copy*: the operator
+        keeps running after a checkpoint.
+        """
+        return None
+
+    def state_restore(self, state: Optional[dict]) -> None:
+        """Install a state previously returned by :meth:`state_snapshot`.
+
+        The default accepts only ``None`` (stateless); an operator that
+        overrides :meth:`state_snapshot` must override this too.
+        """
+        if state is not None:
+            raise OperatorError(
+                f"{self.name!r} ({type(self).__name__}) does not support state restore"
+            )
+
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"{type(self).__name__}(name={self.name!r})"
 

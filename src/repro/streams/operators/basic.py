@@ -176,6 +176,14 @@ class CollectSink(Operator):
     def clear(self) -> None:
         self.results.clear()
 
+    def state_snapshot(self) -> dict:
+        return {"results": list(self.results)}
+
+    def state_restore(self, state) -> None:
+        if state is None:
+            raise OperatorError(f"{self.name!r} expected a collected-results state")
+        self.results = list(state["results"])
+
 
 class CallbackSink(Operator):
     """Terminal operator invoking a callback for every received tuple."""

@@ -23,7 +23,13 @@ from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional
 
 from repro.distributions import Distribution
 
-__all__ = ["StreamTuple", "TupleId", "next_tuple_id"]
+__all__ = [
+    "StreamTuple",
+    "TupleId",
+    "next_tuple_id",
+    "tuple_counter_mark",
+    "advance_tuple_counter",
+]
 
 TupleId = int
 
@@ -33,6 +39,30 @@ _tuple_counter = itertools.count(1)
 def next_tuple_id() -> TupleId:
     """Return a fresh process-wide unique tuple identifier."""
     return next(_tuple_counter)
+
+
+def tuple_counter_mark() -> TupleId:
+    """Return an id strictly greater than every id assigned so far.
+
+    Checkpoints persist this mark so a recovered process can call
+    :func:`advance_tuple_counter` and never re-issue an id that appears
+    in restored lineage sets (which would trip the independence checks
+    of Section 5.2 with a false overlap).  Consumes one id, which is
+    harmless: ids only need to be unique, not dense.
+    """
+    return next(_tuple_counter)
+
+
+def advance_tuple_counter(minimum: TupleId) -> None:
+    """Ensure future tuple ids are ``>= minimum`` (monotonic: never rewinds).
+
+    Rebinding the module-global counter is sufficient because both
+    :func:`next_tuple_id` and :meth:`StreamTuple._unchecked` look the
+    global up at call time.
+    """
+    global _tuple_counter
+    current = next(_tuple_counter)
+    _tuple_counter = itertools.count(max(current + 1, int(minimum)))
 
 
 @dataclass(frozen=True)

@@ -75,6 +75,21 @@ class WindowBuffer(abc.ABC):
     def flush(self) -> List[WindowClose]:
         """Close and return any remaining partial windows (end of stream)."""
 
+    def state_snapshot(self) -> dict:
+        """Return the buffer's open-window state for checkpointing.
+
+        Default: stateless (``_NowBuffer``).  Buffers that hold tuples
+        between calls override this; the dict's ``items`` lists are
+        serialized tuple-exact by the checkpoint codec, so restoring and
+        continuing is indistinguishable from never having stopped.
+        """
+        return {"kind": "now"}
+
+    def state_restore(self, state: dict) -> None:
+        """Install a state previously returned by :meth:`state_snapshot`."""
+        if state.get("kind") != "now":
+            raise ValueError(f"cannot restore window buffer state {state.get('kind')!r}")
+
 
 # ----------------------------------------------------------------------
 # Tumbling count window (Table 2: "tumbling window of size 100 tuples")
@@ -136,6 +151,14 @@ class _CountBuffer(WindowBuffer):
         )
         self._items = []
         return [window]
+
+    def state_snapshot(self) -> dict:
+        return {"kind": "count", "items": list(self._items)}
+
+    def state_restore(self, state: dict) -> None:
+        if state.get("kind") != "count":
+            raise ValueError(f"cannot restore window buffer state {state.get('kind')!r}")
+        self._items = list(state["items"])
 
 
 # ----------------------------------------------------------------------
@@ -239,6 +262,20 @@ class _TimeBuffer(WindowBuffer):
             return []
         return [self._close_current()]
 
+    def state_snapshot(self) -> dict:
+        return {
+            "kind": "time",
+            "items": list(self._items),
+            "window_index": self._window_index,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        if state.get("kind") != "time":
+            raise ValueError(f"cannot restore window buffer state {state.get('kind')!r}")
+        self._items = list(state["items"])
+        index = state["window_index"]
+        self._window_index = None if index is None else int(index)
+
 
 # ----------------------------------------------------------------------
 # Sliding time window (Q2: "[Range 3 seconds]" join windows)
@@ -289,6 +326,14 @@ class _SlidingBuffer(WindowBuffer):
 
     def flush(self) -> List[WindowClose]:
         return []
+
+    def state_snapshot(self) -> dict:
+        return {"kind": "sliding", "items": list(self._items)}
+
+    def state_restore(self, state: dict) -> None:
+        if state.get("kind") != "sliding":
+            raise ValueError(f"cannot restore window buffer state {state.get('kind')!r}")
+        self._items = list(state["items"])
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,171 @@
+"""Shared fixtures for the durability & recovery suite.
+
+The session-level tests run the paper's Q1 (sharded aggregate split)
+and Q2 (probabilistic join, engine-hosted) over the same warehouse
+workload as ``tests/cql/test_paper_queries.py``, split at a checkpoint
+boundary, and require the recovered run to match an uninterrupted one
+to 1e-9.
+"""
+
+import numpy as np
+import pytest
+
+from repro import QuerySession
+from repro.distributions import Gaussian
+from repro.streams import StreamTuple
+
+Q1 = """
+    SELECT weight_of(tag_id) AS weight, zone(x) AS area, SUM(weight)
+    FROM rfid [RANGE 5 SECONDS SLIDE 5 SECONDS]
+    WHERE in_catalog(tag_id)
+    GROUP BY area
+    HAVING SUM(weight) > 200 WITH CONFIDENCE 0.5
+"""
+
+Q2 = """
+    SELECT *
+    FROM objects AS obj
+    JOIN temperature AS temp [RANGE 30 SECONDS]
+      ON obj.x ~= temp.x WITHIN 4 AND obj.y ~= temp.y WITHIN 4
+      MIN PROBABILITY 0.05
+    WHERE object_type(obj.tag_id) = 'flammable'
+      AND temp.temp > 60 WITH PROBABILITY 0.5
+"""
+
+
+def make_catalog(seed=7):
+    rng = np.random.default_rng(seed)
+    catalog = {}
+    for i in range(40):
+        catalog[f"O{i:03d}"] = {
+            "weight": float(rng.uniform(30.0, 80.0)),
+            "type": "flammable" if rng.random() < 0.4 else "general",
+        }
+    return catalog, rng
+
+
+def make_objects(rng, n=80):
+    objects = []
+    for i in range(n):
+        tag = f"O{i % 50:03d}"  # some tags are ghost reads (not in catalog)
+        shelf = int(rng.integers(0, 3))
+        objects.append(
+            StreamTuple(
+                timestamp=float(i) * 0.2,
+                values={"tag_id": tag},
+                uncertain={
+                    "x": Gaussian(10.0 + 20.0 * shelf + float(rng.normal(0, 0.5)), 0.8),
+                    "y": Gaussian(10.0 + float(rng.normal(0, 0.5)), 0.8),
+                },
+            )
+        )
+    return objects
+
+
+def make_sensors(rng, n=40):
+    sensors = []
+    for i in range(n):
+        sensors.append(
+            StreamTuple(
+                timestamp=float(i) * 0.4,
+                values={"sensor_id": i},
+                uncertain={
+                    "x": Gaussian(float(rng.uniform(0.0, 70.0)), 1.0),
+                    "y": Gaussian(float(rng.uniform(0.0, 20.0)), 1.0),
+                    "temp": Gaussian(float(rng.uniform(30.0, 95.0)), 4.0),
+                },
+            )
+        )
+    return sensors
+
+
+@pytest.fixture(scope="module")
+def warehouse():
+    """Catalog plus object/sensor streams shared by Q1 and Q2."""
+    catalog, rng = make_catalog()
+    objects = make_objects(rng)
+    sensors = make_sensors(rng)
+    return catalog, objects, sensors
+
+
+def warehouse_functions(catalog):
+    """The UDFs Q1/Q2 reference, closed over the catalog."""
+
+    def weight_of(tag):
+        return catalog.get(tag, {}).get("weight", 0.0)
+
+    def in_catalog(tag):
+        return tag in catalog
+
+    def zone(x):
+        return int(x.mean() // 20.0)
+
+    def object_type(tag):
+        return catalog.get(tag, {}).get("type", "unknown")
+
+    return {
+        "weight_of": weight_of,
+        "in_catalog": in_catalog,
+        "zone": zone,
+        "object_type": object_type,
+    }
+
+
+def build_paper_session(catalog, **session_kwargs):
+    """A session with Q1 and Q2 registered over declared streams."""
+    session = QuerySession(
+        functions=warehouse_functions(catalog), **session_kwargs
+    )
+    session.create_stream(
+        "rfid", values=("tag_id",), uncertain=("x", "y"), family="gaussian",
+        rate_hint=5.0,
+    )
+    session.create_stream("objects", values=("tag_id",), uncertain=("x", "y"))
+    session.create_stream(
+        "temperature", values=("sensor_id",), uncertain=("x", "y", "temp")
+    )
+    session.register("q1", Q1)
+    session.register("q2", Q2)
+    return session
+
+
+def _assert_tuples_equivalent(left, right, tolerance=1e-9):
+    """Result lists must agree: values exactly/1e-9, uncertain by moments."""
+    assert len(left) == len(right), f"{len(left)} results vs {len(right)}"
+    for a, b in zip(left, right):
+        assert set(a.values) == set(b.values), (sorted(a.values), sorted(b.values))
+        for key, value in a.values.items():
+            other = b.values[key]
+            if isinstance(value, float):
+                assert other == pytest.approx(value, abs=tolerance), key
+            else:
+                assert other == value, key
+        assert set(a.uncertain) == set(b.uncertain)
+        for key in a.uncertain:
+            da, db = a.distribution(key), b.distribution(key)
+            assert float(db.mean()) == pytest.approx(float(da.mean()), abs=tolerance)
+            assert float(db.variance()) == pytest.approx(
+                float(da.variance()), abs=tolerance
+            )
+
+
+@pytest.fixture
+def assert_tuples_equivalent():
+    return _assert_tuples_equivalent
+
+
+# The test directories are not packages, so helpers travel as fixtures.
+@pytest.fixture(scope="module")
+def paper_udfs(warehouse):
+    catalog, _, _ = warehouse
+    return warehouse_functions(catalog)
+
+
+@pytest.fixture(scope="module")
+def paper_session_factory(warehouse):
+    catalog, _, _ = warehouse
+
+    def build(**session_kwargs):
+        return build_paper_session(catalog, **session_kwargs)
+
+    return build

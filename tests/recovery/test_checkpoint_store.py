@@ -1,0 +1,154 @@
+"""CheckpointStore file format, delta refs, atomicity; ReplayLog units."""
+
+import os
+
+import pytest
+
+from repro.distributions import Gaussian
+from repro.recovery import (
+    CheckpointError,
+    CheckpointStore,
+    ReplayGapError,
+    ReplayLog,
+)
+from repro.streams import StreamTuple
+
+
+class TestCheckpointStore:
+    def test_full_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        blobs = {"meta": b"{}", "query/q": b"\x00\x01state"}
+        info = store.save(blobs, mode="full")
+        assert info.checkpoint_id == 1
+        assert info.mode == "full"
+        assert info.parent is None
+        assert info.blobs_written == 2
+        header, loaded = store.load_latest()
+        assert header["id"] == 1
+        assert loaded == blobs
+
+    def test_auto_mode_is_full_then_delta(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.save({"a": b"1"}, mode="auto").mode == "full"
+        assert store.save({"a": b"1"}, mode="auto").mode == "delta"
+
+    def test_delta_references_unchanged_blobs(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"stable": b"same", "hot": b"v1"}, mode="full")
+        info = store.save({"stable": b"same", "hot": b"v2"}, mode="delta")
+        assert info.blobs_written == 1
+        assert info.blobs_referenced == 1
+        _, blobs = store.load_latest()
+        assert blobs == {"stable": b"same", "hot": b"v2"}
+
+    def test_delta_refs_point_at_the_original_writer(self, tmp_path):
+        """A chain of deltas never needs more than one hop to resolve."""
+        store = CheckpointStore(tmp_path)
+        store.save({"stable": b"same", "hot": b"v1"}, mode="full")
+        for version in (b"v2", b"v3", b"v4"):
+            store.save({"stable": b"same", "hot": version}, mode="delta")
+        header = store._read_header(4)
+        # The third delta still references checkpoint 1, not its parent.
+        assert header["blobs"]["stable"]["ref"] == 1
+        _, blobs = store.load(4)
+        assert blobs == {"stable": b"same", "hot": b"v4"}
+
+    def test_crash_leaves_previous_checkpoint_valid(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"a": b"good"}, mode="full")
+        # A crash mid-write leaves only a temp file behind; the directory
+        # scan must ignore it and load_latest must still see checkpoint 1.
+        (tmp_path / "ckpt-00000002.rckp.tmp").write_bytes(b"partial garbage")
+        assert store.latest_id() == 1
+        _, blobs = store.load_latest()
+        assert blobs == {"a": b"good"}
+
+    def test_corrupt_blob_fails_integrity_check(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        info = store.save({"a": b"x" * 64}, mode="full")
+        raw = bytearray(open(info.path, "rb").read())
+        raw[-1] ^= 0xFF  # flip a blob byte, leave the header intact
+        open(info.path, "wb").write(bytes(raw))
+        with pytest.raises(CheckpointError, match="integrity"):
+            store.load_latest()
+
+    def test_missing_parent_of_a_delta_is_reported(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"a": b"same"}, mode="full")
+        store.save({"a": b"same"}, mode="delta")
+        os.remove(os.path.join(store.directory, "ckpt-00000001.rckp"))
+        with pytest.raises(CheckpointError, match="missing"):
+            store.load_latest()
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoints"):
+            CheckpointStore(tmp_path).load_latest()
+
+    def test_unknown_mode_is_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="mode"):
+            CheckpointStore(tmp_path).save({}, mode="sideways")
+
+
+def result(i):
+    return StreamTuple(
+        timestamp=float(i), values={"n": i}, uncertain={"v": Gaussian(float(i), 1.0)}
+    )
+
+
+class TestReplayLog:
+    def test_seqs_start_at_one_and_are_monotonic(self):
+        log = ReplayLog(capacity=10, query="q")
+        assert log.last_seq == 0
+        assert [log.append(result(i)) for i in range(3)] == [1, 2, 3]
+
+    def test_replay_from_returns_exactly_the_missed_entries(self):
+        log = ReplayLog(capacity=10, query="q")
+        for i in range(5):
+            log.append(result(i))
+        pairs = log.replay_from(2)
+        assert [seq for seq, _ in pairs] == [3, 4, 5]
+        assert [item.value("n") for _, item in pairs] == [2, 3, 4]
+        assert log.replay_from(5) == []
+
+    def test_trimming_keeps_the_newest_entries(self):
+        log = ReplayLog(capacity=3, query="q")
+        for i in range(8):
+            log.append(result(i))
+        assert log.last_seq == 8
+        assert log.first_retained == 6
+        assert [seq for seq, _ in log.replay_from(5)] == [6, 7, 8]
+
+    def test_resume_past_the_trim_point_is_a_gap(self):
+        log = ReplayLog(capacity=3, query="q")
+        for i in range(8):
+            log.append(result(i))
+        with pytest.raises(ReplayGapError) as excinfo:
+            log.replay_from(2)
+        assert excinfo.value.query == "q"
+        assert excinfo.value.after_seq == 2
+        assert excinfo.value.first_retained == 6
+
+    def test_resume_from_the_future_is_a_gap(self):
+        log = ReplayLog(capacity=3, query="q")
+        log.append(result(0))
+        with pytest.raises(ReplayGapError):
+            log.replay_from(99)
+
+    def test_state_round_trip_preserves_numbering(self):
+        log = ReplayLog(capacity=4, query="q")
+        for i in range(9):
+            log.append(result(i))
+        other = ReplayLog(capacity=4, query="q")
+        other.state_restore(log.state_snapshot())
+        assert other.last_seq == 9
+        assert other.first_retained == 6
+        assert [s for s, _ in other.replay_from(7)] == [8, 9]
+
+    def test_restore_into_a_smaller_capacity_trims(self):
+        log = ReplayLog(capacity=8, query="q")
+        for i in range(8):
+            log.append(result(i))
+        small = ReplayLog(capacity=2, query="q")
+        small.state_restore(log.state_snapshot())
+        assert small.last_seq == 8
+        assert small.first_retained == 7

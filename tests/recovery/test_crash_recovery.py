@@ -1,0 +1,161 @@
+"""SIGKILL a serving process mid-ingest; recover from its checkpoint.
+
+The child process runs a sharded session (forked workers, shm ring
+transports), checkpoints, keeps ingesting, then is killed — process
+group and all — without any chance to clean up.  The parent recovers
+from the checkpoint into a fresh process, re-pushes everything after
+the checkpoint cut, and must match an uninterrupted run to 1e-9.
+Recovery also reaps the shm segments the dead coordinator leaked.
+"""
+
+import glob
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import numpy as np
+import pytest
+
+from repro import QuerySession
+from repro.distributions import Gaussian
+from repro.recovery import reap_stale_segments
+from repro.streams import StreamTuple
+
+SRC = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+
+TOTALS = "SELECT SUM(w) AS total FROM rfid [RANGE 5 SECONDS SLIDE 5 SECONDS]"
+
+CHILD_SCRIPT = textwrap.dedent(
+    """
+    import sys, time
+    import numpy as np
+    from repro import QuerySession
+    from repro.distributions import Gaussian
+    from repro.streams import StreamTuple
+
+    directory = sys.argv[1]
+    rng = np.random.default_rng(41)
+    tuples = [
+        StreamTuple(
+            timestamp=i * 0.2,
+            values={"tag_id": f"T{i % 5}"},
+            uncertain={"w": Gaussian(float(rng.uniform(20.0, 60.0)), 2.0)},
+        )
+        for i in range(400)
+    ]
+    session = QuerySession(workers=2, shard_backend="process")
+    session.create_stream(
+        "rfid", values=("tag_id",), uncertain=("w",), family="gaussian",
+        rate_hint=5.0,
+    )
+    session.register("totals", @TOTALS@)
+    session.push_many("rfid", tuples[:150])
+    session.checkpoint(directory)
+    # Ingest past the checkpoint: everything from here dies with us.
+    session.push_many("rfid", tuples[150:250])
+    print("CHECKPOINTED", flush=True)
+    time.sleep(120)  # killed long before this expires
+    """
+).replace("@TOTALS@", repr(TOTALS))
+
+
+def make_tuples():
+    rng = np.random.default_rng(41)
+    return [
+        StreamTuple(
+            timestamp=i * 0.2,
+            values={"tag_id": f"T{i % 5}"},
+            uncertain={"w": Gaussian(float(rng.uniform(20.0, 60.0)), 2.0)},
+        )
+        for i in range(400)
+    ]
+
+
+def child_segments(pid):
+    return glob.glob(f"/dev/shm/repro-ring-{pid}-*")
+
+
+@pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="needs a /dev/shm tmpfs"
+)
+class TestCrashRecovery:
+    def test_sigkill_recover_matches_uninterrupted(
+        self, tmp_path, assert_tuples_equivalent
+    ):
+        directory = str(tmp_path / "ckpts")
+        tuples = make_tuples()
+
+        # The reference: the same workload, never interrupted.
+        with QuerySession(workers=2, shard_backend="process") as reference:
+            reference.create_stream(
+                "rfid", values=("tag_id",), uncertain=("w",), family="gaussian",
+                rate_hint=5.0,
+            )
+            reference.register("totals", TOTALS)
+            reference.push_many("rfid", tuples)
+            reference.flush()
+            expected = reference.results("totals")
+        assert expected, "the reference run must emit results"
+
+        # Serve in a child process (own process group, so the SIGKILL
+        # takes the forked shard workers down with the coordinator).
+        env = dict(os.environ, PYTHONPATH=SRC)
+        child = subprocess.Popen(
+            [sys.executable, "-c", CHILD_SCRIPT, directory],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            start_new_session=True,
+            text=True,
+        )
+        try:
+            marker = child.stdout.readline().strip()
+            assert marker == "CHECKPOINTED", child.stderr.read()
+            leaked = child_segments(child.pid)
+            assert leaked, "the forked backend must be using shm ring segments"
+            os.killpg(child.pid, signal.SIGKILL)
+            child.wait(timeout=30)
+        finally:
+            if child.poll() is None:
+                os.killpg(child.pid, signal.SIGKILL)
+            child.stdout.close()
+            child.stderr.close()
+
+        # SIGKILL skipped every unlink path: the segments are leaked ...
+        deadline = time.monotonic() + 5.0
+        while child_segments(child.pid) != leaked and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert child_segments(child.pid) == leaked
+
+        # ... until recovery reaps them as part of coming back up.
+        recovered = QuerySession.recover(directory, workers=2,
+                                         shard_backend="process")
+        try:
+            assert child_segments(child.pid) == []
+            # The post-checkpoint ingest died with the child; re-push
+            # everything after the checkpoint cut, then the rest.
+            recovered.push_many("rfid", tuples[150:])
+            recovered.flush()
+            got = recovered.results("totals")
+        finally:
+            recovered.close()
+        assert_tuples_equivalent(expected, got)
+
+        # Our own teardown leaks nothing either.
+        assert child_segments(os.getpid()) == []
+
+    def test_reap_ignores_live_owners(self):
+        """reap_stale_segments never touches a living process's rings."""
+        with QuerySession(workers=2, shard_backend="process") as session:
+            session.create_stream("rfid", values=("tag_id",), uncertain=("w",),
+                                  family="gaussian", rate_hint=5.0)
+            session.register("totals", TOTALS)
+            mine = child_segments(os.getpid())
+            assert mine, "a forked sharded session must create ring segments"
+            reap_stale_segments()
+            assert child_segments(os.getpid()) == mine
+        assert child_segments(os.getpid()) == []

@@ -1,0 +1,201 @@
+"""SUBSCRIBE ... RESUME, replay gaps, token auth, END seq, CHECKPOINT verb."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import QuerySession
+from repro.distributions import Gaussian
+from repro.net import (
+    AuthError,
+    ConnectionClosed,
+    ReplayGapError,
+    StreamClient,
+    serve_in_thread,
+)
+from repro.streams import StreamTuple
+
+TOTALS = "SELECT SUM(w) AS total FROM rfid [RANGE 5 SECONDS SLIDE 5 SECONDS]"
+
+
+def rfid_tuples(n=400, seed=17):
+    rng = np.random.default_rng(seed)
+    return [
+        StreamTuple(
+            timestamp=i * 0.2,
+            values={"tag_id": f"T{i % 5}"},
+            uncertain={"w": Gaussian(float(rng.uniform(20.0, 60.0)), 2.0)},
+        )
+        for i in range(n)
+    ]
+
+
+def declare_and_register(client):
+    client.declare_stream(
+        "rfid", values=("tag_id",), uncertain=("w",), family="gaussian", rate_hint=5.0
+    )
+    client.register("totals", TOTALS)
+
+
+@pytest.fixture
+def server():
+    handle = serve_in_thread(QuerySession())
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture
+def client(server):
+    with StreamClient(server.address, timeout=15.0) as connected:
+        yield connected
+
+
+def drain_counted(sub, want_last_seq, timeout=15.0):
+    """Collect results until ``last_seq`` reaches the target, verifying
+    that every batch's seq advance matches its row count (no dupes, no
+    gaps)."""
+    collected = []
+    deadline = time.monotonic() + timeout
+    while sub.last_seq < want_last_seq:
+        before = sub.last_seq
+        items = sub.recv(timeout=max(0.1, deadline - time.monotonic()))
+        assert sub.last_seq - before == len(items), "seq advance != batch size"
+        collected.extend(items)
+    assert sub.last_seq == want_last_seq
+    return collected
+
+
+class TestResume:
+    # 400 tuples at 0.2s spacing = 80s = 16 tumbling windows of 5s.
+    def test_resume_is_exactly_once_under_concurrent_ingest(self, server, client):
+        declare_and_register(client)
+        tuples = rfid_tuples()
+
+        # A first subscriber sees the early results, then disconnects.
+        sub1 = client.subscribe("totals")
+        client.ingest("rfid", tuples[:200], batch_size=50)
+        part1 = drain_counted(sub1, want_last_seq=7)
+        resume_at = sub1.last_seq
+        sub1.close()
+
+        # Results emitted while nobody is subscribed go to the replay log.
+        client.ingest("rfid", tuples[200:300], batch_size=50)
+
+        # Reconnect with RESUME while a writer keeps ingesting concurrently.
+        def keep_ingesting():
+            with StreamClient(server.address, timeout=15.0) as writer:
+                for start in range(300, 400, 25):
+                    writer.ingest("rfid", tuples[start : start + 25])
+                    time.sleep(0.01)
+                writer.flush()
+
+        writer_thread = threading.Thread(target=keep_ingesting)
+        writer_thread.start()
+        try:
+            with client.subscribe("totals", resume_from=resume_at) as sub2:
+                part2 = drain_counted(sub2, want_last_seq=16)
+        finally:
+            writer_thread.join()
+
+        # Every result exactly once: the two halves equal a from-scratch
+        # replay of the full run.
+        assert len(part1) + len(part2) == 16
+        with client.subscribe("totals", resume_from=0) as replayed:
+            full = drain_counted(replayed, want_last_seq=16)
+        got = [float(t.distribution("total").mean()) for t in part1 + part2]
+        expected = [float(t.distribution("total").mean()) for t in full]
+        assert got == pytest.approx(expected, abs=1e-9)
+
+    def test_resume_from_zero_replays_from_the_beginning(self, client):
+        declare_and_register(client)
+        client.ingest("rfid", rfid_tuples(100))
+        client.flush()
+        with client.subscribe("totals", resume_from=0) as sub:
+            results = drain_counted(sub, want_last_seq=4)
+        assert len(results) == 4
+
+    def test_subscribe_ok_reports_current_seq(self, client):
+        declare_and_register(client)
+        client.ingest("rfid", rfid_tuples(100))
+        client.flush()
+        with client.subscribe("totals") as sub:
+            # A plain subscribe attaches at the live position.
+            assert sub.last_seq == 4
+
+    def test_resume_past_the_trim_point_is_a_replay_gap(self):
+        handle = serve_in_thread(QuerySession(replay_capacity=2))
+        try:
+            with StreamClient(handle.address, timeout=15.0) as client:
+                declare_and_register(client)
+                client.ingest("rfid", rfid_tuples())
+                client.flush()  # 16 results; the log retains only 15..16
+                with pytest.raises(ReplayGapError):
+                    client.subscribe("totals", resume_from=1)
+                # The failed resume must not leave a half-attached
+                # subscriber behind: a valid resume still works.
+                with client.subscribe("totals", resume_from=15) as sub:
+                    assert len(drain_counted(sub, want_last_seq=16)) == 1
+        finally:
+            handle.stop()
+
+    def test_end_frame_carries_the_final_seq(self, server, client):
+        """DROP with an active subscriber: END reports the last delivered
+        seq, so the client knows it is current, not cut off."""
+        declare_and_register(client)
+        with client.subscribe("totals") as sub:
+            client.ingest("rfid", rfid_tuples(200), batch_size=50)
+            drain_counted(sub, want_last_seq=7)
+            client.drop("totals")
+            with pytest.raises(ConnectionClosed, match="dropped"):
+                while True:
+                    sub.recv(timeout=10.0)
+            assert sub.last_seq == 7
+
+
+class TestAuth:
+    @pytest.fixture
+    def auth_server(self):
+        handle = serve_in_thread(QuerySession(), auth_token="sesame")
+        yield handle
+        handle.stop()
+
+    def test_correct_token_is_accepted(self, auth_server):
+        with StreamClient(auth_server.address, timeout=15.0, token="sesame") as client:
+            declare_and_register(client)
+            assert client.hello()["streams"] == ["rfid"]
+
+    def test_wrong_token_is_rejected_at_connect(self, auth_server):
+        with pytest.raises(AuthError):
+            StreamClient(auth_server.address, timeout=15.0, token="open says me")
+
+    def test_missing_token_is_rejected_on_first_verb(self, auth_server):
+        client = StreamClient(auth_server.address, timeout=15.0)
+        with pytest.raises(AuthError):
+            declare_and_register(client)
+
+    def test_subscription_carries_the_token(self, auth_server):
+        with StreamClient(auth_server.address, timeout=15.0, token="sesame") as client:
+            declare_and_register(client)
+            client.ingest("rfid", rfid_tuples(100))
+            client.flush()
+            with client.subscribe("totals", resume_from=0) as sub:
+                assert len(drain_counted(sub, want_last_seq=4)) == 4
+
+    def test_unauthenticated_subscribe_is_rejected(self, auth_server):
+        with pytest.raises(AuthError):
+            StreamClient(auth_server.address, timeout=15.0).subscribe("totals")
+
+
+class TestCheckpointVerb:
+    def test_checkpoint_over_the_wire_then_recover_offline(self, server, client,
+                                                           tmp_path):
+        declare_and_register(client)
+        client.ingest("rfid", rfid_tuples(200), batch_size=50)
+        directory = str(tmp_path / "ckpts")
+        assert client.checkpoint(directory) == 1
+        assert client.checkpoint(directory, mode="full") == 2
+        with QuerySession.recover(directory) as recovered:
+            assert "totals" in recovered.queries
+            assert recovered.last_result_seq("totals") == 7
