@@ -1,0 +1,73 @@
+"""``python -m repro.analysis`` — the static-analysis gate.
+
+Runs the operator/plan contract linter and the runtime concurrency lint
+over the installed ``repro`` package, prints every diagnostic in its
+stable rendered form, and exits non-zero when any error (or, under
+``--strict``, any warning) is found.  CI runs this as a gate job.
+
+CQL semantic analysis is query-shaped rather than repo-shaped, so it is
+exercised here only on demand: pass ``--query "SELECT ..."`` (repeat
+for several) to validate query text against an open schema, or wire it
+through :meth:`repro.service.session.QuerySession.register` with
+``strict=True`` in code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .diagnostics import Diagnostic, errors, warnings
+
+__all__ = ["main"]
+
+
+def _collect(queries: Sequence[str]) -> List[Diagnostic]:
+    from .concurrency import lint_concurrency
+    from .contracts import lint_contracts
+    from .semantic import analyze_query
+
+    diagnostics: List[Diagnostic] = []
+    diagnostics.extend(lint_contracts())
+    diagnostics.extend(lint_concurrency())
+    for query in queries:
+        diagnostics.extend(analyze_query(query))
+    return diagnostics
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static-analysis gate: contract linter + concurrency lint "
+        "over src/repro, plus optional CQL semantic checks.",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as gate failures too",
+    )
+    parser.add_argument(
+        "--query",
+        action="append",
+        default=[],
+        metavar="CQL",
+        help="also semantically analyze this CQL query text (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    diagnostics = _collect(args.query)
+    for diagnostic in diagnostics:
+        print(diagnostic.render())
+
+    error_count = len(errors(diagnostics))
+    warning_count = len(warnings(diagnostics))
+    print(
+        f"repro.analysis: {error_count} error(s), {warning_count} warning(s)",
+        file=sys.stderr,
+    )
+    if error_count:
+        return 1
+    if args.strict and warning_count:
+        return 1
+    return 0

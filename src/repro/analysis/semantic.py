@@ -1,0 +1,641 @@
+"""Post-parse, pre-lowering semantic analysis of CQL queries.
+
+:func:`analyze_query` walks a parsed :class:`~repro.cql.syntax.Query`
+against the *declared* stream schemas and returns a list of
+:class:`~repro.analysis.diagnostics.Diagnostic` findings instead of
+raising on the first problem.  It catches the class of mistakes the
+lowering either cannot see (a typo'd column on a declared stream simply
+reads as an open attribute at runtime) or reports one at a time:
+
+``unknown-stream``
+    FROM/JOIN references a stream that was never declared — the query
+    would silently run against an open-schema source.
+``unknown-alias``
+    A qualified reference uses an alias that is not in scope.
+``unknown-column``
+    An attribute reference not in the declared schema, with a
+    closest-name suggestion.
+``unknown-function``
+    A call to a function that is neither built in nor registered.
+``uncertain-equality``
+    Deterministic ``=``/``!=`` on an attribute declared uncertain —
+    a band match (``~=``) or ``BETWEEN`` is almost always what's meant.
+``probability-misuse`` / ``probability-on-deterministic``
+    ``WITH PROBABILITY`` on a conjunct that is not a constant
+    comparison, with a value outside ``[0, 1]``, or over an attribute /
+    aggregate the schema declares deterministic.
+``window-sanity``
+    ``SLIDE`` exceeding ``RANGE`` (tuples between hops would be
+    dropped), non-tumbling slides, zero-width ``ROWS``/``RANGE``.
+``band-match-width`` / ``band-match-operands`` / ``band-match-deterministic``
+    Join ``~=`` terms with a non-positive width, operands not taken one
+    from each side, or operands the schema declares deterministic.
+``having-mismatch``
+    A HAVING aggregate that does not match the SELECT aggregate.
+
+Column checks need a fully declared schema (both ``values`` and
+``uncertain``); a stream declared with only its uncertain attributes
+keeps open-value semantics and reference checks are skipped, exactly as
+in :class:`repro.plan.nodes.StreamSchema`.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Union
+
+from repro.cql.lowering import BUILTIN_FUNCTIONS
+from repro.cql.parser import parse
+from repro.cql.syntax import (
+    AggregateCall,
+    AggregateItem,
+    BandMatchTerm,
+    BinOp,
+    Call,
+    ColumnItem,
+    Conjunct,
+    DeriveItem,
+    Expr,
+    FuncMatchTerm,
+    Ident,
+    Literal,
+    Query,
+    SelectQuery,
+    StreamRef,
+    Unary,
+    WindowClause,
+)
+from repro.plan.builder import Stream
+from repro.plan.nodes import SourceNode
+
+from .diagnostics import Diagnostic, Severity
+
+__all__ = ["analyze_query", "suggest"]
+
+
+def suggest(name: str, candidates: Sequence[str]) -> Optional[str]:
+    """The closest declared name to ``name``, if any is close enough."""
+    matches = difflib.get_close_matches(name, list(candidates), n=1, cutoff=0.6)
+    return matches[0] if matches else None
+
+
+def _suggestion_suffix(name: str, candidates: Sequence[str]) -> str:
+    close = suggest(name, candidates)
+    return f"; did you mean {close!r}?" if close is not None else ""
+
+
+class _StreamView:
+    """What the analyzer knows about one stream's attributes.
+
+    ``values``/``uncertain`` are ``None`` when that half of the schema
+    is undeclared (open).  Derived attributes from the SELECT list are
+    added as they are introduced.
+    """
+
+    def __init__(self, source: Optional[SourceNode]):
+        if source is None:
+            self.values: Optional[Set[str]] = None
+            self.uncertain: Optional[Set[str]] = None
+        else:
+            self.values = None if source.values is None else set(source.values)
+            self.uncertain = None if source.uncertain is None else set(source.uncertain)
+
+    @property
+    def closed(self) -> bool:
+        """Both attribute sets declared: unknown references are errors."""
+        return self.values is not None and self.uncertain is not None
+
+    @property
+    def known(self) -> List[str]:
+        names: Set[str] = set()
+        if self.values is not None:
+            names |= self.values
+        if self.uncertain is not None:
+            names |= self.uncertain
+        return sorted(names)
+
+    def has(self, name: str) -> bool:
+        return (self.values is not None and name in self.values) or (
+            self.uncertain is not None and name in self.uncertain
+        )
+
+    def is_uncertain(self, name: str) -> bool:
+        return self.uncertain is not None and name in self.uncertain
+
+    def is_deterministic(self, name: str) -> bool:
+        """Known to be a plain value: declared in values, not uncertain."""
+        return (
+            self.values is not None
+            and name in self.values
+            and (self.uncertain is None or name not in self.uncertain)
+        )
+
+    def add_derived(self, name: str, uncertain: bool) -> None:
+        if uncertain:
+            if self.uncertain is not None:
+                self.uncertain.add(name)
+        elif self.values is not None:
+            self.values.add(name)
+
+
+def _as_source(declared) -> Optional[SourceNode]:
+    if isinstance(declared, Stream):
+        declared = declared.node
+    return declared if isinstance(declared, SourceNode) else None
+
+
+class _Analyzer:
+    def __init__(
+        self,
+        sources: Mapping[str, Union[Stream, SourceNode]],
+        functions: Mapping[str, Callable],
+    ):
+        self.sources: Dict[str, Optional[SourceNode]] = {
+            name: _as_source(decl) for name, decl in sources.items()
+        }
+        self.functions = dict(BUILTIN_FUNCTIONS)
+        self.functions.update(functions)
+        self.diagnostics: List[Diagnostic] = []
+
+    # ------------------------------------------------------------------
+    def report(
+        self,
+        rule: str,
+        severity: Severity,
+        message: str,
+        line: int,
+        column: int,
+        token: Optional[str] = None,
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                rule=rule,
+                severity=severity,
+                message=message,
+                line=line,
+                column=column,
+                token=token,
+            )
+        )
+
+    def error(self, rule, message, line, column, token=None) -> None:
+        self.report(rule, Severity.ERROR, message, line, column, token)
+
+    def warning(self, rule, message, line, column, token=None) -> None:
+        self.report(rule, Severity.WARNING, message, line, column, token)
+
+    # ------------------------------------------------------------------
+    def analyze(self, query: Query) -> List[Diagnostic]:
+        for select in query.selects:
+            self._analyze_select(select)
+        return self.diagnostics
+
+    def _stream_view(self, ref: StreamRef) -> _StreamView:
+        if ref.name not in self.sources:
+            if self.sources:
+                self.error(
+                    "unknown-stream",
+                    f"stream {ref.name!r} is not declared and would run as an "
+                    f"open-schema source (declared: "
+                    f"{', '.join(sorted(self.sources))})"
+                    f"{_suggestion_suffix(ref.name, list(self.sources))}",
+                    ref.line,
+                    ref.column,
+                    ref.name,
+                )
+            return _StreamView(None)
+        return _StreamView(self.sources[ref.name])
+
+    # ------------------------------------------------------------------
+    def _analyze_select(self, select: SelectQuery) -> None:
+        left_alias = select.source.alias or select.source.name
+        left = self._stream_view(select.source)
+        views: Dict[str, _StreamView] = {left_alias: left}
+
+        if select.source.window is not None:
+            self._check_window(select.source.window)
+
+        # SELECT derive items extend the left stream's view before the
+        # join and the window, mirroring the lowering's stage order.
+        for item in select.items:
+            if isinstance(item, DeriveItem):
+                self._walk_expr(item.expr, views)
+                left.add_derived(item.name, item.uncertain)
+
+        if select.join is not None:
+            right_alias = select.join.right.alias or select.join.right.name
+            right = self._stream_view(select.join.right)
+            views[right_alias] = right
+            if select.join.right.window is not None:
+                self._check_window(select.join.right.window)
+            self._check_join(select.join, left_alias, right_alias, views)
+
+        for conjunct in select.where:
+            self._check_conjunct(conjunct, views)
+
+        group_exprs: List[Expr] = []
+        if select.group_by is not None:
+            group_exprs = (
+                [select.group_by]
+                if isinstance(select.group_by, Expr)
+                else list(select.group_by)
+            )
+        for expr in group_exprs:
+            self._walk_expr(expr, views)
+
+        aggregate: Optional[AggregateItem] = None
+        for item in select.items:
+            if isinstance(item, AggregateItem):
+                if aggregate is None:
+                    aggregate = item
+                self._check_aggregate_argument(item.call, views)
+            elif isinstance(item, ColumnItem):
+                self._check_ident(
+                    Ident(item.line, item.column, item.name, item.qualifier), views
+                )
+
+        if select.having is not None:
+            self._check_having(select.having, aggregate, views)
+
+    # ------------------------------------------------------------------
+    # Windows
+    # ------------------------------------------------------------------
+    def _check_window(self, clause: WindowClause) -> None:
+        if clause.kind == "rows":
+            if clause.length < 1 or clause.length != int(clause.length):
+                self.error(
+                    "window-sanity",
+                    "[ROWS n] needs a positive whole number of rows, "
+                    f"got {clause.length!r}",
+                    clause.line,
+                    clause.column,
+                )
+            return
+        if clause.kind != "range":
+            return
+        if clause.length <= 0:
+            self.error(
+                "window-sanity",
+                f"[RANGE n] needs a positive window length, got {clause.length!r}",
+                clause.line,
+                clause.column,
+            )
+            return
+        if clause.slide is None:
+            return
+        if clause.slide > clause.length:
+            self.error(
+                "window-sanity",
+                f"SLIDE {clause.slide!r} exceeds RANGE {clause.length!r}: tuples "
+                "arriving between window hops would be silently dropped",
+                clause.line,
+                clause.column,
+            )
+        elif clause.slide <= 0:
+            self.error(
+                "window-sanity",
+                f"SLIDE needs a positive length, got {clause.slide!r}",
+                clause.line,
+                clause.column,
+            )
+        elif clause.slide != clause.length:
+            self.error(
+                "window-sanity",
+                "only tumbling slides are supported: SLIDE must equal RANGE",
+                clause.line,
+                clause.column,
+            )
+
+    # ------------------------------------------------------------------
+    # Identifier / expression checks
+    # ------------------------------------------------------------------
+    def _resolve_view(self, ident: Ident, views: Mapping[str, _StreamView]):
+        """(view, attr) for an identifier, reporting unknown aliases."""
+        if ident.qualifier is not None:
+            view = views.get(ident.qualifier)
+            if view is None:
+                known = ", ".join(sorted(views)) or "none"
+                self.error(
+                    "unknown-alias",
+                    f"unknown stream alias {ident.qualifier!r} (in scope: {known})"
+                    f"{_suggestion_suffix(ident.qualifier, list(views))}",
+                    ident.line,
+                    ident.column,
+                    ident.qualifier,
+                )
+                return None, ident.name
+            return view, ident.name
+        if len(views) == 1:
+            return next(iter(views.values())), ident.name
+        # Unqualified after a join: check against both sides; flag only
+        # when every closed side lacks the name.
+        for view in views.values():
+            if not view.closed or view.has(ident.name):
+                return None, ident.name
+        candidates = sorted({n for v in views.values() for n in v.known})
+        self.error(
+            "unknown-column",
+            f"unknown attribute {ident.name!r} (known: {', '.join(candidates)})"
+            f"{_suggestion_suffix(ident.name, candidates)}",
+            ident.line,
+            ident.column,
+            ident.name,
+        )
+        return None, ident.name
+
+    def _check_ident(self, ident: Ident, views: Mapping[str, _StreamView]) -> None:
+        view, name = self._resolve_view(ident, views)
+        if view is None or not view.closed or view.has(name):
+            return
+        self.error(
+            "unknown-column",
+            f"unknown attribute {name!r} (known: {', '.join(view.known)})"
+            f"{_suggestion_suffix(name, view.known)}",
+            ident.line,
+            ident.column,
+            name,
+        )
+
+    def _is_uncertain(self, ident: Ident, views: Mapping[str, _StreamView]) -> bool:
+        if ident.qualifier is not None:
+            view = views.get(ident.qualifier)
+            return view is not None and view.is_uncertain(ident.name)
+        return any(view.is_uncertain(ident.name) for view in views.values())
+
+    def _is_deterministic(self, ident: Ident, views: Mapping[str, _StreamView]) -> bool:
+        if ident.qualifier is not None:
+            view = views.get(ident.qualifier)
+            return view is not None and view.is_deterministic(ident.name)
+        return any(view.is_deterministic(ident.name) for view in views.values()) and not \
+            self._is_uncertain(ident, views)
+
+    def _walk_expr(self, expr: Expr, views: Mapping[str, _StreamView]) -> None:
+        if isinstance(expr, Ident):
+            self._check_ident(expr, views)
+        elif isinstance(expr, Unary):
+            self._walk_expr(expr.operand, views)
+        elif isinstance(expr, BinOp):
+            if expr.op in ("=", "!="):
+                self._check_equality(expr, views)
+            self._walk_expr(expr.left, views)
+            self._walk_expr(expr.right, views)
+        elif isinstance(expr, Call):
+            if expr.name not in self.functions:
+                self.error(
+                    "unknown-function",
+                    f"unknown function {expr.name!r}; register it via the "
+                    f"functions mapping"
+                    f"{_suggestion_suffix(expr.name, list(self.functions))}",
+                    expr.line,
+                    expr.column,
+                    expr.name,
+                )
+            for arg in expr.args:
+                self._walk_expr(arg, views)
+
+    def _check_equality(self, expr: BinOp, views: Mapping[str, _StreamView]) -> None:
+        for side in (expr.left, expr.right):
+            if isinstance(side, Ident) and self._is_uncertain(side, views):
+                name = side.canonical()
+                self.error(
+                    "uncertain-equality",
+                    f"deterministic {expr.op!r} on uncertain attribute {name!r} "
+                    "matches with probability zero; use BETWEEN, a '~=' band "
+                    "match, or WITH PROBABILITY on a range comparison",
+                    expr.line,
+                    expr.column,
+                    expr.op,
+                )
+                return
+
+    # ------------------------------------------------------------------
+    # WHERE conjuncts
+    # ------------------------------------------------------------------
+    def _comparison_attribute(self, expr: Expr) -> Optional[Ident]:
+        """The attribute of a constant comparison / BETWEEN, if it is one."""
+        if not isinstance(expr, BinOp):
+            return None
+        if expr.op == "BETWEEN":
+            return expr.left if isinstance(expr.left, Ident) else None
+        if expr.op not in (">", "<", ">=", "<=", "=", "!="):
+            return None
+        left, right = expr.left, expr.right
+        if isinstance(left, Ident) and _is_constant(right):
+            return left
+        if isinstance(right, Ident) and _is_constant(left):
+            return right
+        return None
+
+    def _check_conjunct(
+        self, conjunct: Conjunct, views: Mapping[str, _StreamView]
+    ) -> None:
+        self._walk_expr(conjunct.expr, views)
+        if conjunct.probability is None:
+            return
+        expr = conjunct.expr
+        if not 0.0 <= conjunct.probability <= 1.0:
+            self.error(
+                "probability-misuse",
+                f"WITH PROBABILITY needs a value in [0, 1], "
+                f"got {conjunct.probability!r}",
+                expr.line,
+                expr.column,
+            )
+        attribute = self._comparison_attribute(expr)
+        if attribute is None:
+            self.error(
+                "probability-misuse",
+                "WITH PROBABILITY applies to constant comparisons on uncertain "
+                "attributes",
+                expr.line,
+                expr.column,
+            )
+            return
+        if self._is_deterministic(attribute, views):
+            self.warning(
+                "probability-on-deterministic",
+                f"WITH PROBABILITY on deterministic attribute "
+                f"{attribute.canonical()!r}: the comparison is exact and the "
+                "qualifier has no effect",
+                attribute.line,
+                attribute.column,
+                attribute.name,
+            )
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+    def _check_join(self, join, left_alias, right_alias, views) -> None:
+        if join.min_probability is not None and not 0.0 <= join.min_probability <= 1.0:
+            self.error(
+                "probability-misuse",
+                f"MIN PROBABILITY needs a value in [0, 1], "
+                f"got {join.min_probability!r}",
+                join.line,
+                join.column,
+            )
+        for term in join.terms:
+            if isinstance(term, FuncMatchTerm):
+                if term.name not in self.functions:
+                    self.error(
+                        "unknown-function",
+                        f"unknown match function {term.name!r}; register it via "
+                        f"the functions mapping"
+                        f"{_suggestion_suffix(term.name, list(self.functions))}",
+                        term.line,
+                        term.column,
+                        term.name,
+                    )
+                continue
+            self._check_band_term(term, left_alias, right_alias, views)
+
+    def _check_band_term(
+        self, term: BandMatchTerm, left_alias, right_alias, views
+    ) -> None:
+        if term.width <= 0:
+            self.error(
+                "band-match-width",
+                f"a '~=' band match needs a positive WITHIN width, "
+                f"got {term.width!r}",
+                term.line,
+                term.column,
+            )
+        sides: Set[str] = set()
+        for ident in (term.left, term.right):
+            if ident.qualifier not in (left_alias, right_alias):
+                self.error(
+                    "band-match-operands",
+                    f"join match terms need both sides qualified with "
+                    f"{left_alias!r} or {right_alias!r}",
+                    ident.line,
+                    ident.column,
+                    ident.canonical(),
+                )
+                continue
+            if ident.qualifier in sides:
+                self.error(
+                    "band-match-operands",
+                    "a band match term needs one attribute from each side",
+                    ident.line,
+                    ident.column,
+                    ident.canonical(),
+                )
+            sides.add(ident.qualifier)
+            self._check_ident(ident, views)
+            view = views.get(ident.qualifier)
+            if view is not None and view.is_deterministic(ident.name):
+                self.warning(
+                    "band-match-deterministic",
+                    f"band match operand {ident.canonical()!r} is declared "
+                    "deterministic; '~=' compares distributions",
+                    ident.line,
+                    ident.column,
+                    ident.canonical(),
+                )
+
+    # ------------------------------------------------------------------
+    # Aggregates / HAVING
+    # ------------------------------------------------------------------
+    def _check_aggregate_argument(
+        self, call: AggregateCall, views: Mapping[str, _StreamView]
+    ) -> None:
+        if call.argument == "*":
+            return
+        parts = call.argument.split(".")
+        ident = (
+            Ident(call.line, call.column, parts[1], parts[0])
+            if len(parts) == 2
+            else Ident(call.line, call.column, parts[0])
+        )
+        self._check_ident(ident, views)
+
+    def _aggregate_is_deterministic(
+        self, call: AggregateCall, views: Mapping[str, _StreamView]
+    ) -> bool:
+        if call.argument == "*" or call.function == "count":
+            # COUNT can still be probabilistic under tuple existence
+            # uncertainty, so it is never flagged.
+            return False
+        parts = call.argument.split(".")
+        ident = (
+            Ident(call.line, call.column, parts[1], parts[0])
+            if len(parts) == 2
+            else Ident(call.line, call.column, parts[0])
+        )
+        return self._is_deterministic(ident, views)
+
+    def _check_having(self, having, aggregate, views) -> None:
+        if aggregate is None:
+            self.error(
+                "having-mismatch",
+                "HAVING needs a matching aggregate in SELECT",
+                having.line,
+                having.column,
+            )
+            return
+        call = aggregate.call
+        if (
+            having.call.function != call.function
+            or having.call.argument != call.argument
+        ):
+            self.error(
+                "having-mismatch",
+                f"HAVING aggregate {having.call.canonical()} does not match "
+                f"the SELECT aggregate {call.canonical()}",
+                having.call.line,
+                having.call.column,
+                having.call.canonical(),
+            )
+            return
+        if having.min_probability is not None and not (
+            0.0 <= having.min_probability <= 1.0
+        ):
+            self.error(
+                "probability-misuse",
+                f"HAVING WITH PROBABILITY must be within [0, 1], "
+                f"got {having.min_probability!r}",
+                having.call.line,
+                having.call.column,
+                having.call.canonical(),
+            )
+            return
+        if having.min_probability is not None and self._aggregate_is_deterministic(
+            call, views
+        ):
+            self.warning(
+                "probability-on-deterministic",
+                f"WITH PROBABILITY over deterministic aggregate "
+                f"{call.canonical()}: the threshold test is exact and the "
+                "qualifier has no effect",
+                having.call.line,
+                having.call.column,
+                having.call.canonical(),
+            )
+
+
+def _is_constant(expr: Expr) -> bool:
+    if isinstance(expr, Literal):
+        return True
+    if isinstance(expr, Unary) and expr.op == "-":
+        return _is_constant(expr.operand)
+    if isinstance(expr, BinOp) and expr.op == "AND":  # BETWEEN bounds
+        return _is_constant(expr.left) and _is_constant(expr.right)
+    return False
+
+
+def analyze_query(
+    query: Union[str, Query],
+    sources: Optional[Mapping[str, Union[Stream, SourceNode]]] = None,
+    functions: Optional[Mapping[str, Callable]] = None,
+) -> List[Diagnostic]:
+    """Semantically analyze a CQL query against declared schemas.
+
+    ``query`` is CQL text (parsed here; syntax errors raise
+    :class:`~repro.cql.errors.CQLSyntaxError` exactly as ``parse``
+    does) or an already-parsed :class:`~repro.cql.syntax.Query`.
+    ``sources``/``functions`` mirror
+    :func:`repro.cql.lowering.lower_query`.  Returns diagnostics in
+    source order; an empty list means the query is clean.
+    """
+    ast = parse(query) if isinstance(query, str) else query
+    return _Analyzer(sources or {}, functions or {}).analyze(ast)

@@ -88,7 +88,7 @@ class QueryBuilder:
     # ------------------------------------------------------------------
     # Stages
     # ------------------------------------------------------------------
-    def _advance(self, stream: Stream) -> "QueryBuilder":
+    def _advance(self, stream: Stream) -> QueryBuilder:
         if self._compiled:
             raise OperatorError("cannot extend a query after compile()")
         self._stream = stream
@@ -99,13 +99,13 @@ class QueryBuilder:
         self,
         values: Optional[Mapping[str, Callable[..., Any]]] = None,
         uncertain: Optional[Mapping[str, Callable[..., Distribution]]] = None,
-    ) -> "QueryBuilder":
+    ) -> QueryBuilder:
         """Add derived attributes (the inner Select of Q1)."""
         if not (values or uncertain):
             raise OperatorError("derive() needs at least one derivation function")
         return self._advance(self._stream.derive(values=values, uncertain=uncertain))
 
-    def where(self, predicate: Callable[..., bool]) -> "QueryBuilder":
+    def where(self, predicate: Callable[..., bool]) -> QueryBuilder:
         """Deterministic filter on tuple values."""
         return self._advance(self._stream.where(predicate))
 
@@ -116,7 +116,7 @@ class QueryBuilder:
         threshold: float,
         upper: Optional[float] = None,
         min_probability: float = 0.5,
-    ) -> "QueryBuilder":
+    ) -> QueryBuilder:
         """Probabilistic filter on an uncertain attribute."""
         return self._advance(
             self._stream.where_probably(
@@ -131,7 +131,7 @@ class QueryBuilder:
         function: str = "sum",
         strategy: Optional[SumStrategy] = None,
         having: Optional[HavingClause] = None,
-    ) -> "QueryBuilder":
+    ) -> QueryBuilder:
         """Windowed aggregation of one uncertain attribute."""
         return self._advance(
             self._stream.aggregate(
@@ -151,7 +151,7 @@ class QueryBuilder:
         function: str = "sum",
         strategy: Optional[SumStrategy] = None,
         having: Optional[HavingClause] = None,
-    ) -> "QueryBuilder":
+    ) -> QueryBuilder:
         """Windowed GROUP BY + aggregate + HAVING (the outer block of Q1)."""
         return self._advance(
             self._stream.aggregate(
@@ -173,7 +173,7 @@ class QueryBuilder:
         min_probability: float = 0.5,
         prefix_left: str = "left_",
         prefix_right: str = "right_",
-    ) -> "QueryBuilder":
+    ) -> QueryBuilder:
         """Join this stream with a second input stream (the shape of Q2).
 
         ``other_stages`` are pre-built operators applied to the second
@@ -197,7 +197,7 @@ class QueryBuilder:
             )
         )
 
-    def summarize(self, attribute: str, confidence: float = 0.95) -> "QueryBuilder":
+    def summarize(self, attribute: str, confidence: float = 0.95) -> QueryBuilder:
         """Replace a result distribution with summary statistics."""
         return self._advance(self._stream.summarize(attribute, confidence=confidence))
 

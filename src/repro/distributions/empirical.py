@@ -122,7 +122,7 @@ class ParticleDistribution(ScalarDistribution):
         """Return ``1 / sum(w_i^2)``, the standard ESS of a particle set."""
         return float(1.0 / np.sum(self.weights ** 2))
 
-    def resample(self, size: int | None = None, rng=None) -> "ParticleDistribution":
+    def resample(self, size: int | None = None, rng=None) -> ParticleDistribution:
         """Return a uniformly weighted resampled particle set (systematic)."""
         rng = as_rng(rng)
         n = size if size is not None else self.n_particles
@@ -132,7 +132,7 @@ class ParticleDistribution(ScalarDistribution):
         idx = np.searchsorted(cum, positions)
         return ParticleDistribution(self.values[idx], np.full(n, 1.0 / n))
 
-    def compress(self, size: int, rng=None) -> "ParticleDistribution":
+    def compress(self, size: int, rng=None) -> ParticleDistribution:
         """Return a smaller particle set approximating the same distribution.
 
         This is the "compression" optimisation of Section 4.1: once a
@@ -193,7 +193,7 @@ class HistogramDistribution(ScalarDistribution):
         n_bins: int = 64,
         weights: Sequence[float] | None = None,
         bounds: Tuple[float, float] | None = None,
-    ) -> "HistogramDistribution":
+    ) -> HistogramDistribution:
         """Build a histogram from (optionally weighted) samples."""
         samples = np.asarray(samples, dtype=float)
         if samples.size == 0:
@@ -214,7 +214,7 @@ class HistogramDistribution(ScalarDistribution):
     @classmethod
     def from_distribution(
         cls, dist: ScalarDistribution, n_bins: int = 64, coverage: float = 1.0 - 1e-6
-    ) -> "HistogramDistribution":
+    ) -> HistogramDistribution:
         """Discretise another distribution onto an equal-width grid."""
         lo, hi = dist.support()
         if not np.isfinite(lo) or not np.isfinite(hi):

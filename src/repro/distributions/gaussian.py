@@ -97,23 +97,23 @@ class Gaussian(ScalarDistribution):
         return complex(out) if out.ndim == 0 else out
 
     # -- algebra ---------------------------------------------------------
-    def shift(self, offset: float) -> "Gaussian":
+    def shift(self, offset: float) -> Gaussian:
         """Return the distribution of ``X + offset``."""
         return Gaussian(self.mu + offset, self.sigma)
 
-    def scale(self, factor: float) -> "Gaussian":
+    def scale(self, factor: float) -> Gaussian:
         """Return the distribution of ``factor * X`` (factor != 0)."""
         if factor == 0.0:
             raise DistributionError("scaling a Gaussian by zero collapses it to a point mass")
         return Gaussian(self.mu * factor, self.sigma * abs(factor))
 
-    def convolve(self, other: "Gaussian") -> "Gaussian":
+    def convolve(self, other: Gaussian) -> Gaussian:
         """Return the distribution of the sum of two independent Gaussians."""
         if not isinstance(other, Gaussian):
             raise TypeError("convolve expects another Gaussian")
         return Gaussian(self.mu + other.mu, math.hypot(self.sigma, other.sigma))
 
-    def kl_divergence(self, other: "Gaussian") -> float:
+    def kl_divergence(self, other: Gaussian) -> float:
         """Return ``KL(self || other)`` in nats (closed form)."""
         if not isinstance(other, Gaussian):
             raise TypeError("kl_divergence expects another Gaussian")

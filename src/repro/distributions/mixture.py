@@ -70,7 +70,7 @@ class GaussianMixture(ScalarDistribution):
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
-    def from_components(cls, components: Iterable[Tuple[float, Gaussian]]) -> "GaussianMixture":
+    def from_components(cls, components: Iterable[Tuple[float, Gaussian]]) -> GaussianMixture:
         """Build a mixture from ``(weight, Gaussian)`` pairs."""
         comps = list(components)
         if not comps:
@@ -82,7 +82,7 @@ class GaussianMixture(ScalarDistribution):
         )
 
     @classmethod
-    def single(cls, gaussian: Gaussian) -> "GaussianMixture":
+    def single(cls, gaussian: Gaussian) -> GaussianMixture:
         """Wrap a single Gaussian as a one-component mixture."""
         return cls([1.0], [gaussian.mu], [gaussian.sigma])
 
@@ -145,22 +145,22 @@ class GaussianMixture(ScalarDistribution):
     # ------------------------------------------------------------------
     # Algebra and model quality
     # ------------------------------------------------------------------
-    def shift(self, offset: float) -> "GaussianMixture":
+    def shift(self, offset: float) -> GaussianMixture:
         """Return the distribution of ``X + offset``."""
         return GaussianMixture(self.weights, self.means + offset, self.sigmas)
 
-    def scale(self, factor: float) -> "GaussianMixture":
+    def scale(self, factor: float) -> GaussianMixture:
         """Return the distribution of ``factor * X`` (factor != 0)."""
         if factor == 0.0:
             raise DistributionError("scaling a mixture by zero collapses it to a point mass")
         return GaussianMixture(self.weights, self.means * factor, self.sigmas * abs(factor))
 
-    def convolve_gaussian(self, other: Gaussian) -> "GaussianMixture":
+    def convolve_gaussian(self, other: Gaussian) -> GaussianMixture:
         """Return the distribution of the sum with an independent Gaussian."""
         sigmas = np.sqrt(self.sigmas ** 2 + other.sigma ** 2)
         return GaussianMixture(self.weights, self.means + other.mu, sigmas)
 
-    def convolve(self, other: "GaussianMixture") -> "GaussianMixture":
+    def convolve(self, other: GaussianMixture) -> GaussianMixture:
         """Return the mixture of the sum with an independent mixture.
 
         The result has ``n * m`` components; callers aggregating long

@@ -75,11 +75,11 @@ class Uniform(ScalarDistribution):
         out = out_flat
         return complex(out[0]) if np.ndim(t) == 0 else out
 
-    def shift(self, offset: float) -> "Uniform":
+    def shift(self, offset: float) -> Uniform:
         """Return the distribution of ``X + offset``."""
         return Uniform(self.low + offset, self.high + offset)
 
-    def scale(self, factor: float) -> "Uniform":
+    def scale(self, factor: float) -> Uniform:
         """Return the distribution of ``factor * X`` (factor != 0)."""
         if factor == 0.0:
             raise DistributionError("scaling a Uniform by zero collapses it to a point mass")

@@ -138,6 +138,8 @@ class StreamClient:
         # can be retried without desynchronizing the stream.
         self._frames = BufferedFrameSocket(self._sock, max_payload)
         self._closed = False
+        #: Rendered analyzer diagnostics from the most recent register().
+        self.last_register_warnings: list = []
         if token is not None:
             self.hello()  # authenticate before any other verb
 
@@ -189,9 +191,19 @@ class StreamClient:
             },
         )
 
-    def register(self, name: str, cql: str) -> bool:
-        """Register a CQL query; returns True when it runs sharded."""
-        header, _ = self._request(protocol.REGISTER, {"name": name, "cql": cql})
+    def register(self, name: str, cql: str, strict: bool = False) -> bool:
+        """Register a CQL query; returns True when it runs sharded.
+
+        ``strict=True`` asks the server to refuse queries with semantic
+        errors (typo'd columns, broken windows, ...).  Any analyzer
+        findings the server reports are kept in
+        :attr:`last_register_warnings` after the call.
+        """
+        request = {"name": name, "cql": cql}
+        if strict:
+            request["strict"] = True
+        header, _ = self._request(protocol.REGISTER, request)
+        self.last_register_warnings = list(header.get("warnings", ()))
         return bool(header.get("sharded", False))
 
     def drop(self, name: str) -> None:
@@ -325,7 +337,7 @@ class StreamClient:
         query: str,
         timeout: Optional[float] = None,
         resume_from: Optional[int] = None,
-    ) -> "Subscription":
+    ) -> Subscription:
         """Open a dedicated server-push connection for a query's results.
 
         ``resume_from`` is the last result seq this consumer has seen
@@ -358,7 +370,7 @@ class StreamClient:
         finally:
             self._sock.close()
 
-    def __enter__(self) -> "StreamClient":
+    def __enter__(self) -> StreamClient:
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -454,7 +466,7 @@ class Subscription:
             self._closed = True
             self._sock.close()
 
-    def __enter__(self) -> "Subscription":
+    def __enter__(self) -> Subscription:
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -499,6 +511,8 @@ class AsyncStreamClient:
         self._max_payload = max_payload
         self._token = token
         self._closed = False
+        #: Rendered analyzer diagnostics from the most recent register().
+        self.last_register_warnings: list = []
 
     @classmethod
     async def connect(
@@ -506,7 +520,7 @@ class AsyncStreamClient:
         address,
         max_payload: int = DEFAULT_MAX_PAYLOAD,
         token: Optional[str] = None,
-    ) -> "AsyncStreamClient":
+    ) -> AsyncStreamClient:
         import asyncio
 
         host, port = protocol.parse_address(address)
@@ -559,8 +573,12 @@ class AsyncStreamClient:
             },
         )
 
-    async def register(self, name: str, cql: str) -> bool:
-        header, _ = await self._request(protocol.REGISTER, {"name": name, "cql": cql})
+    async def register(self, name: str, cql: str, strict: bool = False) -> bool:
+        request = {"name": name, "cql": cql}
+        if strict:
+            request["strict"] = True
+        header, _ = await self._request(protocol.REGISTER, request)
+        self.last_register_warnings = list(header.get("warnings", ()))
         return bool(header.get("sharded", False))
 
     async def drop(self, name: str) -> None:
@@ -672,7 +690,7 @@ class AsyncStreamClient:
 
     async def subscribe(
         self, query: str, resume_from: Optional[int] = None
-    ) -> "AsyncSubscription":
+    ) -> AsyncSubscription:
         subscription = AsyncSubscription(
             self._address,
             query,
@@ -693,7 +711,7 @@ class AsyncStreamClient:
             pass
         self._writer.close()
 
-    async def __aenter__(self) -> "AsyncStreamClient":
+    async def __aenter__(self) -> AsyncStreamClient:
         return self
 
     async def __aexit__(self, *exc_info) -> None:
@@ -765,7 +783,7 @@ class AsyncSubscription:
         self.last_seq = int(header.get("seq", self.last_seq))
         return decode_batch(payload).to_tuples()
 
-    def __aiter__(self) -> "AsyncSubscription":
+    def __aiter__(self) -> AsyncSubscription:
         return self
 
     async def __anext__(self) -> List[StreamTuple]:

@@ -213,7 +213,7 @@ class StreamServer:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    async def start(self) -> "StreamServer":
+    async def start(self) -> StreamServer:
         """Bind and start accepting connections; sets :attr:`address`."""
         self._server = await asyncio.start_server(
             self._serve_connection, self._host, self._port
@@ -369,8 +369,17 @@ class StreamServer:
             )
             return encode_frame(protocol.OK)
         if kind == protocol.REGISTER:
-            registered = session.register(header["name"], header["cql"])
-            return encode_frame(protocol.OK, {"sharded": registered.sharded})
+            # Analyze before registering: warnings ride back in the OK
+            # header either way; strict registrations refuse on errors
+            # (AnalysisError propagates as a normal request error).
+            diagnostics = session.analyze(header["cql"])
+            registered = session.register(
+                header["name"], header["cql"], strict=bool(header.get("strict"))
+            )
+            reply = {"sharded": registered.sharded}
+            if diagnostics:
+                reply["warnings"] = [d.render() for d in diagnostics]
+            return encode_frame(protocol.OK, reply)
         if kind == protocol.DROP:
             session.drop(header["name"])
             # Subscribers of a dropped query get a clean END instead of
@@ -526,7 +535,7 @@ class ServerHandle:
             self._loop.call_soon_threadsafe(self._loop.stop)
             self._thread.join(timeout=timeout)
 
-    def __enter__(self) -> "ServerHandle":
+    def __enter__(self) -> ServerHandle:
         return self
 
     def __exit__(self, *exc_info) -> None:

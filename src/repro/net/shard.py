@@ -227,7 +227,7 @@ class ShardServer:
             except OSError:
                 pass
 
-    def start_in_thread(self) -> "ShardServer":
+    def start_in_thread(self) -> ShardServer:
         """Serve on a daemon thread; :meth:`close` stops it."""
         thread = threading.Thread(
             target=self.serve_forever, name="repro-shard-server", daemon=True
@@ -236,7 +236,7 @@ class ShardServer:
         self._thread = thread
         return self
 
-    def __enter__(self) -> "ShardServer":
+    def __enter__(self) -> ShardServer:
         return self
 
     def __exit__(self, *exc_info) -> None:

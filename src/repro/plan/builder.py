@@ -120,7 +120,7 @@ class Stream:
         self._pending_window = _pending_window
         self._pending_key = _pending_key
 
-    def _wrap(self, node: LogicalNode, keep_staged: bool = False) -> "Stream":
+    def _wrap(self, node: LogicalNode, keep_staged: bool = False) -> Stream:
         """A new handle on ``node``.
 
         Row-wise stages pass ``keep_staged=True`` so a window/key staged
@@ -156,7 +156,7 @@ class Stream:
         uncertain: Optional[Iterable[str]] = None,
         family: Optional[str] = None,
         rate_hint: Optional[float] = None,
-    ) -> "Stream":
+    ) -> Stream:
         """Declare a named input stream.
 
         ``values`` / ``uncertain`` optionally declare the attributes
@@ -187,7 +187,7 @@ class Stream:
         self,
         values: Optional[Mapping[str, Callable[..., Any]]] = None,
         uncertain: Optional[Mapping[str, Callable[..., Distribution]]] = None,
-    ) -> "Stream":
+    ) -> Stream:
         """Add derived attributes computed from existing ones."""
         node = DeriveNode(
             input=self.node,
@@ -202,7 +202,7 @@ class Stream:
         uses: Optional[Iterable[str]] = None,
         description: Optional[str] = None,
         cost_hint: Optional[float] = None,
-    ) -> "Stream":
+    ) -> Stream:
         """Deterministic filter.
 
         Declaring ``uses`` (the attributes the predicate reads) lets
@@ -228,7 +228,7 @@ class Stream:
         upper: Optional[float] = None,
         min_probability: float = 0.5,
         annotate: Optional[str] = "selection_probability",
-    ) -> "Stream":
+    ) -> Stream:
         """Probabilistic filter on an uncertain attribute (``temp > 60``)."""
         node = ProbFilterNode(
             input=self.node,
@@ -244,13 +244,13 @@ class Stream:
     # ------------------------------------------------------------------
     # Windowed aggregation
     # ------------------------------------------------------------------
-    def window(self, spec: WindowSpec) -> "Stream":
+    def window(self, spec: WindowSpec) -> Stream:
         """Stage a window specification for the next ``aggregate()``."""
         if not isinstance(spec, WindowSpec):
             raise PlanError(f"window() expects a WindowSpec, got {type(spec).__name__}")
         return Stream(self.node, _pending_window=spec, _pending_key=self._pending_key)
 
-    def group_by(self, key: Callable[..., Hashable]) -> "Stream":
+    def group_by(self, key: Callable[..., Hashable]) -> Stream:
         """Stage a grouping key for the next ``aggregate()``."""
         return Stream(self.node, _pending_window=self._pending_window, _pending_key=key)
 
@@ -264,7 +264,7 @@ class Stream:
         having: Optional[HavingClause] = None,
         output_attribute: Optional[str] = None,
         check_independence: bool = True,
-    ) -> "Stream":
+    ) -> Stream:
         """Aggregate the staged (or passed) window, per group if keyed.
 
         With ``strategy=None`` the planner's cost model chooses among
@@ -287,7 +287,7 @@ class Stream:
         )
         return self._wrap(node)
 
-    def having(self, threshold: float, min_probability: float = 0.5) -> "Stream":
+    def having(self, threshold: float, min_probability: float = 0.5) -> Stream:
         """Attach a probabilistic HAVING clause to the aggregate just built."""
         if not isinstance(self.node, AggregateNode):
             raise PlanError("having() must directly follow aggregate()")
@@ -299,14 +299,14 @@ class Stream:
     # ------------------------------------------------------------------
     def join(
         self,
-        other: "Stream",
+        other: Stream,
         on: Callable[..., float],
         window_length: float,
         min_probability: float = 0.5,
         prefix_left: str = "left_",
         prefix_right: str = "right_",
         probability_attribute: str = "match_probability",
-    ) -> "Stream":
+    ) -> Stream:
         """Probabilistic sliding-window join with ``other`` (the Q2 shape).
 
         ``on(left_tuple, right_tuple)`` returns the probability that
@@ -328,7 +328,7 @@ class Stream:
         )
         return self._wrap(node)
 
-    def union(self, *others: "Stream") -> "Stream":
+    def union(self, *others: Stream) -> Stream:
         """Merge this stream with one or more others (identity per tuple)."""
         self._require_no_staged("union()")
         for other in others:
@@ -344,7 +344,7 @@ class Stream:
         attribute: str,
         confidence: float = 0.95,
         keep_distribution: bool = False,
-    ) -> "Stream":
+    ) -> Stream:
         """Replace a result distribution with its summary statistics."""
         self._require_no_staged("summarize()")
         node = SummarizeNode(
@@ -355,7 +355,7 @@ class Stream:
         )
         return self._wrap(node)
 
-    def pipe(self, operator: Operator, description: Optional[str] = None) -> "Stream":
+    def pipe(self, operator: Operator, description: Optional[str] = None) -> Stream:
         """Route the stream through a custom operator box (e.g. a T operator).
 
         The operator instance is stateful, so a plan containing piped

@@ -75,19 +75,19 @@ class StreamSchema:
     uncertain: Optional[FrozenSet[str]] = None
 
     @staticmethod
-    def open() -> "StreamSchema":
+    def open() -> StreamSchema:
         return StreamSchema(None, None)
 
     @property
     def is_open(self) -> bool:
         return self.values is None and self.uncertain is None
 
-    def with_values(self, *names: str) -> "StreamSchema":
+    def with_values(self, *names: str) -> StreamSchema:
         if self.values is None:
             return self
         return replace(self, values=self.values | frozenset(names))
 
-    def with_uncertain(self, *names: str) -> "StreamSchema":
+    def with_uncertain(self, *names: str) -> StreamSchema:
         if self.uncertain is None:
             return self
         return replace(self, uncertain=self.uncertain | frozenset(names))
@@ -160,7 +160,7 @@ class LogicalNode:
     def inputs(self) -> Tuple["LogicalNode", ...]:
         return ()
 
-    def with_inputs(self, *inputs: "LogicalNode") -> "LogicalNode":
+    def with_inputs(self, *inputs: LogicalNode) -> LogicalNode:
         """Return a copy of this node reading from ``inputs`` instead."""
         raise NotImplementedError
 
@@ -222,7 +222,7 @@ class SourceNode(LogicalNode):
                 return stat
         return None
 
-    def with_inputs(self, *inputs: LogicalNode) -> "SourceNode":
+    def with_inputs(self, *inputs: LogicalNode) -> SourceNode:
         if inputs:
             raise PlanError("SourceNode takes no inputs")
         return self
@@ -253,7 +253,7 @@ class DeriveNode(LogicalNode):
     def inputs(self) -> Tuple[LogicalNode, ...]:
         return (self.input,)
 
-    def with_inputs(self, *inputs: LogicalNode) -> "DeriveNode":
+    def with_inputs(self, *inputs: LogicalNode) -> DeriveNode:
         (node,) = inputs
         return replace(self, input=node)
 
@@ -300,7 +300,7 @@ class FilterNode(LogicalNode):
     def inputs(self) -> Tuple[LogicalNode, ...]:
         return (self.input,)
 
-    def with_inputs(self, *inputs: LogicalNode) -> "FilterNode":
+    def with_inputs(self, *inputs: LogicalNode) -> FilterNode:
         (node,) = inputs
         return replace(self, input=node)
 
@@ -340,7 +340,7 @@ class ProbFilterNode(LogicalNode):
     def inputs(self) -> Tuple[LogicalNode, ...]:
         return (self.input,)
 
-    def with_inputs(self, *inputs: LogicalNode) -> "ProbFilterNode":
+    def with_inputs(self, *inputs: LogicalNode) -> ProbFilterNode:
         (node,) = inputs
         return replace(self, input=node)
 
@@ -391,7 +391,7 @@ class AggregateNode(LogicalNode):
     def inputs(self) -> Tuple[LogicalNode, ...]:
         return (self.input,)
 
-    def with_inputs(self, *inputs: LogicalNode) -> "AggregateNode":
+    def with_inputs(self, *inputs: LogicalNode) -> AggregateNode:
         (node,) = inputs
         return replace(self, input=node)
 
@@ -457,7 +457,7 @@ class FusedSelectAggregateNode(LogicalNode):
     def inputs(self) -> Tuple[LogicalNode, ...]:
         return (self.select.input,)
 
-    def with_inputs(self, *inputs: LogicalNode) -> "FusedSelectAggregateNode":
+    def with_inputs(self, *inputs: LogicalNode) -> FusedSelectAggregateNode:
         (node,) = inputs
         return replace(self, select=replace(self.select, input=node))
 
@@ -485,7 +485,7 @@ class JoinNode(LogicalNode):
     def inputs(self) -> Tuple[LogicalNode, ...]:
         return (self.left, self.right)
 
-    def with_inputs(self, *inputs: LogicalNode) -> "JoinNode":
+    def with_inputs(self, *inputs: LogicalNode) -> JoinNode:
         left, right = inputs
         return replace(self, left=left, right=right)
 
@@ -529,7 +529,7 @@ class UnionNode(LogicalNode):
     def inputs(self) -> Tuple[LogicalNode, ...]:
         return self.sources
 
-    def with_inputs(self, *inputs: LogicalNode) -> "UnionNode":
+    def with_inputs(self, *inputs: LogicalNode) -> UnionNode:
         return replace(self, sources=tuple(inputs))
 
     def output_schema(self) -> StreamSchema:
@@ -570,7 +570,7 @@ class SummarizeNode(LogicalNode):
     def inputs(self) -> Tuple[LogicalNode, ...]:
         return (self.input,)
 
-    def with_inputs(self, *inputs: LogicalNode) -> "SummarizeNode":
+    def with_inputs(self, *inputs: LogicalNode) -> SummarizeNode:
         (node,) = inputs
         return replace(self, input=node)
 
@@ -613,7 +613,7 @@ class PipeNode(LogicalNode):
     def inputs(self) -> Tuple[LogicalNode, ...]:
         return (self.input,)
 
-    def with_inputs(self, *inputs: LogicalNode) -> "PipeNode":
+    def with_inputs(self, *inputs: LogicalNode) -> PipeNode:
         (node,) = inputs
         return replace(self, input=node)
 

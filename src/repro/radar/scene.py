@@ -140,7 +140,7 @@ class WeatherScene:
         azimuths_deg: Sequence[float] = (20.0, 40.0, 60.0, 80.0),
         core_radius: float = 350.0,
         max_speed: float = 45.0,
-    ) -> "WeatherScene":
+    ) -> WeatherScene:
         """Build the default tornadic scene used by the Table 1 benchmark.
 
         ``n_vortices`` Rankine vortices are placed at the given ranges

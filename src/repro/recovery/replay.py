@@ -14,6 +14,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List, Tuple
 
+from repro.analysis.sanitize import check as _sanitize_check
+from repro.analysis.sanitize import sanitizer_enabled as _sanitizer_enabled
 from repro.streams.tuples import StreamTuple
 
 __all__ = ["ReplayLog", "ReplayGapError"]
@@ -32,7 +34,7 @@ class ReplayGapError(RuntimeError):
         self.first_retained = first_retained
 
     @classmethod
-    def from_message(cls, message: str) -> "ReplayGapError":
+    def from_message(cls, message: str) -> ReplayGapError:
         """Rebuild from a server error frame (positions unknown client-side)."""
         error = cls.__new__(cls)
         RuntimeError.__init__(error, message)
@@ -54,6 +56,11 @@ class ReplayLog:
         #: Number of entries trimmed off the front; the retained entries
         #: cover seqs ``base+1 .. base+len(items)``.
         self._base = 0
+        # REPRO_SANITIZE=1 arms seq-monotonicity checks; latched here.
+        self._sanitize = _sanitizer_enabled()
+        # Seq the sanitizer expects the next append to follow from;
+        # re-latched by state_restore (a legitimate seq jump).
+        self._san_expected = 0
 
     @property
     def last_seq(self) -> int:
@@ -71,6 +78,13 @@ class ReplayLog:
         if len(self._items) > self.capacity:
             self._items.popleft()
             self._base += 1
+        if self._sanitize:
+            _sanitize_check(
+                self.last_seq == self._san_expected + 1,
+                f"replay log for query {self.query!r}: append moved last_seq "
+                f"to {self.last_seq}, expected {self._san_expected + 1}",
+            )
+            self._san_expected = self.last_seq
         return self.last_seq
 
     def replay_from(self, after_seq: int) -> List[Tuple[int, StreamTuple]]:
@@ -85,10 +99,25 @@ class ReplayLog:
         if after_seq < self._base:
             raise ReplayGapError(self.query, after_seq, self.first_retained)
         skip = after_seq - self._base
-        return [
+        entries = [
             (self._base + skip + offset + 1, item)
             for offset, item in enumerate(list(self._items)[skip:])
         ]
+        if self._sanitize and entries:
+            _sanitize_check(
+                entries[0][0] == after_seq + 1,
+                f"replay log for query {self.query!r}: replay after seq "
+                f"{after_seq} starts at {entries[0][0]}, expected {after_seq + 1}",
+            )
+            _sanitize_check(
+                all(
+                    later == earlier + 1
+                    for (earlier, _), (later, _) in zip(entries, entries[1:])
+                ),
+                f"replay log for query {self.query!r}: replayed seqs are not "
+                "strictly consecutive",
+            )
+        return entries
 
     def state_snapshot(self) -> dict:
         return {"base": self._base, "items": list(self._items)}
@@ -99,3 +128,4 @@ class ReplayLog:
         while len(self._items) > self.capacity:
             self._items.popleft()
             self._base += 1
+        self._san_expected = self.last_seq

@@ -1056,7 +1056,7 @@ class ShardedEngine:
         if self._finalizer is not None:
             self._finalizer.detach()
 
-    def __enter__(self) -> "ShardedEngine":
+    def __enter__(self) -> ShardedEngine:
         return self
 
     def __exit__(self, *exc_info) -> None:

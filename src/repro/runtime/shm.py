@@ -64,6 +64,9 @@ import time
 from multiprocessing import shared_memory
 from typing import Optional
 
+from repro.analysis.sanitize import check as _sanitize_check
+from repro.analysis.sanitize import sanitizer_enabled as _sanitizer_enabled
+
 __all__ = ["ShmRing", "ShardShmTransport", "RingFullError"]
 
 _U32 = struct.Struct("<I")
@@ -115,6 +118,11 @@ class ShmRing:
         self._pending = 0
         self._pending_view: Optional[memoryview] = None
         self._closed = False
+        # REPRO_SANITIZE=1 arms the ring invariants below; latched here
+        # so a live ring never changes behaviour mid-flight.
+        self._sanitize = _sanitizer_enabled()
+        self._san_last_head = 0
+        self._san_last_tail = 0
 
     # ------------------------------------------------------------------
     # Header counters
@@ -155,6 +163,21 @@ class ShmRing:
             )
         head = self._local_head
         tail = self._load(_TAIL)
+        if self._sanitize:
+            _sanitize_check(
+                tail >= self._san_last_tail,
+                f"ring {self.name}: tail moved backwards "
+                f"({self._san_last_tail} -> {tail})",
+            )
+            self._san_last_tail = tail
+            _sanitize_check(
+                tail <= head,
+                f"ring {self.name}: consumer tail {tail} passed producer head {head}",
+            )
+            _sanitize_check(
+                head - tail <= cap,
+                f"ring {self.name}: {head - tail} used bytes exceed capacity {cap}",
+            )
         pos = head % cap
         rem = cap - pos
         total = need if rem >= need else rem + need
@@ -206,6 +229,21 @@ class ShmRing:
         buf = self._buf
         tail = self._local_tail
         head = self._load(_HEAD)
+        if self._sanitize:
+            _sanitize_check(
+                head >= self._san_last_head,
+                f"ring {self.name}: head moved backwards "
+                f"({self._san_last_head} -> {head})",
+            )
+            self._san_last_head = head
+            _sanitize_check(
+                head >= tail,
+                f"ring {self.name}: producer head {head} behind consumer tail {tail}",
+            )
+            _sanitize_check(
+                head - tail <= cap,
+                f"ring {self.name}: {head - tail} unread bytes exceed capacity {cap}",
+            )
         while tail != head:
             pos = tail % cap
             rem = cap - pos
@@ -220,6 +258,23 @@ class ShmRing:
                 self._local_tail = tail
                 self._store(_TAIL, tail)
                 continue
+            if self._sanitize:
+                _sanitize_check(
+                    length <= self.max_record,
+                    f"ring {self.name}: record length {length} exceeds "
+                    f"max record {self.max_record} (corrupt length word)",
+                )
+                _sanitize_check(
+                    4 + length <= rem,
+                    f"ring {self.name}: {length}-byte record at offset {pos} "
+                    f"straddles the physical buffer end ({rem} bytes remain); "
+                    "end-of-buffer pad discipline violated",
+                )
+                _sanitize_check(
+                    tail + 4 + length <= head,
+                    f"ring {self.name}: record at offset {pos} extends past "
+                    f"the published head ({tail + 4 + length} > {head})",
+                )
             self._pending = 4 + length
             view = buf[_DATA + pos + 4 : _DATA + pos + 4 + length]
             self._pending_view = view

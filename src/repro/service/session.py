@@ -176,7 +176,7 @@ class BoxReport:
 class RegisteredQuery:
     """Handle returned by :meth:`QuerySession.register`."""
 
-    def __init__(self, session: "QuerySession", name: str):
+    def __init__(self, session: QuerySession, name: str):
         self._session = session
         self.name = name
 
@@ -335,12 +335,31 @@ class QuerySession:
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
+    def analyze(
+        self,
+        query: str,
+        functions: Optional[Mapping[str, Callable]] = None,
+    ) -> list:
+        """Semantically analyze CQL text against this session's schemas.
+
+        Returns the list of :class:`repro.analysis.Diagnostic` findings
+        (errors and warnings) without registering anything.  This is the
+        same pass :meth:`register` runs under ``strict=True`` and the
+        server surfaces in REGISTER reply headers.
+        """
+        from repro.analysis.semantic import analyze_query
+
+        merged = dict(self._functions)
+        merged.update(functions or {})
+        return analyze_query(query, sources=self._streams, functions=merged)
+
     def register(
         self,
         name: str,
         query: Union[str, Stream, LogicalPlan],
         functions: Optional[Mapping[str, Callable]] = None,
         on_result: Optional[Callable[[StreamTuple], None]] = None,
+        strict: bool = False,
     ) -> RegisteredQuery:
         """Register a continuous query under ``name`` and start it.
 
@@ -350,12 +369,24 @@ class QuerySession:
         the existing physical boxes instead of new ones.
         ``on_result`` is called for every tuple the query emits (in
         addition to collection in :meth:`results`).
+
+        ``strict=True`` runs the CQL semantic analyzer first and raises
+        :class:`repro.analysis.AnalysisError` when it reports errors
+        (typo'd columns, deterministic ``=`` on uncertain attributes,
+        broken windows, ...), instead of letting the query lower into
+        something silently wrong.
         """
         if name in self._queries:
             raise ServiceError(f"a query named {name!r} is already registered")
         text: Optional[str] = None
         if isinstance(query, str):
             text = query
+            if strict:
+                from repro.analysis import AnalysisError, errors
+
+                found = errors(self.analyze(query, functions))
+                if found:
+                    raise AnalysisError(found)
             merged = dict(self._functions)
             merged.update(functions or {})
             plan = lower_query(query, sources=self._streams, functions=merged)
@@ -697,7 +728,7 @@ class QuerySession:
             if query.sharded is not None:
                 query.sharded.close()
 
-    def __enter__(self) -> "QuerySession":
+    def __enter__(self) -> QuerySession:
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -813,7 +844,7 @@ class QuerySession:
         shard_chunk_size: Optional[int] = None,
         shard_remote_shards: Optional[Iterable[str]] = None,
         replay_capacity: Optional[int] = None,
-    ) -> "QuerySession":
+    ) -> QuerySession:
         """Rebuild a session from :meth:`snapshot` output.
 
         Stream declarations are re-created and the CQL queries
@@ -977,7 +1008,7 @@ class QuerySession:
         shard_backend: Optional[str] = None,
         shard_chunk_size: Optional[int] = None,
         shard_remote_shards: Optional[Iterable[str]] = None,
-    ) -> "QuerySession":
+    ) -> QuerySession:
         """Rebuild a session from the latest checkpoint in ``directory``.
 
         Re-registers every query, restores all operator state (window

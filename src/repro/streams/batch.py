@@ -55,7 +55,7 @@ class TupleBatch:
     # Construction / conversion
     # ------------------------------------------------------------------
     @classmethod
-    def from_tuples(cls, tuples: Iterable[StreamTuple]) -> "TupleBatch":
+    def from_tuples(cls, tuples: Iterable[StreamTuple]) -> TupleBatch:
         """Build a batch from an iterable of tuples (stream order preserved)."""
         return cls(tuples)
 
@@ -69,7 +69,7 @@ class TupleBatch:
         return tuple(self._tuples)
 
     @staticmethod
-    def concat(batches: Iterable["TupleBatch"]) -> "TupleBatch":
+    def concat(batches: Iterable["TupleBatch"]) -> TupleBatch:
         """Concatenate several batches into one (stream order preserved)."""
         rows: List[StreamTuple] = []
         for batch in batches:
@@ -83,7 +83,7 @@ class TupleBatch:
         for start in range(0, len(self._tuples), size):
             yield TupleBatch(self._tuples[start : start + size])
 
-    def select(self, mask: Union[Sequence[bool], np.ndarray]) -> "TupleBatch":
+    def select(self, mask: Union[Sequence[bool], np.ndarray]) -> TupleBatch:
         """Return the rows where ``mask`` is truthy (boolean row filter)."""
         mask = np.asarray(mask, dtype=bool)
         if mask.shape != (len(self._tuples),):

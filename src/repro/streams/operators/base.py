@@ -55,7 +55,7 @@ class Operator(abc.ABC):
     # ------------------------------------------------------------------
     # Topology
     # ------------------------------------------------------------------
-    def connect(self, downstream: "Operator") -> "Operator":
+    def connect(self, downstream: Operator) -> Operator:
         """Connect this operator's output to ``downstream`` and return it.
 
         Returning the downstream operator allows fluent chaining:
@@ -66,7 +66,7 @@ class Operator(abc.ABC):
         self._downstream.append(downstream)
         return downstream
 
-    def disconnect(self, downstream: "Operator") -> None:
+    def disconnect(self, downstream: Operator) -> None:
         """Remove the arrow to ``downstream`` (one arrow per call).
 
         Used for dynamic plan mutation: a continuous-query session

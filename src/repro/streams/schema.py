@@ -58,13 +58,13 @@ class Schema:
     # Construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def of(cls, values: Sequence[str] = (), uncertain: Sequence[str] = ()) -> "Schema":
+    def of(cls, values: Sequence[str] = (), uncertain: Sequence[str] = ()) -> Schema:
         """Build a schema from two lists of attribute names."""
         attrs = [Attribute(name, AttributeKind.VALUE) for name in values]
         attrs += [Attribute(name, AttributeKind.UNCERTAIN) for name in uncertain]
         return cls(attrs)
 
-    def extend(self, values: Sequence[str] = (), uncertain: Sequence[str] = ()) -> "Schema":
+    def extend(self, values: Sequence[str] = (), uncertain: Sequence[str] = ()) -> Schema:
         """Return a new schema with additional attributes."""
         extra = [Attribute(name, AttributeKind.VALUE) for name in values]
         extra += [Attribute(name, AttributeKind.UNCERTAIN) for name in uncertain]

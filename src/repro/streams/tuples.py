@@ -143,7 +143,7 @@ class StreamTuple:
         uncertain: Mapping[str, Distribution],
         lineage: FrozenSet[TupleId],
         tuple_id: Optional[TupleId] = None,
-    ) -> "StreamTuple":
+    ) -> StreamTuple:
         """Build a tuple from pre-validated parts, skipping ``__post_init__``.
 
         Batch kernels construct thousands of derived tuples whose
@@ -179,7 +179,7 @@ class StreamTuple:
         extra_lineage: Iterable[TupleId] = (),
         replace_values: bool = False,
         replace_uncertain: bool = False,
-    ) -> "StreamTuple":
+    ) -> StreamTuple:
         """Return a new tuple derived from this one.
 
         By default the new tuple keeps this tuple's attributes and adds
@@ -204,12 +204,12 @@ class StreamTuple:
 
     @staticmethod
     def merge(
-        left: "StreamTuple",
-        right: "StreamTuple",
+        left: StreamTuple,
+        right: StreamTuple,
         timestamp: Optional[float] = None,
         prefix_left: str = "",
         prefix_right: str = "",
-    ) -> "StreamTuple":
+    ) -> StreamTuple:
         """Combine two tuples into one (as a join operator does).
 
         Attribute name clashes are resolved with the supplied prefixes;
@@ -233,7 +233,7 @@ class StreamTuple:
             lineage=left.lineage | right.lineage,
         )
 
-    def shares_lineage_with(self, other: "StreamTuple") -> bool:
+    def shares_lineage_with(self, other: StreamTuple) -> bool:
         """Return True when the two tuples derive from a common base tuple.
 
         Tuples with overlapping lineage may be correlated and must not

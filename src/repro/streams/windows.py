@@ -40,7 +40,7 @@ class WindowSpec(abc.ABC):
     """Strategy describing how tuples are grouped into windows."""
 
     @abc.abstractmethod
-    def new_buffer(self) -> "WindowBuffer":
+    def new_buffer(self) -> WindowBuffer:
         """Return a fresh stateful buffer implementing this window."""
 
 
@@ -102,7 +102,7 @@ class TumblingCountWindow(WindowSpec):
             raise ValueError(f"window size must be at least 1, got {size}")
         self.size = int(size)
 
-    def new_buffer(self) -> "WindowBuffer":
+    def new_buffer(self) -> WindowBuffer:
         return _CountBuffer(self.size)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
@@ -173,7 +173,7 @@ class TumblingTimeWindow(WindowSpec):
         self.length = float(length)
         self.origin = float(origin)
 
-    def new_buffer(self) -> "WindowBuffer":
+    def new_buffer(self) -> WindowBuffer:
         return _TimeBuffer(self.length, self.origin)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
@@ -293,7 +293,7 @@ class SlidingTimeWindow(WindowSpec):
             raise ValueError(f"window length must be positive, got {length}")
         self.length = float(length)
 
-    def new_buffer(self) -> "WindowBuffer":
+    def new_buffer(self) -> WindowBuffer:
         return _SlidingBuffer(self.length)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
@@ -342,7 +342,7 @@ class _SlidingBuffer(WindowBuffer):
 class NowWindow(WindowSpec):
     """A window containing only the most recent tuple."""
 
-    def new_buffer(self) -> "WindowBuffer":
+    def new_buffer(self) -> WindowBuffer:
         return _NowBuffer()
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

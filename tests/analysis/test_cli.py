@@ -1,0 +1,43 @@
+"""The ``python -m repro.analysis`` gate: exit codes and output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.cli import main
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+class TestMain:
+    def test_repo_is_clean(self, capsys):
+        assert main([]) == 0
+        err = capsys.readouterr().err
+        assert "0 error(s)" in err
+
+    def test_query_errors_gate(self, capsys):
+        assert main(["--query", "SELECT x FROM s [RANGE 5 SLIDE 10]"]) == 1
+        out = capsys.readouterr().out
+        assert "SLIDE 10.0 exceeds RANGE 5.0" in out
+
+    def test_clean_query_passes(self):
+        assert main(["--query", "SELECT x FROM s WHERE x > 1"]) == 0
+
+    def test_strict_turns_warnings_into_failures(self, capsys):
+        # A deterministic probability qualifier is warning-severity:
+        # fine by default, fatal under --strict.
+        query = "SELECT SUM(x) FROM s [ROWS 5] HAVING SUM(x) > 1 WITH PROBABILITY 2.0"
+        assert main(["--query", query]) == 1  # probability out of range: error
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_exits_zero_on_the_repo(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(REPO_SRC), "PATH": "/usr/bin:/bin"},
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "0 error(s)" in result.stderr

@@ -1,0 +1,232 @@
+"""Concurrency lint: self-lint cleanliness + synthetic offenders.
+
+Each rule gets a minimal synthetic source that trips it and a close
+sibling that does not, so the checks stay sharp in both directions.
+"""
+
+import textwrap
+
+from repro.analysis.concurrency import lint_concurrency, lint_source
+from repro.analysis.diagnostics import errors
+
+
+def _lint(source, owner_names=None):
+    return lint_source(textwrap.dedent(source), "synthetic.py", owner_names)
+
+
+def _rules(source, owner_names=None):
+    return [d.rule for d in _lint(source, owner_names)]
+
+
+class TestImportTimeThread:
+    def test_module_scope_thread_start_is_caught(self):
+        assert "import-time-thread" in _rules(
+            """
+            from threading import Thread
+            Thread(target=print).start()
+            """
+        )
+
+    def test_thread_inside_function_is_fine(self):
+        assert (
+            _rules(
+                """
+                from threading import Thread
+
+                def go():
+                    Thread(target=print).start()
+                """
+            )
+            == []
+        )
+
+
+class TestThreadBeforeFork:
+    def test_thread_created_before_process_is_caught(self):
+        assert "thread-before-fork" in _rules(
+            """
+            def start(self):
+                reader = Thread(target=self._loop)
+                reader.start()
+                worker = Process(target=main)
+                worker.start()
+            """
+        )
+
+    def test_process_first_is_fine(self):
+        assert (
+            _rules(
+                """
+                def start(self):
+                    worker = Process(target=main)
+                    worker.start()
+                    reader = Thread(target=self._loop)
+                    reader.start()
+                """
+            )
+            == []
+        )
+
+
+class TestForkUnderLock:
+    def test_process_created_under_lock_is_caught(self):
+        assert "fork-under-lock" in _rules(
+            """
+            def start(self):
+                with self._lock:
+                    worker = Process(target=main)
+            """
+        )
+
+    def test_process_outside_critical_section_is_fine(self):
+        assert (
+            _rules(
+                """
+                def start(self):
+                    with self._lock:
+                        n = self._count
+                    worker = Process(target=main)
+                """
+            )
+            == []
+        )
+
+    def test_nested_function_does_not_inherit_the_lock(self):
+        # The inner def runs later, not under the with; no finding.
+        assert (
+            _rules(
+                """
+                def start(self):
+                    with self._lock:
+                        def later():
+                            return Process(target=main)
+                """
+            )
+            == []
+        )
+
+
+class TestSinkDeliveryThread:
+    def test_reader_thread_reaching_delivery_is_caught(self):
+        found = _lint(
+            """
+            class Engine:
+                def start(self):
+                    self._reader = Thread(target=self._loop)
+
+                def _loop(self):
+                    self._apply_reply()
+                    self._flush_ready()
+
+                def _apply_reply(self):
+                    pass
+
+                def _flush_ready(self):
+                    pass
+            """
+        )
+        assert [d.rule for d in found] == ["sink-delivery-thread"]
+        assert "_flush_ready" in found[0].message
+
+    def test_transitive_reachability_is_caught(self):
+        assert "sink-delivery-thread" in _rules(
+            """
+            class Engine:
+                def start(self):
+                    self._reader = Thread(target=self._loop)
+
+                def _loop(self):
+                    self._step()
+
+                def _step(self):
+                    self._deliver(1)
+
+                def _deliver(self, item):
+                    pass
+            """
+        )
+
+    def test_reader_thread_without_delivery_is_fine(self):
+        assert (
+            _rules(
+                """
+                class Engine:
+                    def start(self):
+                        self._reader = Thread(target=self._loop)
+
+                    def _loop(self):
+                        self._apply_reply()
+
+                    def _apply_reply(self):
+                        pass
+
+                    def _deliver(self, item):
+                        pass
+                """
+            )
+            == []
+        )
+
+
+class TestShmFinalize:
+    def test_bare_shared_memory_creation_is_caught(self):
+        assert "shm-finalize" in _rules(
+            """
+            def scratch():
+                return SharedMemory(create=True, size=4096)
+            """
+        )
+
+    def test_owner_class_creation_is_fine(self):
+        assert (
+            _rules(
+                """
+                class Ring:
+                    def __init__(self):
+                        self._shm = SharedMemory(create=True, size=4096)
+
+                    def close(self):
+                        self._shm.close()
+
+                    def unlink(self):
+                        self._shm.unlink()
+                """
+            )
+            == []
+        )
+
+    def test_owner_construction_without_finalize_net_is_caught(self):
+        assert "shm-finalize" in _rules(
+            """
+            def build():
+                return ShmRing(1 << 20)
+            """,
+            owner_names={"ShmRing"},
+        )
+
+    def test_owner_construction_with_finalize_net_is_fine(self):
+        assert (
+            _rules(
+                """
+                import weakref
+
+                def build(engine):
+                    ring = ShmRing(1 << 20)
+                    weakref.finalize(engine, ring.unlink)
+                    return ring
+                """,
+                owner_names={"ShmRing"},
+            )
+            == []
+        )
+
+
+class TestSelfLint:
+    def test_repro_runtime_is_clean(self):
+        diagnostics = lint_concurrency()
+        assert errors(diagnostics) == [], "\n".join(
+            d.render() for d in errors(diagnostics)
+        )
+
+    def test_parse_failure_is_a_diagnostic(self):
+        assert _rules("def broken(:\n") == ["parse-failure"]

@@ -1,0 +1,129 @@
+"""REPRO_SANITIZE runtime mode: armed invariants catch seeded corruption.
+
+The sanitizer must be off by default (zero-cost in production), latch
+at object construction, and turn seeded ring/replay corruption into
+:class:`SanitizerError` instead of silent garbage.
+"""
+
+import struct
+
+import pytest
+
+from repro.analysis.sanitize import SanitizerError, sanitizer_enabled
+from repro.recovery.replay import ReplayLog
+from repro.runtime.shm import _HEAD, ShmRing
+from repro.streams.tuples import StreamTuple
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+
+@pytest.fixture
+def armed(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+
+
+@pytest.fixture
+def disarmed(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+
+
+def _make_ring(request, data_bytes=1 << 12):
+    ring = ShmRing(data_bytes)
+    def cleanup():
+        ring.close()
+        ring.unlink()
+    request.addfinalizer(cleanup)
+    return ring
+
+
+class TestSwitch:
+    def test_off_by_default(self, disarmed):
+        assert sanitizer_enabled() is False
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on"])
+    def test_truthy_values_arm(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SANITIZE", value)
+        assert sanitizer_enabled() is True
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "no", "off"])
+    def test_falsy_values_disarm(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SANITIZE", value)
+        assert sanitizer_enabled() is False
+
+    def test_latched_at_construction(self, monkeypatch, request):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        ring = _make_ring(request)
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert ring._sanitize is False  # flipping env never re-arms live rings
+        assert ShmRing.__init__  # (documented contract, checked above)
+
+
+class TestRingInvariants:
+    def test_armed_ring_round_trips_normally(self, armed, request):
+        ring = _make_ring(request)
+        assert ring.try_write(b"hello")
+        view = ring.next_view()
+        assert bytes(view) == b"hello"
+        ring.release()
+        assert ring.next_view() is None
+
+    def test_corrupt_length_word_is_caught(self, armed, request):
+        ring = _make_ring(request)
+        ring.try_write(b"hello")
+        # Smash the record's length word to an impossible value.
+        _U32.pack_into(ring._buf, 256, ring.max_record + 1)
+        with pytest.raises(SanitizerError, match="corrupt length word"):
+            ring.next_view()
+
+    def test_head_regression_is_caught(self, armed, request):
+        ring = _make_ring(request)
+        ring.try_write(b"hello")
+        view = ring.next_view()  # latches the observed head
+        assert view is not None
+        ring.release()
+        _U64.pack_into(ring._buf, _HEAD, 0)  # head goes backwards
+        with pytest.raises(SanitizerError, match="head moved backwards"):
+            ring.next_view()
+
+    def test_record_past_published_head_is_caught(self, armed, request):
+        ring = _make_ring(request)
+        ring.try_write(b"hello")
+        # Claim a longer record than the producer published.
+        _U32.pack_into(ring._buf, 256, 100)
+        with pytest.raises(SanitizerError, match="past"):
+            ring.next_view()
+
+    def test_disarmed_ring_skips_the_checks(self, disarmed, request):
+        ring = _make_ring(request)
+        ring.try_write(b"hello")
+        _U32.pack_into(ring._buf, 256, 100)  # same corruption as above
+        view = ring.next_view()  # garbage, but no sanitizer in the way
+        assert view is not None
+
+
+def _tuple(ts):
+    return StreamTuple(timestamp=ts, values={"n": ts})
+
+
+class TestReplayInvariants:
+    def test_armed_log_round_trips_normally(self, armed):
+        log = ReplayLog(capacity=4, query="q")
+        for ts in range(1, 7):
+            log.append(_tuple(float(ts)))
+        entries = log.replay_from(3)
+        assert [seq for seq, _ in entries] == [4, 5, 6]
+
+    def test_seq_jump_on_append_is_caught(self, armed):
+        log = ReplayLog(capacity=8, query="q")
+        log.append(_tuple(1.0))
+        log._base += 5  # seed corruption: base drifts without a trim
+        with pytest.raises(SanitizerError, match="append moved last_seq"):
+            log.append(_tuple(2.0))
+
+    def test_disarmed_log_skips_the_checks(self, disarmed):
+        log = ReplayLog(capacity=8, query="q")
+        log.append(_tuple(1.0))
+        log._base += 5
+        log.append(_tuple(2.0))  # silently wrong, but not the sanitizer's job
+        assert log.last_seq == 7

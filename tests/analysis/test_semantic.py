@@ -1,0 +1,207 @@
+"""Golden-message tests for the CQL semantic analyzer.
+
+Mirrors ``tests/cql/test_errors.py``: each rule pins the *exact*
+rendered diagnostic (severity, span, message) so the analyzer's error
+surface stays stable — update goldens deliberately, not accidentally.
+"""
+
+import pytest
+
+from repro.analysis import Severity
+from repro.analysis.semantic import analyze_query
+from repro.cql.errors import CQLSyntaxError
+from repro.plan.nodes import SourceNode
+
+SOURCES = {
+    "readings": SourceNode(
+        name="readings",
+        values=frozenset({"tag_id"}),
+        uncertain=frozenset({"x", "y"}),
+    ),
+    "shelf": SourceNode(
+        name="shelf",
+        values=frozenset({"sid", "sx"}),
+        uncertain=frozenset(),
+    ),
+}
+
+#: (query, rule, exact rendered diagnostic)
+GOLDEN_DIAGNOSTICS = [
+    (
+        "SELECT tag_idd FROM readings [RANGE 5]",
+        "unknown-column",
+        "CQL semantic error at line 1, column 8: unknown attribute 'tag_idd' "
+        "(known: tag_id, x, y); did you mean 'tag_id'? (near 'tag_idd')",
+    ),
+    (
+        "SELECT tag_id FROM readings [RANGE 5] WHERE x = 3",
+        "uncertain-equality",
+        "CQL semantic error at line 1, column 47: deterministic '=' on "
+        "uncertain attribute 'x' matches with probability zero; use BETWEEN, "
+        "a '~=' band match, or WITH PROBABILITY on a range comparison "
+        "(near '=')",
+    ),
+    (
+        "SELECT tag_id FROM readings [RANGE 5 SLIDE 10]",
+        "window-sanity",
+        "CQL semantic error at line 1, column 29: SLIDE 10.0 exceeds RANGE "
+        "5.0: tuples arriving between window hops would be silently dropped",
+    ),
+    (
+        "SELECT COUNT(*) FROM readings [ROWS 0]",
+        "window-sanity",
+        "CQL semantic error at line 1, column 31: [ROWS n] needs a positive "
+        "whole number of rows, got 0.0",
+    ),
+    (
+        "SELECT tag_id FROM readings [RANGE 5] "
+        "WHERE tag_id = 'a' WITH PROBABILITY 0.5",
+        "probability-on-deterministic",
+        "CQL semantic warning at line 1, column 45: WITH PROBABILITY on "
+        "deterministic attribute 'tag_id': the comparison is exact and the "
+        "qualifier has no effect (near 'tag_id')",
+    ),
+    (
+        "SELECT r.tag_id FROM readings AS r [RANGE 5] "
+        "JOIN shelf AS s [RANGE 5] ON r.x ~= s.sid WITHIN 0",
+        "band-match-width",
+        "CQL semantic error at line 1, column 75: a '~=' band match needs a "
+        "positive WITHIN width, got 0.0",
+    ),
+    (
+        "SELECT AVG(x) FROM readings [RANGE 5] GROUP BY tag_id "
+        "HAVING AVG(tag_id) > 1 WITH PROBABILITY 0.9",
+        "having-mismatch",
+        "CQL semantic error at line 1, column 62: HAVING aggregate "
+        "avg(tag_id) does not match the SELECT aggregate avg(x) "
+        "(near 'avg(tag_id)')",
+    ),
+    (
+        "SELECT zz FROM nosuch [RANGE 5]",
+        "unknown-stream",
+        "CQL semantic error at line 1, column 16: stream 'nosuch' is not "
+        "declared and would run as an open-schema source "
+        "(declared: readings, shelf) (near 'nosuch')",
+    ),
+]
+
+
+class TestGoldenDiagnostics:
+    @pytest.mark.parametrize(
+        "query,rule,rendered",
+        GOLDEN_DIAGNOSTICS,
+        ids=[case[1] for case in GOLDEN_DIAGNOSTICS],
+    )
+    def test_exact_rendering(self, query, rule, rendered):
+        diagnostics = analyze_query(query, sources=SOURCES)
+        matching = [d for d in diagnostics if d.rule == rule]
+        assert matching, f"rule {rule} did not fire; got {diagnostics}"
+        assert matching[0].render() == rendered
+        assert str(matching[0]) == rendered
+
+
+class TestRuleBehaviour:
+    def test_clean_query_has_no_diagnostics(self):
+        assert (
+            analyze_query(
+                "SELECT tag_id, AVG(x) FROM readings [RANGE 5] GROUP BY tag_id",
+                sources=SOURCES,
+            )
+            == []
+        )
+
+    def test_open_schema_without_sources_stays_silent(self):
+        # No declared streams at all: everything is open-schema; the
+        # analyzer cannot know any better and must not guess.
+        assert analyze_query("SELECT zz FROM nosuch [RANGE 5]") == []
+
+    def test_unknown_column_span_is_one_based(self):
+        (diag,) = [
+            d
+            for d in analyze_query(
+                "SELECT tag_idd FROM readings [RANGE 5]", sources=SOURCES
+            )
+            if d.rule == "unknown-column"
+        ]
+        assert (diag.line, diag.column, diag.token) == (1, 8, "tag_idd")
+        assert diag.severity is Severity.ERROR
+
+    def test_unknown_function_is_reported(self):
+        diagnostics = analyze_query(
+            "SELECT tag_id FROM readings [RANGE 5] WHERE mystery(x) > 1",
+            sources=SOURCES,
+        )
+        assert any(d.rule == "unknown-function" for d in diagnostics)
+
+    def test_builtin_functions_are_known(self):
+        assert (
+            analyze_query(
+                "SELECT tag_id FROM readings [RANGE 5] WHERE abs(x) > 1",
+                sources=SOURCES,
+            )
+            == []
+        )
+
+    def test_probability_on_function_comparison_is_misuse(self):
+        # Mirrors the lowering rule: WITH PROBABILITY applies only to
+        # constant comparisons on uncertain attributes.
+        diagnostics = analyze_query(
+            "SELECT tag_id FROM readings [RANGE 5] WHERE abs(x) > 1 "
+            "WITH PROBABILITY 0.5",
+            sources=SOURCES,
+        )
+        assert any(d.rule == "probability-misuse" for d in diagnostics)
+
+    def test_probability_out_of_range(self):
+        diagnostics = analyze_query(
+            "SELECT tag_id FROM readings [RANGE 5] WHERE x > 1 "
+            "WITH PROBABILITY 1.5",
+            sources=SOURCES,
+        )
+        assert any(
+            d.rule == "probability-misuse" and d.is_error for d in diagnostics
+        )
+
+    def test_slide_below_range_is_tumbling_only(self):
+        diagnostics = analyze_query(
+            "SELECT AVG(x) FROM readings [RANGE 10 SLIDE 5]", sources=SOURCES
+        )
+        assert any(d.rule == "window-sanity" for d in diagnostics)
+
+    def test_band_match_on_deterministic_operand_warns(self):
+        diagnostics = analyze_query(
+            "SELECT r.tag_id FROM readings AS r [RANGE 5] "
+            "JOIN shelf AS s [RANGE 5] ON r.x ~= s.sid WITHIN 2",
+            sources=SOURCES,
+        )
+        assert any(
+            d.rule == "band-match-deterministic" and not d.is_error
+            for d in diagnostics
+        )
+
+    def test_unknown_alias_in_select(self):
+        diagnostics = analyze_query(
+            "SELECT zz.tag_id FROM readings AS r [RANGE 5] "
+            "JOIN shelf AS s [RANGE 5] ON r.x ~= s.sx WITHIN 2",
+            sources=SOURCES,
+        )
+        assert any(d.rule == "unknown-alias" for d in diagnostics)
+
+    def test_unqualified_band_match_side_is_reported(self):
+        diagnostics = analyze_query(
+            "SELECT r.tag_id FROM readings AS r [RANGE 5] "
+            "JOIN shelf AS s [RANGE 5] ON zz.x ~= s.sx WITHIN 2",
+            sources=SOURCES,
+        )
+        assert any(d.rule == "band-match-operands" for d in diagnostics)
+
+    def test_syntax_errors_still_raise(self):
+        with pytest.raises(CQLSyntaxError):
+            analyze_query("SELEC * FROM readings", sources=SOURCES)
+
+    def test_accepts_parsed_ast(self):
+        from repro.cql.parser import parse
+
+        ast = parse("SELECT tag_idd FROM readings [RANGE 5]")
+        diagnostics = analyze_query(ast, sources=SOURCES)
+        assert any(d.rule == "unknown-column" for d in diagnostics)

@@ -1,6 +1,7 @@
 """CheckpointStore file format, delta refs, atomicity; ReplayLog units."""
 
 import os
+from pathlib import Path
 
 import pytest
 
@@ -66,9 +67,9 @@ class TestCheckpointStore:
     def test_corrupt_blob_fails_integrity_check(self, tmp_path):
         store = CheckpointStore(tmp_path)
         info = store.save({"a": b"x" * 64}, mode="full")
-        raw = bytearray(open(info.path, "rb").read())
+        raw = bytearray(Path(info.path).read_bytes())
         raw[-1] ^= 0xFF  # flip a blob byte, leave the header intact
-        open(info.path, "wb").write(bytes(raw))
+        Path(info.path).write_bytes(bytes(raw))
         with pytest.raises(CheckpointError, match="integrity"):
             store.load_latest()
 
