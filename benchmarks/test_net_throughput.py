@@ -10,7 +10,10 @@ registered select→aggregate query on the batch execution path.
 Reported per configuration (ingest batch size × ack window):
 
 * end-to-end tuples/s as seen by the client (encode + TCP + decode +
-  query execution + ack), and
+  query execution + ack),
+* the p95 ingest→ACK round-trip latency the client observed (from
+  ``StreamClient.last_ingest_ack_latencies``; pipelined, so one sample
+  may cover several in-flight frames), and
 * the wire bytes per tuple of the columnar batch codec.
 
 Asserted: the best configuration sustains at least ``MIN_TUPLES_PER_S``
@@ -57,8 +60,9 @@ def run_config(address, offset, batch_size, window):
         started = time.perf_counter()
         acked = client.ingest("s", tuples, batch_size=batch_size, window=window)
         elapsed = time.perf_counter() - started
+        latencies = list(client.last_ingest_ack_latencies)
     assert acked == len(tuples)
-    return len(tuples) / elapsed
+    return len(tuples) / elapsed, latencies
 
 
 def test_localhost_ingest_throughput(result_table_factory):
@@ -71,7 +75,7 @@ def test_localhost_ingest_throughput(result_table_factory):
         "net_throughput",
         f"# localhost ingest, {N_TUPLES} tuples/run, select->aggregate "
         f"registered, columnar wire ({bytes_per_tuple:.1f} B/tuple)\n"
-        f"{'batch':>8} {'window':>8} {'tuples/s':>12}",
+        f"{'batch':>8} {'window':>8} {'tuples/s':>12} {'ack p95 (ms)':>14}",
     )
     best = 0.0
     try:
@@ -85,14 +89,19 @@ def test_localhost_ingest_throughput(result_table_factory):
         run_index = 0
         for batch_size, window in CONFIGS:
             rate = 0.0
+            latencies = []
             for _ in range(REPEATS):
-                rate = max(
-                    rate,
-                    run_config(handle.address, run_index * span, batch_size, window),
+                run_rate, run_latencies = run_config(
+                    handle.address, run_index * span, batch_size, window
                 )
+                rate = max(rate, run_rate)
+                latencies.extend(run_latencies)
                 run_index += 1
             best = max(best, rate)
-            table.add_row(f"{batch_size:>8} {window:>8} {rate:>12.0f}")
+            ack_p95_ms = float(np.percentile(latencies, 95)) * 1000.0
+            table.add_row(
+                f"{batch_size:>8} {window:>8} {rate:>12.0f} {ack_p95_ms:>14.3f}"
+            )
     finally:
         handle.stop()
 

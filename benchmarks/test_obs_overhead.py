@@ -1,0 +1,148 @@
+"""Observability overhead: an attached exporter must cost ≤ ``MAX_OVERHEAD``.
+
+The registry's design claim (see :mod:`repro.obs.registry`) is that the
+ingest hot path pays only plain array increments — snapshotting,
+percentile estimation and rendering all run on the reader's side.  This
+smoke check measures it: the same select→aggregate session workload
+runs bare and then with an aggressive exporter attached (a thread
+snapshotting the registry and rendering the Prometheus text format
+every 10 ms — ~100× a production scrape rate), and the instrumented
+run must stay within ``MAX_OVERHEAD`` of the bare one.
+
+Both runs execute identical code (trace stamping and instruments are
+always on); only the exporter differs, so the measured delta is the
+cost of *exposition under load*, the ISSUE's ≤3% budget.  The assert
+allows ``NOISE_SLACK`` on top because best-of-N wall clocks on a shared
+box still jitter by a few percent.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro import QuerySession, obs
+from repro.distributions import Gaussian
+from repro.obs import render_prometheus
+from repro.streams import StreamTuple
+
+N_TUPLES = 150_000
+BATCH_SIZE = 2048
+REPEATS = 5
+MAX_OVERHEAD = 0.03
+NOISE_SLACK = 0.04
+
+QUERY = "SELECT SUM(value) AS total FROM s [RANGE 2 SECONDS SLIDE 2 SECONDS]"
+
+
+def make_tuples(n):
+    rng = np.random.default_rng(41)
+    return [
+        StreamTuple(
+            timestamp=i * 0.01,
+            values={"tag_id": f"T{i % 16}"},
+            uncertain={"value": Gaussian(float(rng.uniform(10.0, 90.0)), 2.0)},
+        )
+        for i in range(n)
+    ]
+
+
+def run_once(stream):
+    session = QuerySession(batch_size=BATCH_SIZE)
+    session.create_stream(
+        "s", values=("tag_id",), uncertain=("value",), family="gaussian",
+        rate_hint=100.0,
+    )
+    session.register("totals", QUERY)
+    started = time.perf_counter()
+    session.push_many("s", stream)
+    session.flush()
+    return time.perf_counter() - started
+
+
+def interleaved_best(stream, exporter_factory, repeats=REPEATS):
+    """Best bare/instrumented times and the per-pair time ratios.
+
+    Runs alternate bare/instrumented so machine drift (cache warmup, a
+    background process, CPU frequency shifts) never lands entirely on
+    one side.  The overhead estimate is the *minimum per-pair ratio*:
+    noise only ever inflates a run, so the cleanest adjacent pair is
+    the best estimate of the true cost — the same best-of-N logic the
+    other benchmarks apply to absolute times, applied to the ratio.
+    """
+    run_once(stream)  # warmup: numpy dispatch, allocator, caches
+    bare = instrumented = float("inf")
+    ratios = []
+    polls = 0
+    for _ in range(repeats):
+        bare_run = run_once(stream)
+        with exporter_factory() as exporter:
+            instrumented_run = run_once(stream)
+        bare = min(bare, bare_run)
+        instrumented = min(instrumented, instrumented_run)
+        ratios.append(instrumented_run / bare_run)
+        polls += exporter.polls
+    return bare, instrumented, ratios, polls
+
+
+class _Exporter:
+    """Snapshot + render the registry on a Prometheus-like poll cadence.
+
+    A zero-interval spin loop would measure GIL contention with the
+    worker thread, not exposition cost; 10 ms is already ~100× more
+    aggressive than a production scraper.
+    """
+
+    POLL_INTERVAL = 0.010
+
+    def __init__(self):
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self.polls = 0
+
+    def _loop(self):
+        registry = obs.get_registry()
+        while not self._stop.is_set():
+            render_prometheus(registry.snapshot())
+            self.polls += 1
+            self._stop.wait(self.POLL_INTERVAL)
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+def test_exporter_overhead_within_budget(result_table_factory):
+    stream = make_tuples(N_TUPLES)
+
+    bare, instrumented, ratios, polls = interleaved_best(stream, _Exporter)
+    assert polls > 0, "the exporter thread never snapshotted"
+
+    overhead = min(ratios) - 1.0
+    median_overhead = float(np.median(ratios)) - 1.0
+    table = result_table_factory(
+        "obs_overhead",
+        f"# select->aggregate session, {N_TUPLES} tuples, batch {BATCH_SIZE}, "
+        f"best of {REPEATS}\n"
+        f"{'mode':>14} {'seconds':>10} {'tuples/s':>12}",
+    )
+    table.add_row(f"{'bare':>14} {bare:>10.4f} {N_TUPLES / bare:>12.0f}")
+    table.add_row(
+        f"{'exporter':>14} {instrumented:>10.4f} {N_TUPLES / instrumented:>12.0f}"
+    )
+    table.add_row(
+        f"# overhead: best pair {overhead * 100.0:+.2f}%, "
+        f"median {median_overhead * 100.0:+.2f}% "
+        f"(budget {MAX_OVERHEAD * 100.0:.0f}%, snapshots: {polls})"
+    )
+
+    assert overhead <= MAX_OVERHEAD + NOISE_SLACK, (
+        f"exporter overhead {overhead * 100.0:.2f}% exceeds the "
+        f"{MAX_OVERHEAD * 100.0:.0f}% budget (+{NOISE_SLACK * 100.0:.0f}% noise slack)"
+    )

@@ -26,6 +26,9 @@ is organised as:
   exposing the query session (ingest, CQL registration, result
   subscriptions), wire-protocol clients, and a socket shard transport
   for multi-machine sharding.
+* :mod:`repro.obs` -- unified observability: the process-local metrics
+  registry every layer reports into, ingest-to-delivery trace
+  propagation, and the METRICS / Prometheus / CLI exposition surfaces.
 * :mod:`repro.inference` -- particle filtering with the paper's
   optimisations, adaptive particle control, Kalman baseline.
 * :mod:`repro.rfid` / :mod:`repro.radar` -- the two motivating
@@ -39,6 +42,7 @@ from . import (
     distributions,
     inference,
     net,
+    obs,
     plan,
     radar,
     rfid,
@@ -59,6 +63,7 @@ __all__ = [
     "distributions",
     "inference",
     "net",
+    "obs",
     "plan",
     "radar",
     "rfid",

@@ -26,6 +26,13 @@ nothing enforced until now:
     owns cleanup (``close``/``unlink``), or constructs an shm-owning
     class without a ``weakref.finalize`` safety net anywhere in the
     module — leaked ``/dev/shm`` segments survive interpreter death.
+``shared-dict-slot`` (error)
+    A method reachable from a reader-thread target (``Thread(target=
+    self.X)``) augments a shared container slot in place
+    (``self.attr[key] += v``) without an enclosing lock-like ``with``
+    block.  The read-modify-write races the main thread's reads and
+    other writers; route such accumulation through a metrics-registry
+    instrument or serialize it under the owning condition variable.
 
 All checks are pure AST (no imports of the linted code), so they also
 run against synthetic sources in tests via :func:`lint_source`.
@@ -219,29 +226,8 @@ def _check_sink_delivery(tree: ast.Module, file: str) -> List[Diagnostic]:
         if not isinstance(cls, ast.ClassDef):
             continue
         graph = _self_call_graph(cls)
-        # Thread(target=self.X, ...) inside this class's methods.
-        targets: List[Tuple[str, int]] = []
-        for node in ast.walk(cls):
-            if not (isinstance(node, ast.Call) and _is_thread_ctor(node)):
-                continue
-            for kw in node.keywords:
-                if (
-                    kw.arg == "target"
-                    and isinstance(kw.value, ast.Attribute)
-                    and isinstance(kw.value.value, ast.Name)
-                    and kw.value.value.id == "self"
-                ):
-                    targets.append((kw.value.attr, node.lineno))
-        for target, line in targets:
-            reachable: Set[str] = set()
-            frontier = [target]
-            while frontier:
-                name = frontier.pop()
-                if name in reachable:
-                    continue
-                reachable.add(name)
-                frontier.extend(graph.get(name, ()))
-            hit = sorted(reachable & SINK_DELIVERY_METHODS)
+        for target, line in _thread_targets(cls):
+            hit = sorted(_reachable_methods(graph, target) & SINK_DELIVERY_METHODS)
             if hit:
                 diagnostics.append(
                     _diag(
@@ -254,6 +240,98 @@ def _check_sink_delivery(tree: ast.Module, file: str) -> List[Diagnostic]:
                         line,
                     )
                 )
+    return diagnostics
+
+
+def _thread_targets(cls: ast.ClassDef) -> List[Tuple[str, int]]:
+    """``Thread(target=self.X)`` targets created inside a class's methods."""
+    targets: List[Tuple[str, int]] = []
+    for node in ast.walk(cls):
+        if not (isinstance(node, ast.Call) and _is_thread_ctor(node)):
+            continue
+        for kw in node.keywords:
+            if (
+                kw.arg == "target"
+                and isinstance(kw.value, ast.Attribute)
+                and isinstance(kw.value.value, ast.Name)
+                and kw.value.value.id == "self"
+            ):
+                targets.append((kw.value.attr, node.lineno))
+    return targets
+
+
+def _reachable_methods(graph: Dict[str, Set[str]], start: str) -> Set[str]:
+    reachable: Set[str] = set()
+    frontier = [start]
+    while frontier:
+        name = frontier.pop()
+        if name in reachable:
+            continue
+        reachable.add(name)
+        frontier.extend(graph.get(name, ()))
+    return reachable
+
+
+def _check_shared_dict_slots(tree: ast.Module, file: str) -> List[Diagnostic]:
+    """``self.attr[key] += v`` on a thread-reachable path without a lock."""
+    diagnostics: List[Diagnostic] = []
+    for cls in ast.walk(tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        targets = _thread_targets(cls)
+        if not targets:
+            continue
+        graph = _self_call_graph(cls)
+        threaded: Set[str] = set()
+        for target, _ in targets:
+            threaded |= _reachable_methods(graph, target)
+        methods = {
+            node.name: node
+            for node in cls.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for name in sorted(threaded & set(methods)):
+            diagnostics.extend(_unlocked_slot_augassigns(methods[name], cls, file))
+    return diagnostics
+
+
+def _unlocked_slot_augassigns(
+    fn: ast.AST, cls: ast.ClassDef, file: str
+) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+
+    def visit(node: ast.AST, locked: bool) -> None:
+        if isinstance(node, ast.With):
+            if any(_looks_locky(item.context_expr) for item in node.items):
+                locked = True
+        elif (
+            isinstance(node, ast.AugAssign)
+            and not locked
+            and isinstance(node.target, ast.Subscript)
+            and isinstance(node.target.value, ast.Attribute)
+            and isinstance(node.target.value.value, ast.Name)
+            and node.target.value.value.id == "self"
+        ):
+            slot = node.target.value.attr
+            diagnostics.append(
+                _diag(
+                    "shared-dict-slot",
+                    f"{cls.name}.{fn.name} runs on a reader thread and "
+                    f"augments self.{slot}[...] in place without holding a "
+                    "lock; the read-modify-write races other threads — use a "
+                    "registry instrument or serialize under the owning "
+                    "condition variable",
+                    file,
+                    node.lineno,
+                )
+            )
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)) and child is not node:
+                continue  # nested defs run on their own caller's thread
+            visit(child, locked)
+
+    for stmt in fn.body:
+        visit(stmt, False)
     return diagnostics
 
 
@@ -364,6 +442,7 @@ def lint_source(
     diagnostics.extend(_check_thread_before_fork(tree, filename))
     diagnostics.extend(_check_fork_under_lock(tree, filename))
     diagnostics.extend(_check_sink_delivery(tree, filename))
+    diagnostics.extend(_check_shared_dict_slots(tree, filename))
     diagnostics.extend(_check_shm_finalize(tree, filename, owner_names or set()))
     return diagnostics
 

@@ -24,9 +24,11 @@ disconnect policy.
 from __future__ import annotations
 
 import socket
+import time
 from collections import deque
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from repro import obs
 from repro.recovery.replay import ReplayGapError
 from repro.streams.batch import TupleBatch
 from repro.streams.serialization import decode_batch, encode_batch_wire
@@ -140,6 +142,9 @@ class StreamClient:
         self._closed = False
         #: Rendered analyzer diagnostics from the most recent register().
         self.last_register_warnings: list = []
+        #: Send→ACK round-trip seconds of every ack-requesting frame in
+        #: the most recent ingest() call (ingest→ACK latency samples).
+        self.last_ingest_ack_latencies: List[float] = []
         if token is not None:
             self.hello()  # authenticate before any other verb
 
@@ -221,6 +226,7 @@ class StreamClient:
         tuples: Iterable[StreamTuple],
         batch_size: int = DEFAULT_INGEST_BATCH,
         window: int = DEFAULT_ACK_WINDOW,
+        trace: Optional[int] = None,
     ) -> int:
         """Ship tuples into a named stream; returns the acked tuple count.
 
@@ -233,13 +239,19 @@ class StreamClient:
         large batches no longer stall on a reply per frame.  ACKs
         arrive strictly in send order, so a missing ack still pins the
         lost span.
+
+        ``trace`` is an optional caller-chosen trace id the server
+        stamps on every chunk of this call (minted server-side when
+        omitted); the send→ACK round trip of each ack-requesting frame
+        lands in :attr:`last_ingest_ack_latencies` either way.
         """
         if batch_size < 1:
             raise ValueError(f"batch_size must be at least 1, got {batch_size}")
         if window < 1:
             raise ValueError(f"window must be at least 1, got {window}")
         stride = _ack_stride(window)
-        in_flight: deque = deque()  # (seq, frames the expected ack covers)
+        in_flight: deque = deque()  # (seq, covered frames, send instant)
+        self.last_ingest_ack_latencies = []
         acked = 0
         seq = 0
         outstanding = 0  # frames sent and not yet covered by an ack
@@ -251,21 +263,24 @@ class StreamClient:
                 upcoming = next(chunks, None)
                 seq += 1
                 want_ack = upcoming is None or seq % stride == 0
+                ingest_header = {
+                    "source": source,
+                    "seq": seq,
+                    "count": len(chunk),
+                    "ack": want_ack,
+                }
+                if trace is not None:
+                    ingest_header["trace"] = int(trace)
                 send_frame(
                     self._sock,
                     protocol.INGEST,
-                    {
-                        "source": source,
-                        "seq": seq,
-                        "count": len(chunk),
-                        "ack": want_ack,
-                    },
+                    ingest_header,
                     encode_batch_wire(TupleBatch(chunk)),
                 )
                 outstanding += 1
                 uncovered += 1
                 if want_ack:
-                    in_flight.append((seq, uncovered))
+                    in_flight.append((seq, uncovered, time.perf_counter()))
                     uncovered = 0
                 while outstanding >= window and in_flight:
                     count, covered = self._read_ack(in_flight)
@@ -290,12 +305,15 @@ class StreamClient:
     def _read_ack(self, in_flight: deque) -> Tuple[int, int]:
         kind, header, _ = self._frames.recv_frame(self._timeout)
         header = _check_reply(kind, header, protocol.ACK)
-        expected_seq, covered = in_flight.popleft()
+        expected_seq, covered, sent_at = in_flight.popleft()
+        latency = time.perf_counter() - sent_at
         if header.get("seq") != expected_seq:
             raise ProtocolError(
                 f"ingest ack out of order: expected seq {expected_seq}, "
                 f"got {header.get('seq')}"
             )
+        self.last_ingest_ack_latencies.append(latency)
+        obs.get_registry().histogram("repro_ingest_ack_latency_seconds").observe(latency)
         return int(header.get("count", 0)), covered
 
     def _resync(self) -> None:
@@ -321,6 +339,17 @@ class StreamClient:
     def explain(self, query: Optional[str] = None) -> str:
         header, _ = self._request(protocol.EXPLAIN, {"query": query})
         return str(header.get("text", ""))
+
+    def metrics(self, query: Optional[str] = None) -> Dict[str, Any]:
+        """The server's metrics-registry snapshot (see :mod:`repro.obs`).
+
+        Returns the ``METRICS`` reply header: ``"metrics"`` holds the
+        registry snapshot; with ``query`` set, ``"observed"`` adds that
+        query's latency/operator report
+        (``QuerySession.observed_stats``).
+        """
+        header, _ = self._request(protocol.METRICS, {"query": query})
+        return header
 
     def checkpoint(self, directory: str, mode: str = "auto") -> int:
         """Write a durable server-side checkpoint; returns its id.
@@ -513,6 +542,8 @@ class AsyncStreamClient:
         self._closed = False
         #: Rendered analyzer diagnostics from the most recent register().
         self.last_register_warnings: list = []
+        #: Send→ACK round-trip seconds from the most recent ingest().
+        self.last_ingest_ack_latencies: List[float] = []
 
     @classmethod
     async def connect(
@@ -596,6 +627,7 @@ class AsyncStreamClient:
         tuples: Iterable[StreamTuple],
         batch_size: int = DEFAULT_INGEST_BATCH,
         window: int = DEFAULT_ACK_WINDOW,
+        trace: Optional[int] = None,
     ) -> int:
         """Pipelined ingest with batched acks (see :meth:`StreamClient.ingest`)."""
         if batch_size < 1:
@@ -603,7 +635,8 @@ class AsyncStreamClient:
         if window < 1:
             raise ValueError(f"window must be at least 1, got {window}")
         stride = _ack_stride(window)
-        in_flight: deque = deque()  # (seq, frames the expected ack covers)
+        in_flight: deque = deque()  # (seq, covered frames, send instant)
+        self.last_ingest_ack_latencies = []
         acked = 0
         seq = 0
         outstanding = 0
@@ -615,15 +648,18 @@ class AsyncStreamClient:
                 upcoming = next(chunks, None)
                 seq += 1
                 want_ack = upcoming is None or seq % stride == 0
+                ingest_header = {
+                    "source": source,
+                    "seq": seq,
+                    "count": len(chunk),
+                    "ack": want_ack,
+                }
+                if trace is not None:
+                    ingest_header["trace"] = int(trace)
                 self._writer.write(
                     encode_frame(
                         protocol.INGEST,
-                        {
-                            "source": source,
-                            "seq": seq,
-                            "count": len(chunk),
-                            "ack": want_ack,
-                        },
+                        ingest_header,
                         encode_batch_wire(TupleBatch(chunk)),
                     )
                 )
@@ -631,7 +667,7 @@ class AsyncStreamClient:
                 outstanding += 1
                 uncovered += 1
                 if want_ack:
-                    in_flight.append((seq, uncovered))
+                    in_flight.append((seq, uncovered, time.perf_counter()))
                     uncovered = 0
                 while outstanding >= window and in_flight:
                     count, covered = await self._read_ack(in_flight)
@@ -651,12 +687,15 @@ class AsyncStreamClient:
     async def _read_ack(self, in_flight: deque) -> Tuple[int, int]:
         kind, header, _ = await read_frame_async(self._reader, self._max_payload)
         header = _check_reply(kind, header, protocol.ACK)
-        expected_seq, covered = in_flight.popleft()
+        expected_seq, covered, sent_at = in_flight.popleft()
+        latency = time.perf_counter() - sent_at
         if header.get("seq") != expected_seq:
             raise ProtocolError(
                 f"ingest ack out of order: expected seq {expected_seq}, "
                 f"got {header.get('seq')}"
             )
+        self.last_ingest_ack_latencies.append(latency)
+        obs.get_registry().histogram("repro_ingest_ack_latency_seconds").observe(latency)
         return int(header.get("count", 0)), covered
 
     async def _resync(self) -> None:
@@ -680,6 +719,11 @@ class AsyncStreamClient:
     async def explain(self, query: Optional[str] = None) -> str:
         header, _ = await self._request(protocol.EXPLAIN, {"query": query})
         return str(header.get("text", ""))
+
+    async def metrics(self, query: Optional[str] = None) -> Dict[str, Any]:
+        """The server's metrics snapshot (see :meth:`StreamClient.metrics`)."""
+        header, _ = await self._request(protocol.METRICS, {"query": query})
+        return header
 
     async def checkpoint(self, directory: str, mode: str = "auto") -> int:
         """Write a durable server-side checkpoint; returns its id."""

@@ -20,6 +20,7 @@ request               header fields                                  reply
 ``STATS``             ``query`` (optional)                           ``OK`` (``stats`` rows)
 ``EXPLAIN``           ``query`` (optional)                           ``OK`` (``text``)
 ``CHECKPOINT``        ``dir, mode`` (optional)                       ``OK`` (``checkpoint``)
+``METRICS``           ``query`` (optional)                           ``OK`` (``metrics``)
 ``BYE``               —                                              ``OK``, then close
 ====================  =============================================  =======================
 
@@ -63,6 +64,7 @@ __all__ = [
     "EXPLAIN",
     "BYE",
     "CHECKPOINT",
+    "METRICS",
     "OK",
     "ERROR",
     "ACK",
@@ -90,6 +92,7 @@ STATS = 0x0A
 EXPLAIN = 0x0B
 BYE = 0x0C
 CHECKPOINT = 0x0D
+METRICS = 0x0E
 
 # Server → client replies / pushes.
 OK = 0x40

@@ -38,10 +38,12 @@ from __future__ import annotations
 
 import asyncio
 import hmac
+import itertools
 import threading
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.service import QuerySession
 from repro.streams.batch import TupleBatch
 from repro.streams.serialization import decode_batch, encode_batch_wire
@@ -55,9 +57,15 @@ __all__ = ["StreamServer", "ServerHandle", "serve_in_thread"]
 
 _SLOW_CONSUMER_POLICIES = ("drop-oldest", "disconnect")
 
+#: Distinguishes the registry instruments of several servers in one
+#: process (tests routinely host more than one).
+_server_scopes = itertools.count(1)
+
 
 class _Subscriber:
     """One subscription: a bounded result buffer plus its writer task."""
+
+    _ids = itertools.count(1)
 
     def __init__(
         self,
@@ -74,13 +82,24 @@ class _Subscriber:
         #: result numbering (1-based emission order), so a reconnecting
         #: consumer can hand its last seen seq to ``SUBSCRIBE RESUME``.
         self.pending: Deque[Tuple[int, StreamTuple]] = deque()
-        self.dropped = 0  # cumulative, reported on every RESULT frame
+        #: Cumulative drop count, reported on every RESULT frame.  The
+        #: registry counter is the storage; this subscriber's id keeps
+        #: it distinct from other subscribers of the same query.
+        self._dropped = obs.get_registry().counter(
+            "repro_subscriber_dropped_total",
+            query=query,
+            subscriber=str(next(self._ids)),
+        )
         self.seq = 0  # query-level seq of the last result shipped
         self.enqueued_seq = 0  # query-level seq of the last result buffered
         self.failed: Optional[str] = None
         self.ended = False  # the query was dropped: send END and close
         self.wakeup = asyncio.Event()
         self.task: Optional[asyncio.Task] = None
+
+    @property
+    def dropped(self) -> int:
+        return int(self._dropped.value)
 
     def on_result(self, item: StreamTuple, seq: int = 0) -> None:
         """Session listener; runs synchronously during a push on the loop."""
@@ -96,7 +115,7 @@ class _Subscriber:
             if self.policy == "drop-oldest":
                 while len(self.pending) > self.buffer_limit:
                     self.pending.popleft()
-                    self.dropped += 1
+                    self._dropped.inc()
             else:  # disconnect
                 self.pending.clear()
                 self.failed = (
@@ -206,9 +225,25 @@ class StreamServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._subscribers: List[_Subscriber] = []
         self.address: Optional[str] = None
-        #: Counters served alongside session statistics.
-        self.frames_in = 0
-        self.tuples_ingested = 0
+        #: Counters served alongside session statistics; stored in the
+        #: metrics registry (the attributes below are views) so the
+        #: METRICS verb and the STATS header read the same cells.
+        self.obs_scope = f"server-{next(_server_scopes)}"
+        registry = obs.get_registry()
+        self._frames_in = registry.counter(
+            "repro_server_frames_total", server=self.obs_scope
+        )
+        self._tuples_ingested = registry.counter(
+            "repro_server_tuples_ingested_total", server=self.obs_scope
+        )
+
+    @property
+    def frames_in(self) -> int:
+        return int(self._frames_in.value)
+
+    @property
+    def tuples_ingested(self) -> int:
+        return int(self._tuples_ingested.value)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -264,7 +299,7 @@ class StreamServer:
                     kind, header, payload = await read_frame_async(reader, self._max_payload)
                 except ConnectionClosed:
                     return
-                self.frames_in += 1
+                self._frames_in.inc()
                 if kind == protocol.BYE:
                     writer.write(encode_frame(protocol.OK))
                     await writer.drain()
@@ -398,8 +433,13 @@ class StreamServer:
             return encode_frame(protocol.OK)
         if kind == protocol.INGEST:
             rows = decode_batch(payload).to_tuples()
-            session.push_many(header["source"], rows)
-            self.tuples_ingested += len(rows)
+            # Stamp the chunk at receipt: the trace context (id from the
+            # client header when it sent one, minted otherwise) rides
+            # through the engine — and across shard processes — so sinks
+            # can account ingest→delivery latency against this moment.
+            ctx = obs.new_trace(trace_id=header.get("trace"))
+            session.push_many(header["source"], rows, trace=ctx)
+            self._tuples_ingested.inc(len(rows))
             state["unacked"] += len(rows)
             # Batched ACKs: a client that pipelines aggressively marks
             # most frames ``ack: false`` and only samples the stream at
@@ -441,6 +481,12 @@ class StreamServer:
             return encode_frame(
                 protocol.OK, {"text": session.explain(header.get("query"))}
             )
+        if kind == protocol.METRICS:
+            reply = {"metrics": obs.get_registry().snapshot()}
+            query = header.get("query")
+            if query:
+                reply["observed"] = session.observed_stats(query)
+            return encode_frame(protocol.OK, reply)
         if kind == protocol.CHECKPOINT:
             info = session.checkpoint(header["dir"], mode=header.get("mode", "auto"))
             return encode_frame(

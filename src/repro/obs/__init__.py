@@ -1,0 +1,49 @@
+"""Unified observability: metrics registry, trace propagation, exposition.
+
+Six layers of the stack (batch engine, planner, session, sharded
+shm/socket runtime, TCP service, recovery) each grew their own ad-hoc
+telemetry dict.  This package replaces them with one process-local
+:class:`~repro.obs.registry.Registry` of typed instruments — counters,
+gauges and fixed-bucket latency histograms backed by per-instrument
+numpy arrays (no lock on the increment path) — plus a trace context
+(:mod:`repro.obs.trace`) stamped at ingest and carried through the
+columnar wire format into shard workers and back through merge, so
+every layer shares one clock and one namespace.
+
+Exposition is pull-based: :meth:`Registry.snapshot` returns a JSON-able
+view served by the ``METRICS`` wire verb, :func:`render_prometheus`
+renders the text format, and ``python -m repro.obs`` polls a running
+server and prints a live table.
+
+The package is a dependency leaf (numpy only), so any layer — including
+:mod:`repro.recovery` — may import it without cycles.
+"""
+
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    OperatorView,
+    Registry,
+    get_registry,
+)
+from .render import render_prometheus, render_table
+from .trace import TraceContext, activate, active, new_trace, trace_clock
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "OperatorView",
+    "Registry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "get_registry",
+    "render_prometheus",
+    "render_table",
+    "TraceContext",
+    "new_trace",
+    "activate",
+    "active",
+    "trace_clock",
+]

@@ -1,0 +1,84 @@
+"""``python -m repro.obs``: poll a server's METRICS verb and print it.
+
+Usage::
+
+    python -m repro.obs --address 127.0.0.1:7654            # one snapshot
+    python -m repro.obs --address 127.0.0.1:7654 --watch    # live table
+    python -m repro.obs --address 127.0.0.1:7654 --prometheus
+
+``--watch`` polls every ``--interval`` seconds until interrupted (or
+for ``--iterations`` polls, which tests use to bound the loop).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .render import render_prometheus, render_table
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Poll a repro StreamServer's metrics registry.",
+    )
+    parser.add_argument(
+        "--address",
+        required=True,
+        help="server address as host:port (the METRICS verb must be served there)",
+    )
+    parser.add_argument("--token", default=None, help="auth token, if the server requires one")
+    parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="keep polling and reprinting the table until interrupted",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between polls in --watch mode (default: 2)",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="stop after this many polls (useful in scripts and tests)",
+    )
+    parser.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="print the Prometheus text format instead of the table",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    args = _build_parser().parse_args(argv)
+    out = out if out is not None else sys.stdout
+    render = render_prometheus if args.prometheus else render_table
+
+    from repro.net.client import StreamClient
+
+    polls = 0
+    limit = args.iterations if args.iterations is not None else (None if args.watch else 1)
+    try:
+        with StreamClient(args.address, token=args.token) as client:
+            while True:
+                reply = client.metrics()
+                snapshot = reply.get("metrics", reply)
+                if polls and not args.prometheus:
+                    out.write("\n")
+                out.write(render(snapshot))
+                out.flush()
+                polls += 1
+                if limit is not None and polls >= limit:
+                    return 0
+                time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0

@@ -1,0 +1,113 @@
+"""Text exposition of registry snapshots: Prometheus format and tables.
+
+Both renderers consume the JSON-able dict produced by
+:meth:`repro.obs.Registry.snapshot` — not the registry itself — so they
+work identically on a local registry and on a snapshot fetched over the
+wire through the METRICS verb.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["render_prometheus", "render_table"]
+
+
+def _label_suffix(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "NaN"
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+    typed: Dict[str, str] = {}
+
+    def emit_type(name: str, kind: str) -> None:
+        if typed.get(name) != kind:
+            lines.append(f"# TYPE {name} {kind}")
+            typed[name] = kind
+
+    for entry in snapshot.get("counters", ()):
+        emit_type(entry["name"], "counter")
+        lines.append(f"{entry['name']}{_label_suffix(entry['labels'])} {_fmt(entry['value'])}")
+    for entry in snapshot.get("gauges", ()):
+        emit_type(entry["name"], "gauge")
+        lines.append(f"{entry['name']}{_label_suffix(entry['labels'])} {_fmt(entry['value'])}")
+    for entry in snapshot.get("histograms", ()):
+        name = entry["name"]
+        emit_type(name, "histogram")
+        labels = entry["labels"]
+        cumulative = 0.0
+        for bound, count in zip(entry["buckets"], entry["counts"]):
+            cumulative += count
+            le = dict(labels, le=repr(float(bound)))
+            lines.append(f"{name}_bucket{_label_suffix(le)} {_fmt(cumulative)}")
+        cumulative += entry["counts"][-1]
+        lines.append(f"{name}_bucket{_label_suffix(dict(labels, le='+Inf'))} {_fmt(cumulative)}")
+        lines.append(f"{name}_sum{_label_suffix(labels)} {_fmt(entry['sum'])}")
+        lines.append(f"{name}_count{_label_suffix(labels)} {_fmt(entry['count'])}")
+    for entry in snapshot.get("operators", ()):
+        labels = {"scope": entry.get("scope", ""), "operator": entry["operator"]}
+        for field in ("tuples_in", "tuples_out", "batches_in", "processing_seconds"):
+            name = f"repro_operator_{field}"
+            emit_type(name, "counter")
+            lines.append(f"{name}{_label_suffix(labels)} {_fmt(entry[field])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_table(snapshot: dict) -> str:
+    """Render a snapshot as an aligned human-readable table."""
+    rows: List[tuple] = []
+    for entry in snapshot.get("counters", ()):
+        rows.append(("counter", entry["name"], entry["labels"], _fmt(entry["value"])))
+    for entry in snapshot.get("gauges", ()):
+        rows.append(("gauge", entry["name"], entry["labels"], _fmt(entry["value"])))
+    for entry in snapshot.get("histograms", ()):
+        pct = entry.get("percentiles") or {}
+        detail = (
+            f"count={_fmt(entry['count'])} "
+            f"p50={_ms(pct.get('p50'))} p95={_ms(pct.get('p95'))} p99={_ms(pct.get('p99'))}"
+        )
+        rows.append(("histogram", entry["name"], entry["labels"], detail))
+    for entry in snapshot.get("operators", ()):
+        detail = (
+            f"in={entry['tuples_in']} out={entry['tuples_out']} "
+            f"batches={entry['batches_in']} busy={entry['processing_seconds']:.4f}s"
+        )
+        labels = {"scope": entry.get("scope", "")}
+        rows.append(("operator", entry["operator"], labels, detail))
+    if not rows:
+        return "(no instruments registered)\n"
+    rendered = [
+        (kind, name, _label_suffix(labels) or "-", detail)
+        for kind, name, labels, detail in rows
+    ]
+    headers = ("kind", "name", "labels", "value")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) for i in range(4)
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(4)),
+    ]
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(4)))
+    return "\n".join(lines) + "\n"
+
+
+def _ms(value) -> str:
+    if value is None:
+        return "-"
+    return f"{float(value) * 1000.0:.3f}ms"

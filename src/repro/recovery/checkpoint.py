@@ -20,6 +20,14 @@ POSIX), so a crash mid-checkpoint leaves the previous checkpoint as
 the latest valid one.  Trimming: a ``full`` checkpoint is
 self-contained; files may be deleted up to (but not past) the newest
 full checkpoint without breaking any newer delta's refs.
+
+Observability sidecar: ``save(..., metrics=snapshot)`` additionally
+publishes the metrics-registry snapshot as ``metrics-%08d.json`` next
+to the checkpoint file (same atomic-replace discipline, committed
+*before* the checkpoint so a published checkpoint always finds its
+sidecar).  Recovery reads it back through :meth:`load_metrics` to
+report what the process looked like when the state was captured; a
+missing sidecar is not an error (older checkpoints have none).
 """
 
 from __future__ import annotations
@@ -31,6 +39,8 @@ import re
 import struct
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
+
+from repro import obs
 
 __all__ = ["CheckpointError", "CheckpointInfo", "CheckpointStore"]
 
@@ -87,13 +97,20 @@ class CheckpointStore:
     # ------------------------------------------------------------------
     # Write path
     # ------------------------------------------------------------------
-    def save(self, blobs: Dict[str, bytes], mode: str = "auto") -> CheckpointInfo:
+    def save(
+        self,
+        blobs: Dict[str, bytes],
+        mode: str = "auto",
+        metrics: Optional[dict] = None,
+    ) -> CheckpointInfo:
         """Commit a checkpoint of the given blobs.
 
         ``mode`` is ``"full"`` (write every blob), ``"delta"`` (write
         only blobs whose content changed since the previous checkpoint,
         reference the rest), or ``"auto"`` (delta when a parent exists,
-        full otherwise).
+        full otherwise).  ``metrics`` (a JSON-able dict, typically a
+        :meth:`repro.obs.Registry.snapshot`) is published as a sidecar
+        file beside the checkpoint (see module docs).
         """
         if mode not in ("auto", "full", "delta"):
             raise CheckpointError(f"unknown checkpoint mode {mode!r}")
@@ -137,6 +154,8 @@ class CheckpointStore:
         }
         encoded_header = json.dumps(header, separators=(",", ":")).encode("utf-8")
         path = os.path.join(self.directory, _filename(checkpoint_id))
+        if metrics is not None:
+            self._write_metrics(checkpoint_id, metrics)
         tmp_path = path + ".tmp"
         with open(tmp_path, "wb") as handle:
             handle.write(_MAGIC)
@@ -147,15 +166,41 @@ class CheckpointStore:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, path)
+        bytes_written = len(_MAGIC) + 4 + len(encoded_header) + offset
+        registry = obs.get_registry()
+        registry.counter("repro_checkpoint_saves_total", mode=mode).inc()
+        registry.counter("repro_checkpoint_bytes_total").inc(bytes_written)
+        registry.gauge("repro_checkpoint_last_id").set(checkpoint_id)
         return CheckpointInfo(
             checkpoint_id=checkpoint_id,
             mode=mode,
             parent=parent_id,
             path=path,
-            bytes_written=len(_MAGIC) + 4 + len(encoded_header) + offset,
+            bytes_written=bytes_written,
             blobs_written=len(sections),
             blobs_referenced=referenced,
         )
+
+    def _metrics_path(self, checkpoint_id: int) -> str:
+        return os.path.join(self.directory, f"metrics-{checkpoint_id:08d}.json")
+
+    def _write_metrics(self, checkpoint_id: int, metrics: dict) -> None:
+        path = self._metrics_path(checkpoint_id)
+        tmp_path = path + ".tmp"
+        encoded = json.dumps(metrics, separators=(",", ":")).encode("utf-8")
+        with open(tmp_path, "wb") as handle:
+            handle.write(encoded)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+
+    def load_metrics(self, checkpoint_id: int) -> Optional[dict]:
+        """The metrics-registry snapshot saved with a checkpoint, if any."""
+        try:
+            with open(self._metrics_path(checkpoint_id), "rb") as handle:
+                return json.loads(handle.read().decode("utf-8"))
+        except FileNotFoundError:
+            return None
 
     # ------------------------------------------------------------------
     # Read path

@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List, Tuple
 
+from repro import obs
 from repro.analysis.sanitize import check as _sanitize_check
 from repro.analysis.sanitize import sanitizer_enabled as _sanitizer_enabled
 from repro.streams.tuples import StreamTuple
@@ -61,6 +62,9 @@ class ReplayLog:
         # Seq the sanitizer expects the next append to follow from;
         # re-latched by state_restore (a legitimate seq jump).
         self._san_expected = 0
+        registry = obs.get_registry()
+        self._appended = registry.counter("repro_replay_appended_total", query=query)
+        self._trimmed = registry.counter("repro_replay_trimmed_total", query=query)
 
     @property
     def last_seq(self) -> int:
@@ -75,9 +79,11 @@ class ReplayLog:
     def append(self, item: StreamTuple) -> int:
         """Record one emitted result, trimming the oldest past capacity."""
         self._items.append(item)
+        self._appended.inc()
         if len(self._items) > self.capacity:
             self._items.popleft()
             self._base += 1
+            self._trimmed.inc()
         if self._sanitize:
             _sanitize_check(
                 self.last_seq == self._san_expected + 1,

@@ -50,6 +50,7 @@ cross processes only through :mod:`repro.streams.serialization`.
 from __future__ import annotations
 
 import gc
+import itertools
 import math
 import multiprocessing
 import select
@@ -60,6 +61,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Union
 
+from repro import obs
 from repro.plan.builder import Stream
 from repro.plan.nodes import LogicalPlan, PlanError
 from repro.plan.planner import Planner
@@ -98,6 +100,9 @@ _REBALANCE_INTERVAL = 32
 
 #: Sleep per failed send pass while the shard rings are full.
 _STALL_BACKOFF = 0.0005
+
+#: Distinct obs scopes for concurrently-live coordinators.
+_sharded_scopes = itertools.count(1)
 
 
 class ShardError(RuntimeError):
@@ -268,6 +273,9 @@ class ShardedEngine:
         self.batch_size = batch_size
         self._sink = sink if sink is not None else CollectSink(name="sink:sharded")
         self._closed = False
+        #: Scope label for this coordinator's instruments in the
+        #: :mod:`repro.obs` registry (stage timings, backpressure).
+        self.obs_scope = f"sharded-{next(_sharded_scopes)}"
 
         if optimize:
             optimized, _ = self._planner.optimize(plan)
@@ -340,6 +348,10 @@ class ShardedEngine:
         # ship full chunks.
         self._pending: Dict[str, List[StreamTuple]] = {}
         self._pending_source: Optional[str] = None
+        #: Trace context captured when a buffer starts filling, so a
+        #: chunk shipped later from flush (no active context on that
+        #: call) still carries the ingest stamp of its tuples.
+        self._pending_trace: Dict[str, Optional[obs.TraceContext]] = {}
         self._flush_token = 0
         self._flushed_tokens: Dict[int, int] = {}
         self._stats_rows: Dict[int, Optional[List]] = {}
@@ -348,10 +360,28 @@ class ShardedEngine:
         self._snapshot_rows: Dict[int, Optional[bytes]] = {}
         self._restored_shards: Dict[int, int] = {}
         self._ordered_flush: Dict[int, List[StreamTuple]] = {}
-        # Backpressure accounting (see ShardBackpressure).
-        self._stalls = [0] * self.workers
-        self._chunks_sent = [0] * self.workers
-        self._chunks_done = [0] * self.workers
+        # Backpressure accounting (see ShardBackpressure), held as
+        # repro.obs counters so shard_statistics() and the METRICS verb
+        # read the same cells.
+        registry = obs.get_registry()
+        self._stalls = [
+            registry.counter(
+                "repro_shard_stalls_total", engine=self.obs_scope, shard=str(s)
+            )
+            for s in range(self.workers)
+        ]
+        self._chunks_sent = [
+            registry.counter(
+                "repro_shard_chunks_sent_total", engine=self.obs_scope, shard=str(s)
+            )
+            for s in range(self.workers)
+        ]
+        self._chunks_done = [
+            registry.counter(
+                "repro_shard_chunks_done_total", engine=self.obs_scope, shard=str(s)
+            )
+            for s in range(self.workers)
+        ]
         self._remote: Dict[int, SocketShardChannel] = {}
         self._processes = []
         self._transports: Dict[int, ShardShmTransport] = {}
@@ -365,8 +395,18 @@ class ShardedEngine:
         self._reader_threads: List[threading.Thread] = []
         self._stop_readers = threading.Event()
         self._last_reply = time.monotonic()
-        # Coordinator-side stage accounting (stage_timings()).
-        self._stage = {"encode": 0.0, "transport": 0.0, "decode": 0.0, "merge": 0.0}
+        # Coordinator-side stage accounting (stage_timings()), one
+        # repro.obs counter per stage.  Encode/transport are only ever
+        # touched by the caller's thread; decode/merge are shared with
+        # the reader threads and every increment to them happens with
+        # self._reply_cv held (the shared-dict-slot concurrency lint
+        # enforces the shape that used to violate this).
+        self._stage = {
+            stage: registry.counter(
+                "repro_stage_seconds_total", engine=self.obs_scope, stage=stage
+            )
+            for stage in ("encode", "transport", "decode", "merge")
+        }
         # Adaptive repartitioning: only meaningful with real worker
         # processes and only allowed to act when the user did not pin
         # explicit weights.
@@ -506,6 +546,8 @@ class ShardedEngine:
             self._ship_pending()
         self._pending_source = source
         buffer = self._pending.setdefault(source, [])
+        if not buffer:
+            self._pending_trace[source] = obs.active()
         buffer.append(item)
         if len(buffer) >= self.chunk_size:
             self._ship_buffer(source)
@@ -537,6 +579,14 @@ class ShardedEngine:
         if not items:
             return
         encode_start = time.perf_counter()
+        # The active trace context (stamped by the session/server at
+        # ingest) rides each chunk's encoded batch as a trailer, so the
+        # shard workers and the reply path inherit it without any frame
+        # change.  Chunk granularity: a buffer shipped mid-ingest
+        # carries the current context (latest-wins); one shipped from
+        # flush falls back to the context captured when it started
+        # filling.
+        trace = obs.active() or self._pending_trace.pop(source, None)
         split = self.partitioner.split_chunk(self._next_chunk, items, self.workers)
         shipments = []
         for shard in sorted(split):
@@ -545,15 +595,19 @@ class ShardedEngine:
                 continue
             chunk_id = self._next_chunk
             self._next_chunk += 1
-            shipments.append((shard, chunk_id, encode_batch_wire(TupleBatch(tuples))))
-        self._stage["encode"] += time.perf_counter() - encode_start
+            batch = TupleBatch(tuples)
+            if trace is not None:
+                batch.trace_id = trace.trace_id
+                batch.t_ingest = trace.t_ingest
+            shipments.append((shard, chunk_id, encode_batch_wire(batch)))
+        self._stage["encode"].inc(time.perf_counter() - encode_start)
         window_merger = isinstance(self._merger, WindowPartialMerger)
         for shard, chunk_id, payload in shipments:
             with self._reply_cv:
                 self._outstanding += 1
                 if window_merger:
                     self._merger.mark_fed(shard)
-            self._chunks_sent[shard] += 1
+            self._chunks_sent[shard].inc()
             self._send(shard, ("chunk", source, chunk_id, payload))
         if shipments:
             self._flush_ready()
@@ -573,15 +627,15 @@ class ShardedEngine:
         """
         if not self._adaptive:
             return
-        sent = sum(self._chunks_sent)
+        sent = sum(int(c.value) for c in self._chunks_sent)
         if sent - self._rebalance_sent_mark < _REBALANCE_INTERVAL:
             return
         self._rebalance_sent_mark = sent
         with self._reply_cv:
-            done = list(self._chunks_done)
+            done = [int(c.value) for c in self._chunks_done]
         deltas = [d - mark for d, mark in zip(done, self._rebalance_done_mark)]
         self._rebalance_done_mark = done
-        in_flight = [self._chunks_sent[s] - done[s] for s in range(self.workers)]
+        in_flight = [int(self._chunks_sent[s].value) - done[s] for s in range(self.workers)]
         weights = compute_adaptive_weights(deltas, in_flight)
         if tuple(weights) != self.partitioner.weights:
             self.partitioner.set_weights(weights)
@@ -604,7 +658,7 @@ class ShardedEngine:
                         f"lost the connection to remote shard {shard} "
                         f"({channel.address}) while sending"
                     )
-                self._stalls[shard] += 1
+                self._stalls[shard].inc()
                 self._raise_if_failed()
                 self._check_workers_alive()
                 channel.wait_writable(0.05)
@@ -613,11 +667,11 @@ class ShardedEngine:
             self._transports[shard].send(
                 frame, on_stall=lambda: self._on_send_stall(shard)
             )
-        self._stage["transport"] += time.perf_counter() - send_start
+        self._stage["transport"].inc(time.perf_counter() - send_start)
 
     def _on_send_stall(self, shard: int) -> None:
         """One failed send pass: count it, fail fast, let readers work."""
-        self._stalls[shard] += 1
+        self._stalls[shard].inc()
         self._raise_if_failed()
         self._check_workers_alive()
         time.sleep(_STALL_BACKOFF)
@@ -627,8 +681,11 @@ class ShardedEngine:
         kind = message[0]
         if kind == "chunk":
             _, source, chunk_id, payload = message
-            outputs, watermark = runner.chunk(source, decode_batch(payload))
-            return ("results", shard, chunk_id, encode_batch_wire(TupleBatch(outputs)), watermark)
+            batch = decode_batch(payload)
+            outputs, watermark = runner.chunk(source, batch)
+            out_batch = TupleBatch(outputs)
+            out_batch.trace_id, out_batch.t_ingest = batch.trace_id, batch.t_ingest
+            return ("results", shard, chunk_id, encode_batch_wire(out_batch), watermark)
         if kind == "flush":
             return ("flushed", shard, message[1], encode_batch_wire(TupleBatch(runner.flush())))
         if kind == "stats":
@@ -693,8 +750,14 @@ class ShardedEngine:
         if kind == "results":
             decode_start = time.perf_counter()
             _, shard, chunk_id, payload, watermark = message
-            rows = decode_batch(payload).to_tuples()
-            return ("results", shard, chunk_id, rows, watermark), (
+            batch = decode_batch(payload)
+            rows = batch.to_tuples()
+            trace = (
+                obs.TraceContext(batch.trace_id, batch.t_ingest)
+                if batch.trace_id is not None
+                else None
+            )
+            return ("results", shard, chunk_id, rows, watermark, trace), (
                 time.perf_counter() - decode_start
             )
         if kind == "flushed":
@@ -713,20 +776,20 @@ class ShardedEngine:
         """Account one normalized reply and feed the merge (thread-safe)."""
         kind = reply[0]
         with self._reply_cv:
-            self._stage["decode"] += decode_seconds
+            self._stage["decode"].inc(decode_seconds)
             self._last_reply = time.monotonic()
             if kind == "results":
-                _, shard, chunk_id, rows, watermark = reply
+                _, shard, chunk_id, rows, watermark, trace = reply
                 self._outstanding -= 1
-                self._chunks_done[shard] += 1
+                self._chunks_done[shard].inc()
                 merge_start = time.perf_counter()
                 if isinstance(self._merger, OrderedChunkMerger):
                     merged = self._merger.ingest(chunk_id, rows)
                 else:
                     merged = self._merger.ingest(shard, rows, watermark)
-                self._stage["merge"] += time.perf_counter() - merge_start
+                self._stage["merge"].inc(time.perf_counter() - merge_start)
                 if merged:
-                    self._ready.append(merged)
+                    self._ready.append((merged, trace))
             elif kind == "flushed":
                 _, shard, token, rows = reply
                 self._flushed_tokens[shard] = token
@@ -735,9 +798,9 @@ class ShardedEngine:
                 else:
                     merge_start = time.perf_counter()
                     merged = self._merger.ingest(shard, rows, math.inf)
-                    self._stage["merge"] += time.perf_counter() - merge_start
+                    self._stage["merge"].inc(time.perf_counter() - merge_start)
                     if merged:
-                        self._ready.append(merged)
+                        self._ready.append((merged, None))
             elif kind == "stats":
                 self._stats_rows[reply[1]] = reply[2]
             elif kind == "snapshot":
@@ -801,24 +864,36 @@ class ShardedEngine:
             return
         while True:
             try:
-                merged = ready.popleft()
+                merged, trace = ready.popleft()
             except IndexError:
                 return
             merge_start = time.perf_counter()
-            self._deliver(merged)
-            self._stage["merge"] += time.perf_counter() - merge_start
+            self._deliver(merged, trace)
+            with self._reply_cv:
+                self._stage["merge"].inc(time.perf_counter() - merge_start)
 
-    def _deliver(self, merged: List[StreamTuple]) -> None:
-        """Route merged tuples through the coordinator suffix to the sink."""
+    def _deliver(self, merged: List[StreamTuple], trace=None) -> None:
+        """Route merged tuples through the coordinator suffix to the sink.
+
+        When the batch that produced these rows carried a trace context,
+        it is re-activated around delivery so downstream sinks (the
+        service layer's per-query latency histograms in particular) see
+        the originating ``t_ingest``.
+        """
         if not merged:
             return
-        if self._suffix is not None:
+        previous = obs.activate(trace) if trace is not None else None
+        try:
+            if self._suffix is not None:
+                for item in merged:
+                    self._suffix.push(PARTIAL_SOURCE, item)
+                merged = list(self._suffix_sink.results)
+                self._suffix_sink.results.clear()
             for item in merged:
-                self._suffix.push(PARTIAL_SOURCE, item)
-            merged = list(self._suffix_sink.results)
-            self._suffix_sink.results.clear()
-        for item in merged:
-            self._sink.accept(item)
+                self._sink.accept(item)
+        finally:
+            if trace is not None:
+                obs.activate(previous)
 
     def _check_workers_alive(self) -> None:
         for process in getattr(self, "_processes", ()):
@@ -874,7 +949,7 @@ class ShardedEngine:
                 tails = [self._ordered_flush.pop(s, []) for s in range(self.workers)]
             else:
                 tails = []
-            self._stage["merge"] += time.perf_counter() - merge_start
+            self._stage["merge"].inc(time.perf_counter() - merge_start)
         self._deliver(merged)
         for rows in tails:
             self._deliver(rows)
@@ -1104,15 +1179,8 @@ class ShardedEngine:
         }
         if self._suffix is not None:
             coordinator.extend(self._suffix.statistics(detailed=True))
-        coordinator.append(
-            OperatorStats(
-                name=self._sink.name,
-                tuples_in=self._sink.tuples_in,
-                tuples_out=self._sink.tuples_out,
-                batches_in=self._sink.batches_in,
-                seconds=self._sink.processing_seconds,
-            )
-        )
+        sink_view = obs.get_registry().operator_view(self.obs_scope, self._sink)
+        coordinator.append(OperatorStats(*sink_view.stats()))
         return ShardedStatistics(
             shards=shards,
             coordinator=coordinator,
@@ -1144,9 +1212,10 @@ class ShardedEngine:
                 shard=shard,
                 transport=transport,
                 queue_depth=queue_depth,
-                in_flight_chunks=self._chunks_sent[shard] - self._chunks_done[shard],
-                stalls=self._stalls[shard],
-                chunks_sent=self._chunks_sent[shard],
+                in_flight_chunks=int(self._chunks_sent[shard].value)
+                - int(self._chunks_done[shard].value),
+                stalls=int(self._stalls[shard].value),
+                chunks_sent=int(self._chunks_sent[shard].value),
                 send_backlog_bytes=backlog,
             )
         return report
@@ -1164,7 +1233,7 @@ class ShardedEngine:
         if not self.sharded:
             return {"encode": 0.0, "transport": 0.0, "decode": 0.0, "merge": 0.0}
         with self._reply_cv:
-            return dict(self._stage)
+            return {name: counter.value for name, counter in self._stage.items()}
 
     def explain(self) -> str:
         """The sharding decision, runtime configuration and fallback plan."""

@@ -65,6 +65,18 @@ __all__ = [
 _IDLE_TICK = 0.2
 
 
+def _traced_output(outputs: List, batch: TupleBatch) -> TupleBatch:
+    """Wrap chunk outputs, carrying the input batch's trace context along.
+
+    The trace trailer survives the wire round trip, so the coordinator
+    can account ingest→delivery latency across the process boundary.
+    """
+    out = TupleBatch(outputs)
+    out.trace_id = batch.trace_id
+    out.t_ingest = batch.t_ingest
+    return out
+
+
 def plan_signature(plan: LogicalPlan) -> List[str]:
     """Deterministic structural signature of a (shard-local) plan.
 
@@ -163,8 +175,9 @@ def serve_shard_messages(
         kind = message[0]
         if kind == "chunk":
             _, source, chunk_id, payload = message
-            outputs, watermark = runner.chunk(source, decode_batch(payload))
-            payload_out = encode_batch_wire(TupleBatch(outputs))
+            batch = decode_batch(payload)
+            outputs, watermark = runner.chunk(source, batch)
+            payload_out = encode_batch_wire(_traced_output(outputs, batch))
             send(("results", shard_id, chunk_id, payload_out, watermark))
         elif kind == "flush":
             outputs = runner.flush()
@@ -212,7 +225,7 @@ def serve_shard_rings(runner: ShardRunner, transport) -> None:
             outputs, watermark = runner.chunk(source, batch)
             transport.reply(
                 encode_worker_message(
-                    ("results", shard_id, chunk_id, encode_batch_wire(TupleBatch(outputs)), watermark)
+                    ("results", shard_id, chunk_id, encode_batch_wire(_traced_output(outputs, batch)), watermark)
                 )
             )
             continue

@@ -41,6 +41,7 @@ import json
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Tuple, Union
 
+from repro import obs
 from repro.cql.lowering import lower_query
 from repro.plan.builder import Stream
 from repro.plan.fingerprint import plan_fingerprints
@@ -79,7 +80,12 @@ class _QuerySink(CollectSink):
     (:meth:`QuerySession.add_listener`).
     """
 
-    def __init__(self, name: str, callback: Optional[Callable[[StreamTuple], None]] = None):
+    def __init__(
+        self,
+        name: str,
+        callback: Optional[Callable[[StreamTuple], None]] = None,
+        query: Optional[str] = None,
+    ):
         super().__init__(name=name)
         self.paused = False
         self.dropped = 0
@@ -90,6 +96,14 @@ class _QuerySink(CollectSink):
         #: ``replay.last_seq`` sees the sequence number of the item it
         #: is being handed.
         self.replay: Optional[ReplayLog] = None
+        #: End-to-end latency accounting: when a delivery runs under an
+        #: active trace context the ingest→sink delay lands here.
+        self.query_label = query or name
+        self.latency = obs.get_registry().histogram(
+            "repro_query_latency_seconds", query=self.query_label
+        )
+        self.last_trace: Optional[obs.TraceContext] = None
+        self.last_delivered_at: Optional[float] = None
 
     def _emit(self, item: StreamTuple) -> None:
         if self._callback is not None:
@@ -103,11 +117,21 @@ class _QuerySink(CollectSink):
         if self._callback is not None or self.listeners:
             self._emit(item)
 
+    def _record_delivery(self, count: int) -> None:
+        trace = obs.active()
+        if trace is None:
+            return
+        now = obs.trace_clock()
+        self.latency.observe(max(0.0, now - trace.t_ingest), count=count)
+        self.last_trace = trace
+        self.last_delivered_at = now
+
     def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
         if self.paused:
             self.dropped += 1
             return ()
         self.results.append(item)
+        self._record_delivery(1)
         self._accept(item)
         return ()
 
@@ -122,6 +146,8 @@ class _QuerySink(CollectSink):
             self.dropped += len(batch)
             return TupleBatch()
         self.results.extend(batch)
+        if len(batch):
+            self._record_delivery(len(batch))
         if self.replay is not None or self._callback is not None or self.listeners:
             for item in batch:
                 self._accept(item)
@@ -197,6 +223,10 @@ class RegisteredQuery:
 
     def statistics(self) -> List[BoxReport]:
         return self._session.statistics(self.name)
+
+    def observed_stats(self) -> Dict:
+        """Latency histogram and per-operator rates (see session method)."""
+        return self._session.observed_stats(self.name)
 
     def pause(self) -> None:
         self._session.pause(self.name)
@@ -287,6 +317,9 @@ class QuerySession:
         #: push runs per tuple, so no per-push scan over all queries).
         self._sharded_by_source: Dict[str, List[_Registered]] = {}
         self._closed = False
+        #: Set by :meth:`recover`: the metrics snapshot saved with the
+        #: restored checkpoint (``None`` for fresh sessions).
+        self.recovered_metrics: Optional[Dict] = None
 
     # ------------------------------------------------------------------
     # Stream & function registry
@@ -454,7 +487,7 @@ class QuerySession:
     def _make_sink(
         self, name: str, on_result: Optional[Callable[[StreamTuple], None]]
     ) -> _QuerySink:
-        sink = _QuerySink(name=f"sink:{name}", callback=on_result)
+        sink = _QuerySink(name=f"sink:{name}", callback=on_result, query=name)
         if self._replay_capacity:
             sink.replay = ReplayLog(self._replay_capacity, query=name)
         return sink
@@ -689,16 +722,29 @@ class QuerySession:
         source: str,
         items: Iterable[StreamTuple],
         batch_size: Optional[int] = None,
+        trace: Optional[obs.TraceContext] = None,
     ) -> None:
-        """Push many tuples (batch path when the session has a batch size)."""
+        """Push many tuples (batch path when the session has a batch size).
+
+        Each call is one ingested chunk for latency accounting: a trace
+        context (minted here unless the caller — e.g. the network server
+        — supplies one stamped at receipt) is active for the duration of
+        the push, so query sinks record ingest→delivery latency and the
+        sharded runtime stamps outbound chunk batches with it.
+        """
         self._check_source(source)
         readers = self._sharded_readers(source)
         if readers and not isinstance(items, (list, tuple)):
             items = list(items)  # several consumers each need the full stream
-        if source in self._entries:
-            self.engine.push_many(source, items, batch_size=batch_size)
-        for query in readers:
-            query.sharded.push_many(source, items)
+        ctx = trace if trace is not None else obs.new_trace()
+        previous = obs.activate(ctx)
+        try:
+            if source in self._entries:
+                self.engine.push_many(source, items, batch_size=batch_size)
+            for query in readers:
+                query.sharded.push_many(source, items)
+        finally:
+            obs.activate(previous)
 
     def flush(self) -> None:
         """Close out all partial windows (emits their pending results).
@@ -996,7 +1042,11 @@ class QuerySession:
             "replay_capacity": self._replay_capacity,
         }
         blobs["meta"] = json.dumps(meta, separators=(",", ":")).encode("utf-8")
-        return CheckpointStore(directory).save(blobs, mode=mode)
+        # The registry snapshot rides along as a sidecar so recovery can
+        # report what the process observed up to the captured state.
+        return CheckpointStore(directory).save(
+            blobs, mode=mode, metrics=obs.get_registry().snapshot()
+        )
 
     @classmethod
     def recover(
@@ -1026,7 +1076,8 @@ class QuerySession:
         ``workers`` is only valid when it does not change whether (and
         how wide) a query shards.
         """
-        header, blobs = CheckpointStore(directory).load_latest()
+        store = CheckpointStore(directory)
+        header, blobs = store.load_latest()
         meta = json.loads(blobs["meta"].decode("utf-8"))
         # Advance the tuple counter before re-registering: forked shard
         # workers inherit it, and every tuple created from here on must
@@ -1088,6 +1139,10 @@ class QuerySession:
                         f"checkpointed box {entry['name']!r}"
                     )
                 box.op.state_restore(entry["state"])
+        #: Metrics-registry snapshot taken when the checkpoint was
+        #: written (``None`` for checkpoints predating the sidecar):
+        #: what the lost process had observed up to the restored state.
+        session.recovered_metrics = store.load_metrics(int(header["id"]))
         return session
 
     # ------------------------------------------------------------------
@@ -1146,6 +1201,58 @@ class QuerySession:
         for row in stats.coordinator:
             reports.append(BoxReport(stats=row, owners=(query.name,)))
         return reports
+
+    def observed_stats(self, name: str) -> Dict:
+        """Observability report for one query: latency plus operator rates.
+
+        Combines the sink's end-to-end ingest→delivery latency histogram
+        (populated whenever pushes run under a trace context — always,
+        since :meth:`push_many` mints one) with per-operator throughput:
+        mean seconds per batch and, for selective boxes, the observed
+        pass rate ``tuples_out / tuples_in``.  Works identically for
+        engine-hosted and sharded queries (sharded operators report per
+        shard, names prefixed ``shard<i>/``).
+        """
+        query = self._query(name)
+        latency = query.sink.latency
+        operators = []
+        for report in self.statistics(name):
+            stats = report.stats
+            operators.append(
+                {
+                    "name": stats.name,
+                    "tuples_in": stats.tuples_in,
+                    "tuples_out": stats.tuples_out,
+                    "batches_in": stats.batches_in,
+                    "seconds": stats.seconds,
+                    "seconds_per_batch": (
+                        stats.seconds / stats.batches_in if stats.batches_in else None
+                    ),
+                    "pass_rate": (
+                        stats.tuples_out / stats.tuples_in if stats.tuples_in else None
+                    ),
+                }
+            )
+        last = query.sink.last_trace
+        return {
+            "query": name,
+            "sharded": query.sharded is not None,
+            "latency": {
+                "count": latency.count,
+                "mean": latency.mean,
+                **latency.percentiles((0.5, 0.95, 0.99)),
+            },
+            "last_trace": (
+                {
+                    "trace_id": last.trace_id,
+                    "t_ingest": last.t_ingest,
+                    "delivered_at": query.sink.last_delivered_at,
+                }
+                if last is not None
+                else None
+            ),
+            "operators": operators,
+        }
 
     def shard_statistics(self, name: str) -> ShardedStatistics:
         """Raw per-shard statistics of a sharded query."""

@@ -42,7 +42,15 @@ class TupleBatch:
         into an internal list; the tuples themselves are shared.
     """
 
-    __slots__ = ("_tuples", "_timestamps", "_gaussian_cols", "_moment_cols", "_value_cols")
+    __slots__ = (
+        "_tuples",
+        "_timestamps",
+        "_gaussian_cols",
+        "_moment_cols",
+        "_value_cols",
+        "trace_id",
+        "t_ingest",
+    )
 
     def __init__(self, tuples: Iterable[StreamTuple] = ()):
         self._tuples: List[StreamTuple] = list(tuples)
@@ -50,6 +58,12 @@ class TupleBatch:
         self._gaussian_cols: Dict[str, Any] = {}
         self._moment_cols: Dict[str, Any] = {}
         self._value_cols: Dict[str, np.ndarray] = {}
+        #: Trace context (see :mod:`repro.obs.trace`), stamped at ingest
+        #: and preserved by the wire codecs.  Transport-level metadata:
+        #: derived batches (``select``/``chunks``/``concat``) start
+        #: unstamped — the runtime re-stamps at each shipping boundary.
+        self.trace_id: Optional[int] = None
+        self.t_ingest: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Construction / conversion

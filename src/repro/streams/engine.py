@@ -24,15 +24,20 @@ Two execution paths share the same plans and operators:
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro import obs
 
 from .batch import TupleBatch
 from .operators.base import Operator
 from .tuples import StreamTuple
 
 __all__ = ["StreamEngine", "EngineError", "OperatorStats", "run_plan"]
+
+_engine_scopes = itertools.count(1)
 
 
 class EngineError(Exception):
@@ -82,9 +87,14 @@ class StreamEngine:
         always use their respective paths regardless of this setting.
     """
 
-    def __init__(self, batch_size: Optional[int] = None) -> None:
+    def __init__(
+        self, batch_size: Optional[int] = None, obs_scope: Optional[str] = None
+    ) -> None:
         if batch_size is not None and batch_size < 1:
             raise EngineError(f"batch_size must be at least 1, got {batch_size}")
+        #: Scope label under which this engine's operators appear in the
+        #: :mod:`repro.obs` registry (METRICS snapshots, Prometheus).
+        self.obs_scope = obs_scope or f"engine-{next(_engine_scopes)}"
         self._sources: Dict[str, Operator] = {}
         self._operators: List[Operator] = []
         self._operator_ids: set = set()
@@ -116,11 +126,13 @@ class StreamEngine:
 
     def register(self, *operators: Operator) -> None:
         """Register operators so the engine can flush and inspect them."""
+        registry = obs.get_registry()
         for op in operators:
             self._detached.pop(id(op), None)
             if id(op) not in self._operator_ids:
                 self._operator_ids.add(id(op))
                 self._operators.append(op)
+                registry.operator_view(self.obs_scope, op)
 
     def unregister(self, *operators: Operator) -> None:
         """Forget operators (dynamic detach of a dropped query's boxes).
@@ -370,20 +382,30 @@ class StreamEngine:
         returns :class:`OperatorStats` records that additionally carry
         the number of batches processed, the cumulative processing time
         and the derived throughput.
+
+        Both shapes are views over :class:`repro.obs.OperatorView`
+        instruments (get-or-created in the default registry under this
+        engine's ``obs_scope``), so the METRICS verb and this method
+        read the same cells.  The per-tuple hot path is untouched: views
+        sample the operators' plain counters at call time.
         """
-        ops = self._discover()
+        registry = obs.get_registry()
+        rows = [
+            registry.operator_view(self.obs_scope, op).stats()
+            for op in self._discover()
+        ]
         if detailed:
             return [
                 OperatorStats(
-                    name=op.name,
-                    tuples_in=op.tuples_in,
-                    tuples_out=op.tuples_out,
-                    batches_in=op.batches_in,
-                    seconds=op.processing_seconds,
+                    name=name,
+                    tuples_in=tuples_in,
+                    tuples_out=tuples_out,
+                    batches_in=batches_in,
+                    seconds=seconds,
                 )
-                for op in ops
+                for name, tuples_in, tuples_out, batches_in, seconds in rows
             ]
-        return [(op.name, op.tuples_in, op.tuples_out) for op in ops]
+        return [(name, tuples_in, tuples_out) for name, tuples_in, tuples_out, _, _ in rows]
 
     def reset(self) -> None:
         """Reset per-operator counters (does not clear operator state)."""

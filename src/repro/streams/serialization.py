@@ -263,6 +263,32 @@ def tuple_size_bytes(item: StreamTuple) -> int:
 #: Magic prefix identifying an encoded tuple batch (version 1).
 _BATCH_MAGIC = b"TB1\x00"
 
+#: Magic of the optional trace trailer (version 1).  The trailer rides
+#: *after* the declared rows/columns of either batch format:
+#: ``TRB1`` magic · trace_id i64 · t_ingest f64.  Appended only when the
+#: batch carries a trace context, so traceless payloads are
+#: byte-identical to the pre-trace format in both directions.
+_TRACE_MAGIC = b"TRB1"
+_TRACE_TRAILER = struct.Struct("<4sqd")
+
+
+def _trace_trailer(batch) -> bytes:
+    trace_id = getattr(batch, "trace_id", None)
+    if trace_id is None:
+        return b""
+    t_ingest = getattr(batch, "t_ingest", None)
+    return _TRACE_TRAILER.pack(_TRACE_MAGIC, int(trace_id), float(t_ingest or 0.0))
+
+
+def _split_trace_trailer(payload):
+    """Return ``(body, trace_or_None)``, stripping a trace trailer if present."""
+    size = _TRACE_TRAILER.size
+    if len(payload) >= size:
+        magic, trace_id, t_ingest = _TRACE_TRAILER.unpack_from(payload, len(payload) - size)
+        if magic == _TRACE_MAGIC:
+            return payload[: len(payload) - size], (trace_id, t_ingest)
+    return payload, None
+
 
 def encode_batch(batch: TupleBatch) -> bytes:
     """Encode a whole batch: magic, row count, then length-prefixed tuples.
@@ -275,6 +301,7 @@ def encode_batch(batch: TupleBatch) -> bytes:
         encoded = encode_tuple(item)
         parts.append(struct.pack("<I", len(encoded)))
         parts.append(encoded)
+    parts.append(_trace_trailer(batch))
     return b"".join(parts)
 
 
@@ -288,12 +315,13 @@ def decode_batch(payload: bytes) -> TupleBatch:
     (:func:`encode_batch_columnar`) are recognised by their own magic
     and decoded transparently.
     """
+    payload, trace = _split_trace_trailer(payload)
     if bytes(payload[: len(_COLUMNAR_MAGIC)]) == _COLUMNAR_MAGIC:
         # The columnar decoder consumes memoryviews natively
         # (``np.frombuffer`` reads straight out of a transport ring or
         # receive buffer), so the dominant wire format never pays a
         # whole-payload copy.
-        return _decode_batch_columnar(payload)
+        return _install_trace(_decode_batch_columnar(payload), trace)
     if not isinstance(payload, bytes):
         # The row-format fallback keeps its inlined bytes-only decode
         # loops (slice.decode, frombuffer); normalise once.
@@ -328,12 +356,19 @@ def decode_batch(payload: bytes) -> TupleBatch:
         raise ValueError(
             f"tuple-batch payload has {len(payload) - offset} trailing bytes after {count} rows"
         )
-    return TupleBatch(rows)
+    return _install_trace(TupleBatch(rows), trace)
+
+
+def _install_trace(batch: TupleBatch, trace) -> TupleBatch:
+    if trace is not None:
+        batch.trace_id, batch.t_ingest = trace
+    return batch
 
 
 def batch_size_bytes(batch: TupleBatch) -> int:
     """Return the encoded size of a batch without building the bytes."""
-    return len(_BATCH_MAGIC) + 4 + sum(4 + tuple_size_bytes(item) for item in batch)
+    trailer = _TRACE_TRAILER.size if getattr(batch, "trace_id", None) is not None else 0
+    return len(_BATCH_MAGIC) + 4 + sum(4 + tuple_size_bytes(item) for item in batch) + trailer
 
 
 # ----------------------------------------------------------------------
@@ -430,6 +465,7 @@ def encode_batch_columnar(batch: TupleBatch) -> Optional[bytes]:
                 (t.uncertain[name].sigma for t in rows), dtype="<f8", count=n
             ).tobytes()
         )
+    parts.append(_trace_trailer(batch))
     return b"".join(parts)
 
 

@@ -168,6 +168,92 @@ class TestSinkDeliveryThread:
         )
 
 
+class TestSharedDictSlot:
+    def test_unlocked_slot_augassign_on_reader_thread_is_caught(self):
+        found = _lint(
+            """
+            class Engine:
+                def start(self):
+                    self._reader = Thread(target=self._loop)
+
+                def _loop(self):
+                    self._apply_reply()
+
+                def _apply_reply(self):
+                    self._stage["decode"] += 0.5
+            """
+        )
+        assert [d.rule for d in found] == ["shared-dict-slot"]
+        assert "_stage" in found[0].message
+
+    def test_locked_slot_augassign_is_fine(self):
+        assert (
+            _rules(
+                """
+                class Engine:
+                    def start(self):
+                        self._reader = Thread(target=self._loop)
+
+                    def _loop(self):
+                        with self._reply_cv:
+                            self._stage["decode"] += 0.5
+                """
+            )
+            == []
+        )
+
+    def test_slot_augassign_off_the_thread_path_is_fine(self):
+        # finish() is never a thread target nor reachable from one.
+        assert (
+            _rules(
+                """
+                class Engine:
+                    def start(self):
+                        self._reader = Thread(target=self._loop)
+
+                    def _loop(self):
+                        pass
+
+                    def finish(self):
+                        self._stage["merge"] += 0.5
+                """
+            )
+            == []
+        )
+
+    def test_transitive_reachability_is_caught(self):
+        assert "shared-dict-slot" in _rules(
+            """
+            class Engine:
+                def start(self):
+                    self._reader = Thread(target=self._loop)
+
+                def _loop(self):
+                    self._step()
+
+                def _step(self):
+                    self._done[0] += 1
+            """
+        )
+
+    def test_plain_attribute_augassign_is_not_flagged(self):
+        # Only container slots race here; whole-attribute += is covered
+        # by single-writer discipline and stays out of this rule.
+        assert (
+            _rules(
+                """
+                class Engine:
+                    def start(self):
+                        self._reader = Thread(target=self._loop)
+
+                    def _loop(self):
+                        self._count += 1
+                """
+            )
+            == []
+        )
+
+
 class TestShmFinalize:
     def test_bare_shared_memory_creation_is_caught(self):
         assert "shm-finalize" in _rules(

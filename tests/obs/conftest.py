@@ -1,0 +1,34 @@
+"""Shared fixtures for the observability tests."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.distributions import Gaussian
+from repro.streams import StreamTuple
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    """Isolate each test from instruments left behind by earlier ones."""
+    obs.get_registry().reset()
+    yield
+    obs.get_registry().reset()
+    obs.activate(None)
+
+
+def make_rfid_tuples(n=400, seed=17):
+    rng = np.random.default_rng(seed)
+    return [
+        StreamTuple(
+            timestamp=i * 0.2,
+            values={"tag_id": f"T{i % 5}"},
+            uncertain={"w": Gaussian(float(rng.uniform(20.0, 60.0)), 2.0)},
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def rfid_tuples():
+    return make_rfid_tuples()

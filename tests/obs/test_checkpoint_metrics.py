@@ -1,0 +1,56 @@
+"""Registry snapshots ride along with checkpoints and surface on recovery."""
+
+from repro import QuerySession, obs
+from repro.recovery.checkpoint import CheckpointStore
+
+TOTALS = "SELECT SUM(w) AS total FROM rfid [RANGE 5 SECONDS SLIDE 5 SECONDS]"
+
+
+def declare(session):
+    session.create_stream(
+        "rfid", values=("tag_id",), uncertain=("w",), family="gaussian", rate_hint=5.0
+    )
+
+
+class TestMetricsSidecar:
+    def test_save_writes_sidecar_and_load_metrics_reads_it(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        snapshot = {"counters": [{"name": "n", "labels": {}, "value": 1.0}]}
+        info = store.save({"q": b"blob"}, metrics=snapshot)
+        assert store.load_metrics(info.checkpoint_id) == snapshot
+        # The sidecar never confuses the checkpoint directory scan.
+        header, blobs = store.load_latest()
+        assert int(header["id"]) == info.checkpoint_id
+        assert blobs == {"q": b"blob"}
+
+    def test_missing_sidecar_is_none(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        info = store.save({"q": b"blob"})
+        assert store.load_metrics(info.checkpoint_id) is None
+
+    def test_checkpoint_counters_update(self, tmp_path):
+        registry = obs.get_registry()
+        store = CheckpointStore(str(tmp_path))
+        info = store.save({"q": b"blob"}, mode="full")
+        assert registry.counter("repro_checkpoint_saves_total", mode="full").value == 1
+        assert registry.counter("repro_checkpoint_bytes_total").value > 0
+        assert registry.gauge("repro_checkpoint_last_id").value == info.checkpoint_id
+
+    def test_session_recovery_reports_restored_metrics(self, tmp_path, rfid_tuples):
+        session = QuerySession()
+        declare(session)
+        session.register("totals", TOTALS)
+        session.push_many("rfid", rfid_tuples[:200])
+        session.checkpoint(str(tmp_path))
+
+        recovered = QuerySession.recover(str(tmp_path))
+        try:
+            assert recovered.recovered_metrics is not None
+            names = {
+                entry["name"]
+                for entry in recovered.recovered_metrics.get("histograms", [])
+            }
+            assert "repro_query_latency_seconds" in names
+        finally:
+            recovered.close()
+        session.close()

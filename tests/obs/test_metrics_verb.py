@@ -1,0 +1,99 @@
+"""The METRICS wire verb and the ``python -m repro.obs`` CLI."""
+
+import io
+
+import pytest
+
+from repro import QuerySession
+from repro.net import StreamClient, serve_in_thread
+from repro.obs.cli import main
+
+TOTALS = "SELECT SUM(w) AS total FROM rfid [RANGE 5 SECONDS SLIDE 5 SECONDS]"
+
+
+@pytest.fixture
+def server(rfid_tuples):
+    handle = serve_in_thread(QuerySession())
+    with StreamClient(handle.address, timeout=15.0) as client:
+        client.declare_stream(
+            "rfid",
+            values=("tag_id",),
+            uncertain=("w",),
+            family="gaussian",
+            rate_hint=5.0,
+        )
+        client.register("totals", TOTALS)
+        client.ingest("rfid", rfid_tuples, batch_size=100)
+        client.flush()
+    yield handle
+    handle.stop()
+
+
+class TestMetricsVerb:
+    def test_snapshot_covers_server_counters(self, server):
+        with StreamClient(server.address, timeout=15.0) as client:
+            reply = client.metrics()
+        snapshot = reply["metrics"]
+        counters = {
+            (entry["name"], tuple(sorted(entry["labels"].items()))): entry["value"]
+            for entry in snapshot["counters"]
+        }
+        # The registry is process-global: servers from earlier tests may
+        # have left (reset-to-zero) instruments behind, so membership —
+        # not position — identifies this server's counter.
+        ingested = [
+            value
+            for (name, _), value in counters.items()
+            if name == "repro_server_tuples_ingested_total"
+        ]
+        assert 400.0 in ingested
+        assert any(
+            name == "repro_server_frames_total" for name, _ in counters
+        )
+        latency = [
+            entry
+            for entry in snapshot["histograms"]
+            if entry["name"] == "repro_query_latency_seconds"
+        ]
+        assert any(entry["count"] > 0 for entry in latency)
+
+    def test_query_argument_adds_observed_stats(self, server):
+        with StreamClient(server.address, timeout=15.0) as client:
+            reply = client.metrics("totals")
+        observed = reply["observed"]
+        assert observed["query"] == "totals"
+        assert observed["latency"]["count"] > 0
+        assert any(op["name"] for op in observed["operators"])
+
+    def test_unknown_query_is_a_remote_error(self, server):
+        from repro.net import RemoteError
+
+        with StreamClient(server.address, timeout=15.0) as client:
+            with pytest.raises(RemoteError):
+                client.metrics("nope")
+
+
+class TestCli:
+    def test_one_shot_table(self, server):
+        out = io.StringIO()
+        assert main(["--address", server.address], out=out) == 0
+        text = out.getvalue()
+        assert "repro_server_tuples_ingested_total" in text
+        assert text.splitlines()[0].startswith("kind")
+
+    def test_prometheus_flag(self, server):
+        out = io.StringIO()
+        assert main(["--address", server.address, "--prometheus"], out=out) == 0
+        text = out.getvalue()
+        assert "# TYPE repro_server_tuples_ingested_total counter" in text
+        assert "repro_query_latency_seconds_bucket" in text
+
+    def test_watch_bounded_by_iterations(self, server):
+        out = io.StringIO()
+        code = main(
+            ["--address", server.address, "--watch", "--interval", "0.01",
+             "--iterations", "3"],
+            out=out,
+        )
+        assert code == 0
+        assert out.getvalue().count("kind") == 3

@@ -1,0 +1,165 @@
+"""Unit coverage for the repro.obs instrument registry."""
+
+import gc
+import json
+
+import pytest
+
+from repro.obs import DEFAULT_LATENCY_BUCKETS, Registry, get_registry
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        counter = Registry().counter("frames_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_get_or_create_shares_one_cell(self):
+        registry = Registry()
+        a = registry.counter("drops_total", query="q1")
+        b = registry.counter("drops_total", query="q1")
+        assert a is b
+
+    def test_labels_separate_instruments(self):
+        registry = Registry()
+        a = registry.counter("drops_total", query="q1")
+        b = registry.counter("drops_total", query="q2")
+        assert a is not b
+        a.inc()
+        assert b.value == 0.0
+
+    def test_label_order_does_not_matter(self):
+        registry = Registry()
+        a = registry.counter("stage_seconds", engine="e1", stage="decode")
+        b = registry.counter("stage_seconds", stage="decode", engine="e1")
+        assert a is b
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = Registry().gauge("last_checkpoint_id")
+        gauge.set(7.0)
+        gauge.inc(1.0)
+        assert gauge.value == 8.0
+
+
+class TestHistogram:
+    def test_observe_count_sum_mean(self):
+        hist = Registry().histogram("latency", buckets=(0.1, 1.0, 10.0))
+        assert hist.count == 0 and hist.mean is None
+        hist.observe(0.05)
+        hist.observe(0.5, count=3)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(0.05 + 3 * 0.5)
+        assert hist.mean == pytest.approx(hist.sum / 4)
+
+    def test_percentile_interpolates_within_bucket(self):
+        hist = Registry().histogram("latency", buckets=(1.0, 2.0))
+        for _ in range(100):
+            hist.observe(1.5)
+        p50 = hist.percentile(0.5)
+        assert 1.0 <= p50 <= 2.0
+
+    def test_percentile_empty_is_none(self):
+        hist = Registry().histogram("latency")
+        assert hist.percentile(0.5) is None
+        assert hist.percentiles((0.5, 0.95)) == {"p50": None, "p95": None}
+
+    def test_overflow_reports_largest_finite_bound(self):
+        hist = Registry().histogram("latency", buckets=(0.1, 1.0))
+        hist.observe(50.0)  # beyond every bound -> overflow slot
+        assert hist.count == 1
+        assert hist.percentile(0.99) == 1.0
+
+    def test_default_buckets_span_latency_range(self):
+        hist = Registry().histogram("latency")
+        assert hist.bounds == tuple(sorted(DEFAULT_LATENCY_BUCKETS))
+
+    def test_reset_zeroes_everything(self):
+        hist = Registry().histogram("latency", buckets=(1.0,))
+        hist.observe(0.5)
+        hist.reset()
+        assert hist.count == 0 and hist.sum == 0 and hist.percentile(0.5) is None
+
+    def test_empty_bucket_list_is_rejected(self):
+        from repro.obs import Histogram
+
+        with pytest.raises(ValueError):
+            Histogram("latency", buckets=())
+        # The registry helper treats an empty sequence as "use defaults".
+        assert Registry().histogram("latency", buckets=()).bounds == tuple(
+            sorted(DEFAULT_LATENCY_BUCKETS)
+        )
+
+
+class _FakeOperator:
+    def __init__(self, name):
+        self.name = name
+        self.tuples_in = 10
+        self.tuples_out = 4
+        self.batches_in = 2
+        self.processing_seconds = 0.125
+
+
+class TestOperatorView:
+    def test_stats_row_shape(self):
+        registry = Registry()
+        op = _FakeOperator("Filter")
+        view = registry.operator_view("engine-1", op)
+        assert view.stats() == ("Filter", 10, 4, 2, 0.125)
+
+    def test_dead_operator_drops_out_of_snapshot(self):
+        registry = Registry()
+        op = _FakeOperator("Filter")
+        registry.operator_view("engine-1", op)
+        assert len(registry.snapshot()["operators"]) == 1
+        del op
+        gc.collect()
+        assert registry.snapshot()["operators"] == []
+
+    def test_scope_filters_views(self):
+        registry = Registry()
+        a, b = _FakeOperator("A"), _FakeOperator("B")
+        registry.operator_view("engine-1", a)
+        registry.operator_view("engine-2", b)
+        assert [v.operator for v in registry.operator_views("engine-1")] == [a]
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_serializable(self):
+        registry = Registry()
+        registry.counter("frames_total", server="s1").inc(3)
+        registry.gauge("depth").set(2.0)
+        registry.histogram("latency", buckets=(0.5, 1.0)).observe(0.25)
+        op = _FakeOperator("Filter")
+        registry.operator_view("engine-1", op)
+        snapshot = registry.snapshot()
+        round_tripped = json.loads(json.dumps(snapshot))
+        assert round_tripped["counters"][0] == {
+            "name": "frames_total",
+            "labels": {"server": "s1"},
+            "value": 3.0,
+        }
+        assert round_tripped["gauges"][0]["value"] == 2.0
+        hist = round_tripped["histograms"][0]
+        assert hist["count"] == 1.0 and len(hist["counts"]) == 3
+        assert hist["percentiles"].keys() == {"p50", "p95", "p99"}
+        assert round_tripped["operators"][0]["operator"] == "Filter"
+
+    def test_reset_zeroes_instruments_and_drops_views(self):
+        registry = Registry()
+        registry.counter("n").inc(5)
+        registry.gauge("g").set(5.0)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        op = _FakeOperator("Filter")
+        registry.operator_view("engine-1", op)
+        registry.reset()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"][0]["value"] == 0.0
+        assert snapshot["gauges"][0]["value"] == 0.0
+        assert snapshot["histograms"][0]["count"] == 0.0
+        assert snapshot["operators"] == []
+
+    def test_default_registry_is_process_wide(self):
+        assert get_registry() is get_registry()

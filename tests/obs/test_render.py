@@ -1,0 +1,51 @@
+"""Exposition renderers: Prometheus text format and the live table."""
+
+from repro.obs import Registry, render_prometheus, render_table
+
+
+def build_snapshot():
+    registry = Registry()
+    registry.counter("repro_frames_total", server="s1").inc(3)
+    registry.gauge("repro_depth").set(2.0)
+    hist = registry.histogram("repro_latency_seconds", buckets=(0.5, 1.0))
+    hist.observe(0.25)
+    hist.observe(0.75, count=2)
+    return registry.snapshot()
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self):
+        text = render_prometheus(build_snapshot())
+        assert '# TYPE repro_frames_total counter' in text
+        assert 'repro_frames_total{server="s1"} 3' in text
+        assert '# TYPE repro_depth gauge' in text
+        assert "repro_depth 2" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = render_prometheus(build_snapshot())
+        assert 'repro_latency_seconds_bucket{le="0.5"} 1' in text
+        assert 'repro_latency_seconds_bucket{le="1.0"} 3' in text
+        assert 'repro_latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_latency_seconds_count 3" in text
+        assert "repro_latency_seconds_sum" in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus(Registry().snapshot()) == ""
+
+    def test_none_value_renders_nan(self):
+        registry = Registry()
+        registry.histogram("h", buckets=(1.0,))
+        assert "NaN" not in render_prometheus(registry.snapshot())
+
+
+class TestTable:
+    def test_all_kinds_appear(self):
+        table = render_table(build_snapshot())
+        assert "repro_frames_total" in table
+        assert "repro_depth" in table
+        assert "repro_latency_seconds" in table
+        assert "p95=" in table
+        assert table.splitlines()[0].startswith("kind")
+
+    def test_empty_snapshot_has_placeholder(self):
+        assert "no instruments" in render_table(Registry().snapshot())
