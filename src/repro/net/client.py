@@ -351,6 +351,29 @@ class StreamClient:
         header, _ = self._request(protocol.METRICS, {"query": query})
         return header
 
+    def trace(self, limit: Optional[int] = None, keep: bool = False) -> Dict[str, Any]:
+        """Drain the server's span buffer (flight-recorder export).
+
+        Returns the ``TRACE`` reply header: ``"spans"`` is the list of
+        span dicts (feed it to
+        :func:`repro.obs.export_chrome_trace`), ``"sample"`` the
+        server's sampling denominator.  ``keep=True`` peeks without
+        draining; ``limit`` returns only the newest N spans.
+        """
+        header, _ = self._request(protocol.TRACE, {"limit": limit, "keep": keep})
+        return header
+
+    def health(self) -> Dict[str, Any]:
+        """Evaluate and fetch the server's health-rule status.
+
+        Each call records a history tick server-side, so a poller at
+        ~1 Hz both feeds the time-series ring and reads the verdicts:
+        ``"health"`` holds ``firing``/``pending`` name lists plus a
+        per-rule description, ``"ticks"`` the ring's fill level.
+        """
+        header, _ = self._request(protocol.HEALTH)
+        return header
+
     def checkpoint(self, directory: str, mode: str = "auto") -> int:
         """Write a durable server-side checkpoint; returns its id.
 
@@ -723,6 +746,18 @@ class AsyncStreamClient:
     async def metrics(self, query: Optional[str] = None) -> Dict[str, Any]:
         """The server's metrics snapshot (see :meth:`StreamClient.metrics`)."""
         header, _ = await self._request(protocol.METRICS, {"query": query})
+        return header
+
+    async def trace(
+        self, limit: Optional[int] = None, keep: bool = False
+    ) -> Dict[str, Any]:
+        """Drain the server's span buffer (see :meth:`StreamClient.trace`)."""
+        header, _ = await self._request(protocol.TRACE, {"limit": limit, "keep": keep})
+        return header
+
+    async def health(self) -> Dict[str, Any]:
+        """The server's health status (see :meth:`StreamClient.health`)."""
+        header, _ = await self._request(protocol.HEALTH)
         return header
 
     async def checkpoint(self, directory: str, mode: str = "auto") -> int:

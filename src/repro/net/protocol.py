@@ -21,6 +21,8 @@ request               header fields                                  reply
 ``EXPLAIN``           ``query`` (optional)                           ``OK`` (``text``)
 ``CHECKPOINT``        ``dir, mode`` (optional)                       ``OK`` (``checkpoint``)
 ``METRICS``           ``query`` (optional)                           ``OK`` (``metrics``)
+``TRACE``             ``limit, clear`` (optional)                    ``OK`` (``spans``)
+``HEALTH``            —                                              ``OK`` (``health``)
 ``BYE``               —                                              ``OK``, then close
 ====================  =============================================  =======================
 
@@ -65,6 +67,8 @@ __all__ = [
     "BYE",
     "CHECKPOINT",
     "METRICS",
+    "TRACE",
+    "HEALTH",
     "OK",
     "ERROR",
     "ACK",
@@ -93,6 +97,8 @@ EXPLAIN = 0x0B
 BYE = 0x0C
 CHECKPOINT = 0x0D
 METRICS = 0x0E
+TRACE = 0x0F
+HEALTH = 0x10
 
 # Server → client replies / pushes.
 OK = 0x40
@@ -200,12 +206,14 @@ def encode_worker_message(message: Tuple) -> bytes:
         _, shard, token = message
         return encode_frame(_SHARD_RESTORED, {"shard": shard, "token": token})
     if kind == "results":
-        _, shard, chunk_id, payload, watermark = message
-        return encode_frame(
-            _SHARD_RESULTS,
-            {"shard": shard, "chunk": chunk_id, "watermark": _json_float(watermark)},
-            payload,
-        )
+        # 5-tuple (no spans) and 6-tuple (trailing span list) are both
+        # valid; spans ride in the header only when a sampled trace
+        # produced some, so unsampled traffic pays nothing on the wire.
+        shard, chunk_id, payload, watermark = message[1:5]
+        header = {"shard": shard, "chunk": chunk_id, "watermark": _json_float(watermark)}
+        if len(message) > 5 and message[5]:
+            header["spans"] = list(message[5])
+        return encode_frame(_SHARD_RESULTS, header, payload)
     if kind == "flushed":
         _, shard, token, payload = message
         return encode_frame(_SHARD_FLUSHED, {"shard": shard, "token": token}, payload)
@@ -240,6 +248,7 @@ def decode_worker_message(kind: int, header: Dict[str, Any], payload: bytes) -> 
             header["chunk"],
             payload,
             _parse_float(header["watermark"]),
+            header.get("spans") or [],
         )
     if kind == _SHARD_FLUSHED:
         return ("flushed", header["shard"], header["token"], payload)

@@ -438,7 +438,20 @@ class StreamServer:
             # through the engine — and across shard processes — so sinks
             # can account ingest→delivery latency against this moment.
             ctx = obs.new_trace(trace_id=header.get("trace"))
-            session.push_many(header["source"], rows, trace=ctx)
+            if obs.sampled_trace(ctx):
+                ingest_id = f"t{ctx.trace_id:x}/ingest"
+                t0 = obs.trace_clock()
+                previous_parent = obs.activate_parent(ingest_id)
+                try:
+                    session.push_many(header["source"], rows, trace=ctx)
+                finally:
+                    obs.activate_parent(previous_parent)
+                obs.record_span(
+                    "net.ingest", "net", ctx.trace_id, t0, obs.trace_clock(),
+                    span_id=ingest_id,
+                )
+            else:
+                session.push_many(header["source"], rows, trace=ctx)
             self._tuples_ingested.inc(len(rows))
             state["unacked"] += len(rows)
             # Batched ACKs: a client that pipelines aggressively marks
@@ -486,7 +499,31 @@ class StreamServer:
             query = header.get("query")
             if query:
                 reply["observed"] = session.observed_stats(query)
+                reply["stages"] = session.stage_timings(query)
+            else:
+                reply["stages"] = session.stage_timings()
             return encode_frame(protocol.OK, reply)
+        if kind == protocol.TRACE:
+            # Span export: drain (default) or peek the coordinator-side
+            # buffer, which already holds the worker spans shipped back
+            # in results replies.
+            buffer = obs.local_spans()
+            spans = buffer.snapshot() if header.get("keep") else buffer.drain()
+            limit = header.get("limit")
+            if limit:
+                spans = spans[-int(limit):]
+            return encode_frame(
+                protocol.OK,
+                {"spans": spans, "sample": obs.get_trace_sample()},
+            )
+        if kind == protocol.HEALTH:
+            # Self-driving: evaluating health records a history tick, so
+            # a client polling HEALTH feeds the ring it is judged by.
+            session.health_tick()
+            return encode_frame(
+                protocol.OK,
+                {"health": session.health.status(), "ticks": len(session.history)},
+            )
         if kind == protocol.CHECKPOINT:
             info = session.checkpoint(header["dir"], mode=header.get("mode", "auto"))
             return encode_frame(

@@ -28,7 +28,25 @@ from .registry import (
     Registry,
     get_registry,
 )
+from .health import HealthEngine, HealthRule, default_rules, parse_rule
+from .history import HistoryRing, flatten_snapshot
 from .render import render_prometheus, render_table
+from .spans import (
+    DEFAULT_TRACE_SAMPLE,
+    SpanBuffer,
+    activate_parent,
+    chunk_span_id,
+    current_parent,
+    exec_span_id,
+    export_chrome_trace,
+    get_trace_sample,
+    local_spans,
+    record_span,
+    root_span_id,
+    sampled,
+    sampled_trace,
+    set_trace_sample,
+)
 from .trace import TraceContext, activate, active, new_trace, trace_clock
 
 __all__ = [
@@ -46,4 +64,27 @@ __all__ = [
     "activate",
     "active",
     "trace_clock",
+    # Spans (flight recorder layer 1)
+    "SpanBuffer",
+    "DEFAULT_TRACE_SAMPLE",
+    "set_trace_sample",
+    "get_trace_sample",
+    "sampled",
+    "sampled_trace",
+    "record_span",
+    "local_spans",
+    "activate_parent",
+    "current_parent",
+    "root_span_id",
+    "chunk_span_id",
+    "exec_span_id",
+    "export_chrome_trace",
+    # History (layer 2)
+    "HistoryRing",
+    "flatten_snapshot",
+    # Health (layer 3)
+    "HealthRule",
+    "HealthEngine",
+    "parse_rule",
+    "default_rules",
 ]

@@ -1,0 +1,330 @@
+"""Time-series history: a bounded ring of periodic registry snapshots.
+
+Point-in-time snapshots answer "what is the p99 *now*"; the questions
+that drive management decisions — is latency *regressing*, how fast are
+subscribers dropping, is the replay log trimming under pressure — need
+history.  A :class:`HistoryRing` keeps the last ``capacity`` snapshots
+of the metrics registry as per-series numpy rings (one ``float64`` slab
+per flattened series, written in place — recording a tick allocates
+nothing once a series exists) and derives:
+
+* :meth:`rate` — per-second increase of a counter over a window;
+* :meth:`windowed_percentile` — a quantile of a histogram computed from
+  the *bucket-count deltas* inside the window, i.e. the latency of the
+  last N seconds rather than since process start;
+* :meth:`trend` — least-squares slope of any series (the "when did it
+  start regressing" primitive).
+
+Series keys are the Prometheus identity ``name{label="value",...}``
+(label values escaped exactly as the exposition format does), so a key
+read off a rendered metrics page addresses the same series here.
+Histogram snapshots flatten into ``<key>#sum``, ``<key>#count`` and one
+``<key>#b<i>`` series per bucket (the last is the overflow bucket);
+the bucket bounds live in :attr:`meta`.
+
+Timestamps come from :data:`repro.obs.trace_clock`
+(``CLOCK_MONOTONIC`` — system-wide since boot on Linux), so a ring
+persisted in a checkpoint sidecar and reloaded after a crash continues
+monotonically in the recovered process.  Persistence
+(:meth:`to_blob`/:meth:`from_blob`) delta-encodes each series — the
+snapshots are cumulative counters, so deltas are small and compress
+well in the JSON sidecar.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .render import _label_suffix
+from .trace import trace_clock
+
+__all__ = ["HistoryRing", "flatten_snapshot"]
+
+
+def flatten_snapshot(snapshot: dict) -> Tuple[Dict[str, float], Dict[str, dict]]:
+    """Flatten a registry snapshot into ``{series_key: value}`` plus meta.
+
+    Returns ``(values, meta)``; ``meta`` maps each histogram's base key
+    to ``{"buckets": [...bounds...]}``.
+    """
+    values: Dict[str, float] = {}
+    meta: Dict[str, dict] = {}
+    for entry in snapshot.get("counters", ()):
+        values[entry["name"] + _label_suffix(entry["labels"])] = float(entry["value"])
+    for entry in snapshot.get("gauges", ()):
+        values[entry["name"] + _label_suffix(entry["labels"])] = float(entry["value"])
+    for entry in snapshot.get("histograms", ()):
+        base = entry["name"] + _label_suffix(entry["labels"])
+        values[base + "#sum"] = float(entry["sum"])
+        values[base + "#count"] = float(entry["count"])
+        for i, count in enumerate(entry["counts"]):
+            values[f"{base}#b{i}"] = float(count)
+        meta[base] = {"buckets": [float(b) for b in entry["buckets"]]}
+    for entry in snapshot.get("operators", ()):
+        suffix = _label_suffix(
+            {"scope": entry.get("scope", ""), "operator": entry["operator"]}
+        )
+        for field in ("tuples_in", "tuples_out", "batches_in", "processing_seconds"):
+            values[f"repro_operator_{field}{suffix}"] = float(entry[field])
+    return values, meta
+
+
+class HistoryRing:
+    """Fixed-capacity ring of registry snapshots (see module docs)."""
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 2:
+            raise ValueError(f"capacity must be at least 2, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._times = np.zeros(capacity, dtype=np.float64)
+        self._series: Dict[str, np.ndarray] = {}
+        #: Histogram base key -> {"buckets": [...]} (bounds are frozen
+        #: at instrument construction, so last-write-wins is fine).
+        self.meta: Dict[str, dict] = {}
+        self._count = 0  # ticks recorded (saturates at capacity)
+        self._pos = 0  # next write slot
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, snapshot: dict, t: Optional[float] = None) -> None:
+        """Record one registry snapshot at time ``t`` (now by default)."""
+        values, meta = flatten_snapshot(snapshot)
+        now = trace_clock() if t is None else float(t)
+        with self._lock:
+            self.meta.update(meta)
+            pos = self._pos
+            self._times[pos] = now
+            # A series absent from this tick (its instrument appeared
+            # later, or a query was dropped) records NaN, not a stale
+            # ring slot from `capacity` ticks ago.
+            for key, ring in self._series.items():
+                ring[pos] = values.pop(key, math.nan)
+            for key, value in values.items():
+                ring = np.full(self.capacity, math.nan)
+                ring[pos] = value
+                self._series[key] = ring
+            self._pos = (pos + 1) % self.capacity
+            if self._count < self.capacity:
+                self._count += 1
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            return sorted(self._series)
+
+    def keys_for(self, name: str) -> List[str]:
+        """Series keys of metric ``name`` (any label set).
+
+        For histograms this returns the *base* keys (use them with
+        :meth:`windowed_percentile`); for counters/gauges the full
+        series keys.
+        """
+        bases = set()
+        with self._lock:
+            keys = list(self._series)
+            meta_keys = list(self.meta)
+        for base in meta_keys:
+            if base == name or base.startswith(name + "{"):
+                bases.add(base)
+        if bases:
+            return sorted(bases)
+        return sorted(
+            k for k in keys if (k == name or k.startswith(name + "{")) and "#" not in k
+        )
+
+    def _chronological(self, key: str) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, values) of a series, oldest first (lock held by caller)."""
+        ring = self._series.get(key)
+        count = self._count
+        if ring is None or count == 0:
+            return np.empty(0), np.empty(0)
+        if count < self.capacity:
+            return self._times[:count].copy(), ring[:count].copy()
+        pos = self._pos
+        order = np.concatenate([np.arange(pos, self.capacity), np.arange(0, pos)])
+        return self._times[order], ring[order]
+
+    def series(
+        self, key: str, window: Optional[float] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """A series' ``(times, values)`` arrays, oldest first.
+
+        With ``window`` (seconds), only the ticks within it of the
+        newest tick are returned.  NaN entries (ticks where the series
+        did not exist) are dropped.
+        """
+        with self._lock:
+            times, values = self._chronological(key)
+        keep = ~np.isnan(values)
+        times, values = times[keep], values[keep]
+        if window is not None and times.size:
+            keep = times >= times[-1] - window
+            times, values = times[keep], values[keep]
+        return times, values
+
+    def latest(self, key: str) -> Optional[float]:
+        """The newest recorded value of a series (None when absent)."""
+        _, values = self.series(key)
+        return float(values[-1]) if values.size else None
+
+    def rate(self, key: str, window: Optional[float] = None) -> Optional[float]:
+        """Per-second increase of a (cumulative) series over the window.
+
+        ``None`` with fewer than two samples.  A counter reset mid-ring
+        (process restart without sidecar recovery) clamps to 0.
+        """
+        times, values = self.series(key, window)
+        if times.size < 2 or times[-1] <= times[0]:
+            return None
+        return max(0.0, float(values[-1] - values[0]) / float(times[-1] - times[0]))
+
+    def trend(self, key: str, window: Optional[float] = None) -> Optional[float]:
+        """Least-squares slope (units/second) of a series over the window."""
+        times, values = self.series(key, window)
+        if times.size < 2:
+            return None
+        t = times - times.mean()
+        denominator = float(np.dot(t, t))
+        if denominator <= 0.0:
+            return None
+        return float(np.dot(t, values - values.mean()) / denominator)
+
+    def windowed_percentile(
+        self, base_key: str, q: float, window: Optional[float] = None
+    ) -> Optional[float]:
+        """Quantile of a histogram over the observations *inside* the window.
+
+        Subtracts the cumulative bucket counts at the window's start
+        from those at its end and interpolates inside the containing
+        bucket — the same estimator :meth:`Histogram.percentile` uses,
+        applied to the window's delta distribution.  ``None`` when the
+        window saw no observations.
+        """
+        info = self.meta.get(base_key)
+        if info is None:
+            return None
+        bounds = info["buckets"]
+        deltas = []
+        for i in range(len(bounds) + 1):
+            times, values = self.series(f"{base_key}#b{i}", window)
+            if values.size < 2:
+                return None
+            deltas.append(max(0.0, float(values[-1] - values[0])))
+        total = sum(deltas)
+        if total <= 0.0:
+            return None
+        target = q * total
+        cumulative = 0.0
+        lower = 0.0
+        for i, bound in enumerate(bounds):
+            in_bucket = deltas[i]
+            if cumulative + in_bucket >= target and in_bucket > 0:
+                fraction = (target - cumulative) / in_bucket
+                return float(lower + fraction * (bound - lower))
+            cumulative += in_bucket
+            lower = bound
+        return float(bounds[-1])
+
+    # ------------------------------------------------------------------
+    # Persistence (checkpoint sidecar)
+    # ------------------------------------------------------------------
+    def to_blob(self) -> dict:
+        """Serialize to a JSON-able dict (delta-encoded series)."""
+        with self._lock:
+            keys = sorted(self._series)
+            times, _ = self._chronological(keys[0]) if keys else (np.empty(0), None)
+            if not keys and self._count:
+                times = (
+                    self._times[: self._count].copy()
+                    if self._count < self.capacity
+                    else self._times[
+                        np.concatenate(
+                            [np.arange(self._pos, self.capacity), np.arange(0, self._pos)]
+                        )
+                    ]
+                )
+            series = {}
+            for key in keys:
+                _, values = self._chronological(key)
+                series[key] = _delta_encode(values)
+            return {
+                "version": 1,
+                "capacity": self.capacity,
+                "times": _delta_encode(times),
+                "series": series,
+                "meta": {k: dict(v) for k, v in self.meta.items()},
+            }
+
+    @classmethod
+    def from_blob(cls, blob: dict, capacity: Optional[int] = None) -> "HistoryRing":
+        """Rebuild a ring from :meth:`to_blob` output.
+
+        ``capacity`` overrides the persisted capacity (the restored
+        ticks are replayed into the new ring, newest-first-retained).
+        """
+        if blob.get("version") != 1:
+            raise ValueError(f"unsupported history blob version {blob.get('version')!r}")
+        ring = cls(capacity=capacity or int(blob["capacity"]))
+        ring.meta.update(blob.get("meta", {}))
+        times = _delta_decode(blob.get("times", []))
+        decoded = {
+            key: _delta_decode(encoded) for key, encoded in blob.get("series", {}).items()
+        }
+        for i, t in enumerate(times):
+            with ring._lock:
+                pos = ring._pos
+                ring._times[pos] = t
+                for key, values in decoded.items():
+                    series = ring._series.get(key)
+                    if series is None:
+                        series = np.full(ring.capacity, math.nan)
+                        ring._series[key] = series
+                    series[pos] = values[i] if i < len(values) else math.nan
+                ring._pos = (pos + 1) % ring.capacity
+                if ring._count < ring.capacity:
+                    ring._count += 1
+        return ring
+
+
+def _delta_encode(values: np.ndarray) -> List:
+    """``[v0, v1-v0, v2-v1, ...]`` with NaN gaps kept literal.
+
+    A NaN entry (series absent at that tick) breaks the delta chain:
+    it is stored as ``None`` and the next finite value restarts as an
+    absolute value (also the only way to keep the JSON strict).
+    """
+    out: List = []
+    previous: Optional[float] = None
+    for raw in values.tolist():
+        if raw != raw:  # NaN
+            out.append(None)
+            previous = None
+            continue
+        out.append(raw if previous is None else raw - previous)
+        previous = raw
+    return out
+
+
+def _delta_decode(encoded: List) -> List[float]:
+    out: List[float] = []
+    previous: Optional[float] = None
+    for entry in encoded:
+        if entry is None:
+            out.append(math.nan)
+            previous = None
+            continue
+        value = float(entry) if previous is None else previous + float(entry)
+        out.append(value)
+        previous = value
+    return out

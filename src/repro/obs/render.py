@@ -13,10 +13,23 @@ from typing import Dict, List
 __all__ = ["render_prometheus", "render_table"]
 
 
+def _escape_label_value(value) -> str:
+    # Prometheus exposition: backslash, double-quote and newline must be
+    # escaped inside label values.
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _label_suffix(labels: Dict[str, str]) -> str:
     if not labels:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    body = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in sorted(labels.items())
+    )
     return "{" + body + "}"
 
 

@@ -21,13 +21,17 @@ the latest valid one.  Trimming: a ``full`` checkpoint is
 self-contained; files may be deleted up to (but not past) the newest
 full checkpoint without breaking any newer delta's refs.
 
-Observability sidecar: ``save(..., metrics=snapshot)`` additionally
+Observability sidecars: ``save(..., metrics=snapshot)`` additionally
 publishes the metrics-registry snapshot as ``metrics-%08d.json`` next
-to the checkpoint file (same atomic-replace discipline, committed
+to the checkpoint file, and ``save(..., history=blob)`` the
+:meth:`repro.obs.HistoryRing.to_blob` time series as
+``history-%08d.json`` (same atomic-replace discipline, committed
 *before* the checkpoint so a published checkpoint always finds its
-sidecar).  Recovery reads it back through :meth:`load_metrics` to
-report what the process looked like when the state was captured; a
-missing sidecar is not an error (older checkpoints have none).
+sidecars).  Recovery reads them back through :meth:`load_metrics` /
+:meth:`load_history` to report what the process looked like when the
+state was captured — and to keep its metric time series growing across
+the crash; a missing sidecar is not an error (older checkpoints have
+none).
 """
 
 from __future__ import annotations
@@ -102,6 +106,7 @@ class CheckpointStore:
         blobs: Dict[str, bytes],
         mode: str = "auto",
         metrics: Optional[dict] = None,
+        history: Optional[dict] = None,
     ) -> CheckpointInfo:
         """Commit a checkpoint of the given blobs.
 
@@ -109,8 +114,9 @@ class CheckpointStore:
         only blobs whose content changed since the previous checkpoint,
         reference the rest), or ``"auto"`` (delta when a parent exists,
         full otherwise).  ``metrics`` (a JSON-able dict, typically a
-        :meth:`repro.obs.Registry.snapshot`) is published as a sidecar
-        file beside the checkpoint (see module docs).
+        :meth:`repro.obs.Registry.snapshot`) and ``history`` (a
+        :meth:`repro.obs.HistoryRing.to_blob` dict) are published as
+        sidecar files beside the checkpoint (see module docs).
         """
         if mode not in ("auto", "full", "delta"):
             raise CheckpointError(f"unknown checkpoint mode {mode!r}")
@@ -155,7 +161,9 @@ class CheckpointStore:
         encoded_header = json.dumps(header, separators=(",", ":")).encode("utf-8")
         path = os.path.join(self.directory, _filename(checkpoint_id))
         if metrics is not None:
-            self._write_metrics(checkpoint_id, metrics)
+            self._write_sidecar(self._metrics_path(checkpoint_id), metrics)
+        if history is not None:
+            self._write_sidecar(self._history_path(checkpoint_id), history)
         tmp_path = path + ".tmp"
         with open(tmp_path, "wb") as handle:
             handle.write(_MAGIC)
@@ -184,23 +192,34 @@ class CheckpointStore:
     def _metrics_path(self, checkpoint_id: int) -> str:
         return os.path.join(self.directory, f"metrics-{checkpoint_id:08d}.json")
 
-    def _write_metrics(self, checkpoint_id: int, metrics: dict) -> None:
-        path = self._metrics_path(checkpoint_id)
+    def _history_path(self, checkpoint_id: int) -> str:
+        return os.path.join(self.directory, f"history-{checkpoint_id:08d}.json")
+
+    @staticmethod
+    def _write_sidecar(path: str, document: dict) -> None:
         tmp_path = path + ".tmp"
-        encoded = json.dumps(metrics, separators=(",", ":")).encode("utf-8")
+        encoded = json.dumps(document, separators=(",", ":")).encode("utf-8")
         with open(tmp_path, "wb") as handle:
             handle.write(encoded)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, path)
 
-    def load_metrics(self, checkpoint_id: int) -> Optional[dict]:
-        """The metrics-registry snapshot saved with a checkpoint, if any."""
+    @staticmethod
+    def _read_sidecar(path: str) -> Optional[dict]:
         try:
-            with open(self._metrics_path(checkpoint_id), "rb") as handle:
+            with open(path, "rb") as handle:
                 return json.loads(handle.read().decode("utf-8"))
         except FileNotFoundError:
             return None
+
+    def load_metrics(self, checkpoint_id: int) -> Optional[dict]:
+        """The metrics-registry snapshot saved with a checkpoint, if any."""
+        return self._read_sidecar(self._metrics_path(checkpoint_id))
+
+    def load_history(self, checkpoint_id: int) -> Optional[dict]:
+        """The history-ring blob saved with a checkpoint, if any."""
+        return self._read_sidecar(self._history_path(checkpoint_id))
 
     # ------------------------------------------------------------------
     # Read path

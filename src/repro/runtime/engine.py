@@ -382,6 +382,11 @@ class ShardedEngine:
             )
             for s in range(self.workers)
         ]
+        #: Ring/queue occupancy proxy: chunks shipped but not yet merged,
+        #: published as a gauge so health rules can watch backpressure.
+        self._outstanding_gauge = registry.gauge(
+            "repro_shard_outstanding", engine=self.obs_scope
+        )
         self._remote: Dict[int, SocketShardChannel] = {}
         self._processes = []
         self._transports: Dict[int, ShardShmTransport] = {}
@@ -600,15 +605,44 @@ class ShardedEngine:
                 batch.trace_id = trace.trace_id
                 batch.t_ingest = trace.t_ingest
             shipments.append((shard, chunk_id, encode_batch_wire(batch)))
-        self._stage["encode"].inc(time.perf_counter() - encode_start)
+        encode_seconds = time.perf_counter() - encode_start
+        self._stage["encode"].inc(encode_seconds)
+        traced = trace is not None and obs.sampled_trace(trace)
+        if traced and shipments:
+            now = obs.trace_clock()
+            obs.record_span(
+                "shard.encode",
+                "shard",
+                trace.trace_id,
+                now - encode_seconds,
+                now,
+                parent_id=obs.root_span_id(trace.trace_id),
+            )
         window_merger = isinstance(self._merger, WindowPartialMerger)
         for shard, chunk_id, payload in shipments:
             with self._reply_cv:
                 self._outstanding += 1
+                self._outstanding_gauge.set(self._outstanding)
                 if window_merger:
                     self._merger.mark_fed(shard)
             self._chunks_sent[shard].inc()
-            self._send(shard, ("chunk", source, chunk_id, payload))
+            if traced:
+                # The ship span's id is the deterministic hand-off key:
+                # the worker parents its exec span to this exact string
+                # without any id crossing the wire.
+                t0 = obs.trace_clock()
+                self._send(shard, ("chunk", source, chunk_id, payload))
+                obs.record_span(
+                    "shard.ship",
+                    "shard",
+                    trace.trace_id,
+                    t0,
+                    obs.trace_clock(),
+                    span_id=obs.chunk_span_id(trace.trace_id, shard, chunk_id),
+                    parent_id=obs.root_span_id(trace.trace_id),
+                )
+            else:
+                self._send(shard, ("chunk", source, chunk_id, payload))
         if shipments:
             self._flush_ready()
             self._maybe_rebalance()
@@ -682,7 +716,30 @@ class ShardedEngine:
         if kind == "chunk":
             _, source, chunk_id, payload = message
             batch = decode_batch(payload)
-            outputs, watermark = runner.chunk(source, batch)
+            trace_id = batch.trace_id
+            if trace_id is not None and obs.sampled(trace_id):
+                # Inline shards run in the coordinator process, so the
+                # exec span records straight into the local buffer (the
+                # results tuple carries no spans) — same ids as a real
+                # worker would produce.
+                exec_id = obs.exec_span_id(trace_id, shard, chunk_id)
+                previous_parent = obs.activate_parent(exec_id)
+                t0 = obs.trace_clock()
+                try:
+                    outputs, watermark = runner.chunk(source, batch)
+                finally:
+                    obs.activate_parent(previous_parent)
+                obs.record_span(
+                    "shard.exec",
+                    "shard",
+                    trace_id,
+                    t0,
+                    obs.trace_clock(),
+                    span_id=exec_id,
+                    parent_id=obs.chunk_span_id(trace_id, shard, chunk_id),
+                )
+            else:
+                outputs, watermark = runner.chunk(source, batch)
             out_batch = TupleBatch(outputs)
             out_batch.trace_id, out_batch.t_ingest = batch.trace_id, batch.t_ingest
             return ("results", shard, chunk_id, encode_batch_wire(out_batch), watermark)
@@ -749,7 +806,8 @@ class ShardedEngine:
         kind = message[0]
         if kind == "results":
             decode_start = time.perf_counter()
-            _, shard, chunk_id, payload, watermark = message
+            shard, chunk_id, payload, watermark = message[1:5]
+            spans = message[5] if len(message) > 5 else []
             batch = decode_batch(payload)
             rows = batch.to_tuples()
             trace = (
@@ -757,8 +815,20 @@ class ShardedEngine:
                 if batch.trace_id is not None
                 else None
             )
-            return ("results", shard, chunk_id, rows, watermark, trace), (
-                time.perf_counter() - decode_start
+            decode_seconds = time.perf_counter() - decode_start
+            if trace is not None and obs.sampled_trace(trace):
+                now = obs.trace_clock()
+                obs.record_span(
+                    "shard.decode",
+                    "shard",
+                    trace.trace_id,
+                    now - decode_seconds,
+                    now,
+                    parent_id=obs.exec_span_id(trace.trace_id, shard, chunk_id),
+                )
+            return (
+                ("results", shard, chunk_id, rows, watermark, trace, spans),
+                decode_seconds,
             )
         if kind == "flushed":
             decode_start = time.perf_counter()
@@ -779,15 +849,32 @@ class ShardedEngine:
             self._stage["decode"].inc(decode_seconds)
             self._last_reply = time.monotonic()
             if kind == "results":
-                _, shard, chunk_id, rows, watermark, trace = reply
+                _, shard, chunk_id, rows, watermark, trace, spans = reply
                 self._outstanding -= 1
+                self._outstanding_gauge.set(self._outstanding)
                 self._chunks_done[shard].inc()
+                if spans:
+                    # Worker-side spans of a sampled trace, shipped in
+                    # the reply header: fold them into the coordinator's
+                    # buffer so one export holds the whole tree.
+                    obs.local_spans().ingest(spans)
                 merge_start = time.perf_counter()
                 if isinstance(self._merger, OrderedChunkMerger):
                     merged = self._merger.ingest(chunk_id, rows)
                 else:
                     merged = self._merger.ingest(shard, rows, watermark)
-                self._stage["merge"].inc(time.perf_counter() - merge_start)
+                merge_seconds = time.perf_counter() - merge_start
+                self._stage["merge"].inc(merge_seconds)
+                if trace is not None and obs.sampled_trace(trace):
+                    now = obs.trace_clock()
+                    obs.record_span(
+                        "shard.merge",
+                        "shard",
+                        trace.trace_id,
+                        now - merge_seconds,
+                        now,
+                        parent_id=obs.root_span_id(trace.trace_id),
+                    )
                 if merged:
                     self._ready.append((merged, trace))
             elif kind == "flushed":
@@ -883,6 +970,8 @@ class ShardedEngine:
         if not merged:
             return
         previous = obs.activate(trace) if trace is not None else None
+        traced = trace is not None and obs.sampled_trace(trace)
+        t0 = obs.trace_clock() if traced else 0.0
         try:
             if self._suffix is not None:
                 for item in merged:
@@ -892,6 +981,15 @@ class ShardedEngine:
             for item in merged:
                 self._sink.accept(item)
         finally:
+            if traced:
+                obs.record_span(
+                    "sink.deliver",
+                    "sink",
+                    trace.trace_id,
+                    t0,
+                    obs.trace_clock(),
+                    parent_id=obs.root_span_id(trace.trace_id),
+                )
             if trace is not None:
                 obs.activate(previous)
 

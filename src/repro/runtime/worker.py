@@ -13,10 +13,13 @@ parent → worker
     ``("stop",)`` — exit the loop.
 
 worker → parent
-    ``("results", shard, chunk_id, payload, watermark)`` — the outputs
-    the chunk produced (possibly empty — the ordered merge needs every
-    chunk acknowledged) plus the shard's event-time watermark, shipped
-    atomically so the coordinator can trust a passed watermark;
+    ``("results", shard, chunk_id, payload, watermark[, spans])`` — the
+    outputs the chunk produced (possibly empty — the ordered merge
+    needs every chunk acknowledged) plus the shard's event-time
+    watermark, shipped atomically so the coordinator can trust a passed
+    watermark; the optional sixth element carries the worker-side spans
+    of a sampled trace (see :mod:`repro.obs.spans`) back to the
+    coordinator's span buffer;
     ``("flushed", shard, token, payload)`` — drain results;
     ``("stats", shard, rows)`` — statistics snapshot;
     ``("snapshot", shard, token, payload)`` — serialized operator state;
@@ -48,6 +51,8 @@ import math
 import traceback
 from typing import Callable, List, Optional, Tuple
 
+from repro import obs
+from repro.obs import spans as tracing
 from repro.plan.nodes import LogicalPlan, topological_nodes
 from repro.plan.planner import Planner
 from repro.streams.batch import TupleBatch
@@ -75,6 +80,51 @@ def _traced_output(outputs: List, batch: TupleBatch) -> TupleBatch:
     out.trace_id = batch.trace_id
     out.t_ingest = batch.t_ingest
     return out
+
+
+def _run_chunk(
+    runner: "ShardRunner", source: str, batch: TupleBatch, chunk_id: int
+) -> Tuple[List, float, List]:
+    """Run one chunk under its batch's trace context.
+
+    Returns ``(outputs, watermark, spans)``.  When the batch carries a
+    *sampled* trace, the chunk runs inside a ``shard.exec`` span whose
+    id is the deterministic :func:`repro.obs.spans.exec_span_id` and
+    whose parent is the coordinator's ship span for the same
+    ``(trace, shard, chunk)`` coordinates — the cross-process hand-off.
+    Operator spans recorded while the chunk runs nest under it, and the
+    whole lot is drained from this process's buffer so it rides the
+    ``results`` reply back to the coordinator.  Unsampled (or
+    untraced) batches skip every clock read and allocation.
+    """
+    trace_id = batch.trace_id
+    if trace_id is None:
+        outputs, watermark = runner.chunk(source, batch)
+        return outputs, watermark, []
+    previous = obs.activate(obs.TraceContext(trace_id, batch.t_ingest))
+    try:
+        if not tracing.sampled(trace_id):
+            outputs, watermark = runner.chunk(source, batch)
+            return outputs, watermark, []
+        exec_id = tracing.exec_span_id(trace_id, runner.shard_id, chunk_id)
+        previous_parent = tracing.activate_parent(exec_id)
+        t0 = obs.trace_clock()
+        try:
+            outputs, watermark = runner.chunk(source, batch)
+        finally:
+            tracing.activate_parent(previous_parent)
+        tracing.record_span(
+            "shard.exec",
+            "shard",
+            trace_id,
+            t0,
+            obs.trace_clock(),
+            span_id=exec_id,
+            parent_id=tracing.chunk_span_id(trace_id, runner.shard_id, chunk_id),
+        )
+        return outputs, watermark, tracing.local_spans().drain()
+    finally:
+        obs.activate(previous)
 
 
 def plan_signature(plan: LogicalPlan) -> List[str]:
@@ -176,9 +226,9 @@ def serve_shard_messages(
         if kind == "chunk":
             _, source, chunk_id, payload = message
             batch = decode_batch(payload)
-            outputs, watermark = runner.chunk(source, batch)
+            outputs, watermark, spans = _run_chunk(runner, source, batch, chunk_id)
             payload_out = encode_batch_wire(_traced_output(outputs, batch))
-            send(("results", shard_id, chunk_id, payload_out, watermark))
+            send(("results", shard_id, chunk_id, payload_out, watermark, spans))
         elif kind == "flush":
             outputs = runner.flush()
             send(("flushed", shard_id, message[1], encode_batch_wire(TupleBatch(outputs))))
@@ -222,10 +272,10 @@ def serve_shard_rings(runner: ShardRunner, transport) -> None:
             if isinstance(raw, memoryview):
                 raw.release()
             transport.release_request()
-            outputs, watermark = runner.chunk(source, batch)
+            outputs, watermark, spans = _run_chunk(runner, source, batch, chunk_id)
             transport.reply(
                 encode_worker_message(
-                    ("results", shard_id, chunk_id, encode_batch_wire(_traced_output(outputs, batch)), watermark)
+                    ("results", shard_id, chunk_id, encode_batch_wire(_traced_output(outputs, batch)), watermark, spans)
                 )
             )
             continue

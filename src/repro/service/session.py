@@ -38,6 +38,7 @@ keep running for the other queries.
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Tuple, Union
 
@@ -291,6 +292,9 @@ class QuerySession:
         shard_chunk_size: int = 1024,
         shard_remote_shards: Iterable[str] = (),
         replay_capacity: int = 4096,
+        trace_sample: Optional[int] = None,
+        history_capacity: int = 512,
+        history_interval: float = 0.0,
     ):
         if workers < 0:
             raise ServiceError(f"workers must be non-negative, got {workers}")
@@ -298,6 +302,10 @@ class QuerySession:
             raise ServiceError(
                 f"replay_capacity must be non-negative, got {replay_capacity}"
             )
+        if trace_sample is not None:
+            # Set before any sharded query forks workers, so both sides
+            # of the fork make identical sampling decisions.
+            obs.set_trace_sample(trace_sample)
         self.engine = StreamEngine(batch_size=batch_size)
         self._planner = planner or Planner()
         self._batch_size = batch_size
@@ -320,6 +328,23 @@ class QuerySession:
         #: Set by :meth:`recover`: the metrics snapshot saved with the
         #: restored checkpoint (``None`` for fresh sessions).
         self.recovered_metrics: Optional[Dict] = None
+        #: Set by :meth:`recover`: the history blob saved with the
+        #: restored checkpoint (also replayed into :attr:`history`).
+        self.recovered_history: Optional[Dict] = None
+        # Flight-recorder layers 2 and 3: the metrics time-series ring
+        # and the health engine evaluating its rules off it.  Ticks are
+        # recorded synchronously (record_tick / health_tick) and, when
+        # history_interval > 0, by a daemon recorder thread.
+        self.history = obs.HistoryRing(capacity=history_capacity)
+        self.health = obs.HealthEngine(self.history)
+        self._history_interval = float(history_interval)
+        self._recorder_stop = threading.Event()
+        self._recorder_thread: Optional[threading.Thread] = None
+        if self._history_interval > 0:
+            self._recorder_thread = threading.Thread(
+                target=self._recorder_loop, daemon=True, name="repro-obs-recorder"
+            )
+            self._recorder_thread.start()
 
     # ------------------------------------------------------------------
     # Stream & function registry
@@ -738,12 +763,30 @@ class QuerySession:
             items = list(items)  # several consumers each need the full stream
         ctx = trace if trace is not None else obs.new_trace()
         previous = obs.activate(ctx)
+        # Root span of a sampled trace: every stage span downstream
+        # (encode, ship, exec, merge, deliver) parents to its
+        # deterministic id, so the exported tree hangs off one node.
+        traced = obs.sampled_trace(ctx)
+        root_id = obs.root_span_id(ctx.trace_id) if traced else None
+        previous_parent = obs.activate_parent(root_id) if traced else None
+        t0 = obs.trace_clock() if traced else 0.0
         try:
             if source in self._entries:
                 self.engine.push_many(source, items, batch_size=batch_size)
             for query in readers:
                 query.sharded.push_many(source, items)
         finally:
+            if traced:
+                obs.record_span(
+                    "session.push",
+                    "session",
+                    ctx.trace_id,
+                    t0,
+                    obs.trace_clock(),
+                    span_id=root_id,
+                    parent_id=previous_parent,
+                )
+                obs.activate_parent(previous_parent)
             obs.activate(previous)
 
     def flush(self) -> None:
@@ -770,9 +813,62 @@ class QuerySession:
         if self._closed:
             return
         self._closed = True
+        self._recorder_stop.set()
+        if self._recorder_thread is not None:
+            self._recorder_thread.join(timeout=2.0)
+            self._recorder_thread = None
         for query in self._queries.values():
             if query.sharded is not None:
                 query.sharded.close()
+
+    # ------------------------------------------------------------------
+    # Flight recorder: history ticks and health evaluation
+    # ------------------------------------------------------------------
+    def record_tick(self, t: Optional[float] = None) -> None:
+        """Record one registry snapshot into the session's history ring."""
+        self.history.record(obs.get_registry().snapshot(), t=t)
+
+    def health_tick(self, now: Optional[float] = None) -> List[obs.HealthRule]:
+        """Record a tick and evaluate the health rules against the ring.
+
+        Returns the rules that newly transitioned into ``firing`` (their
+        registered :meth:`on_alert` callbacks have already run).  The
+        HEALTH wire verb calls this, so polling health keeps the ring
+        fed even when no recorder thread runs.
+        """
+        self.record_tick(t=now)
+        return self.health.evaluate(now=now)
+
+    def on_alert(self, callback: Callable[[obs.HealthRule], None]) -> None:
+        """Invoke ``callback(rule)`` whenever a health rule starts firing.
+
+        This is the actuation hook telemetry-driven management plugs
+        into (the adaptive repartitioner reads backpressure directly;
+        coarser reactions — shedding a subscriber, re-planning a stale
+        query — subscribe here).
+        """
+        self.health.on_alert(callback)
+
+    def stage_timings(self, name: Optional[str] = None) -> Dict[str, float]:
+        """Coordinator pipeline stage seconds, summed over sharded queries.
+
+        With ``name``, just that query's :meth:`ShardedEngine.stage_timings`.
+        """
+        totals: Dict[str, float] = {}
+        queries = [self._query(name)] if name is not None else self._queries.values()
+        for query in queries:
+            if query.sharded is None:
+                continue
+            for stage, seconds in query.sharded.stage_timings().items():
+                totals[stage] = totals.get(stage, 0.0) + seconds
+        return totals
+
+    def _recorder_loop(self) -> None:
+        while not self._recorder_stop.wait(self._history_interval):
+            try:
+                self.health_tick()
+            except Exception:  # noqa: BLE001 - the recorder must survive races
+                pass
 
     def __enter__(self) -> QuerySession:
         return self
@@ -1042,11 +1138,19 @@ class QuerySession:
             "replay_capacity": self._replay_capacity,
         }
         blobs["meta"] = json.dumps(meta, separators=(",", ":")).encode("utf-8")
-        # The registry snapshot rides along as a sidecar so recovery can
-        # report what the process observed up to the captured state.
-        return CheckpointStore(directory).save(
-            blobs, mode=mode, metrics=obs.get_registry().snapshot()
+        # The registry snapshot and the history ring ride along as
+        # sidecars so recovery can report what the process observed up
+        # to the captured state — and keep its time series growing from
+        # there instead of restarting blind.
+        t0 = obs.trace_clock()
+        info = CheckpointStore(directory).save(
+            blobs,
+            mode=mode,
+            metrics=obs.get_registry().snapshot(),
+            history=self.history.to_blob() if len(self.history) else None,
         )
+        obs.record_span("checkpoint.commit", "checkpoint", 0, t0, obs.trace_clock())
+        return info
 
     @classmethod
     def recover(
@@ -1143,6 +1247,16 @@ class QuerySession:
         #: written (``None`` for checkpoints predating the sidecar):
         #: what the lost process had observed up to the restored state.
         session.recovered_metrics = store.load_metrics(int(header["id"]))
+        session.recovered_history = store.load_history(int(header["id"]))
+        if session.recovered_history is not None:
+            # Replay the persisted ticks into the fresh ring: history
+            # timestamps are CLOCK_MONOTONIC (system-wide since boot),
+            # so ticks recorded after recovery continue monotonically
+            # from the restored ones across a crash of the old process.
+            session.history = obs.HistoryRing.from_blob(
+                session.recovered_history, capacity=session.history.capacity
+            )
+            session.health.history = session.history
         return session
 
     # ------------------------------------------------------------------

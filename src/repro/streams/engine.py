@@ -303,7 +303,16 @@ class StreamEngine:
         self._propagate_batch(entry, batch)
 
     def _propagate_batch(self, operator: Operator, batch: TupleBatch) -> None:
-        """Iterative propagation of a batch (depth-first over boxes)."""
+        """Iterative propagation of a batch (depth-first over boxes).
+
+        When the active trace is sampled (:mod:`repro.obs.spans`), each
+        operator's ``accept_batch`` is recorded as one ``op.<name>``
+        span parented to the surrounding stage span; the decision is
+        made once per batch, so unsampled traffic pays a single branch.
+        """
+        trace = obs.active()
+        traced = trace is not None and obs.sampled_trace(trace)
+        parent = obs.current_parent() if traced else None
         stack: List[Tuple[Operator, TupleBatch]] = [(operator, batch)]
         self._propagation_depth += 1
         try:
@@ -313,7 +322,19 @@ class StreamEngine:
                     continue
                 if self._detached and id(op) in self._detached:
                     continue  # unregistered mid-propagation; drop in-flight batches
-                outputs = op.accept_batch(current)
+                if traced:
+                    t0 = obs.trace_clock()
+                    outputs = op.accept_batch(current)
+                    obs.record_span(
+                        f"op.{op.name}",
+                        "operator",
+                        trace.trace_id,
+                        t0,
+                        obs.trace_clock(),
+                        parent_id=parent,
+                    )
+                else:
+                    outputs = op.accept_batch(current)
                 if not len(outputs):
                     continue
                 downstream = op.downstream

@@ -145,7 +145,7 @@ class TestWorkerMessageCodec:
             ("flush", 7),
             ("stats",),
             ("stop",),
-            ("results", 3, 42, b"results-bytes", 12.5),
+            ("results", 3, 42, b"results-bytes", 12.5, []),
             ("flushed", 1, 7, b""),
             ("stats", 2, [("box", 1, 2, 3, 0.5)]),
             ("error", 0, "Traceback ..."),
@@ -156,6 +156,29 @@ class TestWorkerMessageCodec:
         reader.feed(encode_worker_message(message))
         decoded = decode_worker_message(*reader.next_frame())
         assert decoded == message
+
+    def test_results_accepts_legacy_five_tuple(self):
+        """A span-less 5-tuple encodes fine and decodes to the 6-tuple shape."""
+        reader = FrameReader()
+        reader.feed(encode_worker_message(("results", 3, 42, b"results-bytes", 12.5)))
+        decoded = decode_worker_message(*reader.next_frame())
+        assert decoded == ("results", 3, 42, b"results-bytes", 12.5, [])
+
+    def test_results_carries_spans(self):
+        span = {
+            "name": "shard.exec",
+            "cat": "shard",
+            "trace": 128,
+            "span": "t80/s3/c42/exec",
+            "parent": "t80/s3/c42",
+            "pid": 123,
+            "t0": 1.0,
+            "t1": 2.0,
+        }
+        reader = FrameReader()
+        reader.feed(encode_worker_message(("results", 3, 42, b"", 12.5, [span])))
+        decoded = decode_worker_message(*reader.next_frame())
+        assert decoded[5] == [span]
 
     def test_infinite_watermarks_survive_json(self):
         for watermark in (-math.inf, math.inf):

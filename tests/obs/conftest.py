@@ -12,9 +12,12 @@ from repro.streams import StreamTuple
 def clean_registry():
     """Isolate each test from instruments left behind by earlier ones."""
     obs.get_registry().reset()
+    obs.local_spans().clear()
     yield
     obs.get_registry().reset()
     obs.activate(None)
+    obs.set_trace_sample(obs.DEFAULT_TRACE_SAMPLE)
+    obs.local_spans().clear()
 
 
 def make_rfid_tuples(n=400, seed=17):

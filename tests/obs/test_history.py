@@ -1,0 +1,211 @@
+"""History ring: flattening, wrap-around, derived stats, persistence."""
+
+import json
+
+import pytest
+
+from repro.obs import HistoryRing, Registry, flatten_snapshot
+
+
+def build_registry():
+    registry = Registry()
+    registry.counter("repro_frames_total", server="s1").inc(3)
+    registry.gauge("repro_depth").set(2.0)
+    registry.histogram("repro_latency_seconds", buckets=(0.5, 1.0)).observe(0.25)
+    return registry
+
+
+class TestFlatten:
+    def test_counters_gauges_histograms_operators(self):
+        registry = build_registry()
+        values, meta = flatten_snapshot(registry.snapshot())
+        assert values['repro_frames_total{server="s1"}'] == 3.0
+        assert values["repro_depth"] == 2.0
+        assert values["repro_latency_seconds#count"] == 1.0
+        assert values["repro_latency_seconds#sum"] == pytest.approx(0.25)
+        # Two bounds plus the overflow bucket.
+        assert values["repro_latency_seconds#b0"] == 1.0
+        assert values["repro_latency_seconds#b2"] == 0.0
+        assert meta["repro_latency_seconds"]["buckets"] == [0.5, 1.0]
+
+    def test_series_keys_match_the_exposition_identity(self):
+        registry = Registry()
+        registry.counter("c", q='say "hi"').inc()
+        values, _ = flatten_snapshot(registry.snapshot())
+        assert 'c{q="say \\"hi\\""}' in values
+
+
+class TestRing:
+    def test_wraps_and_keeps_the_newest_capacity_ticks(self):
+        ring = HistoryRing(capacity=4)
+        registry = Registry()
+        gauge = registry.gauge("g")
+        for i in range(10):
+            gauge.set(float(i))
+            ring.record(registry.snapshot(), t=float(i))
+        assert len(ring) == 4
+        times, values = ring.series("g")
+        assert list(times) == [6.0, 7.0, 8.0, 9.0]
+        assert list(values) == [6.0, 7.0, 8.0, 9.0]
+
+    def test_late_appearing_series_is_nan_backfilled(self):
+        ring = HistoryRing(capacity=8)
+        registry = Registry()
+        registry.gauge("old").set(1.0)
+        ring.record(registry.snapshot(), t=0.0)
+        registry.gauge("new").set(5.0)
+        ring.record(registry.snapshot(), t=1.0)
+        times, values = ring.series("new")
+        assert list(times) == [1.0]  # the NaN backfill tick is dropped
+        assert list(values) == [5.0]
+        assert ring.latest("old") == 1.0
+        assert ring.latest("missing") is None
+
+    def test_window_filters_by_the_newest_tick(self):
+        ring = HistoryRing(capacity=16)
+        registry = Registry()
+        gauge = registry.gauge("g")
+        for i in range(6):
+            gauge.set(float(i))
+            ring.record(registry.snapshot(), t=float(i) * 10.0)
+        times, _ = ring.series("g", window=20.0)
+        assert list(times) == [30.0, 40.0, 50.0]
+
+    def test_keys_for_prefers_histogram_bases(self):
+        ring = HistoryRing(capacity=4)
+        registry = build_registry()
+        ring.record(registry.snapshot(), t=0.0)
+        assert ring.keys_for("repro_latency_seconds") == ["repro_latency_seconds"]
+        assert ring.keys_for("repro_frames_total") == [
+            'repro_frames_total{server="s1"}'
+        ]
+        assert ring.keys_for("nothing") == []
+
+
+class TestDerivedStats:
+    def test_rate_is_per_second_increase(self):
+        ring = HistoryRing(capacity=8)
+        registry = Registry()
+        counter = registry.counter("c")
+        for t in (0.0, 5.0, 10.0):
+            counter.inc(10)
+            ring.record(registry.snapshot(), t=t)
+        assert ring.rate("c") == pytest.approx(2.0)
+        assert ring.rate("c", window=4.0) is None  # one sample in window
+
+    def test_counter_reset_clamps_to_zero(self):
+        ring = HistoryRing(capacity=8)
+        registry = Registry()
+        registry.counter("c").inc(100)
+        ring.record(registry.snapshot(), t=0.0)
+        registry.reset()
+        registry.counter("c").inc(1)  # restarted process: counter rewound
+        ring.record(registry.snapshot(), t=5.0)
+        assert ring.rate("c") == 0.0
+
+    def test_trend_is_the_least_squares_slope(self):
+        ring = HistoryRing(capacity=8)
+        registry = Registry()
+        gauge = registry.gauge("g")
+        for t in range(5):
+            gauge.set(3.0 * t + 1.0)
+            ring.record(registry.snapshot(), t=float(t))
+        assert ring.trend("g") == pytest.approx(3.0)
+        assert ring.trend("missing") is None
+
+    def test_windowed_percentile_uses_bucket_deltas(self):
+        ring = HistoryRing(capacity=8)
+        registry = Registry()
+        hist = registry.histogram("h", buckets=(1.0, 2.0, 4.0))
+        hist.observe(0.5, count=100)  # old traffic: all fast...
+        ring.record(registry.snapshot(), t=0.0)
+        hist.observe(3.0, count=10)  # ...then the regression
+        ring.record(registry.snapshot(), t=1.0)
+        p50 = ring.windowed_percentile("h", 0.50)
+        # Inside the window every observation landed in (2.0, 4.0]:
+        # the cumulative-since-start estimate would still say "fast".
+        assert 2.0 < p50 <= 4.0
+
+    def test_percentile_none_without_observations_in_window(self):
+        ring = HistoryRing(capacity=8)
+        registry = Registry()
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        ring.record(registry.snapshot(), t=0.0)
+        ring.record(registry.snapshot(), t=1.0)
+        assert ring.windowed_percentile("h", 0.5) is None
+        assert ring.windowed_percentile("unknown", 0.5) is None
+
+
+class TestPersistence:
+    def fill(self, ring):
+        registry = Registry()
+        counter = registry.counter("c")
+        hist = registry.histogram("h", buckets=(1.0, 2.0))
+        for t in range(4):
+            counter.inc(10)
+            hist.observe(0.5 + t * 0.5)
+            ring.record(registry.snapshot(), t=float(t))
+        return registry
+
+    def test_blob_round_trip_preserves_derived_stats(self):
+        ring = HistoryRing(capacity=16)
+        self.fill(ring)
+        blob = ring.to_blob()
+        restored = HistoryRing.from_blob(blob)
+        assert len(restored) == len(ring)
+        assert restored.keys() == ring.keys()
+        assert restored.rate("c") == ring.rate("c")
+        assert restored.windowed_percentile("h", 0.95) == pytest.approx(
+            ring.windowed_percentile("h", 0.95)
+        )
+        assert restored.meta["h"]["buckets"] == [1.0, 2.0]
+
+    def test_blob_is_json_strict(self):
+        ring = HistoryRing(capacity=16)
+        self.fill(ring)
+        text = json.dumps(ring.to_blob())  # NaN gaps must not leak as NaN
+        assert "NaN" not in text
+        restored = HistoryRing.from_blob(json.loads(text))
+        assert restored.latest("c") == ring.latest("c")
+
+    def test_nan_gaps_survive_the_round_trip(self):
+        ring = HistoryRing(capacity=8)
+        registry = Registry()
+        registry.gauge("a").set(1.0)
+        ring.record(registry.snapshot(), t=0.0)
+        registry.gauge("b").set(2.0)  # "a" and "b" overlap on one tick only
+        ring.record(registry.snapshot(), t=1.0)
+        restored = HistoryRing.from_blob(ring.to_blob())
+        times, values = restored.series("b")
+        assert list(times) == [1.0]
+        assert list(values) == [2.0]
+        raw = restored.to_blob()["series"]["b"]
+        assert raw[0] is None  # the gap stays literal
+
+    def test_capacity_override_keeps_the_newest_ticks(self):
+        ring = HistoryRing(capacity=16)
+        self.fill(ring)
+        shrunk = HistoryRing.from_blob(ring.to_blob(), capacity=2)
+        assert len(shrunk) == 2
+        times, values = shrunk.series("c")
+        assert list(times) == [2.0, 3.0]
+        assert list(values) == [30.0, 40.0]
+
+    def test_unknown_blob_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            HistoryRing.from_blob({"version": 99})
+
+    def test_delta_encoding_stores_small_numbers(self):
+        ring = HistoryRing(capacity=8)
+        registry = Registry()
+        counter = registry.counter("c")
+        for t in range(3):
+            counter.inc(1)
+            ring.record(registry.snapshot(), t=float(t) + 1e9)
+        blob = ring.to_blob()
+        assert blob["series"]["c"] == [1.0, 1.0, 1.0]  # absolute, then deltas
+        assert blob["times"][1:] == [1.0, 1.0]
+
+    def test_rejects_degenerate_capacity(self):
+        with pytest.raises(ValueError):
+            HistoryRing(capacity=1)

@@ -1,6 +1,7 @@
 """The METRICS wire verb and the ``python -m repro.obs`` CLI."""
 
 import io
+import json
 
 import pytest
 
@@ -11,9 +12,7 @@ from repro.obs.cli import main
 TOTALS = "SELECT SUM(w) AS total FROM rfid [RANGE 5 SECONDS SLIDE 5 SECONDS]"
 
 
-@pytest.fixture
-def server(rfid_tuples):
-    handle = serve_in_thread(QuerySession())
+def _populate(handle, rfid_tuples):
     with StreamClient(handle.address, timeout=15.0) as client:
         client.declare_stream(
             "rfid",
@@ -25,6 +24,22 @@ def server(rfid_tuples):
         client.register("totals", TOTALS)
         client.ingest("rfid", rfid_tuples, batch_size=100)
         client.flush()
+
+
+@pytest.fixture
+def server(rfid_tuples):
+    handle = serve_in_thread(QuerySession())
+    _populate(handle, rfid_tuples)
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture
+def sharded_server(rfid_tuples):
+    handle = serve_in_thread(
+        QuerySession(workers=2, shard_backend="process", trace_sample=1)
+    )
+    _populate(handle, rfid_tuples)
     yield handle
     handle.stop()
 
@@ -73,6 +88,19 @@ class TestMetricsVerb:
                 client.metrics("nope")
 
 
+class TestStageTimings:
+    def test_metrics_reply_carries_sharded_stage_totals(self, sharded_server):
+        with StreamClient(sharded_server.address, timeout=15.0) as client:
+            stages = client.metrics()["stages"]
+        assert set(stages) >= {"encode", "transport", "decode", "merge"}
+        assert all(seconds >= 0.0 for seconds in stages.values())
+        assert stages["encode"] > 0.0  # real work crossed the shards
+
+    def test_engine_hosted_queries_report_empty_stages(self, server):
+        with StreamClient(server.address, timeout=15.0) as client:
+            assert client.metrics()["stages"] == {}
+
+
 class TestCli:
     def test_one_shot_table(self, server):
         out = io.StringIO()
@@ -97,3 +125,46 @@ class TestCli:
         )
         assert code == 0
         assert out.getvalue().count("kind") == 3
+
+    def test_watch_grows_sparklines(self, server):
+        out = io.StringIO()
+        code = main(
+            ["--address", server.address, "--watch", "--interval", "0.01",
+             "--iterations", "3", "--spark-width", "8"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert any(bar in text for bar in "▁▂▃▄▅▆▇█"), (
+            "watch mode never rendered a sparkline"
+        )
+
+    def test_stage_timings_in_the_table_output(self, sharded_server):
+        out = io.StringIO()
+        assert main(["--address", sharded_server.address], out=out) == 0
+        text = out.getvalue()
+        assert "stages:" in text
+        assert "encode=" in text and "transport=" in text
+
+    def test_health_flag_reports_rule_verdicts(self, server):
+        out = io.StringIO()
+        assert main(["--address", server.address, "--health"], out=out) == 0
+        text = out.getvalue()
+        assert text.startswith("firing:")
+        assert "pending:" in text
+        assert "history ticks: 1" in text
+        assert "query_latency_p99" in text  # the stock rule set is listed
+
+    def test_trace_out_writes_chrome_json(self, sharded_server, tmp_path):
+        target = tmp_path / "trace.json"
+        out = io.StringIO()
+        code = main(
+            ["--address", sharded_server.address, "--trace-out", str(target)],
+            out=out,
+        )
+        assert code == 0
+        assert "(sample 1/1)" in out.getvalue()
+        document = json.loads(target.read_text(encoding="utf-8"))
+        events = document["traceEvents"]
+        assert events, "a fully-sampled sharded ingest must leave spans"
+        assert {e["ph"] for e in events} >= {"X"}

@@ -37,6 +37,39 @@ class TestPrometheus:
         registry.histogram("h", buckets=(1.0,))
         assert "NaN" not in render_prometheus(registry.snapshot())
 
+    def test_label_values_are_escaped(self):
+        registry = Registry()
+        registry.counter("c", q='say "hi"\nback\\slash').inc()
+        text = render_prometheus(registry.snapshot())
+        assert 'c{q="say \\"hi\\"\\nback\\\\slash"} 1' in text
+
+    def test_golden_exposition_output(self):
+        """Byte-exact exposition of a mixed snapshot (conformance pin)."""
+        registry = Registry()
+        registry.counter("repro_frames_total", server="s1").inc(3)
+        registry.counter("repro_frames_total", server='s"2"').inc(1)
+        registry.gauge("repro_depth").set(2.0)
+        hist = registry.histogram(
+            "repro_latency_seconds", buckets=(0.5, 1.0), query="q\n1"
+        )
+        hist.observe(0.25)
+        hist.observe(0.75, count=2)
+        hist.observe(9.0)  # overflow bucket
+        expected = (
+            "# TYPE repro_frames_total counter\n"
+            'repro_frames_total{server="s1"} 3\n'
+            'repro_frames_total{server="s\\"2\\""} 1\n'
+            "# TYPE repro_depth gauge\n"
+            "repro_depth 2\n"
+            "# TYPE repro_latency_seconds histogram\n"
+            'repro_latency_seconds_bucket{le="0.5",query="q\\n1"} 1\n'
+            'repro_latency_seconds_bucket{le="1.0",query="q\\n1"} 3\n'
+            'repro_latency_seconds_bucket{le="+Inf",query="q\\n1"} 4\n'
+            'repro_latency_seconds_sum{query="q\\n1"} 10.75\n'
+            'repro_latency_seconds_count{query="q\\n1"} 4\n'
+        )
+        assert render_prometheus(registry.snapshot()) == expected
+
 
 class TestTable:
     def test_all_kinds_appear(self):

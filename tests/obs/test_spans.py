@@ -1,0 +1,170 @@
+"""Span layer units: sampling, buffer bounds, ids, Chrome export."""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs import spans as tracing
+from repro.obs.trace import TraceContext
+
+
+def span(name, t0, t1, span_id=None, parent=None, pid=1, trace=64):
+    return {
+        "name": name,
+        "cat": "test",
+        "trace": trace,
+        "span": span_id,
+        "parent": parent,
+        "pid": pid,
+        "t0": t0,
+        "t1": t1,
+    }
+
+
+class TestSampling:
+    def test_default_is_one_in_sixty_four(self):
+        assert obs.get_trace_sample() == obs.DEFAULT_TRACE_SAMPLE == 64
+        assert tracing.sampled(0)
+        assert tracing.sampled(64)
+        assert not tracing.sampled(63)
+        assert not tracing.sampled(1)
+
+    def test_decision_is_a_pure_function_of_the_id(self):
+        """Coordinator and forked worker agree without exchanging state."""
+        previous = obs.set_trace_sample(8)
+        try:
+            first = [tracing.sampled(i) for i in range(64)]
+            second = [tracing.sampled(i) for i in range(64)]
+            assert first == second
+            assert sum(first) == 8
+        finally:
+            obs.set_trace_sample(previous)
+
+    def test_zero_disables_and_one_samples_everything(self):
+        previous = obs.set_trace_sample(0)
+        try:
+            assert not any(tracing.sampled(i) for i in range(100))
+            obs.set_trace_sample(1)
+            assert all(tracing.sampled(i) for i in range(100))
+        finally:
+            obs.set_trace_sample(previous)
+
+    def test_none_id_is_never_sampled(self):
+        assert not tracing.sampled(None)
+        assert not tracing.sampled_trace(None)
+
+    def test_sampled_trace_reads_the_context_id(self):
+        ctx = TraceContext(trace_id=128, t_ingest=0.0)
+        assert tracing.sampled_trace(ctx)
+        assert not tracing.sampled_trace(TraceContext(trace_id=129, t_ingest=0.0))
+
+    def test_set_returns_previous_and_rejects_negative(self):
+        previous = obs.set_trace_sample(7)
+        assert obs.set_trace_sample(previous) == 7
+        with pytest.raises(ValueError):
+            obs.set_trace_sample(-1)
+
+
+class TestSpanIds:
+    def test_ids_are_deterministic_and_hierarchical(self):
+        assert tracing.root_span_id(0x80) == "t80/push"
+        assert tracing.chunk_span_id(0x80, 3, 42) == "t80/s3/c42"
+        assert tracing.exec_span_id(0x80, 3, 42) == "t80/s3/c42/exec"
+        # The worker derives its parent without any id exchange.
+        assert tracing.exec_span_id(0x80, 3, 42).startswith(
+            tracing.chunk_span_id(0x80, 3, 42)
+        )
+
+    def test_record_span_lands_in_the_local_buffer(self):
+        obs.local_spans().clear()
+        recorded = tracing.record_span(
+            "op.test", "operator", 64, 1.0, 2.0, span_id="x", parent_id="y"
+        )
+        assert recorded["pid"] == os.getpid()
+        assert obs.local_spans().snapshot() == [recorded]
+
+
+class TestParentLinkage:
+    def test_activate_restores_like_a_stack(self):
+        assert tracing.current_parent() is None
+        outer = tracing.activate_parent("root")
+        assert outer is None
+        inner = tracing.activate_parent("exec")
+        assert inner == "root"
+        assert tracing.current_parent() == "exec"
+        tracing.activate_parent(inner)
+        tracing.activate_parent(outer)
+        assert tracing.current_parent() is None
+
+
+class TestSpanBuffer:
+    def test_bounded_eviction_keeps_newest(self):
+        buffer = tracing.SpanBuffer(capacity=4)
+        for i in range(10):
+            buffer.add(span(f"s{i}", i, i + 1))
+        assert len(buffer) == 4
+        assert [s["name"] for s in buffer.snapshot()] == ["s6", "s7", "s8", "s9"]
+
+    def test_drain_empties_and_preserves_order(self):
+        buffer = tracing.SpanBuffer(capacity=8)
+        buffer.ingest([span("a", 0, 1), span("b", 1, 2)])
+        assert [s["name"] for s in buffer.drain()] == ["a", "b"]
+        assert len(buffer) == 0
+        assert buffer.drain() == []
+
+    def test_ingest_none_and_empty_are_noops(self):
+        buffer = tracing.SpanBuffer(capacity=2)
+        buffer.ingest([])
+        buffer.ingest(None)
+        assert len(buffer) == 0
+
+    def test_rejects_degenerate_capacity(self):
+        with pytest.raises(ValueError):
+            tracing.SpanBuffer(capacity=0)
+
+
+class TestChromeExport:
+    def test_complete_events_in_microseconds_sorted(self):
+        spans = [span("late", 2.0, 3.5), span("early", 1.0, 1.25)]
+        document = json.loads(tracing.export_chrome_trace(spans))
+        events = document["traceEvents"]
+        assert document["displayTimeUnit"] == "ms"
+        assert [e["name"] for e in events] == ["early", "late"]
+        assert events[0]["ph"] == "X"
+        assert events[0]["ts"] == pytest.approx(1.0e6)
+        assert events[0]["dur"] == pytest.approx(0.25e6)
+        assert events[1]["dur"] == pytest.approx(1.5e6)
+
+    def test_cross_pid_parent_emits_a_flow_pair(self):
+        ship = span("shard.ship", 1.0, 2.0, span_id="t40/s0/c1", pid=100)
+        execute = span(
+            "shard.exec", 1.2, 1.8, span_id="t40/s0/c1/exec",
+            parent="t40/s0/c1", pid=200,
+        )
+        events = json.loads(tracing.export_chrome_trace([ship, execute]))[
+            "traceEvents"
+        ]
+        flows = [e for e in events if e["cat"] == "flow"]
+        assert [f["ph"] for f in flows] == ["s", "f"]
+        start, finish = flows
+        assert start["id"] == finish["id"]
+        assert start["pid"] == 100 and finish["pid"] == 200
+        assert finish["bp"] == "e"
+
+    def test_same_pid_parent_emits_no_flow(self):
+        parent = span("push", 1.0, 3.0, span_id="t40/push", pid=7)
+        child = span("op.sum", 1.5, 2.0, parent="t40/push", pid=7)
+        events = json.loads(tracing.export_chrome_trace([parent, child]))[
+            "traceEvents"
+        ]
+        assert all(e["cat"] != "flow" for e in events)
+
+    def test_path_writes_identical_json(self, tmp_path):
+        target = tmp_path / "trace.json"
+        text = tracing.export_chrome_trace(
+            [span("a", 0.0, 1.0)], path=str(target)
+        )
+        assert target.read_text(encoding="utf-8") == text
+        assert json.loads(text)["traceEvents"]
